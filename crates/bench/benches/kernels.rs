@@ -1,0 +1,118 @@
+//! Criterion micro-benchmarks of the vision kernels, individually.
+//!
+//! These give real wall-clock numbers for the building blocks whose
+//! modeled costs drive Figs 5 and 8: FAST detection, ORB description,
+//! brute-force matching, RANSAC and — the hot function — the perspective
+//! warp.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use vs_features::{brief, fast, orientation, Orb, OrbConfig};
+use vs_geometry::ransac::{self, RansacConfig};
+use vs_image::gaussian_blur_5x5;
+use vs_linalg::{Mat3, Vec2};
+use vs_matching::{RatioMatcher, SimpleMatcher};
+use vs_video::{generate_world, render_input, InputSpec, WorldConfig};
+use vs_warp::warp_perspective;
+
+fn test_frame() -> vs_image::RgbImage {
+    let spec = InputSpec::input1_preset()
+        .with_frames(1)
+        .with_frame_size(120, 90);
+    render_input(&spec).remove(0)
+}
+
+fn bench_fast(c: &mut Criterion) {
+    let gray = test_frame().to_gray();
+    c.bench_function("fast_detect_120x90", |b| {
+        b.iter(|| fast::detect(black_box(&gray), &fast::FastConfig::default()).unwrap())
+    });
+}
+
+fn bench_orb(c: &mut Criterion) {
+    let gray = test_frame().to_gray();
+    let orb = Orb::new(OrbConfig::default());
+    c.bench_function("orb_detect_describe_120x90", |b| {
+        b.iter(|| orb.detect_and_describe(black_box(&gray)).unwrap())
+    });
+    let kps = fast::detect(&gray, &fast::FastConfig::default()).unwrap();
+    let kps = orientation::assign_orientations(&gray, kps).unwrap();
+    let smoothed = gaussian_blur_5x5(&gray);
+    c.bench_function("brief_describe", |b| {
+        b.iter(|| brief::describe(black_box(&smoothed), black_box(&kps)).unwrap())
+    });
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let gray = test_frame().to_gray();
+    let orb = Orb::new(OrbConfig::default());
+    let feats = orb.detect_and_describe(&gray).unwrap();
+    let descs: Vec<_> = feats.iter().map(|f| f.descriptor).collect();
+    c.bench_function("ratio_match_self", |b| {
+        b.iter(|| {
+            RatioMatcher::default()
+                .matches(black_box(&descs), black_box(&descs))
+                .unwrap()
+        })
+    });
+    c.bench_function("simple_match_self", |b| {
+        b.iter(|| {
+            SimpleMatcher::default()
+                .matches(black_box(&descs), black_box(&descs))
+                .unwrap()
+        })
+    });
+}
+
+fn bench_ransac(c: &mut Criterion) {
+    let truth = Mat3::translation(7.0, -3.0) * Mat3::rotation(0.05);
+    let mut pairs: Vec<(Vec2, Vec2)> = (0..200)
+        .map(|i| {
+            let p = Vec2::new((i % 20) as f64 * 6.0, (i / 20) as f64 * 9.0);
+            (p, truth.apply(p).unwrap())
+        })
+        .collect();
+    for i in 0..40 {
+        pairs.push((
+            Vec2::new(i as f64 * 3.0, 1.0),
+            Vec2::new(119.0 - i as f64, 80.0),
+        ));
+    }
+    c.bench_function("ransac_homography_240pairs", |b| {
+        b.iter(|| {
+            ransac::estimate_homography(black_box(&pairs), &RansacConfig::default(), 7).unwrap()
+        })
+    });
+}
+
+fn bench_warp(c: &mut Criterion) {
+    let frame = test_frame();
+    let h = Mat3::translation(10.0, 5.0) * Mat3::rotation(0.1);
+    c.bench_function("warp_perspective_120x90", |b| {
+        b.iter(|| warp_perspective(black_box(&frame), black_box(&h), 120, 90).unwrap())
+    });
+    c.bench_function("warp_perspective_480x360", |b| {
+        b.iter(|| warp_perspective(black_box(&frame), black_box(&h), 480, 360).unwrap())
+    });
+}
+
+fn bench_world(c: &mut Criterion) {
+    let cfg = WorldConfig {
+        size: 256,
+        ..WorldConfig::default()
+    };
+    c.bench_function("generate_world_256", |b| {
+        b.iter_batched(
+            || cfg,
+            |cfg| generate_world(black_box(&cfg)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fast, bench_orb, bench_matching, bench_ransac, bench_warp, bench_world
+);
+criterion_main!(kernels);

@@ -1,0 +1,128 @@
+//! Regenerate the paper's evaluation figures.
+//!
+//! ```text
+//! repro <fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|all>
+//!       [--scale quick|paper] [--inj N] [--out DIR] [--threads N] [--seed S]
+//! ```
+//!
+//! `--scale quick` (default) runs laptop-sized campaigns in minutes;
+//! `--scale paper --inj 1000` reproduces the paper's campaign sizes
+//! (hours on one core — the paper's own 1000-injection runs used a
+//! POWER server).
+
+use std::process::ExitCode;
+use vs_bench::{figs, Opts};
+use vs_core::experiments::Scale;
+
+const USAGE: &str = "usage: repro <figure|all> [--scale quick|paper] [--inj N] [--out DIR] [--threads N] [--seed S]
+figures: fig5 fig6 fig8 fig9 fig9a fig9b fig10 fig11 fig11a fig11b fig12 fig13 ablations pruning";
+
+fn parse(args: &[String]) -> Result<(Vec<String>, Opts), String> {
+    let mut figures = Vec::new();
+    let mut opts = Opts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let v = it.next().ok_or("--scale needs a value")?;
+                opts.scale = match v.as_str() {
+                    "quick" => Scale::Quick,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale '{other}'")),
+                };
+            }
+            "--inj" => {
+                let v = it.next().ok_or("--inj needs a value")?;
+                opts.injections = v.parse().map_err(|_| format!("bad --inj '{v}'"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                opts.out_dir = v.into();
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads needs a value")?;
+                opts.threads = v.parse().map_err(|_| format!("bad --threads '{v}'"))?;
+                if opts.threads == 0 {
+                    return Err("--threads must be positive".into());
+                }
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                opts.seed = v.parse().map_err(|_| format!("bad --seed '{v}'"))?;
+            }
+            f if f.starts_with("fig") || matches!(f, "all" | "ablations" | "pruning") => {
+                figures.push(f.to_string())
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if figures.is_empty() {
+        return Err("no figure requested".into());
+    }
+    Ok((figures, opts))
+}
+
+fn dispatch(figure: &str, opts: &Opts) -> Result<Vec<String>, String> {
+    let one = |s: String| vec![s];
+    Ok(match figure {
+        "fig5" => one(figs::fig5::run(opts)),
+        "fig6" => one(figs::fig6::run(opts)),
+        "fig8" => one(figs::fig8::run(opts)),
+        "fig9" => one(figs::fig9::run(opts)),
+        "fig9a" => one(figs::fig9::run_a(opts)),
+        "fig9b" => one(figs::fig9::run_b(opts)),
+        "fig10" => one(figs::fig10::run(opts)),
+        "fig11" => one(figs::fig11::run(opts)),
+        "fig11a" => one(figs::fig11::run_a(opts)),
+        "fig11b" => one(figs::fig11::run_b(opts)),
+        "fig12" => one(figs::fig12::run(opts)),
+        "fig13" => one(figs::fig13::run(opts)),
+        "ablations" => one(figs::ablations::run(opts)),
+        "pruning" => one(figs::pruning::run(opts)),
+        "all" => {
+            let mut out = Vec::new();
+            for f in [
+                "fig5", "fig6", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13",
+            ] {
+                out.extend(dispatch(f, opts)?);
+            }
+            out
+        }
+        other => return Err(format!("unknown figure '{other}'")),
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (figures, opts) = match parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# repro: scale={:?} injections={} threads={} seed={:#x} out={}",
+        opts.scale,
+        opts.injections,
+        opts.threads,
+        opts.seed,
+        opts.out_dir.display()
+    );
+    for figure in &figures {
+        let t0 = std::time::Instant::now();
+        match dispatch(figure, &opts) {
+            Ok(reports) => {
+                for r in reports {
+                    println!("{r}");
+                }
+                println!("# {figure} done in {:.1?}\n", t0.elapsed());
+            }
+            Err(e) => {
+                eprintln!("error: {e}\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

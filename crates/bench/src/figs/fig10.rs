@@ -1,0 +1,114 @@
+//! Fig 10: resiliency profile of the baseline VS algorithm — outcome
+//! rates for GPR and FPR injections on both inputs.
+//!
+//! Paper shape: GPR injections crash ~40% of the time (92% of crashes
+//! are segfaults, 8% aborts) with SDC around 1–2%; FPR injections are
+//! masked ≥ 99.5% (the float→u8 saturation plus FP-register liveness).
+
+use crate::figs::{golden, run as run_campaign};
+use crate::report::{pct, Table};
+use crate::Opts;
+use vs_core::experiments::InputId;
+use vs_core::Approximation;
+use vs_fault::spec::RegClass;
+use vs_fault::stats::{outcome_rates, OutcomeRates};
+
+/// Rates for one (input, register-class) cell.
+#[derive(Debug, Clone)]
+pub struct Fig10Cell {
+    /// Input under test.
+    pub input: InputId,
+    /// Register class injected.
+    pub class: RegClass,
+    /// Measured rates.
+    pub rates: OutcomeRates,
+}
+
+/// Run the 2×2 campaign matrix.
+pub fn collect(opts: &Opts) -> Vec<Fig10Cell> {
+    let mut out = Vec::new();
+    for input in InputId::BOTH {
+        let (w, g) = golden(input, opts.scale, Approximation::Baseline);
+        for class in [RegClass::Gpr, RegClass::Fpr] {
+            let recs = run_campaign(&w, &g, class, opts, false);
+            out.push(Fig10Cell {
+                input,
+                class,
+                rates: outcome_rates(&recs),
+            });
+        }
+    }
+    out
+}
+
+/// Render the figure.
+pub fn run(opts: &Opts) -> String {
+    let cells = collect(opts);
+    let mut t = Table::new([
+        "input", "class", "masked", "sdc", "crash", "hang", "segfault%of-crashes",
+        "abort%of-crashes",
+    ]);
+    for c in &cells {
+        t.row([
+            c.input.to_string(),
+            c.class.to_string(),
+            pct(c.rates.masked),
+            pct(c.rates.sdc),
+            pct(c.rates.crash),
+            pct(c.rates.hang),
+            pct(c.rates.crash_segfault_share),
+            pct(c.rates.crash_abort_share),
+        ]);
+    }
+    let dir = opts.artifact_dir("fig10");
+    t.write_csv(dir.join("fig10.csv")).expect("write fig10.csv");
+    format!(
+        "Fig 10 — VS resiliency profile, {} injections per cell\n{}",
+        opts.injections,
+        t.to_text()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_core::experiments::Scale;
+
+    #[test]
+    fn gpr_crashes_dominate_and_fpr_masks() {
+        let opts = Opts {
+            scale: Scale::Quick,
+            injections: 150,
+            out_dir: std::env::temp_dir().join(format!("fig10_test_{}", std::process::id())),
+            ..Opts::default()
+        };
+        let cells = collect(&opts);
+        assert_eq!(cells.len(), 4);
+        for c in &cells {
+            match c.class {
+                RegClass::Gpr => {
+                    assert!(
+                        c.rates.crash > 20.0,
+                        "{}: GPR crash rate {:.1}% too low",
+                        c.input,
+                        c.rates.crash
+                    );
+                    assert!(
+                        c.rates.crash_segfault_share > c.rates.crash_abort_share,
+                        "segfaults must dominate crashes"
+                    );
+                }
+                RegClass::Fpr => {
+                    assert!(
+                        c.rates.masked > 95.0,
+                        "{}: FPR masked rate {:.1}% too low",
+                        c.input,
+                        c.rates.masked
+                    );
+                    assert_eq!(c.rates.crash, 0.0, "FPR faults must not crash");
+                }
+            }
+        }
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+}

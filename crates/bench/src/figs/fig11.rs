@@ -1,0 +1,194 @@
+//! Fig 11: (a) resiliency profiles of the approximate algorithms;
+//! (b) the hot-function case study (end-to-end VS vs standalone WP).
+//!
+//! Paper shapes: (a) Crash/Mask/Hang rates of the approximations stay
+//! close to the baseline, SDC rates rise slightly (1% → up to ~3%);
+//! (b) confining injections to the warp functions, the end-to-end
+//! application masks *more* than the standalone WP kernel — downstream
+//! stitching paints over corrupted warp output — so hot-kernel studies
+//! underestimate application resilience.
+
+use crate::figs::{golden, run as run_campaign};
+use crate::report::{pct, Table};
+use crate::Opts;
+use vs_core::experiments::InputId;
+use vs_core::{Approximation, WpWorkload};
+use vs_fault::campaign::{self, CampaignConfig};
+use vs_fault::spec::RegClass;
+use vs_fault::stats::{outcome_rates, OutcomeRates};
+use vs_fault::{FuncId, FuncMask};
+
+/// Fig 11a rates for one (input, variant) cell.
+#[derive(Debug, Clone)]
+pub struct Fig11aCell {
+    /// Input under test.
+    pub input: InputId,
+    /// Algorithm variant.
+    pub approx: Approximation,
+    /// Measured GPR rates.
+    pub rates: OutcomeRates,
+}
+
+/// Run the Fig 11a matrix (GPR injections, all variants, both inputs).
+pub fn collect_a(opts: &Opts) -> Vec<Fig11aCell> {
+    let mut out = Vec::new();
+    for input in InputId::BOTH {
+        for approx in Approximation::paper_variants() {
+            let (w, g) = golden(input, opts.scale, approx);
+            let recs = run_campaign(&w, &g, RegClass::Gpr, opts, false);
+            out.push(Fig11aCell {
+                input,
+                approx,
+                rates: outcome_rates(&recs),
+            });
+        }
+    }
+    out
+}
+
+/// Render Fig 11a.
+pub fn run_a(opts: &Opts) -> String {
+    let cells = collect_a(opts);
+    let mut t = Table::new(["input", "variant", "masked", "sdc", "crash", "hang"]);
+    for c in &cells {
+        t.row([
+            c.input.to_string(),
+            c.approx.to_string(),
+            pct(c.rates.masked),
+            pct(c.rates.sdc),
+            pct(c.rates.crash),
+            pct(c.rates.hang),
+        ]);
+    }
+    let dir = opts.artifact_dir("fig11");
+    t.write_csv(dir.join("fig11a.csv")).expect("write fig11a.csv");
+    format!(
+        "Fig 11a — resiliency of approximate algorithms (GPR, {} injections per cell)\n{}",
+        opts.injections,
+        t.to_text()
+    )
+}
+
+/// Fig 11b rates for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Fig11bCell {
+    /// "VS" (end-to-end) or "WP" (standalone kernel).
+    pub benchmark: &'static str,
+    /// Measured rates for warp-confined GPR injections.
+    pub rates: OutcomeRates,
+}
+
+/// Run the Fig 11b pair: injections confined to the warp functions, in
+/// the full application and in the standalone toy benchmark.
+pub fn collect_b(opts: &Opts) -> Vec<Fig11bCell> {
+    let mask = FuncMask::only(&[FuncId::WarpPerspective, FuncId::RemapBilinear]);
+    let cfg = CampaignConfig::new(RegClass::Gpr, opts.injections)
+        .seed(opts.seed)
+        .threads(opts.threads)
+        .keep_sdc_outputs(false);
+
+    let vs = vs_core::experiments::vs_workload(InputId::Input1, opts.scale, Approximation::Baseline);
+    let vs_golden = campaign::profile_golden_masked(&vs, mask).expect("golden VS run");
+    let vs_recs = campaign::run_campaign(&vs, &vs_golden, &cfg);
+
+    let wp = WpWorkload::representative(vs.frames());
+    let wp_golden = campaign::profile_golden_masked(&wp, mask).expect("golden WP run");
+    let wp_recs = campaign::run_campaign(&wp, &wp_golden, &cfg);
+
+    vec![
+        Fig11bCell {
+            benchmark: "VS (end-to-end)",
+            rates: outcome_rates(&vs_recs),
+        },
+        Fig11bCell {
+            benchmark: "WP (standalone)",
+            rates: outcome_rates(&wp_recs),
+        },
+    ]
+}
+
+/// Render Fig 11b.
+pub fn run_b(opts: &Opts) -> String {
+    let cells = collect_b(opts);
+    let mut t = Table::new(["benchmark", "masked", "sdc", "crash", "hang"]);
+    for c in &cells {
+        t.row([
+            c.benchmark.to_string(),
+            pct(c.rates.masked),
+            pct(c.rates.sdc),
+            pct(c.rates.crash),
+            pct(c.rates.hang),
+        ]);
+    }
+    let dir = opts.artifact_dir("fig11");
+    t.write_csv(dir.join("fig11b.csv")).expect("write fig11b.csv");
+    format!(
+        "Fig 11b — hot-function study: injections confined to warp functions\n{}",
+        t.to_text()
+    )
+}
+
+/// Both panels.
+pub fn run(opts: &Opts) -> String {
+    format!("{}\n{}", run_a(opts), run_b(opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_core::experiments::Scale;
+
+    fn test_opts(inj: usize) -> Opts {
+        Opts {
+            scale: Scale::Quick,
+            injections: inj,
+            out_dir: std::env::temp_dir().join(format!("fig11_test_{}", std::process::id())),
+            ..Opts::default()
+        }
+    }
+
+    #[test]
+    fn approximations_keep_crash_profile_close_to_baseline() {
+        let opts = test_opts(120);
+        let cells = collect_a(&opts);
+        assert_eq!(cells.len(), 8);
+        for input in InputId::BOTH {
+            let base = cells
+                .iter()
+                .find(|c| c.input == input && matches!(c.approx, Approximation::Baseline))
+                .unwrap();
+            for c in cells.iter().filter(|c| c.input == input) {
+                assert!(
+                    (c.rates.crash - base.rates.crash).abs() < 18.0,
+                    "{} {} crash rate {:.1}% far from baseline {:.1}%",
+                    c.input,
+                    c.approx,
+                    c.rates.crash,
+                    base.rates.crash
+                );
+            }
+        }
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+
+    #[test]
+    fn end_to_end_masks_more_than_standalone_wp() {
+        let opts = test_opts(250);
+        let cells = collect_b(&opts);
+        let vs = &cells[0];
+        let wp = &cells[1];
+        assert!(
+            vs.rates.masked > wp.rates.masked,
+            "compositional masking missing: VS masked {:.1}% vs WP {:.1}%",
+            vs.rates.masked,
+            wp.rates.masked
+        );
+        assert!(
+            wp.rates.sdc > vs.rates.sdc,
+            "WP must surface more SDCs: WP {:.1}% vs VS {:.1}%",
+            wp.rates.sdc,
+            vs.rates.sdc
+        );
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+}

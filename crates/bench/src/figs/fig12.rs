@@ -1,0 +1,171 @@
+//! Fig 12: SDC-quality distributions (Egregiousness Degree CDFs).
+//!
+//! Four panels: SDCs of every variant scored against (a, b) the baseline
+//! VS golden output and (c, d) the variant's own golden output, for
+//! Inputs 1 and 2. Paper shapes: against `VS_golden`, approximate
+//! variants' curves shift right by their own approximation error
+//! (VS_SM's Input 1 deviation alone is ED ≈ 37); against `Approx_golden`
+//! the curves nearly coincide and most SDCs are benign (≈ 87% of Input 2
+//! SDCs below ED 10).
+
+use crate::figs::golden;
+use crate::report::{f2, pct, Table};
+use crate::Opts;
+use vs_core::experiments::InputId;
+use vs_core::{quality, Approximation};
+use vs_fault::campaign::{CampaignConfig, Outcome};
+use vs_fault::spec::RegClass;
+use vs_image::RgbImage;
+
+/// EDs at which the CDF is reported.
+pub const ED_POINTS: [u32; 9] = [0, 1, 2, 5, 10, 20, 37, 50, 100];
+
+/// One variant's SDC-quality measurement on one input.
+#[derive(Debug, Clone)]
+pub struct Fig12Cell {
+    /// Input under test.
+    pub input: InputId,
+    /// Algorithm variant.
+    pub approx: Approximation,
+    /// Number of SDCs collected.
+    pub sdc_count: usize,
+    /// Qualities against the baseline VS golden output.
+    pub vs_golden: Vec<quality::SdcQuality>,
+    /// Qualities against the variant's own golden output.
+    pub approx_golden: Vec<quality::SdcQuality>,
+    /// ED of the variant's golden output against VS golden (the curve
+    /// shift floor; 0 for the baseline itself).
+    pub golden_deviation: quality::SdcQuality,
+}
+
+/// Collect SDC outputs (2× the configured injection count, as the paper
+/// uses a larger sample here) and score them both ways.
+pub fn collect(opts: &Opts) -> Vec<Fig12Cell> {
+    let mut out = Vec::new();
+    for input in InputId::BOTH {
+        let (_, vs_g) = golden(input, opts.scale, Approximation::Baseline);
+        for approx in Approximation::paper_variants() {
+            let (w, g) = golden(input, opts.scale, approx);
+            let cfg = CampaignConfig::new(RegClass::Gpr, opts.injections * 2)
+                .seed(opts.seed ^ 0x000f_1612)
+                .threads(opts.threads)
+                .keep_sdc_outputs(true);
+            let recs = vs_fault::campaign::run_campaign(&w, &g, &cfg);
+            let sdcs: Vec<&Vec<RgbImage>> = recs
+                .iter()
+                .filter(|r| r.outcome == Outcome::Sdc)
+                .filter_map(|r| r.sdc_output.as_ref())
+                .collect();
+            let vs_golden_q: Vec<_> = sdcs
+                .iter()
+                .map(|s| quality::summary_quality(&vs_g.output, s))
+                .collect();
+            let approx_golden_q: Vec<_> = sdcs
+                .iter()
+                .map(|s| quality::summary_quality(&g.output, s))
+                .collect();
+            out.push(Fig12Cell {
+                input,
+                approx,
+                sdc_count: sdcs.len(),
+                vs_golden: vs_golden_q,
+                approx_golden: approx_golden_q,
+                golden_deviation: quality::summary_quality(&vs_g.output, &g.output),
+            });
+        }
+    }
+    out
+}
+
+fn panel(cells: &[Fig12Cell], input: InputId, against_vs: bool) -> Table {
+    let mut header = vec!["variant".to_string(), "sdcs".to_string()];
+    header.extend(ED_POINTS.iter().map(|e| format!("<=ED{e}")));
+    let mut t = Table::new(header);
+    for c in cells.iter().filter(|c| c.input == input) {
+        let qualities = if against_vs {
+            &c.vs_golden
+        } else {
+            &c.approx_golden
+        };
+        let cdf = quality::ed_cdf(qualities, 100);
+        let mut row = vec![c.approx.to_string(), c.sdc_count.to_string()];
+        for &e in &ED_POINTS {
+            row.push(pct(cdf[e as usize].1));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Render all four panels.
+pub fn run(opts: &Opts) -> String {
+    let cells = collect(opts);
+    let dir = opts.artifact_dir("fig12");
+    let mut out = String::new();
+    for (label, input, against_vs, file) in [
+        ("(a) vs VS_golden, Input 1", InputId::Input1, true, "fig12a.csv"),
+        ("(b) vs VS_golden, Input 2", InputId::Input2, true, "fig12b.csv"),
+        ("(c) vs Approx_golden, Input 1", InputId::Input1, false, "fig12c.csv"),
+        ("(d) vs Approx_golden, Input 2", InputId::Input2, false, "fig12d.csv"),
+    ] {
+        let t = panel(&cells, input, against_vs);
+        t.write_csv(dir.join(file)).expect("write fig12 csv");
+        out.push_str(&format!("Fig 12{label}\n{}\n", t.to_text()));
+    }
+    out.push_str("Golden-output deviation from VS_golden (curve-shift floor):\n");
+    for c in &cells {
+        out.push_str(&format!(
+            "  {} {}: relative_l2_norm {}{}\n",
+            c.input,
+            c.approx,
+            f2(c.golden_deviation.relative_l2_norm),
+            c.golden_deviation
+                .ed
+                .map(|e| format!(" (ED {e})"))
+                .unwrap_or_else(|| " (egregious)".into()),
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_core::experiments::Scale;
+
+    #[test]
+    fn own_golden_scores_are_no_worse_than_vs_golden_scores() {
+        let opts = Opts {
+            scale: Scale::Quick,
+            injections: 150, // 300 effective; enough for a handful of SDCs
+            out_dir: std::env::temp_dir().join(format!("fig12_test_{}", std::process::id())),
+            ..Opts::default()
+        };
+        let cells = collect(&opts);
+        assert_eq!(cells.len(), 8);
+        let mut any_sdc = false;
+        for c in &cells {
+            any_sdc |= c.sdc_count > 0;
+            // Baseline: both references are identical.
+            if matches!(c.approx, Approximation::Baseline) {
+                assert_eq!(c.golden_deviation.relative_l2_norm, 0.0);
+            }
+            // The approx-golden CDF must dominate (sit at or above) the
+            // vs-golden CDF: scoring against your own golden can only
+            // look better.
+            let own = quality::ed_cdf(&c.approx_golden, 100);
+            let vs = quality::ed_cdf(&c.vs_golden, 100);
+            for (o, v) in own.iter().zip(&vs) {
+                assert!(
+                    o.1 >= v.1 - 1e-9,
+                    "{} {}: own-golden CDF below vs-golden at ED {}",
+                    c.input,
+                    c.approx,
+                    o.0
+                );
+            }
+        }
+        assert!(any_sdc, "campaigns produced zero SDCs — cannot validate Fig 12");
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+}

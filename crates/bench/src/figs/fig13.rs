@@ -1,0 +1,108 @@
+//! Fig 13: why the quality metric is conservative — the baseline and
+//! VS_SM outputs, their absolute pixel difference, and the >128
+//! thresholded difference, as images plus the relative L2 norms the
+//! paper quotes (≈37% for Input 1, ≈8% for Input 2).
+
+use crate::report::{f2, Table};
+use crate::Opts;
+use vs_core::experiments::InputId;
+use vs_core::{quality, Approximation};
+use vs_image::{write_pgm, write_ppm, GrayImage};
+
+/// Absolute per-pixel luma difference of two images (padded to common
+/// size), optionally thresholded at >128.
+pub fn diff_image(a: &vs_image::RgbImage, b: &vs_image::RgbImage, threshold: bool) -> GrayImage {
+    let w = a.width().max(b.width());
+    let h = a.height().max(b.height());
+    let ga = a.to_gray();
+    let gb = b.to_gray();
+    GrayImage::from_fn(w, h, |x, y| {
+        let va = ga.get(x, y).unwrap_or(0) as i16;
+        let vb = gb.get(x, y).unwrap_or(0) as i16;
+        let d = (va - vb).unsigned_abs() as u8;
+        if threshold {
+            if d > 128 {
+                d
+            } else {
+                0
+            }
+        } else {
+            d
+        }
+    })
+}
+
+/// Render the figure: images to `out/fig13/`, norms to the report.
+///
+/// Always rendered at [`vs_core::experiments::Scale::Paper`] (cheap, and
+/// the Input 1 vs Input 2 contrast needs flight-length panoramas).
+pub fn run(opts: &Opts) -> String {
+    let scale = vs_core::experiments::Scale::Paper;
+    let dir = opts.artifact_dir("fig13");
+    let mut t = Table::new(["input", "relative_l2_norm(VS_SM vs VS)", "files"]);
+    for input in InputId::BOTH {
+        let vs = vs_core::experiments::vs_workload(input, scale, Approximation::Baseline)
+            .summarize()
+            .expect("baseline summarize");
+        let sm = vs_core::experiments::vs_workload(input, scale, Approximation::sm_default())
+            .summarize()
+            .expect("VS_SM summarize");
+        let g = quality::primary_panorama(&vs.panoramas).expect("baseline panorama");
+        let f = quality::primary_panorama(&sm.panoramas).expect("VS_SM panorama");
+        let q = quality::sdc_quality(g, f);
+        let tag = input.to_string().to_lowercase();
+        write_ppm(dir.join(format!("{tag}_a_default.ppm")), g).expect("write default");
+        write_ppm(dir.join(format!("{tag}_b_vs_sm.ppm")), f).expect("write vs_sm");
+        write_pgm(dir.join(format!("{tag}_c_absdiff.pgm")), &diff_image(g, f, false))
+            .expect("write absdiff");
+        write_pgm(
+            dir.join(format!("{tag}_d_thresholded.pgm")),
+            &diff_image(g, f, true),
+        )
+        .expect("write thresholded");
+        t.row([
+            input.to_string(),
+            f2(q.relative_l2_norm),
+            format!("{tag}_[a-d]_*.p?m"),
+        ]);
+    }
+    t.write_csv(dir.join("fig13.csv")).expect("write fig13.csv");
+    format!(
+        "Fig 13 — default vs VS_SM outputs and pixel differences (images in {})\n{}",
+        dir.display(),
+        t.to_text()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_image::RgbImage;
+
+    #[test]
+    fn diff_image_thresholding_works() {
+        let a = RgbImage::from_fn(4, 4, |_, _| [200, 200, 200]);
+        let mut b = a.clone();
+        b.set(1, 1, [10, 10, 10]); // |diff| = 190 > 128
+        b.set(2, 2, [150, 150, 150]); // |diff| = 50 <= 128
+        let raw = diff_image(&a, &b, false);
+        let thr = diff_image(&a, &b, true);
+        assert_eq!(raw.get(1, 1), Some(190));
+        assert_eq!(raw.get(2, 2), Some(50));
+        assert_eq!(thr.get(1, 1), Some(190));
+        assert_eq!(thr.get(2, 2), Some(0));
+        assert_eq!(thr.get(0, 0), Some(0));
+    }
+
+    #[test]
+    fn diff_image_pads_size_mismatch() {
+        let a = RgbImage::from_fn(6, 4, |_, _| [255, 255, 255]);
+        let b = RgbImage::from_fn(4, 6, |_, _| [255, 255, 255]);
+        let d = diff_image(&a, &b, false);
+        assert_eq!((d.width(), d.height()), (6, 6));
+        // Non-overlapping areas differ by 255.
+        assert_eq!(d.get(5, 5), Some(0)); // outside both -> 0 vs 0
+        assert_eq!(d.get(5, 1), Some(255)); // only in a
+        assert_eq!(d.get(1, 5), Some(255)); // only in b
+    }
+}

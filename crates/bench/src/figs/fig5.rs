@@ -1,0 +1,149 @@
+//! Fig 5: IPC, execution time and energy of the approximate algorithms,
+//! normalized to the baseline VS for each input.
+//!
+//! Paper shape: IPC stays ≈ 1.0 everywhere (the approximations change
+//! how much work runs, not its mix); normalized time and energy track
+//! each other; VS_RFD gains most on Input 1 (dropping frames in a
+//! high-variation stream cascades into further discards), VS_KDS gains
+//! most on Input 2.
+
+use crate::report::{f2, Table};
+use crate::Opts;
+use std::time::Instant;
+use vs_core::experiments::InputId;
+use vs_core::Approximation;
+use vs_fault::campaign;
+use vs_perfmodel::{normalize, MachineModel, NormalizedPerf, PerfReport};
+
+/// One measured variant.
+#[derive(Debug, Clone)]
+pub struct Fig5Row {
+    /// Input the variant ran on.
+    pub input: InputId,
+    /// The algorithm variant.
+    pub approx: Approximation,
+    /// Modeled performance of the run.
+    pub perf: PerfReport,
+    /// Normalized to the same input's baseline.
+    pub normalized: NormalizedPerf,
+    /// Measured wall-clock seconds (complements the modeled time).
+    pub wall_seconds: f64,
+}
+
+/// Run the Fig 5 measurement matrix.
+///
+/// Always measured at [`vs_core::experiments::Scale::Paper`]: the figure needs flight-length
+/// inputs for the discard cascades to show, and golden profiling is
+/// cheap (no campaigns). `--scale` only affects campaign figures.
+pub fn collect(_opts: &Opts) -> Vec<Fig5Row> {
+    let scale = vs_core::experiments::Scale::Paper;
+    let model = MachineModel::default();
+    let mut rows = Vec::new();
+    for input in InputId::BOTH {
+        let mut baseline: Option<PerfReport> = None;
+        let mut baseline_wall = 0.0f64;
+        for approx in Approximation::paper_variants() {
+            let w = vs_core::experiments::vs_workload(input, scale, approx);
+            let t0 = Instant::now();
+            let g = campaign::profile_golden(&w).expect("golden run must succeed");
+            let wall = t0.elapsed().as_secs_f64();
+            let perf = model.evaluate(&g.profile.instr);
+            let base = *baseline.get_or_insert(perf);
+            if matches!(approx, Approximation::Baseline) {
+                baseline_wall = wall;
+            }
+            rows.push(Fig5Row {
+                input,
+                approx,
+                perf,
+                normalized: normalize(&perf, &base),
+                wall_seconds: if matches!(approx, Approximation::Baseline) {
+                    1.0
+                } else {
+                    wall / baseline_wall.max(1e-9)
+                },
+            });
+        }
+    }
+    rows
+}
+
+/// Render the figure as a table (and CSV artifact).
+pub fn run(opts: &Opts) -> String {
+    let rows = collect(opts);
+    let mut t = Table::new([
+        "input",
+        "variant",
+        "IPC(norm)",
+        "time(norm)",
+        "energy(norm)",
+        "wall(norm)",
+        "instr(M)",
+    ]);
+    for r in &rows {
+        t.row([
+            r.input.to_string(),
+            r.approx.to_string(),
+            f2(r.normalized.ipc),
+            f2(r.normalized.time),
+            f2(r.normalized.energy),
+            f2(r.wall_seconds),
+            f2(r.perf.instructions as f64 / 1e6),
+        ]);
+    }
+    let dir = opts.artifact_dir("fig5");
+    t.write_csv(dir.join("fig5.csv")).expect("write fig5.csv");
+    format!(
+        "Fig 5 — IPC / execution time / energy, normalized to VS per input\n{}",
+        t.to_text()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_core::experiments::Scale;
+
+    fn quick_opts() -> Opts {
+        Opts {
+            scale: Scale::Quick,
+            out_dir: std::env::temp_dir().join(format!("fig5_test_{}", std::process::id())),
+            ..Opts::default()
+        }
+    }
+
+    #[test]
+    fn baseline_normalizes_to_unity_and_ipc_is_stable() {
+        let opts = quick_opts();
+        let rows = collect(&opts);
+        assert_eq!(rows.len(), 8);
+        for r in &rows {
+            if matches!(r.approx, Approximation::Baseline) {
+                assert!((r.normalized.time - 1.0).abs() < 1e-12);
+                assert!((r.normalized.energy - 1.0).abs() < 1e-12);
+            }
+            // Fig 5's headline: IPC barely moves under approximation.
+            assert!(
+                (r.normalized.ipc - 1.0).abs() < 0.15,
+                "IPC drifted: {:?}",
+                r.normalized
+            );
+            // Approximations must never *increase* modeled time much.
+            assert!(r.normalized.time < 1.15, "slowdown? {:?}", r.normalized);
+        }
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+
+    #[test]
+    fn energy_tracks_time() {
+        let opts = quick_opts();
+        for r in collect(&opts) {
+            assert!(
+                (r.normalized.energy - r.normalized.time).abs() < 0.12,
+                "energy decoupled from time: {:?}",
+                r.normalized
+            );
+        }
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+}

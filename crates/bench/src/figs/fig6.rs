@@ -1,0 +1,89 @@
+//! Fig 6: the output panoramas of the baseline and approximate
+//! algorithms for both inputs, dumped as PPM files for visual
+//! inspection, plus a quantitative summary (panorama count/size and
+//! deviation from the baseline golden output).
+
+use crate::report::{f2, Table};
+use crate::Opts;
+use vs_core::experiments::InputId;
+use vs_core::{quality, Approximation};
+use vs_image::write_ppm;
+
+/// Render all variants' panoramas and summarize them.
+///
+/// Always rendered at [`vs_core::experiments::Scale::Paper`] — the
+/// qualitative comparison needs flight-length panoramas, and golden
+/// runs are cheap.
+pub fn run(opts: &Opts) -> String {
+    let scale = vs_core::experiments::Scale::Paper;
+    let dir = opts.artifact_dir("fig6");
+    let mut t = Table::new([
+        "input",
+        "variant",
+        "panos",
+        "primary_size",
+        "dev_vs_golden(%)",
+        "file",
+    ]);
+    for input in InputId::BOTH {
+        let mut golden_panos: Option<Vec<vs_image::RgbImage>> = None;
+        for approx in Approximation::paper_variants() {
+            let w = vs_core::experiments::vs_workload(input, scale, approx);
+            let s = w.summarize().expect("golden summarize must succeed");
+            let golden = golden_panos.get_or_insert_with(|| s.panoramas.clone());
+            let dev = quality::summary_quality(golden, &s.panoramas).relative_l2_norm;
+            let primary = quality::primary_panorama(&s.panoramas);
+            let size = primary
+                .map(|p| format!("{}x{}", p.width(), p.height()))
+                .unwrap_or_else(|| "-".into());
+            let file = format!("{}_{}.ppm", input.to_string().to_lowercase(), approx);
+            if let Some(p) = primary {
+                write_ppm(dir.join(&file), p).expect("write panorama ppm");
+            }
+            t.row([
+                input.to_string(),
+                approx.to_string(),
+                s.panoramas.len().to_string(),
+                size,
+                f2(dev),
+                file,
+            ]);
+        }
+    }
+    t.write_csv(dir.join("fig6.csv")).expect("write fig6.csv");
+    format!(
+        "Fig 6 — output panoramas per variant (PPMs in {})\n{}",
+        dir.display(),
+        t.to_text()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_core::experiments::Scale;
+
+    #[test]
+    fn fig6_writes_panoramas_for_all_variants() {
+        let opts = Opts {
+            scale: Scale::Quick,
+            out_dir: std::env::temp_dir().join(format!("fig6_test_{}", std::process::id())),
+            ..Opts::default()
+        };
+        let text = run(&opts);
+        assert!(text.contains("VS_RFD"));
+        let dir = opts.out_dir.join("fig6");
+        let ppms = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| {
+                e.as_ref()
+                    .unwrap()
+                    .path()
+                    .extension()
+                    .is_some_and(|x| x == "ppm")
+            })
+            .count();
+        assert_eq!(ppms, 8, "one panorama per input x variant");
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+}

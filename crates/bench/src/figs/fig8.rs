@@ -1,0 +1,72 @@
+//! Fig 8: execution profile of the VS application by function.
+//!
+//! Paper shape: ~68% of execution inside the vision library, with the
+//! `WarpPerspective`/`remapBilinear` pair alone at ~54%.
+
+use crate::report::{pct, Table};
+use crate::Opts;
+use vs_core::experiments::InputId;
+use vs_core::Approximation;
+use vs_fault::campaign;
+use vs_perfmodel::{execution_profile, library_share_pct, warp_share_pct};
+
+/// Render the per-function profile of the baseline run on Input 1.
+///
+/// Always profiled at [`vs_core::experiments::Scale::Paper`]: the warp
+/// share depends on the panorama-to-frame size ratio, which only
+/// reaches the paper's regime with flight-length inputs.
+pub fn run(opts: &Opts) -> String {
+    let w = vs_core::experiments::vs_workload(
+        InputId::Input1,
+        vs_core::experiments::Scale::Paper,
+        Approximation::Baseline,
+    );
+    let g = campaign::profile_golden(&w).expect("golden run must succeed");
+    let profile = execution_profile(&g.profile.instr);
+    let mut t = Table::new(["function", "share", "instructions"]);
+    for e in &profile {
+        t.row([
+            e.func.to_string(),
+            pct(e.share_pct),
+            e.instructions.to_string(),
+        ]);
+    }
+    let dir = opts.artifact_dir("fig8");
+    t.write_csv(dir.join("fig8.csv")).expect("write fig8.csv");
+    format!(
+        "Fig 8 — execution profile (baseline VS, Input 1)\n{}\nvision-library share: {}  (paper: ~68%)\nwarp_perspective + remap_bilinear: {}  (paper: 54.4%)\n",
+        t.to_text(),
+        pct(library_share_pct(&g.profile.instr)),
+        pct(warp_share_pct(&g.profile.instr)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_core::experiments::Scale;
+    use vs_fault::FuncId;
+
+    #[test]
+    fn warp_dominates_the_profile() {
+        let w = vs_core::experiments::vs_workload(
+            InputId::Input1,
+            Scale::Paper,
+            Approximation::Baseline,
+        );
+        let g = campaign::profile_golden(&w).unwrap();
+        let warp = warp_share_pct(&g.profile.instr);
+        let lib = library_share_pct(&g.profile.instr);
+        assert!(
+            (25.0..75.0).contains(&warp),
+            "warp share {warp:.1}% out of the paper's ballpark"
+        );
+        assert!(lib > 50.0, "library share {lib:.1}% too low");
+        let profile = execution_profile(&g.profile.instr);
+        assert_eq!(
+            profile[0].func,
+            FuncId::RemapBilinear,
+            "remap must be the hottest function: {profile:?}"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Fig 9: error-site coverage of the injection campaigns.
+//!
+//! (a) Outcome rates versus number of injections: the trend curves
+//! stabilize — the knee locates the minimum statistically adequate
+//! campaign size (1000 in the paper).
+//! (b) Histogram of injections per register: uniform across the 32 GPRs.
+
+use crate::figs::{golden, run as run_campaign};
+use crate::report::{f2, pct, Table};
+use crate::Opts;
+use vs_core::experiments::InputId;
+use vs_core::Approximation;
+use vs_fault::convergence::{convergence_curve, even_checkpoints, knee};
+use vs_fault::spec::RegClass;
+use vs_fault::stats::{coefficient_of_variation, register_histogram};
+
+/// Fig 9a: convergence of outcome rates with campaign size.
+pub fn run_a(opts: &Opts) -> String {
+    let (w, g) = golden(InputId::Input1, opts.scale, Approximation::Baseline);
+    let recs = run_campaign(&w, &g, RegClass::Gpr, opts, false);
+    let step = (opts.injections / 10).max(1);
+    let curve = convergence_curve(&recs, &even_checkpoints(recs.len(), step));
+    let mut t = Table::new(["injections", "masked", "sdc", "crash", "hang"]);
+    for p in &curve {
+        t.row([
+            p.n.to_string(),
+            pct(p.rates.masked),
+            pct(p.rates.sdc),
+            pct(p.rates.crash),
+            pct(p.rates.hang),
+        ]);
+    }
+    let dir = opts.artifact_dir("fig9");
+    t.write_csv(dir.join("fig9a.csv")).expect("write fig9a.csv");
+    let knee_txt = match knee(&curve, 2.0) {
+        Some(k) => format!("knee (rates stable within 2pp): {k} injections"),
+        None => "knee: not reached at this campaign size".into(),
+    };
+    format!(
+        "Fig 9a — outcome-rate convergence (VS, Input 1, GPR)\n{}\n{knee_txt}\n",
+        t.to_text()
+    )
+}
+
+/// Fig 9b: register coverage histogram.
+pub fn run_b(opts: &Opts) -> String {
+    let (w, g) = golden(InputId::Input1, opts.scale, Approximation::Baseline);
+    let recs = run_campaign(&w, &g, RegClass::Gpr, opts, false);
+    let hist = register_histogram(&recs);
+    let mut t = Table::new(["register", "injections"]);
+    for (r, &c) in hist.iter().enumerate() {
+        t.row([format!("r{r}"), c.to_string()]);
+    }
+    let dir = opts.artifact_dir("fig9");
+    t.write_csv(dir.join("fig9b.csv")).expect("write fig9b.csv");
+    format!(
+        "Fig 9b — injections per GPR ({} total)\n{}\ncoefficient of variation: {} (0 = perfectly uniform)\n",
+        recs.len(),
+        t.to_text(),
+        f2(coefficient_of_variation(&hist)),
+    )
+}
+
+/// Both panels.
+pub fn run(opts: &Opts) -> String {
+    format!("{}\n{}", run_a(opts), run_b(opts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_core::experiments::Scale;
+
+    fn test_opts(inj: usize) -> Opts {
+        Opts {
+            scale: Scale::Quick,
+            injections: inj,
+            out_dir: std::env::temp_dir().join(format!("fig9_test_{}", std::process::id())),
+            ..Opts::default()
+        }
+    }
+
+    #[test]
+    fn register_coverage_is_roughly_uniform() {
+        let opts = test_opts(320);
+        let (w, g) = golden(InputId::Input1, opts.scale, Approximation::Baseline);
+        let recs = run_campaign(&w, &g, RegClass::Gpr, &opts, false);
+        let hist = register_histogram(&recs);
+        assert!(hist.iter().all(|&c| c > 0), "every register must be hit");
+        assert!(
+            coefficient_of_variation(&hist) < 0.5,
+            "register coverage too skewed: {hist:?}"
+        );
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+
+    #[test]
+    fn convergence_curve_stabilizes() {
+        let opts = test_opts(240);
+        let (w, g) = golden(InputId::Input1, opts.scale, Approximation::Baseline);
+        let recs = run_campaign(&w, &g, RegClass::Gpr, &opts, false);
+        let curve = convergence_curve(&recs, &even_checkpoints(recs.len(), 24));
+        // Late checkpoints must move less than early ones.
+        let early = curve[0].rates.max_abs_delta(&curve[1].rates);
+        let late = curve[curve.len() - 2]
+            .rates
+            .max_abs_delta(&curve[curve.len() - 1].rates);
+        assert!(
+            late <= early + 1.0,
+            "rates diverging late: early delta {early:.2}, late delta {late:.2}"
+        );
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+}

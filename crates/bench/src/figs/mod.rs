@@ -1,0 +1,61 @@
+//! One module per figure of the paper's evaluation.
+
+pub mod ablations;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod pruning;
+
+use crate::Opts;
+use vs_core::experiments::{vs_workload, InputId, Scale};
+use vs_core::{Approximation, VsWorkload};
+use vs_fault::campaign::{self, CampaignConfig, GoldenRun, Injection};
+use vs_fault::spec::RegClass;
+use vs_image::RgbImage;
+
+/// Build workload + golden profile for `(input, approximation)`.
+///
+/// # Panics
+///
+/// Panics if the golden run fails, which indicates a pipeline bug.
+pub fn golden(
+    input: InputId,
+    scale: Scale,
+    approx: Approximation,
+) -> (VsWorkload, GoldenRun<Vec<RgbImage>>) {
+    let w = vs_workload(input, scale, approx);
+    let g = campaign::profile_golden(&w).expect("golden run must succeed");
+    (w, g)
+}
+
+/// Run one campaign with the harness defaults.
+pub fn run(
+    w: &VsWorkload,
+    g: &GoldenRun<Vec<RgbImage>>,
+    class: RegClass,
+    opts: &Opts,
+    keep_sdc: bool,
+) -> Vec<Injection<Vec<RgbImage>>> {
+    let cfg = CampaignConfig::new(class, opts.injections)
+        .seed(opts.seed)
+        .threads(opts.threads)
+        .keep_sdc_outputs(keep_sdc);
+    campaign::run_campaign(w, g, &cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_builder_produces_output() {
+        let (_, g) = golden(InputId::Input2, Scale::Quick, Approximation::Baseline);
+        assert!(!g.output.is_empty());
+        assert!(g.profile.gpr_taps > 0);
+    }
+}

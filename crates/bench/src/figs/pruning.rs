@@ -1,0 +1,125 @@
+//! Relyzer-style pruned campaign vs full statistical campaign — the
+//! paper's future-work direction, validated on the real VS workload.
+//!
+//! Prints the populated site groups with their populations and per-group
+//! rates, then compares the population-weighted pruned estimate against
+//! a full uniform campaign of the configured size.
+
+use crate::figs::golden;
+use crate::report::{pct, Table};
+use crate::Opts;
+use vs_core::experiments::InputId;
+use vs_core::Approximation;
+use vs_fault::campaign::{run_campaign, CampaignConfig};
+use vs_fault::pruning::{run_pruned_campaign, PrunedConfig};
+use vs_fault::spec::RegClass;
+use vs_fault::stats::outcome_rates;
+
+/// Run the comparison and render the report.
+pub fn run(opts: &Opts) -> String {
+    let (w, g) = golden(InputId::Input1, opts.scale, Approximation::Baseline);
+
+    let pruned = run_pruned_campaign(
+        &w,
+        &g,
+        &PrunedConfig {
+            total_pilots: (opts.injections * 2 / 3).max(60),
+            min_pilots_per_group: 4,
+            seed: opts.seed,
+            hang_factor: 16,
+        },
+    );
+    let full_cfg = CampaignConfig::new(RegClass::Gpr, opts.injections)
+        .seed(opts.seed ^ 0xF011)
+        .threads(opts.threads)
+        .keep_sdc_outputs(false);
+    let full = outcome_rates(&run_campaign(&w, &g, &full_cfg));
+
+    let mut t = Table::new([
+        "site group",
+        "population",
+        "masked",
+        "sdc",
+        "crash",
+        "hang",
+    ]);
+    for (grp, rates) in &pruned.groups {
+        t.row([
+            format!("{}/{}", grp.func, grp.op),
+            grp.population.to_string(),
+            pct(rates.masked),
+            pct(rates.sdc),
+            pct(rates.crash),
+            pct(rates.hang),
+        ]);
+    }
+    let mut cmp = Table::new(["campaign", "injections", "masked", "sdc", "crash", "hang"]);
+    cmp.row([
+        "pruned (weighted)".to_string(),
+        pruned.injections.to_string(),
+        pct(pruned.estimate.masked),
+        pct(pruned.estimate.sdc),
+        pct(pruned.estimate.crash),
+        pct(pruned.estimate.hang),
+    ]);
+    cmp.row([
+        "full (uniform)".to_string(),
+        full.n.to_string(),
+        pct(full.masked),
+        pct(full.sdc),
+        pct(full.crash),
+        pct(full.hang),
+    ]);
+    let dir = opts.artifact_dir("pruning");
+    t.write_csv(dir.join("groups.csv")).expect("write groups.csv");
+    cmp.write_csv(dir.join("comparison.csv"))
+        .expect("write comparison.csv");
+    format!(
+        "Site pruning (Relyzer-style, the paper's future work) — VS, Input 1, GPR\n{}\n{}\nmax |delta| between estimates: {:.2} percentage points\n",
+        t.to_text(),
+        cmp.to_text(),
+        pruned.estimate.max_abs_delta(&full),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_core::experiments::Scale;
+
+    #[test]
+    fn pruned_estimate_tracks_full_campaign_on_vs() {
+        let opts = Opts {
+            scale: Scale::Quick,
+            injections: 240,
+            out_dir: std::env::temp_dir().join(format!("prune_test_{}", std::process::id())),
+            ..Opts::default()
+        };
+        let (w, g) = golden(InputId::Input1, opts.scale, Approximation::Baseline);
+        let pruned = run_pruned_campaign(
+            &w,
+            &g,
+            &PrunedConfig {
+                total_pilots: 180,
+                min_pilots_per_group: 4,
+                seed: 1,
+                hang_factor: 16,
+            },
+        );
+        let full_cfg = CampaignConfig::new(RegClass::Gpr, opts.injections)
+            .seed(2)
+            .keep_sdc_outputs(false);
+        let full = outcome_rates(&run_campaign(&w, &g, &full_cfg));
+        assert!(
+            pruned.estimate.max_abs_delta(&full) < 15.0,
+            "pruned {:?} diverges from full {:?}",
+            pruned.estimate,
+            full
+        );
+        assert!(
+            pruned.injections < opts.injections,
+            "pruning must use fewer injections"
+        );
+        std::fs::remove_dir_all(&opts.out_dir).ok();
+    }
+}

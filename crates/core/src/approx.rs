@@ -1,0 +1,103 @@
+//! Approximation primitives: deterministic frame dropping and key-point
+//! down-sampling.
+
+use vs_fault::mix64;
+use vs_features::Feature;
+
+/// Decide whether *VS_RFD* drops frame `index`.
+///
+/// The decision is a pure function of `(seed, index)`, so a given
+/// configuration always drops the same frames — required for golden-run
+/// reproducibility in fault campaigns.
+pub fn drop_frame(seed: u64, index: usize, drop_rate: f64) -> bool {
+    if drop_rate <= 0.0 {
+        return false;
+    }
+    if drop_rate >= 1.0 {
+        return true;
+    }
+    let h = mix64(seed ^ 0xd809_f4a3 ^ (index as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    u < drop_rate
+}
+
+/// *VS_KDS*: keep every `keep_divisor`-th feature.
+///
+/// Features arrive ordered strongest-first per pyramid level, so striding
+/// preserves both response coverage and spatial spread — matching the
+/// paper's "only perform matching on a fraction (one-third) of the key
+/// points".
+pub fn downsample_features(features: Vec<Feature>, keep_divisor: usize) -> Vec<Feature> {
+    if keep_divisor <= 1 {
+        return features;
+    }
+    features
+        .into_iter()
+        .step_by(keep_divisor)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_features::{Descriptor, KeyPoint};
+
+    #[test]
+    fn drop_decisions_are_deterministic() {
+        for i in 0..100 {
+            assert_eq!(drop_frame(7, i, 0.1), drop_frame(7, i, 0.1));
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_approximately_honored() {
+        let n = 20_000;
+        let dropped = (0..n).filter(|&i| drop_frame(3, i, 0.10)).count();
+        let rate = dropped as f64 / n as f64;
+        assert!(
+            (rate - 0.10).abs() < 0.01,
+            "empirical drop rate {rate:.3} far from 0.10"
+        );
+    }
+
+    #[test]
+    fn extreme_rates_behave() {
+        assert!(!drop_frame(1, 5, 0.0));
+        assert!(drop_frame(1, 5, 1.0));
+        assert!(!drop_frame(1, 5, -0.5));
+    }
+
+    #[test]
+    fn different_seeds_drop_different_frames() {
+        let a: Vec<bool> = (0..200).map(|i| drop_frame(1, i, 0.3)).collect();
+        let b: Vec<bool> = (0..200).map(|i| drop_frame(2, i, 0.3)).collect();
+        assert_ne!(a, b);
+    }
+
+    fn feat(i: usize) -> Feature {
+        Feature {
+            keypoint: KeyPoint::new(i, i, i as f64),
+            descriptor: Descriptor([i as u64; 4]),
+        }
+    }
+
+    #[test]
+    fn downsample_keeps_every_third() {
+        let feats: Vec<Feature> = (0..10).map(feat).collect();
+        let kept = downsample_features(feats, 3);
+        let xs: Vec<f64> = kept.iter().map(|f| f.keypoint.x).collect();
+        assert_eq!(xs, vec![0.0, 3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn divisor_one_is_identity() {
+        let feats: Vec<Feature> = (0..5).map(feat).collect();
+        assert_eq!(downsample_features(feats.clone(), 1), feats);
+        assert_eq!(downsample_features(feats.clone(), 0), feats);
+    }
+
+    #[test]
+    fn empty_input_stays_empty() {
+        assert!(downsample_features(Vec::new(), 3).is_empty());
+    }
+}

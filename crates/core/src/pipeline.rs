@@ -1,0 +1,532 @@
+//! The end-to-end video-summarization pipeline (§III).
+//!
+//! Frames are processed in order. Each is (optionally) dropped by the
+//! RFD approximation, decoded to grayscale, reduced to ORB features,
+//! matched against the previous accepted frame, and chained into the
+//! current segment via a RANSAC homography (affine fallback, discard as
+//! last resort). Segments — broken by match failure streaks, the paper's
+//! "dissimilar viewing angles and settings" — are each stitched into a
+//! mini-panorama by aligning every frame to the segment's first frame.
+
+use crate::approx::drop_frame;
+use crate::config::{Approximation, PipelineConfig};
+use vs_fault::{tap, FuncId, OpClass, SimError};
+use vs_features::{Feature, Orb};
+use vs_geometry::ransac::{self, RansacConfig};
+use vs_geometry::transform::{transformed_bounds, Bounds};
+use vs_image::{GrayImage, RgbImage};
+use vs_linalg::{Mat3, Vec2};
+use vs_matching::{Match, RatioMatcher, SimpleMatcher};
+use vs_warp::{Canvas, CompositeOptions};
+
+/// Counters describing what the pipeline did with its input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SummaryStats {
+    /// Frames presented to the pipeline.
+    pub frames_in: usize,
+    /// Frames dropped by the RFD input approximation.
+    pub frames_dropped_by_input: usize,
+    /// Frames discarded for insufficient matches (§III-A).
+    pub frames_discarded: usize,
+    /// Frames aligned with a full homography.
+    pub homographies: usize,
+    /// Frames aligned with the affine fallback.
+    pub affine_fallbacks: usize,
+    /// Mini-panoramas produced.
+    pub segments: usize,
+}
+
+/// How one frame was aligned into its mini-panorama.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameAlignment {
+    /// Index of the frame in the input sequence.
+    pub frame: usize,
+    /// Segment (mini-panorama) it belongs to.
+    pub segment: usize,
+    /// Transform from this frame's coordinates to the segment anchor's.
+    pub h_to_anchor: Mat3,
+}
+
+/// The pipeline's output: one image per mini-panorama, plus statistics
+/// and the per-frame alignments (consumed by the event-summarization
+/// branch).
+///
+/// Only the panoramas constitute the *observable output* compared for
+/// SDC classification; the rest is diagnostic/auxiliary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Mini-panorama images, in segment order.
+    pub panoramas: Vec<RgbImage>,
+    /// World coordinate of each panorama's pixel `(0, 0)` in its segment
+    /// anchor's frame (for overlaying world-frame annotations).
+    pub panorama_origins: Vec<Vec2>,
+    /// Alignment of every stitched frame.
+    pub alignments: Vec<FrameAlignment>,
+    /// Processing statistics.
+    pub stats: SummaryStats,
+}
+
+/// State carried from the last accepted frame.
+struct PrevFrame {
+    features: Vec<Feature>,
+    h_to_anchor: Mat3,
+}
+
+/// The video-summarization application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VideoSummarizer {
+    config: PipelineConfig,
+}
+
+impl VideoSummarizer {
+    /// Create a summarizer with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        VideoSummarizer { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Summarize a frame sequence into mini-panoramas.
+    ///
+    /// Deterministic for a given `(config, frames)` pair: all internal
+    /// randomness (RANSAC sampling, RFD drops) derives from
+    /// `config.seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulated faults ([`SimError`]) from instrumented
+    /// stages; an error-free run over non-degenerate input succeeds.
+    pub fn run(&self, frames: &[RgbImage]) -> Result<Summary, SimError> {
+        let _ctl = tap::scope(FuncId::StitchControl);
+        let mut stats = SummaryStats {
+            frames_in: frames.len(),
+            ..SummaryStats::default()
+        };
+        let mut segments: Vec<Vec<(usize, Mat3)>> = Vec::new();
+        let mut current: Vec<(usize, Mat3)> = Vec::new();
+        let mut prev: Option<PrevFrame> = None;
+        let mut discard_streak = 0usize;
+
+        let orb = Orb::new(self.config.orb.clone());
+        // The frame-loop bound lives in a control register.
+        let n = tap::ctl(frames.len());
+        let mut i = 0usize;
+        while i < n {
+            tap::work(OpClass::Control, 12)?;
+            tap::work(OpClass::IntAlu, 40)?;
+            // The frame pointer is address arithmetic: tap it.
+            let fi = tap::addr(i);
+            let frame = frames.get(fi).ok_or(SimError::Segfault)?;
+
+            if let Approximation::Rfd { drop_rate } = self.config.approximation {
+                if drop_frame(self.config.seed, i, drop_rate) {
+                    stats.frames_dropped_by_input += 1;
+                    i += 1;
+                    continue;
+                }
+            }
+
+            let gray = decode(frame)?;
+            let features = orb.detect_and_describe(&gray)?;
+
+            match prev.as_ref() {
+                None => {
+                    current.push((i, Mat3::IDENTITY));
+                    prev = Some(PrevFrame {
+                        features,
+                        h_to_anchor: Mat3::IDENTITY,
+                    });
+                }
+                Some(p) => {
+                    let pairs = self.match_pairs(&features, &p.features)?;
+                    let model = self.estimate_model(&pairs, i, &mut stats)?;
+                    match model {
+                        Some(h_cur_to_prev) => {
+                            let h_to_anchor = p.h_to_anchor * h_cur_to_prev;
+                            if chain_is_sane(&h_to_anchor, gray.width(), gray.height()) {
+                                current.push((i, h_to_anchor));
+                                prev = Some(PrevFrame {
+                                    features,
+                                    h_to_anchor,
+                                });
+                                discard_streak = 0;
+                            } else {
+                                // Accumulated drift became geometrically
+                                // absurd: close the segment and re-anchor.
+                                segments.push(std::mem::take(&mut current));
+                                current.push((i, Mat3::IDENTITY));
+                                prev = Some(PrevFrame {
+                                    features,
+                                    h_to_anchor: Mat3::IDENTITY,
+                                });
+                                discard_streak = 0;
+                            }
+                        }
+                        None => {
+                            discard_streak += 1;
+                            if discard_streak > self.config.max_discard_streak {
+                                // Scene change: start a new mini-panorama
+                                // anchored at this frame (not discarded).
+                                segments.push(std::mem::take(&mut current));
+                                current.push((i, Mat3::IDENTITY));
+                                prev = Some(PrevFrame {
+                                    features,
+                                    h_to_anchor: Mat3::IDENTITY,
+                                });
+                                discard_streak = 0;
+                            } else {
+                                stats.frames_discarded += 1;
+                            }
+                        }
+                    }
+                }
+            }
+            i += 1;
+        }
+        if !current.is_empty() {
+            segments.push(current);
+        }
+        segments.retain(|s| !s.is_empty());
+
+        let mut panoramas = Vec::with_capacity(segments.len());
+        let mut panorama_origins = Vec::with_capacity(segments.len());
+        let mut alignments = Vec::new();
+        for (si, seg) in segments.iter().enumerate() {
+            let (img, origin) = render_segment(seg, frames, &self.config.compositing)?;
+            panoramas.push(img);
+            panorama_origins.push(origin);
+            for &(frame, h) in seg {
+                alignments.push(FrameAlignment {
+                    frame,
+                    segment: si,
+                    h_to_anchor: h,
+                });
+            }
+        }
+        stats.segments = segments.len();
+        Ok(Summary {
+            panoramas,
+            panorama_origins,
+            alignments,
+            stats,
+        })
+    }
+
+    /// Match the current frame's features against the previous frame's
+    /// with the configured matcher, returning point pairs (current →
+    /// previous).
+    fn match_pairs(
+        &self,
+        current: &[Feature],
+        previous: &[Feature],
+    ) -> Result<Vec<(Vec2, Vec2)>, SimError> {
+        // VS_KDS: "only perform matching on a fraction (one-third) of
+        // the key points" — every kept query point still scans the full
+        // train set, cutting the O(n^2) matching cost by the keep
+        // fraction. The price is fewer matches, so some frames fall below
+        // the homography/affine thresholds and are discarded (SIV).
+        let keep = match self.config.approximation {
+            Approximation::Kds { keep_divisor } => keep_divisor.max(1),
+            _ => 1,
+        };
+        let kept: Vec<&Feature> = downsample_query(current, keep);
+        let query: Vec<_> = kept.iter().map(|f| f.descriptor).collect();
+        let train: Vec<_> = previous.iter().map(|f| f.descriptor).collect();
+        let matches: Vec<Match> = match self.config.approximation {
+            Approximation::Sm { max_distance } => {
+                SimpleMatcher { max_distance }.matches(&query, &train)?
+            }
+            _ => RatioMatcher {
+                ratio: self.config.match_ratio,
+            }
+            .matches(&query, &train)?,
+        };
+        Ok(matches
+            .iter()
+            .map(|m| {
+                let q = &kept[m.query].keypoint;
+                let t = &previous[m.train].keypoint;
+                (Vec2::new(q.x, q.y), Vec2::new(t.x, t.y))
+            })
+            .collect())
+    }
+
+    /// Homography with affine fallback (§III-A), or `None` to discard.
+    fn estimate_model(
+        &self,
+        pairs: &[(Vec2, Vec2)],
+        frame_index: usize,
+        stats: &mut SummaryStats,
+    ) -> Result<Option<Mat3>, SimError> {
+        let seed = self
+            .config
+            .seed
+            .wrapping_add((frame_index as u64).wrapping_mul(0x9e37_79b9));
+        if pairs.len() >= self.config.min_matches_homography {
+            if let Some(fit) = ransac::estimate_homography(pairs, &self.config.ransac, seed)? {
+                stats.homographies += 1;
+                return Ok(Some(stabilize(fit.model)));
+            }
+        }
+        if pairs.len() >= self.config.min_matches_affine {
+            let affine_cfg = RansacConfig {
+                min_inliers: self.config.min_matches_affine.max(4),
+                ..self.config.ransac
+            };
+            if let Some(fit) = ransac::estimate_affine(pairs, &affine_cfg, seed ^ 0xaff1)? {
+                stats.affine_fallbacks += 1;
+                return Ok(Some(fit.model));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Suppress noise in the projective row of an estimated homography.
+///
+/// Aerial nadir imagery relates consecutive frames by a near-affine
+/// transform; tiny fitted perspective terms are estimation noise that
+/// compounds into scale drift over long alignment chains ("blurs and
+/// distortions" the paper's corrective actions address). Terms below the
+/// noise floor are snapped to zero.
+fn stabilize(h: Mat3) -> Mat3 {
+    let m = h.to_rows();
+    if m[6].abs() < 1e-4 && m[7].abs() < 1e-4 {
+        Mat3::from_rows([m[0], m[1], m[2], m[3], m[4], m[5], 0.0, 0.0, m[8]])
+            .normalized()
+            .unwrap_or(h)
+    } else {
+        h
+    }
+}
+
+/// Keep every `keep`-th feature for the KDS query side.
+fn downsample_query(features: &[Feature], keep: usize) -> Vec<&Feature> {
+    features.iter().step_by(keep.max(1)).collect()
+}
+
+/// Decode a frame: RGB → grayscale with instruction accounting.
+fn decode(frame: &RgbImage) -> Result<GrayImage, SimError> {
+    let _f = tap::scope(FuncId::Decode);
+    let px = (frame.width() * frame.height()) as u64;
+    tap::work(OpClass::Mem, 4 * px)?;
+    tap::work(OpClass::IntAlu, 5 * px)?;
+    Ok(frame.to_gray())
+}
+
+/// Is the chained transform still geometrically plausible? Guards
+/// against slow drift blowing up the canvas in long golden runs.
+fn chain_is_sane(h: &Mat3, w: usize, ht: usize) -> bool {
+    let Some(b) = transformed_bounds(h, w, ht) else {
+        return false;
+    };
+    let area_in = (w * ht) as f64;
+    let area_out = b.width() * b.height();
+    area_out.is_finite() && area_out > area_in * 0.05 && area_out < area_in * 30.0
+}
+
+/// Stitch one segment into a mini-panorama, returning the image and the
+/// anchor-frame coordinate of its pixel `(0, 0)`.
+fn render_segment(
+    segment: &[(usize, Mat3)],
+    frames: &[RgbImage],
+    compositing: &CompositeOptions,
+) -> Result<(RgbImage, Vec2), SimError> {
+    let mut bounds: Option<Bounds> = None;
+    for (idx, h) in segment {
+        let frame = frames.get(*idx).ok_or(SimError::Segfault)?;
+        let fb = transformed_bounds(h, frame.width(), frame.height()).ok_or(SimError::Abort)?;
+        bounds = Some(match bounds {
+            None => fb,
+            Some(b) => b.union(&fb),
+        });
+    }
+    let bounds = bounds.ok_or(SimError::Abort)?;
+    let mut canvas = Canvas::new(&bounds)?;
+    {
+        let _f = tap::scope(FuncId::StitchControl);
+        for (idx, h) in segment {
+            tap::work(OpClass::IntAlu, 50)?;
+            let fi = tap::addr(*idx);
+            let frame = frames.get(fi).ok_or(SimError::Segfault)?;
+            canvas.composite_with(frame, h, compositing)?;
+        }
+    }
+    canvas.crop_to_content_with_origin().ok_or(SimError::Abort)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_video::{render_input, InputSpec};
+
+    fn quick_input2(frames: usize) -> Vec<RgbImage> {
+        render_input(
+            &InputSpec::input2_preset()
+                .with_frames(frames)
+                .with_frame_size(96, 72),
+        )
+    }
+
+    fn quick_input1(frames: usize) -> Vec<RgbImage> {
+        render_input(
+            &InputSpec::input1_preset()
+                .with_frames(frames)
+                .with_frame_size(96, 72),
+        )
+    }
+
+    #[test]
+    fn smooth_input_yields_single_growing_panorama() {
+        let frames = quick_input2(10);
+        let vs = VideoSummarizer::new(PipelineConfig::default());
+        let s = vs.run(&frames).unwrap();
+        assert_eq!(s.stats.frames_in, 10);
+        assert_eq!(s.stats.frames_dropped_by_input, 0);
+        assert!(
+            s.stats.segments <= 2,
+            "smooth pan fragmenting into {} segments",
+            s.stats.segments
+        );
+        let pano = crate::quality::primary_panorama(&s.panoramas).unwrap();
+        assert!(
+            pano.width() > 100,
+            "panorama ({}x{}) barely wider than a frame",
+            pano.width(),
+            pano.height()
+        );
+        assert!(s.stats.homographies + s.stats.affine_fallbacks >= 7);
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let frames = quick_input2(8);
+        let vs = VideoSummarizer::new(PipelineConfig::default());
+        let a = vs.run(&frames).unwrap();
+        let b = vs.run(&frames).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn high_variation_input_fragments_more() {
+        let f1 = quick_input1(24);
+        let f2 = quick_input2(24);
+        let vs = VideoSummarizer::new(PipelineConfig::default());
+        let s1 = vs.run(&f1).unwrap();
+        let s2 = vs.run(&f2).unwrap();
+        assert!(
+            s1.stats.segments > s2.stats.segments,
+            "input1 segments {} must exceed input2 segments {}",
+            s1.stats.segments,
+            s2.stats.segments
+        );
+    }
+
+    #[test]
+    fn rfd_drops_frames_and_still_summarizes() {
+        let frames = quick_input2(12);
+        let vs = VideoSummarizer::new(
+            PipelineConfig::default().with_approximation(Approximation::Rfd { drop_rate: 0.25 }),
+        );
+        let s = vs.run(&frames).unwrap();
+        assert!(s.stats.frames_dropped_by_input > 0);
+        assert!(!s.panoramas.is_empty());
+    }
+
+    #[test]
+    fn kds_reduces_matches_but_usually_still_stitches() {
+        let frames = quick_input2(8);
+        let vs = VideoSummarizer::new(
+            PipelineConfig::default().with_approximation(Approximation::kds_default()),
+        );
+        let s = vs.run(&frames).unwrap();
+        assert!(!s.panoramas.is_empty());
+    }
+
+    #[test]
+    fn sm_matching_still_stitches_smooth_input() {
+        let frames = quick_input2(8);
+        let vs = VideoSummarizer::new(
+            PipelineConfig::default().with_approximation(Approximation::sm_default()),
+        );
+        let s = vs.run(&frames).unwrap();
+        assert!(!s.panoramas.is_empty());
+        assert!(s.stats.homographies >= 4);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_summary() {
+        let vs = VideoSummarizer::new(PipelineConfig::default());
+        let s = vs.run(&[]).unwrap();
+        assert!(s.panoramas.is_empty());
+        assert_eq!(s.stats.segments, 0);
+    }
+
+    #[test]
+    fn single_frame_becomes_its_own_panorama() {
+        let frames = quick_input2(1);
+        let vs = VideoSummarizer::new(PipelineConfig::default());
+        let s = vs.run(&frames).unwrap();
+        assert_eq!(s.panoramas.len(), 1);
+        // Canvas bounds are ceil+1, so the pano may carry one border
+        // column/row of replicate bleed.
+        assert!((96..=97).contains(&s.panoramas[0].width()));
+        assert_eq!(s.stats.segments, 1);
+    }
+
+    #[test]
+    fn unrelated_frames_break_into_segments() {
+        // Two unrelated scenes: matching across the cut must fail and the
+        // pipeline must produce two mini-panoramas.
+        let mut frames = quick_input2(4);
+        frames.extend(quick_input1(4));
+        let cfg = PipelineConfig {
+            max_discard_streak: 0,
+            ..PipelineConfig::default()
+        };
+        let s = VideoSummarizer::new(cfg).run(&frames).unwrap();
+        assert!(
+            s.stats.segments >= 2,
+            "expected a segment break at the scene cut: {:?}",
+            s.stats
+        );
+    }
+
+    #[test]
+    fn compositing_options_are_honored() {
+        use vs_warp::{BlendMode, CompositeOptions};
+        let frames = quick_input2(8);
+        let default_out = VideoSummarizer::new(PipelineConfig::default())
+            .run(&frames)
+            .unwrap();
+        let feather_cfg = PipelineConfig::default().with_compositing(CompositeOptions {
+            blend: BlendMode::Feather,
+            gain_compensation: true,
+        });
+        let feather_out = VideoSummarizer::new(feather_cfg).run(&frames).unwrap();
+        assert_eq!(
+            default_out.stats, feather_out.stats,
+            "compositing must not change alignment decisions"
+        );
+        assert_ne!(
+            default_out.panoramas, feather_out.panoramas,
+            "feather blending must change overlap pixels"
+        );
+    }
+
+    #[test]
+    fn stats_accounting_is_consistent() {
+        let frames = quick_input2(10);
+        let vs = VideoSummarizer::new(PipelineConfig::default());
+        let s = vs.run(&frames).unwrap();
+        let accounted = s.stats.frames_dropped_by_input
+            + s.stats.frames_discarded
+            + s.stats.homographies
+            + s.stats.affine_fallbacks
+            + s.stats.segments; // each segment has one anchor frame
+        assert_eq!(accounted, s.stats.frames_in, "stats must partition frames: {:?}", s.stats);
+    }
+}

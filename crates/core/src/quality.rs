@@ -1,0 +1,314 @@
+//! The SDC-quality metric of §V-D: Egregiousness Degree (ED).
+//!
+//! Given a golden output image and a faulty one, the metric:
+//!
+//! 1. applies a global corrective transform (here: exhaustive integer-
+//!    translation registration on downsampled luma) so cosmetic
+//!    perspective/placement differences don't count as corruption,
+//! 2. takes the pixel-by-pixel difference and keeps only differences
+//!    greater than 128 (half the 8-bit range) — small color-gradation
+//!    errors are tolerable for a human analyst,
+//! 3. reports `relative_l2_norm = 100 · ‖thresholded diff‖₂ / ‖golden‖₂`.
+//!
+//! The ED is the floor of that percentage; an SDC above 100% gets no ED
+//! and is classified *egregious* (it must be protected).
+
+use vs_image::{downsample_half, GrayImage, RgbImage};
+
+/// Quality assessment of one SDC output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SdcQuality {
+    /// The relative L2 norm, in percent (may exceed 100).
+    pub relative_l2_norm: f64,
+    /// Egregiousness Degree: `floor(relative_l2_norm)` when ≤ 100,
+    /// `None` for egregious SDCs.
+    pub ed: Option<u32>,
+}
+
+impl SdcQuality {
+    /// Whether this SDC is classified egregious (no ED assigned).
+    pub fn is_egregious(&self) -> bool {
+        self.ed.is_none()
+    }
+
+    /// Build from a relative L2 norm percentage.
+    pub fn from_norm(relative_l2_norm: f64) -> Self {
+        let ed = if relative_l2_norm.is_finite() && relative_l2_norm <= 100.0 {
+            Some(relative_l2_norm.max(0.0).floor() as u32)
+        } else {
+            None
+        };
+        SdcQuality {
+            relative_l2_norm,
+            ed,
+        }
+    }
+}
+
+/// The largest-area panorama of a summary — the image the quality metric
+/// compares (a multi-segment summary's dominant coverage output).
+pub fn primary_panorama(panoramas: &[RgbImage]) -> Option<&RgbImage> {
+    panoramas
+        .iter()
+        .max_by_key(|p| (p.width() * p.height(), p.width()))
+}
+
+/// Pad `img` onto a `w`×`h` black canvas at the origin.
+fn pad(img: &GrayImage, w: usize, h: usize) -> GrayImage {
+    GrayImage::from_fn(w, h, |x, y| img.get(x, y).unwrap_or(0))
+}
+
+/// Downsample `levels` times (each halves resolution).
+fn shrink(img: &GrayImage, levels: usize) -> GrayImage {
+    let mut out = img.clone();
+    for _ in 0..levels {
+        if out.width() < 8 || out.height() < 8 {
+            break;
+        }
+        out = downsample_half(&out);
+    }
+    out
+}
+
+/// Find the integer shift `(dx, dy)` minimizing the sum of absolute
+/// differences between `a` and `b` shifted, searching ±`radius` on a
+/// downsampled grid. Returns the shift in full-resolution pixels.
+fn best_shift(a: &GrayImage, b: &GrayImage, radius: isize) -> (isize, isize) {
+    const LEVELS: usize = 1; // search on half resolution
+    let sa = shrink(a, LEVELS);
+    let sb = shrink(b, LEVELS);
+    let scale = 1isize << LEVELS.min(31);
+    let cost_at = |dx: isize, dy: isize| -> f64 {
+        let mut cost = 0u64;
+        let mut count = 0u64;
+        for y in 0..sa.height() {
+            for x in 0..sa.width() {
+                let va = sa.get(x, y).unwrap_or(0) as i64;
+                let vb = sb.get_clamped(x as isize + dx, y as isize + dy) as i64;
+                cost += (va - vb).unsigned_abs();
+                count += 1;
+            }
+        }
+        if count == 0 {
+            0.0
+        } else {
+            cost as f64 / count as f64
+        }
+    };
+    let zero_cost = cost_at(0, 0);
+    let mut best = (0isize, 0isize);
+    let mut best_cost = zero_cost;
+    for dy in -radius..=radius {
+        for dx in -radius..=radius {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let c = cost_at(dx, dy);
+            if c < best_cost {
+                best_cost = c;
+                best = (dx, dy);
+            }
+        }
+    }
+    // Registration is corrective, not cosmetic: only accept a non-zero
+    // shift when it clearly beats the unshifted comparison — otherwise
+    // estimation noise would inject spurious misalignment.
+    if best_cost < zero_cost * 0.9 {
+        (best.0 * scale, best.1 * scale)
+    } else {
+        (0, 0)
+    }
+}
+
+/// Compute the §V-D quality metric between a golden image and a faulty
+/// image.
+///
+/// Handles size mismatches by padding both onto a common canvas, and
+/// placement differences with translation registration (the "global
+/// transformations" corrective step).
+pub fn sdc_quality(golden: &RgbImage, faulty: &RgbImage) -> SdcQuality {
+    let w = golden.width().max(faulty.width());
+    let h = golden.height().max(faulty.height());
+    if w == 0 || h == 0 {
+        return SdcQuality::from_norm(0.0);
+    }
+    let g = pad(&golden.to_gray(), w, h);
+    let f = pad(&faulty.to_gray(), w, h);
+
+    let (dx, dy) = best_shift(&g, &f, 6);
+
+    // Thresholded difference: keep |g - f| > 128 only.
+    let mut diff_sq_sum = 0.0f64;
+    let mut golden_sq_sum = 0.0f64;
+    for y in 0..h {
+        for x in 0..w {
+            let gv = g.get(x, y).unwrap_or(0) as f64;
+            let fv = f.get_clamped(x as isize + dx, y as isize + dy) as f64;
+            let d = (gv - fv).abs();
+            if d > 128.0 {
+                diff_sq_sum += d * d;
+            }
+            golden_sq_sum += gv * gv;
+        }
+    }
+    if golden_sq_sum <= 0.0 {
+        // A black golden image: any difference is egregious.
+        return SdcQuality::from_norm(if diff_sq_sum > 0.0 { f64::INFINITY } else { 0.0 });
+    }
+    SdcQuality::from_norm(100.0 * (diff_sq_sum.sqrt() / golden_sq_sum.sqrt()))
+}
+
+/// Quality of a faulty *summary* against a golden one: compares primary
+/// panoramas; a missing output is egregious by definition.
+pub fn summary_quality(golden: &[RgbImage], faulty: &[RgbImage]) -> SdcQuality {
+    match (primary_panorama(golden), primary_panorama(faulty)) {
+        (Some(g), Some(f)) => sdc_quality(g, f),
+        (None, None) => SdcQuality::from_norm(0.0),
+        _ => SdcQuality::from_norm(f64::INFINITY),
+    }
+}
+
+/// Cumulative ED distribution (one Fig 12 curve): for each `ed` in
+/// `0..=max_ed`, the percentage of SDCs with an ED ≤ `ed`. Egregious
+/// SDCs never enter the numerator, so curves need not reach 100%.
+pub fn ed_cdf(qualities: &[SdcQuality], max_ed: u32) -> Vec<(u32, f64)> {
+    let n = qualities.len();
+    (0..=max_ed)
+        .map(|ed| {
+            if n == 0 {
+                return (ed, 0.0);
+            }
+            let within = qualities
+                .iter()
+                .filter(|q| q.ed.is_some_and(|e| e <= ed))
+                .count();
+            (ed, 100.0 * within as f64 / n as f64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(seed: u64, w: usize, h: usize) -> RgbImage {
+        RgbImage::from_fn(w, h, |x, y| {
+            let v = (vs_fault::mix64(seed ^ ((y * w + x) as u64)) % 200) as u8 + 30;
+            [v, v, v]
+        })
+    }
+
+    #[test]
+    fn identical_images_have_zero_norm() {
+        let img = textured(1, 64, 48);
+        let q = sdc_quality(&img, &img);
+        assert_eq!(q.relative_l2_norm, 0.0);
+        assert_eq!(q.ed, Some(0));
+        assert!(!q.is_egregious());
+    }
+
+    #[test]
+    fn small_pixel_perturbations_are_tolerated() {
+        // Differences under the 128 threshold contribute nothing.
+        let a = textured(2, 64, 48);
+        let b = RgbImage::from_fn(64, 48, |x, y| {
+            let p = a.get(x, y).unwrap();
+            [p[0].saturating_add(40), p[1].saturating_add(40), p[2].saturating_add(40)]
+        });
+        let q = sdc_quality(&a, &b);
+        assert_eq!(q.ed, Some(0), "sub-threshold changes must be free: {q:?}");
+    }
+
+    #[test]
+    fn corrupted_region_raises_ed() {
+        let a = textured(3, 64, 64);
+        let mut b = a.clone();
+        // Blacken vs saturate a block — strong local corruption.
+        for y in 10..30 {
+            for x in 10..40 {
+                let p = a.get(x, y).unwrap();
+                b.set(x, y, [255 - p[0], 255, 255]);
+            }
+        }
+        let q = sdc_quality(&a, &b);
+        assert!(q.relative_l2_norm > 3.0, "corruption invisible: {q:?}");
+    }
+
+    #[test]
+    fn translation_is_corrected_by_registration() {
+        // The same content shifted by 4 pixels: after alignment the norm
+        // must be far below the unaligned norm.
+        let a = textured(5, 96, 96);
+        let shifted = RgbImage::from_fn(96, 96, |x, y| {
+            a.get_clamped(x as isize - 4, y as isize - 4)
+        });
+        let q = sdc_quality(&a, &shifted);
+        // Without registration nearly every pixel of this hash texture
+        // would differ by >128 somewhere; with it the norm stays small.
+        assert!(
+            q.relative_l2_norm < 30.0,
+            "registration failed: {:?}",
+            q
+        );
+    }
+
+    #[test]
+    fn size_mismatch_is_handled_by_padding() {
+        let a = textured(6, 80, 60);
+        let b = a.crop(0, 0, 60, 60).unwrap();
+        let q = sdc_quality(&a, &b);
+        assert!(q.relative_l2_norm > 0.0, "missing content must cost: {q:?}");
+    }
+
+    #[test]
+    fn from_norm_classifies_egregious() {
+        assert_eq!(SdcQuality::from_norm(10.25).ed, Some(10));
+        assert_eq!(SdcQuality::from_norm(99.99).ed, Some(99));
+        assert!(SdcQuality::from_norm(100.5).is_egregious());
+        assert!(SdcQuality::from_norm(f64::INFINITY).is_egregious());
+        assert_eq!(SdcQuality::from_norm(0.0).ed, Some(0));
+    }
+
+    #[test]
+    fn primary_panorama_picks_largest() {
+        let small = textured(7, 10, 10);
+        let big = textured(8, 50, 20);
+        let panos = vec![small.clone(), big.clone()];
+        assert_eq!(primary_panorama(&panos), Some(&big));
+        assert_eq!(primary_panorama(&[]), None);
+    }
+
+    #[test]
+    fn summary_quality_handles_missing_outputs() {
+        let g = vec![textured(9, 30, 30)];
+        assert!(summary_quality(&g, &[]).is_egregious());
+        assert!(!summary_quality(&[], &[]).is_egregious());
+        assert_eq!(summary_quality(&g, &g).ed, Some(0));
+    }
+
+    #[test]
+    fn ed_cdf_is_monotone_and_bounded() {
+        let qualities = vec![
+            SdcQuality::from_norm(0.5),
+            SdcQuality::from_norm(3.7),
+            SdcQuality::from_norm(12.0),
+            SdcQuality::from_norm(250.0), // egregious
+        ];
+        let cdf = ed_cdf(&qualities, 20);
+        assert_eq!(cdf.len(), 21);
+        let mut prev = -1.0;
+        for &(_, pct) in &cdf {
+            assert!(pct >= prev);
+            prev = pct;
+        }
+        // 3 of 4 have an ED <= 20; the egregious one never counts.
+        assert_eq!(cdf.last().unwrap().1, 75.0);
+        assert_eq!(cdf[0].1, 25.0);
+    }
+
+    #[test]
+    fn ed_cdf_of_empty_is_zero() {
+        let cdf = ed_cdf(&[], 5);
+        assert!(cdf.iter().all(|&(_, p)| p == 0.0));
+    }
+}

@@ -1,0 +1,204 @@
+//! Connected-component extraction over binary motion masks.
+
+use vs_fault::{tap, FuncId, OpClass, SimError};
+use vs_image::GrayImage;
+use vs_linalg::Vec2;
+
+/// A connected region of motion pixels.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Blob {
+    /// Number of pixels.
+    pub area: usize,
+    /// Centroid in mask coordinates.
+    pub centroid: Vec2,
+    /// Bounding box `(min_x, min_y, max_x, max_y)`, inclusive.
+    pub bbox: (usize, usize, usize, usize),
+}
+
+impl Blob {
+    /// Bounding-box width.
+    pub fn width(&self) -> usize {
+        self.bbox.2 - self.bbox.0 + 1
+    }
+
+    /// Bounding-box height.
+    pub fn height(&self) -> usize {
+        self.bbox.3 - self.bbox.1 + 1
+    }
+}
+
+/// Extract 4-connected components of non-zero pixels, keeping those with
+/// at least `min_area` pixels. Blobs are returned largest-first.
+///
+/// # Errors
+///
+/// Propagates hang-budget exhaustion from the instrumented scan.
+pub fn connected_components(mask: &GrayImage, min_area: usize) -> Result<Vec<Blob>, SimError> {
+    let _f = tap::scope(FuncId::DetectMotion);
+    let w = mask.width();
+    let h = mask.height();
+    let mut visited = vec![false; w * h];
+    let mut blobs = Vec::new();
+    let mut stack = Vec::new();
+    for y0 in 0..h {
+        tap::work(OpClass::Mem, w as u64)?;
+        tap::work(OpClass::Control, w as u64)?;
+        for x0 in 0..w {
+            let idx0 = y0 * w + x0;
+            if visited[idx0] || mask.get(x0, y0) == Some(0) {
+                continue;
+            }
+            // Flood fill.
+            let mut area = 0usize;
+            let mut sum = Vec2::ZERO;
+            let mut bbox = (x0, y0, x0, y0);
+            stack.clear();
+            stack.push((x0, y0));
+            visited[idx0] = true;
+            while let Some((x, y)) = stack.pop() {
+                tap::work(OpClass::IntAlu, 8)?;
+                area += 1;
+                sum = sum + Vec2::new(x as f64, y as f64);
+                bbox.0 = bbox.0.min(x);
+                bbox.1 = bbox.1.min(y);
+                bbox.2 = bbox.2.max(x);
+                bbox.3 = bbox.3.max(y);
+                let neighbours = [
+                    (x.wrapping_sub(1), y),
+                    (x + 1, y),
+                    (x, y.wrapping_sub(1)),
+                    (x, y + 1),
+                ];
+                for (nx, ny) in neighbours {
+                    if nx < w && ny < h {
+                        let nidx = ny * w + nx;
+                        if !visited[nidx] && mask.get(nx, ny) != Some(0) {
+                            visited[nidx] = true;
+                            stack.push((nx, ny));
+                        }
+                    }
+                }
+            }
+            if area >= min_area {
+                blobs.push(Blob {
+                    area,
+                    centroid: sum * (1.0 / area as f64),
+                    bbox,
+                });
+            }
+        }
+    }
+    blobs.sort_by(|a, b| {
+        b.area
+            .cmp(&a.area)
+            .then_with(|| (a.bbox.1, a.bbox.0).cmp(&(b.bbox.1, b.bbox.0)))
+    });
+    Ok(blobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_image::fill_rect_gray;
+
+    #[test]
+    fn empty_mask_has_no_blobs() {
+        let mask = GrayImage::new(16, 16);
+        assert!(connected_components(&mask, 1).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_rectangle_is_one_blob() {
+        let mut mask = GrayImage::new(32, 32);
+        fill_rect_gray(&mut mask, 5, 8, 6, 4, 255);
+        let blobs = connected_components(&mask, 1).unwrap();
+        assert_eq!(blobs.len(), 1);
+        let b = blobs[0];
+        assert_eq!(b.area, 24);
+        assert_eq!(b.bbox, (5, 8, 10, 11));
+        assert!((b.centroid.x - 7.5).abs() < 1e-9);
+        assert!((b.centroid.y - 9.5).abs() < 1e-9);
+        assert_eq!(b.width(), 6);
+        assert_eq!(b.height(), 4);
+    }
+
+    #[test]
+    fn separate_regions_are_separate_blobs() {
+        let mut mask = GrayImage::new(32, 32);
+        fill_rect_gray(&mut mask, 2, 2, 4, 4, 255);
+        fill_rect_gray(&mut mask, 20, 20, 8, 3, 255);
+        let blobs = connected_components(&mask, 1).unwrap();
+        assert_eq!(blobs.len(), 2);
+        // Largest first.
+        assert_eq!(blobs[0].area, 24);
+        assert_eq!(blobs[1].area, 16);
+    }
+
+    #[test]
+    fn diagonal_touch_is_not_connected() {
+        // 4-connectivity: two pixels touching only at a corner are two
+        // blobs.
+        let mut mask = GrayImage::new(8, 8);
+        mask.set(2, 2, 255);
+        mask.set(3, 3, 255);
+        assert_eq!(connected_components(&mask, 1).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn min_area_filters_small_blobs() {
+        let mut mask = GrayImage::new(16, 16);
+        mask.set(1, 1, 255); // area 1
+        fill_rect_gray(&mut mask, 8, 8, 3, 3, 255); // area 9
+        let blobs = connected_components(&mask, 4).unwrap();
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0].area, 9);
+    }
+
+    #[test]
+    fn l_shaped_region_is_one_blob() {
+        let mut mask = GrayImage::new(16, 16);
+        fill_rect_gray(&mut mask, 2, 2, 6, 2, 255);
+        fill_rect_gray(&mut mask, 2, 4, 2, 5, 255);
+        let blobs = connected_components(&mask, 1).unwrap();
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0].area, 12 + 10);
+    }
+
+    #[test]
+    fn full_mask_is_one_blob() {
+        let mask = GrayImage::from_fn(10, 10, |_, _| 255);
+        let blobs = connected_components(&mask, 1).unwrap();
+        assert_eq!(blobs.len(), 1);
+        assert_eq!(blobs[0].area, 100);
+        assert_eq!(blobs[0].bbox, (0, 0, 9, 9));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Blob areas always sum to the number of set pixels when no
+        /// area filter is applied, and every blob's centroid lies inside
+        /// its bounding box.
+        #[test]
+        fn blob_invariants(pixels in proptest::collection::vec(any::<bool>(), 144)) {
+            let mask = GrayImage::from_fn(12, 12, |x, y| {
+                if pixels[y * 12 + x] { 255 } else { 0 }
+            });
+            let blobs = connected_components(&mask, 1).unwrap();
+            let total: usize = blobs.iter().map(|b| b.area).sum();
+            let set = pixels.iter().filter(|&&p| p).count();
+            prop_assert_eq!(total, set);
+            for b in &blobs {
+                prop_assert!(b.centroid.x >= b.bbox.0 as f64 - 1e-9);
+                prop_assert!(b.centroid.x <= b.bbox.2 as f64 + 1e-9);
+                prop_assert!(b.centroid.y >= b.bbox.1 as f64 - 1e-9);
+                prop_assert!(b.centroid.y <= b.bbox.3 as f64 + 1e-9);
+                prop_assert!(b.area <= b.width() * b.height());
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Event summarization: moving-object detection and tracking.
+//!
+//! The paper's workflow (Fig 2) has two branches: *coverage
+//! summarization* (the panorama pipeline the paper evaluates) and *event
+//! summarization* — "detection, recognition and tracking of moving
+//! objects such as vehicles and pedestrians", whose tracks are finally
+//! overlaid on the panorama. This crate implements that second branch as
+//! an extension:
+//!
+//! * [`motion::detect_motion`] — aligned frame differencing with
+//!   morphological cleanup,
+//! * [`blobs::connected_components`] — blob extraction with area
+//!   filtering,
+//! * [`track::Tracker`] — nearest-neighbour track association in the
+//!   shared (anchor) coordinate frame,
+//! * [`overlay::draw_tracks`] — track polylines burned into a panorama.
+//!
+//! Detection operates in the *previous frame's* coordinates: the current
+//! frame is warped by the inter-frame homography the coverage branch
+//! already computed, so the two branches share their most expensive
+//! intermediate — exactly the integration the paper describes.
+//!
+//! # Example
+//!
+//! ```
+//! use vs_events::track::{Tracker, TrackerConfig};
+//! use vs_linalg::Vec2;
+//!
+//! let mut tracker = Tracker::new(TrackerConfig::default());
+//! // A detection moving right by 5px per frame becomes one track.
+//! for frame in 0..5 {
+//!     tracker.observe(frame, &[Vec2::new(10.0 + 5.0 * frame as f64, 20.0)]);
+//! }
+//! let tracks = tracker.into_tracks();
+//! assert_eq!(tracks.len(), 1);
+//! assert_eq!(tracks[0].points.len(), 5);
+//! ```
+
+pub mod blobs;
+pub mod motion;
+pub mod overlay;
+pub mod track;
+
+pub use blobs::Blob;
+pub use motion::MotionConfig;
+pub use track::{Track, Tracker, TrackerConfig};

@@ -1,0 +1,227 @@
+//! Aligned frame differencing.
+//!
+//! The background (terrain) is stationary in world coordinates, so after
+//! warping the current frame into the previous frame's coordinates with
+//! the stitching homography, any remaining large luma difference is a
+//! moving object (or noise, removed by the erosion pass).
+
+use vs_fault::{tap, FuncId, OpClass, SimError};
+use vs_image::{GrayImage, RgbImage};
+use vs_linalg::Mat3;
+use vs_warp::warp_perspective;
+
+/// Motion-detection parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotionConfig {
+    /// Minimum absolute luma difference to count as motion.
+    pub threshold: u8,
+    /// Erosion passes applied to the binary mask (suppresses
+    /// registration noise along strong edges).
+    pub erosion_passes: usize,
+    /// Dilation passes applied after erosion (morphological opening:
+    /// restores the extent of blobs that survived the erosion).
+    pub dilation_passes: usize,
+}
+
+impl Default for MotionConfig {
+    fn default() -> Self {
+        MotionConfig {
+            threshold: 45,
+            erosion_passes: 1,
+            dilation_passes: 2,
+        }
+    }
+}
+
+/// One 3×3 binary erosion with a cross-shaped structuring element.
+fn erode(mask: &GrayImage) -> GrayImage {
+    GrayImage::from_fn(mask.width(), mask.height(), |x, y| {
+        let on = |dx: isize, dy: isize| mask.get_clamped(x as isize + dx, y as isize + dy) != 0;
+        if on(0, 0) && on(-1, 0) && on(1, 0) && on(0, -1) && on(0, 1) {
+            255
+        } else {
+            0
+        }
+    })
+}
+
+/// One 3×3 binary dilation with a cross-shaped structuring element.
+fn dilate(mask: &GrayImage) -> GrayImage {
+    GrayImage::from_fn(mask.width(), mask.height(), |x, y| {
+        let on = |dx: isize, dy: isize| mask.get_clamped(x as isize + dx, y as isize + dy) != 0;
+        if on(0, 0) || on(-1, 0) || on(1, 0) || on(0, -1) || on(0, 1) {
+            255
+        } else {
+            0
+        }
+    })
+}
+
+/// Detect motion between two frames related by `h_cur_to_prev`.
+///
+/// Returns a binary mask in the *previous* frame's coordinates: 255
+/// where the aligned frames disagree by more than the threshold. Border
+/// pixels without warp coverage are never flagged.
+///
+/// # Errors
+///
+/// Propagates simulated faults from the (instrumented) warp and from the
+/// differencing loop.
+pub fn detect_motion(
+    prev: &RgbImage,
+    cur: &RgbImage,
+    h_cur_to_prev: &Mat3,
+    config: &MotionConfig,
+) -> Result<GrayImage, SimError> {
+    let (aligned, coverage) =
+        warp_perspective(cur, h_cur_to_prev, prev.width(), prev.height())?;
+    let _f = tap::scope(FuncId::DetectMotion);
+    let prev_gray = prev.to_gray();
+    let aligned_gray = aligned.to_gray();
+    let w = prev.width();
+    let h = prev.height();
+    let mut mask = GrayImage::new(w, h);
+    let threshold = tap::gpr(config.threshold as u64) as i64;
+    for y in 0..h {
+        tap::work(OpClass::Mem, 3 * w as u64)?;
+        tap::work(OpClass::IntAlu, 3 * w as u64)?;
+        tap::work(OpClass::Control, w as u64)?;
+        for x in 0..w {
+            if coverage.get(x, y) != Some(255) {
+                continue;
+            }
+            let a = prev_gray.get(x, y).unwrap_or(0) as i64;
+            let b = aligned_gray.get(x, y).unwrap_or(0) as i64;
+            if (a - b).abs() > threshold {
+                mask.set(x, y, 255);
+            }
+        }
+    }
+    let mut out = mask;
+    for _ in 0..config.erosion_passes {
+        tap::work(OpClass::IntAlu, (w * h) as u64)?;
+        out = erode(&out);
+    }
+    for _ in 0..config.dilation_passes {
+        tap::work(OpClass::IntAlu, (w * h) as u64)?;
+        out = dilate(&out);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn textured(seed: u64) -> RgbImage {
+        RgbImage::from_fn(64, 48, |x, y| {
+            let v = (vs_fault::mix64(seed ^ ((y * 64 + x) as u64)) % 120) as u8 + 60;
+            [v, v, v]
+        })
+    }
+
+    #[test]
+    fn identical_frames_have_no_motion() {
+        let f = textured(1);
+        let m = detect_motion(&f, &f, &Mat3::IDENTITY, &MotionConfig::default()).unwrap();
+        assert!(m.as_bytes().iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn moving_block_is_detected() {
+        let bg = textured(2);
+        let mut cur = bg.clone();
+        // A bright 10x8 "vehicle".
+        for y in 20..28 {
+            for x in 30..40 {
+                cur.set(x, y, [250, 250, 250]);
+            }
+        }
+        let m = detect_motion(&bg, &cur, &Mat3::IDENTITY, &MotionConfig::default()).unwrap();
+        let hits = m.as_bytes().iter().filter(|&&v| v != 0).count();
+        assert!(hits >= 30, "vehicle not detected ({hits} pixels)");
+        assert_eq!(m.get(35, 24), Some(255), "vehicle centre must be flagged");
+        assert_eq!(m.get(5, 5), Some(0), "static background flagged");
+    }
+
+    #[test]
+    fn camera_translation_is_compensated() {
+        // The same scene viewed 6px to the right: with the correct
+        // homography there is (almost) no residual motion.
+        let world = RgbImage::from_fn(96, 64, |x, y| {
+            let v = (vs_fault::mix64(9 ^ ((y * 96 + x) as u64)) % 100) as u8 + 80;
+            [v, v, v]
+        });
+        let prev = world.crop(0, 0, 80, 60).unwrap();
+        let cur = world.crop(6, 0, 80, 60).unwrap();
+        // cur pixel (x,y) = world (x+6,y) = prev (x+6,y): cur->prev is a
+        // translation by +6.
+        let h = Mat3::translation(6.0, 0.0);
+        let m = detect_motion(&prev, &cur, &h, &MotionConfig::default()).unwrap();
+        let hits = m.as_bytes().iter().filter(|&&v| v != 0).count();
+        assert!(
+            hits < 40,
+            "compensated background produced {hits} motion pixels"
+        );
+    }
+
+    #[test]
+    fn erosion_removes_speckle() {
+        let bg = textured(3);
+        let mut cur = bg.clone();
+        // Single-pixel impulses (noise) and one solid block.
+        cur.set(5, 5, [255, 255, 255]);
+        cur.set(50, 10, [255, 255, 255]);
+        for y in 30..40 {
+            for x in 10..22 {
+                cur.set(x, y, [255, 255, 255]);
+            }
+        }
+        let cfg = MotionConfig {
+            erosion_passes: 1,
+            dilation_passes: 0,
+            ..MotionConfig::default()
+        };
+        let m = detect_motion(&bg, &cur, &Mat3::IDENTITY, &cfg).unwrap();
+        assert_eq!(m.get(5, 5), Some(0), "speckle survived erosion");
+        assert_eq!(m.get(50, 10), Some(0), "speckle survived erosion");
+        assert_eq!(m.get(15, 34), Some(255), "solid block eroded away");
+    }
+
+    #[test]
+    fn higher_threshold_finds_less_motion() {
+        let bg = textured(4);
+        let mut cur = bg.clone();
+        for y in 10..20 {
+            for x in 10..20 {
+                let p = bg.get(x, y).unwrap();
+                cur.set(x, y, [p[0].saturating_add(60); 3]);
+            }
+        }
+        let low = detect_motion(
+            &bg,
+            &cur,
+            &Mat3::IDENTITY,
+            &MotionConfig {
+                threshold: 30,
+                erosion_passes: 0,
+                dilation_passes: 0,
+            },
+        )
+        .unwrap();
+        let high = detect_motion(
+            &bg,
+            &cur,
+            &Mat3::IDENTITY,
+            &MotionConfig {
+                threshold: 100,
+                erosion_passes: 0,
+                dilation_passes: 0,
+            },
+        )
+        .unwrap();
+        let count = |m: &GrayImage| m.as_bytes().iter().filter(|&&v| v != 0).count();
+        assert!(count(&high) < count(&low));
+        assert!(count(&low) > 0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Track overlay: burn object tracks into a panorama — the paper's
+//! "integrated" summarization ("overlaying the tracks of moving objects
+//! on the panorama to create a comprehensive and concise summarization").
+
+use crate::track::Track;
+use vs_image::RgbImage;
+use vs_linalg::Vec2;
+
+/// Colour cycle for track polylines.
+const COLORS: [[u8; 3]; 6] = [
+    [255, 60, 60],
+    [60, 220, 60],
+    [90, 120, 255],
+    [250, 220, 60],
+    [240, 90, 240],
+    [80, 230, 230],
+];
+
+/// Draw a thick line segment on an RGB image, clipped to bounds.
+fn draw_segment(img: &mut RgbImage, a: Vec2, b: Vec2, color: [u8; 3]) {
+    let steps = a.distance(b).ceil().max(1.0) as usize;
+    for s in 0..=steps {
+        let t = s as f64 / steps as f64;
+        let p = a + (b - a) * t;
+        for dy in -1i64..=1 {
+            for dx in -1i64..=1 {
+                let x = p.x.round() as i64 + dx;
+                let y = p.y.round() as i64 + dy;
+                if x >= 0 && y >= 0 {
+                    img.set(x as usize, y as usize, color);
+                }
+            }
+        }
+    }
+}
+
+/// Draw every track onto `panorama`. Track coordinates are in the
+/// anchor (world) frame; `origin` is the world coordinate of the
+/// panorama's pixel `(0, 0)` — pass `Canvas::origin()`.
+pub fn draw_tracks(panorama: &mut RgbImage, tracks: &[Track], origin: Vec2) {
+    for track in tracks {
+        let color = COLORS[track.id % COLORS.len()];
+        let pts: Vec<Vec2> = track.points.iter().map(|&(_, p)| p - origin).collect();
+        for pair in pts.windows(2) {
+            draw_segment(panorama, pair[0], pair[1], color);
+        }
+        // Mark the final position with a heavier dot.
+        if let Some(&last) = pts.last() {
+            for dy in -2i64..=2 {
+                for dx in -2i64..=2 {
+                    let x = last.x.round() as i64 + dx;
+                    let y = last.y.round() as i64 + dy;
+                    if x >= 0 && y >= 0 {
+                        panorama.set(x as usize, y as usize, color);
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn track(id: usize, pts: &[(f64, f64)]) -> Track {
+        Track {
+            id,
+            points: pts
+                .iter()
+                .enumerate()
+                .map(|(f, &(x, y))| (f, Vec2::new(x, y)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn tracks_are_drawn_along_their_path() {
+        let mut img = RgbImage::new(64, 64);
+        let t = track(0, &[(10.0, 10.0), (50.0, 10.0)]);
+        draw_tracks(&mut img, &[t], Vec2::ZERO);
+        // Midpoint of the segment must be coloured.
+        assert_ne!(img.get(30, 10), Some([0, 0, 0]));
+        // Far corner untouched.
+        assert_eq!(img.get(60, 60), Some([0, 0, 0]));
+    }
+
+    #[test]
+    fn origin_offset_shifts_drawing() {
+        let mut img = RgbImage::new(32, 32);
+        let t = track(0, &[(100.0, 100.0), (110.0, 100.0)]);
+        draw_tracks(&mut img, &[t], Vec2::new(95.0, 95.0));
+        assert_ne!(img.get(10, 5), Some([0, 0, 0]), "shifted track missing");
+    }
+
+    #[test]
+    fn off_image_tracks_do_not_panic() {
+        let mut img = RgbImage::new(16, 16);
+        let t = track(3, &[(-50.0, -50.0), (200.0, 300.0)]);
+        draw_tracks(&mut img, &[t], Vec2::ZERO);
+    }
+
+    #[test]
+    fn distinct_ids_use_distinct_colors() {
+        let mut img = RgbImage::new(64, 64);
+        draw_tracks(
+            &mut img,
+            &[
+                track(0, &[(5.0, 5.0), (20.0, 5.0)]),
+                track(1, &[(5.0, 30.0), (20.0, 30.0)]),
+            ],
+            Vec2::ZERO,
+        );
+        let c0 = img.get(10, 5).unwrap();
+        let c1 = img.get(10, 30).unwrap();
+        assert_ne!(c0, c1);
+    }
+}

@@ -1,0 +1,524 @@
+//! Statistical fault-injection campaigns.
+//!
+//! A campaign reproduces the paper's methodology end to end:
+//!
+//! 1. [`profile_golden`] runs the workload once with counting enabled,
+//!    recording the error-free output (the *golden output*) and the number
+//!    of dynamic taps — the population of candidate error sites.
+//! 2. [`run_campaign`] performs N independent runs. Each draws a uniformly
+//!    random `(tap index, bit)` fault in the chosen register class, runs
+//!    the workload with that fault armed, and classifies the outcome as
+//!    Mask, SDC, Crash (segfault or abort) or Hang — the paper's four
+//!    outcomes, with its crash-cause split.
+//!
+//! Runs are independent and execute in parallel across threads; all
+//! randomness derives from the campaign seed, so results are reproducible
+//! bit for bit regardless of thread count.
+
+use crate::error::SimError;
+use crate::func::FuncMask;
+use crate::session::{self, InstrCounts};
+use crate::spec::{FaultSpec, FiredFault, RegClass, REG_BITS};
+use crate::{mix64, state};
+use std::fmt;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Mutex, OnceLock};
+
+/// A fault-injectable program under study.
+///
+/// `run` must be deterministic in the absence of faults (seed all internal
+/// randomness) — Mask/SDC classification compares outputs for equality.
+/// It is invoked concurrently from several threads, one run per armed
+/// fault, and must route its architecturally meaningful values through the
+/// [`crate::tap`] functions to be injectable.
+pub trait Workload: Sync {
+    /// The program's observable output (e.g. the panorama image). The
+    /// golden output is shared by reference across campaign worker
+    /// threads, hence `Sync`.
+    type Output: PartialEq + Send + Sync + 'static;
+
+    /// Execute the program once.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] when (possibly corrupted) state violates a
+    /// machine- or library-level invariant: these become Crash and Hang
+    /// outcomes.
+    fn run(&self) -> Result<Self::Output, SimError>;
+}
+
+/// Dynamic-tap population and instruction counts of a golden run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapProfile {
+    /// Total integer taps.
+    pub gpr_taps: u64,
+    /// Total float taps.
+    pub fpr_taps: u64,
+    /// Integer taps within the eligible-function mask.
+    pub eligible_gpr: u64,
+    /// Float taps within the eligible-function mask.
+    pub eligible_fpr: u64,
+    /// Eligible GPR taps per `(function, op-class)` site group (see
+    /// [`crate::session::group_index`]).
+    pub gpr_groups: [u64; crate::NUM_FUNCS * crate::NUM_CLASSES],
+    /// Instruction accounting of the golden run.
+    pub instr: InstrCounts,
+}
+
+impl TapProfile {
+    /// Candidate error sites for a register class (eligible taps).
+    pub fn sites(&self, class: RegClass) -> u64 {
+        match class {
+            RegClass::Gpr => self.eligible_gpr,
+            RegClass::Fpr => self.eligible_fpr,
+        }
+    }
+}
+
+/// Golden (error-free) run artifacts: reference output plus tap profile.
+#[derive(Debug, Clone)]
+pub struct GoldenRun<O> {
+    /// The error-free output every injected run is compared against.
+    pub output: O,
+    /// Tap population and instruction counts.
+    pub profile: TapProfile,
+    /// Function mask the profile was taken under (campaigns reuse it).
+    pub mask: FuncMask,
+}
+
+/// Profile the golden run with all functions eligible.
+///
+/// # Errors
+///
+/// Propagates a [`SimError`] if the supposedly error-free workload fails,
+/// which indicates a workload bug.
+pub fn profile_golden<W: Workload>(workload: &W) -> Result<GoldenRun<W::Output>, SimError> {
+    profile_golden_masked(workload, FuncMask::all())
+}
+
+/// Profile the golden run with fault eligibility confined to `mask`
+/// (used by the hot-function case study of Fig 11b).
+///
+/// # Errors
+///
+/// Propagates a [`SimError`] if the workload fails without a fault.
+pub fn profile_golden_masked<W: Workload>(
+    workload: &W,
+    mask: FuncMask,
+) -> Result<GoldenRun<W::Output>, SimError> {
+    let guard = session::begin_profile();
+    state::with(|s| s.mask_bits.set(mask.bits()));
+    let output = workload.run()?;
+    let report = session::report();
+    drop(guard);
+    Ok(GoldenRun {
+        output,
+        profile: TapProfile {
+            gpr_taps: report.gpr_taps,
+            fpr_taps: report.fpr_taps,
+            eligible_gpr: report.eligible_gpr,
+            eligible_fpr: report.eligible_fpr,
+            gpr_groups: report.gpr_groups,
+            instr: report.instr,
+        },
+        mask,
+    })
+}
+
+/// Outcome of one injected run — the paper's four classes, with crashes
+/// split by cause.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// Output identical to golden: the error was masked.
+    Masked,
+    /// Output differs from golden: silent data corruption.
+    Sdc,
+    /// Simulated segmentation fault (memory-access violation).
+    CrashSegfault,
+    /// Simulated abort (internal constraint violation).
+    CrashAbort,
+    /// Hang monitor tripped.
+    Hang,
+}
+
+impl Outcome {
+    /// Whether this outcome is a crash of either cause.
+    pub fn is_crash(self) -> bool {
+        matches!(self, Outcome::CrashSegfault | Outcome::CrashAbort)
+    }
+
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Outcome::Masked => "masked",
+            Outcome::Sdc => "sdc",
+            Outcome::CrashSegfault => "crash_segfault",
+            Outcome::CrashAbort => "crash_abort",
+            Outcome::Hang => "hang",
+        }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Record of one injected run.
+#[derive(Debug, Clone)]
+pub struct Injection<O> {
+    /// Position of this run in the campaign (stable across thread counts).
+    pub index: usize,
+    /// The armed fault.
+    pub spec: FaultSpec,
+    /// Where the fault actually landed, if it fired.
+    pub fired: Option<FiredFault>,
+    /// Classified outcome.
+    pub outcome: Outcome,
+    /// The corrupted output, retained for SDC-quality analysis when the
+    /// outcome is [`Outcome::Sdc`] and the campaign keeps outputs.
+    pub sdc_output: Option<O>,
+}
+
+/// Campaign parameters. Construct with [`CampaignConfig::new`] and chain
+/// the builder methods.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    class: RegClass,
+    injections: usize,
+    seed: u64,
+    threads: usize,
+    hang_factor: u64,
+    keep_sdc_outputs: bool,
+}
+
+impl CampaignConfig {
+    /// A campaign of `injections` single-bit flips in `class` registers.
+    pub fn new(class: RegClass, injections: usize) -> Self {
+        CampaignConfig {
+            class,
+            injections,
+            seed: 0,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            hang_factor: 16,
+            keep_sdc_outputs: true,
+        }
+    }
+
+    /// Seed for fault-site sampling (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Worker threads (default: available parallelism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "campaign needs at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Hang budget as a multiple of the golden run's instruction count
+    /// (default 16).
+    pub fn hang_factor(mut self, factor: u64) -> Self {
+        self.hang_factor = factor.max(2);
+        self
+    }
+
+    /// Whether to retain corrupted outputs of SDC runs for quality
+    /// analysis (default true; disable for memory-constrained sweeps).
+    pub fn keep_sdc_outputs(mut self, keep: bool) -> Self {
+        self.keep_sdc_outputs = keep;
+        self
+    }
+
+    /// Register class under test.
+    pub fn class(&self) -> RegClass {
+        self.class
+    }
+
+    /// Number of injections.
+    pub fn injections(&self) -> usize {
+        self.injections
+    }
+}
+
+/// Install (once) a panic hook that silences panics raised inside
+/// injection runs — a corrupted index panicking in a slice access is an
+/// *expected* crash outcome, not test noise.
+fn install_quiet_hook() {
+    static HOOK: OnceLock<()> = OnceLock::new();
+    HOOK.get_or_init(|| {
+        let previous = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            let in_injection = state::with(|s| s.in_injection.get());
+            if !in_injection {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// Draw the fault spec for run `index` of a campaign.
+fn draw_spec(cfg: &CampaignConfig, sites: u64, index: usize) -> FaultSpec {
+    let h = mix64(cfg.seed ^ mix64(index as u64 ^ 0x0121_7ec7_1011));
+    let tap_index = mix64(h ^ 0x07a9_517e) % sites;
+    let bit = (mix64(h ^ 0x0b17_f11b) % REG_BITS as u64) as u8;
+    FaultSpec::new(cfg.class, tap_index, bit)
+}
+
+/// Execute one injected run and classify its outcome.
+fn run_one<W: Workload>(
+    workload: &W,
+    golden: &GoldenRun<W::Output>,
+    spec: FaultSpec,
+    budget: u64,
+    keep_sdc: bool,
+    index: usize,
+) -> Injection<W::Output> {
+    let guard = session::begin_injection(spec, golden.mask, budget);
+    state::with(|s| s.in_injection.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| workload.run()));
+    state::with(|s| s.in_injection.set(false));
+    let fired = session::report().fired;
+    drop(guard);
+    let (outcome, sdc_output) = match result {
+        Err(_) => (Outcome::CrashSegfault, None),
+        Ok(Err(SimError::Segfault)) => (Outcome::CrashSegfault, None),
+        Ok(Err(SimError::Abort)) => (Outcome::CrashAbort, None),
+        Ok(Err(SimError::Hang)) => (Outcome::Hang, None),
+        Ok(Ok(out)) => {
+            if out == golden.output {
+                (Outcome::Masked, None)
+            } else {
+                (Outcome::Sdc, keep_sdc.then_some(out))
+            }
+        }
+    };
+    Injection {
+        index,
+        spec,
+        fired,
+        outcome,
+        sdc_output,
+    }
+}
+
+/// Run a fault-injection campaign against `workload`.
+///
+/// Returns one [`Injection`] record per run, ordered by run index
+/// (deterministic for a given seed, independent of thread count).
+///
+/// # Panics
+///
+/// Panics if the golden profile recorded zero eligible taps for the
+/// campaign's register class — there would be nowhere to inject.
+pub fn run_campaign<W: Workload>(
+    workload: &W,
+    golden: &GoldenRun<W::Output>,
+    cfg: &CampaignConfig,
+) -> Vec<Injection<W::Output>> {
+    let sites = golden.profile.sites(cfg.class);
+    assert!(
+        sites > 0,
+        "no eligible {} taps recorded in the golden profile",
+        cfg.class
+    );
+    install_quiet_hook();
+    let budget = golden
+        .profile
+        .instr
+        .total
+        .saturating_mul(cfg.hang_factor)
+        .saturating_add(1_000_000);
+
+    let n = cfg.injections;
+    let threads = cfg.threads.min(n.max(1));
+    let results: Mutex<Vec<Option<Injection<W::Output>>>> =
+        Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let results = &results;
+            let cfg = cfg.clone();
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut i = t;
+                while i < n {
+                    let spec = draw_spec(&cfg, sites, i);
+                    local.push(run_one(
+                        workload,
+                        golden,
+                        spec,
+                        budget,
+                        cfg.keep_sdc_outputs,
+                        i,
+                    ));
+                    i += threads;
+                }
+                let mut slots = results.lock().expect("campaign result mutex poisoned");
+                for rec in local {
+                    let idx = rec.index;
+                    slots[idx] = Some(rec);
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("campaign result mutex poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every injection slot must be filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::func::{FuncId, OpClass};
+    use crate::tap;
+
+    /// Toy workload with address, control, data and float taps; rich
+    /// enough to produce every outcome class.
+    struct Toy;
+
+    impl Workload for Toy {
+        type Output = (u64, u64);
+
+        fn run(&self) -> Result<(u64, u64), SimError> {
+            let _f = tap::scope(FuncId::Other);
+            let data: Vec<u64> = (0..64).collect();
+            let mut acc = 0u64;
+            let bound = tap::ctl(data.len());
+            let mut i = 0usize;
+            while i < bound {
+                tap::work(OpClass::Control, 1)?;
+                let idx = tap::addr(i);
+                let v = *data.get(idx).ok_or(SimError::Segfault)?;
+                acc = acc.wrapping_add(tap::gpr(v));
+                // Dead state: a scratch value that never reaches the
+                // output — faults landing here are always masked.
+                let _scratch = tap::gpr(v.wrapping_mul(3));
+                i += 1;
+            }
+            let mut facc = 0.0f64;
+            for k in 0..32 {
+                tap::work(OpClass::Float, 1)?;
+                let x = tap::fpr(k as f64 * 0.5);
+                // Saturating narrow, as the pipeline's float->u8 step does.
+                facc += x.clamp(0.0, 255.0).floor();
+            }
+            Ok((acc, facc as u64))
+        }
+    }
+
+    #[test]
+    fn golden_profile_counts_sites() {
+        let g = profile_golden(&Toy).unwrap();
+        assert_eq!(g.profile.gpr_taps, 1 + 64 * 3);
+        assert_eq!(g.profile.fpr_taps, 32);
+        assert_eq!(g.profile.sites(RegClass::Gpr), g.profile.eligible_gpr);
+        assert_eq!(g.output, Toy.run().map_err(|_| ()).unwrap());
+    }
+
+    #[test]
+    fn campaign_is_deterministic_across_thread_counts() {
+        let g = profile_golden(&Toy).unwrap();
+        let cfg1 = CampaignConfig::new(RegClass::Gpr, 64).seed(11).threads(1);
+        let cfg4 = CampaignConfig::new(RegClass::Gpr, 64).seed(11).threads(4);
+        let a = run_campaign(&Toy, &g, &cfg1);
+        let b = run_campaign(&Toy, &g, &cfg4);
+        let oa: Vec<_> = a.iter().map(|r| (r.spec, r.outcome)).collect();
+        let ob: Vec<_> = b.iter().map(|r| (r.spec, r.outcome)).collect();
+        assert_eq!(oa, ob);
+    }
+
+    #[test]
+    fn gpr_campaign_produces_crashes_and_masks() {
+        let g = profile_golden(&Toy).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Gpr, 300).seed(3).threads(2);
+        let recs = run_campaign(&Toy, &g, &cfg);
+        assert_eq!(recs.len(), 300);
+        let crashes = recs.iter().filter(|r| r.outcome.is_crash()).count();
+        let masked = recs
+            .iter()
+            .filter(|r| r.outcome == Outcome::Masked)
+            .count();
+        assert!(crashes > 0, "address faults must produce some crashes");
+        assert!(masked > 0, "low bits of control values must mask sometimes");
+        // Every fired fault must be recorded.
+        for r in &recs {
+            if r.outcome != Outcome::Masked {
+                assert!(r.fired.is_some(), "non-masked outcome without a fired fault");
+            }
+        }
+    }
+
+    #[test]
+    fn fpr_campaign_is_mostly_masked_or_sdc_never_crashing() {
+        let g = profile_golden(&Toy).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Fpr, 200).seed(5).threads(2);
+        let recs = run_campaign(&Toy, &g, &cfg);
+        assert!(recs.iter().all(|r| !r.outcome.is_crash()));
+        assert!(recs.iter().any(|r| r.outcome == Outcome::Masked));
+    }
+
+    #[test]
+    fn sdc_outputs_are_retained_when_requested() {
+        let g = profile_golden(&Toy).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Gpr, 400).seed(9).threads(2);
+        let recs = run_campaign(&Toy, &g, &cfg);
+        for r in recs.iter().filter(|r| r.outcome == Outcome::Sdc) {
+            let out = r.sdc_output.as_ref().expect("sdc output retained");
+            assert_ne!(*out, g.output);
+        }
+    }
+
+    #[test]
+    fn campaign_without_sdc_retention_drops_outputs() {
+        let g = profile_golden(&Toy).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Gpr, 100)
+            .seed(9)
+            .threads(2)
+            .keep_sdc_outputs(false);
+        let recs = run_campaign(&Toy, &g, &cfg);
+        assert!(recs.iter().all(|r| r.sdc_output.is_none()));
+    }
+
+    /// A workload whose only taps are loop bounds: corrupting them upward
+    /// must trip the hang monitor.
+    struct Spinner;
+
+    impl Workload for Spinner {
+        type Output = u64;
+
+        fn run(&self) -> Result<u64, SimError> {
+            let _f = tap::scope(FuncId::Other);
+            let bound = tap::ctl(16);
+            let mut acc = 0u64;
+            let mut i = 0usize;
+            while i < bound {
+                tap::work(OpClass::Control, 1)?;
+                acc = acc.wrapping_add(1);
+                i += 1;
+            }
+            Ok(acc)
+        }
+    }
+
+    #[test]
+    fn corrupted_loop_bounds_hang() {
+        let g = profile_golden(&Spinner).unwrap();
+        // Flip a high bit of the single control tap: guaranteed huge bound.
+        let spec = FaultSpec::new(RegClass::Gpr, 0, 40);
+        let budget = g.profile.instr.total * 16 + 1000;
+        let rec = run_one(&Spinner, &g, spec, budget, true, 0);
+        assert_eq!(rec.outcome, Outcome::Hang);
+    }
+}

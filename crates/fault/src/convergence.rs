@@ -1,0 +1,145 @@
+//! Convergence analysis for injection counts (Fig 9a).
+//!
+//! The paper sizes its campaigns by watching the Mask/Crash/SDC/Hang rates
+//! stabilize as injections accumulate; the *knee* of those trend curves —
+//! 1000 injections for the VS application — is the minimum statistically
+//! adequate sample. [`convergence_curve`] recomputes the running rates at
+//! checkpoints and [`knee`] locates the stabilization point.
+
+use crate::campaign::Injection;
+use crate::stats::{outcome_rates, OutcomeRates};
+
+/// Outcome rates over the first `n` injections of a campaign.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConvergencePoint {
+    /// Number of injections included.
+    pub n: usize,
+    /// Rates over those injections.
+    pub rates: OutcomeRates,
+}
+
+/// Compute running outcome rates at each checkpoint (checkpoints larger
+/// than the record count are clamped to it; duplicates are removed).
+pub fn convergence_curve<O>(
+    records: &[Injection<O>],
+    checkpoints: &[usize],
+) -> Vec<ConvergencePoint> {
+    let mut pts = Vec::new();
+    let mut seen = Vec::new();
+    for &cp in checkpoints {
+        let n = cp.min(records.len());
+        if n == 0 || seen.contains(&n) {
+            continue;
+        }
+        seen.push(n);
+        pts.push(ConvergencePoint {
+            n,
+            rates: outcome_rates(&records[..n]),
+        });
+    }
+    pts
+}
+
+/// Evenly spaced checkpoints: `step, 2*step, ..., total`.
+pub fn even_checkpoints(total: usize, step: usize) -> Vec<usize> {
+    assert!(step > 0, "checkpoint step must be positive");
+    let mut cps: Vec<usize> = (step..=total).step_by(step).collect();
+    if cps.last() != Some(&total) && total > 0 {
+        cps.push(total);
+    }
+    cps
+}
+
+/// Locate the knee of a convergence curve: the first checkpoint after
+/// which no later checkpoint's rates differ by more than `tol_pct`
+/// percentage points. Returns `None` if the curve never stabilizes.
+pub fn knee(curve: &[ConvergencePoint], tol_pct: f64) -> Option<usize> {
+    'outer: for (i, cand) in curve.iter().enumerate() {
+        for later in &curve[i + 1..] {
+            if cand.rates.max_abs_delta(&later.rates) > tol_pct {
+                continue 'outer;
+            }
+        }
+        return Some(cand.n);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Injection, Outcome};
+    use crate::spec::{FaultSpec, RegClass};
+
+    fn rec(outcome: Outcome, i: u64) -> Injection<u64> {
+        Injection {
+            index: i as usize,
+            spec: FaultSpec::new(RegClass::Gpr, i, (i % 64) as u8),
+            fired: None,
+            outcome,
+            sdc_output: None,
+        }
+    }
+
+    /// A synthetic campaign whose empirical rates converge to 50/25/25.
+    fn synthetic(n: usize) -> Vec<Injection<u64>> {
+        (0..n as u64)
+            .map(|i| {
+                let o = match i % 4 {
+                    0 | 1 => Outcome::Masked,
+                    2 => Outcome::Sdc,
+                    _ => Outcome::CrashSegfault,
+                };
+                rec(o, i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn curve_has_one_point_per_unique_checkpoint() {
+        let recs = synthetic(100);
+        let curve = convergence_curve(&recs, &[10, 20, 20, 50, 100, 500]);
+        let ns: Vec<_> = curve.iter().map(|p| p.n).collect();
+        assert_eq!(ns, vec![10, 20, 50, 100]);
+    }
+
+    #[test]
+    fn knee_finds_stabilization() {
+        let recs = synthetic(400);
+        let curve = convergence_curve(&recs, &even_checkpoints(400, 40));
+        let k = knee(&curve, 1.0).expect("periodic outcomes stabilize fast");
+        assert!(k <= 120, "knee {k} unexpectedly late");
+    }
+
+    #[test]
+    fn knee_absent_for_drifting_rates() {
+        // First half all masked, second half all crash: running rates
+        // drift until the very end.
+        let mut recs = Vec::new();
+        for i in 0..100u64 {
+            recs.push(rec(
+                if i < 50 {
+                    Outcome::Masked
+                } else {
+                    Outcome::CrashSegfault
+                },
+                i,
+            ));
+        }
+        let curve = convergence_curve(&recs, &even_checkpoints(100, 10));
+        // Every earlier checkpoint differs from the final one by > 5pp.
+        assert_ne!(knee(&curve, 5.0), Some(10));
+    }
+
+    #[test]
+    fn even_checkpoints_include_total() {
+        assert_eq!(even_checkpoints(100, 30), vec![30, 60, 90, 100]);
+        assert_eq!(even_checkpoints(90, 30), vec![30, 60, 90]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_step_checkpoints_rejected() {
+        let _ = even_checkpoints(10, 0);
+    }
+}

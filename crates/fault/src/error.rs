@@ -1,0 +1,95 @@
+//! Simulated program-failure conditions.
+//!
+//! The paper classifies every injection outcome as Mask, Crash, SDC or
+//! Hang, and further splits crashes into segmentation faults (92% of
+//! crashes, memory-access violations) and aborts (8%, internal constraint
+//! violations raised by the application or library). [`SimError`] is the
+//! in-band representation of the Crash and Hang conditions: pipeline code
+//! returns `Err(SimError::Segfault)` where native code would have received
+//! `SIGSEGV`, `Err(SimError::Abort)` where OpenCV would have called
+//! `abort()`, and the hang monitor returns `Err(SimError::Hang)` when the
+//! instruction budget is exhausted.
+
+use std::fmt;
+
+/// A simulated catastrophic program outcome, raised by instrumented
+/// pipeline code when a (possibly fault-corrupted) value violates a
+/// machine- or library-level invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimError {
+    /// Memory-access violation: a corrupted index or address escaped the
+    /// bounds of its backing allocation. Models `SIGSEGV`.
+    Segfault,
+    /// Internal constraint violation: the application or a library
+    /// detected an impossible state (negative dimensions, absurd
+    /// allocation size, singular system where one cannot occur) and
+    /// terminated. Models `abort()` / failed library assertions.
+    Abort,
+    /// The hang monitor's instruction budget was exhausted: the program
+    /// would neither complete nor crash.
+    Hang,
+}
+
+impl SimError {
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimError::Segfault => "segfault",
+            SimError::Abort => "abort",
+            SimError::Hang => "hang",
+        }
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Segfault => write!(f, "simulated segmentation fault"),
+            SimError::Abort => write!(f, "simulated abort (internal constraint violation)"),
+            SimError::Hang => write!(f, "hang detected (instruction budget exhausted)"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// The crash sub-cause recorded for crash outcomes, mirroring the paper's
+/// segfault/abort breakdown of GPR-injection crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CrashKind {
+    /// Memory-access violation (`SIGSEGV`), including caught panics from
+    /// out-of-bounds slice accesses.
+    Segfault,
+    /// Application/library-raised abort.
+    Abort,
+}
+
+impl fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashKind::Segfault => write!(f, "segfault"),
+            CrashKind::Abort => write!(f, "abort"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        for e in [SimError::Segfault, SimError::Abort, SimError::Hang] {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert_eq!(s, s.to_lowercase());
+            assert!(!e.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn sim_error_is_a_std_error() {
+        fn takes_err<E: std::error::Error>(_: E) {}
+        takes_err(SimError::Hang);
+    }
+}

@@ -1,0 +1,90 @@
+//! Raw campaign-record export (CSV) for external analysis.
+
+use crate::campaign::Injection;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// CSV header of [`write_records_csv`].
+pub const RECORD_CSV_HEADER: &str =
+    "index,class,tap_index,bit,register,outcome,fired_func,fired_op,fired_bit";
+
+/// Serialize injection records as CSV rows (one per record).
+pub fn records_to_csv<O>(records: &[Injection<O>]) -> String {
+    let mut out = String::with_capacity(records.len() * 48 + 64);
+    out.push_str(RECORD_CSV_HEADER);
+    out.push('\n');
+    for r in records {
+        let (ff, fo, fb) = match r.fired {
+            Some(f) => (f.func.name(), f.op.name(), f.bit.to_string()),
+            None => ("", "", String::new()),
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            r.index,
+            r.spec.class.name(),
+            r.spec.tap_index,
+            r.spec.bit,
+            r.spec.register(),
+            r.outcome.name(),
+            ff,
+            fo,
+            fb,
+        ));
+    }
+    out
+}
+
+/// Write injection records to a CSV file.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_records_csv<O>(path: impl AsRef<Path>, records: &[Injection<O>]) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(records_to_csv(records).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::Outcome;
+    use crate::spec::{FaultSpec, FiredFault, RegClass};
+    use crate::{FuncId, OpClass};
+
+    fn rec(outcome: Outcome, fired: bool) -> Injection<u64> {
+        Injection {
+            index: 7,
+            spec: FaultSpec::new(RegClass::Gpr, 42, 13),
+            fired: fired.then_some(FiredFault {
+                func: FuncId::RemapBilinear,
+                op: OpClass::Addr,
+                reg: 5,
+                bit: 13,
+                before: 1,
+                after: 8193,
+            }),
+            outcome,
+            sdc_output: None,
+        }
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = records_to_csv(&[rec(Outcome::CrashSegfault, true), rec(Outcome::Masked, false)]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], RECORD_CSV_HEADER);
+        assert!(lines[1].contains("crash_segfault"));
+        assert!(lines[1].contains("remap_bilinear"));
+        assert!(lines[2].ends_with(",,,"), "unfired fault must leave fields empty: {}", lines[2]);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let path = std::env::temp_dir().join(format!("vsf_export_{}.csv", std::process::id()));
+        write_records_csv(&path, &[rec(Outcome::Hang, true)]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("hang"));
+        std::fs::remove_file(path).ok();
+    }
+}

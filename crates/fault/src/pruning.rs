@@ -1,0 +1,355 @@
+//! Relyzer-style error-site pruning — the paper's named future work.
+//!
+//! The paper relies on uniform statistical sampling and notes that "more
+//! comprehensive and higher precision techniques such as Relyzer could
+//! be applied but are left to future work" (§V-A). Relyzer's insight is
+//! that error sites fall into *equivalence classes* whose members behave
+//! alike; injecting into a few *pilots* per class and weighting by class
+//! population estimates the application's resiliency with far fewer
+//! runs.
+//!
+//! Our class key is the `(function, operation-class)` site group: taps
+//! inside one pipeline function with the same architectural role
+//! (address / control / data) share their fault behaviour to first
+//! order. [`run_pruned_campaign`] injects a fixed number of pilots into
+//! every populated group (random tap within the group, random bit) and
+//! combines the per-group outcome rates into a population-weighted
+//! estimate of the full-campaign rates.
+
+use crate::campaign::{GoldenRun, Injection, Workload};
+use crate::func::{FuncId, OpClass};
+use crate::session::group_index;
+use crate::spec::{FaultSpec, RegClass, REG_BITS};
+use crate::state;
+use crate::stats::{outcome_rates, OutcomeRates};
+use crate::{mix64, session};
+use std::panic::{self, AssertUnwindSafe};
+
+/// One populated `(function, op-class)` site group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SiteGroup {
+    /// The function the group's taps execute in.
+    pub func: FuncId,
+    /// The architectural role of the group's values.
+    pub op: OpClass,
+    /// Number of eligible dynamic taps in the group (its population).
+    pub population: u64,
+}
+
+/// Enumerate the populated GPR site groups of a golden profile,
+/// largest-population first.
+pub fn site_groups<O>(golden: &GoldenRun<O>) -> Vec<SiteGroup> {
+    let mut out = Vec::new();
+    for func in FuncId::ALL {
+        for op in OpClass::ALL {
+            let population = golden.profile.gpr_groups[group_index(func, op)];
+            if population > 0 {
+                out.push(SiteGroup {
+                    func,
+                    op,
+                    population,
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.population
+            .cmp(&a.population)
+            .then_with(|| (a.func, a.op).cmp(&(b.func, b.op)))
+    });
+    out
+}
+
+/// Pruned-campaign parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PrunedConfig {
+    /// Total pilot budget, allocated across groups proportionally to
+    /// their populations (stratified sampling with proportional
+    /// allocation — strictly lower variance than uniform sampling of the
+    /// same size).
+    pub total_pilots: usize,
+    /// Minimum pilots per populated group (small groups still get
+    /// representation).
+    pub min_pilots_per_group: usize,
+    /// Seed for pilot sampling.
+    pub seed: u64,
+    /// Hang budget as a multiple of the golden instruction count.
+    pub hang_factor: u64,
+}
+
+impl Default for PrunedConfig {
+    fn default() -> Self {
+        PrunedConfig {
+            total_pilots: 160,
+            min_pilots_per_group: 4,
+            seed: 0,
+            hang_factor: 16,
+        }
+    }
+}
+
+/// Result of a pruned campaign.
+#[derive(Debug, Clone)]
+pub struct PrunedResult<O> {
+    /// Per-group measurements: the group, its pilots' records, and its
+    /// empirical rates.
+    pub groups: Vec<(SiteGroup, OutcomeRates)>,
+    /// Population-weighted estimate of the full-campaign rates.
+    pub estimate: OutcomeRates,
+    /// Total injections performed.
+    pub injections: usize,
+    /// Pilot records (for coverage or quality analysis).
+    pub records: Vec<Injection<O>>,
+}
+
+/// Run a Relyzer-style pruned GPR campaign: `pilots_per_group`
+/// injections into each populated site group, population-weighted
+/// aggregation.
+///
+/// # Panics
+///
+/// Panics if the golden profile has no eligible GPR taps.
+pub fn run_pruned_campaign<W: Workload>(
+    workload: &W,
+    golden: &GoldenRun<W::Output>,
+    cfg: &PrunedConfig,
+) -> PrunedResult<W::Output> {
+    let groups = site_groups(golden);
+    assert!(
+        !groups.is_empty(),
+        "no populated GPR site groups in the golden profile"
+    );
+    let budget = golden
+        .profile
+        .instr
+        .total
+        .saturating_mul(cfg.hang_factor.max(2))
+        .saturating_add(1_000_000);
+
+    let mut per_group = Vec::with_capacity(groups.len());
+    let mut all_records = Vec::new();
+    let mut injections = 0usize;
+    let total_pop: u64 = groups.iter().map(|g| g.population).sum();
+
+    // Aggregate as weighted sums of percentages.
+    let mut agg = [0.0f64; 4]; // masked, sdc, crash, hang
+    let mut seg_share = 0.0f64;
+    let mut abort_share = 0.0f64;
+    let mut crash_weight = 0.0f64;
+
+    for (gi, group) in groups.iter().enumerate() {
+        let share = group.population as f64 / total_pop as f64;
+        let pilots = ((cfg.total_pilots as f64 * share).round() as usize)
+            .max(cfg.min_pilots_per_group)
+            .min(group.population as usize);
+        let mut records = Vec::with_capacity(pilots);
+        for p in 0..pilots {
+            let h = mix64(cfg.seed ^ mix64((gi as u64) << 32 | p as u64));
+            let tap_index = mix64(h ^ 0x0009_0113) % group.population;
+            let bit = (mix64(h ^ 0xb17) % REG_BITS as u64) as u8;
+            let spec = FaultSpec::new(RegClass::Gpr, tap_index, bit);
+            records.push(run_one_grouped(
+                workload, golden, spec, *group, budget, injections + p,
+            ));
+        }
+        injections += records.len();
+        let rates = outcome_rates(&records);
+        let w = group.population as f64 / total_pop as f64;
+        agg[0] += w * rates.masked;
+        agg[1] += w * rates.sdc;
+        agg[2] += w * rates.crash;
+        agg[3] += w * rates.hang;
+        if rates.crash > 0.0 {
+            seg_share += w * rates.crash * rates.crash_segfault_share / 100.0;
+            abort_share += w * rates.crash * rates.crash_abort_share / 100.0;
+            crash_weight += w * rates.crash;
+        }
+        per_group.push((*group, rates));
+        all_records.extend(records);
+    }
+
+    let estimate = OutcomeRates {
+        n: injections,
+        masked: agg[0],
+        sdc: agg[1],
+        crash: agg[2],
+        hang: agg[3],
+        crash_segfault_share: if crash_weight > 0.0 {
+            100.0 * seg_share / crash_weight
+        } else {
+            0.0
+        },
+        crash_abort_share: if crash_weight > 0.0 {
+            100.0 * abort_share / crash_weight
+        } else {
+            0.0
+        },
+    };
+    PrunedResult {
+        groups: per_group,
+        estimate,
+        injections,
+        records: all_records,
+    }
+}
+
+/// Execute one group-confined injected run.
+fn run_one_grouped<W: Workload>(
+    workload: &W,
+    golden: &GoldenRun<W::Output>,
+    spec: FaultSpec,
+    group: SiteGroup,
+    budget: u64,
+    index: usize,
+) -> Injection<W::Output> {
+    let guard = session::begin_injection_grouped(spec, group.func, group.op, golden.mask, budget);
+    state::with(|s| s.in_injection.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| workload.run()));
+    state::with(|s| s.in_injection.set(false));
+    let fired = session::report().fired;
+    drop(guard);
+    match result {
+        Err(_) => Injection {
+            index,
+            spec,
+            fired,
+            outcome: crate::campaign::Outcome::CrashSegfault,
+            sdc_output: None,
+        },
+        Ok(Err(e)) => Injection {
+            index,
+            spec,
+            fired,
+            outcome: match e {
+                crate::SimError::Segfault => crate::campaign::Outcome::CrashSegfault,
+                crate::SimError::Abort => crate::campaign::Outcome::CrashAbort,
+                crate::SimError::Hang => crate::campaign::Outcome::Hang,
+            },
+            sdc_output: None,
+        },
+        Ok(Ok(out)) => {
+            let outcome = if out == golden.output {
+                crate::campaign::Outcome::Masked
+            } else {
+                crate::campaign::Outcome::Sdc
+            };
+            Injection {
+                index,
+                spec,
+                fired,
+                outcome,
+                sdc_output: None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{profile_golden, CampaignConfig};
+    use crate::tap;
+    use crate::SimError;
+
+    /// A workload with two very different site groups: crash-prone
+    /// address taps in one function, maskable data taps in another.
+    struct TwoGroup;
+
+    impl Workload for TwoGroup {
+        type Output = u64;
+
+        fn run(&self) -> Result<u64, SimError> {
+            let data: Vec<u64> = (0..32).collect();
+            let mut acc = 0u64;
+            {
+                let _f = tap::scope(FuncId::MatchKeypoints);
+                for i in 0..32usize {
+                    tap::work(OpClass::Control, 1)?;
+                    let idx = tap::addr(i);
+                    acc = acc.wrapping_add(*data.get(idx).ok_or(SimError::Segfault)?);
+                }
+            }
+            {
+                let _f = tap::scope(FuncId::Blend);
+                for i in 0..96u64 {
+                    tap::work(OpClass::IntAlu, 1)?;
+                    // Dead data taps: always masked.
+                    let _ = tap::gpr(i * 3);
+                }
+            }
+            Ok(acc)
+        }
+    }
+
+    #[test]
+    fn site_groups_enumerate_populations() {
+        let g = profile_golden(&TwoGroup).unwrap();
+        let groups = site_groups(&g);
+        assert_eq!(groups.len(), 2);
+        // Largest first: 96 dead data taps vs 32 address taps.
+        assert_eq!(groups[0].func, FuncId::Blend);
+        assert_eq!(groups[0].population, 96);
+        assert_eq!(groups[1].func, FuncId::MatchKeypoints);
+        assert_eq!(groups[1].op, OpClass::Addr);
+        assert_eq!(groups[1].population, 32);
+    }
+
+    #[test]
+    fn grouped_faults_fire_in_their_group() {
+        let g = profile_golden(&TwoGroup).unwrap();
+        let res = run_pruned_campaign(
+            &TwoGroup,
+            &g,
+            &PrunedConfig {
+                total_pilots: 16,
+                min_pilots_per_group: 4,
+                seed: 3,
+                hang_factor: 16,
+            },
+        );
+        assert!(res.injections >= 16);
+        for r in &res.records {
+            let fired = r.fired.expect("pilot must fire");
+            assert!(
+                (fired.func == FuncId::Blend && fired.op == OpClass::IntAlu)
+                    || (fired.func == FuncId::MatchKeypoints && fired.op == OpClass::Addr),
+                "pilot fired outside its group: {fired}"
+            );
+        }
+    }
+
+    #[test]
+    fn pruned_estimate_approximates_full_campaign() {
+        let g = profile_golden(&TwoGroup).unwrap();
+        let full_cfg = CampaignConfig::new(RegClass::Gpr, 600).seed(1).threads(2);
+        let full = outcome_rates(&crate::campaign::run_campaign(&TwoGroup, &g, &full_cfg));
+        let pruned = run_pruned_campaign(
+            &TwoGroup,
+            &g,
+            &PrunedConfig {
+                total_pilots: 96,
+                min_pilots_per_group: 8,
+                seed: 2,
+                hang_factor: 16,
+            },
+        );
+        // ~100 pruned injections must estimate the 600-injection
+        // campaign within a few percentage points.
+        assert!(
+            pruned.estimate.max_abs_delta(&full) < 12.0,
+            "pruned {:?} vs full {:?}",
+            pruned.estimate,
+            full
+        );
+        assert!(pruned.injections < 600 / 4);
+    }
+
+    #[test]
+    fn weighted_rates_sum_to_one_hundred() {
+        let g = profile_golden(&TwoGroup).unwrap();
+        let res = run_pruned_campaign(&TwoGroup, &g, &PrunedConfig::default());
+        let total =
+            res.estimate.masked + res.estimate.sdc + res.estimate.crash + res.estimate.hang;
+        assert!((total - 100.0).abs() < 1e-6, "rates sum to {total}");
+    }
+}

@@ -1,0 +1,218 @@
+//! Instrumentation sessions: profiling and injection runs.
+//!
+//! A *session* brackets one execution of a workload on the current thread.
+//! [`begin_profile`] starts a counting-only session (the golden run);
+//! [`begin_injection`] additionally arms one [`FaultSpec`]. The returned
+//! guard resets the thread's instrumentation to the off state when
+//! dropped, so sessions cannot leak into subsequent work.
+
+use crate::func::{FuncId, FuncMask, OpClass, NUM_CLASSES, NUM_FUNCS};
+use crate::spec::{FaultSpec, FiredFault, RegClass};
+use crate::state::{self, Mode, NUM_GROUPS};
+
+/// Instruction counts gathered during a session, consumed by the
+/// performance/energy model and the Fig 8 execution profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct InstrCounts {
+    /// Total counted instructions.
+    pub total: u64,
+    /// Instructions per [`crate::OpClass`] (indexed by `OpClass::index`).
+    pub by_class: [u64; NUM_CLASSES],
+    /// Instructions per [`crate::FuncId`] (indexed by `FuncId::index`).
+    pub by_func: [u64; NUM_FUNCS],
+}
+
+/// Snapshot of a finished (or in-flight) session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Total integer taps ("GPR writes") observed.
+    pub gpr_taps: u64,
+    /// Total float taps ("FPR writes") observed.
+    pub fpr_taps: u64,
+    /// Integer taps inside the eligible-function mask.
+    pub eligible_gpr: u64,
+    /// Float taps inside the eligible-function mask.
+    pub eligible_fpr: u64,
+    /// Instruction accounting.
+    pub instr: InstrCounts,
+    /// Eligible GPR taps per `(function, op-class)` site group, indexed
+    /// by `func.index() * NUM_CLASSES + op.index()`.
+    pub gpr_groups: [u64; NUM_FUNCS * NUM_CLASSES],
+    /// The fault that fired, if a fault was armed and reached.
+    pub fired: Option<FiredFault>,
+}
+
+/// Index of a `(function, op-class)` site group in
+/// [`SessionReport::gpr_groups`].
+pub fn group_index(func: FuncId, op: OpClass) -> usize {
+    func.index() * NUM_CLASSES + op.index()
+}
+
+/// RAII guard for an instrumentation session. Dropping it turns
+/// instrumentation off and clears all session state on this thread.
+#[derive(Debug)]
+pub struct SessionGuard {
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+fn begin(mode: Mode) {
+    state::with(|s| {
+        assert_eq!(
+            s.mode.get(),
+            Mode::Off,
+            "instrumentation session already active on this thread"
+        );
+        s.reset_session();
+        s.mode.set(mode);
+    });
+}
+
+/// Begin a counting-only (golden) session on this thread.
+///
+/// # Panics
+///
+/// Panics if a session is already active on this thread.
+#[must_use = "the session ends when the guard is dropped"]
+pub fn begin_profile() -> SessionGuard {
+    begin(Mode::Profile);
+    SessionGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Begin an injection session with `spec` armed, faults confined to
+/// `mask`, and the hang monitor set to `budget` instructions.
+///
+/// # Panics
+///
+/// Panics if a session is already active on this thread.
+#[must_use = "the session ends when the guard is dropped"]
+pub fn begin_injection(spec: FaultSpec, mask: FuncMask, budget: u64) -> SessionGuard {
+    begin(Mode::Inject);
+    state::with(|s| {
+        s.mask_bits.set(mask.bits());
+        s.budget.set(budget);
+        s.armed.set(true);
+        s.armed_is_gpr.set(spec.class == RegClass::Gpr);
+        s.armed_tap.set(spec.tap_index);
+        s.armed_bit.set(spec.bit);
+        s.armed_reg.set(spec.register());
+    });
+    SessionGuard {
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Begin an injection session whose fault is confined to one
+/// `(function, op-class)` site group: `spec.tap_index` indexes the
+/// group's eligible-tap stream. Used by the Relyzer-style pruned
+/// campaigns (only meaningful for GPR faults).
+///
+/// # Panics
+///
+/// Panics if a session is already active on this thread.
+#[must_use = "the session ends when the guard is dropped"]
+pub fn begin_injection_grouped(
+    spec: FaultSpec,
+    func: FuncId,
+    op: OpClass,
+    mask: FuncMask,
+    budget: u64,
+) -> SessionGuard {
+    let guard = begin_injection(spec, mask, budget);
+    state::with(|s| s.armed_group.set(group_index(func, op) as u16));
+    guard
+}
+
+/// Snapshot the current thread's session counters.
+pub fn report() -> SessionReport {
+    state::with(|s| {
+        let mut by_class = [0u64; NUM_CLASSES];
+        for (dst, src) in by_class.iter_mut().zip(&s.by_class) {
+            *dst = src.get();
+        }
+        let mut by_func = [0u64; NUM_FUNCS];
+        for (dst, src) in by_func.iter_mut().zip(&s.by_func) {
+            *dst = src.get();
+        }
+        let mut gpr_groups = [0u64; NUM_GROUPS];
+        for (dst, src) in gpr_groups.iter_mut().zip(&s.gpr_groups) {
+            *dst = src.get();
+        }
+        SessionReport {
+            gpr_taps: s.gpr_taps.get(),
+            fpr_taps: s.fpr_taps.get(),
+            eligible_gpr: s.elig_gpr.get(),
+            eligible_fpr: s.elig_fpr.get(),
+            instr: InstrCounts {
+                total: s.instr_total.get(),
+                by_class,
+                by_func,
+            },
+            gpr_groups,
+            fired: s.fired.get(),
+        }
+    })
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        state::with(|s| {
+            s.mode.set(Mode::Off);
+            s.reset_session();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tap;
+    use crate::FuncId;
+
+    #[test]
+    fn guard_drop_resets_everything() {
+        {
+            let _g = begin_profile();
+            let _ = tap::gpr(1);
+            assert_eq!(report().gpr_taps, 1);
+        }
+        assert_eq!(report().gpr_taps, 0);
+        assert_eq!(tap::gpr(5), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already active")]
+    fn nested_sessions_are_rejected() {
+        let _a = begin_profile();
+        let _b = begin_profile();
+    }
+
+    #[test]
+    fn injection_session_arms_the_spec() {
+        let spec = FaultSpec::new(RegClass::Gpr, 0, 2);
+        let _g = begin_injection(spec, FuncMask::all(), 1_000);
+        let _f = tap::scope(FuncId::Other);
+        assert_eq!(tap::gpr(0), 4);
+        let r = report();
+        assert_eq!(r.fired.unwrap().reg, spec.register());
+    }
+
+    #[test]
+    fn report_counts_eligible_separately() {
+        let spec = FaultSpec::new(RegClass::Fpr, 100, 1);
+        let mask = FuncMask::only(&[FuncId::Quality]);
+        let _g = begin_injection(spec, mask, u64::MAX);
+        {
+            let _f = tap::scope(FuncId::Decode);
+            let _ = tap::fpr(1.0);
+        }
+        {
+            let _f = tap::scope(FuncId::Quality);
+            let _ = tap::fpr(1.0);
+        }
+        let r = report();
+        assert_eq!(r.fpr_taps, 2);
+        assert_eq!(r.eligible_fpr, 1);
+    }
+}

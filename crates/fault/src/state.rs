@@ -1,0 +1,170 @@
+//! Thread-local injector state shared by the tap and session modules.
+//!
+//! Every instrumented thread owns one [`State`]: tap counters, the armed
+//! fault (if any), instruction counters for the performance model and the
+//! hang budget. All fields are `Cell`s so the hot tap path is a handful of
+//! loads/stores with no borrow-flag bookkeeping.
+
+use crate::func::{FuncId, NUM_CLASSES, NUM_FUNCS};
+use crate::spec::FiredFault;
+use std::cell::Cell;
+
+/// Number of `(function, op-class)` site groups.
+pub(crate) const NUM_GROUPS: usize = NUM_FUNCS * NUM_CLASSES;
+
+/// Instrumentation mode of the current thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Mode {
+    /// No session active: taps are pass-through and nothing is counted.
+    Off,
+    /// Golden profiling: count taps and instructions, never corrupt.
+    Profile,
+    /// Injection run: count, and fire the armed fault at its tap.
+    Inject,
+}
+
+pub(crate) struct State {
+    pub mode: Cell<Mode>,
+    /// Discriminant of the current [`FuncId`].
+    pub func: Cell<u8>,
+    /// Eligible-function bit mask ([`crate::FuncMask::bits`]).
+    pub mask_bits: Cell<u64>,
+
+    /// Total integer taps observed this session.
+    pub gpr_taps: Cell<u64>,
+    /// Total float taps observed this session.
+    pub fpr_taps: Cell<u64>,
+    /// Integer taps inside the eligible-function mask (injection index space).
+    pub elig_gpr: Cell<u64>,
+    /// Float taps inside the eligible-function mask.
+    pub elig_fpr: Cell<u64>,
+
+    /// Whether a fault is armed and not yet fired.
+    pub armed: Cell<bool>,
+    /// Armed fault targets the GPR (integer) tap stream when true.
+    pub armed_is_gpr: Cell<bool>,
+    /// Eligible-tap index at which the armed fault fires.
+    pub armed_tap: Cell<u64>,
+    /// Bit to flip.
+    pub armed_bit: Cell<u8>,
+    /// Virtual register id assigned to the armed fault.
+    pub armed_reg: Cell<u8>,
+    /// Site group the armed fault is confined to (`u16::MAX` = any; see
+    /// the pruning module). When set, `armed_tap` indexes that group's
+    /// eligible-tap stream instead of the global one.
+    pub armed_group: Cell<u16>,
+    /// Record of the fired fault, if it fired.
+    pub fired: Cell<Option<FiredFault>>,
+
+    /// Total counted instructions this session.
+    pub instr_total: Cell<u64>,
+    /// Instructions by operation class.
+    pub by_class: [Cell<u64>; NUM_CLASSES],
+    /// Instructions by function.
+    pub by_func: [Cell<u64>; NUM_FUNCS],
+    /// Eligible GPR taps per `(function, op-class)` site group.
+    pub gpr_groups: [Cell<u64>; NUM_GROUPS],
+    /// Hang budget in instructions (`u64::MAX` when unlimited).
+    pub budget: Cell<u64>,
+
+    /// True while a campaign injection run is in flight on this thread;
+    /// used by the panic hook to suppress expected crash backtraces.
+    pub in_injection: Cell<bool>,
+}
+
+impl State {
+    const fn new() -> Self {
+        #[allow(clippy::declare_interior_mutable_const)]
+        const ZERO: Cell<u64> = Cell::new(0);
+        State {
+            mode: Cell::new(Mode::Off),
+            func: Cell::new(FuncId::Other as u8),
+            mask_bits: Cell::new(!0),
+            gpr_taps: ZERO,
+            fpr_taps: ZERO,
+            elig_gpr: ZERO,
+            elig_fpr: ZERO,
+            armed: Cell::new(false),
+            armed_is_gpr: Cell::new(true),
+            armed_tap: ZERO,
+            armed_bit: Cell::new(0),
+            armed_reg: Cell::new(0),
+            armed_group: Cell::new(u16::MAX),
+            fired: Cell::new(None),
+            gpr_groups: [ZERO; NUM_GROUPS],
+            instr_total: ZERO,
+            by_class: [ZERO; NUM_CLASSES],
+            by_func: [ZERO; NUM_FUNCS],
+            budget: Cell::new(u64::MAX),
+            in_injection: Cell::new(false),
+        }
+    }
+
+    /// Reset every per-session counter and disarm any fault. The mode,
+    /// current function and `in_injection` flag are left to the caller.
+    pub fn reset_session(&self) {
+        self.gpr_taps.set(0);
+        self.fpr_taps.set(0);
+        self.elig_gpr.set(0);
+        self.elig_fpr.set(0);
+        self.armed.set(false);
+        self.armed_group.set(u16::MAX);
+        self.fired.set(None);
+        for c in &self.gpr_groups {
+            c.set(0);
+        }
+        self.instr_total.set(0);
+        for c in &self.by_class {
+            c.set(0);
+        }
+        for c in &self.by_func {
+            c.set(0);
+        }
+        self.budget.set(u64::MAX);
+        self.mask_bits.set(!0);
+    }
+}
+
+thread_local! {
+    pub(crate) static STATE: State = const { State::new() };
+}
+
+/// Run `f` with access to the current thread's injector state.
+#[inline]
+pub(crate) fn with<R>(f: impl FnOnce(&State) -> R) -> R {
+    STATE.with(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_starts_off_and_resets_clean() {
+        with(|s| {
+            assert_eq!(s.mode.get(), Mode::Off);
+            s.gpr_taps.set(5);
+            s.armed.set(true);
+            s.by_class[0].set(3);
+            s.reset_session();
+            assert_eq!(s.gpr_taps.get(), 0);
+            assert!(!s.armed.get());
+            assert_eq!(s.by_class[0].get(), 0);
+            assert_eq!(s.budget.get(), u64::MAX);
+        });
+    }
+
+    #[test]
+    fn state_is_thread_local() {
+        with(|s| s.gpr_taps.set(99));
+        std::thread::spawn(|| {
+            with(|s| assert_eq!(s.gpr_taps.get(), 0));
+        })
+        .join()
+        .unwrap();
+        with(|s| {
+            assert_eq!(s.gpr_taps.get(), 99);
+            s.reset_session();
+        });
+    }
+}

@@ -1,0 +1,217 @@
+//! Campaign statistics: outcome rates, crash-cause splits and coverage
+//! histograms (Figs 9b, 10, 11).
+
+use crate::campaign::{Injection, Outcome};
+use crate::func::{FuncId, NUM_FUNCS};
+use crate::spec::{NUM_REGS, REG_BITS};
+use std::fmt;
+
+/// Percentage outcome rates of a campaign — one bar of Figs 10/11.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OutcomeRates {
+    /// Number of injections summarized.
+    pub n: usize,
+    /// Masked rate, percent.
+    pub masked: f64,
+    /// SDC rate, percent.
+    pub sdc: f64,
+    /// Crash rate (both causes), percent.
+    pub crash: f64,
+    /// Hang rate, percent.
+    pub hang: f64,
+    /// Share of crashes that were segfaults, percent of crashes.
+    pub crash_segfault_share: f64,
+    /// Share of crashes that were aborts, percent of crashes.
+    pub crash_abort_share: f64,
+}
+
+impl OutcomeRates {
+    /// The largest absolute difference between this summary's four
+    /// outcome rates and `other`'s, in percentage points. Used for knee
+    /// detection in convergence studies.
+    pub fn max_abs_delta(&self, other: &OutcomeRates) -> f64 {
+        [
+            (self.masked - other.masked).abs(),
+            (self.sdc - other.sdc).abs(),
+            (self.crash - other.crash).abs(),
+            (self.hang - other.hang).abs(),
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+}
+
+impl fmt::Display for OutcomeRates {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} masked={:.2}% sdc={:.2}% crash={:.2}% hang={:.2}%",
+            self.n, self.masked, self.sdc, self.crash, self.hang
+        )
+    }
+}
+
+/// Compute outcome rates over a slice of injection records.
+pub fn outcome_rates<O>(records: &[Injection<O>]) -> OutcomeRates {
+    let n = records.len();
+    let mut masked = 0usize;
+    let mut sdc = 0usize;
+    let mut seg = 0usize;
+    let mut abort = 0usize;
+    let mut hang = 0usize;
+    for r in records {
+        match r.outcome {
+            Outcome::Masked => masked += 1,
+            Outcome::Sdc => sdc += 1,
+            Outcome::CrashSegfault => seg += 1,
+            Outcome::CrashAbort => abort += 1,
+            Outcome::Hang => hang += 1,
+        }
+    }
+    let pct = |c: usize| {
+        if n == 0 {
+            0.0
+        } else {
+            100.0 * c as f64 / n as f64
+        }
+    };
+    let crashes = seg + abort;
+    let share = |c: usize| {
+        if crashes == 0 {
+            0.0
+        } else {
+            100.0 * c as f64 / crashes as f64
+        }
+    };
+    OutcomeRates {
+        n,
+        masked: pct(masked),
+        sdc: pct(sdc),
+        crash: pct(crashes),
+        hang: pct(hang),
+        crash_segfault_share: share(seg),
+        crash_abort_share: share(abort),
+    }
+}
+
+/// Histogram of injections per virtual register (Fig 9b).
+pub fn register_histogram<O>(records: &[Injection<O>]) -> [u32; NUM_REGS as usize] {
+    let mut hist = [0u32; NUM_REGS as usize];
+    for r in records {
+        hist[r.spec.register() as usize] += 1;
+    }
+    hist
+}
+
+/// Histogram of injections per bit position within the register.
+pub fn bit_histogram<O>(records: &[Injection<O>]) -> [u32; REG_BITS as usize] {
+    let mut hist = [0u32; REG_BITS as usize];
+    for r in records {
+        hist[r.spec.bit as usize] += 1;
+    }
+    hist
+}
+
+/// Histogram of *fired* faults per function, paired with the outcome they
+/// produced. Entries for faults that never fired are attributed to
+/// [`FuncId::Other`].
+pub fn func_histogram<O>(records: &[Injection<O>]) -> [u32; NUM_FUNCS] {
+    let mut hist = [0u32; NUM_FUNCS];
+    for r in records {
+        let f = r.fired.map_or(FuncId::Other, |ff| ff.func);
+        hist[f.index()] += 1;
+    }
+    hist
+}
+
+/// Coefficient of variation (stddev / mean) of a histogram; near zero for
+/// a uniform distribution. The paper argues register coverage is uniform —
+/// this is the quantitative check.
+pub fn coefficient_of_variation(hist: &[u32]) -> f64 {
+    if hist.is_empty() {
+        return 0.0;
+    }
+    let n = hist.len() as f64;
+    let mean = hist.iter().map(|&c| c as f64).sum::<f64>() / n;
+    if mean == 0.0 {
+        return 0.0;
+    }
+    let var = hist
+        .iter()
+        .map(|&c| {
+            let d = c as f64 - mean;
+            d * d
+        })
+        .sum::<f64>()
+        / n;
+    var.sqrt() / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FaultSpec, RegClass};
+
+    fn rec(outcome: Outcome, tap: u64, bit: u8) -> Injection<u64> {
+        Injection {
+            index: 0,
+            spec: FaultSpec::new(RegClass::Gpr, tap, bit),
+            fired: None,
+            outcome,
+            sdc_output: None,
+        }
+    }
+
+    #[test]
+    fn rates_sum_to_one_hundred() {
+        let recs = vec![
+            rec(Outcome::Masked, 0, 0),
+            rec(Outcome::Sdc, 1, 1),
+            rec(Outcome::CrashSegfault, 2, 2),
+            rec(Outcome::CrashAbort, 3, 3),
+            rec(Outcome::Hang, 4, 4),
+        ];
+        let r = outcome_rates(&recs);
+        assert!((r.masked + r.sdc + r.crash + r.hang - 100.0).abs() < 1e-9);
+        assert!((r.crash_segfault_share - 50.0).abs() < 1e-9);
+        assert!((r.crash_abort_share - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_campaign_has_zero_rates() {
+        let r = outcome_rates::<u64>(&[]);
+        assert_eq!(r.n, 0);
+        assert_eq!(r.masked, 0.0);
+        assert_eq!(r.crash, 0.0);
+    }
+
+    #[test]
+    fn register_histogram_counts_every_record() {
+        let recs: Vec<_> = (0..500).map(|i| rec(Outcome::Masked, i, 0)).collect();
+        let hist = register_histogram(&recs);
+        assert_eq!(hist.iter().map(|&c| c as usize).sum::<usize>(), 500);
+        // Uniform-ish coverage over many records.
+        assert!(coefficient_of_variation(&hist) < 0.5);
+    }
+
+    #[test]
+    fn bit_histogram_counts_every_record() {
+        let recs: Vec<_> = (0..64).map(|i| rec(Outcome::Masked, 0, i as u8)).collect();
+        let hist = bit_histogram(&recs);
+        assert!(hist.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn max_abs_delta_is_symmetric() {
+        let a = outcome_rates(&[rec(Outcome::Masked, 0, 0), rec(Outcome::Sdc, 1, 1)]);
+        let b = outcome_rates(&[rec(Outcome::Masked, 0, 0)]);
+        assert_eq!(a.max_abs_delta(&b), b.max_abs_delta(&a));
+        assert!(a.max_abs_delta(&a) < 1e-12);
+    }
+
+    #[test]
+    fn cv_of_uniform_is_zero() {
+        assert_eq!(coefficient_of_variation(&[5, 5, 5, 5]), 0.0);
+        assert!(coefficient_of_variation(&[10, 0, 10, 0]) > 0.9);
+    }
+}

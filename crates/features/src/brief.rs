@@ -1,0 +1,238 @@
+//! Rotation-steered BRIEF (rBRIEF) descriptors — ORB's descriptor half.
+//!
+//! Each keypoint gets a 256-bit binary string: bit *i* compares the
+//! smoothed intensities of a fixed pair of offsets inside a ±[`PATCH`]
+//! patch, with the pair pattern rotated by the keypoint's orientation.
+//! The pattern itself is generated once, deterministically, from the
+//! crate-fixed seed, so descriptors are comparable across runs and
+//! processes.
+
+use crate::keypoint::KeyPoint;
+use std::sync::OnceLock;
+use vs_fault::{mix64, tap, FuncId, OpClass, SimError};
+use vs_image::GrayImage;
+
+/// Half-width of the descriptor sampling patch.
+pub const PATCH: i32 = 8;
+
+/// Number of descriptor bits.
+pub const BITS: usize = 256;
+
+/// A 256-bit binary descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Descriptor(pub [u64; 4]);
+
+impl Descriptor {
+    /// Hamming distance to another descriptor (0..=256).
+    #[inline]
+    pub fn hamming(&self, other: &Descriptor) -> u32 {
+        self.0
+            .iter()
+            .zip(&other.0)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+
+    /// Number of set bits.
+    pub fn popcount(&self) -> u32 {
+        self.0.iter().map(|w| w.count_ones()).sum()
+    }
+}
+
+/// One test pair: compare intensity at `(x1, y1)` with `(x2, y2)`.
+#[derive(Debug, Clone, Copy)]
+struct TestPair {
+    x1: f64,
+    y1: f64,
+    x2: f64,
+    y2: f64,
+}
+
+/// The fixed sampling pattern, generated deterministically.
+fn pattern() -> &'static [TestPair; BITS] {
+    static PATTERN: OnceLock<[TestPair; BITS]> = OnceLock::new();
+    PATTERN.get_or_init(|| {
+        let mut out = [TestPair {
+            x1: 0.0,
+            y1: 0.0,
+            x2: 0.0,
+            y2: 0.0,
+        }; BITS];
+        let range = (2 * PATCH + 1) as u64;
+        let mut k = 0u64;
+        let mut coord = |salt: u64| -> f64 {
+            k += 1;
+            (mix64(k ^ salt.wrapping_mul(0x9e3779b97f4a7c15)) % range) as f64 - PATCH as f64
+        };
+        for (i, pair) in out.iter_mut().enumerate() {
+            let s = i as u64 + 1;
+            *pair = TestPair {
+                x1: coord(s),
+                y1: coord(s ^ 0xa5a5),
+                x2: coord(s ^ 0x5a5a),
+                y2: coord(s ^ 0xc3c3),
+            };
+        }
+        out
+    })
+}
+
+/// Describe each keypoint with a rotation-steered BRIEF descriptor over
+/// the (pre-smoothed) image.
+///
+/// Callers should pass a Gaussian-smoothed image, as ORB does, to make
+/// single-pixel comparisons robust to noise.
+///
+/// Instrumentation: each finished descriptor word flows through a data
+/// tap (a corrupted word yields spurious matches/mismatches downstream),
+/// and per-keypoint work feeds the hang monitor.
+///
+/// # Errors
+///
+/// Propagates hang-budget exhaustion.
+pub fn describe(
+    smoothed: &GrayImage,
+    keypoints: &[KeyPoint],
+) -> Result<Vec<Descriptor>, SimError> {
+    let _f = tap::scope(FuncId::OrbDescribe);
+    let pat = pattern();
+    let mut out = Vec::with_capacity(keypoints.len());
+    for kp in keypoints {
+        tap::work(OpClass::Mem, 2 * BITS as u64)?;
+        tap::work(OpClass::IntAlu, 4 * BITS as u64)?;
+        tap::work(OpClass::Float, 4 * BITS as u64)?;
+        let (sin, cos) = kp.angle.sin_cos();
+        let cx = kp.x;
+        let cy = kp.y;
+        let mut words = [0u64; 4];
+        for (i, p) in pat.iter().enumerate() {
+            // Rotate both sample offsets by the keypoint orientation.
+            let r1x = cx + p.x1 * cos - p.y1 * sin;
+            let r1y = cy + p.x1 * sin + p.y1 * cos;
+            let r2x = cx + p.x2 * cos - p.y2 * sin;
+            let r2y = cy + p.x2 * sin + p.y2 * cos;
+            let a = smoothed.get_clamped(r1x.round() as isize, r1y.round() as isize);
+            let b = smoothed.get_clamped(r2x.round() as isize, r2y.round() as isize);
+            if a < b {
+                words[i / 64] |= 1u64 << (i % 64);
+            }
+        }
+        // Store the descriptor through tapped index and data registers:
+        // a corrupted store index escapes the descriptor buffer (the
+        // address-fault crash surface), a corrupted data word silently
+        // perturbs matching downstream.
+        let mut stored = [0u64; 4];
+        for (w_i, word) in words.into_iter().enumerate() {
+            let wi = tap::addr(w_i);
+            *stored.get_mut(wi).ok_or(SimError::Segfault)? = tap::gpr(word);
+        }
+        out.push(Descriptor(stored));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_image::gaussian_blur_5x5;
+
+    fn textured(seed: u64, w: usize, h: usize) -> GrayImage {
+        GrayImage::from_fn(w, h, |x, y| {
+            (mix64(seed ^ ((y * w + x) as u64)) % 256) as u8
+        })
+    }
+
+    fn kp(x: usize, y: usize, angle: f64) -> KeyPoint {
+        KeyPoint {
+            x: x as f64,
+            y: y as f64,
+            response: 1.0,
+            angle,
+            level: 0,
+        }
+    }
+
+    #[test]
+    fn hamming_distance_basics() {
+        let z = Descriptor::default();
+        let mut one = Descriptor::default();
+        one.0[0] = 1;
+        assert_eq!(z.hamming(&z), 0);
+        assert_eq!(z.hamming(&one), 1);
+        let all = Descriptor([!0; 4]);
+        assert_eq!(z.hamming(&all), 256);
+        assert_eq!(all.popcount(), 256);
+    }
+
+    #[test]
+    fn identical_patches_give_identical_descriptors() {
+        let img = gaussian_blur_5x5(&textured(7, 64, 64));
+        let d = describe(&img, &[kp(30, 30, 0.0), kp(30, 30, 0.0)]).unwrap();
+        assert_eq!(d[0], d[1]);
+    }
+
+    #[test]
+    fn different_patches_give_distant_descriptors() {
+        let img = gaussian_blur_5x5(&textured(7, 96, 96));
+        let d = describe(&img, &[kp(20, 20, 0.0), kp(70, 70, 0.0)]).unwrap();
+        // Random binary strings differ in ~128 bits; unrelated patches
+        // should be far apart.
+        assert!(d[0].hamming(&d[1]) > 60, "distance {}", d[0].hamming(&d[1]));
+    }
+
+    #[test]
+    fn translation_of_whole_scene_preserves_descriptor() {
+        let base = textured(42, 96, 96);
+        let shifted = GrayImage::from_fn(96, 96, |x, y| {
+            base.get_clamped(x as isize - 10, y as isize - 7)
+        });
+        let a = describe(&gaussian_blur_5x5(&base), &[kp(40, 40, 0.0)]).unwrap();
+        let b = describe(&gaussian_blur_5x5(&shifted), &[kp(50, 47, 0.0)]).unwrap();
+        let dist = a[0].hamming(&b[0]);
+        assert!(dist <= 20, "translated patch too far: {dist}");
+    }
+
+    #[test]
+    fn rotation_steering_compensates_patch_rotation() {
+        // A patch and the same patch rotated 90°; descriptors computed
+        // with the correct angles should be close.
+        let base = gaussian_blur_5x5(&textured(99, 64, 64));
+        let rotated = GrayImage::from_fn(64, 64, |x, y| {
+            // Rotate the image by +90° about (32, 32): source = R^-1 p.
+            let dx = x as f64 - 32.0;
+            let dy = y as f64 - 32.0;
+            base.get_clamped((32.0 + dy).round() as isize, (32.0 - dx).round() as isize)
+        });
+        let a = describe(&base, &[kp(32, 32, 0.0)]).unwrap();
+        let b = describe(&rotated, &[kp(32, 32, std::f64::consts::FRAC_PI_2)]).unwrap();
+        let steered = a[0].hamming(&b[0]);
+        let unsteered = a[0].hamming(&describe(&rotated, &[kp(32, 32, 0.0)]).unwrap()[0]);
+        assert!(
+            steered < unsteered,
+            "steering must help: steered={steered} unsteered={unsteered}"
+        );
+        assert!(steered <= 64, "steered distance too large: {steered}");
+    }
+
+    #[test]
+    fn pattern_is_deterministic_and_in_patch() {
+        let p1 = pattern();
+        let p2 = pattern();
+        for (a, b) in p1.iter().zip(p2.iter()) {
+            assert_eq!(a.x1, b.x1);
+            assert!(a.x1.abs() <= PATCH as f64 && a.y2.abs() <= PATCH as f64);
+        }
+        // Pairs must not all be identical (degenerate pattern).
+        let distinct = p1
+            .iter()
+            .filter(|p| (p.x1, p.y1) != (p.x2, p.y2))
+            .count();
+        assert!(distinct > 250);
+    }
+
+    #[test]
+    fn empty_keypoint_list_is_fine() {
+        let img = textured(1, 32, 32);
+        assert!(describe(&img, &[]).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,345 @@
+//! FAST (Features from Accelerated Segment Test) corner detection.
+//!
+//! Implements the FAST-9 variant: a pixel is a corner when at least 9
+//! contiguous pixels on the 16-pixel Bresenham circle of radius 3 are all
+//! brighter than `p + t` or all darker than `p - t`. A 3×3 non-maximum
+//! suppression over the SAD response keeps the strongest corners.
+//!
+//! The scan loop is fault-instrumented: the row base address of each scan
+//! line flows through an address tap (a corrupted base drives the centre
+//! pixel load out of bounds → simulated segfault) and candidate centre
+//! intensities flow through data taps.
+
+use crate::keypoint::KeyPoint;
+use vs_fault::{tap, FuncId, OpClass, SimError};
+use vs_image::GrayImage;
+
+/// The 16 circle offsets `(dx, dy)` of radius 3, clockwise from 12
+/// o'clock — the classic FAST sampling pattern.
+pub const CIRCLE: [(i8, i8); 16] = [
+    (0, -3),
+    (1, -3),
+    (2, -2),
+    (3, -1),
+    (3, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (0, 3),
+    (-1, 3),
+    (-2, 2),
+    (-3, 1),
+    (-3, 0),
+    (-3, -1),
+    (-2, -2),
+    (-1, -3),
+];
+
+/// Number of contiguous circle pixels required (the "9" in FAST-9).
+pub const ARC_LENGTH: usize = 9;
+
+/// Detector parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FastConfig {
+    /// Intensity threshold `t`.
+    pub threshold: u8,
+    /// Apply 3×3 non-maximum suppression.
+    pub nonmax_suppression: bool,
+    /// Keep at most this many keypoints, strongest first.
+    pub max_keypoints: usize,
+}
+
+impl Default for FastConfig {
+    fn default() -> Self {
+        FastConfig {
+            threshold: 20,
+            nonmax_suppression: true,
+            max_keypoints: 500,
+        }
+    }
+}
+
+/// Classify circle pixels against the centre: 1 = brighter, 2 = darker.
+#[inline]
+fn classify(v: u8, center: u8, t: u8) -> u8 {
+    let ci = center as i16;
+    let vi = v as i16;
+    if vi >= ci + t as i16 {
+        1
+    } else if vi <= ci - t as i16 {
+        2
+    } else {
+        0
+    }
+}
+
+/// Does the 16-entry classification ring contain `ARC_LENGTH` contiguous
+/// entries of the same non-zero state?
+fn has_arc(states: &[u8; 16]) -> bool {
+    for want in [1u8, 2u8] {
+        let mut run = 0usize;
+        // Walk the ring twice to handle wrap-around runs.
+        for i in 0..32 {
+            if states[i % 16] == want {
+                run += 1;
+                if run >= ARC_LENGTH {
+                    return true;
+                }
+            } else {
+                run = 0;
+            }
+        }
+    }
+    false
+}
+
+/// SAD corner response: sum of |circle - centre| over pixels exceeding
+/// the threshold.
+fn response(img: &GrayImage, x: usize, y: usize, center: u8, t: u8) -> f64 {
+    let mut acc = 0.0;
+    for &(dx, dy) in &CIRCLE {
+        let v = img.get_clamped(x as isize + dx as isize, y as isize + dy as isize);
+        let d = (v as i16 - center as i16).abs();
+        if d > t as i16 {
+            acc += d as f64;
+        }
+    }
+    acc
+}
+
+/// Detect FAST corners.
+///
+/// Returns keypoints ordered strongest-first, truncated to
+/// `config.max_keypoints`, with deterministic tie-breaking.
+///
+/// # Errors
+///
+/// Returns [`SimError::Segfault`] when a fault-corrupted row address
+/// escapes the image, and propagates hang-budget exhaustion.
+pub fn detect(img: &GrayImage, config: &FastConfig) -> Result<Vec<KeyPoint>, SimError> {
+    let _f = tap::scope(FuncId::FastDetect);
+    let w = img.width();
+    let h = img.height();
+    if w < 8 || h < 8 {
+        return Ok(Vec::new());
+    }
+    let mut scores = vec![0.0f64; w * h];
+    let mut candidates = Vec::new();
+    let t = config.threshold;
+
+    for y in 3..h - 3 {
+        // One address tap per row: the row base pointer. All centre loads
+        // derive from it, so corrupting it models a corrupted base
+        // register feeding the load stream.
+        let row_base = tap::addr(y * w);
+        tap::work(OpClass::Mem, (w as u64) * 2)?;
+        tap::work(OpClass::IntAlu, (w as u64) * 4)?;
+        tap::work(OpClass::Control, w as u64)?;
+        for x in 3..w - 3 {
+            let center = img.get_linear(row_base + x).ok_or(SimError::Segfault)?;
+            // Quick rejection: a contiguous 9-arc on the 16-ring must
+            // contain at least 2 of the 4 compass points.
+            let quick = [
+                classify(img.get_clamped(x as isize, y as isize - 3), center, t),
+                classify(img.get_clamped(x as isize + 3, y as isize), center, t),
+                classify(img.get_clamped(x as isize, y as isize + 3), center, t),
+                classify(img.get_clamped(x as isize - 3, y as isize), center, t),
+            ];
+            let bright = quick.iter().filter(|&&s| s == 1).count();
+            let dark = quick.iter().filter(|&&s| s == 2).count();
+            if bright < 2 && dark < 2 {
+                continue;
+            }
+            // Full segment test on a data-tapped centre value. The
+            // comparison happens in the full register width, as the
+            // native `cmp` would: a corrupted high bit makes the centre
+            // enormous and every circle pixel "darker".
+            let center_reg = tap::gpr(center as u64) as i64;
+            tap::work(OpClass::IntAlu, 32)?;
+            let mut states = [0u8; 16];
+            for (i, &(dx, dy)) in CIRCLE.iter().enumerate() {
+                let v = img.get_clamped(x as isize + dx as isize, y as isize + dy as isize) as i64;
+                states[i] = if v >= center_reg.saturating_add(t as i64) {
+                    1
+                } else if v <= center_reg.saturating_sub(t as i64) {
+                    2
+                } else {
+                    0
+                };
+            }
+            if has_arc(&states) {
+                let center = center_reg.clamp(0, 255) as u8;
+                let score = response(img, x, y, center, t);
+                scores[y * w + x] = score;
+                candidates.push((x, y, score));
+            }
+        }
+    }
+
+    let mut keypoints: Vec<KeyPoint> = if config.nonmax_suppression {
+        candidates
+            .into_iter()
+            .filter(|&(x, y, s)| {
+                let mut is_max = true;
+                'outer: for dy in -1isize..=1 {
+                    for dx in -1isize..=1 {
+                        if dx == 0 && dy == 0 {
+                            continue;
+                        }
+                        let nx = x as isize + dx;
+                        let ny = y as isize + dy;
+                        if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
+                            continue;
+                        }
+                        let n = scores[ny as usize * w + nx as usize];
+                        // Strictly-greater on one side of the raster order
+                        // keeps exactly one point of a plateau.
+                        if n > s || (n == s && (ny, nx) < (y as isize, x as isize)) {
+                            is_max = false;
+                            break 'outer;
+                        }
+                    }
+                }
+                is_max
+            })
+            .map(|(x, y, s)| KeyPoint::new(x, y, s))
+            .collect()
+    } else {
+        candidates
+            .into_iter()
+            .map(|(x, y, s)| KeyPoint::new(x, y, s))
+            .collect()
+    };
+
+    // Strongest first; deterministic tie-break on raster position.
+    keypoints.sort_by(|a, b| {
+        b.response
+            .partial_cmp(&a.response)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then_with(|| (a.y as u64, a.x as u64).cmp(&(b.y as u64, b.x as u64)))
+    });
+    keypoints.truncate(config.max_keypoints);
+    Ok(keypoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single bright square on a dark field: corners at its vertices.
+    fn square_image() -> GrayImage {
+        let mut img = GrayImage::from_fn(64, 64, |_, _| 30);
+        vs_image::fill_rect_gray(&mut img, 20, 20, 24, 24, 220);
+        img
+    }
+
+    #[test]
+    fn detects_square_corners() {
+        let kps = detect(&square_image(), &FastConfig::default()).unwrap();
+        assert!(!kps.is_empty());
+        let corners = [(20.0, 20.0), (43.0, 20.0), (20.0, 43.0), (43.0, 43.0)];
+        for (cx, cy) in corners {
+            let hit = kps
+                .iter()
+                .any(|k| (k.x - cx).abs() <= 2.0 && (k.y - cy).abs() <= 2.0);
+            assert!(hit, "no keypoint near corner ({cx},{cy}); got {kps:?}");
+        }
+    }
+
+    #[test]
+    fn flat_image_has_no_corners() {
+        let img = GrayImage::from_fn(64, 64, |_, _| 99);
+        assert!(detect(&img, &FastConfig::default()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn straight_edges_are_not_corners() {
+        // A vertical step edge: FAST must reject points along it (at most
+        // 8 contiguous circle pixels differ).
+        let img = GrayImage::from_fn(64, 64, |x, _| if x < 32 { 20 } else { 220 });
+        let kps = detect(&img, &FastConfig::default()).unwrap();
+        assert!(
+            kps.is_empty(),
+            "edge pixels misdetected as corners: {kps:?}"
+        );
+    }
+
+    #[test]
+    fn nonmax_reduces_keypoint_count() {
+        let with = detect(&square_image(), &FastConfig::default()).unwrap();
+        let without = detect(
+            &square_image(),
+            &FastConfig {
+                nonmax_suppression: false,
+                ..FastConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(with.len() <= without.len());
+        assert!(!with.is_empty());
+    }
+
+    #[test]
+    fn max_keypoints_truncates_strongest_first() {
+        let all = detect(&square_image(), &FastConfig::default()).unwrap();
+        let some = detect(
+            &square_image(),
+            &FastConfig {
+                max_keypoints: 2,
+                ..FastConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(some.len(), 2.min(all.len()));
+        if all.len() >= 2 {
+            assert_eq!(some[0].response, all[0].response);
+        }
+    }
+
+    #[test]
+    fn higher_threshold_finds_fewer_corners() {
+        let img = square_image();
+        let low = detect(
+            &img,
+            &FastConfig {
+                threshold: 10,
+                ..FastConfig::default()
+            },
+        )
+        .unwrap();
+        let high = detect(
+            &img,
+            &FastConfig {
+                threshold: 120,
+                ..FastConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(high.len() <= low.len());
+    }
+
+    #[test]
+    fn tiny_images_yield_nothing() {
+        let img = GrayImage::new(6, 6);
+        assert!(detect(&img, &FastConfig::default()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn arc_detection_handles_wraparound() {
+        let mut states = [0u8; 16];
+        // 5 at the end + 4 at the start = 9 contiguous via wrap.
+        for s in states.iter_mut().take(4) {
+            *s = 1;
+        }
+        for s in states.iter_mut().skip(11) {
+            *s = 1;
+        }
+        assert!(has_arc(&states));
+        // 8 contiguous is not enough.
+        let mut eight = [0u8; 16];
+        for s in eight.iter_mut().take(8) {
+            *s = 2;
+        }
+        assert!(!has_arc(&eight));
+    }
+}

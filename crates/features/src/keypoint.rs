@@ -1,0 +1,61 @@
+//! Keypoint type shared by the detector, orientation and descriptor
+//! stages.
+
+/// A detected interest point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct KeyPoint {
+    /// Column coordinate (full-resolution pixels).
+    pub x: f64,
+    /// Row coordinate (full-resolution pixels).
+    pub y: f64,
+    /// Detector response (higher = stronger corner).
+    pub response: f64,
+    /// Dominant orientation in radians, assigned by the ORB orientation
+    /// step (0 until assigned).
+    pub angle: f64,
+    /// Pyramid level the point was detected at.
+    pub level: u8,
+}
+
+impl KeyPoint {
+    /// A keypoint at integer pixel coordinates with a response score.
+    pub fn new(x: usize, y: usize, response: f64) -> Self {
+        KeyPoint {
+            x: x as f64,
+            y: y as f64,
+            response,
+            angle: 0.0,
+            level: 0,
+        }
+    }
+
+    /// Euclidean distance to another keypoint.
+    pub fn distance(&self, other: &KeyPoint) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sets_coordinates_and_defaults() {
+        let kp = KeyPoint::new(4, 9, 12.5);
+        assert_eq!(kp.x, 4.0);
+        assert_eq!(kp.y, 9.0);
+        assert_eq!(kp.response, 12.5);
+        assert_eq!(kp.angle, 0.0);
+        assert_eq!(kp.level, 0);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        let a = KeyPoint::new(0, 0, 1.0);
+        let b = KeyPoint::new(3, 4, 1.0);
+        assert_eq!(a.distance(&b), 5.0);
+        assert_eq!(b.distance(&a), 5.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! ORB orientation assignment via the intensity centroid.
+//!
+//! ORB ("Oriented FAST") makes BRIEF rotation-invariant by measuring each
+//! patch's dominant orientation as the angle of the vector from the
+//! keypoint to the intensity centroid of its circular patch:
+//! `θ = atan2(m01, m10)` with moments `m_pq = Σ x^p y^q I(x, y)`.
+
+use crate::keypoint::KeyPoint;
+use vs_fault::{tap, FuncId, OpClass, SimError};
+use vs_image::GrayImage;
+
+/// Radius of the circular orientation patch.
+pub const PATCH_RADIUS: isize = 8;
+
+/// Compute the intensity-centroid orientation of the patch centred on
+/// `(cx, cy)`, in radians.
+///
+/// Patches overlapping the border are read with replicate padding, so the
+/// function is total over in-image centres.
+pub fn intensity_centroid(img: &GrayImage, cx: f64, cy: f64) -> f64 {
+    let xi = cx.round() as isize;
+    let yi = cy.round() as isize;
+    let mut m01 = 0.0f64;
+    let mut m10 = 0.0f64;
+    let r2 = PATCH_RADIUS * PATCH_RADIUS;
+    for dy in -PATCH_RADIUS..=PATCH_RADIUS {
+        for dx in -PATCH_RADIUS..=PATCH_RADIUS {
+            if dx * dx + dy * dy > r2 {
+                continue;
+            }
+            let v = img.get_clamped(xi + dx, yi + dy) as f64;
+            m10 += dx as f64 * v;
+            m01 += dy as f64 * v;
+        }
+    }
+    m01.atan2(m10)
+}
+
+/// Assign an orientation to every keypoint.
+///
+/// The computed angle flows through an FPR tap: a fault here rotates the
+/// BRIEF sampling pattern, corrupting the descriptor without any crash —
+/// the classic SDC-or-masked float-fault behaviour.
+///
+/// # Errors
+///
+/// Propagates hang-budget exhaustion from the instrumented loop.
+pub fn assign_orientations(
+    img: &GrayImage,
+    mut keypoints: Vec<KeyPoint>,
+) -> Result<Vec<KeyPoint>, SimError> {
+    let _f = tap::scope(FuncId::OrbOrientation);
+    for kp in &mut keypoints {
+        // The patch radius is a loop bound living in a control register.
+        // Corruption inflates the moment loops until the hang monitor
+        // trips — the pure-hang surface of this pipeline (patch reads are
+        // border-clamped, so no crash intervenes first).
+        let r = tap::ctl(PATCH_RADIUS as usize) as isize;
+        tap::work(OpClass::Float, 8)?;
+        let xi = kp.x.round() as isize;
+        let yi = kp.y.round() as isize;
+        let r2 = r.saturating_mul(r);
+        let mut m01 = 0.0f64;
+        let mut m10 = 0.0f64;
+        let mut dy = -r;
+        while dy <= r {
+            tap::work(OpClass::IntAlu, (2 * r.max(0) + 1) as u64)?;
+            tap::work(OpClass::Mem, (2 * r.max(0) + 1) as u64)?;
+            let mut dx = -r;
+            while dx <= r {
+                if dx.saturating_mul(dx).saturating_add(dy.saturating_mul(dy)) <= r2 {
+                    let v = img.get_clamped(xi + dx, yi + dy) as f64;
+                    m10 += dx as f64 * v;
+                    m01 += dy as f64 * v;
+                }
+                dx += 1;
+            }
+            dy += 1;
+        }
+        kp.angle = tap::fpr(m01.atan2(m10));
+    }
+    Ok(keypoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An image bright on the +x side of the centre: centroid points
+    /// along +x, angle ≈ 0.
+    #[test]
+    fn gradient_right_gives_zero_angle() {
+        let img = GrayImage::from_fn(32, 32, |x, _| if x >= 16 { 200 } else { 20 });
+        let a = intensity_centroid(&img, 16.0, 16.0);
+        assert!(a.abs() < 0.2, "angle {a} not ~0");
+    }
+
+    /// Bright below the centre: angle ≈ +π/2 (y grows downward).
+    #[test]
+    fn gradient_down_gives_half_pi() {
+        let img = GrayImage::from_fn(32, 32, |_, y| if y >= 16 { 200 } else { 20 });
+        let a = intensity_centroid(&img, 16.0, 16.0);
+        assert!((a - std::f64::consts::FRAC_PI_2).abs() < 0.2, "angle {a}");
+    }
+
+    /// Rotating the intensity pattern rotates the measured angle.
+    #[test]
+    fn orientation_tracks_pattern_rotation() {
+        for theta_deg in [0.0f64, 45.0, 90.0, 135.0, 180.0, -90.0] {
+            let theta = theta_deg.to_radians();
+            let (s, c) = theta.sin_cos();
+            let img = GrayImage::from_fn(48, 48, |x, y| {
+                // Brightness increases along direction theta.
+                let dx = x as f64 - 24.0;
+                let dy = y as f64 - 24.0;
+                let proj = dx * c + dy * s;
+                if proj > 0.0 {
+                    220
+                } else {
+                    30
+                }
+            });
+            let a = intensity_centroid(&img, 24.0, 24.0);
+            let mut err = (a - theta).abs();
+            if err > std::f64::consts::PI {
+                err = 2.0 * std::f64::consts::PI - err;
+            }
+            assert!(err < 0.25, "theta={theta_deg}° measured {}°", a.to_degrees());
+        }
+    }
+
+    #[test]
+    fn flat_patch_has_arbitrary_but_finite_angle() {
+        let img = GrayImage::from_fn(32, 32, |_, _| 100);
+        let a = intensity_centroid(&img, 16.0, 16.0);
+        assert!(a.is_finite());
+    }
+
+    #[test]
+    fn assign_orientations_preserves_positions() {
+        let img = GrayImage::from_fn(32, 32, |x, _| if x >= 16 { 200 } else { 20 });
+        let kps = vec![KeyPoint::new(16, 16, 5.0), KeyPoint::new(10, 20, 3.0)];
+        let out = assign_orientations(&img, kps.clone()).unwrap();
+        assert_eq!(out.len(), 2);
+        for (a, b) in out.iter().zip(&kps) {
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.y, b.y);
+            assert_eq!(a.response, b.response);
+        }
+        assert!(out[0].angle.abs() < 0.2);
+    }
+
+    #[test]
+    fn border_keypoints_do_not_panic() {
+        let img = GrayImage::from_fn(16, 16, |x, y| (x * y) as u8);
+        let kps = vec![KeyPoint::new(0, 0, 1.0), KeyPoint::new(15, 15, 1.0)];
+        let out = assign_orientations(&img, kps).unwrap();
+        assert!(out.iter().all(|k| k.angle.is_finite()));
+    }
+}

@@ -1,0 +1,148 @@
+//! Affine transform estimation — the pipeline's fallback when too few
+//! matches exist for a homography (§III-A).
+
+use vs_linalg::{solve_dense, Mat3, Vec2};
+
+/// Estimate the affine transform `[a b tx; c d ty]` mapping `src[i]` to
+/// `dst[i]` from at least three correspondences, least-squares when
+/// over-determined.
+///
+/// Returns `None` for degenerate (collinear/coincident) or non-finite
+/// configurations.
+pub fn least_squares(src: &[Vec2], dst: &[Vec2]) -> Option<Mat3> {
+    if src.len() != dst.len() || src.len() < 3 {
+        return None;
+    }
+    if src.iter().chain(dst.iter()).any(|p| !p.is_finite()) {
+        return None;
+    }
+    // Two decoupled 3-parameter least-squares problems share the same
+    // 3×3 normal matrix M = Σ [x y 1]ᵀ[x y 1].
+    let mut m = [0.0f64; 9];
+    let mut bu = [0.0f64; 3];
+    let mut bv = [0.0f64; 3];
+    for (p, q) in src.iter().zip(dst) {
+        let row = [p.x, p.y, 1.0];
+        for i in 0..3 {
+            bu[i] += row[i] * q.x;
+            bv[i] += row[i] * q.y;
+            for j in 0..3 {
+                m[i * 3 + j] += row[i] * row[j];
+            }
+        }
+    }
+    let xu = solve_dense(&mut m.to_vec(), &mut bu.to_vec(), 3).ok()?;
+    let xv = solve_dense(&mut m.to_vec(), &mut bv.to_vec(), 3).ok()?;
+    let out = Mat3::affine(xu[0], xu[1], xu[2], xv[0], xv[1], xv[2]);
+    out.is_finite().then_some(out)
+}
+
+/// Estimate an affine transform from exactly three correspondences.
+pub fn from_three_points(src: &[Vec2; 3], dst: &[Vec2; 3]) -> Option<Mat3> {
+    least_squares(src, dst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> [Vec2; 3] {
+        [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(50.0, 10.0),
+            Vec2::new(20.0, 60.0),
+        ]
+    }
+
+    #[test]
+    fn recovers_translation_exactly() {
+        let s = triangle();
+        let t = Mat3::translation(-3.0, 11.0);
+        let d = [
+            t.apply(s[0]).unwrap(),
+            t.apply(s[1]).unwrap(),
+            t.apply(s[2]).unwrap(),
+        ];
+        let a = from_three_points(&s, &d).unwrap();
+        assert!(a.distance(&t) < 1e-9);
+        assert!(a.is_affine());
+    }
+
+    #[test]
+    fn recovers_rotation_scale_shear() {
+        let s = triangle();
+        let truth = Mat3::affine(1.2, 0.3, 4.0, -0.1, 0.9, -2.0);
+        let d = [
+            truth.apply(s[0]).unwrap(),
+            truth.apply(s[1]).unwrap(),
+            truth.apply(s[2]).unwrap(),
+        ];
+        let a = from_three_points(&s, &d).unwrap();
+        assert!(a.distance(&truth) < 1e-9, "got\n{a}");
+    }
+
+    #[test]
+    fn least_squares_handles_many_noisy_points() {
+        let truth = Mat3::affine(1.0, 0.05, 7.0, -0.05, 1.0, 3.0);
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        for i in 0..40 {
+            let p = Vec2::new((i % 8) as f64 * 12.0, (i / 8) as f64 * 9.0);
+            let q = truth.apply(p).unwrap();
+            let e = if i % 2 == 0 { 0.25 } else { -0.25 };
+            src.push(p);
+            dst.push(Vec2::new(q.x + e, q.y + e));
+        }
+        let a = least_squares(&src, &dst).unwrap();
+        for (p, q) in src.iter().zip(&dst) {
+            assert!(a.apply(*p).unwrap().distance(*q) < 1.0);
+        }
+    }
+
+    #[test]
+    fn collinear_sources_are_degenerate() {
+        let src = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0), Vec2::new(2.0, 2.0)];
+        let dst = triangle();
+        assert!(from_three_points(&src, &dst).is_none());
+    }
+
+    #[test]
+    fn shape_and_finiteness_validation() {
+        let s = triangle();
+        assert!(least_squares(&s[..2], &s[..2]).is_none());
+        assert!(least_squares(&s, &s[..2]).is_none());
+        let mut bad = s;
+        bad[1].y = f64::INFINITY;
+        assert!(least_squares(&bad, &s).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Fitting three points of a random affine map recovers it.
+        #[test]
+        fn three_point_fit_recovers_affine(
+            a in 0.5f64..1.5, b in -0.4f64..0.4,
+            c in -0.4f64..0.4, d in 0.5f64..1.5,
+            tx in -40.0f64..40.0, ty in -40.0f64..40.0,
+        ) {
+            let truth = Mat3::affine(a, b, tx, c, d, ty);
+            let s = [
+                Vec2::new(3.0, 4.0),
+                Vec2::new(90.0, 12.0),
+                Vec2::new(30.0, 75.0),
+            ];
+            let dst = [
+                truth.apply(s[0]).unwrap(),
+                truth.apply(s[1]).unwrap(),
+                truth.apply(s[2]).unwrap(),
+            ];
+            let fit = from_three_points(&s, &dst).expect("non-degenerate");
+            prop_assert!(fit.distance(&truth) < 1e-7);
+        }
+    }
+}

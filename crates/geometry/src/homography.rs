@@ -1,0 +1,267 @@
+//! Homography estimation via the Direct Linear Transform.
+//!
+//! A planar homography `H` maps `src` points to `dst` points up to scale.
+//! With `h33 = 1` fixed, each correspondence contributes two rows to an
+//! `A h = b` system; four points determine the 8 unknowns exactly and
+//! more points are solved in the least-squares sense through the normal
+//! equations. Points are pre-conditioned with Hartley normalization
+//! (centroid at the origin, mean distance √2).
+
+use vs_linalg::{solve_dense, Mat3, Vec2};
+
+/// Hartley normalization: a similarity `T` moving the centroid to the
+/// origin with mean distance √2, plus the transformed points.
+fn normalize(points: &[Vec2]) -> Option<(Mat3, Vec<Vec2>)> {
+    let n = points.len() as f64;
+    if points.is_empty() {
+        return None;
+    }
+    let mut cx = 0.0;
+    let mut cy = 0.0;
+    for p in points {
+        cx += p.x;
+        cy += p.y;
+    }
+    cx /= n;
+    cy /= n;
+    let mut mean_dist = 0.0;
+    for p in points {
+        mean_dist += ((p.x - cx).powi(2) + (p.y - cy).powi(2)).sqrt();
+    }
+    mean_dist /= n;
+    if !mean_dist.is_finite() || mean_dist < 1e-9 {
+        return None; // all points coincide
+    }
+    let s = std::f64::consts::SQRT_2 / mean_dist;
+    let t = Mat3::from_rows([s, 0.0, -s * cx, 0.0, s, -s * cy, 0.0, 0.0, 1.0]);
+    let mapped = points
+        .iter()
+        .map(|&p| t.apply(p))
+        .collect::<Option<Vec<_>>>()?;
+    Some((t, mapped))
+}
+
+/// Assemble and solve the DLT system for normalized correspondences.
+fn solve_dlt(src: &[Vec2], dst: &[Vec2]) -> Option<Mat3> {
+    let n = src.len();
+    debug_assert_eq!(n, dst.len());
+    if n < 4 {
+        return None;
+    }
+    // Normal equations: (AᵀA) h = Aᵀ b for the 8-parameter system.
+    let mut ata = [0.0f64; 64];
+    let mut atb = [0.0f64; 8];
+    for k in 0..n {
+        let (x, y) = (src[k].x, src[k].y);
+        let (u, v) = (dst[k].x, dst[k].y);
+        // Row 1: [x y 1 0 0 0 -ux -uy] · h = u
+        // Row 2: [0 0 0 x y 1 -vx -vy] · h = v
+        let rows: [([f64; 8], f64); 2] = [
+            ([x, y, 1.0, 0.0, 0.0, 0.0, -u * x, -u * y], u),
+            ([0.0, 0.0, 0.0, x, y, 1.0, -v * x, -v * y], v),
+        ];
+        for (row, rhs) in rows {
+            for i in 0..8 {
+                atb[i] += row[i] * rhs;
+                for j in 0..8 {
+                    ata[i * 8 + j] += row[i] * row[j];
+                }
+            }
+        }
+    }
+    let h = solve_dense(&mut ata, &mut atb, 8).ok()?;
+    let m = Mat3::from_rows([h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7], 1.0]);
+    m.is_finite().then_some(m)
+}
+
+/// Estimate a homography from correspondences (at least 4), least-squares
+/// when over-determined.
+///
+/// Returns `None` for degenerate configurations (collinear points,
+/// coincident points, non-finite input).
+pub fn least_squares(src: &[Vec2], dst: &[Vec2]) -> Option<Mat3> {
+    if src.len() != dst.len() || src.len() < 4 {
+        return None;
+    }
+    if src.iter().chain(dst.iter()).any(|p| !p.is_finite()) {
+        return None;
+    }
+    let (t_src, src_n) = normalize(src)?;
+    let (t_dst, dst_n) = normalize(dst)?;
+    let h_n = solve_dlt(&src_n, &dst_n)?;
+    // Denormalize: H = T_dst⁻¹ · H_n · T_src.
+    let h = t_dst.inverse()? * h_n * t_src;
+    h.normalized()
+}
+
+/// Estimate a homography from exactly four correspondences.
+///
+/// Returns `None` when the four points are (near-)degenerate.
+pub fn from_four_points(src: &[Vec2; 4], dst: &[Vec2; 4]) -> Option<Mat3> {
+    least_squares(src, dst)
+}
+
+/// Symmetric check that a model maps `src[i]` near `dst[i]`.
+pub fn transfer_error(h: &Mat3, src: Vec2, dst: Vec2) -> f64 {
+    match h.apply(src) {
+        Some(p) => p.distance(dst),
+        None => f64::INFINITY,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn square() -> [Vec2; 4] {
+        [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(100.0, 0.0),
+            Vec2::new(100.0, 100.0),
+            Vec2::new(0.0, 100.0),
+        ]
+    }
+
+    fn map_all(h: &Mat3, pts: &[Vec2; 4]) -> [Vec2; 4] {
+        [
+            h.apply(pts[0]).unwrap(),
+            h.apply(pts[1]).unwrap(),
+            h.apply(pts[2]).unwrap(),
+            h.apply(pts[3]).unwrap(),
+        ]
+    }
+
+    #[test]
+    fn recovers_identity() {
+        let s = square();
+        let h = from_four_points(&s, &s).unwrap();
+        assert!(h.distance(&Mat3::IDENTITY) < 1e-9);
+    }
+
+    #[test]
+    fn recovers_translation() {
+        let s = square();
+        let t = Mat3::translation(13.0, -7.5);
+        let d = map_all(&t, &s);
+        let h = from_four_points(&s, &d).unwrap();
+        assert!(h.distance(&t) < 1e-8, "got\n{h}");
+    }
+
+    #[test]
+    fn recovers_rotation_scale() {
+        let s = square();
+        let t = Mat3::translation(5.0, 9.0) * Mat3::rotation(0.4) * Mat3::scaling(1.3);
+        let d = map_all(&t, &s);
+        let h = from_four_points(&s, &d).unwrap();
+        for &p in &s {
+            assert!(transfer_error(&h, p, t.apply(p).unwrap()) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn recovers_projective_transform() {
+        let s = square();
+        let t = Mat3::from_rows([1.0, 0.05, 3.0, -0.02, 0.95, 8.0, 1e-4, -2e-4, 1.0]);
+        let d = map_all(&t, &s);
+        let h = from_four_points(&s, &d).unwrap();
+        for &p in &s {
+            assert!(transfer_error(&h, p, t.apply(p).unwrap()) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn least_squares_averages_noise() {
+        // 30 noisy correspondences under a known transform: the LSQ fit
+        // should be much closer to truth than any single noisy pair.
+        let t = Mat3::translation(4.0, 6.0) * Mat3::rotation(0.1);
+        let mut src = Vec::new();
+        let mut dst = Vec::new();
+        for i in 0..30 {
+            let p = Vec2::new((i % 6) as f64 * 20.0, (i / 6) as f64 * 15.0);
+            let q = t.apply(p).unwrap();
+            let jitter = if i % 2 == 0 { 0.3 } else { -0.3 };
+            src.push(p);
+            dst.push(Vec2::new(q.x + jitter, q.y - jitter));
+        }
+        let h = least_squares(&src, &dst).unwrap();
+        for (&p, &q) in src.iter().zip(&dst) {
+            assert!(transfer_error(&h, p, q) < 1.0);
+        }
+    }
+
+    #[test]
+    fn collinear_points_are_degenerate() {
+        let src = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(2.0, 2.0),
+            Vec2::new(3.0, 3.0),
+        ];
+        let dst = square();
+        assert!(from_four_points(&src, &dst).is_none());
+    }
+
+    #[test]
+    fn coincident_points_are_degenerate() {
+        let p = Vec2::new(5.0, 5.0);
+        assert!(from_four_points(&[p; 4], &[p; 4]).is_none());
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let s = square();
+        assert!(least_squares(&s[..3], &s[..3]).is_none());
+        assert!(least_squares(&s[..4], &s[..3]).is_none());
+    }
+
+    #[test]
+    fn non_finite_points_rejected() {
+        let mut s = square();
+        let d = square();
+        s[0].x = f64::NAN;
+        assert!(least_squares(&s, &d).is_none());
+    }
+
+    #[test]
+    fn transfer_error_handles_points_at_infinity() {
+        let h = Mat3::from_rows([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, -1.0, 0.0, 1.0]);
+        assert_eq!(
+            transfer_error(&h, Vec2::new(1.0, 0.0), Vec2::ZERO),
+            f64::INFINITY
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Estimating from four in-general-position points reproduces the
+        /// generating affine map on those points.
+        #[test]
+        fn four_point_fit_is_exact(
+            tx in -50.0f64..50.0, ty in -50.0f64..50.0,
+            angle in -1.0f64..1.0, scale in 0.5f64..2.0,
+        ) {
+            let t = Mat3::translation(tx, ty) * Mat3::rotation(angle) * Mat3::scaling(scale);
+            let s = [
+                Vec2::new(0.0, 0.0),
+                Vec2::new(80.0, 5.0),
+                Vec2::new(70.0, 90.0),
+                Vec2::new(-10.0, 60.0),
+            ];
+            let d = [
+                t.apply(s[0]).unwrap(),
+                t.apply(s[1]).unwrap(),
+                t.apply(s[2]).unwrap(),
+                t.apply(s[3]).unwrap(),
+            ];
+            let h = from_four_points(&s, &d).expect("non-degenerate");
+            for (&p, &q) in s.iter().zip(&d) {
+                prop_assert!(transfer_error(&h, p, q) < 1e-6);
+            }
+        }
+    }
+}

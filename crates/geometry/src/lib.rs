@@ -1,0 +1,44 @@
+//! Geometric model estimation for image stitching: homographies, affine
+//! transforms and RANSAC.
+//!
+//! The paper's pipeline "uses RANSAC to compute the homography
+//! transformation between the two images"; when too few matching key
+//! points exist it "estimates a simpler affine transformation which
+//! requires fewer matching points", and discards the frame when even that
+//! fails (§III-A). This crate implements all three pieces from scratch:
+//!
+//! * [`homography::from_four_points`] / [`homography::least_squares`] —
+//!   DLT estimation with Hartley normalization,
+//! * [`affine::from_three_points`] / [`affine::least_squares`],
+//! * [`ransac::estimate_homography`] / [`ransac::estimate_affine`] —
+//!   seeded, fault-instrumented RANSAC loops,
+//! * [`transform`] — corner projection and bounds for canvas sizing.
+//!
+//! # Example
+//!
+//! ```
+//! use vs_linalg::{Mat3, Vec2};
+//! use vs_geometry::ransac::{self, RansacConfig};
+//!
+//! // Points related by a pure translation (+ a couple of outliers).
+//! let truth = Mat3::translation(12.0, -5.0);
+//! let mut pairs: Vec<(Vec2, Vec2)> = (0..40)
+//!     .map(|i| {
+//!         let p = Vec2::new((i * 7 % 100) as f64, (i * 13 % 80) as f64);
+//!         (p, truth.apply(p).unwrap())
+//!     })
+//!     .collect();
+//! pairs.push((Vec2::new(1.0, 1.0), Vec2::new(90.0, 70.0))); // outlier
+//! let fit = ransac::estimate_homography(&pairs, &RansacConfig::default(), 42)?
+//!     .expect("model must be found");
+//! let mapped = fit.model.apply(Vec2::new(10.0, 10.0)).unwrap();
+//! assert!((mapped - Vec2::new(22.0, 5.0)).norm() < 0.5);
+//! # Ok::<(), vs_fault::SimError>(())
+//! ```
+
+pub mod affine;
+pub mod homography;
+pub mod ransac;
+pub mod transform;
+
+pub use ransac::{RansacConfig, RansacFit};

@@ -1,0 +1,171 @@
+//! Transform utilities: corner projection, bounds and composition —
+//! the bookkeeping needed to size panorama canvases.
+
+use vs_linalg::{Mat3, Vec2};
+
+/// Axis-aligned bounding box in continuous image coordinates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bounds {
+    /// Minimum corner.
+    pub min: Vec2,
+    /// Maximum corner.
+    pub max: Vec2,
+}
+
+impl Bounds {
+    /// The tightest box containing the given points.
+    ///
+    /// Returns `None` for an empty set or non-finite points.
+    pub fn of_points(points: &[Vec2]) -> Option<Bounds> {
+        let mut iter = points.iter();
+        let first = iter.next()?;
+        if !first.is_finite() {
+            return None;
+        }
+        let mut b = Bounds {
+            min: *first,
+            max: *first,
+        };
+        for p in iter {
+            if !p.is_finite() {
+                return None;
+            }
+            b.min.x = b.min.x.min(p.x);
+            b.min.y = b.min.y.min(p.y);
+            b.max.x = b.max.x.max(p.x);
+            b.max.y = b.max.y.max(p.y);
+        }
+        Some(b)
+    }
+
+    /// Merge with another box.
+    pub fn union(&self, other: &Bounds) -> Bounds {
+        Bounds {
+            min: Vec2::new(self.min.x.min(other.min.x), self.min.y.min(other.min.y)),
+            max: Vec2::new(self.max.x.max(other.max.x), self.max.y.max(other.max.y)),
+        }
+    }
+
+    /// Width of the box.
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height of the box.
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Integer pixel dimensions (ceil), if non-negative and finite.
+    pub fn pixel_size(&self) -> Option<(usize, usize)> {
+        let w = self.width();
+        let h = self.height();
+        if !w.is_finite() || !h.is_finite() || w < 0.0 || h < 0.0 {
+            return None;
+        }
+        Some((w.ceil() as usize + 1, h.ceil() as usize + 1))
+    }
+}
+
+/// The four corners of a `w`×`h` image, clockwise from the origin.
+pub fn image_corners(w: usize, h: usize) -> [Vec2; 4] {
+    [
+        Vec2::new(0.0, 0.0),
+        Vec2::new(w as f64, 0.0),
+        Vec2::new(w as f64, h as f64),
+        Vec2::new(0.0, h as f64),
+    ]
+}
+
+/// Project the corners of a `w`×`h` image through `m`.
+///
+/// Returns `None` if any corner maps to infinity (a degenerate or
+/// fault-corrupted transform).
+pub fn project_corners(m: &Mat3, w: usize, h: usize) -> Option<[Vec2; 4]> {
+    let c = image_corners(w, h);
+    Some([
+        m.apply(c[0])?,
+        m.apply(c[1])?,
+        m.apply(c[2])?,
+        m.apply(c[3])?,
+    ])
+}
+
+/// Bounds of an image after transformation by `m`.
+pub fn transformed_bounds(m: &Mat3, w: usize, h: usize) -> Option<Bounds> {
+    Bounds::of_points(&project_corners(m, w, h)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_of_points_is_tight() {
+        let pts = [
+            Vec2::new(1.0, 5.0),
+            Vec2::new(-3.0, 2.0),
+            Vec2::new(4.0, -1.0),
+        ];
+        let b = Bounds::of_points(&pts).unwrap();
+        assert_eq!(b.min, Vec2::new(-3.0, -1.0));
+        assert_eq!(b.max, Vec2::new(4.0, 5.0));
+        assert_eq!(b.width(), 7.0);
+        assert_eq!(b.height(), 6.0);
+    }
+
+    #[test]
+    fn bounds_reject_empty_and_non_finite() {
+        assert!(Bounds::of_points(&[]).is_none());
+        assert!(Bounds::of_points(&[Vec2::new(f64::NAN, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = Bounds::of_points(&[Vec2::ZERO, Vec2::new(2.0, 2.0)]).unwrap();
+        let b = Bounds::of_points(&[Vec2::new(-1.0, 1.0), Vec2::new(1.0, 5.0)]).unwrap();
+        let u = a.union(&b);
+        assert_eq!(u.min, Vec2::new(-1.0, 0.0));
+        assert_eq!(u.max, Vec2::new(2.0, 5.0));
+    }
+
+    #[test]
+    fn identity_corners_and_bounds() {
+        let b = transformed_bounds(&Mat3::IDENTITY, 100, 50).unwrap();
+        assert_eq!(b.min, Vec2::ZERO);
+        assert_eq!(b.max, Vec2::new(100.0, 50.0));
+        assert_eq!(b.pixel_size(), Some((101, 51)));
+    }
+
+    #[test]
+    fn translated_bounds_shift() {
+        let t = Mat3::translation(-20.0, 30.0);
+        let b = transformed_bounds(&t, 10, 10).unwrap();
+        assert_eq!(b.min, Vec2::new(-20.0, 30.0));
+        assert_eq!(b.max, Vec2::new(-10.0, 40.0));
+    }
+
+    #[test]
+    fn rotation_grows_bounds() {
+        let r = Mat3::rotation(std::f64::consts::FRAC_PI_4);
+        let b = transformed_bounds(&r, 100, 100).unwrap();
+        assert!(b.width() > 100.0);
+        assert!(b.height() > 100.0);
+    }
+
+    #[test]
+    fn degenerate_transform_yields_none() {
+        // Sends the corner (w, h) to infinity.
+        let m = Mat3::from_rows([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, -0.01, 0.0, 1.0]);
+        assert!(project_corners(&m, 100, 100).is_none());
+    }
+
+    #[test]
+    fn pixel_size_validates() {
+        let b = Bounds {
+            min: Vec2::ZERO,
+            max: Vec2::new(f64::INFINITY, 1.0),
+        };
+        assert_eq!(b.pixel_size(), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Drawing primitives, used by the synthetic-terrain generator to paint
+//! roads, fields and buildings.
+
+use crate::{GrayImage, RgbImage};
+
+/// Fill an axis-aligned rectangle, clipped to the image.
+pub fn fill_rect_gray(img: &mut GrayImage, x: isize, y: isize, w: usize, h: usize, v: u8) {
+    let x0 = x.max(0) as usize;
+    let y0 = y.max(0) as usize;
+    let x1 = ((x + w as isize).max(0) as usize).min(img.width());
+    let y1 = ((y + h as isize).max(0) as usize).min(img.height());
+    for yy in y0..y1 {
+        for xx in x0..x1 {
+            img.set(xx, yy, v);
+        }
+    }
+}
+
+/// Fill an axis-aligned rectangle on an RGB image, clipped to the image.
+pub fn fill_rect_rgb(img: &mut RgbImage, x: isize, y: isize, w: usize, h: usize, p: [u8; 3]) {
+    let x0 = x.max(0) as usize;
+    let y0 = y.max(0) as usize;
+    let x1 = ((x + w as isize).max(0) as usize).min(img.width());
+    let y1 = ((y + h as isize).max(0) as usize).min(img.height());
+    for yy in y0..y1 {
+        for xx in x0..x1 {
+            img.set(xx, yy, p);
+        }
+    }
+}
+
+/// Draw a line with Bresenham's algorithm, clipped to the image, with a
+/// square brush of the given radius (0 = single pixel).
+pub fn draw_line_gray(
+    img: &mut GrayImage,
+    mut x0: isize,
+    mut y0: isize,
+    x1: isize,
+    y1: isize,
+    radius: usize,
+    v: u8,
+) {
+    let dx = (x1 - x0).abs();
+    let dy = -(y1 - y0).abs();
+    let sx = if x0 < x1 { 1 } else { -1 };
+    let sy = if y0 < y1 { 1 } else { -1 };
+    let mut err = dx + dy;
+    loop {
+        stamp(img, x0, y0, radius, v);
+        if x0 == x1 && y0 == y1 {
+            break;
+        }
+        let e2 = 2 * err;
+        if e2 >= dy {
+            err += dy;
+            x0 += sx;
+        }
+        if e2 <= dx {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+
+/// Draw a filled disc, clipped to the image.
+pub fn draw_disc_gray(img: &mut GrayImage, cx: isize, cy: isize, radius: usize, v: u8) {
+    let r = radius as isize;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            if dx * dx + dy * dy <= r * r {
+                let (x, y) = (cx + dx, cy + dy);
+                if x >= 0 && y >= 0 {
+                    img.set(x as usize, y as usize, v);
+                }
+            }
+        }
+    }
+}
+
+fn stamp(img: &mut GrayImage, cx: isize, cy: isize, radius: usize, v: u8) {
+    let r = radius as isize;
+    for dy in -r..=r {
+        for dx in -r..=r {
+            let (x, y) = (cx + dx, cy + dy);
+            if x >= 0 && y >= 0 {
+                img.set(x as usize, y as usize, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_fill_is_clipped() {
+        let mut img = GrayImage::new(4, 4);
+        fill_rect_gray(&mut img, -2, -2, 4, 4, 9);
+        assert_eq!(img.get(0, 0), Some(9));
+        assert_eq!(img.get(1, 1), Some(9));
+        assert_eq!(img.get(2, 2), Some(0));
+        fill_rect_gray(&mut img, 3, 3, 10, 10, 5);
+        assert_eq!(img.get(3, 3), Some(5));
+    }
+
+    #[test]
+    fn rgb_rect_fill() {
+        let mut img = RgbImage::new(3, 3);
+        fill_rect_rgb(&mut img, 1, 1, 2, 2, [1, 2, 3]);
+        assert_eq!(img.get(1, 1), Some([1, 2, 3]));
+        assert_eq!(img.get(0, 0), Some([0, 0, 0]));
+    }
+
+    #[test]
+    fn line_connects_endpoints() {
+        let mut img = GrayImage::new(8, 8);
+        draw_line_gray(&mut img, 0, 0, 7, 7, 0, 255);
+        for i in 0..8 {
+            assert_eq!(img.get(i, i), Some(255), "diagonal pixel {i}");
+        }
+    }
+
+    #[test]
+    fn line_with_radius_thickens() {
+        let mut img = GrayImage::new(8, 8);
+        draw_line_gray(&mut img, 0, 4, 7, 4, 1, 200);
+        assert_eq!(img.get(3, 3), Some(200));
+        assert_eq!(img.get(3, 4), Some(200));
+        assert_eq!(img.get(3, 5), Some(200));
+        assert_eq!(img.get(3, 1), Some(0));
+    }
+
+    #[test]
+    fn disc_is_round_and_clipped() {
+        let mut img = GrayImage::new(9, 9);
+        draw_disc_gray(&mut img, 4, 4, 3, 77);
+        assert_eq!(img.get(4, 4), Some(77));
+        assert_eq!(img.get(4, 1), Some(77));
+        assert_eq!(img.get(1, 1), Some(0), "corner outside the disc");
+        // Clipping: a disc centred off-image must not panic.
+        draw_disc_gray(&mut img, -1, -1, 2, 5);
+        assert_eq!(img.get(0, 0), Some(5));
+    }
+}

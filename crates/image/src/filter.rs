@@ -1,0 +1,119 @@
+//! Separable smoothing filters.
+//!
+//! ORB smooths the image before sampling BRIEF point pairs; the synthetic
+//! terrain generator uses blurs to soften painted structure.
+
+use crate::{saturate_u8, GrayImage};
+
+/// Box blur with a `(2*radius+1)`² kernel, replicate borders.
+///
+/// Radius 0 returns a copy.
+pub fn box_blur(img: &GrayImage, radius: usize) -> GrayImage {
+    if radius == 0 || img.is_empty() {
+        return img.clone();
+    }
+    let r = radius as isize;
+    let norm = (2 * radius + 1) as f64;
+    // Horizontal pass.
+    let horiz = GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0;
+        for dx in -r..=r {
+            acc += img.get_clamped(x as isize + dx, y as isize) as f64;
+        }
+        saturate_u8(acc / norm)
+    });
+    // Vertical pass.
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0;
+        for dy in -r..=r {
+            acc += horiz.get_clamped(x as isize, y as isize + dy) as f64;
+        }
+        saturate_u8(acc / norm)
+    })
+}
+
+fn separable_blur(img: &GrayImage, kernel: &[f64]) -> GrayImage {
+    if img.is_empty() {
+        return img.clone();
+    }
+    let r = (kernel.len() / 2) as isize;
+    let horiz = GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0;
+        for (i, k) in kernel.iter().enumerate() {
+            acc += k * img.get_clamped(x as isize + i as isize - r, y as isize) as f64;
+        }
+        saturate_u8(acc)
+    });
+    GrayImage::from_fn(img.width(), img.height(), |x, y| {
+        let mut acc = 0.0;
+        for (i, k) in kernel.iter().enumerate() {
+            acc += k * horiz.get_clamped(x as isize, y as isize + i as isize - r) as f64;
+        }
+        saturate_u8(acc)
+    })
+}
+
+/// 3×3 Gaussian blur (binomial [1 2 1]/4 kernel), replicate borders.
+pub fn gaussian_blur_3x3(img: &GrayImage) -> GrayImage {
+    separable_blur(img, &[0.25, 0.5, 0.25])
+}
+
+/// 5×5 Gaussian blur (binomial [1 4 6 4 1]/16 kernel), replicate borders.
+pub fn gaussian_blur_5x5(img: &GrayImage) -> GrayImage {
+    separable_blur(img, &[1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blur_preserves_constant_images() {
+        let img = GrayImage::from_fn(10, 10, |_, _| 128);
+        assert_eq!(box_blur(&img, 2), img);
+        assert_eq!(gaussian_blur_3x3(&img), img);
+        assert_eq!(gaussian_blur_5x5(&img), img);
+    }
+
+    #[test]
+    fn blur_smooths_an_impulse() {
+        let mut img = GrayImage::new(7, 7);
+        img.set(3, 3, 255);
+        let b = gaussian_blur_3x3(&img);
+        let center = b.get(3, 3).unwrap();
+        let neighbor = b.get(3, 2).unwrap();
+        let corner = b.get(2, 2).unwrap();
+        assert!(center > neighbor, "centre must dominate");
+        assert!(neighbor > corner, "cross neighbours exceed corners");
+        assert!(corner > 0, "energy spreads to the 3x3 ring");
+        assert_eq!(b.get(0, 0), Some(0), "energy stays local");
+    }
+
+    #[test]
+    fn radius_zero_box_is_identity() {
+        let img = GrayImage::from_fn(5, 5, |x, y| (x * y * 9) as u8);
+        assert_eq!(box_blur(&img, 0), img);
+    }
+
+    #[test]
+    fn blur_reduces_variance() {
+        let img = GrayImage::from_fn(16, 16, |x, y| if (x + y) % 2 == 0 { 0 } else { 255 });
+        let b = box_blur(&img, 1);
+        let var = |im: &GrayImage| {
+            let m = im.mean();
+            im.as_bytes()
+                .iter()
+                .map(|&v| (v as f64 - m).powi(2))
+                .sum::<f64>()
+                / im.as_bytes().len() as f64
+        };
+        assert!(var(&b) < var(&img) / 2.0);
+    }
+
+    #[test]
+    fn blur_handles_empty_images() {
+        let img = GrayImage::new(0, 0);
+        assert!(box_blur(&img, 3).is_empty());
+        assert!(gaussian_blur_5x5(&img).is_empty());
+    }
+}

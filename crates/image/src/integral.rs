@@ -1,0 +1,157 @@
+//! Integral images (summed-area tables).
+//!
+//! Used by the ORB orientation step to compute patch moments in constant
+//! time per query.
+
+use crate::GrayImage;
+
+/// A summed-area table over a [`GrayImage`].
+///
+/// `sum(x0, y0, x1, y1)` returns the inclusive-exclusive rectangle sum
+/// `Σ img[y, x] for x in x0..x1, y in y0..y1` in O(1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntegralImage {
+    width: usize,
+    height: usize,
+    /// `(width+1) x (height+1)` table; entry `(x, y)` holds the sum of all
+    /// pixels strictly above and left of `(x, y)`.
+    table: Vec<u64>,
+}
+
+impl IntegralImage {
+    /// Build the table in one pass over the image.
+    pub fn new(img: &GrayImage) -> Self {
+        let w = img.width();
+        let h = img.height();
+        let tw = w + 1;
+        let mut table = vec![0u64; tw * (h + 1)];
+        for y in 0..h {
+            let mut row_sum = 0u64;
+            let row = img.row(y);
+            for x in 0..w {
+                row_sum += row[x] as u64;
+                table[(y + 1) * tw + (x + 1)] = table[y * tw + (x + 1)] + row_sum;
+            }
+        }
+        IntegralImage {
+            width: w,
+            height: h,
+            table,
+        }
+    }
+
+    /// Width of the source image.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height of the source image.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Sum over the half-open rectangle `[x0, x1) x [y0, y1)`.
+    ///
+    /// Returns `None` if the rectangle is inverted or escapes the image.
+    pub fn sum(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> Option<u64> {
+        if x1 < x0 || y1 < y0 || x1 > self.width || y1 > self.height {
+            return None;
+        }
+        let tw = self.width + 1;
+        let a = self.table[y0 * tw + x0];
+        let b = self.table[y0 * tw + x1];
+        let c = self.table[y1 * tw + x0];
+        let d = self.table[y1 * tw + x1];
+        Some(d + a - b - c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_sum(img: &GrayImage, x0: usize, y0: usize, x1: usize, y1: usize) -> u64 {
+        let mut acc = 0u64;
+        for y in y0..y1 {
+            for x in x0..x1 {
+                acc += img.get(x, y).unwrap() as u64;
+            }
+        }
+        acc
+    }
+
+    #[test]
+    fn matches_brute_force_on_all_rectangles() {
+        let img = GrayImage::from_fn(7, 5, |x, y| ((x * 31 + y * 17) % 251) as u8);
+        let it = IntegralImage::new(&img);
+        for y0 in 0..=5 {
+            for y1 in y0..=5 {
+                for x0 in 0..=7 {
+                    for x1 in x0..=7 {
+                        assert_eq!(
+                            it.sum(x0, y0, x1, y1),
+                            Some(brute_sum(&img, x0, y0, x1, y1)),
+                            "rect ({x0},{y0})..({x1},{y1})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_rects_are_rejected() {
+        let img = GrayImage::new(4, 4);
+        let it = IntegralImage::new(&img);
+        assert_eq!(it.sum(0, 0, 5, 1), None);
+        assert_eq!(it.sum(0, 0, 1, 5), None);
+        assert_eq!(it.sum(3, 0, 2, 1), None);
+    }
+
+    #[test]
+    fn empty_rects_sum_to_zero() {
+        let img = GrayImage::from_fn(3, 3, |_, _| 9);
+        let it = IntegralImage::new(&img);
+        assert_eq!(it.sum(1, 1, 1, 1), Some(0));
+        assert_eq!(it.sum(0, 2, 3, 2), Some(0));
+    }
+
+    #[test]
+    fn full_image_sum() {
+        let img = GrayImage::from_fn(4, 4, |_, _| 255);
+        let it = IntegralImage::new(&img);
+        assert_eq!(it.sum(0, 0, 4, 4), Some(255 * 16));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Integral-image rectangle sums always equal brute-force sums.
+        #[test]
+        fn integral_equals_brute(
+            w in 1usize..12,
+            h in 1usize..12,
+            pixels in proptest::collection::vec(0u8..=255, 144),
+            rect in (0usize..12, 0usize..12, 0usize..12, 0usize..12),
+        ) {
+            let img = GrayImage::from_fn(w, h, |x, y| pixels[(y * 12 + x) % pixels.len()]);
+            let it = IntegralImage::new(&img);
+            let (a, b, c, d) = rect;
+            let (x0, x1) = (a.min(w), b.min(w));
+            let (y0, y1) = (c.min(h), d.min(h));
+            let (x0, x1) = (x0.min(x1), x0.max(x1));
+            let (y0, y1) = (y0.min(y1), y0.max(y1));
+            let mut brute = 0u64;
+            for y in y0..y1 {
+                for x in x0..x1 {
+                    brute += img.get(x, y).unwrap() as u64;
+                }
+            }
+            prop_assert_eq!(it.sum(x0, y0, x1, y1), Some(brute));
+        }
+    }
+}

@@ -1,0 +1,196 @@
+//! Binary PPM (P6) and PGM (P5) image I/O.
+//!
+//! The repro harness dumps panoramas and diff images as PPM/PGM so the
+//! qualitative figures (Figs 6 and 13) can be inspected with any viewer.
+
+use crate::{GrayImage, RgbImage, MAX_PIXELS};
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Error raised while reading a PNM stream.
+#[derive(Debug)]
+pub enum PnmError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// The stream is not a valid P5/P6 file (detail in the message).
+    Format(String),
+}
+
+impl fmt::Display for PnmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PnmError::Io(e) => write!(f, "i/o error reading pnm: {e}"),
+            PnmError::Format(msg) => write!(f, "malformed pnm: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PnmError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PnmError::Io(e) => Some(e),
+            PnmError::Format(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for PnmError {
+    fn from(e: io::Error) -> Self {
+        PnmError::Io(e)
+    }
+}
+
+/// Write an RGB image as binary PPM (P6).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_ppm(path: impl AsRef<Path>, img: &RgbImage) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P6\n{} {}\n255\n", img.width(), img.height())?;
+    f.write_all(img.as_bytes())?;
+    Ok(())
+}
+
+/// Write a grayscale image as binary PGM (P5).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_pgm(path: impl AsRef<Path>, img: &GrayImage) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    write!(f, "P5\n{} {}\n255\n", img.width(), img.height())?;
+    f.write_all(img.as_bytes())?;
+    Ok(())
+}
+
+fn read_header(r: &mut impl BufRead, magic: &str) -> Result<(usize, usize), PnmError> {
+    let mut tokens = Vec::new();
+    let mut line = String::new();
+    while tokens.len() < 4 {
+        line.clear();
+        if r.read_line(&mut line)? == 0 {
+            return Err(PnmError::Format("truncated header".into()));
+        }
+        let content = line.split('#').next().unwrap_or("");
+        tokens.extend(content.split_whitespace().map(str::to_owned));
+    }
+    if tokens[0] != magic {
+        return Err(PnmError::Format(format!(
+            "expected magic {magic}, found {}",
+            tokens[0]
+        )));
+    }
+    let width: usize = tokens[1]
+        .parse()
+        .map_err(|_| PnmError::Format("bad width".into()))?;
+    let height: usize = tokens[2]
+        .parse()
+        .map_err(|_| PnmError::Format("bad height".into()))?;
+    if tokens[3] != "255" {
+        return Err(PnmError::Format("only maxval 255 supported".into()));
+    }
+    if width.checked_mul(height).is_none_or(|p| p > MAX_PIXELS) {
+        return Err(PnmError::Format("image too large".into()));
+    }
+    Ok((width, height))
+}
+
+/// Read a binary PPM (P6) file.
+///
+/// # Errors
+///
+/// Returns [`PnmError`] for I/O failures or malformed content.
+pub fn read_ppm(path: impl AsRef<Path>) -> Result<RgbImage, PnmError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let (w, h) = read_header(&mut r, "P6")?;
+    let mut data = vec![0u8; w * h * 3];
+    r.read_exact(&mut data)
+        .map_err(|_| PnmError::Format("truncated pixel data".into()))?;
+    let mut img = RgbImage::new(w, h);
+    img.as_bytes_mut().copy_from_slice(&data);
+    Ok(img)
+}
+
+/// Read a binary PGM (P5) file.
+///
+/// # Errors
+///
+/// Returns [`PnmError`] for I/O failures or malformed content.
+pub fn read_pgm(path: impl AsRef<Path>) -> Result<GrayImage, PnmError> {
+    let mut r = BufReader::new(std::fs::File::open(path)?);
+    let (w, h) = read_header(&mut r, "P5")?;
+    let mut data = vec![0u8; w * h];
+    r.read_exact(&mut data)
+        .map_err(|_| PnmError::Format("truncated pixel data".into()))?;
+    Ok(GrayImage::from_raw(w, h, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("vs_image_test_{}_{name}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn ppm_roundtrip() {
+        let img = RgbImage::from_fn(7, 5, |x, y| [x as u8, y as u8, (x * y) as u8]);
+        let path = tmp("rt.ppm");
+        write_ppm(&path, &img).unwrap();
+        let back = read_ppm(&path).unwrap();
+        assert_eq!(back, img);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn pgm_roundtrip() {
+        let img = GrayImage::from_fn(9, 3, |x, y| (x * 20 + y) as u8);
+        let path = tmp("rt.pgm");
+        write_pgm(&path, &img).unwrap();
+        let back = read_pgm(&path).unwrap();
+        assert_eq!(back, img);
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected() {
+        let path = tmp("bad_magic.ppm");
+        std::fs::write(&path, b"P5\n1 1\n255\n\0").unwrap();
+        match read_ppm(&path) {
+            Err(PnmError::Format(msg)) => assert!(msg.contains("magic")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn truncated_data_is_rejected() {
+        let path = tmp("trunc.pgm");
+        std::fs::write(&path, b"P5\n4 4\n255\nab").unwrap();
+        assert!(matches!(read_pgm(&path), Err(PnmError::Format(_))));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn comments_in_header_are_ignored() {
+        let path = tmp("comment.pgm");
+        std::fs::write(&path, b"P5\n# a comment\n2 1\n255\nxy").unwrap();
+        let img = read_pgm(&path).unwrap();
+        assert_eq!(img.width(), 2);
+        assert_eq!(img.get(0, 0), Some(b'x'));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        assert!(matches!(
+            read_ppm("/definitely/not/here.ppm"),
+            Err(PnmError::Io(_))
+        ));
+    }
+}

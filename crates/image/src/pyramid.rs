@@ -1,0 +1,132 @@
+//! Image pyramids.
+//!
+//! ORB detects FAST corners at several scales; the pyramid here halves
+//! resolution per level with 2×2 box averaging.
+
+use crate::{saturate_u8, GrayImage};
+
+/// Downsample by a factor of two with 2×2 box averaging.
+///
+/// Odd trailing rows/columns are dropped, matching the conventional
+/// `pyrDown` grid. Images smaller than 2×2 collapse to an empty image.
+pub fn downsample_half(img: &GrayImage) -> GrayImage {
+    let w = img.width() / 2;
+    let h = img.height() / 2;
+    GrayImage::from_fn(w, h, |x, y| {
+        let acc = img.get(2 * x, 2 * y).unwrap_or(0) as u32
+            + img.get(2 * x + 1, 2 * y).unwrap_or(0) as u32
+            + img.get(2 * x, 2 * y + 1).unwrap_or(0) as u32
+            + img.get(2 * x + 1, 2 * y + 1).unwrap_or(0) as u32;
+        saturate_u8(acc as f64 / 4.0)
+    })
+}
+
+/// A multi-scale pyramid: level 0 is the source image, each further level
+/// halves the resolution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pyramid {
+    levels: Vec<GrayImage>,
+}
+
+impl Pyramid {
+    /// Build a pyramid with at most `max_levels` levels, stopping early
+    /// when a level would fall below `min_size` pixels on a side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_levels` is zero.
+    pub fn new(base: &GrayImage, max_levels: usize, min_size: usize) -> Self {
+        assert!(max_levels > 0, "pyramid needs at least one level");
+        let mut levels = vec![base.clone()];
+        while levels.len() < max_levels {
+            let prev = levels.last().expect("non-empty by construction");
+            if prev.width() / 2 < min_size || prev.height() / 2 < min_size {
+                break;
+            }
+            levels.push(downsample_half(prev));
+        }
+        Pyramid { levels }
+    }
+
+    /// Number of levels actually built.
+    pub fn len(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Whether the pyramid has no levels (never true after `new`).
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Image at `level` (0 = full resolution).
+    pub fn level(&self, level: usize) -> Option<&GrayImage> {
+        self.levels.get(level)
+    }
+
+    /// The scale factor mapping level-`level` coordinates back to level 0.
+    pub fn scale(&self, level: usize) -> f64 {
+        (1u64 << level) as f64
+    }
+
+    /// Iterate over `(level_index, image)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &GrayImage)> {
+        self.levels.iter().enumerate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn downsample_averages_blocks() {
+        let img = GrayImage::from_fn(4, 2, |x, _| (x as u8) * 40);
+        // Blocks: {0,40,0,40}->20, {80,120,80,120}->100
+        let d = downsample_half(&img);
+        assert_eq!(d.width(), 2);
+        assert_eq!(d.height(), 1);
+        assert_eq!(d.get(0, 0), Some(20));
+        assert_eq!(d.get(1, 0), Some(100));
+    }
+
+    #[test]
+    fn odd_dimensions_truncate() {
+        let img = GrayImage::new(5, 3);
+        let d = downsample_half(&img);
+        assert_eq!((d.width(), d.height()), (2, 1));
+    }
+
+    #[test]
+    fn pyramid_respects_min_size() {
+        let img = GrayImage::new(64, 64);
+        let p = Pyramid::new(&img, 10, 16);
+        // 64 -> 32 -> 16, then 16/2=8 < 16 stops.
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.level(2).unwrap().width(), 16);
+        assert!(p.level(3).is_none());
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn pyramid_respects_max_levels() {
+        let img = GrayImage::new(1024, 1024);
+        let p = Pyramid::new(&img, 3, 4);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.scale(0), 1.0);
+        assert_eq!(p.scale(2), 4.0);
+    }
+
+    #[test]
+    fn iter_yields_all_levels() {
+        let img = GrayImage::new(32, 32);
+        let p = Pyramid::new(&img, 4, 2);
+        let sizes: Vec<_> = p.iter().map(|(i, im)| (i, im.width())).collect();
+        assert_eq!(sizes, vec![(0, 32), (1, 16), (2, 8), (3, 4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn zero_levels_rejected() {
+        let _ = Pyramid::new(&GrayImage::new(8, 8), 0, 2);
+    }
+}

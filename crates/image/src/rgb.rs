@@ -1,0 +1,256 @@
+//! 8-bit three-channel (RGB) images.
+
+use crate::gray::GrayImage;
+use crate::MAX_PIXELS;
+use std::fmt;
+
+/// An 8-bit RGB image in row-major, interleaved layout.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RgbImage {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl RgbImage {
+    /// A black image of the given size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width * height` exceeds [`MAX_PIXELS`]. Use
+    /// [`RgbImage::try_new`] when dimensions are untrusted.
+    pub fn new(width: usize, height: usize) -> Self {
+        Self::try_new(width, height).expect("image dimensions exceed MAX_PIXELS")
+    }
+
+    /// A black image, or `None` if the dimensions overflow the pixel cap.
+    pub fn try_new(width: usize, height: usize) -> Option<Self> {
+        let pixels = width.checked_mul(height)?;
+        if pixels > MAX_PIXELS {
+            return None;
+        }
+        Some(RgbImage {
+            width,
+            height,
+            data: vec![0u8; pixels * 3],
+        })
+    }
+
+    /// Build an image by evaluating `f(x, y)` for every pixel.
+    pub fn from_fn(
+        width: usize,
+        height: usize,
+        mut f: impl FnMut(usize, usize) -> [u8; 3],
+    ) -> Self {
+        let mut img = RgbImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                let p = f(x, y);
+                let o = (y * width + x) * 3;
+                img.data[o..o + 3].copy_from_slice(&p);
+            }
+        }
+        img
+    }
+
+    /// Replicate a grayscale image into all three channels.
+    pub fn from_gray(gray: &GrayImage) -> Self {
+        RgbImage::from_fn(gray.width(), gray.height(), |x, y| {
+            let v = gray.get(x, y).unwrap_or(0);
+            [v, v, v]
+        })
+    }
+
+    /// Width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Whether the image has zero area.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Checked pixel read.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> Option<[u8; 3]> {
+        if x < self.width && y < self.height {
+            let o = (y * self.width + x) * 3;
+            Some([self.data[o], self.data[o + 1], self.data[o + 2]])
+        } else {
+            None
+        }
+    }
+
+    /// Pixel read with replicate border padding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image is empty.
+    #[inline]
+    pub fn get_clamped(&self, x: isize, y: isize) -> [u8; 3] {
+        assert!(!self.is_empty(), "get_clamped on empty image");
+        let cx = x.clamp(0, self.width as isize - 1) as usize;
+        let cy = y.clamp(0, self.height as isize - 1) as usize;
+        let o = (cy * self.width + cx) * 3;
+        [self.data[o], self.data[o + 1], self.data[o + 2]]
+    }
+
+    /// Checked pixel write; returns false when out of bounds.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, p: [u8; 3]) -> bool {
+        if x < self.width && y < self.height {
+            let o = (y * self.width + x) * 3;
+            self.data[o..o + 3].copy_from_slice(&p);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Interleaved RGB bytes.
+    #[inline]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable interleaved RGB bytes.
+    #[inline]
+    pub fn as_bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Convert to grayscale with the ITU-R BT.601 luma weights, the same
+    /// weights OpenCV's `cvtColor(COLOR_RGB2GRAY)` uses.
+    pub fn to_gray(&self) -> GrayImage {
+        GrayImage::from_fn(self.width, self.height, |x, y| {
+            let o = (y * self.width + x) * 3;
+            let r = self.data[o] as u32;
+            let g = self.data[o + 1] as u32;
+            let b = self.data[o + 2] as u32;
+            // Fixed-point 0.299 R + 0.587 G + 0.114 B.
+            ((r * 306 + g * 601 + b * 117 + 512) >> 10) as u8
+        })
+    }
+
+    /// Bilinear sample of all channels at fractional coordinates.
+    ///
+    /// Returns `None` for non-finite or far-out-of-range coordinates.
+    pub fn sample_bilinear(&self, x: f64, y: f64) -> Option<[f64; 3]> {
+        if !x.is_finite() || !y.is_finite() || self.is_empty() {
+            return None;
+        }
+        if x < -1.0 || y < -1.0 || x > self.width as f64 || y > self.height as f64 {
+            return None;
+        }
+        let x0f = x.floor();
+        let y0f = y.floor();
+        let fx = x - x0f;
+        let fy = y - y0f;
+        let x0 = x0f as isize;
+        let y0 = y0f as isize;
+        let p00 = self.get_clamped(x0, y0);
+        let p10 = self.get_clamped(x0 + 1, y0);
+        let p01 = self.get_clamped(x0, y0 + 1);
+        let p11 = self.get_clamped(x0 + 1, y0 + 1);
+        let mut out = [0.0f64; 3];
+        for c in 0..3 {
+            let top = p00[c] as f64 + (p10[c] as f64 - p00[c] as f64) * fx;
+            let bottom = p01[c] as f64 + (p11[c] as f64 - p01[c] as f64) * fx;
+            out[c] = top + (bottom - top) * fy;
+        }
+        Some(out)
+    }
+
+    /// Extract a sub-image; `None` if the rectangle escapes the bounds.
+    pub fn crop(&self, x: usize, y: usize, w: usize, h: usize) -> Option<RgbImage> {
+        if x.checked_add(w)? > self.width || y.checked_add(h)? > self.height {
+            return None;
+        }
+        let mut out = RgbImage::new(w, h);
+        for row in 0..h {
+            let src_off = ((y + row) * self.width + x) * 3;
+            let dst_off = row * w * 3;
+            out.data[dst_off..dst_off + w * 3]
+                .copy_from_slice(&self.data[src_off..src_off + w * 3]);
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Debug for RgbImage {
+    /// Compact representation: dimensions only.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RgbImage {{ {}x{} }}", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut img = RgbImage::new(3, 2);
+        assert!(img.set(2, 1, [1, 2, 3]));
+        assert_eq!(img.get(2, 1), Some([1, 2, 3]));
+        assert_eq!(img.get(3, 0), None);
+        assert!(!img.set(0, 2, [0, 0, 0]));
+    }
+
+    #[test]
+    fn gray_conversion_matches_luma_weights() {
+        let img = RgbImage::from_fn(1, 1, |_, _| [255, 0, 0]);
+        let g = img.to_gray();
+        let v = g.get(0, 0).unwrap();
+        assert!((v as i32 - 76).abs() <= 1, "red luma should be ~76, got {v}");
+        let white = RgbImage::from_fn(1, 1, |_, _| [255, 255, 255]).to_gray();
+        assert_eq!(white.get(0, 0), Some(255));
+    }
+
+    #[test]
+    fn gray_roundtrip_preserves_values() {
+        let g = GrayImage::from_fn(4, 4, |x, y| (x * 16 + y) as u8);
+        let rgb = RgbImage::from_gray(&g);
+        assert_eq!(rgb.to_gray(), g);
+    }
+
+    #[test]
+    fn bilinear_midpoint() {
+        let mut img = RgbImage::new(2, 1);
+        img.set(0, 0, [0, 10, 20]);
+        img.set(1, 0, [100, 30, 40]);
+        let s = img.sample_bilinear(0.5, 0.0).unwrap();
+        assert_eq!(s, [50.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn crop_matches_source() {
+        let img = RgbImage::from_fn(5, 5, |x, y| [x as u8, y as u8, 7]);
+        let c = img.crop(1, 2, 3, 2).unwrap();
+        assert_eq!(c.get(0, 0), img.get(1, 2));
+        assert_eq!(c.get(2, 1), img.get(3, 3));
+        assert!(img.crop(4, 4, 2, 2).is_none());
+    }
+
+    #[test]
+    fn try_new_caps_allocation() {
+        assert!(RgbImage::try_new(1 << 15, 1 << 15).is_none());
+        assert!(RgbImage::try_new(64, 64).is_some());
+    }
+
+    #[test]
+    fn clamped_reads() {
+        let img = RgbImage::from_fn(2, 2, |x, y| [(x * 2 + y) as u8, 0, 0]);
+        assert_eq!(img.get_clamped(-1, -1), img.get(0, 0).unwrap());
+        assert_eq!(img.get_clamped(5, 5), img.get(1, 1).unwrap());
+    }
+}

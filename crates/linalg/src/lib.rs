@@ -1,0 +1,27 @@
+//! Small dense linear algebra for the video-summarization pipeline.
+//!
+//! The stitching pipeline needs exactly the linear algebra OpenCV's
+//! `findHomography`/`estimateRigidTransform` use internally: 2-D/3-D
+//! vectors, 3×3 matrices with inverses, and a pivoting Gaussian solver for
+//! the 8×8 (homography DLT) and 6×6 (affine least-squares) systems. All of
+//! it is implemented here from scratch.
+//!
+//! # Example
+//!
+//! ```
+//! use vs_linalg::{Mat3, Vec2};
+//!
+//! let t = Mat3::translation(3.0, -2.0);
+//! let p = t.apply(Vec2::new(1.0, 1.0)).unwrap();
+//! assert_eq!(p, Vec2::new(4.0, -1.0));
+//! let back = t.inverse().unwrap().apply(p).unwrap();
+//! assert!((back.x - 1.0).abs() < 1e-12);
+//! ```
+
+mod mat;
+mod solve;
+mod vec;
+
+pub use mat::Mat3;
+pub use solve::{solve_dense, LinearSystemError};
+pub use vec::{Vec2, Vec3};

@@ -1,0 +1,294 @@
+//! 3×3 matrices: the representation of homographies and affine
+//! transforms throughout the pipeline.
+
+use crate::vec::{Vec2, Vec3};
+use std::fmt;
+use std::ops::Mul;
+
+/// A row-major 3×3 matrix of `f64`.
+///
+/// Homographies are stored un-normalized; [`Mat3::apply`] performs the
+/// perspective divide. Affine transforms are `Mat3`s whose last row is
+/// `[0, 0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    m: [f64; 9],
+}
+
+impl Mat3 {
+    /// The identity transform.
+    pub const IDENTITY: Mat3 = Mat3 {
+        m: [1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0],
+    };
+
+    /// Construct from a row-major element array.
+    #[inline]
+    pub fn from_rows(m: [f64; 9]) -> Self {
+        Mat3 { m }
+    }
+
+    /// Row-major element array.
+    #[inline]
+    pub fn to_rows(self) -> [f64; 9] {
+        self.m
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `col` is 3 or more.
+    #[inline]
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        assert!(row < 3 && col < 3, "Mat3 index out of range");
+        self.m[row * 3 + col]
+    }
+
+    /// A pure translation.
+    pub fn translation(tx: f64, ty: f64) -> Self {
+        Mat3::from_rows([1.0, 0.0, tx, 0.0, 1.0, ty, 0.0, 0.0, 1.0])
+    }
+
+    /// Uniform scaling about the origin.
+    pub fn scaling(s: f64) -> Self {
+        Mat3::from_rows([s, 0.0, 0.0, 0.0, s, 0.0, 0.0, 0.0, 1.0])
+    }
+
+    /// Counter-clockwise rotation about the origin by `radians`.
+    pub fn rotation(radians: f64) -> Self {
+        let (s, c) = radians.sin_cos();
+        Mat3::from_rows([c, -s, 0.0, s, c, 0.0, 0.0, 0.0, 1.0])
+    }
+
+    /// An affine transform from its six parameters
+    /// `[a, b, tx; c, d, ty; 0, 0, 1]`.
+    pub fn affine(a: f64, b: f64, tx: f64, c: f64, d: f64, ty: f64) -> Self {
+        Mat3::from_rows([a, b, tx, c, d, ty, 0.0, 0.0, 1.0])
+    }
+
+    /// Determinant.
+    pub fn det(&self) -> f64 {
+        let m = &self.m;
+        m[0] * (m[4] * m[8] - m[5] * m[7]) - m[1] * (m[3] * m[8] - m[5] * m[6])
+            + m[2] * (m[3] * m[7] - m[4] * m[6])
+    }
+
+    /// Inverse via the adjugate.
+    ///
+    /// Returns `None` if the matrix is singular or contains non-finite
+    /// entries.
+    pub fn inverse(&self) -> Option<Mat3> {
+        let m = &self.m;
+        let det = self.det();
+        if !det.is_finite() || det.abs() < 1e-14 {
+            return None;
+        }
+        let inv_det = 1.0 / det;
+        let out = Mat3::from_rows([
+            (m[4] * m[8] - m[5] * m[7]) * inv_det,
+            (m[2] * m[7] - m[1] * m[8]) * inv_det,
+            (m[1] * m[5] - m[2] * m[4]) * inv_det,
+            (m[5] * m[6] - m[3] * m[8]) * inv_det,
+            (m[0] * m[8] - m[2] * m[6]) * inv_det,
+            (m[2] * m[3] - m[0] * m[5]) * inv_det,
+            (m[3] * m[7] - m[4] * m[6]) * inv_det,
+            (m[1] * m[6] - m[0] * m[7]) * inv_det,
+            (m[0] * m[4] - m[1] * m[3]) * inv_det,
+        ]);
+        out.is_finite().then_some(out)
+    }
+
+    /// Apply to a homogeneous-lifted 2-D point and project back.
+    ///
+    /// Returns `None` when the mapped point lies at infinity or overflows
+    /// to a non-finite value (possible with fault-corrupted homographies).
+    #[inline]
+    pub fn apply(&self, p: Vec2) -> Option<Vec2> {
+        self.apply_h(p.to_homogeneous()).project()
+    }
+
+    /// Apply to a homogeneous 3-vector without projecting.
+    #[inline]
+    pub fn apply_h(&self, v: Vec3) -> Vec3 {
+        let m = &self.m;
+        Vec3::new(
+            m[0] * v.x + m[1] * v.y + m[2] * v.z,
+            m[3] * v.x + m[4] * v.y + m[5] * v.z,
+            m[6] * v.x + m[7] * v.y + m[8] * v.z,
+        )
+    }
+
+    /// Whether every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.m.iter().all(|v| v.is_finite())
+    }
+
+    /// Whether the last row is `[0, 0, 1]` (i.e. the transform is affine).
+    pub fn is_affine(&self) -> bool {
+        self.m[6] == 0.0 && self.m[7] == 0.0 && self.m[8] == 1.0
+    }
+
+    /// Scale so the bottom-right element is 1, the canonical homography
+    /// normalization. Returns `None` if that element is (numerically)
+    /// zero.
+    pub fn normalized(&self) -> Option<Mat3> {
+        let w = self.m[8];
+        if !w.is_finite() || w.abs() < 1e-14 {
+            return None;
+        }
+        let mut out = self.m;
+        for v in &mut out {
+            *v /= w;
+        }
+        let out = Mat3::from_rows(out);
+        out.is_finite().then_some(out)
+    }
+
+    /// Frobenius norm of the difference to another matrix.
+    pub fn distance(&self, other: &Mat3) -> f64 {
+        self.m
+            .iter()
+            .zip(&other.m)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt()
+    }
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::IDENTITY
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let a = &self.m;
+        let b = &rhs.m;
+        let mut out = [0.0f64; 9];
+        for (r, out_row) in out.chunks_exact_mut(3).enumerate() {
+            for (c, out_v) in out_row.iter_mut().enumerate() {
+                *out_v = a[r * 3] * b[c] + a[r * 3 + 1] * b[3 + c] + a[r * 3 + 2] * b[6 + c];
+            }
+        }
+        Mat3::from_rows(out)
+    }
+}
+
+impl fmt::Display for Mat3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..3 {
+            writeln!(
+                f,
+                "[{:>10.4} {:>10.4} {:>10.4}]",
+                self.m[r * 3],
+                self.m[r * 3 + 1],
+                self.m[r * 3 + 2]
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: Vec2, b: Vec2, tol: f64) {
+        assert!(
+            (a - b).norm() < tol,
+            "expected {b}, got {a} (tol {tol})"
+        );
+    }
+
+    #[test]
+    fn identity_is_default_and_neutral() {
+        let p = Vec2::new(5.0, -3.0);
+        assert_eq!(Mat3::default(), Mat3::IDENTITY);
+        assert_eq!(Mat3::IDENTITY.apply(p), Some(p));
+        assert_eq!(Mat3::IDENTITY * Mat3::IDENTITY, Mat3::IDENTITY);
+    }
+
+    #[test]
+    fn translation_and_inverse() {
+        let t = Mat3::translation(2.0, 3.0);
+        let p = t.apply(Vec2::ZERO).unwrap();
+        assert_eq!(p, Vec2::new(2.0, 3.0));
+        let inv = t.inverse().unwrap();
+        assert_close(inv.apply(p).unwrap(), Vec2::ZERO, 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let r = Mat3::rotation(std::f64::consts::FRAC_PI_3);
+        let p = Vec2::new(3.0, 4.0);
+        let q = r.apply(p).unwrap();
+        assert!((q.norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        let a = Mat3::rotation(0.3) * Mat3::scaling(1.5);
+        let b = Mat3::translation(-4.0, 2.0);
+        let p = Vec2::new(1.0, 2.0);
+        let via_compose = (b * a).apply(p).unwrap();
+        let via_seq = b.apply(a.apply(p).unwrap()).unwrap();
+        assert_close(via_compose, via_seq, 1e-12);
+    }
+
+    #[test]
+    fn inverse_of_singular_is_none() {
+        let z = Mat3::from_rows([1.0, 2.0, 3.0, 2.0, 4.0, 6.0, 0.0, 0.0, 1.0]);
+        assert!(z.inverse().is_none());
+        let nan = Mat3::from_rows([f64::NAN; 9]);
+        assert!(nan.inverse().is_none());
+    }
+
+    #[test]
+    fn det_of_scaling() {
+        assert!((Mat3::scaling(2.0).det() - 4.0).abs() < 1e-12);
+        assert!((Mat3::rotation(1.0).det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization_fixes_w() {
+        let h = Mat3::from_rows([2.0, 0.0, 0.0, 0.0, 2.0, 0.0, 0.0, 0.0, 2.0]);
+        let n = h.normalized().unwrap();
+        assert_eq!(n.at(2, 2), 1.0);
+        assert_eq!(n.at(0, 0), 1.0);
+        let degenerate = Mat3::from_rows([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 0.0]);
+        assert!(degenerate.normalized().is_none());
+    }
+
+    #[test]
+    fn affine_detection() {
+        assert!(Mat3::affine(1.0, 0.2, 3.0, -0.2, 1.0, 4.0).is_affine());
+        let h = Mat3::from_rows([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.001, 0.0, 1.0]);
+        assert!(!h.is_affine());
+    }
+
+    #[test]
+    fn apply_rejects_points_at_infinity() {
+        // A projective transform sending x=1 to infinity.
+        let h = Mat3::from_rows([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, -1.0, 0.0, 1.0]);
+        assert_eq!(h.apply(Vec2::new(1.0, 0.0)), None);
+        assert!(h.apply(Vec2::new(0.5, 0.0)).is_some());
+    }
+
+    #[test]
+    fn inverse_roundtrips_on_projective_transform() {
+        let h = Mat3::from_rows([0.9, 0.1, 5.0, -0.1, 1.1, -3.0, 1e-4, -2e-4, 1.0]);
+        let inv = h.inverse().unwrap();
+        let p = Vec2::new(40.0, 25.0);
+        let q = h.apply(p).unwrap();
+        assert_close(inv.apply(q).unwrap(), p, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn at_bounds_checked() {
+        let _ = Mat3::IDENTITY.at(3, 0);
+    }
+}

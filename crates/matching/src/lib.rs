@@ -1,0 +1,374 @@
+//! Brute-force descriptor matching with the two policies the paper
+//! studies.
+//!
+//! The baseline *VS* algorithm matches key points with a k-nearest-
+//! neighbour search (k = 2) over Hamming distance and keeps a match only
+//! when the nearest neighbour is sufficiently closer than the second
+//! nearest — Lowe's ratio test, which suppresses false positives
+//! (§III-A). The *VS_SM* (Simple Matching) approximation replaces this
+//! with a single-nearest-neighbour search bounded by an absolute distance
+//! cap (§IV, approximation 3).
+//!
+//! Both matchers are fault-instrumented: query indices flow through
+//! address taps (corruption → simulated segfault) and accepted distances
+//! through data taps (corruption → spurious or lost matches downstream).
+//!
+//! # Example
+//!
+//! ```
+//! use vs_matching::{RatioMatcher, SimpleMatcher};
+//! use vs_features::Descriptor;
+//!
+//! let a = Descriptor([0b1111, 0, 0, 0]);
+//! let b = Descriptor([0b1110, 0, 0, 0]);      // distance 1 to `a`
+//! let far = Descriptor([!0, !0, 0, 0]);       // distance >100 to `a`
+//! let matches = RatioMatcher::default()
+//!     .matches(&[a], &[b, far])?;
+//! assert_eq!(matches.len(), 1);
+//! assert_eq!(matches[0].train, 0);
+//!
+//! let simple = SimpleMatcher::default().matches(&[a], &[b, far])?;
+//! assert_eq!(simple[0].distance, 1);
+//! # Ok::<(), vs_fault::SimError>(())
+//! ```
+
+use vs_fault::{tap, FuncId, OpClass, SimError};
+use vs_features::Descriptor;
+
+/// A correspondence between a query descriptor and a train descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Match {
+    /// Index into the query descriptor set.
+    pub query: usize,
+    /// Index into the train descriptor set.
+    pub train: usize,
+    /// Hamming distance of the pair.
+    pub distance: u32,
+}
+
+/// The two nearest neighbours of a query descriptor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct TwoNearest {
+    best: usize,
+    best_dist: u32,
+    second_dist: u32,
+}
+
+/// Scan `train` for the two nearest neighbours of `desc`.
+fn two_nearest(desc: &Descriptor, train: &[Descriptor]) -> Option<TwoNearest> {
+    let mut best = usize::MAX;
+    let mut best_dist = u32::MAX;
+    let mut second_dist = u32::MAX;
+    for (j, t) in train.iter().enumerate() {
+        let d = desc.hamming(t);
+        if d < best_dist {
+            second_dist = best_dist;
+            best_dist = d;
+            best = j;
+        } else if d < second_dist {
+            second_dist = d;
+        }
+    }
+    (best != usize::MAX).then_some(TwoNearest {
+        best,
+        best_dist,
+        second_dist,
+    })
+}
+
+/// Baseline matcher: 2-NN search + Lowe ratio test.
+///
+/// A match is kept when `best_dist < ratio * second_dist`, i.e. the
+/// nearest neighbour is unambiguously closer than the runner-up.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RatioMatcher {
+    /// Ratio threshold in (0, 1]; smaller is stricter. Default 0.8.
+    pub ratio: f64,
+}
+
+impl Default for RatioMatcher {
+    fn default() -> Self {
+        RatioMatcher { ratio: 0.8 }
+    }
+}
+
+impl RatioMatcher {
+    /// Match every query descriptor against the train set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Segfault`] when a fault-corrupted query index
+    /// escapes the descriptor array; propagates hang-budget exhaustion.
+    pub fn matches(
+        &self,
+        query: &[Descriptor],
+        train: &[Descriptor],
+    ) -> Result<Vec<Match>, SimError> {
+        let _f = tap::scope(FuncId::MatchKeypoints);
+        let mut out = Vec::new();
+        for i in 0..query.len() {
+            // Cost model: one 256-bit Hamming distance is 4 xors + 4
+            // popcounts + compare per train entry.
+            tap::work(OpClass::IntAlu, 10 * train.len() as u64)?;
+            tap::work(OpClass::Mem, 4 * train.len() as u64)?;
+            tap::work(OpClass::Control, train.len() as u64)?;
+            let qi = tap::addr(i);
+            let desc = query.get(qi).ok_or(SimError::Segfault)?;
+            let Some(nn) = two_nearest(desc, train) else {
+                continue;
+            };
+            let best_dist = tap::gpr(nn.best_dist as u64) as u32;
+            // A Hamming distance above 256 bits is impossible: corrupted
+            // state caught by the library's internal assertion (abort).
+            if best_dist > 256 && nn.best_dist <= 256 {
+                return Err(SimError::Abort);
+            }
+            // With a single train entry the second distance is infinite
+            // and the ratio test passes trivially, as in OpenCV.
+            if (best_dist as f64) < self.ratio * nn.second_dist as f64 {
+                out.push(Match {
+                    query: i,
+                    train: nn.best,
+                    distance: best_dist,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// *VS_SM* matcher: single nearest neighbour with an absolute distance
+/// cap — "only those key points in the incoming frame which match almost
+/// perfectly with those in the original frame" (§IV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimpleMatcher {
+    /// Maximum accepted Hamming distance. Default 48 (of 256 bits).
+    pub max_distance: u32,
+}
+
+impl Default for SimpleMatcher {
+    fn default() -> Self {
+        SimpleMatcher { max_distance: 48 }
+    }
+}
+
+impl SimpleMatcher {
+    /// Match every query descriptor against the train set.
+    ///
+    /// Roughly half the arithmetic of [`RatioMatcher::matches`]: no
+    /// second-nearest bookkeeping, single comparison per candidate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Segfault`] on corrupted indices; propagates
+    /// hang-budget exhaustion.
+    pub fn matches(
+        &self,
+        query: &[Descriptor],
+        train: &[Descriptor],
+    ) -> Result<Vec<Match>, SimError> {
+        let _f = tap::scope(FuncId::MatchKeypoints);
+        let mut out = Vec::new();
+        for i in 0..query.len() {
+            tap::work(OpClass::IntAlu, 6 * train.len() as u64)?;
+            tap::work(OpClass::Mem, 4 * train.len() as u64)?;
+            tap::work(OpClass::Control, train.len() as u64)?;
+            let qi = tap::addr(i);
+            let desc = query.get(qi).ok_or(SimError::Segfault)?;
+            let mut best = usize::MAX;
+            let mut best_dist = u32::MAX;
+            for (j, t) in train.iter().enumerate() {
+                let d = desc.hamming(t);
+                if d < best_dist {
+                    best_dist = d;
+                    best = j;
+                }
+            }
+            if best == usize::MAX {
+                continue;
+            }
+            let best_dist = tap::gpr(best_dist as u64) as u32;
+            if best_dist > 256 && best != usize::MAX {
+                return Err(SimError::Abort);
+            }
+            if best_dist <= self.max_distance {
+                out.push(Match {
+                    query: i,
+                    train: best,
+                    distance: best_dist,
+                });
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_fault::mix64;
+
+    fn random_desc(seed: u64) -> Descriptor {
+        Descriptor([
+            mix64(seed),
+            mix64(seed ^ 1),
+            mix64(seed ^ 2),
+            mix64(seed ^ 3),
+        ])
+    }
+
+    /// Flip `n` deterministic bit positions of a descriptor.
+    fn perturb(d: &Descriptor, n: u32, salt: u64) -> Descriptor {
+        let mut out = *d;
+        let mut flipped = 0;
+        let mut k = salt;
+        while flipped < n {
+            k = mix64(k);
+            let bit = (k % 256) as usize;
+            let mask = 1u64 << (bit % 64);
+            if out.0[bit / 64] & mask == d.0[bit / 64] & mask {
+                out.0[bit / 64] ^= mask;
+                flipped += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn ratio_matcher_finds_clear_correspondences() {
+        let train: Vec<Descriptor> = (0..20).map(|i| random_desc(1000 + i)).collect();
+        // Queries are noisy copies of train entries (8 bits flipped).
+        let query: Vec<Descriptor> = train
+            .iter()
+            .enumerate()
+            .map(|(i, d)| perturb(d, 8, i as u64))
+            .collect();
+        let m = RatioMatcher::default().matches(&query, &train).unwrap();
+        assert_eq!(m.len(), 20, "all clean correspondences must survive");
+        for mm in &m {
+            assert_eq!(mm.query, mm.train);
+            assert!(mm.distance <= 8);
+        }
+    }
+
+    #[test]
+    fn ratio_test_rejects_ambiguous_matches() {
+        // Two nearly identical train entries: the 2-NN distances tie, so
+        // the ratio test must reject the match ("two identical objects").
+        let base = random_desc(7);
+        let train = vec![perturb(&base, 1, 11), perturb(&base, 1, 22)];
+        let query = vec![base];
+        let m = RatioMatcher { ratio: 0.8 }.matches(&query, &train).unwrap();
+        assert!(m.is_empty(), "ambiguous match must be filtered: {m:?}");
+        // The simple matcher, by design, accepts it (possible mismatch).
+        let s = SimpleMatcher::default().matches(&query, &train).unwrap();
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn simple_matcher_enforces_distance_cap() {
+        let a = random_desc(1);
+        let far = perturb(&a, 120, 5);
+        let m = SimpleMatcher { max_distance: 48 }
+            .matches(&[a], &[far])
+            .unwrap();
+        assert!(m.is_empty());
+        let near = perturb(&a, 10, 6);
+        let m = SimpleMatcher { max_distance: 48 }
+            .matches(&[a], &[near, far])
+            .unwrap();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].train, 0);
+    }
+
+    #[test]
+    fn empty_sets_produce_no_matches() {
+        let d = [random_desc(3)];
+        assert!(RatioMatcher::default().matches(&[], &d).unwrap().is_empty());
+        assert!(RatioMatcher::default().matches(&d, &[]).unwrap().is_empty());
+        assert!(SimpleMatcher::default().matches(&d, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn single_train_entry_passes_ratio_trivially() {
+        let a = random_desc(9);
+        let near = perturb(&a, 4, 1);
+        let m = RatioMatcher::default().matches(&[a], &[near]).unwrap();
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn exact_self_match_has_zero_distance() {
+        let train: Vec<Descriptor> = (0..10).map(|i| random_desc(50 + i)).collect();
+        let m = RatioMatcher::default().matches(&train, &train).unwrap();
+        for mm in &m {
+            assert_eq!(mm.query, mm.train);
+            assert_eq!(mm.distance, 0);
+        }
+    }
+
+    #[test]
+    fn simple_matcher_is_stricter_with_smaller_cap() {
+        let train: Vec<Descriptor> = (0..30).map(|i| random_desc(200 + i)).collect();
+        let query: Vec<Descriptor> = train
+            .iter()
+            .enumerate()
+            .map(|(i, d)| perturb(d, (i as u32 * 3) % 90, i as u64))
+            .collect();
+        let loose = SimpleMatcher { max_distance: 100 }
+            .matches(&query, &train)
+            .unwrap();
+        let tight = SimpleMatcher { max_distance: 10 }
+            .matches(&query, &train)
+            .unwrap();
+        assert!(tight.len() <= loose.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_desc() -> impl Strategy<Value = Descriptor> {
+        proptest::array::uniform4(any::<u64>()).prop_map(Descriptor)
+    }
+
+    proptest! {
+        /// Matches always reference valid indices and report the true
+        /// Hamming distance of the pair.
+        #[test]
+        fn matches_are_consistent(
+            query in proptest::collection::vec(arb_desc(), 0..12),
+            train in proptest::collection::vec(arb_desc(), 0..12),
+        ) {
+            for m in RatioMatcher::default().matches(&query, &train).unwrap() {
+                prop_assert!(m.query < query.len());
+                prop_assert!(m.train < train.len());
+                prop_assert_eq!(m.distance, query[m.query].hamming(&train[m.train]));
+            }
+            for m in SimpleMatcher::default().matches(&query, &train).unwrap() {
+                prop_assert!(m.query < query.len());
+                prop_assert!(m.train < train.len());
+                prop_assert_eq!(m.distance, query[m.query].hamming(&train[m.train]));
+                prop_assert!(m.distance <= SimpleMatcher::default().max_distance);
+            }
+        }
+
+        /// The simple matcher's accepted match is genuinely the nearest
+        /// train descriptor.
+        #[test]
+        fn simple_match_is_nearest(
+            query in proptest::collection::vec(arb_desc(), 1..6),
+            train in proptest::collection::vec(arb_desc(), 1..12),
+        ) {
+            let ms = SimpleMatcher { max_distance: 256 }.matches(&query, &train).unwrap();
+            for m in ms {
+                let d = m.distance;
+                for t in &train {
+                    prop_assert!(query[m.query].hamming(t) >= d);
+                }
+            }
+        }
+    }
+}

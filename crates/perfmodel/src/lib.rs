@@ -1,0 +1,288 @@
+//! Analytic performance/energy model over instrumented instruction
+//! counts.
+//!
+//! The paper measures IPC, execution time and energy on an IBM
+//! POWER-class server (Fig 5) and extracts a per-function execution
+//! profile with `perf` (Fig 8). We have no POWER machine; instead, every
+//! instrumented pipeline stage reports retired-instruction counts by
+//! operation class and by function (via `vs-fault`), and this crate maps
+//! them through a per-class CPI and power model:
+//!
+//! * `cycles  = Σ_class instr(class) · CPI(class)`
+//! * `IPC     = instr / cycles`
+//! * `time    = cycles / frequency`
+//! * `power   = static + dynamic · (IPC / IPC_peak)`
+//! * `energy  = power · time`
+//!
+//! Fig 5 reports *normalized* quantities, which this model reproduces
+//! structurally: the approximations cut instruction counts while leaving
+//! the instruction *mix* (and hence IPC and power) nearly unchanged, so
+//! energy tracks execution time — exactly the paper's observation.
+//!
+//! # Example
+//!
+//! ```
+//! use vs_perfmodel::MachineModel;
+//! use vs_fault::InstrCounts;
+//!
+//! let model = MachineModel::default();
+//! let mut counts = InstrCounts::default();
+//! counts.total = 1_000_000;
+//! counts.by_class[0] = 1_000_000; // all integer ALU
+//! let r = model.evaluate(&counts);
+//! assert!(r.ipc > 0.0 && r.energy_joules > 0.0);
+//! ```
+
+use vs_fault::{FuncId, InstrCounts, OpClass, NUM_CLASSES, NUM_FUNCS};
+
+/// Machine parameters: per-class CPI plus a simple power model.
+///
+/// Defaults are loosely calibrated to a POWER8-class core: wide issue
+/// (sub-1 CPI for ALU work), costlier memory ops, ~3.5 GHz, and a power
+/// split between static and activity-proportional components.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineModel {
+    /// Cycles per instruction for each [`OpClass`] (indexed by
+    /// `OpClass::index`).
+    pub cpi: [f64; NUM_CLASSES],
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// Static (leakage + uncore) power in watts.
+    pub static_power_watts: f64,
+    /// Dynamic power in watts at peak IPC.
+    pub dynamic_power_watts: f64,
+    /// The IPC at which dynamic power reaches its peak value.
+    pub peak_ipc: f64,
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        let mut cpi = [0.0; NUM_CLASSES];
+        cpi[OpClass::IntAlu.index()] = 0.5;
+        cpi[OpClass::Addr.index()] = 0.55;
+        cpi[OpClass::Control.index()] = 0.8;
+        cpi[OpClass::Float.index()] = 0.7;
+        cpi[OpClass::Mem.index()] = 1.3;
+        MachineModel {
+            cpi,
+            frequency_ghz: 3.5,
+            static_power_watts: 40.0,
+            dynamic_power_watts: 60.0,
+            peak_ipc: 2.0,
+        }
+    }
+}
+
+/// Modeled performance and energy of one run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PerfReport {
+    /// Total retired instructions.
+    pub instructions: u64,
+    /// Modeled cycles.
+    pub cycles: f64,
+    /// Instructions per cycle.
+    pub ipc: f64,
+    /// Modeled wall-clock time in seconds.
+    pub time_seconds: f64,
+    /// Modeled average power in watts.
+    pub power_watts: f64,
+    /// Modeled energy in joules.
+    pub energy_joules: f64,
+}
+
+impl MachineModel {
+    /// Evaluate the model over a run's instruction counts.
+    pub fn evaluate(&self, counts: &InstrCounts) -> PerfReport {
+        let mut cycles = 0.0f64;
+        for c in OpClass::ALL {
+            cycles += counts.by_class[c.index()] as f64 * self.cpi[c.index()];
+        }
+        let instructions = counts.total;
+        let ipc = if cycles > 0.0 {
+            instructions as f64 / cycles
+        } else {
+            0.0
+        };
+        let time_seconds = cycles / (self.frequency_ghz * 1e9);
+        let power_watts = self.static_power_watts
+            + self.dynamic_power_watts * (ipc / self.peak_ipc).clamp(0.0, 1.0);
+        PerfReport {
+            instructions,
+            cycles,
+            ipc,
+            time_seconds,
+            power_watts,
+            energy_joules: power_watts * time_seconds,
+        }
+    }
+}
+
+/// Fig 5 data point: a variant's IPC/time/energy normalized to baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NormalizedPerf {
+    /// IPC ratio (variant / baseline).
+    pub ipc: f64,
+    /// Execution-time ratio (variant / baseline).
+    pub time: f64,
+    /// Energy ratio (variant / baseline).
+    pub energy: f64,
+}
+
+/// Normalize a variant's report against the baseline's.
+pub fn normalize(variant: &PerfReport, baseline: &PerfReport) -> NormalizedPerf {
+    let safe = |n: f64, d: f64| if d > 0.0 { n / d } else { 0.0 };
+    NormalizedPerf {
+        ipc: safe(variant.ipc, baseline.ipc),
+        time: safe(variant.time_seconds, baseline.time_seconds),
+        energy: safe(variant.energy_joules, baseline.energy_joules),
+    }
+}
+
+/// One row of the Fig 8 execution profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ProfileEntry {
+    /// Function.
+    pub func: FuncId,
+    /// Retired instructions attributed to it.
+    pub instructions: u64,
+    /// Share of the total, in percent.
+    pub share_pct: f64,
+}
+
+/// Per-function execution profile (Fig 8), sorted by share descending,
+/// zero-instruction functions omitted.
+pub fn execution_profile(counts: &InstrCounts) -> Vec<ProfileEntry> {
+    let total: u64 = counts.by_func.iter().sum();
+    let mut out: Vec<ProfileEntry> = (0..NUM_FUNCS)
+        .filter(|&i| counts.by_func[i] > 0)
+        .map(|i| ProfileEntry {
+            func: FuncId::ALL[i],
+            instructions: counts.by_func[i],
+            share_pct: if total > 0 {
+                100.0 * counts.by_func[i] as f64 / total as f64
+            } else {
+                0.0
+            },
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.instructions
+            .cmp(&a.instructions)
+            .then_with(|| a.func.cmp(&b.func))
+    });
+    out
+}
+
+/// Share of execution spent in vision-library functions — the paper's
+/// "~68% of execution time is in OpenCV libraries" bucket.
+pub fn library_share_pct(counts: &InstrCounts) -> f64 {
+    let total: u64 = counts.by_func.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let lib: u64 = (0..NUM_FUNCS)
+        .filter(|&i| FuncId::ALL[i].is_library())
+        .map(|i| counts.by_func[i])
+        .sum();
+    100.0 * lib as f64 / total as f64
+}
+
+/// Share of execution spent in the perspective-warp pair
+/// (`WarpPerspective` + `RemapBilinear`) — the paper's 54.4% hot spot.
+pub fn warp_share_pct(counts: &InstrCounts) -> f64 {
+    let total: u64 = counts.by_func.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let warp = counts.by_func[FuncId::WarpPerspective.index()]
+        + counts.by_func[FuncId::RemapBilinear.index()];
+    100.0 * warp as f64 / total as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts(by_class: [u64; NUM_CLASSES]) -> InstrCounts {
+        InstrCounts {
+            total: by_class.iter().sum(),
+            by_class,
+            by_func: [0; NUM_FUNCS],
+        }
+    }
+
+    #[test]
+    fn evaluate_scales_linearly_with_instructions() {
+        let m = MachineModel::default();
+        let a = m.evaluate(&counts([1000, 0, 0, 0, 0]));
+        let b = m.evaluate(&counts([2000, 0, 0, 0, 0]));
+        assert!((b.cycles - 2.0 * a.cycles).abs() < 1e-9);
+        assert!((b.time_seconds - 2.0 * a.time_seconds).abs() < 1e-12);
+        assert!((b.ipc - a.ipc).abs() < 1e-12, "same mix, same IPC");
+        assert!((b.energy_joules - 2.0 * a.energy_joules).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_heavy_mix_has_lower_ipc() {
+        let m = MachineModel::default();
+        let alu = m.evaluate(&counts([1000, 0, 0, 0, 0]));
+        let mem = m.evaluate(&counts([0, 0, 0, 0, 1000]));
+        assert!(alu.ipc > mem.ipc);
+        assert!(mem.time_seconds > alu.time_seconds);
+    }
+
+    #[test]
+    fn empty_counts_are_all_zero() {
+        let r = MachineModel::default().evaluate(&InstrCounts::default());
+        assert_eq!(r.instructions, 0);
+        assert_eq!(r.ipc, 0.0);
+        assert_eq!(r.energy_joules, 0.0);
+    }
+
+    #[test]
+    fn normalize_against_self_is_unity() {
+        let m = MachineModel::default();
+        let r = m.evaluate(&counts([500, 100, 50, 200, 300]));
+        let n = normalize(&r, &r);
+        assert!((n.ipc - 1.0).abs() < 1e-12);
+        assert!((n.time - 1.0).abs() < 1e-12);
+        assert!((n.energy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_mix_fewer_instructions_keeps_ipc_cuts_time_and_energy() {
+        // The paper's Fig 5 structure: approximation removes work but not
+        // the instruction mix.
+        let m = MachineModel::default();
+        let base = m.evaluate(&counts([800, 200, 100, 400, 500]));
+        let approx = m.evaluate(&counts([400, 100, 50, 200, 250]));
+        let n = normalize(&approx, &base);
+        assert!((n.ipc - 1.0).abs() < 1e-9, "IPC must stay constant");
+        assert!((n.time - 0.5).abs() < 1e-9);
+        assert!((n.energy - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn profile_sorts_and_shares_sum_to_100() {
+        let mut c = InstrCounts::default();
+        c.by_func[FuncId::WarpPerspective.index()] = 500;
+        c.by_func[FuncId::FastDetect.index()] = 300;
+        c.by_func[FuncId::StitchControl.index()] = 200;
+        let p = execution_profile(&c);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p[0].func, FuncId::WarpPerspective);
+        let total: f64 = p.iter().map(|e| e.share_pct).sum();
+        assert!((total - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn library_and_warp_shares() {
+        let mut c = InstrCounts::default();
+        c.by_func[FuncId::WarpPerspective.index()] = 400;
+        c.by_func[FuncId::RemapBilinear.index()] = 100;
+        c.by_func[FuncId::StitchControl.index()] = 500;
+        assert!((warp_share_pct(&c) - 50.0).abs() < 1e-9);
+        assert!((library_share_pct(&c) - 50.0).abs() < 1e-9);
+        assert_eq!(warp_share_pct(&InstrCounts::default()), 0.0);
+    }
+}

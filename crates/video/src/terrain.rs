@@ -1,0 +1,224 @@
+//! Procedural aerial landscape: the "world" the virtual UAV flies over.
+//!
+//! The generator layers, in order: fractal grass/soil base, tinted
+//! agricultural fields, a road network, buildings with shadows, tree
+//! clusters, and a final high-frequency micro-texture pass that gives
+//! FAST plenty of corner energy (real aerial imagery is corner-dense).
+
+use crate::noise::ValueNoise;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vs_image::{draw_disc_gray, draw_line_gray, GrayImage, RgbImage};
+
+/// World-generation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorldConfig {
+    /// RNG seed for all structure placement.
+    pub seed: u64,
+    /// World side length in pixels (square world).
+    pub size: usize,
+    /// Number of agricultural field patches.
+    pub fields: usize,
+    /// Number of roads.
+    pub roads: usize,
+    /// Number of buildings.
+    pub buildings: usize,
+    /// Number of tree clusters.
+    pub tree_clusters: usize,
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        WorldConfig {
+            seed: 1,
+            size: 768,
+            fields: 48,
+            roads: 18,
+            buildings: 260,
+            tree_clusters: 160,
+        }
+    }
+}
+
+/// Generate the world image.
+pub fn generate_world(cfg: &WorldConfig) -> RgbImage {
+    let n = cfg.size;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    // Layer 0: fractal base (height-ish field driving green/brown tones).
+    let base = ValueNoise::new(cfg.seed ^ 0xbead, 4, 2.5 / n as f64, 0.55);
+
+    // Structure layers are painted on a grayscale "paint" plane first,
+    // encoding material ids, then colorized together with the base.
+    let mut fields_plane = GrayImage::new(n, n);
+    for _ in 0..cfg.fields {
+        let x = rng.gen_range(0..n) as isize;
+        let y = rng.gen_range(0..n) as isize;
+        let w = rng.gen_range(n / 16..n / 5);
+        let h = rng.gen_range(n / 16..n / 5);
+        let tone = rng.gen_range(60u8..200u8);
+        vs_image::fill_rect_gray(&mut fields_plane, x, y, w, h, tone);
+    }
+
+    let mut road_plane = GrayImage::new(n, n);
+    for _ in 0..cfg.roads {
+        let mut x = rng.gen_range(0..n) as isize;
+        let mut y = rng.gen_range(0..n) as isize;
+        let segments = rng.gen_range(3..7);
+        for _ in 0..segments {
+            let nx = (x + rng.gen_range(-(n as isize) / 3..n as isize / 3))
+                .clamp(0, n as isize - 1);
+            let ny = (y + rng.gen_range(-(n as isize) / 3..n as isize / 3))
+                .clamp(0, n as isize - 1);
+            draw_line_gray(&mut road_plane, x, y, nx, ny, 1, 255);
+            x = nx;
+            y = ny;
+        }
+    }
+
+    let mut building_plane = GrayImage::new(n, n);
+    for _ in 0..cfg.buildings {
+        let x = rng.gen_range(0..n) as isize;
+        let y = rng.gen_range(0..n) as isize;
+        let w = rng.gen_range(4..14);
+        let h = rng.gen_range(4..14);
+        // Shadow first (offset), then the roof.
+        vs_image::fill_rect_gray(&mut building_plane, x + 2, y + 2, w, h, 40);
+        vs_image::fill_rect_gray(&mut building_plane, x, y, w, h, 220);
+    }
+
+    let mut tree_plane = GrayImage::new(n, n);
+    for _ in 0..cfg.tree_clusters {
+        let cx = rng.gen_range(0..n) as isize;
+        let cy = rng.gen_range(0..n) as isize;
+        for _ in 0..rng.gen_range(3..12) {
+            let dx = rng.gen_range(-18..18);
+            let dy = rng.gen_range(-18..18);
+            let r = rng.gen_range(2..5);
+            draw_disc_gray(&mut tree_plane, cx + dx, cy + dy, r, 255);
+        }
+    }
+
+    // Micro-texture: per-pixel hash noise, strong enough to seed corners.
+    let micro = ValueNoise::new(cfg.seed ^ 0x77aa, 2, 0.9, 0.5);
+
+    RgbImage::from_fn(n, n, |x, y| {
+        let fx = x as f64;
+        let fy = y as f64;
+        let b = base.sample(fx, fy);
+        // Base terrain: green-brown mix.
+        let mut r = 70.0 + 90.0 * b;
+        let mut g = 95.0 + 100.0 * b;
+        let mut bl = 45.0 + 60.0 * b;
+
+        let field = fields_plane.get(x, y).unwrap_or(0);
+        if field > 0 {
+            // Tinted farmland: tone modulates toward ochre.
+            let t = field as f64 / 255.0;
+            r = r * (1.0 - t) + (150.0 + 60.0 * t) * t + r * (1.0 - t) * 0.0;
+            r = r.min(230.0);
+            g = g * 0.6 + 70.0 * t;
+            bl *= 0.7;
+        }
+        if tree_plane.get(x, y) == Some(255) {
+            r *= 0.45;
+            g *= 0.65;
+            bl *= 0.45;
+        }
+        if road_plane.get(x, y) == Some(255) {
+            r = 105.0;
+            g = 100.0;
+            bl = 95.0;
+        }
+        let b_paint = building_plane.get(x, y).unwrap_or(0);
+        if b_paint == 220 {
+            r = 190.0;
+            g = 185.0;
+            bl = 180.0;
+        } else if b_paint == 40 {
+            r *= 0.4;
+            g *= 0.4;
+            bl *= 0.4;
+        }
+
+        // Micro-texture modulation (±28 levels) keeps every view
+        // corner-rich, as real aerial imagery is.
+        let m = (micro.sample(fx, fy) - 0.5) * 56.0;
+        [
+            (r + m).clamp(0.0, 255.0) as u8,
+            (g + m).clamp(0.0, 255.0) as u8,
+            (bl + m).clamp(0.0, 255.0) as u8,
+        ]
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> WorldConfig {
+        WorldConfig {
+            size: 192,
+            fields: 6,
+            roads: 3,
+            buildings: 12,
+            tree_clusters: 8,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn world_is_deterministic() {
+        assert_eq!(generate_world(&small()), generate_world(&small()));
+        let other = WorldConfig {
+            seed: 43,
+            ..small()
+        };
+        assert_ne!(generate_world(&small()), generate_world(&other));
+    }
+
+    #[test]
+    fn world_has_texture_everywhere() {
+        let w = generate_world(&small());
+        let g = w.to_gray();
+        // Check variance in several tiles: no large flat regions.
+        for ty in 0..3 {
+            for tx in 0..3 {
+                let tile = g.crop(tx * 64, ty * 64, 64, 64).unwrap();
+                let mean = tile.mean();
+                let var = tile
+                    .as_bytes()
+                    .iter()
+                    .map(|&v| (v as f64 - mean).powi(2))
+                    .sum::<f64>()
+                    / tile.as_bytes().len() as f64;
+                assert!(var > 20.0, "tile ({tx},{ty}) too flat: var {var:.1}");
+            }
+        }
+    }
+
+    #[test]
+    fn world_supports_corner_detection() {
+        let w = generate_world(&small());
+        let kps = vs_features::fast::detect(
+            &w.to_gray(),
+            &vs_features::fast::FastConfig {
+                max_keypoints: 10_000,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            kps.len() > 150,
+            "world must be corner-rich, found {}",
+            kps.len()
+        );
+    }
+
+    #[test]
+    fn world_size_matches_config() {
+        let w = generate_world(&small());
+        assert_eq!(w.width(), 192);
+        assert_eq!(w.height(), 192);
+    }
+}

@@ -1,0 +1,384 @@
+//! Panorama canvas: accumulates warped frames in a shared world frame.
+//!
+//! All frames of a mini-panorama are aligned to the first frame's
+//! coordinate system (§III-A: "we align every frame to the first ...").
+//! The canvas covers the union of all transformed frame bounds; each
+//! frame is warped into its window and composited with later-frame-
+//! overwrites blending. That overwrite is the mechanism behind the
+//! compositional masking of Fig 11b: an SDC in one warped frame can be
+//! painted over by the next frame.
+
+use crate::{warp_perspective_offset, MAX_WARP_PIXELS};
+use vs_fault::{tap, FuncId, OpClass, SimError};
+use vs_geometry::transform::{transformed_bounds, Bounds};
+use vs_image::{GrayImage, RgbImage};
+use vs_linalg::{Mat3, Vec2};
+
+/// How overlapping frames are combined on the canvas.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BlendMode {
+    /// Later frames overwrite earlier pixels (the paper's behaviour —
+    /// and the mechanism behind Fig 11b's compositional masking).
+    #[default]
+    Overwrite,
+    /// Overlapping pixels are averaged, softening seams. Reduces the
+    /// paint-over masking effect (see the blend-mode ablation).
+    Feather,
+}
+
+/// Per-composite options (all default to the paper's behaviour).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CompositeOptions {
+    /// Blending policy for overlapping pixels.
+    pub blend: BlendMode,
+    /// Exposure (gain) compensation: scale the incoming frame so its
+    /// mean brightness matches the canvas content it overlaps — one of
+    /// the "corrective actions" real stitchers apply (§III-A mentions
+    /// such corrections exist but omits them).
+    pub gain_compensation: bool,
+}
+
+/// A panorama accumulation surface.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Canvas {
+    image: RgbImage,
+    mask: GrayImage,
+    origin: Vec2,
+}
+
+impl Canvas {
+    /// Allocate a canvas covering `bounds` (world coordinates).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Abort`] when the bounds are non-finite, inverted, or
+    /// exceed [`MAX_WARP_PIXELS`] — the library-allocation constraint
+    /// that fault-corrupted homographies trip.
+    pub fn new(bounds: &Bounds) -> Result<Canvas, SimError> {
+        let (w, h) = bounds.pixel_size().ok_or(SimError::Abort)?;
+        if w.checked_mul(h).is_none_or(|p| p > MAX_WARP_PIXELS) {
+            return Err(SimError::Abort);
+        }
+        Ok(Canvas {
+            image: RgbImage::try_new(w, h).ok_or(SimError::Abort)?,
+            mask: GrayImage::try_new(w, h).ok_or(SimError::Abort)?,
+            origin: bounds.min,
+        })
+    }
+
+    /// World coordinate of canvas pixel `(0, 0)`.
+    pub fn origin(&self) -> Vec2 {
+        self.origin
+    }
+
+    /// The composited panorama so far.
+    pub fn image(&self) -> &RgbImage {
+        &self.image
+    }
+
+    /// Coverage mask (255 where any frame contributed).
+    pub fn mask(&self) -> &GrayImage {
+        &self.mask
+    }
+
+    /// Fraction of canvas pixels covered by at least one frame.
+    pub fn coverage(&self) -> f64 {
+        if self.mask.is_empty() {
+            return 0.0;
+        }
+        let covered = self.mask.as_bytes().iter().filter(|&&m| m != 0).count();
+        covered as f64 / self.mask.as_bytes().len() as f64
+    }
+
+    /// Warp `src` by `h` (source → world) and composite it, overwriting
+    /// previously painted pixels where the new frame has coverage.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Abort`] — degenerate transform or oversized window.
+    /// * Propagates faults from the warp kernel.
+    pub fn composite(&mut self, src: &RgbImage, h: &Mat3) -> Result<(), SimError> {
+        self.composite_with(src, h, &CompositeOptions::default())
+    }
+
+    /// [`Canvas::composite`] with explicit blending/gain options.
+    ///
+    /// # Errors
+    ///
+    /// As [`Canvas::composite`].
+    pub fn composite_with(
+        &mut self,
+        src: &RgbImage,
+        h: &Mat3,
+        opts: &CompositeOptions,
+    ) -> Result<(), SimError> {
+        // Degenerate-transform check (the native library asserts here).
+        let _ = transformed_bounds(h, src.width(), src.height()).ok_or(SimError::Abort)?;
+        // Paper-faithful cost structure: like OpenCV's `warpPerspective`
+        // with `dsize` = panorama size, every frame is warped across the
+        // ENTIRE canvas. This is what makes the warp pair dominate the
+        // execution profile (Fig 8) and what makes the stitching cost
+        // effectively polynomial in accepted frames (§IV-A): fewer or
+        // smaller panoramas save panorama-sized work per frame.
+        let (win_w, win_h) = (self.image.width(), self.image.height());
+        let (patch, patch_mask) = warp_perspective_offset(src, h, win_w, win_h, self.origin)?;
+
+        // Optional exposure compensation: ratio of mean luma of already
+        // painted canvas content under the new frame's footprint to the
+        // new frame's mean luma there.
+        let gain = if opts.gain_compensation {
+            self.exposure_gain(&patch, &patch_mask)
+        } else {
+            1.0
+        };
+
+        let _f = tap::scope(FuncId::Blend);
+        let w = self.image.width();
+        for row in 0..win_h {
+            tap::work(OpClass::Mem, 4 * win_w as u64)?;
+            tap::work(OpClass::IntAlu, 2 * win_w as u64)?;
+            tap::work(OpClass::Control, win_w as u64)?;
+            // Address tap on the canvas row base of the store stream.
+            let canvas_row = tap::addr(row * w);
+            for col in 0..win_w {
+                if patch_mask.get(col, row) != Some(255) {
+                    continue;
+                }
+                let mut p = patch.get(col, row).ok_or(SimError::Segfault)?;
+                if gain != 1.0 {
+                    for c in &mut p {
+                        *c = vs_image::saturate_u8(*c as f64 * gain);
+                    }
+                }
+                let idx = canvas_row + col;
+                let (px, py) = (idx % w, idx / w);
+                if opts.blend == BlendMode::Feather && self.mask.get(px, py) == Some(255) {
+                    let old = self.image.get(px, py).ok_or(SimError::Segfault)?;
+                    for (pc, oc) in p.iter_mut().zip(old) {
+                        *pc = ((*pc as u16 + oc as u16) / 2) as u8;
+                    }
+                }
+                if !self.image.set(px, py, p) {
+                    return Err(SimError::Segfault);
+                }
+                self.mask.set(px, py, 255);
+            }
+        }
+        Ok(())
+    }
+
+    /// Mean-luma gain matching the incoming patch to the canvas content
+    /// it overlaps; 1.0 when there is no overlap. Clamped to [0.6, 1.6].
+    fn exposure_gain(&self, patch: &RgbImage, patch_mask: &GrayImage) -> f64 {
+        let mut canvas_sum = 0.0f64;
+        let mut patch_sum = 0.0f64;
+        let mut n = 0u64;
+        for y in 0..patch.height() {
+            for x in 0..patch.width() {
+                if patch_mask.get(x, y) == Some(255) && self.mask.get(x, y) == Some(255) {
+                    let c = self.image.get(x, y).unwrap_or([0; 3]);
+                    let p = patch.get(x, y).unwrap_or([0; 3]);
+                    canvas_sum += (c[0] as f64 + c[1] as f64 + c[2] as f64) / 3.0;
+                    patch_sum += (p[0] as f64 + p[1] as f64 + p[2] as f64) / 3.0;
+                    n += 1;
+                }
+            }
+        }
+        if n < 32 || patch_sum <= 1.0 {
+            return 1.0;
+        }
+        (canvas_sum / patch_sum).clamp(0.6, 1.6)
+    }
+
+    /// Crop the canvas to the bounding box of covered pixels.
+    ///
+    /// Returns `None` when nothing was composited.
+    pub fn crop_to_content(&self) -> Option<RgbImage> {
+        self.crop_to_content_with_origin().map(|(img, _)| img)
+    }
+
+    /// Like [`Canvas::crop_to_content`], additionally returning the world
+    /// coordinate of the cropped image's pixel `(0, 0)` — needed to map
+    /// world-frame annotations (e.g. object tracks) onto the panorama.
+    pub fn crop_to_content_with_origin(&self) -> Option<(RgbImage, Vec2)> {
+        let w = self.image.width();
+        let h = self.image.height();
+        let mut min_x = w;
+        let mut min_y = h;
+        let mut max_x = 0usize;
+        let mut max_y = 0usize;
+        let mut any = false;
+        for y in 0..h {
+            for x in 0..w {
+                if self.mask.get(x, y) == Some(255) {
+                    any = true;
+                    min_x = min_x.min(x);
+                    min_y = min_y.min(y);
+                    max_x = max_x.max(x);
+                    max_y = max_y.max(y);
+                }
+            }
+        }
+        if !any {
+            return None;
+        }
+        let img = self
+            .image
+            .crop(min_x, min_y, max_x - min_x + 1, max_y - min_y + 1)?;
+        let origin = Vec2::new(
+            self.origin.x + min_x as f64,
+            self.origin.y + min_y as f64,
+        );
+        Some((img, origin))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_linalg::Vec2;
+
+    fn bounds(x0: f64, y0: f64, x1: f64, y1: f64) -> Bounds {
+        Bounds::of_points(&[Vec2::new(x0, y0), Vec2::new(x1, y1)]).unwrap()
+    }
+
+    fn solid(w: usize, h: usize, p: [u8; 3]) -> RgbImage {
+        RgbImage::from_fn(w, h, |_, _| p)
+    }
+
+    #[test]
+    fn canvas_rejects_absurd_bounds() {
+        assert_eq!(
+            Canvas::new(&bounds(0.0, 0.0, 1e9, 1e9)).unwrap_err(),
+            SimError::Abort
+        );
+        let inverted = Bounds {
+            min: Vec2::new(10.0, 10.0),
+            max: Vec2::new(0.0, 0.0),
+        };
+        assert_eq!(Canvas::new(&inverted).unwrap_err(), SimError::Abort);
+    }
+
+    #[test]
+    fn composite_at_identity_paints_frame() {
+        let mut c = Canvas::new(&bounds(0.0, 0.0, 40.0, 30.0)).unwrap();
+        c.composite(&solid(20, 15, [9, 9, 9]), &Mat3::IDENTITY).unwrap();
+        assert_eq!(c.image().get(5, 5), Some([9, 9, 9]));
+        assert_eq!(c.mask().get(25, 20), Some(0));
+        assert!(c.coverage() > 0.1 && c.coverage() < 0.5);
+    }
+
+    #[test]
+    fn later_frames_overwrite_earlier() {
+        let mut c = Canvas::new(&bounds(0.0, 0.0, 30.0, 30.0)).unwrap();
+        c.composite(&solid(20, 20, [10, 0, 0]), &Mat3::IDENTITY).unwrap();
+        c.composite(&solid(20, 20, [0, 20, 0]), &Mat3::translation(5.0, 5.0))
+            .unwrap();
+        // Overlap region takes the second frame.
+        assert_eq!(c.image().get(10, 10), Some([0, 20, 0]));
+        // Non-overlapping part of the first frame survives.
+        assert_eq!(c.image().get(2, 2), Some([10, 0, 0]));
+    }
+
+    #[test]
+    fn negative_origin_places_frames_correctly() {
+        let mut c = Canvas::new(&bounds(-10.0, -10.0, 20.0, 20.0)).unwrap();
+        c.composite(&solid(5, 5, [77, 0, 0]), &Mat3::translation(-10.0, -10.0))
+            .unwrap();
+        assert_eq!(c.image().get(0, 0), Some([77, 0, 0]));
+        assert_eq!(c.origin(), Vec2::new(-10.0, -10.0));
+    }
+
+    #[test]
+    fn off_canvas_frames_are_ignored() {
+        let mut c = Canvas::new(&bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        c.composite(&solid(4, 4, [5, 5, 5]), &Mat3::translation(100.0, 100.0))
+            .unwrap();
+        assert_eq!(c.coverage(), 0.0);
+    }
+
+    #[test]
+    fn crop_to_content_tightens() {
+        let mut c = Canvas::new(&bounds(0.0, 0.0, 50.0, 50.0)).unwrap();
+        c.composite(&solid(8, 6, [3, 3, 3]), &Mat3::translation(10.0, 20.0))
+            .unwrap();
+        let cropped = c.crop_to_content().unwrap();
+        // Bilinear border bleed can extend coverage by ~1px per side.
+        assert!((7..=10).contains(&cropped.width()), "width {}", cropped.width());
+        assert!((5..=8).contains(&cropped.height()), "height {}", cropped.height());
+        assert_eq!(cropped.get(2, 2), Some([3, 3, 3]));
+    }
+
+    #[test]
+    fn empty_canvas_has_no_content() {
+        let c = Canvas::new(&bounds(0.0, 0.0, 10.0, 10.0)).unwrap();
+        assert!(c.crop_to_content().is_none());
+    }
+
+    #[test]
+    fn feather_blend_averages_overlap() {
+        let mut c = Canvas::new(&bounds(0.0, 0.0, 20.0, 20.0)).unwrap();
+        let opts = CompositeOptions {
+            blend: BlendMode::Feather,
+            ..CompositeOptions::default()
+        };
+        c.composite_with(&solid(10, 10, [100, 0, 0]), &Mat3::IDENTITY, &opts)
+            .unwrap();
+        c.composite_with(&solid(10, 10, [200, 0, 0]), &Mat3::IDENTITY, &opts)
+            .unwrap();
+        assert_eq!(c.image().get(5, 5), Some([150, 0, 0]), "overlap must average");
+    }
+
+    #[test]
+    fn overwrite_default_is_unchanged_by_options_struct() {
+        let frame = solid(10, 10, [33, 44, 55]);
+        let mut a = Canvas::new(&bounds(0.0, 0.0, 20.0, 20.0)).unwrap();
+        a.composite(&frame, &Mat3::IDENTITY).unwrap();
+        let mut b = Canvas::new(&bounds(0.0, 0.0, 20.0, 20.0)).unwrap();
+        b.composite_with(&frame, &Mat3::IDENTITY, &CompositeOptions::default())
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gain_compensation_matches_exposures() {
+        // A dark first frame, then a 2x brighter overlapping frame: with
+        // gain compensation the second frame is pulled toward the first.
+        let mut c = Canvas::new(&bounds(0.0, 0.0, 30.0, 20.0)).unwrap();
+        let opts = CompositeOptions {
+            gain_compensation: true,
+            ..CompositeOptions::default()
+        };
+        c.composite_with(&solid(16, 16, [80, 80, 80]), &Mat3::IDENTITY, &opts)
+            .unwrap();
+        c.composite_with(
+            &solid(16, 16, [160, 160, 160]),
+            &Mat3::translation(6.0, 0.0),
+            &opts,
+        )
+        .unwrap();
+        let p = c.image().get(12, 8).unwrap();
+        assert!(
+            p[0] < 120,
+            "gain compensation should darken the bright frame: {p:?}"
+        );
+        // Without compensation the overlap is the raw bright value.
+        let mut raw = Canvas::new(&bounds(0.0, 0.0, 30.0, 20.0)).unwrap();
+        raw.composite(&solid(16, 16, [80, 80, 80]), &Mat3::IDENTITY).unwrap();
+        raw.composite(&solid(16, 16, [160, 160, 160]), &Mat3::translation(6.0, 0.0))
+            .unwrap();
+        assert_eq!(raw.image().get(12, 8), Some([160, 160, 160]));
+    }
+
+    #[test]
+    fn degenerate_transform_aborts_composite() {
+        let mut c = Canvas::new(&bounds(0.0, 0.0, 20.0, 20.0)).unwrap();
+        // Sends the frame's right edge (x = 30) to infinity.
+        let degenerate =
+            Mat3::from_rows([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, -1.0 / 30.0, 0.0, 1.0]);
+        assert_eq!(
+            c.composite(&solid(30, 30, [1, 1, 1]), &degenerate).unwrap_err(),
+            SimError::Abort
+        );
+    }
+}

@@ -1,0 +1,402 @@
+//! Perspective/affine image warping and panorama compositing.
+//!
+//! This is the Rust build of the paper's hot function: OpenCV's
+//! `warpPerspective`, whose `WarpPerspectiveInvoker` + `remapBilinear`
+//! pair consumes 54.4% of the VS application's execution time (Fig 8).
+//! [`warp_perspective`] reproduces the same structure — an outer driver
+//! that inverts the transform and walks destination rows, and an inner
+//! bilinear remap kernel — and instruments both with `vs-fault` taps so
+//! the hot-function resiliency study (Fig 11b) can confine injections to
+//! exactly these functions.
+//!
+//! [`Canvas`] composites warped frames into a panorama with
+//! later-frame-overwrites blending; that overlap is what masks many
+//! warp-stage SDCs in the end-to-end workflow (§VI-C).
+//!
+//! # Example
+//!
+//! ```
+//! use vs_image::RgbImage;
+//! use vs_linalg::Mat3;
+//! use vs_warp::warp_perspective;
+//!
+//! let src = RgbImage::from_fn(32, 32, |x, y| [x as u8 * 8, y as u8 * 8, 0]);
+//! let shift = Mat3::translation(5.0, 0.0);
+//! let (out, mask) = warp_perspective(&src, &shift, 32, 32)?;
+//! assert_eq!(out.get(10, 10), src.get(5, 10));
+//! assert_eq!(mask.get(2, 0), Some(0)); // left strip has no source
+//! # Ok::<(), vs_fault::SimError>(())
+//! ```
+
+mod canvas;
+
+pub use canvas::{BlendMode, Canvas, CompositeOptions};
+
+use vs_fault::{tap, FuncId, OpClass, SimError};
+use vs_image::{saturate_u8, GrayImage, RgbImage};
+use vs_linalg::{Mat3, Vec2};
+
+/// Upper bound on warp destination pixels, mirroring library allocation
+/// sanity limits; exceeding it is a simulated abort.
+pub const MAX_WARP_PIXELS: usize = 1 << 24;
+
+/// Inner bilinear remap kernel: fill destination rows `y0..y1` of `dst`
+/// by sampling `src` at `inv · (x + ox, y + oy)`.
+///
+/// This is the analogue of OpenCV's `remapBilinear`; the Fig 11b study
+/// injects faults here and in the [`warp_perspective`] driver.
+fn remap_bilinear(
+    src: &RgbImage,
+    inv: &Mat3,
+    dst: &mut RgbImage,
+    mask: &mut GrayImage,
+    origin: Vec2,
+    y0: usize,
+    y1: usize,
+) -> Result<(), SimError> {
+    let _f = tap::scope(FuncId::RemapBilinear);
+    let w = dst.width();
+    let sw = src.width();
+    let sh = src.height();
+    if sw < 2 || sh < 2 {
+        return Err(SimError::Abort);
+    }
+    let src_bytes = src.as_bytes();
+    let row_stride = sw * 3;
+    let inv_rows = inv.to_rows();
+    for y in y0..y1 {
+        let row_base = y * w;
+        tap::work(OpClass::Float, 14 * w as u64)?;
+        tap::work(OpClass::Mem, 9 * w as u64)?;
+        tap::work(OpClass::IntAlu, 6 * w as u64)?;
+        tap::work(OpClass::Control, w as u64)?;
+        let dy = y as f64 + origin.y;
+        for x in 0..w {
+            let dx = x as f64 + origin.x;
+            let hx = inv_rows[0] * dx + inv_rows[1] * dy + inv_rows[2];
+            let hy = inv_rows[3] * dx + inv_rows[4] * dy + inv_rows[5];
+            let hw = inv_rows[6] * dx + inv_rows[7] * dy + inv_rows[8];
+            if hw.abs() < 1e-12 {
+                continue;
+            }
+            // The source x coordinate lives in an FPR: tap it. Faults
+            // here shift the sampled texel; the result re-enters u8
+            // storage through saturation, so most flips are masked.
+            let sx = tap::fpr(hx / hw);
+            let sy = hy / hw;
+            if !sx.is_finite() || !sy.is_finite() {
+                continue;
+            }
+            if sx < -1.0 || sy < -1.0 || sx > sw as f64 || sy > sh as f64 {
+                continue;
+            }
+            // Bilinear fetch through an explicit, tapped source address:
+            // the load-base register of the gather. A corrupted high bit
+            // drives the checked loads out of bounds (segfault), exactly
+            // how address-register faults kill the native application.
+            let x0c = (sx.floor() as isize).clamp(0, sw as isize - 2) as usize;
+            let y0c = (sy.floor() as isize).clamp(0, sh as isize - 2) as usize;
+            let fx = (sx - x0c as f64).clamp(0.0, 1.0);
+            let fy = (sy - y0c as f64).clamp(0.0, 1.0);
+            let src_idx = tap::addr(y0c * row_stride + x0c * 3);
+            // Out-of-bounds fetches split by magnitude, as native crashes
+            // do: mild overshoot lands in adjacent allocations and trips
+            // library assertions (abort); wild pointers segfault.
+            let fetch = |off: usize| -> Result<f64, SimError> {
+                let i = src_idx.wrapping_add(off);
+                match src_bytes.get(i) {
+                    Some(&v) => Ok(f64::from(v)),
+                    None if i < src_bytes.len().saturating_mul(16) => Err(SimError::Abort),
+                    None => Err(SimError::Segfault),
+                }
+            };
+            let mut pixel = [0u8; 3];
+            let mut packed = 0u64;
+            for c in 0..3 {
+                let p00 = fetch(c)?;
+                let p10 = fetch(3 + c)?;
+                let p01 = fetch(row_stride + c)?;
+                let p11 = fetch(row_stride + 3 + c)?;
+                let top = p00 + (p10 - p00) * fx;
+                let bottom = p01 + (p11 - p01) * fx;
+                packed |= (saturate_u8(top + (bottom - top) * fy) as u64) << (8 * c);
+            }
+            // Dead-register tap: compiled remap kernels keep several
+            // ephemeral temporaries per pixel whose corruption never
+            // reaches the output — the paper's dominant masking source.
+            let _dead = tap::gpr(packed ^ (src_idx as u64).rotate_left(17));
+            // Data tap on the packed pixel value (an integer register
+            // holding store data); and an address tap on the store index.
+            let packed = tap::gpr(packed);
+            for (c, px) in pixel.iter_mut().enumerate() {
+                *px = ((packed >> (8 * c)) & 0xff) as u8;
+            }
+            let idx = tap::addr(row_base + x);
+            let (px, py) = (idx % w, idx / w);
+            if !dst.set(px, py, pixel) {
+                return Err(if idx < dst.width() * dst.height() * 16 {
+                    SimError::Abort
+                } else {
+                    SimError::Segfault
+                });
+            }
+            mask.set(px, py, 255);
+        }
+    }
+    Ok(())
+}
+
+/// Warp `src` by `h` into a `dst_w`×`dst_h` image whose pixel `(x, y)`
+/// corresponds to output-plane coordinate `(x, y)` (origin at zero).
+///
+/// Returns the warped image and a coverage mask (255 where a source
+/// sample landed).
+///
+/// # Errors
+///
+/// * [`SimError::Abort`] — `h` is not invertible, or the destination
+///   exceeds [`MAX_WARP_PIXELS`] (library constraint violations).
+/// * [`SimError::Segfault`] — a fault-corrupted index escaped bounds.
+/// * [`SimError::Hang`] — instruction budget exhausted.
+pub fn warp_perspective(
+    src: &RgbImage,
+    h: &Mat3,
+    dst_w: usize,
+    dst_h: usize,
+) -> Result<(RgbImage, GrayImage), SimError> {
+    warp_perspective_offset(src, h, dst_w, dst_h, Vec2::ZERO)
+}
+
+/// [`warp_perspective`] with a destination-plane origin offset: output
+/// pixel `(x, y)` corresponds to plane coordinate `(x + origin.x,
+/// y + origin.y)`. Panorama canvases use negative origins.
+///
+/// # Errors
+///
+/// As [`warp_perspective`].
+pub fn warp_perspective_offset(
+    src: &RgbImage,
+    h: &Mat3,
+    dst_w: usize,
+    dst_h: usize,
+    origin: Vec2,
+) -> Result<(RgbImage, GrayImage), SimError> {
+    let _f = tap::scope(FuncId::WarpPerspective);
+    tap::work(OpClass::Float, 120)?;
+    tap::work(OpClass::IntAlu, 60)?;
+    if dst_w.checked_mul(dst_h).is_none_or(|p| p > MAX_WARP_PIXELS) {
+        return Err(SimError::Abort);
+    }
+    let inv = h.inverse().ok_or(SimError::Abort)?;
+    let mut dst = RgbImage::try_new(dst_w, dst_h).ok_or(SimError::Abort)?;
+    let mut mask = GrayImage::try_new(dst_w, dst_h).ok_or(SimError::Abort)?;
+    remap_bilinear(src, &inv, &mut dst, &mut mask, origin, 0, dst_h)?;
+    Ok((dst, mask))
+}
+
+/// Warp an affine transform (`h` must have last row `[0, 0, 1]`); same
+/// contract as [`warp_perspective`] otherwise.
+///
+/// # Errors
+///
+/// As [`warp_perspective`], plus [`SimError::Abort`] if `h` is not
+/// affine.
+pub fn warp_affine(
+    src: &RgbImage,
+    h: &Mat3,
+    dst_w: usize,
+    dst_h: usize,
+) -> Result<(RgbImage, GrayImage), SimError> {
+    if !h.is_affine() {
+        return Err(SimError::Abort);
+    }
+    warp_perspective(src, h, dst_w, dst_h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gradient(w: usize, h: usize) -> RgbImage {
+        RgbImage::from_fn(w, h, |x, y| [(x * 7 % 256) as u8, (y * 11 % 256) as u8, 128])
+    }
+
+    #[test]
+    fn identity_warp_reproduces_source() {
+        let src = gradient(24, 18);
+        let (out, mask) = warp_perspective(&src, &Mat3::IDENTITY, 24, 18).unwrap();
+        assert_eq!(out, src);
+        assert!(mask.as_bytes().iter().all(|&m| m == 255));
+    }
+
+    #[test]
+    fn translation_shifts_content() {
+        let src = gradient(32, 32);
+        let t = Mat3::translation(8.0, 3.0);
+        let (out, mask) = warp_perspective(&src, &t, 32, 32).unwrap();
+        assert_eq!(out.get(20, 20), src.get(12, 17));
+        // The strip that maps outside the source is unwritten.
+        assert_eq!(mask.get(3, 10), Some(0));
+        assert_eq!(out.get(3, 1), Some([0, 0, 0]));
+    }
+
+    #[test]
+    fn rotation_preserves_center_pixel() {
+        let mut src = RgbImage::new(33, 33);
+        src.set(16, 16, [200, 100, 50]);
+        // Rotate about the centre: T(c) R T(-c).
+        let r = Mat3::translation(16.0, 16.0)
+            * Mat3::rotation(0.7)
+            * Mat3::translation(-16.0, -16.0);
+        let (out, _) = warp_perspective(&src, &r, 33, 33).unwrap();
+        let p = out.get(16, 16).unwrap();
+        assert!(p[0] > 100, "centre pixel must survive rotation: {p:?}");
+    }
+
+    #[test]
+    fn singular_transform_aborts() {
+        let src = gradient(8, 8);
+        let singular = Mat3::from_rows([1.0, 2.0, 0.0, 2.0, 4.0, 0.0, 0.0, 0.0, 1.0]);
+        assert_eq!(
+            warp_perspective(&src, &singular, 8, 8).unwrap_err(),
+            SimError::Abort
+        );
+    }
+
+    #[test]
+    fn oversized_destination_aborts() {
+        let src = gradient(8, 8);
+        assert_eq!(
+            warp_perspective(&src, &Mat3::IDENTITY, 1 << 13, 1 << 13).unwrap_err(),
+            SimError::Abort
+        );
+        assert_eq!(
+            warp_perspective(&src, &Mat3::IDENTITY, usize::MAX, 2).unwrap_err(),
+            SimError::Abort
+        );
+    }
+
+    #[test]
+    fn warp_affine_validates_affinity() {
+        let src = gradient(8, 8);
+        let projective = Mat3::from_rows([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, 1e-3, 0.0, 1.0]);
+        assert_eq!(
+            warp_affine(&src, &projective, 8, 8).unwrap_err(),
+            SimError::Abort
+        );
+        assert!(warp_affine(&src, &Mat3::translation(1.0, 1.0), 8, 8).is_ok());
+    }
+
+    #[test]
+    fn offset_origin_pans_the_viewport() {
+        let src = gradient(40, 40);
+        let (a, _) = warp_perspective(&src, &Mat3::IDENTITY, 20, 20).unwrap();
+        let (b, _) =
+            warp_perspective_offset(&src, &Mat3::IDENTITY, 20, 20, Vec2::new(10.0, 5.0))
+                .unwrap();
+        assert_eq!(b.get(0, 0), src.get(10, 5));
+        assert_eq!(a.get(0, 0), src.get(0, 0));
+    }
+
+    #[test]
+    fn scaling_up_interpolates_smoothly() {
+        let src = RgbImage::from_fn(4, 2, |x, _| [(x * 60) as u8, 0, 0]);
+        let (out, _) = warp_perspective(&src, &Mat3::scaling(4.0), 16, 4).unwrap();
+        // Red channel must be monotone non-decreasing along x.
+        let mut prev = 0u8;
+        for x in 0..16 {
+            let r = out.get(x, 1).unwrap()[0];
+            assert!(r >= prev, "non-monotone at {x}: {r} < {prev}");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn warp_roundtrip_approximates_identity() {
+        let src = gradient(48, 48);
+        let t = Mat3::translation(4.0, -2.0) * Mat3::rotation(0.2);
+        let (warped, _) = warp_perspective(&src, &t, 48, 48).unwrap();
+        let (back, mask) = warp_perspective(&warped, &t.inverse().unwrap(), 48, 48).unwrap();
+        // Compare where the roundtrip has coverage.
+        let mut diff_sum = 0u64;
+        let mut n = 0u64;
+        for y in 8..40 {
+            for x in 8..40 {
+                if mask.get(x, y) == Some(255) {
+                    let a = back.get(x, y).unwrap();
+                    let b = src.get(x, y).unwrap();
+                    diff_sum += (a[0] as i32 - b[0] as i32).unsigned_abs() as u64;
+                    n += 1;
+                }
+            }
+        }
+        assert!(n > 200, "roundtrip coverage too small");
+        let mean = diff_sum as f64 / n as f64;
+        assert!(mean < 12.0, "roundtrip error too large: {mean}");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn gradient(w: usize, h: usize) -> RgbImage {
+        RgbImage::from_fn(w, h, |x, y| [(x * 5 % 256) as u8, (y * 7 % 256) as u8, 99])
+    }
+
+    proptest! {
+        /// Warping by a random translation relocates pixels exactly:
+        /// every interior destination pixel equals the source pixel the
+        /// translation maps it from.
+        #[test]
+        fn translation_warp_relocates_pixels(
+            tx in -10i32..10, ty in -8i32..8,
+            px in 12usize..28, py in 12usize..20,
+        ) {
+            let src = gradient(40, 32);
+            let t = Mat3::translation(tx as f64, ty as f64);
+            let (out, mask) = warp_perspective(&src, &t, 40, 32).unwrap();
+            let sx = px as i64 - tx as i64;
+            let sy = py as i64 - ty as i64;
+            if sx >= 0 && sy >= 0 && (sx as usize) < 40 && (sy as usize) < 32 {
+                prop_assert_eq!(mask.get(px, py), Some(255));
+                prop_assert_eq!(out.get(px, py), src.get(sx as usize, sy as usize));
+            }
+        }
+
+        /// Identity-composited canvases reproduce frame content at the
+        /// frame's location for any in-bounds probe.
+        #[test]
+        fn canvas_composite_preserves_content(
+            ox in 0usize..12, oy in 0usize..10,
+            qx in 0usize..16, qy in 0usize..12,
+        ) {
+            use vs_geometry::transform::Bounds;
+            use vs_linalg::Vec2;
+            let frame = gradient(16, 12);
+            let b = Bounds::of_points(&[Vec2::ZERO, Vec2::new(40.0, 30.0)]).unwrap();
+            let mut canvas = Canvas::new(&b).unwrap();
+            canvas
+                .composite(&frame, &Mat3::translation(ox as f64, oy as f64))
+                .unwrap();
+            prop_assert_eq!(
+                canvas.image().get(ox + qx, oy + qy),
+                frame.get(qx, qy)
+            );
+        }
+
+        /// The warp never panics for arbitrary finite affine transforms:
+        /// it either succeeds or reports a simulated abort.
+        #[test]
+        fn warp_total_over_random_affines(
+            a in -2.0f64..2.0, b in -2.0f64..2.0,
+            c in -2.0f64..2.0, d in -2.0f64..2.0,
+            tx in -50.0f64..50.0, ty in -50.0f64..50.0,
+        ) {
+            let src = gradient(20, 16);
+            let m = Mat3::affine(a, b, tx, c, d, ty);
+            let _ = warp_perspective(&src, &m, 24, 18);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Approximation trade-off study (the paper's §IV-A on your machine):
+//! for each algorithm variant and input, report modeled time/energy,
+//! output quality against the precise baseline, and the resulting
+//! panorama structure.
+//!
+//! ```text
+//! cargo run --release --example approximation_tradeoffs
+//! ```
+
+use video_summarization::fault::campaign;
+use video_summarization::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    let model = MachineModel::default();
+    for input in InputId::BOTH {
+        println!("== {input} ==");
+        let mut baseline_perf = None;
+        let mut baseline_panos = None;
+        for approx in Approximation::paper_variants() {
+            let w = experiments::vs_workload(input, Scale::Quick, approx);
+            let golden = campaign::profile_golden(&w)?;
+            let perf = model.evaluate(&golden.profile.instr);
+            let base = *baseline_perf.get_or_insert(perf);
+            let panos = golden.output;
+            let ref_panos = baseline_panos.get_or_insert_with(|| panos.clone());
+            let q = quality::summary_quality(ref_panos, &panos);
+            let summary = w.summarize()?;
+            println!(
+                "  {:7}  time x{:.2}  energy x{:.2}  quality dev {:6.2}%  segments {}  discarded {}",
+                approx.to_string(),
+                perf.time_seconds / base.time_seconds,
+                perf.energy_joules / base.energy_joules,
+                q.relative_l2_norm,
+                summary.stats.segments,
+                summary.stats.frames_discarded,
+            );
+        }
+    }
+    println!(
+        "\nShape to look for (paper §IV-A): VS_RFD gains most on Input1, VS_KDS on Input2;\n\
+         Input1's quality degrades more than Input2's under every approximation."
+    );
+    Ok(())
+}

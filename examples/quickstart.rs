@@ -1,0 +1,55 @@
+//! Quickstart: summarize a synthetic aerial clip and inspect the result.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use video_summarization::prelude::*;
+
+fn main() -> Result<(), SimError> {
+    // 1. Render a synthetic aerial clip (the paper's VIRAT stand-in).
+    let spec = InputSpec::input2_preset().with_frames(16);
+    println!(
+        "rendering {} frames of {} ({}x{})...",
+        spec.frames, spec.name, spec.frame_width, spec.frame_height
+    );
+    let frames = render_input(&spec);
+
+    // 2. Summarize with the baseline (precise) VS algorithm.
+    let vs = VideoSummarizer::new(PipelineConfig::default());
+    let summary = vs.run(&frames)?;
+    println!(
+        "summary: {} mini-panorama(s) from {} frames ({} homographies, {} affine fallbacks, {} discarded)",
+        summary.stats.segments,
+        summary.stats.frames_in,
+        summary.stats.homographies,
+        summary.stats.affine_fallbacks,
+        summary.stats.frames_discarded,
+    );
+    for (i, pano) in summary.panoramas.iter().enumerate() {
+        println!("  panorama {i}: {}x{}", pano.width(), pano.height());
+    }
+
+    // 3. Save the primary panorama for viewing.
+    let out = std::path::Path::new("out/quickstart");
+    std::fs::create_dir_all(out).expect("create output dir");
+    if let Some(pano) = quality::primary_panorama(&summary.panoramas) {
+        let path = out.join("panorama.ppm");
+        video_summarization::image::write_ppm(&path, pano).expect("write panorama");
+        println!("primary panorama written to {}", path.display());
+    }
+
+    // 4. Compare against an approximate run (VS_RFD, 10% frame drops).
+    let approx = VideoSummarizer::new(
+        PipelineConfig::default().with_approximation(Approximation::rfd_default()),
+    );
+    let approx_summary = approx.run(&frames)?;
+    let q = quality::summary_quality(&summary.panoramas, &approx_summary.panoramas);
+    println!(
+        "VS_RFD dropped {} frame(s); output deviation from baseline: {:.2}%{}",
+        approx_summary.stats.frames_dropped_by_input,
+        q.relative_l2_norm,
+        q.ed.map(|e| format!(" (ED {e})")).unwrap_or_default(),
+    );
+    Ok(())
+}

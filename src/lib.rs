@@ -1,0 +1,105 @@
+//! # video-summarization
+//!
+//! A from-scratch Rust reproduction of *"Impact of Software
+//! Approximations on the Resiliency of a Video Summarization System"*
+//! (DSN 2018): an end-to-end UAV video-summarization pipeline, three
+//! software approximations, a software-implemented fault-injection
+//! framework, an analytic performance/energy model, and a synthetic
+//! aerial-video substrate — everything needed to regenerate the paper's
+//! evaluation.
+//!
+//! This facade re-exports the workspace crates under stable module
+//! names. Downstream users depend on this one crate:
+//!
+//! | Module | Contents |
+//! |---|---|
+//! | [`pipeline`] | the VS application, approximations, quality metric |
+//! | [`fault`] | tap instrumentation + injection campaigns |
+//! | [`perf`] | CPI/energy model, execution profiles |
+//! | [`video`] | synthetic aerial inputs (Input 1 / Input 2) |
+//! | [`image`], [`linalg`], [`features`], [`matching`], [`geometry`], [`warp`] | the vision substrate |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use video_summarization::prelude::*;
+//!
+//! // Render a short synthetic aerial clip and summarize it.
+//! let frames = render_input(&InputSpec::input2_preset().with_frames(8));
+//! let vs = VideoSummarizer::new(PipelineConfig::default());
+//! let summary = vs.run(&frames)?;
+//! assert!(!summary.panoramas.is_empty());
+//!
+//! // Inject 50 GPR bit flips and classify the outcomes.
+//! let workload = VsWorkload::new(frames, PipelineConfig::default());
+//! let golden = campaign::profile_golden(&workload)?;
+//! let cfg = CampaignConfig::new(RegClass::Gpr, 50).seed(1);
+//! let records = campaign::run_campaign(&workload, &golden, &cfg);
+//! let rates = outcome_rates(&records);
+//! assert_eq!(rates.n, 50);
+//! # Ok::<(), video_summarization::fault::SimError>(())
+//! ```
+
+/// The paper's primary contribution: pipeline, approximations, quality
+/// metric, workload adapters and canonical experiment setups.
+pub use vs_core as pipeline;
+
+/// Software-implemented fault injection (the AFI analogue).
+pub use vs_fault as fault;
+
+/// Analytic performance/energy model and execution profiles.
+pub use vs_perfmodel as perf;
+
+/// Synthetic aerial-video generation.
+pub use vs_video as video;
+
+/// Event summarization: moving-object detection, tracking, overlays.
+pub use vs_events as events;
+
+/// Image containers and basic processing.
+pub use vs_image as image;
+
+/// Small dense linear algebra.
+pub use vs_linalg as linalg;
+
+/// FAST/ORB feature detection and description.
+pub use vs_features as features;
+
+/// Descriptor matching (ratio test and simple matching).
+pub use vs_matching as matching;
+
+/// RANSAC, homography and affine estimation.
+pub use vs_geometry as geometry;
+
+/// Perspective warping and panorama compositing.
+pub use vs_warp as warp;
+
+/// The most commonly used items, importable in one line.
+pub mod prelude {
+    pub use vs_core::experiments::{self, InputId, Scale};
+    pub use vs_core::{
+        quality, summarize_with_events, Approximation, EventConfig, IntegratedSummary,
+        IntegratedWorkload, PipelineConfig, Summary, VideoSummarizer, VsWorkload, WpWorkload,
+    };
+    pub use vs_fault::campaign::{self, CampaignConfig, Outcome, Workload};
+    pub use vs_fault::spec::RegClass;
+    pub use vs_fault::stats::outcome_rates;
+    pub use vs_fault::{FuncId, FuncMask, SimError};
+    pub use vs_image::{GrayImage, RgbImage};
+    pub use vs_warp::{BlendMode, CompositeOptions};
+    pub use vs_perfmodel::MachineModel;
+    pub use vs_video::{render_input, InputSpec};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_resolve() {
+        let _ = crate::pipeline::PipelineConfig::default();
+        let _ = crate::perf::MachineModel::default();
+        let _ = crate::fault::FuncMask::all();
+        let _ = crate::video::InputSpec::input1_preset();
+        let _ = crate::image::GrayImage::new(1, 1);
+        let _ = crate::linalg::Mat3::IDENTITY;
+    }
+}

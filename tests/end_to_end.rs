@@ -1,0 +1,149 @@
+//! End-to-end pipeline integration tests spanning the video, vision and
+//! core crates.
+
+use video_summarization::prelude::*;
+
+fn frames(input: InputId, n: usize) -> Vec<RgbImage> {
+    let spec = experiments::input_spec(input, Scale::Quick).with_frames(n);
+    render_input(&spec)
+}
+
+#[test]
+fn baseline_summarizes_both_inputs() {
+    for input in InputId::BOTH {
+        let f = frames(input, 10);
+        let vs = VideoSummarizer::new(experiments::pipeline_config(
+            Scale::Quick,
+            Approximation::Baseline,
+        ));
+        let s = vs.run(&f).expect("golden run must succeed");
+        assert!(!s.panoramas.is_empty(), "{input}: no panoramas");
+        assert_eq!(s.stats.frames_in, 10);
+        let aligned = s.stats.homographies + s.stats.affine_fallbacks + s.stats.segments;
+        assert!(
+            aligned + s.stats.frames_discarded + s.stats.frames_dropped_by_input == 10,
+            "{input}: inconsistent stats {:?}",
+            s.stats
+        );
+    }
+}
+
+#[test]
+fn panorama_grows_beyond_single_frame_on_smooth_input() {
+    let f = frames(InputId::Input2, 12);
+    let vs = VideoSummarizer::new(experiments::pipeline_config(
+        Scale::Quick,
+        Approximation::Baseline,
+    ));
+    let s = vs.run(&f).unwrap();
+    let pano = quality::primary_panorama(&s.panoramas).unwrap();
+    let frame_area = f[0].width() * f[0].height();
+    assert!(
+        pano.width() * pano.height() > frame_area * 3 / 2,
+        "panorama {}x{} barely larger than one frame",
+        pano.width(),
+        pano.height()
+    );
+}
+
+#[test]
+fn every_approximation_completes_on_both_inputs() {
+    for input in InputId::BOTH {
+        let f = frames(input, 10);
+        for approx in Approximation::paper_variants() {
+            let vs = VideoSummarizer::new(experiments::pipeline_config(Scale::Quick, approx));
+            let s = vs
+                .run(&f)
+                .unwrap_or_else(|e| panic!("{input} {approx}: golden run failed: {e}"));
+            assert!(
+                !s.panoramas.is_empty(),
+                "{input} {approx}: produced no output"
+            );
+        }
+    }
+}
+
+#[test]
+fn high_variation_input_produces_more_mini_panoramas() {
+    let vs = VideoSummarizer::new(experiments::pipeline_config(
+        Scale::Quick,
+        Approximation::Baseline,
+    ));
+    let s1 = vs.run(&frames(InputId::Input1, 24)).unwrap();
+    let s2 = vs.run(&frames(InputId::Input2, 24)).unwrap();
+    assert!(
+        s1.stats.segments > s2.stats.segments,
+        "Input1 must fragment more: {} vs {} segments",
+        s1.stats.segments,
+        s2.stats.segments
+    );
+}
+
+#[test]
+fn rfd_reduces_modeled_work_most_on_input1() {
+    // The Fig 5 headline: VS_RFD's relative modeled time on Input 1 is
+    // well below its Input 2 ratio. Needs Paper scale — at 10 frames one
+    // dropped frame is statistical noise.
+    let model = MachineModel::default();
+    let ratio = |input: InputId| {
+        let base = experiments::vs_workload(input, Scale::Paper, Approximation::Baseline);
+        let rfd = experiments::vs_workload(input, Scale::Paper, Approximation::rfd_default());
+        let gb = campaign::profile_golden(&base).unwrap();
+        let gr = campaign::profile_golden(&rfd).unwrap();
+        model.evaluate(&gr.profile.instr).time_seconds
+            / model.evaluate(&gb.profile.instr).time_seconds
+    };
+    let r1 = ratio(InputId::Input1);
+    let r2 = ratio(InputId::Input2);
+    assert!(r1 < 1.0, "RFD must speed up Input1 (got x{r1:.2})");
+    assert!(
+        r1 < r2 + 0.05,
+        "RFD gains must be at least as large on Input1: x{r1:.2} vs x{r2:.2}"
+    );
+}
+
+#[test]
+fn output_quality_of_approximations_is_bounded() {
+    // §IV-A: approximations keep acceptable output quality. At quick
+    // scale the primary panorama of each variant must not be egregiously
+    // far from the baseline on the smooth input.
+    let f = frames(InputId::Input2, 10);
+    let base = VideoSummarizer::new(experiments::pipeline_config(
+        Scale::Quick,
+        Approximation::Baseline,
+    ))
+    .run(&f)
+    .unwrap();
+    for approx in [
+        Approximation::rfd_default(),
+        Approximation::kds_default(),
+        Approximation::sm_default(),
+    ] {
+        let s = VideoSummarizer::new(experiments::pipeline_config(Scale::Quick, approx))
+            .run(&f)
+            .unwrap();
+        let q = quality::summary_quality(&base.panoramas, &s.panoramas);
+        assert!(
+            !q.is_egregious(),
+            "{approx}: output egregiously far from baseline ({:.1}%)",
+            q.relative_l2_norm
+        );
+    }
+}
+
+#[test]
+fn summaries_shrink_data_volume() {
+    // The motivating property: a summary is far smaller than the input.
+    let f = frames(InputId::Input2, 16);
+    let vs = VideoSummarizer::new(experiments::pipeline_config(
+        Scale::Quick,
+        Approximation::Baseline,
+    ));
+    let s = vs.run(&f).unwrap();
+    let input_px: usize = f.iter().map(|x| x.width() * x.height()).sum();
+    let output_px: usize = s.panoramas.iter().map(|p| p.width() * p.height()).sum();
+    assert!(
+        output_px * 2 < input_px,
+        "no data reduction: {input_px} -> {output_px}"
+    );
+}

@@ -1,0 +1,113 @@
+//! Integration tests of the fault model against the full pipeline:
+//! coverage, function masking and the structure of fired faults.
+
+use video_summarization::fault::stats::{
+    bit_histogram, coefficient_of_variation, func_histogram, register_histogram,
+};
+use video_summarization::prelude::*;
+
+fn full_campaign(class: RegClass, n: usize) -> Vec<campaign::Injection<Vec<RgbImage>>> {
+    let w = experiments::vs_workload(InputId::Input1, Scale::Quick, Approximation::Baseline);
+    let g = campaign::profile_golden(&w).unwrap();
+    let cfg = CampaignConfig::new(class, n).seed(0xFA).keep_sdc_outputs(false);
+    campaign::run_campaign(&w, &g, &cfg)
+}
+
+#[test]
+fn every_fault_fires_in_a_full_campaign() {
+    // The fault site is drawn from the profiled tap population, so every
+    // armed fault must actually fire during its run (the golden and
+    // injected executions visit the same taps up to the injection point).
+    let recs = full_campaign(RegClass::Gpr, 120);
+    for r in &recs {
+        assert!(
+            r.fired.is_some(),
+            "injection {} ({}) never fired",
+            r.index,
+            r.spec
+        );
+    }
+}
+
+#[test]
+fn register_and_bit_coverage_are_uniform() {
+    // Fig 9b: uniform over 32 registers and 64 bit positions.
+    let recs = full_campaign(RegClass::Gpr, 640);
+    let regs = register_histogram(&recs);
+    let bits = bit_histogram(&recs);
+    assert!(regs.iter().all(|&c| c > 0), "register uncovered: {regs:?}");
+    assert!(
+        coefficient_of_variation(&regs) < 0.4,
+        "register coverage skewed: CV {:.2}",
+        coefficient_of_variation(&regs)
+    );
+    assert!(
+        coefficient_of_variation(&bits) < 0.6,
+        "bit coverage skewed: CV {:.2}",
+        coefficient_of_variation(&bits)
+    );
+}
+
+#[test]
+fn faults_land_across_many_pipeline_functions() {
+    let recs = full_campaign(RegClass::Gpr, 300);
+    let hist = func_histogram(&recs);
+    let hit_functions = hist.iter().filter(|&&c| c > 0).count();
+    assert!(
+        hit_functions >= 4,
+        "faults concentrated in too few functions: {hist:?}"
+    );
+    // The hot function must absorb the plurality of faults (it owns the
+    // plurality of dynamic taps — Fig 8's 54% warp share).
+    let remap = hist[FuncId::RemapBilinear.index()];
+    assert!(
+        hist.iter().all(|&c| c <= remap),
+        "remap_bilinear is not the most-hit function: {hist:?}"
+    );
+}
+
+#[test]
+fn masked_runs_produce_identical_outputs_by_construction() {
+    let w = experiments::vs_workload(InputId::Input2, Scale::Quick, Approximation::Baseline);
+    let g = campaign::profile_golden(&w).unwrap();
+    let cfg = CampaignConfig::new(RegClass::Fpr, 40).seed(5).keep_sdc_outputs(true);
+    let recs = campaign::run_campaign(&w, &g, &cfg);
+    // FPR faults mask overwhelmingly; each masked record must carry no
+    // output (it equalled golden) and each SDC record must carry one.
+    for r in &recs {
+        match r.outcome {
+            Outcome::Masked => assert!(r.sdc_output.is_none()),
+            Outcome::Sdc => assert!(r.sdc_output.is_some()),
+            other => panic!("unexpected FPR outcome {other}"),
+        }
+    }
+}
+
+#[test]
+fn hang_budget_bounds_every_run() {
+    // Even with hostile control-value corruption, no run may exceed the
+    // configured budget by more than one work batch; the campaign
+    // returning at all (with Hang outcomes possible) is the guarantee.
+    let recs = full_campaign(RegClass::Gpr, 200);
+    let hangs = recs.iter().filter(|r| r.outcome == Outcome::Hang).count();
+    // Hangs are rare but the monitor must classify them as such rather
+    // than letting the campaign wedge (reaching this line proves it).
+    assert!(hangs <= recs.len());
+}
+
+#[test]
+fn function_mask_confines_fired_faults() {
+    let mask = FuncMask::only(&[FuncId::MatchKeypoints]);
+    let w = experiments::vs_workload(InputId::Input2, Scale::Quick, Approximation::Baseline);
+    let g = campaign::profile_golden_masked(&w, mask).unwrap();
+    let cfg = CampaignConfig::new(RegClass::Gpr, 60).seed(9).keep_sdc_outputs(false);
+    let recs = campaign::run_campaign(&w, &g, &cfg);
+    for r in &recs {
+        let fired = r.fired.expect("fault must fire");
+        assert_eq!(
+            fired.func,
+            FuncId::MatchKeypoints,
+            "fault escaped the function mask: {fired}"
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! Integration tests of the SDC-quality metric against real pipeline
+//! outputs (not synthetic toy images).
+
+use video_summarization::prelude::*;
+
+fn baseline_pano() -> RgbImage {
+    let w = experiments::vs_workload(InputId::Input2, Scale::Quick, Approximation::Baseline);
+    let s = w.summarize().unwrap();
+    quality::primary_panorama(&s.panoramas).unwrap().clone()
+}
+
+/// Corrupt a rectangular region hard: slam each channel to the opposite
+/// rail, so every corrupted pixel clears the metric's >128 threshold
+/// (plain inversion of midtone terrain would stay under it).
+fn corrupt_rect(img: &RgbImage, x0: usize, y0: usize, w: usize, h: usize) -> RgbImage {
+    let mut out = img.clone();
+    let rail = |v: u8| if v < 128 { 255 } else { 0 };
+    for y in y0..(y0 + h).min(img.height()) {
+        for x in x0..(x0 + w).min(img.width()) {
+            let p = img.get(x, y).unwrap();
+            out.set(x, y, [rail(p[0]), rail(p[1]), rail(p[2])]);
+        }
+    }
+    out
+}
+
+#[test]
+fn ed_grows_with_corruption_extent() {
+    let pano = baseline_pano();
+    let small = corrupt_rect(&pano, 10, 10, 12, 12);
+    let large = corrupt_rect(&pano, 10, 10, 60, 40);
+    let q_small = quality::sdc_quality(&pano, &small);
+    let q_large = quality::sdc_quality(&pano, &large);
+    assert!(
+        q_small.relative_l2_norm < q_large.relative_l2_norm,
+        "metric not monotone in corruption extent: {:.2} vs {:.2}",
+        q_small.relative_l2_norm,
+        q_large.relative_l2_norm
+    );
+}
+
+#[test]
+fn identical_panoramas_have_ed_zero() {
+    let pano = baseline_pano();
+    let q = quality::sdc_quality(&pano, &pano);
+    assert_eq!(q.ed, Some(0));
+    assert_eq!(q.relative_l2_norm, 0.0);
+}
+
+#[test]
+fn metric_is_translation_tolerant_on_real_panoramas() {
+    // §V-D: "differences due to perspective ... are removed" before
+    // scoring. A shifted copy of the same panorama is a cosmetic, not a
+    // content, difference.
+    let pano = baseline_pano();
+    let shifted = RgbImage::from_fn(pano.width(), pano.height(), |x, y| {
+        pano.get_clamped(x as isize - 3, y as isize - 3)
+    });
+    let unregistered_differs = pano != shifted;
+    assert!(unregistered_differs);
+    let q = quality::sdc_quality(&pano, &shifted);
+    assert!(
+        q.relative_l2_norm < 25.0,
+        "translation should be mostly corrected: {:.2}%",
+        q.relative_l2_norm
+    );
+}
+
+#[test]
+fn approximate_golden_deviation_is_larger_on_input1() {
+    // §VI-D / Fig 12: the deviation between Approx_golden and VS_golden
+    // is what shifts the vs-VS_golden curves, and it is much larger for
+    // Input 1 (the paper quotes VS_SM at ~37% vs ~8%).
+    let dev = |input: InputId| {
+        let base = experiments::vs_workload(input, Scale::Quick, Approximation::Baseline)
+            .summarize()
+            .unwrap();
+        let sm = experiments::vs_workload(input, Scale::Quick, Approximation::sm_default())
+            .summarize()
+            .unwrap();
+        quality::summary_quality(&base.panoramas, &sm.panoramas).relative_l2_norm
+    };
+    let d1 = dev(InputId::Input1);
+    let d2 = dev(InputId::Input2);
+    assert!(
+        d1 > d2,
+        "Input1 deviation {:.2}% must exceed Input2's {:.2}%",
+        d1,
+        d2
+    );
+}
+
+#[test]
+fn missing_output_is_egregious() {
+    let pano = baseline_pano();
+    let q = quality::summary_quality(std::slice::from_ref(&pano), &[]);
+    assert!(q.is_egregious());
+}
+
+#[test]
+fn fully_black_output_is_heavily_penalized() {
+    let pano = baseline_pano();
+    let black = RgbImage::new(pano.width(), pano.height());
+    let q = quality::sdc_quality(&pano, &black);
+    assert!(
+        q.relative_l2_norm > 30.0,
+        "blank output scored too mildly: {:.2}%",
+        q.relative_l2_norm
+    );
+}

@@ -1,0 +1,165 @@
+//! Integration tests asserting the paper's core resiliency claims at
+//! test scale. These are the claims of §VI, checked end to end through
+//! the real pipeline and the real fault-injection framework.
+
+use video_summarization::fault::campaign::profile_golden_masked;
+use video_summarization::prelude::*;
+
+const INJECTIONS: usize = 160;
+
+fn campaign_rates(
+    input: InputId,
+    approx: Approximation,
+    class: RegClass,
+) -> video_summarization::fault::stats::OutcomeRates {
+    let w = experiments::vs_workload(input, Scale::Quick, approx);
+    let g = campaign::profile_golden(&w).expect("golden run");
+    let cfg = CampaignConfig::new(class, INJECTIONS)
+        .seed(0xC1A1)
+        .keep_sdc_outputs(false);
+    outcome_rates(&campaign::run_campaign(&w, &g, &cfg))
+}
+
+#[test]
+fn gpr_faults_crash_heavily_fpr_faults_mask() {
+    // §VI-A: GPR crash rate ~40% (segfaults dominating), FPR masking
+    // ≥99.5%.
+    let gpr = {
+        let w = experiments::vs_workload(InputId::Input1, Scale::Quick, Approximation::Baseline);
+        let g = campaign::profile_golden(&w).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Gpr, INJECTIONS).seed(0xC1A1);
+        outcome_rates(&campaign::run_campaign(&w, &g, &cfg))
+    };
+    assert!(
+        (20.0..70.0).contains(&gpr.crash),
+        "GPR crash rate {:.1}% outside the paper's ballpark",
+        gpr.crash
+    );
+    assert!(
+        gpr.crash_segfault_share > 60.0,
+        "segfaults must dominate crashes ({:.1}%)",
+        gpr.crash_segfault_share
+    );
+    assert!(gpr.masked > 30.0, "GPR masking collapsed: {:.1}%", gpr.masked);
+
+    let fpr = {
+        let w = experiments::vs_workload(InputId::Input1, Scale::Quick, Approximation::Baseline);
+        let g = campaign::profile_golden(&w).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Fpr, INJECTIONS).seed(0xC1A1);
+        outcome_rates(&campaign::run_campaign(&w, &g, &cfg))
+    };
+    assert!(
+        fpr.masked > 95.0,
+        "FPR masking {:.1}% below the paper's ≥99.5% claim band",
+        fpr.masked
+    );
+    assert_eq!(fpr.crash, 0.0, "FPR faults must never crash");
+}
+
+#[test]
+fn approximations_do_not_degrade_crash_or_hang_profile() {
+    // §VI-B: Crash/Mask/Hang of the approximate algorithms stay close to
+    // the baseline; only SDC may move by a few points.
+    let base = campaign_rates(InputId::Input2, Approximation::Baseline, RegClass::Gpr);
+    for approx in [
+        Approximation::rfd_default(),
+        Approximation::kds_default(),
+        Approximation::sm_default(),
+    ] {
+        let r = campaign_rates(InputId::Input2, approx, RegClass::Gpr);
+        assert!(
+            (r.crash - base.crash).abs() < 20.0,
+            "{approx}: crash {:.1}% vs baseline {:.1}%",
+            r.crash,
+            base.crash
+        );
+        assert!(
+            r.hang < 6.0,
+            "{approx}: hang rate {:.1}% exploded",
+            r.hang
+        );
+        assert!(
+            r.sdc < base.sdc + 12.0,
+            "{approx}: SDC {:.1}% more than slightly above baseline {:.1}%",
+            r.sdc,
+            base.sdc
+        );
+    }
+}
+
+#[test]
+fn fpr_masking_holds_for_all_approximations() {
+    // §VI-B: "FPR error injections in the approximate algorithms are
+    // masked > 99.5% of the time".
+    for approx in Approximation::paper_variants() {
+        let r = campaign_rates(InputId::Input2, approx, RegClass::Fpr);
+        assert!(
+            r.masked > 95.0,
+            "{approx}: FPR masked only {:.1}%",
+            r.masked
+        );
+    }
+}
+
+#[test]
+fn end_to_end_masks_warp_faults_better_than_standalone_wp() {
+    // §VI-C: the compositional effect. Injections confined to the warp
+    // functions mask more often in the full application than in the
+    // standalone WP kernel.
+    let mask = FuncMask::only(&[FuncId::WarpPerspective, FuncId::RemapBilinear]);
+    let vs = experiments::vs_workload(InputId::Input1, Scale::Quick, Approximation::Baseline);
+    let vs_g = profile_golden_masked(&vs, mask).unwrap();
+    let cfg = CampaignConfig::new(RegClass::Gpr, INJECTIONS * 2)
+        .seed(3)
+        .keep_sdc_outputs(false);
+    let vs_r = outcome_rates(&campaign::run_campaign(&vs, &vs_g, &cfg));
+
+    let wp = WpWorkload::representative(vs.frames());
+    let wp_g = profile_golden_masked(&wp, mask).unwrap();
+    let wp_r = outcome_rates(&campaign::run_campaign(&wp, &wp_g, &cfg));
+
+    assert!(
+        vs_r.masked > wp_r.masked + 2.0,
+        "no compositional masking: VS {:.1}% vs WP {:.1}%",
+        vs_r.masked,
+        wp_r.masked
+    );
+    assert!(
+        wp_r.sdc > vs_r.sdc,
+        "WP must expose more SDCs: {:.1}% vs {:.1}%",
+        wp_r.sdc,
+        vs_r.sdc
+    );
+}
+
+#[test]
+fn most_sdcs_are_benign_by_the_ed_metric() {
+    // §VI-D: a large majority of SDCs carry a small Egregiousness
+    // Degree.
+    let w = experiments::vs_workload(InputId::Input2, Scale::Quick, Approximation::Baseline);
+    let g = campaign::profile_golden(&w).unwrap();
+    let cfg = CampaignConfig::new(RegClass::Gpr, INJECTIONS * 3)
+        .seed(0xED)
+        .keep_sdc_outputs(true);
+    let recs = campaign::run_campaign(&w, &g, &cfg);
+    let qualities: Vec<_> = recs
+        .iter()
+        .filter(|r| r.outcome == Outcome::Sdc)
+        .filter_map(|r| r.sdc_output.as_ref())
+        .map(|o| quality::summary_quality(&g.output, o))
+        .collect();
+    assert!(
+        qualities.len() >= 3,
+        "too few SDCs ({}) to assess quality",
+        qualities.len()
+    );
+    let benign = qualities
+        .iter()
+        .filter(|q| q.ed.is_some_and(|e| e <= 10))
+        .count();
+    assert!(
+        benign * 2 >= qualities.len(),
+        "only {benign}/{} SDCs below ED 10",
+        qualities.len()
+    );
+}
