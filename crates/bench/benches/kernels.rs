@@ -1,12 +1,12 @@
-//! Criterion micro-benchmarks of the vision kernels, individually.
+//! Micro-benchmarks of the vision kernels, individually.
 //!
 //! These give real wall-clock numbers for the building blocks whose
 //! modeled costs drive Figs 5 and 8: FAST detection, ORB description,
 //! brute-force matching, RANSAC and — the hot function — the perspective
-//! warp.
+//! warp. Run with `cargo bench -p vs-bench --bench kernels`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use vs_bench::timing::bench;
 use vs_features::{brief, fast, orientation, Orb, OrbConfig};
 use vs_geometry::ransac::{self, RansacConfig};
 use vs_image::gaussian_blur_5x5;
@@ -22,49 +22,45 @@ fn test_frame() -> vs_image::RgbImage {
     render_input(&spec).remove(0)
 }
 
-fn bench_fast(c: &mut Criterion) {
+fn bench_fast() {
     let gray = test_frame().to_gray();
-    c.bench_function("fast_detect_120x90", |b| {
-        b.iter(|| fast::detect(black_box(&gray), &fast::FastConfig::default()).unwrap())
+    bench("fast_detect_120x90", || {
+        fast::detect(black_box(&gray), &fast::FastConfig::default()).unwrap()
     });
 }
 
-fn bench_orb(c: &mut Criterion) {
+fn bench_orb() {
     let gray = test_frame().to_gray();
     let orb = Orb::new(OrbConfig::default());
-    c.bench_function("orb_detect_describe_120x90", |b| {
-        b.iter(|| orb.detect_and_describe(black_box(&gray)).unwrap())
+    bench("orb_detect_describe_120x90", || {
+        orb.detect_and_describe(black_box(&gray)).unwrap()
     });
     let kps = fast::detect(&gray, &fast::FastConfig::default()).unwrap();
     let kps = orientation::assign_orientations(&gray, kps).unwrap();
     let smoothed = gaussian_blur_5x5(&gray);
-    c.bench_function("brief_describe", |b| {
-        b.iter(|| brief::describe(black_box(&smoothed), black_box(&kps)).unwrap())
+    bench("brief_describe", || {
+        brief::describe(black_box(&smoothed), black_box(&kps)).unwrap()
     });
 }
 
-fn bench_matching(c: &mut Criterion) {
+fn bench_matching() {
     let gray = test_frame().to_gray();
     let orb = Orb::new(OrbConfig::default());
     let feats = orb.detect_and_describe(&gray).unwrap();
     let descs: Vec<_> = feats.iter().map(|f| f.descriptor).collect();
-    c.bench_function("ratio_match_self", |b| {
-        b.iter(|| {
-            RatioMatcher::default()
-                .matches(black_box(&descs), black_box(&descs))
-                .unwrap()
-        })
+    bench("ratio_match_self", || {
+        RatioMatcher::default()
+            .matches(black_box(&descs), black_box(&descs))
+            .unwrap()
     });
-    c.bench_function("simple_match_self", |b| {
-        b.iter(|| {
-            SimpleMatcher::default()
-                .matches(black_box(&descs), black_box(&descs))
-                .unwrap()
-        })
+    bench("simple_match_self", || {
+        SimpleMatcher::default()
+            .matches(black_box(&descs), black_box(&descs))
+            .unwrap()
     });
 }
 
-fn bench_ransac(c: &mut Criterion) {
+fn bench_ransac() {
     let truth = Mat3::translation(7.0, -3.0) * Mat3::rotation(0.05);
     let mut pairs: Vec<(Vec2, Vec2)> = (0..200)
         .map(|i| {
@@ -78,41 +74,35 @@ fn bench_ransac(c: &mut Criterion) {
             Vec2::new(119.0 - i as f64, 80.0),
         ));
     }
-    c.bench_function("ransac_homography_240pairs", |b| {
-        b.iter(|| {
-            ransac::estimate_homography(black_box(&pairs), &RansacConfig::default(), 7).unwrap()
-        })
+    bench("ransac_homography_240pairs", || {
+        ransac::estimate_homography(black_box(&pairs), &RansacConfig::default(), 7).unwrap()
     });
 }
 
-fn bench_warp(c: &mut Criterion) {
+fn bench_warp() {
     let frame = test_frame();
     let h = Mat3::translation(10.0, 5.0) * Mat3::rotation(0.1);
-    c.bench_function("warp_perspective_120x90", |b| {
-        b.iter(|| warp_perspective(black_box(&frame), black_box(&h), 120, 90).unwrap())
+    bench("warp_perspective_120x90", || {
+        warp_perspective(black_box(&frame), black_box(&h), 120, 90).unwrap()
     });
-    c.bench_function("warp_perspective_480x360", |b| {
-        b.iter(|| warp_perspective(black_box(&frame), black_box(&h), 480, 360).unwrap())
+    bench("warp_perspective_480x360", || {
+        warp_perspective(black_box(&frame), black_box(&h), 480, 360).unwrap()
     });
 }
 
-fn bench_world(c: &mut Criterion) {
+fn bench_world() {
     let cfg = WorldConfig {
         size: 256,
         ..WorldConfig::default()
     };
-    c.bench_function("generate_world_256", |b| {
-        b.iter_batched(
-            || cfg,
-            |cfg| generate_world(black_box(&cfg)),
-            BatchSize::SmallInput,
-        )
-    });
+    bench("generate_world_256", || generate_world(black_box(&cfg)));
 }
 
-criterion_group!(
-    name = kernels;
-    config = Criterion::default().sample_size(20);
-    targets = bench_fast, bench_orb, bench_matching, bench_ransac, bench_warp, bench_world
-);
-criterion_main!(kernels);
+fn main() {
+    bench_fast();
+    bench_orb();
+    bench_matching();
+    bench_ransac();
+    bench_warp();
+    bench_world();
+}

@@ -1,51 +1,42 @@
-//! Criterion macro-benchmarks: the end-to-end pipeline under each
-//! algorithm variant and input — the wall-clock complement of Fig 5.
+//! Macro-benchmarks: the end-to-end pipeline under each algorithm
+//! variant and input — the wall-clock complement of Fig 5. Run with
+//! `cargo bench -p vs-bench --bench pipeline`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use vs_bench::timing::bench;
 use vs_core::experiments::{input_spec, pipeline_config, InputId, Scale};
 use vs_core::{Approximation, VideoSummarizer};
 use vs_video::render_input;
 
-fn bench_variants(c: &mut Criterion) {
-    let mut group = c.benchmark_group("vs_pipeline");
-    group.sample_size(10);
+fn bench_variants() {
     for input in InputId::BOTH {
         let frames = render_input(&input_spec(input, Scale::Quick));
         for approx in Approximation::paper_variants() {
             let vs = VideoSummarizer::new(pipeline_config(Scale::Quick, approx));
-            group.bench_with_input(
-                BenchmarkId::new(approx.to_string(), input),
-                &frames,
-                |b, frames| b.iter(|| vs.run(black_box(frames)).unwrap()),
-            );
+            bench(&format!("vs_pipeline/{approx}/{input}"), || {
+                vs.run(black_box(&frames)).unwrap()
+            });
         }
     }
-    group.finish();
 }
 
-fn bench_stages(c: &mut Criterion) {
+fn bench_stages() {
     // Stage-level split of one baseline run, for profile sanity checks.
     let frames = render_input(&input_spec(InputId::Input2, Scale::Quick));
-    let mut group = c.benchmark_group("vs_stages");
-    group.sample_size(10);
-    group.bench_function("decode_all", |b| {
-        b.iter(|| {
-            for f in &frames {
-                black_box(f.to_gray());
-            }
-        })
+    bench("vs_stages/decode_all", || {
+        for f in &frames {
+            black_box(f.to_gray());
+        }
     });
     let orb = vs_features::Orb::new(pipeline_config(Scale::Quick, Approximation::Baseline).orb);
-    group.bench_function("features_all", |b| {
-        b.iter(|| {
-            for f in &frames {
-                black_box(orb.detect_and_describe(&f.to_gray()).unwrap());
-            }
-        })
+    bench("vs_stages/features_all", || {
+        for f in &frames {
+            black_box(orb.detect_and_describe(&f.to_gray()).unwrap());
+        }
     });
-    group.finish();
 }
 
-criterion_group!(pipeline, bench_variants, bench_stages);
-criterion_main!(pipeline);
+fn main() {
+    bench_variants();
+    bench_stages();
+}

@@ -1,0 +1,178 @@
+//! Campaign-throughput benchmark: measures how much golden-prefix
+//! fast-forwarding (checkpointed fault campaigns) speeds up injection
+//! throughput, and emits the result as `BENCH_1.json`.
+//!
+//! ```text
+//! campaign_bench [--frames N] [--inj N] [--threads N] [--every-k K]
+//!                [--seed S] [--out FILE] [--smoke]
+//! ```
+//!
+//! The benchmark profiles one golden run (plain and checkpoint-capturing),
+//! then runs the same GPR campaign twice — every injection re-executed
+//! from scratch, and every injection fast-forwarded from the latest
+//! usable checkpoint — and cross-checks that both campaigns classify
+//! every injection identically before reporting runs/sec. `--smoke`
+//! shrinks everything so the whole benchmark finishes in seconds (used
+//! by `scripts/verify.sh` as an offline end-to-end gate).
+
+use std::process::ExitCode;
+use std::time::Instant;
+use vs_core::workloads::VsWorkload;
+use vs_core::PipelineConfig;
+use vs_fault::campaign::{self, CampaignConfig, CheckpointPolicy};
+use vs_fault::spec::RegClass;
+use vs_video::{render_input, InputSpec};
+
+const USAGE: &str = "usage: campaign_bench [--frames N] [--inj N] [--threads N] [--every-k K] [--seed S] [--out FILE] [--smoke]";
+
+struct BenchOpts {
+    frames: usize,
+    width: usize,
+    height: usize,
+    injections: usize,
+    threads: usize,
+    every_k: usize,
+    seed: u64,
+    out: std::path::PathBuf,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            frames: 16,
+            width: 128,
+            height: 96,
+            injections: 120,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            every_k: 1,
+            seed: 0xBE6C,
+            out: "BENCH_1.json".into(),
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<BenchOpts, String> {
+    let mut o = BenchOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--frames" => o.frames = val("--frames")?.parse().map_err(|_| "bad --frames")?,
+            "--inj" => o.injections = val("--inj")?.parse().map_err(|_| "bad --inj")?,
+            "--threads" => o.threads = val("--threads")?.parse().map_err(|_| "bad --threads")?,
+            "--every-k" => o.every_k = val("--every-k")?.parse().map_err(|_| "bad --every-k")?,
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--out" => o.out = val("--out")?.into(),
+            "--smoke" => {
+                o.frames = 6;
+                o.width = 80;
+                o.height = 60;
+                o.injections = 24;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        if o.threads == 0 || o.every_k == 0 {
+            return Err("--threads and --every-k must be positive".into());
+        }
+    }
+    Ok(o)
+}
+
+fn json_f(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "# campaign_bench: frames={} ({}x{}) inj={} threads={} every_k={} seed={:#x}",
+        o.frames, o.width, o.height, o.injections, o.threads, o.every_k, o.seed
+    );
+
+    let frames = render_input(
+        &InputSpec::input2_preset()
+            .with_frames(o.frames)
+            .with_frame_size(o.width, o.height),
+    );
+    let w = VsWorkload::new(frames, PipelineConfig::default());
+
+    // Golden runs: plain (what scratch campaigns need) and capturing
+    // (what checkpointed campaigns need).
+    let t0 = Instant::now();
+    let golden = campaign::profile_golden(&w).expect("golden run failed");
+    let golden_run_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let ck = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(o.every_k))
+        .expect("capturing golden run failed");
+    let golden_capturing_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "# golden: plain {golden_run_secs:.3}s, capturing {golden_capturing_secs:.3}s ({} checkpoints)",
+        ck.checkpoints.len()
+    );
+
+    // The same campaign, from scratch and fast-forwarded.
+    let cfg_off = CampaignConfig::new(RegClass::Gpr, o.injections)
+        .seed(o.seed)
+        .threads(o.threads);
+    let t0 = Instant::now();
+    let scratch = campaign::run_campaign(&w, &golden, &cfg_off);
+    let campaign_off_secs = t0.elapsed().as_secs_f64();
+
+    let cfg_on = CampaignConfig::new(RegClass::Gpr, o.injections)
+        .seed(o.seed)
+        .threads(o.threads)
+        .checkpoint_policy(CheckpointPolicy::EveryKFrames(o.every_k));
+    let t0 = Instant::now();
+    let fast = campaign::run_campaign_checkpointed(&w, &ck, &cfg_on);
+    let campaign_on_secs = t0.elapsed().as_secs_f64();
+
+    let identical = scratch.len() == fast.len()
+        && scratch
+            .iter()
+            .zip(&fast)
+            .all(|(a, b)| a.spec == b.spec && a.outcome == b.outcome && a.fired == b.fired);
+    let runs_off = o.injections as f64 / campaign_off_secs;
+    let runs_on = o.injections as f64 / campaign_on_secs;
+    let speedup = campaign_off_secs / campaign_on_secs;
+    println!(
+        "# campaign: off {campaign_off_secs:.3}s ({runs_off:.1} runs/s), on {campaign_on_secs:.3}s ({runs_on:.1} runs/s), speedup {speedup:.2}x, identical={identical}"
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"injections\": {},\n  \"threads\": {},\n  \"checkpoint_every_k\": {},\n  \"checkpoints\": {},\n  \"golden_run_secs\": {},\n  \"golden_capturing_secs\": {},\n  \"campaign_checkpoint_off_secs\": {},\n  \"campaign_checkpoint_on_secs\": {},\n  \"runs_per_sec_off\": {},\n  \"runs_per_sec_on\": {},\n  \"speedup\": {},\n  \"outcomes_identical\": {}\n}}\n",
+        o.frames,
+        o.width,
+        o.height,
+        o.injections,
+        o.threads,
+        o.every_k,
+        ck.checkpoints.len(),
+        json_f(golden_run_secs),
+        json_f(golden_capturing_secs),
+        json_f(campaign_off_secs),
+        json_f(campaign_on_secs),
+        json_f(runs_off),
+        json_f(runs_on),
+        json_f(speedup),
+        identical
+    );
+    if let Err(e) = std::fs::write(&o.out, &json) {
+        eprintln!("error: cannot write {}: {e}", o.out.display());
+        return ExitCode::FAILURE;
+    }
+    println!("# wrote {}", o.out.display());
+    if !identical {
+        eprintln!("error: checkpointed campaign diverged from scratch campaign");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

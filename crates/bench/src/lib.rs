@@ -16,6 +16,7 @@
 
 pub mod figs;
 pub mod report;
+pub mod timing;
 
 use vs_core::experiments::Scale;
 

@@ -10,8 +10,9 @@
 
 use crate::approx::drop_frame;
 use crate::config::{Approximation, PipelineConfig};
+use vs_fault::session::{self, TapSnapshot};
 use vs_fault::{tap, FuncId, OpClass, SimError};
-use vs_features::{Feature, Orb};
+use vs_features::{Descriptor, Feature, Orb};
 use vs_geometry::ransac::{self, RansacConfig};
 use vs_geometry::transform::{transformed_bounds, Bounds};
 use vs_image::{GrayImage, RgbImage};
@@ -67,9 +68,46 @@ pub struct Summary {
 }
 
 /// State carried from the last accepted frame.
+#[derive(Clone)]
 struct PrevFrame {
     features: Vec<Feature>,
+    /// The features' descriptors, extracted once when the frame was
+    /// accepted and reused as the train side of every later match —
+    /// the query side borrows the same vector when KDS keeps all points.
+    descriptors: Vec<Descriptor>,
     h_to_anchor: Mat3,
+}
+
+/// Pipeline state at a frame boundary during golden profiling, plus the
+/// tap counters there ([`TapSnapshot`]) — everything needed to replay
+/// the run's suffix exactly. Captured by
+/// [`VideoSummarizer::run_capturing`], consumed by
+/// [`VideoSummarizer::resume`]; the golden-prefix fast-forward for fault
+/// campaigns (see [`vs_fault::campaign::Checkpointed`]).
+///
+/// Opaque on purpose: its fields mirror the loop's private state.
+#[derive(Clone)]
+pub struct PipelineCheckpoint {
+    /// Frame index the resumed loop starts at.
+    next_frame: usize,
+    stats: SummaryStats,
+    segments: Vec<Vec<(usize, Mat3)>>,
+    current: Vec<(usize, Mat3)>,
+    prev: Option<PrevFrame>,
+    discard_streak: usize,
+    taps: TapSnapshot,
+}
+
+impl PipelineCheckpoint {
+    /// The tap counters captured at the boundary.
+    pub fn tap_snapshot(&self) -> &TapSnapshot {
+        &self.taps
+    }
+
+    /// The frame index the resumed loop starts at.
+    pub fn next_frame(&self) -> usize {
+        self.next_frame
+    }
 }
 
 /// The video-summarization application.
@@ -100,21 +138,105 @@ impl VideoSummarizer {
     /// Propagates simulated faults ([`SimError`]) from instrumented
     /// stages; an error-free run over non-degenerate input succeeds.
     pub fn run(&self, frames: &[RgbImage]) -> Result<Summary, SimError> {
+        self.run_inner(frames, None, None)
+    }
+
+    /// Run as [`VideoSummarizer::run`] does — tap-for-tap identical —
+    /// while capturing a resumable [`PipelineCheckpoint`] every
+    /// `every_k` frames (at the top of the frame loop, skipping frame
+    /// 0). Meant to run under golden profiling so the checkpoints carry
+    /// meaningful tap counters.
+    ///
+    /// # Errors
+    ///
+    /// As for [`VideoSummarizer::run`].
+    pub fn run_capturing(
+        &self,
+        frames: &[RgbImage],
+        every_k: usize,
+    ) -> Result<(Summary, Vec<PipelineCheckpoint>), SimError> {
+        let mut checkpoints = Vec::new();
+        let summary = self.run_inner(frames, None, Some((every_k.max(1), &mut checkpoints)))?;
+        Ok((summary, checkpoints))
+    }
+
+    /// Replay only the suffix of a run after `ckpt` — exact for any
+    /// injected fault whose tap index lies at or beyond the checkpoint's
+    /// eligible-tap count (the session must have been started with
+    /// [`vs_fault::session::begin_injection_at`] or
+    /// [`vs_fault::session::begin_profile_at`] on the same snapshot).
+    ///
+    /// # Errors
+    ///
+    /// As for [`VideoSummarizer::run`].
+    pub fn resume(
+        &self,
+        frames: &[RgbImage],
+        ckpt: &PipelineCheckpoint,
+    ) -> Result<Summary, SimError> {
+        self.run_inner(frames, Some(ckpt), None)
+    }
+
+    fn run_inner(
+        &self,
+        frames: &[RgbImage],
+        resume: Option<&PipelineCheckpoint>,
+        mut capture: Option<(usize, &mut Vec<PipelineCheckpoint>)>,
+    ) -> Result<Summary, SimError> {
         let _ctl = tap::scope(FuncId::StitchControl);
-        let mut stats = SummaryStats {
-            frames_in: frames.len(),
-            ..SummaryStats::default()
-        };
-        let mut segments: Vec<Vec<(usize, Mat3)>> = Vec::new();
-        let mut current: Vec<(usize, Mat3)> = Vec::new();
-        let mut prev: Option<PrevFrame> = None;
-        let mut discard_streak = 0usize;
+        let mut stats;
+        let mut segments: Vec<Vec<(usize, Mat3)>>;
+        let mut current: Vec<(usize, Mat3)>;
+        let mut prev: Option<PrevFrame>;
+        let mut discard_streak;
+        let n;
+        let mut i;
+        match resume {
+            Some(ck) => {
+                stats = ck.stats;
+                segments = ck.segments.clone();
+                current = ck.current.clone();
+                prev = ck.prev.clone();
+                discard_streak = ck.discard_streak;
+                // The loop bound was tapped into a control register
+                // *before* the skipped prefix's frames; re-tapping it
+                // here would shift the eligible-tap stream off the
+                // golden run's. In the prefix the tap passed the value
+                // through unchanged (the armed fault lies beyond the
+                // checkpoint), so the plain length is exact.
+                n = frames.len();
+                i = ck.next_frame;
+            }
+            None => {
+                stats = SummaryStats {
+                    frames_in: frames.len(),
+                    ..SummaryStats::default()
+                };
+                segments = Vec::new();
+                current = Vec::new();
+                prev = None;
+                discard_streak = 0;
+                // The frame-loop bound lives in a control register.
+                n = tap::ctl(frames.len());
+                i = 0;
+            }
+        }
 
         let orb = Orb::new(self.config.orb.clone());
-        // The frame-loop bound lives in a control register.
-        let n = tap::ctl(frames.len());
-        let mut i = 0usize;
         while i < n {
+            if let Some((every_k, sink)) = capture.as_mut() {
+                if i > 0 && i % *every_k == 0 {
+                    sink.push(PipelineCheckpoint {
+                        next_frame: i,
+                        stats,
+                        segments: segments.clone(),
+                        current: current.clone(),
+                        prev: prev.clone(),
+                        discard_streak,
+                        taps: session::snapshot(),
+                    });
+                }
+            }
             tap::work(OpClass::Control, 12)?;
             tap::work(OpClass::IntAlu, 40)?;
             // The frame pointer is address arithmetic: tap it.
@@ -131,17 +253,22 @@ impl VideoSummarizer {
 
             let gray = decode(frame)?;
             let features = orb.detect_and_describe(&gray)?;
+            // Extract the descriptor vector once per accepted frame: it
+            // serves as this frame's query side now and, unchanged, as
+            // the train side when the next frame matches against it.
+            let descriptors: Vec<Descriptor> = features.iter().map(|f| f.descriptor).collect();
 
             match prev.as_ref() {
                 None => {
                     current.push((i, Mat3::IDENTITY));
                     prev = Some(PrevFrame {
                         features,
+                        descriptors,
                         h_to_anchor: Mat3::IDENTITY,
                     });
                 }
                 Some(p) => {
-                    let pairs = self.match_pairs(&features, &p.features)?;
+                    let pairs = self.match_pairs(&features, &descriptors, p)?;
                     let model = self.estimate_model(&pairs, i, &mut stats)?;
                     match model {
                         Some(h_cur_to_prev) => {
@@ -150,6 +277,7 @@ impl VideoSummarizer {
                                 current.push((i, h_to_anchor));
                                 prev = Some(PrevFrame {
                                     features,
+                                    descriptors,
                                     h_to_anchor,
                                 });
                                 discard_streak = 0;
@@ -160,6 +288,7 @@ impl VideoSummarizer {
                                 current.push((i, Mat3::IDENTITY));
                                 prev = Some(PrevFrame {
                                     features,
+                                    descriptors,
                                     h_to_anchor: Mat3::IDENTITY,
                                 });
                                 discard_streak = 0;
@@ -174,6 +303,7 @@ impl VideoSummarizer {
                                 current.push((i, Mat3::IDENTITY));
                                 prev = Some(PrevFrame {
                                     features,
+                                    descriptors,
                                     h_to_anchor: Mat3::IDENTITY,
                                 });
                                 discard_streak = 0;
@@ -221,7 +351,8 @@ impl VideoSummarizer {
     fn match_pairs(
         &self,
         current: &[Feature],
-        previous: &[Feature],
+        current_descs: &[Descriptor],
+        previous: &PrevFrame,
     ) -> Result<Vec<(Vec2, Vec2)>, SimError> {
         // VS_KDS: "only perform matching on a fraction (one-third) of
         // the key points" — every kept query point still scans the full
@@ -232,23 +363,36 @@ impl VideoSummarizer {
             Approximation::Kds { keep_divisor } => keep_divisor.max(1),
             _ => 1,
         };
-        let kept: Vec<&Feature> = downsample_query(current, keep);
-        let query: Vec<_> = kept.iter().map(|f| f.descriptor).collect();
-        let train: Vec<_> = previous.iter().map(|f| f.descriptor).collect();
+        // Query role: borrow the frame's descriptor vector outright in
+        // the common keep-all case; train role: the previous frame's
+        // vector, extracted once when that frame was accepted.
+        let downsampled: Vec<Descriptor>;
+        let query: &[Descriptor] = if keep == 1 {
+            current_descs
+        } else {
+            downsampled = downsample_query(current_descs, keep)
+                .into_iter()
+                .copied()
+                .collect();
+            &downsampled
+        };
+        let train: &[Descriptor] = &previous.descriptors;
         let matches: Vec<Match> = match self.config.approximation {
             Approximation::Sm { max_distance } => {
-                SimpleMatcher { max_distance }.matches(&query, &train)?
+                SimpleMatcher { max_distance }.matches(query, train)?
             }
             _ => RatioMatcher {
                 ratio: self.config.match_ratio,
             }
-            .matches(&query, &train)?,
+            .matches(query, train)?,
         };
         Ok(matches
             .iter()
             .map(|m| {
-                let q = &kept[m.query].keypoint;
-                let t = &previous[m.train].keypoint;
+                // Query index `m.query` walks the downsampled stream;
+                // the underlying feature sits at `m.query * keep`.
+                let q = &current[m.query * keep].keypoint;
+                let t = &previous.features[m.train].keypoint;
                 (Vec2::new(q.x, q.y), Vec2::new(t.x, t.y))
             })
             .collect())
@@ -303,9 +447,11 @@ fn stabilize(h: Mat3) -> Mat3 {
     }
 }
 
-/// Keep every `keep`-th feature for the KDS query side.
-fn downsample_query(features: &[Feature], keep: usize) -> Vec<&Feature> {
-    features.iter().step_by(keep.max(1)).collect()
+/// Keep every `keep`-th item for the KDS query side. `keep` of 0 is
+/// treated as 1 (keep everything); a `keep` beyond the input length
+/// keeps only the first item.
+fn downsample_query<T>(items: &[T], keep: usize) -> Vec<&T> {
+    items.iter().step_by(keep.max(1)).collect()
 }
 
 /// Decode a frame: RGB → grayscale with instruction accounting.
@@ -515,6 +661,61 @@ mod tests {
             default_out.panoramas, feather_out.panoramas,
             "feather blending must change overlap pixels"
         );
+    }
+
+    #[test]
+    fn downsample_query_edge_cases() {
+        let items: Vec<u32> = (0..10).collect();
+        // keep == 0 is treated as keep-everything (step 1), not a panic.
+        let all: Vec<u32> = downsample_query(&items, 0).into_iter().copied().collect();
+        assert_eq!(all, items);
+        let every: Vec<u32> = downsample_query(&items, 1).into_iter().copied().collect();
+        assert_eq!(every, items);
+        // keep > len degenerates to just the first item.
+        let first: Vec<u32> = downsample_query(&items, 100).into_iter().copied().collect();
+        assert_eq!(first, vec![0]);
+        let thirds: Vec<u32> = downsample_query(&items, 3).into_iter().copied().collect();
+        assert_eq!(thirds, vec![0, 3, 6, 9]);
+        assert!(downsample_query::<u32>(&[], 4).is_empty());
+    }
+
+    #[test]
+    fn checkpoint_resume_replays_golden_exactly() {
+        let frames = quick_input2(8);
+        let vs = VideoSummarizer::new(PipelineConfig::default());
+        let (golden, ckpts, final_taps) = {
+            let _g = session::begin_profile();
+            let (s, c) = vs.run_capturing(&frames, 3).unwrap();
+            (s, c, session::report())
+        };
+        assert!(!ckpts.is_empty(), "8 frames at k=3 must capture checkpoints");
+        // Capturing must not perturb the run itself.
+        assert_eq!(golden, vs.run(&frames).unwrap());
+        for ck in &ckpts {
+            let _g = session::begin_profile_at(ck.tap_snapshot());
+            let resumed = vs.resume(&frames, ck).unwrap();
+            assert_eq!(
+                resumed,
+                golden,
+                "resume from frame {} diverged from golden",
+                ck.next_frame()
+            );
+            assert_eq!(
+                session::report(),
+                final_taps,
+                "tap counters diverged resuming at frame {}",
+                ck.next_frame()
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_capture_respects_interval() {
+        let frames = quick_input2(9);
+        let vs = VideoSummarizer::new(PipelineConfig::default());
+        let (_, ckpts) = vs.run_capturing(&frames, 4).unwrap();
+        let at: Vec<usize> = ckpts.iter().map(|c| c.next_frame()).collect();
+        assert_eq!(at, vec![4, 8]);
     }
 
     #[test]

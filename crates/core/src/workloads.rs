@@ -2,8 +2,9 @@
 //! standalone `WP` hot-function toy benchmark of §V-C.
 
 use crate::config::PipelineConfig;
-use crate::pipeline::VideoSummarizer;
-use vs_fault::campaign::Workload;
+use crate::pipeline::{PipelineCheckpoint, VideoSummarizer};
+use vs_fault::campaign::{Checkpointed, Workload};
+use vs_fault::session::TapSnapshot;
 use vs_fault::SimError;
 use vs_image::RgbImage;
 use vs_linalg::Mat3;
@@ -54,6 +55,29 @@ impl Workload for VsWorkload {
         VideoSummarizer::new(self.config.clone())
             .run(&self.frames)
             .map(|s| s.panoramas)
+    }
+}
+
+impl Checkpointed for VsWorkload {
+    type Checkpoint = PipelineCheckpoint;
+
+    fn run_capturing(
+        &self,
+        every_k: usize,
+    ) -> Result<(Self::Output, Vec<PipelineCheckpoint>), SimError> {
+        VideoSummarizer::new(self.config.clone())
+            .run_capturing(&self.frames, every_k)
+            .map(|(s, cks)| (s.panoramas, cks))
+    }
+
+    fn resume(&self, ckpt: &PipelineCheckpoint) -> Result<Self::Output, SimError> {
+        VideoSummarizer::new(self.config.clone())
+            .resume(&self.frames, ckpt)
+            .map(|s| s.panoramas)
+    }
+
+    fn tap_snapshot(ckpt: &PipelineCheckpoint) -> &TapSnapshot {
+        ckpt.tap_snapshot()
     }
 }
 
@@ -189,6 +213,30 @@ mod tests {
         // Every outcome must have been classified (no panics escaping).
         for r in &recs {
             let _ = r.outcome;
+        }
+    }
+
+    #[test]
+    fn vs_checkpointed_campaign_matches_scratch_campaign() {
+        use vs_fault::campaign::CheckpointPolicy;
+        let w = VsWorkload::new(tiny_frames(), PipelineConfig::default());
+        let ck = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(1))
+            .unwrap();
+        assert!(!ck.checkpoints.is_empty(), "4 frames at k=1 must checkpoint");
+        let scratch = campaign::run_campaign(
+            &w,
+            &ck.golden,
+            &CampaignConfig::new(RegClass::Gpr, 20).seed(11).threads(2),
+        );
+        for threads in [1, 3] {
+            let cfg = CampaignConfig::new(RegClass::Gpr, 20)
+                .seed(11)
+                .threads(threads)
+                .checkpoint_policy(CheckpointPolicy::EveryKFrames(1));
+            let fast = campaign::run_campaign_checkpointed(&w, &ck, &cfg);
+            let a: Vec<_> = scratch.iter().map(|r| (r.spec, r.outcome, r.fired)).collect();
+            let b: Vec<_> = fast.iter().map(|r| (r.spec, r.outcome, r.fired)).collect();
+            assert_eq!(a, b, "threads {threads}");
         }
     }
 

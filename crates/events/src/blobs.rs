@@ -177,27 +177,34 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use vs_rng::SplitMix64;
 
-    proptest! {
-        /// Blob areas always sum to the number of set pixels when no
-        /// area filter is applied, and every blob's centroid lies inside
-        /// its bounding box.
-        #[test]
-        fn blob_invariants(pixels in proptest::collection::vec(any::<bool>(), 144)) {
+    /// Blob areas always sum to the number of set pixels when no
+    /// area filter is applied, and every blob's centroid lies inside
+    /// its bounding box — across a deterministic sweep of random masks.
+    #[test]
+    fn blob_invariants() {
+        let mut rng = SplitMix64::new(0xb10b_5);
+        for case in 0..128u64 {
+            let density = rng.gen_range(0.05f64..0.95);
+            let pixels: Vec<bool> = (0..144).map(|_| rng.gen_bool(density)).collect();
             let mask = GrayImage::from_fn(12, 12, |x, y| {
-                if pixels[y * 12 + x] { 255 } else { 0 }
+                if pixels[y * 12 + x] {
+                    255
+                } else {
+                    0
+                }
             });
             let blobs = connected_components(&mask, 1).unwrap();
             let total: usize = blobs.iter().map(|b| b.area).sum();
             let set = pixels.iter().filter(|&&p| p).count();
-            prop_assert_eq!(total, set);
+            assert_eq!(total, set, "case {case}");
             for b in &blobs {
-                prop_assert!(b.centroid.x >= b.bbox.0 as f64 - 1e-9);
-                prop_assert!(b.centroid.x <= b.bbox.2 as f64 + 1e-9);
-                prop_assert!(b.centroid.y >= b.bbox.1 as f64 - 1e-9);
-                prop_assert!(b.centroid.y <= b.bbox.3 as f64 + 1e-9);
-                prop_assert!(b.area <= b.width() * b.height());
+                assert!(b.centroid.x >= b.bbox.0 as f64 - 1e-9, "case {case}");
+                assert!(b.centroid.x <= b.bbox.2 as f64 + 1e-9, "case {case}");
+                assert!(b.centroid.y >= b.bbox.1 as f64 - 1e-9, "case {case}");
+                assert!(b.centroid.y <= b.bbox.3 as f64 + 1e-9, "case {case}");
+                assert!(b.area <= b.width() * b.height(), "case {case}");
             }
         }
     }

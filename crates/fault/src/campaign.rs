@@ -17,9 +17,10 @@
 
 use crate::error::SimError;
 use crate::func::FuncMask;
-use crate::session::{self, InstrCounts};
+use crate::session::{self, InstrCounts, TapSnapshot};
 use crate::spec::{FaultSpec, FiredFault, RegClass, REG_BITS};
 use crate::{mix64, state};
+use std::any::Any;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Mutex, OnceLock};
@@ -45,6 +46,64 @@ pub trait Workload: Sync {
     /// machine- or library-level invariant: these become Crash and Hang
     /// outcomes.
     fn run(&self) -> Result<Self::Output, SimError>;
+}
+
+/// A [`Workload`] that can snapshot its state at internal boundaries and
+/// later re-run only the suffix after one — the *golden-prefix
+/// fast-forward* optimization.
+///
+/// The contract making this exact: an injected run executes bit-identically
+/// to the golden run until its armed fault fires, so for a fault whose tap
+/// index lies at or beyond a checkpoint's eligible-tap count, resuming from
+/// that checkpoint reproduces the from-scratch run — same output, same
+/// fired fault, same outcome. `resume` must therefore replay *exactly* the
+/// computation that follows the capture point, without re-executing any tap
+/// in the prefix (the captured [`TapSnapshot`] stands in for those).
+pub trait Checkpointed: Workload {
+    /// Workload state at a capture boundary (plus the tap counters there).
+    type Checkpoint: Send + Sync;
+
+    /// Run as [`Workload::run`] does, additionally capturing a checkpoint
+    /// every `every_k` workload-defined units (frames, for the pipeline).
+    /// Checkpoints must be returned in execution order.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Workload::run`].
+    fn run_capturing(
+        &self,
+        every_k: usize,
+    ) -> Result<(Self::Output, Vec<Self::Checkpoint>), SimError>;
+
+    /// Execute only the suffix after `ckpt`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Workload::run`].
+    fn resume(&self, ckpt: &Self::Checkpoint) -> Result<Self::Output, SimError>;
+
+    /// The tap counters captured at the boundary.
+    fn tap_snapshot(ckpt: &Self::Checkpoint) -> &TapSnapshot;
+}
+
+/// When the golden profiler captures resumable checkpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckpointPolicy {
+    /// No checkpoints: every injected run executes from scratch.
+    #[default]
+    Off,
+    /// Capture a checkpoint every `k` workload-defined units (frames).
+    EveryKFrames(usize),
+}
+
+impl CheckpointPolicy {
+    /// The capture interval, if checkpointing is on (`k` floored at 1).
+    pub fn interval(self) -> Option<usize> {
+        match self {
+            CheckpointPolicy::Off => None,
+            CheckpointPolicy::EveryKFrames(k) => Some(k.max(1)),
+        }
+    }
 }
 
 /// Dynamic-tap population and instruction counts of a golden run.
@@ -111,7 +170,11 @@ pub fn profile_golden_masked<W: Workload>(
     let output = workload.run()?;
     let report = session::report();
     drop(guard);
-    Ok(GoldenRun {
+    Ok(golden_from_report(output, &report, mask))
+}
+
+fn golden_from_report<O>(output: O, report: &session::SessionReport, mask: FuncMask) -> GoldenRun<O> {
+    GoldenRun {
         output,
         profile: TapProfile {
             gpr_taps: report.gpr_taps,
@@ -122,6 +185,41 @@ pub fn profile_golden_masked<W: Workload>(
             instr: report.instr,
         },
         mask,
+    }
+}
+
+/// Golden-run artifacts of a checkpoint-capturing profile: the usual
+/// [`GoldenRun`] plus the chain of resumable checkpoints (in execution
+/// order, so their eligible-tap counts are non-decreasing).
+pub struct CheckpointedGolden<W: Checkpointed> {
+    /// The plain golden artifacts (usable with [`run_campaign`] too).
+    pub golden: GoldenRun<W::Output>,
+    /// Resumable mid-run checkpoints captured during profiling.
+    pub checkpoints: Vec<W::Checkpoint>,
+}
+
+/// Profile the golden run while capturing resumable checkpoints per
+/// `policy`, with all functions eligible.
+///
+/// # Errors
+///
+/// Propagates a [`SimError`] if the workload fails without a fault.
+pub fn profile_golden_checkpointed<W: Checkpointed>(
+    workload: &W,
+    policy: CheckpointPolicy,
+) -> Result<CheckpointedGolden<W>, SimError> {
+    let mask = FuncMask::all();
+    let guard = session::begin_profile();
+    state::with(|s| s.mask_bits.set(mask.bits()));
+    let (output, checkpoints) = match policy.interval() {
+        Some(k) => workload.run_capturing(k)?,
+        None => (workload.run()?, Vec::new()),
+    };
+    let report = session::report();
+    drop(guard);
+    Ok(CheckpointedGolden {
+        golden: golden_from_report(output, &report, mask),
+        checkpoints,
     })
 }
 
@@ -191,6 +289,7 @@ pub struct CampaignConfig {
     threads: usize,
     hang_factor: u64,
     keep_sdc_outputs: bool,
+    checkpoint_policy: CheckpointPolicy,
 }
 
 impl CampaignConfig {
@@ -203,6 +302,7 @@ impl CampaignConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             hang_factor: 16,
             keep_sdc_outputs: true,
+            checkpoint_policy: CheckpointPolicy::Off,
         }
     }
 
@@ -237,6 +337,14 @@ impl CampaignConfig {
         self
     }
 
+    /// Golden-prefix checkpointing policy (default off). Only consulted
+    /// by [`profile_golden_checkpointed`] / [`run_campaign_checkpointed`];
+    /// the plain [`run_campaign`] always runs from scratch.
+    pub fn checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
+        self.checkpoint_policy = policy;
+        self
+    }
+
     /// Register class under test.
     pub fn class(&self) -> RegClass {
         self.class
@@ -245,6 +353,11 @@ impl CampaignConfig {
     /// Number of injections.
     pub fn injections(&self) -> usize {
         self.injections
+    }
+
+    /// The configured checkpointing policy.
+    pub fn checkpointing(&self) -> CheckpointPolicy {
+        self.checkpoint_policy
     }
 }
 
@@ -272,6 +385,27 @@ fn draw_spec(cfg: &CampaignConfig, sites: u64, index: usize) -> FaultSpec {
     FaultSpec::new(cfg.class, tap_index, bit)
 }
 
+/// Classify the raw result of an injected run against the golden output.
+fn classify<O: PartialEq>(
+    result: Result<Result<O, SimError>, Box<dyn Any + Send>>,
+    golden_output: &O,
+    keep_sdc: bool,
+) -> (Outcome, Option<O>) {
+    match result {
+        Err(_) => (Outcome::CrashSegfault, None),
+        Ok(Err(SimError::Segfault)) => (Outcome::CrashSegfault, None),
+        Ok(Err(SimError::Abort)) => (Outcome::CrashAbort, None),
+        Ok(Err(SimError::Hang)) => (Outcome::Hang, None),
+        Ok(Ok(out)) => {
+            if out == *golden_output {
+                (Outcome::Masked, None)
+            } else {
+                (Outcome::Sdc, keep_sdc.then_some(out))
+            }
+        }
+    }
+}
+
 /// Execute one injected run and classify its outcome.
 fn run_one<W: Workload>(
     workload: &W,
@@ -287,19 +421,7 @@ fn run_one<W: Workload>(
     state::with(|s| s.in_injection.set(false));
     let fired = session::report().fired;
     drop(guard);
-    let (outcome, sdc_output) = match result {
-        Err(_) => (Outcome::CrashSegfault, None),
-        Ok(Err(SimError::Segfault)) => (Outcome::CrashSegfault, None),
-        Ok(Err(SimError::Abort)) => (Outcome::CrashAbort, None),
-        Ok(Err(SimError::Hang)) => (Outcome::Hang, None),
-        Ok(Ok(out)) => {
-            if out == golden.output {
-                (Outcome::Masked, None)
-            } else {
-                (Outcome::Sdc, keep_sdc.then_some(out))
-            }
-        }
-    };
+    let (outcome, sdc_output) = classify(result, &golden.output, keep_sdc);
     Injection {
         index,
         spec,
@@ -307,6 +429,73 @@ fn run_one<W: Workload>(
         outcome,
         sdc_output,
     }
+}
+
+/// Execute one injected run fast-forwarded from `ckpt` (or from scratch
+/// when `None`) and classify its outcome. Exactness rests on the
+/// [`Checkpointed`] contract: the skipped prefix is bit-identical to the
+/// golden run because the armed fault lies beyond the checkpoint.
+fn run_one_from<W: Checkpointed>(
+    workload: &W,
+    golden: &GoldenRun<W::Output>,
+    ckpt: Option<&W::Checkpoint>,
+    spec: FaultSpec,
+    budget: u64,
+    keep_sdc: bool,
+    index: usize,
+) -> Injection<W::Output> {
+    let guard = match ckpt {
+        Some(c) => session::begin_injection_at(spec, golden.mask, budget, W::tap_snapshot(c)),
+        None => session::begin_injection(spec, golden.mask, budget),
+    };
+    state::with(|s| s.in_injection.set(true));
+    let result = panic::catch_unwind(AssertUnwindSafe(|| match ckpt {
+        Some(c) => workload.resume(c),
+        None => workload.run(),
+    }));
+    state::with(|s| s.in_injection.set(false));
+    let fired = session::report().fired;
+    drop(guard);
+    let (outcome, sdc_output) = classify(result, &golden.output, keep_sdc);
+    Injection {
+        index,
+        spec,
+        fired,
+        outcome,
+        sdc_output,
+    }
+}
+
+/// Thread-striped parallel driver shared by the campaign variants: run
+/// `run(i)` for every `i < n` across `threads` workers, with worker `t`
+/// taking indices `t, t + threads, ...` — results land by index, so the
+/// output order is deterministic regardless of thread count.
+fn drive<T: Send>(n: usize, threads: usize, run: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let results = &results;
+            let run = &run;
+            scope.spawn(move || {
+                let mut local = Vec::new();
+                let mut i = t;
+                while i < n {
+                    local.push((i, run(i)));
+                    i += threads;
+                }
+                let mut slots = results.lock().expect("campaign result mutex poisoned");
+                for (idx, rec) in local {
+                    slots[idx] = Some(rec);
+                }
+            });
+        }
+    });
+    results
+        .into_inner()
+        .expect("campaign result mutex poisoned")
+        .into_iter()
+        .map(|slot| slot.expect("every injection slot must be filled"))
+        .collect()
 }
 
 /// Run a fault-injection campaign against `workload`.
@@ -339,43 +528,55 @@ pub fn run_campaign<W: Workload>(
 
     let n = cfg.injections;
     let threads = cfg.threads.min(n.max(1));
-    let results: Mutex<Vec<Option<Injection<W::Output>>>> =
-        Mutex::new((0..n).map(|_| None).collect());
+    drive(n, threads, |i| {
+        let spec = draw_spec(cfg, sites, i);
+        run_one(workload, golden, spec, budget, cfg.keep_sdc_outputs, i)
+    })
+}
 
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let results = &results;
-            let cfg = cfg.clone();
-            scope.spawn(move || {
-                let mut local = Vec::new();
-                let mut i = t;
-                while i < n {
-                    let spec = draw_spec(&cfg, sites, i);
-                    local.push(run_one(
-                        workload,
-                        golden,
-                        spec,
-                        budget,
-                        cfg.keep_sdc_outputs,
-                        i,
-                    ));
-                    i += threads;
-                }
-                let mut slots = results.lock().expect("campaign result mutex poisoned");
-                for rec in local {
-                    let idx = rec.index;
-                    slots[idx] = Some(rec);
-                }
-            });
-        }
-    });
+/// Run a fault-injection campaign with golden-prefix fast-forward: each
+/// injected run starts from the latest checkpoint whose eligible-tap
+/// count does not exceed the drawn fault's tap index (or from scratch if
+/// none qualifies).
+///
+/// Classification is bit-for-bit identical to [`run_campaign`] on the
+/// same seed — same specs, same outcomes, same fired faults — because
+/// the skipped prefix of every run is identical to the golden run.
+///
+/// # Panics
+///
+/// Panics if the golden profile recorded zero eligible taps for the
+/// campaign's register class.
+pub fn run_campaign_checkpointed<W: Checkpointed>(
+    workload: &W,
+    golden: &CheckpointedGolden<W>,
+    cfg: &CampaignConfig,
+) -> Vec<Injection<W::Output>> {
+    let g = &golden.golden;
+    let sites = g.profile.sites(cfg.class);
+    assert!(
+        sites > 0,
+        "no eligible {} taps recorded in the golden profile",
+        cfg.class
+    );
+    install_quiet_hook();
+    let budget = g
+        .profile
+        .instr
+        .total
+        .saturating_mul(cfg.hang_factor)
+        .saturating_add(1_000_000);
 
-    results
-        .into_inner()
-        .expect("campaign result mutex poisoned")
-        .into_iter()
-        .map(|slot| slot.expect("every injection slot must be filled"))
-        .collect()
+    let n = cfg.injections;
+    let threads = cfg.threads.min(n.max(1));
+    drive(n, threads, |i| {
+        let spec = draw_spec(cfg, sites, i);
+        let usable = golden
+            .checkpoints
+            .partition_point(|c| W::tap_snapshot(c).eligible(cfg.class) <= spec.tap_index);
+        let ckpt = usable.checked_sub(1).map(|j| &golden.checkpoints[j]);
+        run_one_from(workload, g, ckpt, spec, budget, cfg.keep_sdc_outputs, i)
+    })
 }
 
 #[cfg(test)]
@@ -489,6 +690,142 @@ mod tests {
             .keep_sdc_outputs(false);
         let recs = run_campaign(&Toy, &g, &cfg);
         assert!(recs.iter().all(|r| r.sdc_output.is_none()));
+    }
+
+    /// Checkpoint for [`Toy`]: integer-loop state at a capture boundary.
+    struct ToyCheckpoint {
+        i: usize,
+        bound: usize,
+        acc: u64,
+        taps: crate::session::TapSnapshot,
+    }
+
+    impl Checkpointed for Toy {
+        type Checkpoint = ToyCheckpoint;
+
+        fn run_capturing(
+            &self,
+            every_k: usize,
+        ) -> Result<((u64, u64), Vec<ToyCheckpoint>), SimError> {
+            let _f = tap::scope(FuncId::Other);
+            let mut checkpoints = Vec::new();
+            let data: Vec<u64> = (0..64).collect();
+            let mut acc = 0u64;
+            let bound = tap::ctl(data.len());
+            let mut i = 0usize;
+            while i < bound {
+                if i > 0 && i % every_k == 0 {
+                    checkpoints.push(ToyCheckpoint {
+                        i,
+                        bound,
+                        acc,
+                        taps: crate::session::snapshot(),
+                    });
+                }
+                tap::work(OpClass::Control, 1)?;
+                let idx = tap::addr(i);
+                let v = *data.get(idx).ok_or(SimError::Segfault)?;
+                acc = acc.wrapping_add(tap::gpr(v));
+                let _scratch = tap::gpr(v.wrapping_mul(3));
+                i += 1;
+            }
+            let mut facc = 0.0f64;
+            for k in 0..32 {
+                tap::work(OpClass::Float, 1)?;
+                let x = tap::fpr(k as f64 * 0.5);
+                facc += x.clamp(0.0, 255.0).floor();
+            }
+            Ok(((acc, facc as u64), checkpoints))
+        }
+
+        fn resume(&self, ckpt: &ToyCheckpoint) -> Result<(u64, u64), SimError> {
+            let _f = tap::scope(FuncId::Other);
+            let data: Vec<u64> = (0..64).collect();
+            let mut acc = ckpt.acc;
+            let bound = ckpt.bound;
+            let mut i = ckpt.i;
+            while i < bound {
+                tap::work(OpClass::Control, 1)?;
+                let idx = tap::addr(i);
+                let v = *data.get(idx).ok_or(SimError::Segfault)?;
+                acc = acc.wrapping_add(tap::gpr(v));
+                let _scratch = tap::gpr(v.wrapping_mul(3));
+                i += 1;
+            }
+            let mut facc = 0.0f64;
+            for k in 0..32 {
+                tap::work(OpClass::Float, 1)?;
+                let x = tap::fpr(k as f64 * 0.5);
+                facc += x.clamp(0.0, 255.0).floor();
+            }
+            Ok((acc, facc as u64))
+        }
+
+        fn tap_snapshot(ckpt: &ToyCheckpoint) -> &crate::session::TapSnapshot {
+            &ckpt.taps
+        }
+    }
+
+    #[test]
+    fn checkpointed_profile_matches_plain_profile() {
+        let plain = profile_golden(&Toy).unwrap();
+        let ck =
+            profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(10)).unwrap();
+        assert_eq!(ck.golden.output, plain.output);
+        assert_eq!(ck.golden.profile, plain.profile);
+        assert_eq!(ck.checkpoints.len(), 6, "64 iterations / 10 (skipping i=0)");
+        // Eligible counts must be non-decreasing along the chain.
+        let counts: Vec<u64> = ck
+            .checkpoints
+            .iter()
+            .map(|c| c.taps.eligible(RegClass::Gpr))
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn checkpoint_policy_off_captures_nothing() {
+        let ck = profile_golden_checkpointed(&Toy, CheckpointPolicy::Off).unwrap();
+        assert!(ck.checkpoints.is_empty());
+        assert_eq!(ck.golden.profile, profile_golden(&Toy).unwrap().profile);
+    }
+
+    #[test]
+    fn checkpointed_campaign_is_outcome_identical() {
+        let plain = profile_golden(&Toy).unwrap();
+        let ck =
+            profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(7)).unwrap();
+        for class in [RegClass::Gpr, RegClass::Fpr] {
+            let reference = run_campaign(
+                &Toy,
+                &plain,
+                &CampaignConfig::new(class, 150).seed(21).threads(2),
+            );
+            for threads in [1, 4] {
+                let cfg = CampaignConfig::new(class, 150)
+                    .seed(21)
+                    .threads(threads)
+                    .checkpoint_policy(CheckpointPolicy::EveryKFrames(7));
+                let fast = run_campaign_checkpointed(&Toy, &ck, &cfg);
+                let a: Vec<_> = reference
+                    .iter()
+                    .map(|r| (r.spec, r.outcome, r.fired))
+                    .collect();
+                let b: Vec<_> = fast.iter().map(|r| (r.spec, r.outcome, r.fired)).collect();
+                assert_eq!(a, b, "class {class} threads {threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointed_campaign_without_checkpoints_matches_scratch() {
+        let ck = profile_golden_checkpointed(&Toy, CheckpointPolicy::Off).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Gpr, 60).seed(4).threads(2);
+        let scratch = run_campaign(&Toy, &ck.golden, &cfg);
+        let fast = run_campaign_checkpointed(&Toy, &ck, &cfg);
+        let a: Vec<_> = scratch.iter().map(|r| (r.spec, r.outcome)).collect();
+        let b: Vec<_> = fast.iter().map(|r| (r.spec, r.outcome)).collect();
+        assert_eq!(a, b);
     }
 
     /// A workload whose only taps are loop bounds: corrupting them upward

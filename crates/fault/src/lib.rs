@@ -76,14 +76,9 @@ pub use spec::{FaultSpec, FiredFault, RegClass, NUM_REGS};
 ///
 /// Used to derive per-injection RNG seeds and to assign virtual register
 /// ids to dynamic taps; exposed because the video substrate reuses it for
-/// cheap coordinate hashing.
-#[inline]
-pub fn mix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    x ^ (x >> 31)
-}
+/// cheap coordinate hashing. The implementation lives in [`vs_rng`] so
+/// the whole workspace shares one dependency-free randomness core.
+pub use vs_rng::mix64;
 
 #[cfg(test)]
 mod tests {

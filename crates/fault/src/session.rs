@@ -48,6 +48,75 @@ pub fn group_index(func: FuncId, op: OpClass) -> usize {
     func.index() * NUM_CLASSES + op.index()
 }
 
+/// Mid-run snapshot of a session's tap and instruction counters, taken at
+/// a workload-defined boundary (a frame, for the VS pipeline) during
+/// golden profiling.
+///
+/// Paired with the workload's own state at the same boundary it forms a
+/// *checkpoint*: because an injected run is bit-identical to the golden
+/// run until its armed fault fires, any fault whose tap index lies at or
+/// beyond the snapshot's eligible count can start from the checkpoint
+/// instead of re-executing the golden prefix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TapSnapshot {
+    /// Total integer taps observed up to the boundary.
+    pub gpr_taps: u64,
+    /// Total float taps observed up to the boundary.
+    pub fpr_taps: u64,
+    /// Eligible integer taps consumed by the prefix.
+    pub eligible_gpr: u64,
+    /// Eligible float taps consumed by the prefix.
+    pub eligible_fpr: u64,
+    /// Eligible GPR taps per `(function, op-class)` site group.
+    pub gpr_groups: [u64; NUM_FUNCS * NUM_CLASSES],
+    /// Instruction accounting of the prefix (drives the hang budget).
+    pub instr: InstrCounts,
+}
+
+impl TapSnapshot {
+    /// Eligible taps the prefix consumed for `class`.
+    pub fn eligible(&self, class: RegClass) -> u64 {
+        match class {
+            RegClass::Gpr => self.eligible_gpr,
+            RegClass::Fpr => self.eligible_fpr,
+        }
+    }
+}
+
+/// Snapshot the current session's counters mid-run (any mode).
+pub fn snapshot() -> TapSnapshot {
+    let r = report();
+    TapSnapshot {
+        gpr_taps: r.gpr_taps,
+        fpr_taps: r.fpr_taps,
+        eligible_gpr: r.eligible_gpr,
+        eligible_fpr: r.eligible_fpr,
+        gpr_groups: r.gpr_groups,
+        instr: r.instr,
+    }
+}
+
+/// Pre-advance the current session's counters to `base`, as if the
+/// golden prefix they summarize had just executed.
+fn apply_snapshot(base: &TapSnapshot) {
+    state::with(|s| {
+        s.gpr_taps.set(base.gpr_taps);
+        s.fpr_taps.set(base.fpr_taps);
+        s.elig_gpr.set(base.eligible_gpr);
+        s.elig_fpr.set(base.eligible_fpr);
+        for (cell, v) in s.gpr_groups.iter().zip(&base.gpr_groups) {
+            cell.set(*v);
+        }
+        s.instr_total.set(base.instr.total);
+        for (cell, v) in s.by_class.iter().zip(&base.instr.by_class) {
+            cell.set(*v);
+        }
+        for (cell, v) in s.by_func.iter().zip(&base.instr.by_func) {
+            cell.set(*v);
+        }
+    });
+}
+
 /// RAII guard for an instrumentation session. Dropping it turns
 /// instrumentation off and clears all session state on this thread.
 #[derive(Debug)]
@@ -101,6 +170,48 @@ pub fn begin_injection(spec: FaultSpec, mask: FuncMask, budget: u64) -> SessionG
     SessionGuard {
         _not_send: std::marker::PhantomData,
     }
+}
+
+/// Begin a counting-only session whose counters start pre-advanced to
+/// `base`, as if the golden prefix it summarizes had just run. Used to
+/// validate checkpoint-resumed replays against from-scratch runs.
+///
+/// # Panics
+///
+/// Panics if a session is already active on this thread.
+#[must_use = "the session ends when the guard is dropped"]
+pub fn begin_profile_at(base: &TapSnapshot) -> SessionGuard {
+    let guard = begin_profile();
+    apply_snapshot(base);
+    guard
+}
+
+/// Begin an injection session that resumes after a golden prefix: the
+/// tap and instruction counters start at `base`, so `spec.tap_index`
+/// keeps its meaning in the whole-run eligible-tap stream.
+///
+/// # Panics
+///
+/// Panics if a session is already active on this thread, or if the armed
+/// fault's tap index lies inside the skipped prefix (the fault would
+/// silently never fire).
+#[must_use = "the session ends when the guard is dropped"]
+pub fn begin_injection_at(
+    spec: FaultSpec,
+    mask: FuncMask,
+    budget: u64,
+    base: &TapSnapshot,
+) -> SessionGuard {
+    assert!(
+        spec.tap_index >= base.eligible(spec.class),
+        "fault tap {} lies inside the skipped prefix ({} eligible {} taps)",
+        spec.tap_index,
+        base.eligible(spec.class),
+        spec.class,
+    );
+    let guard = begin_injection(spec, mask, budget);
+    apply_snapshot(base);
+    guard
 }
 
 /// Begin an injection session whose fault is confined to one
@@ -196,6 +307,61 @@ mod tests {
         assert_eq!(tap::gpr(0), 4);
         let r = report();
         assert_eq!(r.fired.unwrap().reg, spec.register());
+    }
+
+    #[test]
+    fn profile_at_resumes_counters() {
+        let base = {
+            let _g = begin_profile();
+            let _f = tap::scope(FuncId::Other);
+            for i in 0..7u64 {
+                let _ = tap::gpr(i);
+            }
+            let _ = tap::fpr(1.0);
+            snapshot()
+        };
+        let _g = begin_profile_at(&base);
+        let _f = tap::scope(FuncId::Other);
+        let _ = tap::gpr(0);
+        let r = report();
+        assert_eq!(r.gpr_taps, 8);
+        assert_eq!(r.fpr_taps, 1);
+        assert_eq!(r.eligible_gpr, 8);
+        assert_eq!(r.instr.total, base.instr.total + 1);
+    }
+
+    #[test]
+    fn injection_at_fires_at_the_global_index() {
+        let base = {
+            let _g = begin_profile();
+            let _f = tap::scope(FuncId::Other);
+            for i in 0..5u64 {
+                let _ = tap::gpr(i);
+            }
+            snapshot()
+        };
+        // Tap index 6 = the second tap after the 5-tap prefix.
+        let spec = FaultSpec::new(RegClass::Gpr, 6, 0);
+        let _g = begin_injection_at(spec, FuncMask::all(), u64::MAX, &base);
+        let _f = tap::scope(FuncId::Other);
+        assert_eq!(tap::gpr(8), 8, "tap 5 must pass through");
+        assert_eq!(tap::gpr(8), 9, "tap 6 must corrupt bit 0");
+        assert!(report().fired.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "inside the skipped prefix")]
+    fn injection_at_rejects_prefix_faults() {
+        let base = TapSnapshot {
+            gpr_taps: 10,
+            fpr_taps: 0,
+            eligible_gpr: 10,
+            eligible_fpr: 0,
+            gpr_groups: [0; NUM_FUNCS * NUM_CLASSES],
+            instr: InstrCounts::default(),
+        };
+        let spec = FaultSpec::new(RegClass::Gpr, 3, 0);
+        let _g = begin_injection_at(spec, FuncMask::all(), u64::MAX, &base);
     }
 
     #[test]

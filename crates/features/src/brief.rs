@@ -33,6 +33,26 @@ impl Descriptor {
             .sum()
     }
 
+    /// Hamming distance to `other` when it is strictly below `bound`,
+    /// else `None` — abandoning the scan at the first 64-bit word where
+    /// the partial sum already reaches `bound`. Word-wise partial sums
+    /// are monotone, so this is exact: `Some(d)` iff
+    /// `self.hamming(other) < bound`, with `d` the true distance.
+    ///
+    /// Brute-force matchers use this to skip most of each candidate's
+    /// 256 bits once a closer neighbour is known.
+    #[inline]
+    pub fn hamming_bounded(&self, other: &Descriptor, bound: u32) -> Option<u32> {
+        let mut d = 0u32;
+        for (a, b) in self.0.iter().zip(&other.0) {
+            d += (a ^ b).count_ones();
+            if d >= bound {
+                return None;
+            }
+        }
+        Some(d)
+    }
+
     /// Number of set bits.
     pub fn popcount(&self) -> u32 {
         self.0.iter().map(|w| w.count_ones()).sum()
@@ -162,6 +182,29 @@ mod tests {
         let all = Descriptor([!0; 4]);
         assert_eq!(z.hamming(&all), 256);
         assert_eq!(all.popcount(), 256);
+    }
+
+    #[test]
+    fn hamming_bounded_agrees_with_hamming() {
+        // Deterministic random pairs at every interesting bound.
+        let mut s = 0x5eedu64;
+        let mut next = move || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s
+        };
+        for _ in 0..200 {
+            let a = Descriptor([next(), next(), next(), next()]);
+            let b = Descriptor([next(), next(), next(), next()]);
+            let d = a.hamming(&b);
+            for bound in [0, 1, d.saturating_sub(1), d, d + 1, 256, u32::MAX] {
+                let got = a.hamming_bounded(&b, bound);
+                if d < bound {
+                    assert_eq!(got, Some(d));
+                } else {
+                    assert_eq!(got, None);
+                }
+            }
+        }
     }
 
     #[test]

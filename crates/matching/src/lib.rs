@@ -60,12 +60,18 @@ fn two_nearest(desc: &Descriptor, train: &[Descriptor]) -> Option<TwoNearest> {
     let mut best_dist = u32::MAX;
     let mut second_dist = u32::MAX;
     for (j, t) in train.iter().enumerate() {
-        let d = desc.hamming(t);
+        // Early exit: a candidate at or above the current second-best
+        // distance can affect neither slot, so its scan is abandoned as
+        // soon as the partial word sums prove that (exact — see
+        // `Descriptor::hamming_bounded`).
+        let Some(d) = desc.hamming_bounded(t, second_dist) else {
+            continue;
+        };
         if d < best_dist {
             second_dist = best_dist;
             best_dist = d;
             best = j;
-        } else if d < second_dist {
+        } else {
             second_dist = d;
         }
     }
@@ -178,8 +184,9 @@ impl SimpleMatcher {
             let mut best = usize::MAX;
             let mut best_dist = u32::MAX;
             for (j, t) in train.iter().enumerate() {
-                let d = desc.hamming(t);
-                if d < best_dist {
+                // Same early exit as `two_nearest`, bounded by the single
+                // best distance.
+                if let Some(d) = desc.hamming_bounded(t, best_dist) {
                     best_dist = d;
                     best = j;
                 }
@@ -328,45 +335,100 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use vs_rng::SplitMix64;
 
-    fn arb_desc() -> impl Strategy<Value = Descriptor> {
-        proptest::array::uniform4(any::<u64>()).prop_map(Descriptor)
+    fn rand_desc(rng: &mut SplitMix64) -> Descriptor {
+        Descriptor([
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+            rng.next_u64(),
+        ])
     }
 
-    proptest! {
-        /// Matches always reference valid indices and report the true
-        /// Hamming distance of the pair.
-        #[test]
-        fn matches_are_consistent(
-            query in proptest::collection::vec(arb_desc(), 0..12),
-            train in proptest::collection::vec(arb_desc(), 0..12),
-        ) {
+    fn rand_descs(rng: &mut SplitMix64, lo: usize, hi: usize) -> Vec<Descriptor> {
+        let n: usize = rng.gen_range(lo..hi);
+        (0..n).map(|_| rand_desc(rng)).collect()
+    }
+
+    /// Matches always reference valid indices and report the true
+    /// Hamming distance of the pair.
+    #[test]
+    fn matches_are_consistent() {
+        let mut rng = SplitMix64::new(0x3a7c_0001);
+        for _ in 0..128u64 {
+            let query = rand_descs(&mut rng, 0, 13);
+            let train = rand_descs(&mut rng, 0, 13);
             for m in RatioMatcher::default().matches(&query, &train).unwrap() {
-                prop_assert!(m.query < query.len());
-                prop_assert!(m.train < train.len());
-                prop_assert_eq!(m.distance, query[m.query].hamming(&train[m.train]));
+                assert!(m.query < query.len());
+                assert!(m.train < train.len());
+                assert_eq!(m.distance, query[m.query].hamming(&train[m.train]));
             }
             for m in SimpleMatcher::default().matches(&query, &train).unwrap() {
-                prop_assert!(m.query < query.len());
-                prop_assert!(m.train < train.len());
-                prop_assert_eq!(m.distance, query[m.query].hamming(&train[m.train]));
-                prop_assert!(m.distance <= SimpleMatcher::default().max_distance);
+                assert!(m.query < query.len());
+                assert!(m.train < train.len());
+                assert_eq!(m.distance, query[m.query].hamming(&train[m.train]));
+                assert!(m.distance <= SimpleMatcher::default().max_distance);
             }
         }
+    }
 
-        /// The simple matcher's accepted match is genuinely the nearest
-        /// train descriptor.
-        #[test]
-        fn simple_match_is_nearest(
-            query in proptest::collection::vec(arb_desc(), 1..6),
-            train in proptest::collection::vec(arb_desc(), 1..12),
-        ) {
-            let ms = SimpleMatcher { max_distance: 256 }.matches(&query, &train).unwrap();
+    /// The early-exit Hamming scan must select exactly the neighbours a
+    /// naive full-distance scan selects — same winner on ties included,
+    /// since both keep the first index at the minimum distance.
+    #[test]
+    fn early_exit_scan_matches_naive_scan() {
+        let mut rng = SplitMix64::new(0x3a7c_0003);
+        for case in 0..256u64 {
+            let query = rand_descs(&mut rng, 1, 8);
+            // Low-entropy descriptors every other case to force ties.
+            let train: Vec<Descriptor> = if case % 2 == 0 {
+                rand_descs(&mut rng, 1, 20)
+            } else {
+                let n = rng.gen_range(1..20usize);
+                (0..n)
+                    .map(|_| Descriptor([rng.next_u64() & 0xff, 0, 0, 0]))
+                    .collect()
+            };
+            for q in &query {
+                // Naive two-nearest, as the pre-optimization code did it.
+                let (mut best, mut bd, mut sd) = (usize::MAX, u32::MAX, u32::MAX);
+                for (j, t) in train.iter().enumerate() {
+                    let d = q.hamming(t);
+                    if d < bd {
+                        sd = bd;
+                        bd = d;
+                        best = j;
+                    } else if d < sd {
+                        sd = d;
+                    }
+                }
+                let nn = two_nearest(q, &train).unwrap();
+                assert_eq!((nn.best, nn.best_dist, nn.second_dist), (best, bd, sd));
+            }
+            let ratio = RatioMatcher::default().matches(&query, &train).unwrap();
+            for m in &ratio {
+                let min = train.iter().map(|t| query[m.query].hamming(t)).min();
+                assert_eq!(Some(m.distance), min);
+            }
+        }
+    }
+
+    /// The simple matcher's accepted match is genuinely the nearest
+    /// train descriptor.
+    #[test]
+    fn simple_match_is_nearest() {
+        let mut rng = SplitMix64::new(0x3a7c_0002);
+        for _ in 0..128u64 {
+            let query = rand_descs(&mut rng, 1, 6);
+            let train = rand_descs(&mut rng, 1, 12);
+            let ms = SimpleMatcher { max_distance: 256 }
+                .matches(&query, &train)
+                .unwrap();
             for m in ms {
                 let d = m.distance;
                 for t in &train {
-                    prop_assert!(query[m.query].hamming(t) >= d);
+                    assert!(query[m.query].hamming(t) >= d);
                 }
             }
         }

@@ -79,7 +79,7 @@ impl InputSpec {
             frame_width: 120,
             frame_height: 90,
             world: WorldConfig {
-                seed: 0xA11CE,
+                seed: 0xED5397896,
                 ..WorldConfig::default()
             },
             trajectory: Trajectory::new(TrajectoryKind::HighVariation, 0xF1),
@@ -98,7 +98,7 @@ impl InputSpec {
             frame_width: 120,
             frame_height: 90,
             world: WorldConfig {
-                seed: 0xB0B,
+                seed: 0x1023E60681B,
                 ..WorldConfig::default()
             },
             trajectory: Trajectory::new(TrajectoryKind::LowVariation, 0xF2),

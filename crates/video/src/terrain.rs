@@ -6,8 +6,7 @@
 //! FAST plenty of corner energy (real aerial imagery is corner-dense).
 
 use crate::noise::ValueNoise;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vs_rng::SplitMix64;
 use vs_image::{draw_disc_gray, draw_line_gray, GrayImage, RgbImage};
 
 /// World-generation parameters.
@@ -43,7 +42,7 @@ impl Default for WorldConfig {
 /// Generate the world image.
 pub fn generate_world(cfg: &WorldConfig) -> RgbImage {
     let n = cfg.size;
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut rng = SplitMix64::new(cfg.seed);
 
     // Layer 0: fractal base (height-ish field driving green/brown tones).
     let base = ValueNoise::new(cfg.seed ^ 0xbead, 4, 2.5 / n as f64, 0.55);
@@ -92,8 +91,8 @@ pub fn generate_world(cfg: &WorldConfig) -> RgbImage {
         let cx = rng.gen_range(0..n) as isize;
         let cy = rng.gen_range(0..n) as isize;
         for _ in 0..rng.gen_range(3..12) {
-            let dx = rng.gen_range(-18..18);
-            let dy = rng.gen_range(-18..18);
+            let dx: isize = rng.gen_range(-18..18);
+            let dy: isize = rng.gen_range(-18..18);
             let r = rng.gen_range(2..5);
             draw_disc_gray(&mut tree_plane, cx + dx, cy + dy, r, 255);
         }

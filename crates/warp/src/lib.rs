@@ -339,61 +339,77 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
-    use proptest::prelude::*;
+    use vs_rng::SplitMix64;
 
     fn gradient(w: usize, h: usize) -> RgbImage {
         RgbImage::from_fn(w, h, |x, y| [(x * 5 % 256) as u8, (y * 7 % 256) as u8, 99])
     }
 
-    proptest! {
-        /// Warping by a random translation relocates pixels exactly:
-        /// every interior destination pixel equals the source pixel the
-        /// translation maps it from.
-        #[test]
-        fn translation_warp_relocates_pixels(
-            tx in -10i32..10, ty in -8i32..8,
-            px in 12usize..28, py in 12usize..20,
-        ) {
+    /// Warping by a random translation relocates pixels exactly:
+    /// every interior destination pixel equals the source pixel the
+    /// translation maps it from.
+    #[test]
+    fn translation_warp_relocates_pixels() {
+        let mut rng = SplitMix64::new(0x7a21_0001);
+        for case in 0..64u64 {
+            let tx: i32 = rng.gen_range(-10i32..10);
+            let ty: i32 = rng.gen_range(-8i32..8);
+            let px: usize = rng.gen_range(12usize..28);
+            let py: usize = rng.gen_range(12usize..20);
             let src = gradient(40, 32);
             let t = Mat3::translation(tx as f64, ty as f64);
             let (out, mask) = warp_perspective(&src, &t, 40, 32).unwrap();
             let sx = px as i64 - tx as i64;
             let sy = py as i64 - ty as i64;
             if sx >= 0 && sy >= 0 && (sx as usize) < 40 && (sy as usize) < 32 {
-                prop_assert_eq!(mask.get(px, py), Some(255));
-                prop_assert_eq!(out.get(px, py), src.get(sx as usize, sy as usize));
+                assert_eq!(mask.get(px, py), Some(255), "case {case}");
+                assert_eq!(
+                    out.get(px, py),
+                    src.get(sx as usize, sy as usize),
+                    "case {case}"
+                );
             }
         }
+    }
 
-        /// Identity-composited canvases reproduce frame content at the
-        /// frame's location for any in-bounds probe.
-        #[test]
-        fn canvas_composite_preserves_content(
-            ox in 0usize..12, oy in 0usize..10,
-            qx in 0usize..16, qy in 0usize..12,
-        ) {
-            use vs_geometry::transform::Bounds;
-            use vs_linalg::Vec2;
+    /// Identity-composited canvases reproduce frame content at the
+    /// frame's location for any in-bounds probe.
+    #[test]
+    fn canvas_composite_preserves_content() {
+        use vs_geometry::transform::Bounds;
+        use vs_linalg::Vec2;
+        let mut rng = SplitMix64::new(0x7a21_0002);
+        for case in 0..64u64 {
+            let ox: usize = rng.gen_range(0usize..12);
+            let oy: usize = rng.gen_range(0usize..10);
+            let qx: usize = rng.gen_range(0usize..16);
+            let qy: usize = rng.gen_range(0usize..12);
             let frame = gradient(16, 12);
             let b = Bounds::of_points(&[Vec2::ZERO, Vec2::new(40.0, 30.0)]).unwrap();
             let mut canvas = Canvas::new(&b).unwrap();
             canvas
                 .composite(&frame, &Mat3::translation(ox as f64, oy as f64))
                 .unwrap();
-            prop_assert_eq!(
+            assert_eq!(
                 canvas.image().get(ox + qx, oy + qy),
-                frame.get(qx, qy)
+                frame.get(qx, qy),
+                "case {case}"
             );
         }
+    }
 
-        /// The warp never panics for arbitrary finite affine transforms:
-        /// it either succeeds or reports a simulated abort.
-        #[test]
-        fn warp_total_over_random_affines(
-            a in -2.0f64..2.0, b in -2.0f64..2.0,
-            c in -2.0f64..2.0, d in -2.0f64..2.0,
-            tx in -50.0f64..50.0, ty in -50.0f64..50.0,
-        ) {
+    /// The warp never panics for arbitrary finite affine transforms:
+    /// it either succeeds or reports a simulated abort.
+    #[test]
+    fn warp_total_over_random_affines() {
+        let mut rng = SplitMix64::new(0x7a21_0003);
+        for _ in 0..64u64 {
+            let a = rng.gen_range(-2.0f64..2.0);
+            let b = rng.gen_range(-2.0f64..2.0);
+            let c = rng.gen_range(-2.0f64..2.0);
+            let d = rng.gen_range(-2.0f64..2.0);
+            let tx = rng.gen_range(-50.0f64..50.0);
+            let ty = rng.gen_range(-50.0f64..50.0);
             let src = gradient(20, 16);
             let m = Mat3::affine(a, b, tx, c, d, ty);
             let _ = warp_perspective(&src, &m, 24, 18);

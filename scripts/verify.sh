@@ -1,0 +1,27 @@
+#!/usr/bin/env sh
+# Offline verification gate: the tier-1 build+test sweep plus a
+# campaign-throughput benchmark smoke run. No network access required —
+# the workspace has no external dependencies.
+#
+#   scripts/verify.sh            # tier-1 + bench smoke
+#   scripts/verify.sh --full     # also run the full-size benchmark
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release --offline
+
+echo "== tier-1: cargo test -q (workspace) =="
+cargo test -q --workspace --release --offline
+
+echo "== bench smoke: campaign_bench --smoke =="
+./target/release/campaign_bench --smoke --out /tmp/BENCH_smoke.json
+rm -f /tmp/BENCH_smoke.json
+
+if [ "${1:-}" = "--full" ]; then
+    echo "== bench full: campaign_bench -> BENCH_1.json =="
+    ./target/release/campaign_bench --out BENCH_1.json
+fi
+
+echo "== verify: OK =="
