@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! campaign_bench [--frames N] [--inj N] [--threads N] [--every-k K]
-//!                [--seed S] [--out FILE] [--smoke]
+//!                [--seed S] [--out FILE] [--trace FILE] [--smoke]
 //! ```
 //!
 //! The benchmark profiles one golden run (plain and checkpoint-capturing),
@@ -14,6 +14,11 @@
 //! every injection identically before reporting runs/sec. `--smoke`
 //! shrinks everything so the whole benchmark finishes in seconds (used
 //! by `scripts/verify.sh` as an offline end-to-end gate).
+//!
+//! All progress output flows through the `vs-telemetry` sink layer:
+//! human-readable lines on stdout, plus a complete JSONL trace (stage
+//! counters, per-injection outcomes, live campaign snapshots) when
+//! `--trace` is given. Validate traces with the `trace_check` binary.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -21,9 +26,10 @@ use vs_core::workloads::VsWorkload;
 use vs_core::PipelineConfig;
 use vs_fault::campaign::{self, CampaignConfig, CheckpointPolicy};
 use vs_fault::spec::RegClass;
+use vs_telemetry::Value;
 use vs_video::{render_input, InputSpec};
 
-const USAGE: &str = "usage: campaign_bench [--frames N] [--inj N] [--threads N] [--every-k K] [--seed S] [--out FILE] [--smoke]";
+const USAGE: &str = "usage: campaign_bench [--frames N] [--inj N] [--threads N] [--every-k K] [--seed S] [--out FILE] [--trace FILE] [--smoke]";
 
 struct BenchOpts {
     frames: usize,
@@ -34,6 +40,7 @@ struct BenchOpts {
     every_k: usize,
     seed: u64,
     out: std::path::PathBuf,
+    trace: Option<std::path::PathBuf>,
 }
 
 impl Default for BenchOpts {
@@ -47,6 +54,7 @@ impl Default for BenchOpts {
             every_k: 1,
             seed: 0xBE6C,
             out: "BENCH_1.json".into(),
+            trace: None,
         }
     }
 }
@@ -65,6 +73,7 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
             "--every-k" => o.every_k = val("--every-k")?.parse().map_err(|_| "bad --every-k")?,
             "--seed" => o.seed = val("--seed")?.parse().map_err(|_| "bad --seed")?,
             "--out" => o.out = val("--out")?.into(),
+            "--trace" => o.trace = Some(val("--trace")?.into()),
             "--smoke" => {
                 o.frames = 6;
                 o.width = 80;
@@ -93,9 +102,26 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "# campaign_bench: frames={} ({}x{}) inj={} threads={} every_k={} seed={:#x}",
-        o.frames, o.width, o.height, o.injections, o.threads, o.every_k, o.seed
+    let sink = match vs_bench::trace::build_sink(o.trace.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot create trace file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _telemetry = vs_telemetry::install(sink);
+    vs_telemetry::emit(
+        "bench_config",
+        &[
+            ("bench", Value::Str("campaign_throughput")),
+            ("frames", Value::U64(o.frames as u64)),
+            ("width", Value::U64(o.width as u64)),
+            ("height", Value::U64(o.height as u64)),
+            ("injections", Value::U64(o.injections as u64)),
+            ("threads", Value::U64(o.threads as u64)),
+            ("every_k", Value::U64(o.every_k as u64)),
+            ("seed", Value::U64(o.seed)),
+        ],
     );
 
     let frames = render_input(
@@ -114,9 +140,13 @@ fn main() -> ExitCode {
     let ck = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(o.every_k))
         .expect("capturing golden run failed");
     let golden_capturing_secs = t0.elapsed().as_secs_f64();
-    println!(
-        "# golden: plain {golden_run_secs:.3}s, capturing {golden_capturing_secs:.3}s ({} checkpoints)",
-        ck.checkpoints.len()
+    vs_telemetry::emit(
+        "golden_profiled",
+        &[
+            ("plain_secs", Value::F64(golden_run_secs)),
+            ("capturing_secs", Value::F64(golden_capturing_secs)),
+            ("checkpoints", Value::U64(ck.checkpoints.len() as u64)),
+        ],
     );
 
     // The same campaign, from scratch and fast-forwarded.
@@ -143,8 +173,16 @@ fn main() -> ExitCode {
     let runs_off = o.injections as f64 / campaign_off_secs;
     let runs_on = o.injections as f64 / campaign_on_secs;
     let speedup = campaign_off_secs / campaign_on_secs;
-    println!(
-        "# campaign: off {campaign_off_secs:.3}s ({runs_off:.1} runs/s), on {campaign_on_secs:.3}s ({runs_on:.1} runs/s), speedup {speedup:.2}x, identical={identical}"
+    vs_telemetry::emit(
+        "bench_result",
+        &[
+            ("off_secs", Value::F64(campaign_off_secs)),
+            ("runs_per_sec_off", Value::F64(runs_off)),
+            ("on_secs", Value::F64(campaign_on_secs)),
+            ("runs_per_sec_on", Value::F64(runs_on)),
+            ("speedup", Value::F64(speedup)),
+            ("identical", Value::Bool(identical)),
+        ],
     );
 
     let json = format!(
@@ -169,7 +207,8 @@ fn main() -> ExitCode {
         eprintln!("error: cannot write {}: {e}", o.out.display());
         return ExitCode::FAILURE;
     }
-    println!("# wrote {}", o.out.display());
+    let out_path = o.out.display().to_string();
+    vs_telemetry::emit("artifact", &[("path", Value::Str(&out_path))]);
     if !identical {
         eprintln!("error: checkpointed campaign diverged from scratch campaign");
         return ExitCode::FAILURE;

@@ -3,26 +3,38 @@
 //! ```text
 //! repro <fig5|fig6|fig8|fig9|fig10|fig11|fig12|fig13|all>
 //!       [--scale quick|paper] [--inj N] [--out DIR] [--threads N] [--seed S]
+//!       [--trace FILE]
 //! ```
 //!
 //! `--scale quick` (default) runs laptop-sized campaigns in minutes;
 //! `--scale paper --inj 1000` reproduces the paper's campaign sizes
 //! (hours on one core — the paper's own 1000-injection runs used a
 //! POWER server).
+//!
+//! `--trace FILE` streams a JSONL telemetry trace (golden-run stage
+//! counters, per-injection outcomes, live campaign snapshots with
+//! Wilson error bars) alongside the report; progress milestones still
+//! print to stdout.
 
 use std::process::ExitCode;
 use vs_bench::{figs, Opts};
 use vs_core::experiments::Scale;
+use vs_telemetry::Value;
 
-const USAGE: &str = "usage: repro <figure|all> [--scale quick|paper] [--inj N] [--out DIR] [--threads N] [--seed S]
+const USAGE: &str = "usage: repro <figure|all> [--scale quick|paper] [--inj N] [--out DIR] [--threads N] [--seed S] [--trace FILE]
 figures: fig5 fig6 fig8 fig9 fig9a fig9b fig10 fig11 fig11a fig11b fig12 fig13 ablations pruning";
 
-fn parse(args: &[String]) -> Result<(Vec<String>, Opts), String> {
+fn parse(args: &[String]) -> Result<(Vec<String>, Opts, Option<std::path::PathBuf>), String> {
     let mut figures = Vec::new();
     let mut opts = Opts::default();
+    let mut trace = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--trace" => {
+                let v = it.next().ok_or("--trace needs a value")?;
+                trace = Some(v.into());
+            }
             "--scale" => {
                 let v = it.next().ok_or("--scale needs a value")?;
                 opts.scale = match v.as_str() {
@@ -59,7 +71,7 @@ fn parse(args: &[String]) -> Result<(Vec<String>, Opts), String> {
     if figures.is_empty() {
         return Err("no figure requested".into());
     }
-    Ok((figures, opts))
+    Ok((figures, opts, trace))
 }
 
 fn dispatch(figure: &str, opts: &Opts) -> Result<Vec<String>, String> {
@@ -94,29 +106,50 @@ fn dispatch(figure: &str, opts: &Opts) -> Result<Vec<String>, String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (figures, opts) = match parse(&args) {
+    let (figures, opts, trace) = match parse(&args) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             return ExitCode::FAILURE;
         }
     };
-    println!(
-        "# repro: scale={:?} injections={} threads={} seed={:#x} out={}",
-        opts.scale,
-        opts.injections,
-        opts.threads,
-        opts.seed,
-        opts.out_dir.display()
+    let sink = match vs_bench::trace::build_sink(trace.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot create trace file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _telemetry = vs_telemetry::install(sink);
+    let scale = format!("{:?}", opts.scale);
+    let out_dir = opts.out_dir.display().to_string();
+    vs_telemetry::emit(
+        "repro_config",
+        &[
+            ("scale", Value::Str(&scale)),
+            ("injections", Value::U64(opts.injections as u64)),
+            ("threads", Value::U64(opts.threads as u64)),
+            ("seed", Value::U64(opts.seed)),
+            ("out", Value::Str(&out_dir)),
+        ],
     );
     for figure in &figures {
         let t0 = std::time::Instant::now();
+        vs_telemetry::emit("figure_start", &[("figure", Value::Str(figure))]);
         match dispatch(figure, &opts) {
             Ok(reports) => {
+                // The report body is the deliverable, not telemetry: it
+                // goes straight to stdout.
                 for r in reports {
                     println!("{r}");
                 }
-                println!("# {figure} done in {:.1?}\n", t0.elapsed());
+                vs_telemetry::emit(
+                    "figure_done",
+                    &[
+                        ("figure", Value::Str(figure)),
+                        ("secs", Value::F64(t0.elapsed().as_secs_f64())),
+                    ],
+                );
             }
             Err(e) => {
                 eprintln!("error: {e}\n{USAGE}");

@@ -1,0 +1,113 @@
+//! Validate a JSONL telemetry trace written with `--trace`.
+//!
+//! ```text
+//! trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--quiet]
+//! ```
+//!
+//! Every line must parse against the trace schema (flat JSON object,
+//! first key `"event"`); `--expect` pins the exact count of an event
+//! name, `--require` just demands at least one. Prints a per-event
+//! census and exits non-zero on any violation — the trace smoke gate in
+//! `scripts/verify.sh`.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--quiet]";
+
+struct CheckOpts {
+    file: std::path::PathBuf,
+    expect: Vec<(String, usize)>,
+    require: Vec<String>,
+    quiet: bool,
+}
+
+fn parse(args: &[String]) -> Result<CheckOpts, String> {
+    let mut file = None;
+    let mut expect = Vec::new();
+    let mut require = Vec::new();
+    let mut quiet = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--expect" => {
+                let v = it.next().ok_or("--expect needs NAME=COUNT")?;
+                let (name, count) = v.split_once('=').ok_or("--expect needs NAME=COUNT")?;
+                let count = count
+                    .parse()
+                    .map_err(|_| format!("bad --expect count '{count}'"))?;
+                expect.push((name.to_string(), count));
+            }
+            "--require" => {
+                require.push(it.next().ok_or("--require needs NAME")?.clone());
+            }
+            "--quiet" => quiet = true,
+            other if file.is_none() && !other.starts_with("--") => {
+                file = Some(other.into());
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(CheckOpts {
+        file: file.ok_or("no trace file given")?,
+        expect,
+        require,
+        quiet,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let text = match std::fs::read_to_string(&o.file) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", o.file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let events = match vs_telemetry::jsonl::parse_trace(&text) {
+        Ok(ev) => ev,
+        Err((line, e)) => {
+            eprintln!("error: {}:{line}: {e}", o.file.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut census: BTreeMap<&str, usize> = BTreeMap::new();
+    for ev in &events {
+        *census.entry(&ev.name).or_default() += 1;
+    }
+    if !o.quiet {
+        println!("# trace_check {}: {} events", o.file.display(), events.len());
+        for (name, count) in &census {
+            println!("# {name} {count}");
+        }
+    }
+
+    let mut failed = false;
+    for (name, want) in &o.expect {
+        let got = census.get(name.as_str()).copied().unwrap_or(0);
+        if got != *want {
+            eprintln!("error: expected {want} '{name}' events, found {got}");
+            failed = true;
+        }
+    }
+    for name in &o.require {
+        if !census.contains_key(name.as_str()) {
+            eprintln!("error: required event '{name}' missing from trace");
+            failed = true;
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -17,6 +17,7 @@
 pub mod figs;
 pub mod report;
 pub mod timing;
+pub mod trace;
 
 use vs_core::experiments::Scale;
 

@@ -1,0 +1,52 @@
+//! Telemetry sink assembly shared by the bench binaries.
+//!
+//! Both `repro` and `campaign_bench` print their progress through a
+//! [`TextSink`] on stdout (`# name k=v ...` lines, high-frequency
+//! detail events suppressed) and, when `--trace <path>` is given,
+//! additionally stream every event — detail included — as JSONL to that
+//! file. The returned sink is installed with [`vs_telemetry::install`];
+//! dropping the guard at the end of `main` flushes the trace.
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::Path;
+use std::sync::Arc;
+use vs_telemetry::{FanoutSink, JsonlSink, Sink, TextSink};
+
+/// Build the bench-binary sink: human-readable progress on stdout plus,
+/// when `trace` is given, a complete JSONL trace at that path.
+///
+/// # Errors
+///
+/// Returns the I/O error if the trace file cannot be created.
+pub fn build_sink(trace: Option<&Path>) -> std::io::Result<Arc<dyn Sink>> {
+    let mut fan = FanoutSink::new().with(Arc::new(TextSink::progress(std::io::stdout())));
+    if let Some(path) = trace {
+        let file = BufWriter::new(File::create(path)?);
+        fan = fan.with(Arc::new(JsonlSink::new(file)));
+    }
+    Ok(Arc::new(fan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_telemetry::{install, Value};
+
+    #[test]
+    fn trace_file_receives_parseable_jsonl() {
+        let path = std::env::temp_dir().join(format!("vs_trace_test_{}.jsonl", std::process::id()));
+        {
+            let sink = build_sink(Some(&path)).unwrap();
+            let _g = install(sink);
+            vs_telemetry::emit("alpha", &[("n", Value::U64(3))]);
+            vs_telemetry::emit("injection", &[("index", Value::U64(0))]);
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let events = vs_telemetry::jsonl::parse_trace(&text).unwrap();
+        // The JSONL trace keeps detail events the stdout sink suppresses.
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[1].name, "injection");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -18,6 +18,7 @@ use vs_geometry::transform::{transformed_bounds, Bounds};
 use vs_image::{GrayImage, RgbImage};
 use vs_linalg::{Mat3, Vec2};
 use vs_matching::{Match, RatioMatcher, SimpleMatcher};
+use vs_telemetry::Value;
 use vs_warp::{Canvas, CompositeOptions};
 
 /// Counters describing what the pipeline did with its input.
@@ -193,6 +194,10 @@ impl VideoSummarizer {
         let mut i;
         match resume {
             Some(ck) => {
+                vs_telemetry::emit(
+                    "checkpoint_restore",
+                    &[("frame", Value::U64(ck.next_frame as u64))],
+                );
                 stats = ck.stats;
                 segments = ck.segments.clone();
                 current = ck.current.clone();
@@ -246,6 +251,7 @@ impl VideoSummarizer {
             if let Approximation::Rfd { drop_rate } = self.config.approximation {
                 if drop_frame(self.config.seed, i, drop_rate) {
                     stats.frames_dropped_by_input += 1;
+                    emit_frame_event(i, "dropped", 0);
                     i += 1;
                     continue;
                 }
@@ -253,6 +259,9 @@ impl VideoSummarizer {
 
             let gray = decode(frame)?;
             let features = orb.detect_and_describe(&gray)?;
+            // How this frame fared, for the per-frame telemetry event.
+            let action;
+            let feature_count = features.len();
             // Extract the descriptor vector once per accepted frame: it
             // serves as this frame's query side now and, unchanged, as
             // the train side when the next frame matches against it.
@@ -260,6 +269,7 @@ impl VideoSummarizer {
 
             match prev.as_ref() {
                 None => {
+                    action = "anchor";
                     current.push((i, Mat3::IDENTITY));
                     prev = Some(PrevFrame {
                         features,
@@ -274,6 +284,7 @@ impl VideoSummarizer {
                         Some(h_cur_to_prev) => {
                             let h_to_anchor = p.h_to_anchor * h_cur_to_prev;
                             if chain_is_sane(&h_to_anchor, gray.width(), gray.height()) {
+                                action = "aligned";
                                 current.push((i, h_to_anchor));
                                 prev = Some(PrevFrame {
                                     features,
@@ -284,6 +295,7 @@ impl VideoSummarizer {
                             } else {
                                 // Accumulated drift became geometrically
                                 // absurd: close the segment and re-anchor.
+                                action = "reanchor";
                                 segments.push(std::mem::take(&mut current));
                                 current.push((i, Mat3::IDENTITY));
                                 prev = Some(PrevFrame {
@@ -299,6 +311,7 @@ impl VideoSummarizer {
                             if discard_streak > self.config.max_discard_streak {
                                 // Scene change: start a new mini-panorama
                                 // anchored at this frame (not discarded).
+                                action = "segment_break";
                                 segments.push(std::mem::take(&mut current));
                                 current.push((i, Mat3::IDENTITY));
                                 prev = Some(PrevFrame {
@@ -308,12 +321,14 @@ impl VideoSummarizer {
                                 });
                                 discard_streak = 0;
                             } else {
+                                action = "discarded";
                                 stats.frames_discarded += 1;
                             }
                         }
                     }
                 }
             }
+            emit_frame_event(i, action, feature_count);
             i += 1;
         }
         if !current.is_empty() {
@@ -337,6 +352,23 @@ impl VideoSummarizer {
             }
         }
         stats.segments = segments.len();
+        vs_telemetry::emit(
+            "summary",
+            &[
+                ("frames_in", Value::U64(stats.frames_in as u64)),
+                (
+                    "dropped_by_input",
+                    Value::U64(stats.frames_dropped_by_input as u64),
+                ),
+                ("discarded", Value::U64(stats.frames_discarded as u64)),
+                ("homographies", Value::U64(stats.homographies as u64)),
+                (
+                    "affine_fallbacks",
+                    Value::U64(stats.affine_fallbacks as u64),
+                ),
+                ("segments", Value::U64(stats.segments as u64)),
+            ],
+        );
         Ok(Summary {
             panoramas,
             panorama_origins,
@@ -427,6 +459,18 @@ impl VideoSummarizer {
         }
         Ok(None)
     }
+}
+
+/// One per-frame telemetry event (no-op without an installed sink).
+fn emit_frame_event(index: usize, action: &'static str, features: usize) {
+    vs_telemetry::emit(
+        "frame",
+        &[
+            ("index", Value::U64(index as u64)),
+            ("action", Value::Str(action)),
+            ("features", Value::U64(features as u64)),
+        ],
+    );
 }
 
 /// Suppress noise in the projective row of an estimated homography.

@@ -174,6 +174,16 @@ pub fn profile_golden_masked<W: Workload>(
 }
 
 fn golden_from_report<O>(output: O, report: &session::SessionReport, mask: FuncMask) -> GoldenRun<O> {
+    vs_telemetry::emit(
+        "golden_profile",
+        &[
+            ("gpr_taps", vs_telemetry::Value::U64(report.gpr_taps)),
+            ("fpr_taps", vs_telemetry::Value::U64(report.fpr_taps)),
+            ("eligible_gpr", vs_telemetry::Value::U64(report.eligible_gpr)),
+            ("eligible_fpr", vs_telemetry::Value::U64(report.eligible_fpr)),
+            ("instr_total", vs_telemetry::Value::U64(report.instr.total)),
+        ],
+    );
     GoldenRun {
         output,
         profile: TapProfile {
@@ -528,10 +538,15 @@ pub fn run_campaign<W: Workload>(
 
     let n = cfg.injections;
     let threads = cfg.threads.min(n.max(1));
-    drive(n, threads, |i| {
+    let monitor = crate::telemetry::CampaignMonitor::new(cfg, sites, 0);
+    let records = drive(n, threads, |i| {
         let spec = draw_spec(cfg, sites, i);
-        run_one(workload, golden, spec, budget, cfg.keep_sdc_outputs, i)
-    })
+        let rec = run_one(workload, golden, spec, budget, cfg.keep_sdc_outputs, i);
+        monitor.record(&rec);
+        rec
+    });
+    monitor.finish();
+    records
 }
 
 /// Run a fault-injection campaign with golden-prefix fast-forward: each
@@ -569,14 +584,19 @@ pub fn run_campaign_checkpointed<W: Checkpointed>(
 
     let n = cfg.injections;
     let threads = cfg.threads.min(n.max(1));
-    drive(n, threads, |i| {
+    let monitor = crate::telemetry::CampaignMonitor::new(cfg, sites, golden.checkpoints.len());
+    let records = drive(n, threads, |i| {
         let spec = draw_spec(cfg, sites, i);
         let usable = golden
             .checkpoints
             .partition_point(|c| W::tap_snapshot(c).eligible(cfg.class) <= spec.tap_index);
         let ckpt = usable.checked_sub(1).map(|j| &golden.checkpoints[j]);
-        run_one_from(workload, g, ckpt, spec, budget, cfg.keep_sdc_outputs, i)
-    })
+        let rec = run_one_from(workload, g, ckpt, spec, budget, cfg.keep_sdc_outputs, i);
+        monitor.record(&rec);
+        rec
+    });
+    monitor.finish();
+    records
 }
 
 #[cfg(test)]
@@ -847,6 +867,101 @@ mod tests {
             }
             Ok(acc)
         }
+    }
+
+    /// Zero-perturbation at the Toy layer: installing a telemetry sink
+    /// must leave golden profiles, fault draws, fired faults and
+    /// outcomes bit-for-bit identical, while the sink observes exactly
+    /// one `injection` event per run.
+    #[test]
+    fn telemetry_sink_does_not_perturb_campaigns() {
+        let quiet_golden = profile_golden(&Toy).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Gpr, 80).seed(13).threads(2);
+        let quiet = run_campaign(&Toy, &quiet_golden, &cfg);
+
+        let sink = std::sync::Arc::new(vs_telemetry::MemorySink::new());
+        let observed = {
+            let _g = vs_telemetry::install(sink.clone());
+            let golden = profile_golden(&Toy).unwrap();
+            assert_eq!(golden.profile, quiet_golden.profile);
+            assert_eq!(golden.output, quiet_golden.output);
+            run_campaign(&Toy, &golden, &cfg)
+        };
+
+        let a: Vec<_> = quiet.iter().map(|r| (r.spec, r.outcome, r.fired)).collect();
+        let b: Vec<_> = observed
+            .iter()
+            .map(|r| (r.spec, r.outcome, r.fired))
+            .collect();
+        assert_eq!(a, b, "telemetry must not change campaign results");
+
+        assert_eq!(sink.count("golden_profile"), 1);
+        assert_eq!(sink.count("campaign_start"), 1);
+        assert_eq!(sink.count("injection"), cfg.injections());
+        assert_eq!(sink.count("campaign_done"), 1);
+        assert!(sink.count("campaign_progress") >= 1);
+        // The injection events report the same outcomes, in index order
+        // once sorted (workers interleave arbitrarily).
+        let mut seen: Vec<(u64, String)> = sink
+            .events()
+            .iter()
+            .filter(|e| e.name == "injection")
+            .map(|e| (e.u64("index").unwrap(), e.str("outcome").unwrap().to_string()))
+            .collect();
+        seen.sort();
+        for (i, (idx, outcome)) in seen.iter().enumerate() {
+            assert_eq!(*idx, i as u64);
+            assert_eq!(outcome, quiet[i].outcome.name());
+        }
+    }
+
+    /// Same invariant for the checkpointed driver, including the final
+    /// rates snapshot carrying Wilson bounds that bracket the rates.
+    #[test]
+    fn telemetry_sink_does_not_perturb_checkpointed_campaigns() {
+        let quiet_ck =
+            profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(9)).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Gpr, 60)
+            .seed(29)
+            .threads(4)
+            .checkpoint_policy(CheckpointPolicy::EveryKFrames(9));
+        let quiet = run_campaign_checkpointed(&Toy, &quiet_ck, &cfg);
+
+        let sink = std::sync::Arc::new(vs_telemetry::MemorySink::new());
+        let observed = {
+            let _g = vs_telemetry::install(sink.clone());
+            let ck =
+                profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(9)).unwrap();
+            assert_eq!(ck.golden.profile, quiet_ck.golden.profile);
+            run_campaign_checkpointed(&Toy, &ck, &cfg)
+        };
+
+        let a: Vec<_> = quiet.iter().map(|r| (r.spec, r.outcome, r.fired)).collect();
+        let b: Vec<_> = observed
+            .iter()
+            .map(|r| (r.spec, r.outcome, r.fired))
+            .collect();
+        assert_eq!(a, b);
+
+        assert_eq!(sink.count("injection"), cfg.injections());
+        let events = sink.events();
+        let start = events
+            .iter()
+            .find(|e| e.name == "campaign_start")
+            .expect("campaign_start emitted");
+        assert_eq!(start.u64("checkpoints"), Some(7), "64 iterations / 9");
+        assert_eq!(start.u64("ckpt_interval"), Some(9));
+        let done = events
+            .iter()
+            .find(|e| e.name == "campaign_done")
+            .expect("campaign_done emitted");
+        assert_eq!(done.u64("done"), Some(60));
+        let rates = crate::stats::outcome_rates(&quiet);
+        assert_eq!(done.f64("masked"), Some(rates.masked));
+        let (lo, hi) = rates.wilson_interval(crate::stats::OutcomeClass::Masked);
+        assert_eq!(done.f64("masked_lo"), Some(lo));
+        assert_eq!(done.f64("masked_hi"), Some(hi));
+        assert!(lo <= rates.masked && rates.masked <= hi);
     }
 
     #[test]

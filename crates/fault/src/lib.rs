@@ -66,6 +66,7 @@ pub mod spec;
 pub mod stats;
 mod state;
 pub mod tap;
+mod telemetry;
 
 pub use error::{CrashKind, SimError};
 pub use func::{FuncId, FuncMask, OpClass, NUM_CLASSES, NUM_FUNCS};

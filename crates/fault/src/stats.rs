@@ -6,6 +6,114 @@ use crate::func::{FuncId, NUM_FUNCS};
 use crate::spec::{NUM_REGS, REG_BITS};
 use std::fmt;
 
+/// One of the four aggregate outcome classes of Figs 10/11 (the two
+/// crash causes collapse into [`OutcomeClass::Crash`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OutcomeClass {
+    /// Error masked: output identical to golden.
+    Masked,
+    /// Silent data corruption.
+    Sdc,
+    /// Crash (segfault or abort).
+    Crash,
+    /// Hang monitor tripped.
+    Hang,
+}
+
+impl OutcomeClass {
+    /// All four classes, in report order.
+    pub const ALL: [OutcomeClass; 4] = [
+        OutcomeClass::Masked,
+        OutcomeClass::Sdc,
+        OutcomeClass::Crash,
+        OutcomeClass::Hang,
+    ];
+
+    /// Short lowercase name used in reports and telemetry fields.
+    pub fn name(self) -> &'static str {
+        match self {
+            OutcomeClass::Masked => "masked",
+            OutcomeClass::Sdc => "sdc",
+            OutcomeClass::Crash => "crash",
+            OutcomeClass::Hang => "hang",
+        }
+    }
+}
+
+/// Raw per-outcome tallies, accumulated one [`Outcome`] at a time —
+/// the streaming form of [`outcome_rates`], used by live campaign
+/// telemetry where records arrive out of order across worker threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OutcomeCounts {
+    /// Masked runs.
+    pub masked: usize,
+    /// SDC runs.
+    pub sdc: usize,
+    /// Simulated segfaults.
+    pub crash_segfault: usize,
+    /// Simulated aborts.
+    pub crash_abort: usize,
+    /// Hangs.
+    pub hang: usize,
+}
+
+impl OutcomeCounts {
+    /// Tally one outcome.
+    pub fn add(&mut self, outcome: Outcome) {
+        match outcome {
+            Outcome::Masked => self.masked += 1,
+            Outcome::Sdc => self.sdc += 1,
+            Outcome::CrashSegfault => self.crash_segfault += 1,
+            Outcome::CrashAbort => self.crash_abort += 1,
+            Outcome::Hang => self.hang += 1,
+        }
+    }
+
+    /// Total runs tallied.
+    pub fn n(&self) -> usize {
+        self.masked + self.sdc + self.crash_segfault + self.crash_abort + self.hang
+    }
+
+    /// Runs tallied for one aggregate class.
+    pub fn count(&self, class: OutcomeClass) -> usize {
+        match class {
+            OutcomeClass::Masked => self.masked,
+            OutcomeClass::Sdc => self.sdc,
+            OutcomeClass::Crash => self.crash_segfault + self.crash_abort,
+            OutcomeClass::Hang => self.hang,
+        }
+    }
+
+    /// Convert the tallies to percentage rates.
+    pub fn rates(&self) -> OutcomeRates {
+        let n = self.n();
+        let pct = |c: usize| {
+            if n == 0 {
+                0.0
+            } else {
+                100.0 * c as f64 / n as f64
+            }
+        };
+        let crashes = self.crash_segfault + self.crash_abort;
+        let share = |c: usize| {
+            if crashes == 0 {
+                0.0
+            } else {
+                100.0 * c as f64 / crashes as f64
+            }
+        };
+        OutcomeRates {
+            n,
+            masked: pct(self.masked),
+            sdc: pct(self.sdc),
+            crash: pct(crashes),
+            hang: pct(self.hang),
+            crash_segfault_share: share(self.crash_segfault),
+            crash_abort_share: share(self.crash_abort),
+        }
+    }
+}
+
 /// Percentage outcome rates of a campaign — one bar of Figs 10/11.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OutcomeRates {
@@ -23,6 +131,61 @@ pub struct OutcomeRates {
     pub crash_segfault_share: f64,
     /// Share of crashes that were aborts, percent of crashes.
     pub crash_abort_share: f64,
+}
+
+impl OutcomeRates {
+    /// The rate of one aggregate outcome class, in percent.
+    pub fn rate(&self, class: OutcomeClass) -> f64 {
+        match class {
+            OutcomeClass::Masked => self.masked,
+            OutcomeClass::Sdc => self.sdc,
+            OutcomeClass::Crash => self.crash,
+            OutcomeClass::Hang => self.hang,
+        }
+    }
+
+    /// 95% Wilson score interval for one outcome class, in percent.
+    ///
+    /// The Wilson interval is the standard choice for binomial
+    /// proportions near 0% or 100% — exactly where campaign rates live
+    /// (FPR masking is 99.7% in the paper) — where the naive normal
+    /// interval collapses to zero width or escapes [0, 100]. Campaign
+    /// telemetry snapshots carry these bounds so convergence plots get
+    /// honest error bars.
+    ///
+    /// Returns `(0, 100)` when no injections have been summarized.
+    pub fn wilson_interval(&self, class: OutcomeClass) -> (f64, f64) {
+        wilson_interval_pct(self.rate(class), self.n)
+    }
+}
+
+/// 95% Wilson score interval around a percentage rate observed over `n`
+/// trials; both bounds in percent, clamped to `[0, 100]`.
+fn wilson_interval_pct(rate_pct: f64, n: usize) -> (f64, f64) {
+    if n == 0 {
+        return (0.0, 100.0);
+    }
+    // z for a two-sided 95% interval.
+    const Z: f64 = 1.959_963_984_540_054;
+    let n = n as f64;
+    let p = (rate_pct / 100.0).clamp(0.0, 1.0);
+    let z2 = Z * Z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (Z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    // At the extremes the analytic bound is exactly the observed rate;
+    // don't let rounding in center ∓ half push it off by an ulp.
+    let lo = if p == 0.0 {
+        0.0
+    } else {
+        (100.0 * (center - half)).clamp(0.0, 100.0)
+    };
+    let hi = if p == 1.0 {
+        100.0
+    } else {
+        (100.0 * (center + half)).clamp(0.0, 100.0)
+    };
+    (lo, hi)
 }
 
 impl OutcomeRates {
@@ -53,45 +216,11 @@ impl fmt::Display for OutcomeRates {
 
 /// Compute outcome rates over a slice of injection records.
 pub fn outcome_rates<O>(records: &[Injection<O>]) -> OutcomeRates {
-    let n = records.len();
-    let mut masked = 0usize;
-    let mut sdc = 0usize;
-    let mut seg = 0usize;
-    let mut abort = 0usize;
-    let mut hang = 0usize;
+    let mut counts = OutcomeCounts::default();
     for r in records {
-        match r.outcome {
-            Outcome::Masked => masked += 1,
-            Outcome::Sdc => sdc += 1,
-            Outcome::CrashSegfault => seg += 1,
-            Outcome::CrashAbort => abort += 1,
-            Outcome::Hang => hang += 1,
-        }
+        counts.add(r.outcome);
     }
-    let pct = |c: usize| {
-        if n == 0 {
-            0.0
-        } else {
-            100.0 * c as f64 / n as f64
-        }
-    };
-    let crashes = seg + abort;
-    let share = |c: usize| {
-        if crashes == 0 {
-            0.0
-        } else {
-            100.0 * c as f64 / crashes as f64
-        }
-    };
-    OutcomeRates {
-        n,
-        masked: pct(masked),
-        sdc: pct(sdc),
-        crash: pct(crashes),
-        hang: pct(hang),
-        crash_segfault_share: share(seg),
-        crash_abort_share: share(abort),
-    }
+    counts.rates()
 }
 
 /// Histogram of injections per virtual register (Fig 9b).
@@ -207,6 +336,89 @@ mod tests {
         let b = outcome_rates(&[rec(Outcome::Masked, 0, 0)]);
         assert_eq!(a.max_abs_delta(&b), b.max_abs_delta(&a));
         assert!(a.max_abs_delta(&a) < 1e-12);
+    }
+
+    #[test]
+    fn outcome_counts_match_outcome_rates() {
+        let recs = vec![
+            rec(Outcome::Masked, 0, 0),
+            rec(Outcome::Masked, 1, 1),
+            rec(Outcome::Sdc, 2, 2),
+            rec(Outcome::CrashSegfault, 3, 3),
+            rec(Outcome::Hang, 4, 4),
+        ];
+        let mut counts = OutcomeCounts::default();
+        for r in &recs {
+            counts.add(r.outcome);
+        }
+        assert_eq!(counts.n(), 5);
+        assert_eq!(counts.count(OutcomeClass::Masked), 2);
+        assert_eq!(counts.count(OutcomeClass::Crash), 1);
+        assert_eq!(counts.rates(), outcome_rates(&recs));
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_rate() {
+        let recs: Vec<_> = (0..100)
+            .map(|i| {
+                rec(
+                    if i < 97 { Outcome::Masked } else { Outcome::Sdc },
+                    i,
+                    0,
+                )
+            })
+            .collect();
+        let r = outcome_rates(&recs);
+        for class in OutcomeClass::ALL {
+            let (lo, hi) = r.wilson_interval(class);
+            let p = r.rate(class);
+            assert!(lo <= p && p <= hi, "{}: {p} not in [{lo}, {hi}]", class.name());
+            assert!((0.0..=100.0).contains(&lo) && (0.0..=100.0).contains(&hi));
+        }
+        // Known value: 97/100 successes → Wilson 95% CI ≈ [91.5%, 99.0%].
+        let (lo, hi) = r.wilson_interval(OutcomeClass::Masked);
+        assert!((lo - 91.5).abs() < 0.5, "lo = {lo}");
+        assert!((hi - 99.0).abs() < 0.5, "hi = {hi}");
+    }
+
+    #[test]
+    fn wilson_interval_never_collapses_at_extremes() {
+        // 0/10 observed: the naive normal interval would be [0, 0]; the
+        // Wilson interval keeps a sensible upper bound.
+        let recs: Vec<_> = (0..10).map(|i| rec(Outcome::Masked, i, 0)).collect();
+        let r = outcome_rates(&recs);
+        let (lo, hi) = r.wilson_interval(OutcomeClass::Sdc);
+        assert_eq!(lo, 0.0);
+        assert!(hi > 20.0 && hi < 35.0, "hi = {hi}");
+        // And all-successes mirrors it.
+        let (lo, hi) = r.wilson_interval(OutcomeClass::Masked);
+        assert!(lo > 65.0 && lo < 80.0, "lo = {lo}");
+        assert_eq!(hi, 100.0);
+    }
+
+    #[test]
+    fn wilson_interval_empty_is_vacuous() {
+        let r = outcome_rates::<u64>(&[]);
+        assert_eq!(r.wilson_interval(OutcomeClass::Sdc), (0.0, 100.0));
+    }
+
+    #[test]
+    fn wilson_interval_narrows_with_n() {
+        let narrow = |n: u64| {
+            let recs: Vec<_> = (0..n)
+                .map(|i| {
+                    rec(
+                        if i % 2 == 0 { Outcome::Masked } else { Outcome::Sdc },
+                        i,
+                        0,
+                    )
+                })
+                .collect();
+            let (lo, hi) = outcome_rates(&recs).wilson_interval(OutcomeClass::Sdc);
+            hi - lo
+        };
+        assert!(narrow(1000) < narrow(100));
+        assert!(narrow(100) < narrow(10));
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! Live campaign telemetry: per-injection outcome events plus periodic
+//! rate snapshots with Wilson error bars, throughput and ETA.
+//!
+//! Campaign injections execute on plain worker threads that have **no
+//! thread-local telemetry sink of their own** — deliberately, so the
+//! millions of stage events an instrumented pipeline run could produce
+//! are never even generated inside injected runs. Instead a
+//! [`CampaignMonitor`] captures the *calling* thread's sink once, at
+//! campaign start, and routes the low-rate campaign events (one
+//! `injection` per run, a `campaign_progress` snapshot every few
+//! percent, one `campaign_done`) through that handle directly.
+//!
+//! Zero-perturbation: nothing in this module touches the tap or
+//! instruction counters in [`crate::tap`]/[`crate::state`] — a record
+//! is taken only *after* an injection's session guard has been dropped
+//! and its outcome classified, so golden profiles, fault draws and
+//! classifications are bit-for-bit identical with telemetry on or off
+//! (proven by the equivalence tests in `campaign.rs` and the workspace
+//! `telemetry_equivalence` suite).
+
+use crate::campaign::{CampaignConfig, Injection};
+use crate::spec::RegClass;
+use crate::stats::{OutcomeClass, OutcomeCounts, OutcomeRates};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use vs_telemetry::{Event, Sink, Value};
+
+/// Short lowercase name of a register class for telemetry fields.
+fn class_name(class: RegClass) -> &'static str {
+    match class {
+        RegClass::Gpr => "gpr",
+        RegClass::Fpr => "fpr",
+    }
+}
+
+/// Observer attached to one campaign run. Created on the campaign's
+/// calling thread (where it captures the installed sink, if any) and
+/// shared by reference with the worker threads, which call [`record`]
+/// once per classified injection.
+///
+/// When no sink is installed on the calling thread the monitor is
+/// entirely inert: `record` is a single branch, with no locking.
+///
+/// [`record`]: CampaignMonitor::record
+pub(crate) struct CampaignMonitor {
+    sink: Option<Arc<dyn Sink>>,
+    total: usize,
+    /// Emit a `campaign_progress` snapshot every this many completions.
+    snapshot_every: usize,
+    start: Instant,
+    counts: Mutex<OutcomeCounts>,
+}
+
+impl CampaignMonitor {
+    /// Capture the calling thread's sink and announce the campaign.
+    ///
+    /// `sites` is the eligible-tap population faults are drawn from;
+    /// `checkpoints` the number of resumable checkpoints available (0
+    /// for the from-scratch driver).
+    pub(crate) fn new(cfg: &CampaignConfig, sites: u64, checkpoints: usize) -> Self {
+        let sink = vs_telemetry::current();
+        let total = cfg.injections();
+        if let Some(s) = &sink {
+            let ckpt_interval = cfg.checkpointing().interval().unwrap_or(0) as u64;
+            s.event(&Event::new(
+                "campaign_start",
+                &[
+                    ("class", Value::Str(class_name(cfg.class()))),
+                    ("injections", Value::U64(total as u64)),
+                    ("sites", Value::U64(sites)),
+                    ("ckpt_interval", Value::U64(ckpt_interval)),
+                    ("checkpoints", Value::U64(checkpoints as u64)),
+                ],
+            ));
+        }
+        CampaignMonitor {
+            sink,
+            total,
+            // ~20 snapshots per campaign, at least one injection apart.
+            snapshot_every: (total / 20).max(1),
+            start: Instant::now(),
+            counts: Mutex::new(OutcomeCounts::default()),
+        }
+    }
+
+    /// Record one classified injection. Called from worker threads.
+    pub(crate) fn record<O>(&self, rec: &Injection<O>) {
+        let Some(sink) = &self.sink else { return };
+        let (done, counts) = {
+            let mut c = self.counts.lock().expect("campaign monitor mutex poisoned");
+            c.add(rec.outcome);
+            (c.n(), *c)
+        };
+        let fired_func = rec.fired.map_or("", |f| f.func.name());
+        sink.event(&Event::new(
+            "injection",
+            &[
+                ("index", Value::U64(rec.index as u64)),
+                ("tap", Value::U64(rec.spec.tap_index)),
+                ("bit", Value::U64(u64::from(rec.spec.bit))),
+                ("outcome", Value::Str(rec.outcome.name())),
+                ("fired", Value::Bool(rec.fired.is_some())),
+                ("fired_func", Value::Str(fired_func)),
+            ],
+        ));
+        if done % self.snapshot_every == 0 || done == self.total {
+            self.emit_rates(sink, "campaign_progress", done, &counts.rates());
+        }
+    }
+
+    /// Emit the final `campaign_done` snapshot. Called once, after the
+    /// drive loop joins, on the campaign's calling thread.
+    pub(crate) fn finish(&self) {
+        let Some(sink) = &self.sink else { return };
+        let counts = *self.counts.lock().expect("campaign monitor mutex poisoned");
+        self.emit_rates(sink, "campaign_done", counts.n(), &counts.rates());
+    }
+
+    /// One rates snapshot: counts, percentage rates with 95% Wilson
+    /// bounds per class, elapsed wall time, throughput and ETA.
+    fn emit_rates(&self, sink: &Arc<dyn Sink>, name: &'static str, done: usize, rates: &OutcomeRates) {
+        let elapsed = self.start.elapsed().as_secs_f64();
+        let inj_per_sec = if elapsed > 0.0 {
+            done as f64 / elapsed
+        } else {
+            0.0
+        };
+        let remaining = self.total.saturating_sub(done);
+        let eta_s = if inj_per_sec > 0.0 {
+            remaining as f64 / inj_per_sec
+        } else {
+            0.0
+        };
+        let interval = |c: OutcomeClass| rates.wilson_interval(c);
+        let (masked_lo, masked_hi) = interval(OutcomeClass::Masked);
+        let (sdc_lo, sdc_hi) = interval(OutcomeClass::Sdc);
+        let (crash_lo, crash_hi) = interval(OutcomeClass::Crash);
+        let (hang_lo, hang_hi) = interval(OutcomeClass::Hang);
+        sink.event(&Event::new(
+            name,
+            &[
+                ("done", Value::U64(done as u64)),
+                ("total", Value::U64(self.total as u64)),
+                ("elapsed_s", Value::F64(elapsed)),
+                ("inj_per_sec", Value::F64(inj_per_sec)),
+                ("eta_s", Value::F64(eta_s)),
+                ("masked", Value::F64(rates.masked)),
+                ("sdc", Value::F64(rates.sdc)),
+                ("crash", Value::F64(rates.crash)),
+                ("hang", Value::F64(rates.hang)),
+                ("masked_lo", Value::F64(masked_lo)),
+                ("masked_hi", Value::F64(masked_hi)),
+                ("sdc_lo", Value::F64(sdc_lo)),
+                ("sdc_hi", Value::F64(sdc_hi)),
+                ("crash_lo", Value::F64(crash_lo)),
+                ("crash_hi", Value::F64(crash_hi)),
+                ("hang_lo", Value::F64(hang_lo)),
+                ("hang_hi", Value::F64(hang_hi)),
+            ],
+        ));
+    }
+}

@@ -129,6 +129,13 @@ impl Orb {
                 });
             }
         }
+        vs_telemetry::emit(
+            "orb",
+            &[
+                ("keypoints", vs_telemetry::Value::U64(features.len() as u64)),
+                ("levels", vs_telemetry::Value::U64(pyramid.len() as u64)),
+            ],
+        );
         Ok(features)
     }
 }

@@ -68,8 +68,10 @@ fn sample_distinct(rng: &mut SplitMix64, n: usize, k: usize, out: &mut Vec<usize
     }
 }
 
-/// Generic RANSAC loop over a minimal-sample estimator.
+/// Generic RANSAC loop over a minimal-sample estimator. `kind` labels
+/// the model family in telemetry events.
 fn estimate<F>(
+    kind: &'static str,
     pairs: &[(Vec2, Vec2)],
     cfg: &RansacConfig,
     seed: u64,
@@ -81,6 +83,7 @@ where
     F: Fn(&[usize], &[(Vec2, Vec2)]) -> Option<Mat3>,
 {
     if pairs.len() < sample_size {
+        emit_ransac_event(kind, 0, pairs.len(), 0);
         return Ok(None);
     }
     let mut rng = SplitMix64::new(seed);
@@ -127,6 +130,7 @@ where
     }
 
     let Some(mut fit) = best else {
+        emit_ransac_event(kind, it, pairs.len(), 0);
         return Ok(None);
     };
     if cfg.refine {
@@ -142,7 +146,22 @@ where
             }
         }
     }
+    emit_ransac_event(kind, it, pairs.len(), fit.inliers.len());
     Ok(Some(fit))
+}
+
+/// One per-call `ransac` telemetry event (no-op without a sink).
+fn emit_ransac_event(kind: &'static str, iterations: usize, pairs: usize, inliers: usize) {
+    use vs_telemetry::Value;
+    vs_telemetry::emit(
+        "ransac",
+        &[
+            ("kind", Value::Str(kind)),
+            ("iterations", Value::U64(iterations as u64)),
+            ("pairs", Value::U64(pairs as u64)),
+            ("inliers", Value::U64(inliers as u64)),
+        ],
+    );
 }
 
 /// Estimate a homography between correspondence pairs with RANSAC.
@@ -161,6 +180,7 @@ pub fn estimate_homography(
 ) -> Result<Option<RansacFit>, SimError> {
     let _f = tap::scope(FuncId::RansacHomography);
     estimate(
+        "homography",
         pairs,
         cfg,
         seed,
@@ -197,6 +217,7 @@ pub fn estimate_affine(
 ) -> Result<Option<RansacFit>, SimError> {
     let _f = tap::scope(FuncId::EstimateAffine);
     estimate(
+        "affine",
         pairs,
         cfg,
         seed,

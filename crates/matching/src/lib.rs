@@ -34,6 +34,7 @@
 
 use vs_fault::{tap, FuncId, OpClass, SimError};
 use vs_features::Descriptor;
+use vs_telemetry::Value;
 
 /// A correspondence between a query descriptor and a train descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -54,8 +55,13 @@ struct TwoNearest {
     second_dist: u32,
 }
 
-/// Scan `train` for the two nearest neighbours of `desc`.
-fn two_nearest(desc: &Descriptor, train: &[Descriptor]) -> Option<TwoNearest> {
+/// Scan `train` for the two nearest neighbours of `desc`, tallying
+/// abandoned candidate scans into `early_exits`.
+fn two_nearest(
+    desc: &Descriptor,
+    train: &[Descriptor],
+    early_exits: &mut u64,
+) -> Option<TwoNearest> {
     let mut best = usize::MAX;
     let mut best_dist = u32::MAX;
     let mut second_dist = u32::MAX;
@@ -65,6 +71,7 @@ fn two_nearest(desc: &Descriptor, train: &[Descriptor]) -> Option<TwoNearest> {
         // soon as the partial word sums prove that (exact — see
         // `Descriptor::hamming_bounded`).
         let Some(d) = desc.hamming_bounded(t, second_dist) else {
+            *early_exits += 1;
             continue;
         };
         if d < best_dist {
@@ -112,6 +119,7 @@ impl RatioMatcher {
     ) -> Result<Vec<Match>, SimError> {
         let _f = tap::scope(FuncId::MatchKeypoints);
         let mut out = Vec::new();
+        let mut early_exits = 0u64;
         for i in 0..query.len() {
             // Cost model: one 256-bit Hamming distance is 4 xors + 4
             // popcounts + compare per train entry.
@@ -120,7 +128,7 @@ impl RatioMatcher {
             tap::work(OpClass::Control, train.len() as u64)?;
             let qi = tap::addr(i);
             let desc = query.get(qi).ok_or(SimError::Segfault)?;
-            let Some(nn) = two_nearest(desc, train) else {
+            let Some(nn) = two_nearest(desc, train, &mut early_exits) else {
                 continue;
             };
             let best_dist = tap::gpr(nn.best_dist as u64) as u32;
@@ -139,8 +147,23 @@ impl RatioMatcher {
                 });
             }
         }
+        emit_match_event("ratio", query.len(), train.len(), out.len(), early_exits);
         Ok(out)
     }
+}
+
+/// One per-call `match` telemetry event (no-op without an installed sink).
+fn emit_match_event(matcher: &str, queries: usize, train: usize, matches: usize, early_exits: u64) {
+    vs_telemetry::emit(
+        "match",
+        &[
+            ("matcher", Value::Str(matcher)),
+            ("queries", Value::U64(queries as u64)),
+            ("train", Value::U64(train as u64)),
+            ("matches", Value::U64(matches as u64)),
+            ("hamming_early_exits", Value::U64(early_exits)),
+        ],
+    );
 }
 
 /// *VS_SM* matcher: single nearest neighbour with an absolute distance
@@ -175,6 +198,7 @@ impl SimpleMatcher {
     ) -> Result<Vec<Match>, SimError> {
         let _f = tap::scope(FuncId::MatchKeypoints);
         let mut out = Vec::new();
+        let mut early_exits = 0u64;
         for i in 0..query.len() {
             tap::work(OpClass::IntAlu, 6 * train.len() as u64)?;
             tap::work(OpClass::Mem, 4 * train.len() as u64)?;
@@ -189,6 +213,8 @@ impl SimpleMatcher {
                 if let Some(d) = desc.hamming_bounded(t, best_dist) {
                     best_dist = d;
                     best = j;
+                } else {
+                    early_exits += 1;
                 }
             }
             if best == usize::MAX {
@@ -206,6 +232,7 @@ impl SimpleMatcher {
                 });
             }
         }
+        emit_match_event("simple", query.len(), train.len(), out.len(), early_exits);
         Ok(out)
     }
 }
@@ -315,6 +342,39 @@ mod tests {
     }
 
     #[test]
+    fn match_events_report_early_exit_counts() {
+        let train: Vec<Descriptor> = (0..20).map(|i| random_desc(1000 + i)).collect();
+        let query: Vec<Descriptor> = train
+            .iter()
+            .enumerate()
+            .map(|(i, d)| perturb(d, 8, i as u64))
+            .collect();
+        let quiet = RatioMatcher::default().matches(&query, &train).unwrap();
+
+        let sink = std::sync::Arc::new(vs_telemetry::MemorySink::new());
+        let observed = {
+            let _g = vs_telemetry::install(sink.clone());
+            RatioMatcher::default().matches(&query, &train).unwrap()
+        };
+        // Telemetry must not change the matches themselves.
+        assert_eq!(observed, quiet);
+
+        let events = sink.events();
+        let ev = events
+            .iter()
+            .find(|e| e.name == "match")
+            .expect("match event emitted");
+        assert_eq!(ev.str("matcher"), Some("ratio"));
+        assert_eq!(ev.u64("queries"), Some(20));
+        assert_eq!(ev.u64("train"), Some(20));
+        assert_eq!(ev.u64("matches"), Some(quiet.len() as u64));
+        // With noisy copies of distinct random descriptors, most of the
+        // 20×20 candidate scans are abandoned early.
+        let exits = ev.u64("hamming_early_exits").unwrap();
+        assert!(exits > 0 && exits < 400, "exits = {exits}");
+    }
+
+    #[test]
     fn simple_matcher_is_stricter_with_smaller_cap() {
         let train: Vec<Descriptor> = (0..30).map(|i| random_desc(200 + i)).collect();
         let query: Vec<Descriptor> = train
@@ -403,7 +463,7 @@ mod proptests {
                         sd = d;
                     }
                 }
-                let nn = two_nearest(q, &train).unwrap();
+                let nn = two_nearest(q, &train, &mut 0).unwrap();
                 assert_eq!((nn.best, nn.best_dist, nn.second_dist), (best, bd, sd));
             }
             let ratio = RatioMatcher::default().matches(&query, &train).unwrap();

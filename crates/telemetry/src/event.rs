@@ -1,0 +1,301 @@
+//! The structured event model: borrowed events on the emission path,
+//! owned events for in-memory capture and trace parsing.
+//!
+//! Emission allocates nothing: an [`Event`] borrows its name and its
+//! field slice from the caller's stack, so the disabled path (no sink
+//! installed) costs one thread-local load and a branch, and the null-sink
+//! path adds only the virtual call. Sinks that retain events
+//! ([`crate::MemorySink`]) or re-read them from disk
+//! ([`crate::jsonl::parse_line`]) use the owned mirror types.
+
+use std::fmt;
+
+/// A field value on the borrowed emission path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value<'a> {
+    /// Unsigned counter (tap counts, sizes, indices).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point measurement (rates, seconds, percentages).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Borrowed string (outcome names, stage names, paths).
+    Str(&'a str),
+}
+
+impl From<u64> for Value<'_> {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+
+impl From<usize> for Value<'_> {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+
+impl From<u32> for Value<'_> {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+
+impl From<i64> for Value<'_> {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+
+impl From<f64> for Value<'_> {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+
+impl From<bool> for Value<'_> {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl<'a> From<&'a str> for Value<'a> {
+    fn from(v: &'a str) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// One telemetry event: a name plus a flat list of key/value fields,
+/// fully borrowed from the emitting call site.
+#[derive(Debug, Clone, Copy)]
+pub struct Event<'a> {
+    /// Event name (`"frame"`, `"match"`, `"injection"`, ...).
+    pub name: &'a str,
+    /// Flat key/value fields, in emission order.
+    pub fields: &'a [(&'a str, Value<'a>)],
+}
+
+impl<'a> Event<'a> {
+    /// Build an event from a name and field slice.
+    pub fn new(name: &'a str, fields: &'a [(&'a str, Value<'a>)]) -> Self {
+        Event { name, fields }
+    }
+
+    /// Deep-copy into an [`OwnedEvent`] (used by retaining sinks).
+    pub fn to_owned(&self) -> OwnedEvent {
+        OwnedEvent {
+            name: self.name.to_string(),
+            fields: self
+                .fields
+                .iter()
+                .map(|(k, v)| ((*k).to_string(), OwnedValue::from(*v)))
+                .collect(),
+        }
+    }
+
+    /// Look up a field by key (first match wins).
+    pub fn get(&self, key: &str) -> Option<Value<'a>> {
+        self.fields
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| *v)
+    }
+}
+
+/// Owned mirror of [`Value`]; also the representation trace parsing
+/// produces, hence the extra [`OwnedValue::Null`] (JSON `null`, emitted
+/// for non-finite floats).
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedValue {
+    /// Unsigned counter.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating-point measurement.
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Owned string.
+    Str(String),
+    /// JSON `null` (a non-finite float on the emission side).
+    Null,
+}
+
+impl From<Value<'_>> for OwnedValue {
+    fn from(v: Value<'_>) -> Self {
+        match v {
+            Value::U64(x) => OwnedValue::U64(x),
+            Value::I64(x) => OwnedValue::I64(x),
+            Value::F64(x) => OwnedValue::F64(x),
+            Value::Bool(x) => OwnedValue::Bool(x),
+            Value::Str(x) => OwnedValue::Str(x.to_string()),
+        }
+    }
+}
+
+impl OwnedValue {
+    /// Numeric view: integers widen, floats pass through.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            OwnedValue::U64(x) => Some(*x as f64),
+            OwnedValue::I64(x) => Some(*x as f64),
+            OwnedValue::F64(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Unsigned view: exact integers only.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            OwnedValue::U64(x) => Some(*x),
+            OwnedValue::I64(x) => u64::try_from(*x).ok(),
+            OwnedValue::F64(x) if *x >= 0.0 && x.fract() == 0.0 => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            OwnedValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// An owned event, as retained by [`crate::MemorySink`] or re-read from
+/// a JSONL trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OwnedEvent {
+    /// Event name.
+    pub name: String,
+    /// Flat key/value fields, in emission order.
+    pub fields: Vec<(String, OwnedValue)>,
+}
+
+impl OwnedEvent {
+    /// Look up a field by key (first match wins).
+    pub fn get(&self, key: &str) -> Option<&OwnedValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Unsigned field accessor.
+    pub fn u64(&self, key: &str) -> Option<u64> {
+        self.get(key).and_then(OwnedValue::as_u64)
+    }
+
+    /// Numeric field accessor.
+    pub fn f64(&self, key: &str) -> Option<f64> {
+        self.get(key).and_then(OwnedValue::as_f64)
+    }
+
+    /// String field accessor.
+    pub fn str(&self, key: &str) -> Option<&str> {
+        self.get(key).and_then(OwnedValue::as_str)
+    }
+}
+
+/// Write `s` as a JSON string literal (quotes included) into `out`.
+pub(crate) fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Append a field value in JSON syntax. Non-finite floats become `null`
+/// (JSON has no NaN/Inf), keeping every line parseable.
+pub(crate) fn write_json_value(out: &mut String, v: &Value<'_>) {
+    use fmt::Write;
+    match v {
+        Value::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        Value::F64(_) => out.push_str("null"),
+        Value::Bool(x) => {
+            let _ = write!(out, "{x}");
+        }
+        Value::Str(s) => write_json_str(out, s),
+    }
+}
+
+/// Render an event as one JSONL line (no trailing newline):
+/// `{"event":"<name>","k":v,...}`.
+pub fn to_jsonl(event: &Event<'_>) -> String {
+    let mut out = String::with_capacity(48 + 16 * event.fields.len());
+    out.push_str("{\"event\":");
+    write_json_str(&mut out, event.name);
+    for (k, v) in event.fields {
+        out.push(',');
+        write_json_str(&mut out, k);
+        out.push(':');
+        write_json_value(&mut out, v);
+    }
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jsonl_rendering_is_stable() {
+        let fields = [
+            ("n", Value::U64(3)),
+            ("rate", Value::F64(1.5)),
+            ("ok", Value::Bool(true)),
+            ("name", Value::Str("a\"b")),
+            ("neg", Value::I64(-2)),
+        ];
+        let e = Event::new("test", &fields);
+        assert_eq!(
+            to_jsonl(&e),
+            r#"{"event":"test","n":3,"rate":1.5,"ok":true,"name":"a\"b","neg":-2}"#
+        );
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let fields = [("x", Value::F64(f64::NAN)), ("y", Value::F64(f64::INFINITY))];
+        let e = Event::new("t", &fields);
+        assert_eq!(to_jsonl(&e), r#"{"event":"t","x":null,"y":null}"#);
+    }
+
+    #[test]
+    fn owned_event_round_trips_and_accessors_work() {
+        let fields = [("count", Value::U64(7)), ("tag", Value::Str("hi"))];
+        let owned = Event::new("e", &fields).to_owned();
+        assert_eq!(owned.u64("count"), Some(7));
+        assert_eq!(owned.f64("count"), Some(7.0));
+        assert_eq!(owned.str("tag"), Some("hi"));
+        assert_eq!(owned.get("missing"), None);
+    }
+
+    #[test]
+    fn control_chars_are_escaped() {
+        let mut s = String::new();
+        write_json_str(&mut s, "a\u{1}\tb");
+        assert_eq!(s, "\"a\\u0001\\tb\"");
+    }
+}

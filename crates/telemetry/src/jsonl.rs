@@ -1,0 +1,319 @@
+//! Minimal JSONL trace parsing — enough to validate traces produced by
+//! [`crate::JsonlSink`] without an external JSON dependency.
+//!
+//! The grammar accepted is exactly what the sink emits: one flat JSON
+//! object per line whose first key is `"event"`, with string, number,
+//! boolean and `null` values. Nested objects/arrays are rejected; this
+//! is a schema validator, not a general JSON parser.
+
+use crate::event::{OwnedEvent, OwnedValue};
+
+/// A parse failure, with the byte offset where it happened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the line.
+    pub at: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} at byte {}", self.message, self.at)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: &str) -> Result<T, ParseError> {
+        Err(ParseError {
+            at: self.pos,
+            message: message.to_string(),
+        })
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), ParseError> {
+        self.skip_ws();
+        match self.bump() {
+            Some(b) if b == want => Ok(()),
+            _ => {
+                self.pos = self.pos.saturating_sub(1);
+                self.err(&format!("expected '{}'", want as char))
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let Some(h) = self.bump().and_then(|b| (b as char).to_digit(16))
+                            else {
+                                return self.err("bad \\u escape");
+                            };
+                            code = code * 16 + h;
+                        }
+                        match char::from_u32(code) {
+                            Some(c) => out.push(c),
+                            None => return self.err("bad \\u code point"),
+                        }
+                    }
+                    _ => return self.err("bad escape"),
+                },
+                Some(b) if b < 0x20 => return self.err("raw control char in string"),
+                Some(b) => {
+                    // Re-assemble multi-byte UTF-8 sequences byte-wise.
+                    let start = self.pos - 1;
+                    let len = utf8_len(b);
+                    let end = start + len;
+                    if len == 0 || end > self.bytes.len() {
+                        return self.err("invalid utf-8");
+                    }
+                    match std::str::from_utf8(&self.bytes[start..end]) {
+                        Ok(s) => {
+                            out.push_str(s);
+                            self.pos = end;
+                        }
+                        Err(_) => return self.err("invalid utf-8"),
+                    }
+                }
+            }
+        }
+    }
+
+    fn value(&mut self) -> Result<OwnedValue, ParseError> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'"') => Ok(OwnedValue::Str(self.string()?)),
+            Some(b't') => self.literal("true", OwnedValue::Bool(true)),
+            Some(b'f') => self.literal("false", OwnedValue::Bool(false)),
+            Some(b'n') => self.literal("null", OwnedValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b'{' | b'[') => self.err("nested values not allowed in trace events"),
+            _ => self.err("expected a value"),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, value: OwnedValue) -> Result<OwnedValue, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(value)
+        } else {
+            self.err(&format!("expected '{lit}'"))
+        }
+    }
+
+    fn number(&mut self) -> Result<OwnedValue, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii number");
+        if !is_float {
+            if let Ok(v) = text.parse::<u64>() {
+                return Ok(OwnedValue::U64(v));
+            }
+            if let Ok(v) = text.parse::<i64>() {
+                return Ok(OwnedValue::I64(v));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(v) if v.is_finite() => Ok(OwnedValue::F64(v)),
+            _ => {
+                self.pos = start;
+                self.err("malformed number")
+            }
+        }
+    }
+}
+
+/// Length of a UTF-8 sequence from its first byte (0 = invalid start).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0x00..=0x7f => 1,
+        0xc2..=0xdf => 2,
+        0xe0..=0xef => 3,
+        0xf0..=0xf4 => 4,
+        _ => 0,
+    }
+}
+
+/// Parse one JSONL trace line into an [`OwnedEvent`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] when the line is not a flat JSON object
+/// whose first key is `"event"` with a string value.
+pub fn parse_line(line: &str) -> Result<OwnedEvent, ParseError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.expect(b'{')?;
+    let first_key = p.string()?;
+    if first_key != "event" {
+        return p.err("first key must be \"event\"");
+    }
+    p.expect(b':')?;
+    let name = p.string()?;
+    let mut fields = Vec::new();
+    loop {
+        p.skip_ws();
+        match p.bump() {
+            Some(b'}') => break,
+            Some(b',') => {
+                let key = p.string()?;
+                p.expect(b':')?;
+                let value = p.value()?;
+                fields.push((key, value));
+            }
+            _ => {
+                p.pos = p.pos.saturating_sub(1);
+                return p.err("expected ',' or '}'");
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return p.err("trailing garbage after object");
+    }
+    Ok(OwnedEvent { name, fields })
+}
+
+/// Parse a whole JSONL trace, reporting the first failing line (1-based).
+///
+/// # Errors
+///
+/// Returns `(line_number, error)` for the first malformed line.
+pub fn parse_trace(text: &str) -> Result<Vec<OwnedEvent>, (usize, ParseError)> {
+    let mut events = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_line(line).map_err(|e| (i + 1, e))?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{to_jsonl, Event, Value};
+
+    #[test]
+    fn round_trips_sink_output() {
+        let fields = [
+            ("n", Value::U64(42)),
+            ("rate", Value::F64(12.5)),
+            ("neg", Value::I64(-3)),
+            ("ok", Value::Bool(true)),
+            ("label", Value::Str("a b\"c\\d")),
+            ("bad", Value::F64(f64::NAN)),
+        ];
+        let line = to_jsonl(&Event::new("snap", &fields));
+        let parsed = parse_line(&line).unwrap();
+        assert_eq!(parsed.name, "snap");
+        assert_eq!(parsed.u64("n"), Some(42));
+        assert_eq!(parsed.f64("rate"), Some(12.5));
+        assert_eq!(parsed.get("neg"), Some(&OwnedValue::I64(-3)));
+        assert_eq!(parsed.get("ok"), Some(&OwnedValue::Bool(true)));
+        assert_eq!(parsed.str("label"), Some("a b\"c\\d"));
+        assert_eq!(parsed.get("bad"), Some(&OwnedValue::Null));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "{}",
+            r#"{"event":}"#,
+            r#"{"name":"x"}"#,
+            r#"{"event":"x","k":{"nested":1}}"#,
+            r#"{"event":"x","k":[1]}"#,
+            r#"{"event":"x"} extra"#,
+            r#"{"event":"x","k":tru}"#,
+            r#"{"event":"x","k":1.2.3}"#,
+        ] {
+            assert!(parse_line(bad).is_err(), "should reject: {bad}");
+        }
+    }
+
+    #[test]
+    fn parses_unicode_and_escapes() {
+        let parsed = parse_line(r#"{"event":"é","k":"A\nλ"}"#).unwrap();
+        assert_eq!(parsed.name, "é");
+        assert_eq!(parsed.str("k"), Some("A\nλ"));
+    }
+
+    #[test]
+    fn parse_trace_reports_line_numbers() {
+        let text = "{\"event\":\"a\"}\n\n{\"event\":\"b\",\"n\":1}\nnot json\n";
+        let err = parse_trace(text).unwrap_err();
+        assert_eq!(err.0, 4);
+        let ok = parse_trace("{\"event\":\"a\"}\n{\"event\":\"b\"}\n").unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok[1].name, "b");
+    }
+
+    #[test]
+    fn numbers_parse_to_natural_types() {
+        let parsed =
+            parse_line(r#"{"event":"n","a":7,"b":-7,"c":7.5,"d":1e3,"e":18446744073709551615}"#)
+                .unwrap();
+        assert_eq!(parsed.get("a"), Some(&OwnedValue::U64(7)));
+        assert_eq!(parsed.get("b"), Some(&OwnedValue::I64(-7)));
+        assert_eq!(parsed.get("c"), Some(&OwnedValue::F64(7.5)));
+        assert_eq!(parsed.get("d"), Some(&OwnedValue::F64(1000.0)));
+        assert_eq!(parsed.get("e"), Some(&OwnedValue::U64(u64::MAX)));
+    }
+}

@@ -1,0 +1,76 @@
+//! Zero-perturbation observability for the video-summarization
+//! resiliency study: structured spans, per-stage counters and live
+//! fault-campaign telemetry.
+//!
+//! # The zero-perturbation invariant
+//!
+//! The fault injector in `vs-fault` classifies outcomes by comparing a
+//! run's output — and draws fault sites from its *tap counters* —
+//! against a golden run. Any observability layer that changed the tap
+//! stream would silently change which faults are drawn and how they are
+//! classified, invalidating every campaign. This crate therefore has
+//! **no dependency on the fault layer** (or anything else): emitting an
+//! event never executes a tap, and installing or removing a sink leaves
+//! golden profiles, fault draws and classifications bit-for-bit
+//! identical. The equivalence tests in `vs-fault` and the workspace
+//! `tests/telemetry_equivalence.rs` prove this at the Toy-workload and
+//! `VsWorkload` layers.
+//!
+//! # Architecture
+//!
+//! * [`event`] — the borrowed [`Event`]/[`Value`] emission model and its
+//!   owned mirror for retention and trace parsing.
+//! * [`sink`] — the pluggable [`Sink`] trait with [`NullSink`],
+//!   [`MemorySink`], [`JsonlSink`] (one JSON object per line),
+//!   [`TextSink`] (human-readable progress) and [`FanoutSink`].
+//! * [`scope`] — per-thread sink installation ([`install`]) and the
+//!   near-free [`emit`] / [`span`] entry points instrumented code calls.
+//! * [`jsonl`] — a dependency-free parser/validator for traces written
+//!   by [`JsonlSink`] (used by the `trace_check` tool and tests).
+//!
+//! # Example
+//!
+//! ```
+//! use std::sync::Arc;
+//! use vs_telemetry::{install, emit, MemorySink, Value};
+//!
+//! let sink = Arc::new(MemorySink::new());
+//! {
+//!     let _guard = install(sink.clone());
+//!     emit("frame", &[("index", Value::U64(0)), ("features", Value::U64(117))]);
+//! }
+//! assert_eq!(sink.count("frame"), 1);
+//! assert_eq!(sink.events()[0].u64("features"), Some(117));
+//! ```
+
+pub mod event;
+pub mod jsonl;
+pub mod scope;
+pub mod sink;
+
+pub use event::{to_jsonl, Event, OwnedEvent, OwnedValue, Value};
+pub use scope::{current, emit, enabled, install, span, span_with, SinkGuard, Span};
+pub use sink::{FanoutSink, JsonlSink, MemorySink, NullSink, Sink, TextSink, DETAIL_EVENTS};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn end_to_end_jsonl_round_trip_through_installed_sink() {
+        let sink = Arc::new(JsonlSink::new(Vec::new()));
+        {
+            let _g = install(sink.clone());
+            emit("alpha", &[("v", Value::F64(0.25))]);
+            emit("beta", &[("s", Value::Str("x"))]);
+        }
+        let sink = Arc::into_inner(sink).expect("guard dropped its clone");
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        let events = jsonl::parse_trace(&text).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "alpha");
+        assert_eq!(events[0].f64("v"), Some(0.25));
+        assert_eq!(events[1].str("s"), Some("x"));
+    }
+}

@@ -1,0 +1,214 @@
+//! Thread-local sink installation and the zero-cost disabled path.
+//!
+//! Telemetry mirrors the session discipline of `vs-fault`: a sink is
+//! installed on a thread with an RAII guard ([`install`]); instrumented
+//! code calls [`emit`] unconditionally. With no sink installed — the
+//! default everywhere, including campaign worker threads — `emit` is one
+//! thread-local load and a branch, which is what makes instrumentation
+//! safe to leave in hot pipeline code.
+//!
+//! Installation is deliberately per-thread, not global: fault-injection
+//! campaigns run the workload thousands of times on worker threads, and
+//! a process-global sink would flood the trace with per-stage events
+//! from every injected run (and cross-contaminate parallel tests).
+//! Campaign-level telemetry instead flows through an explicit handle
+//! captured by the campaign driver (see `vs-fault`).
+
+use crate::event::{Event, Value};
+use crate::sink::Sink;
+use std::cell::{Cell, RefCell};
+use std::sync::Arc;
+
+thread_local! {
+    static SINK: RefCell<Option<Arc<dyn Sink>>> = const { RefCell::new(None) };
+    static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// RAII guard returned by [`install`]; restores the previously installed
+/// sink (if any) on drop. Not `Send`: the sink is installed on the
+/// current thread only.
+#[derive(Debug)]
+pub struct SinkGuard {
+    prev: Option<Arc<dyn Sink>>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl std::fmt::Debug for dyn Sink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("<sink>")
+    }
+}
+
+/// Install `sink` as the current thread's telemetry sink until the guard
+/// drops. Nests: the previous sink is restored.
+#[must_use = "telemetry is uninstalled when the guard is dropped"]
+pub fn install(sink: Arc<dyn Sink>) -> SinkGuard {
+    let prev = SINK.with(|s| s.borrow_mut().replace(sink));
+    SinkGuard {
+        prev,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl Drop for SinkGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        SINK.with(|s| {
+            let mut slot = s.borrow_mut();
+            if let Some(sink) = slot.as_ref() {
+                sink.flush();
+            }
+            *slot = prev;
+        });
+    }
+}
+
+/// The sink installed on this thread, if any. Campaign drivers capture
+/// this once on the calling thread and fan campaign events out to it
+/// from workers.
+pub fn current() -> Option<Arc<dyn Sink>> {
+    SINK.with(|s| s.borrow().clone())
+}
+
+/// Whether a sink is installed on this thread. Instrumentation that
+/// must compute fields eagerly can gate on this; plain [`emit`] calls
+/// don't need to.
+#[inline]
+pub fn enabled() -> bool {
+    SINK.with(|s| s.borrow().is_some())
+}
+
+/// Emit one event to the thread's sink; a near-free no-op when no sink
+/// is installed.
+#[inline]
+pub fn emit(name: &str, fields: &[(&str, Value<'_>)]) {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow().as_ref() {
+            sink.event(&Event { name, fields });
+        }
+    });
+}
+
+/// A structured span: emits `span_enter` on creation and `span_exit` on
+/// drop, with a per-thread nesting depth, so a trace reconstructs the
+/// stage tree without timestamps.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    depth: u32,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Open a span named `name` with extra identifying fields.
+pub fn span_with(name: &'static str, fields: &[(&str, Value<'_>)]) -> Span {
+    let depth = SPAN_DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
+    if enabled() {
+        let mut all: Vec<(&str, Value<'_>)> = Vec::with_capacity(fields.len() + 2);
+        all.push(("span", Value::Str(name)));
+        all.push(("depth", Value::U64(u64::from(depth))));
+        all.extend_from_slice(fields);
+        emit("span_enter", &all);
+    }
+    Span {
+        name,
+        depth,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Open a span named `name`.
+pub fn span(name: &'static str) -> Span {
+    span_with(name, &[])
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+        emit(
+            "span_exit",
+            &[
+                ("span", Value::Str(self.name)),
+                ("depth", Value::U64(u64::from(self.depth))),
+            ],
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::MemorySink;
+
+    #[test]
+    fn emit_without_sink_is_a_no_op() {
+        assert!(!enabled());
+        emit("dropped", &[("x", Value::U64(1))]);
+    }
+
+    #[test]
+    fn install_scopes_and_nests() {
+        let outer = Arc::new(MemorySink::new());
+        let inner = Arc::new(MemorySink::new());
+        {
+            let _a = install(outer.clone());
+            emit("one", &[]);
+            {
+                let _b = install(inner.clone());
+                emit("two", &[]);
+                assert!(enabled());
+            }
+            emit("three", &[]);
+        }
+        assert!(!enabled());
+        let outer_names: Vec<String> =
+            outer.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(outer_names, ["one", "three"]);
+        assert_eq!(inner.count("two"), 1);
+        assert_eq!(inner.len(), 1);
+    }
+
+    #[test]
+    fn current_clones_the_installed_sink() {
+        assert!(current().is_none());
+        let sink = Arc::new(MemorySink::new());
+        let _g = install(sink.clone());
+        let cur = current().expect("sink installed");
+        cur.event(&Event::new("via_handle", &[]));
+        assert_eq!(sink.count("via_handle"), 1);
+    }
+
+    #[test]
+    fn spans_track_depth_and_pair_up() {
+        let sink = Arc::new(MemorySink::new());
+        let _g = install(sink.clone());
+        {
+            let _outer = span("stage_a");
+            let _inner = span_with("stage_b", &[("frame", Value::U64(3))]);
+        }
+        let events = sink.events();
+        let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["span_enter", "span_enter", "span_exit", "span_exit"]);
+        assert_eq!(events[0].u64("depth"), Some(0));
+        assert_eq!(events[1].u64("depth"), Some(1));
+        assert_eq!(events[1].u64("frame"), Some(3));
+        assert_eq!(events[2].str("span"), Some("stage_b"));
+        assert_eq!(events[3].str("span"), Some("stage_a"));
+    }
+
+    #[test]
+    fn spans_without_sink_still_balance_depth() {
+        {
+            let _a = span("quiet");
+            let _b = span("inner");
+        }
+        let sink = Arc::new(MemorySink::new());
+        let _g = install(sink.clone());
+        let s = span("after");
+        drop(s);
+        assert_eq!(sink.events()[0].u64("depth"), Some(0));
+    }
+}

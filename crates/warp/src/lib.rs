@@ -191,6 +191,13 @@ pub fn warp_perspective_offset(
     let mut dst = RgbImage::try_new(dst_w, dst_h).ok_or(SimError::Abort)?;
     let mut mask = GrayImage::try_new(dst_w, dst_h).ok_or(SimError::Abort)?;
     remap_bilinear(src, &inv, &mut dst, &mut mask, origin, 0, dst_h)?;
+    vs_telemetry::emit(
+        "warp",
+        &[(
+            "pixels",
+            vs_telemetry::Value::U64((dst_w * dst_h) as u64),
+        )],
+    );
     Ok((dst, mask))
 }
 

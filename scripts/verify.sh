@@ -15,9 +15,27 @@ cargo build --release --offline
 echo "== tier-1: cargo test -q (workspace) =="
 cargo test -q --workspace --release --offline
 
+echo "== lint: cargo clippy --workspace -D warnings =="
+cargo clippy --workspace --release --offline -- -D warnings
+
 echo "== bench smoke: campaign_bench --smoke =="
 ./target/release/campaign_bench --smoke --out /tmp/BENCH_smoke.json
 rm -f /tmp/BENCH_smoke.json
+
+echo "== trace smoke: campaign_bench --smoke --trace + trace_check =="
+./target/release/campaign_bench --smoke --out /tmp/BENCH_smoke.json \
+    --trace /tmp/BENCH_smoke.jsonl >/dev/null
+# Every line must parse as a schema-conforming JSONL event, and the
+# event census must match the campaign shape: 24 injections x 2
+# campaigns (scratch + checkpointed), each with its own golden profile.
+./target/release/trace_check /tmp/BENCH_smoke.jsonl --quiet \
+    --expect injection=48 \
+    --expect campaign_start=2 \
+    --expect campaign_done=2 \
+    --expect golden_profile=2 \
+    --expect bench_result=1 \
+    --require frame --require match --require ransac --require warp
+rm -f /tmp/BENCH_smoke.json /tmp/BENCH_smoke.jsonl
 
 if [ "${1:-}" = "--full" ]; then
     echo "== bench full: campaign_bench -> BENCH_1.json =="
