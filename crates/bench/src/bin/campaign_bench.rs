@@ -1,6 +1,7 @@
 //! Campaign-throughput benchmark: measures how much golden-prefix
-//! fast-forwarding (checkpointed fault campaigns) speeds up injection
-//! throughput, and emits the result as `BENCH_1.json`.
+//! fast-forwarding plus per-worker workspace reuse (checkpointed fault
+//! campaigns) speeds up injection throughput, counts the workload's
+//! steady-state heap allocations, and emits the result as `BENCH_2.json`.
 //!
 //! ```text
 //! campaign_bench [--frames N] [--inj N] [--threads N] [--every-k K]
@@ -10,24 +11,110 @@
 //! The benchmark profiles one golden run (plain and checkpoint-capturing),
 //! then runs the same GPR campaign twice — every injection re-executed
 //! from scratch, and every injection fast-forwarded from the latest
-//! usable checkpoint — and cross-checks that both campaigns classify
-//! every injection identically before reporting runs/sec. `--smoke`
-//! shrinks everything so the whole benchmark finishes in seconds (used
-//! by `scripts/verify.sh` as an offline end-to-end gate).
+//! usable checkpoint into a reused workspace — and cross-checks that both
+//! campaigns classify every injection identically before reporting
+//! runs/sec. A counting global allocator (this binary only) measures the
+//! workspace path: the first run on a cold workspace allocates
+//! (`allocs_per_run_scratch`), warmed-up runs must not allocate at all
+//! (`allocs_per_run_steady`, gated to 0). `--smoke` shrinks everything so
+//! the whole benchmark finishes in seconds (used by `scripts/verify.sh`
+//! as an offline end-to-end gate).
 //!
 //! All progress output flows through the `vs-telemetry` sink layer:
 //! human-readable lines on stdout, plus a complete JSONL trace (stage
-//! counters, per-injection outcomes, live campaign snapshots) when
-//! `--trace` is given. Validate traces with the `trace_check` binary.
+//! counters, per-injection outcomes, live campaign snapshots, per-run
+//! `scratch_reuse` counters) when `--trace` is given. Validate traces
+//! with the `trace_check` binary.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use vs_core::workloads::VsWorkload;
 use vs_core::PipelineConfig;
-use vs_fault::campaign::{self, CampaignConfig, CheckpointPolicy};
+use vs_fault::campaign::{self, CampaignConfig, CheckpointPolicy, ScratchWorkload};
 use vs_fault::spec::RegClass;
 use vs_telemetry::Value;
 use vs_video::{render_input, InputSpec};
+
+/// Process-wide allocation counter: every `alloc`/`realloc`/
+/// `alloc_zeroed` bumps it. Bench binary only — the library crates stay
+/// on the system allocator. Measurement windows run on an otherwise
+/// quiescent process, so deltas attribute cleanly to the code under
+/// test.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+/// Allocation counts of the workspace path: first run on a cold
+/// workspace, and the per-run average over a warmed-up workspace (which
+/// the zero-allocation steady-state invariant pins to exactly 0).
+struct AllocStats {
+    per_run_scratch: u64,
+    per_run_steady: f64,
+}
+
+/// Measure workload allocations on a dedicated thread: the telemetry
+/// sink is thread-local (no sink → `emit` is a no-op) and the main
+/// thread blocks in `join`, so the global counter's delta is exactly the
+/// workload's.
+fn measure_allocs(w: &VsWorkload) -> AllocStats {
+    const WARMUP_RUNS: usize = 3;
+    const STEADY_RUNS: u64 = 8;
+    std::thread::scope(|scope| {
+        scope
+            .spawn(|| {
+                let mut scratch = w.make_scratch();
+                let a0 = alloc_calls();
+                w.run_scratch(&mut scratch).expect("golden run failed");
+                let per_run_scratch = alloc_calls() - a0;
+                // Swap-paired buffers (current/previous features, RANSAC
+                // inlier lists) reach their high-water marks only once
+                // each buffer has served every role: warm up past that.
+                for _ in 0..WARMUP_RUNS {
+                    w.run_scratch(&mut scratch).expect("golden run failed");
+                }
+                let a1 = alloc_calls();
+                for _ in 0..STEADY_RUNS {
+                    w.run_scratch(&mut scratch).expect("golden run failed");
+                }
+                AllocStats {
+                    per_run_scratch,
+                    per_run_steady: (alloc_calls() - a1) as f64 / STEADY_RUNS as f64,
+                }
+            })
+            .join()
+            .expect("alloc measurement thread panicked")
+    })
+}
 
 const USAGE: &str = "usage: campaign_bench [--frames N] [--inj N] [--threads N] [--every-k K] [--seed S] [--out FILE] [--trace FILE] [--smoke]";
 
@@ -53,7 +140,7 @@ impl Default for BenchOpts {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             every_k: 1,
             seed: 0xBE6C,
-            out: "BENCH_1.json".into(),
+            out: "BENCH_2.json".into(),
             trace: None,
         }
     }
@@ -131,6 +218,18 @@ fn main() -> ExitCode {
     );
     let w = VsWorkload::new(frames, PipelineConfig::default());
 
+    // Steady-state allocation count of the workspace path (quiet
+    // thread), then a short traced demo on this thread so the JSONL
+    // trace carries per-run `scratch_reuse` counters reaching grown=0.
+    let allocs = measure_allocs(&w);
+    vs_telemetry::emit(
+        "bench_alloc",
+        &[
+            ("allocs_per_run_scratch", Value::U64(allocs.per_run_scratch)),
+            ("allocs_per_run_steady", Value::F64(allocs.per_run_steady)),
+        ],
+    );
+
     // Golden runs: plain (what scratch campaigns need) and capturing
     // (what checkpointed campaigns need).
     let t0 = Instant::now();
@@ -182,11 +281,22 @@ fn main() -> ExitCode {
             ("runs_per_sec_on", Value::F64(runs_on)),
             ("speedup", Value::F64(speedup)),
             ("identical", Value::Bool(identical)),
+            ("allocs_per_run_steady", Value::F64(allocs.per_run_steady)),
         ],
     );
 
+    // Traced steady-state demo: a few golden runs on this thread (where
+    // the sink lives) so the trace ends with `scratch_reuse` counters at
+    // grown=0 — what `trace_check --scratch-steady` validates.
+    {
+        let mut demo = w.make_scratch();
+        for _ in 0..4 {
+            w.run_scratch(&mut demo).expect("golden run failed");
+        }
+    }
+
     let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"injections\": {},\n  \"threads\": {},\n  \"checkpoint_every_k\": {},\n  \"checkpoints\": {},\n  \"golden_run_secs\": {},\n  \"golden_capturing_secs\": {},\n  \"campaign_checkpoint_off_secs\": {},\n  \"campaign_checkpoint_on_secs\": {},\n  \"runs_per_sec_off\": {},\n  \"runs_per_sec_on\": {},\n  \"speedup\": {},\n  \"outcomes_identical\": {}\n}}\n",
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"injections\": {},\n  \"threads\": {},\n  \"checkpoint_every_k\": {},\n  \"checkpoints\": {},\n  \"golden_run_secs\": {},\n  \"golden_capturing_secs\": {},\n  \"campaign_checkpoint_off_secs\": {},\n  \"campaign_checkpoint_on_secs\": {},\n  \"runs_per_sec_off\": {},\n  \"runs_per_sec_on\": {},\n  \"speedup\": {},\n  \"allocs_per_run_scratch\": {},\n  \"allocs_per_run_steady\": {},\n  \"outcomes_identical\": {}\n}}\n",
         o.frames,
         o.width,
         o.height,
@@ -201,6 +311,8 @@ fn main() -> ExitCode {
         json_f(runs_off),
         json_f(runs_on),
         json_f(speedup),
+        allocs.per_run_scratch,
+        json_f(allocs.per_run_steady),
         identical
     );
     if let Err(e) = std::fs::write(&o.out, &json) {
@@ -211,6 +323,13 @@ fn main() -> ExitCode {
     vs_telemetry::emit("artifact", &[("path", Value::Str(&out_path))]);
     if !identical {
         eprintln!("error: checkpointed campaign diverged from scratch campaign");
+        return ExitCode::FAILURE;
+    }
+    if allocs.per_run_steady != 0.0 {
+        eprintln!(
+            "error: steady-state workspace runs still allocate ({} allocs/run)",
+            allocs.per_run_steady
+        );
         return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS

@@ -1,24 +1,29 @@
 //! Validate a JSONL telemetry trace written with `--trace`.
 //!
 //! ```text
-//! trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--quiet]
+//! trace_check FILE [--expect NAME=COUNT]... [--require NAME]...
+//!             [--scratch-steady] [--quiet]
 //! ```
 //!
 //! Every line must parse against the trace schema (flat JSON object,
 //! first key `"event"`); `--expect` pins the exact count of an event
-//! name, `--require` just demands at least one. Prints a per-event
-//! census and exits non-zero on any violation — the trace smoke gate in
-//! `scripts/verify.sh`.
+//! name, `--require` just demands at least one. `--scratch-steady`
+//! validates the zero-allocation steady state from the trace alone: the
+//! last `scratch_reuse` counter (one per pipeline run, emitted by the
+//! run workspace) must report `grown=0` — every buffer group reused,
+//! none regrown. Prints a per-event census and exits non-zero on any
+//! violation — the trace smoke gate in `scripts/verify.sh`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--quiet]";
+const USAGE: &str = "usage: trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--scratch-steady] [--quiet]";
 
 struct CheckOpts {
     file: std::path::PathBuf,
     expect: Vec<(String, usize)>,
     require: Vec<String>,
+    scratch_steady: bool,
     quiet: bool,
 }
 
@@ -26,6 +31,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
     let mut file = None;
     let mut expect = Vec::new();
     let mut require = Vec::new();
+    let mut scratch_steady = false;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -41,6 +47,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
             "--require" => {
                 require.push(it.next().ok_or("--require needs NAME")?.clone());
             }
+            "--scratch-steady" => scratch_steady = true,
             "--quiet" => quiet = true,
             other if file.is_none() && !other.starts_with("--") => {
                 file = Some(other.into());
@@ -52,6 +59,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
         file: file.ok_or("no trace file given")?,
         expect,
         require,
+        scratch_steady,
         quiet,
     })
 }
@@ -85,7 +93,11 @@ fn main() -> ExitCode {
         *census.entry(&ev.name).or_default() += 1;
     }
     if !o.quiet {
-        println!("# trace_check {}: {} events", o.file.display(), events.len());
+        println!(
+            "# trace_check {}: {} events",
+            o.file.display(),
+            events.len()
+        );
         for (name, count) in &census {
             println!("# {name} {count}");
         }
@@ -103,6 +115,27 @@ fn main() -> ExitCode {
         if !census.contains_key(name.as_str()) {
             eprintln!("error: required event '{name}' missing from trace");
             failed = true;
+        }
+    }
+    if o.scratch_steady {
+        match events.iter().rev().find(|e| e.name == "scratch_reuse") {
+            None => {
+                eprintln!("error: --scratch-steady: no scratch_reuse events in trace");
+                failed = true;
+            }
+            Some(ev) => match ev.u64("grown") {
+                Some(0) => {}
+                Some(g) => {
+                    eprintln!(
+                        "error: --scratch-steady: last scratch_reuse still grew {g} buffer group(s)"
+                    );
+                    failed = true;
+                }
+                None => {
+                    eprintln!("error: --scratch-steady: scratch_reuse event lacks 'grown' field");
+                    failed = true;
+                }
+            },
         }
     }
     if failed {

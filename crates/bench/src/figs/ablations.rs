@@ -84,7 +84,10 @@ pub fn hang_budget(opts: &Opts) -> String {
             pct(r.hang),
         ]);
     }
-    format!("Ablation: hang-budget sensitivity (GPR, Input 1)\n{}", t.to_text())
+    format!(
+        "Ablation: hang-budget sensitivity (GPR, Input 1)\n{}",
+        t.to_text()
+    )
 }
 
 /// Ablation 3: approximation operating points. Sweeps the RFD drop rate
@@ -153,7 +156,10 @@ pub fn blend_mode_masking(opts: &Opts) -> String {
         opts.scale,
     ));
     let mut t = Table::new(["blend mode", "masked", "sdc", "crash", "hang"]);
-    for (label, blend) in [("overwrite", BlendMode::Overwrite), ("feather", BlendMode::Feather)] {
+    for (label, blend) in [
+        ("overwrite", BlendMode::Overwrite),
+        ("feather", BlendMode::Feather),
+    ] {
         let config = vs_core::experiments::pipeline_config(opts.scale, Approximation::Baseline)
             .with_compositing(CompositeOptions {
                 blend,

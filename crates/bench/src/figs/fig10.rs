@@ -45,7 +45,13 @@ pub fn collect(opts: &Opts) -> Vec<Fig10Cell> {
 pub fn run(opts: &Opts) -> String {
     let cells = collect(opts);
     let mut t = Table::new([
-        "input", "class", "masked", "sdc", "crash", "hang", "segfault%of-crashes",
+        "input",
+        "class",
+        "masked",
+        "sdc",
+        "crash",
+        "hang",
+        "segfault%of-crashes",
         "abort%of-crashes",
     ]);
     for c in &cells {

@@ -61,7 +61,8 @@ pub fn run_a(opts: &Opts) -> String {
         ]);
     }
     let dir = opts.artifact_dir("fig11");
-    t.write_csv(dir.join("fig11a.csv")).expect("write fig11a.csv");
+    t.write_csv(dir.join("fig11a.csv"))
+        .expect("write fig11a.csv");
     format!(
         "Fig 11a — resiliency of approximate algorithms (GPR, {} injections per cell)\n{}",
         opts.injections,
@@ -87,7 +88,8 @@ pub fn collect_b(opts: &Opts) -> Vec<Fig11bCell> {
         .threads(opts.threads)
         .keep_sdc_outputs(false);
 
-    let vs = vs_core::experiments::vs_workload(InputId::Input1, opts.scale, Approximation::Baseline);
+    let vs =
+        vs_core::experiments::vs_workload(InputId::Input1, opts.scale, Approximation::Baseline);
     let vs_golden = campaign::profile_golden_masked(&vs, mask).expect("golden VS run");
     let vs_recs = campaign::run_campaign(&vs, &vs_golden, &cfg);
 
@@ -121,7 +123,8 @@ pub fn run_b(opts: &Opts) -> String {
         ]);
     }
     let dir = opts.artifact_dir("fig11");
-    t.write_csv(dir.join("fig11b.csv")).expect("write fig11b.csv");
+    t.write_csv(dir.join("fig11b.csv"))
+        .expect("write fig11b.csv");
     format!(
         "Fig 11b — hot-function study: injections confined to warp functions\n{}",
         t.to_text()

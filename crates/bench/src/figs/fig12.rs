@@ -103,10 +103,30 @@ pub fn run(opts: &Opts) -> String {
     let dir = opts.artifact_dir("fig12");
     let mut out = String::new();
     for (label, input, against_vs, file) in [
-        ("(a) vs VS_golden, Input 1", InputId::Input1, true, "fig12a.csv"),
-        ("(b) vs VS_golden, Input 2", InputId::Input2, true, "fig12b.csv"),
-        ("(c) vs Approx_golden, Input 1", InputId::Input1, false, "fig12c.csv"),
-        ("(d) vs Approx_golden, Input 2", InputId::Input2, false, "fig12d.csv"),
+        (
+            "(a) vs VS_golden, Input 1",
+            InputId::Input1,
+            true,
+            "fig12a.csv",
+        ),
+        (
+            "(b) vs VS_golden, Input 2",
+            InputId::Input2,
+            true,
+            "fig12b.csv",
+        ),
+        (
+            "(c) vs Approx_golden, Input 1",
+            InputId::Input1,
+            false,
+            "fig12c.csv",
+        ),
+        (
+            "(d) vs Approx_golden, Input 2",
+            InputId::Input2,
+            false,
+            "fig12d.csv",
+        ),
     ] {
         let t = panel(&cells, input, against_vs);
         t.write_csv(dir.join(file)).expect("write fig12 csv");
@@ -169,7 +189,10 @@ mod tests {
                 );
             }
         }
-        assert!(any_sdc, "campaigns produced zero SDCs — cannot validate Fig 12");
+        assert!(
+            any_sdc,
+            "campaigns produced zero SDCs — cannot validate Fig 12"
+        );
         std::fs::remove_dir_all(&opts.out_dir).ok();
     }
 }

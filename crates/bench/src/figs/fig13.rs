@@ -53,8 +53,11 @@ pub fn run(opts: &Opts) -> String {
         let tag = input.to_string().to_lowercase();
         write_ppm(dir.join(format!("{tag}_a_default.ppm")), g).expect("write default");
         write_ppm(dir.join(format!("{tag}_b_vs_sm.ppm")), f).expect("write vs_sm");
-        write_pgm(dir.join(format!("{tag}_c_absdiff.pgm")), &diff_image(g, f, false))
-            .expect("write absdiff");
+        write_pgm(
+            dir.join(format!("{tag}_c_absdiff.pgm")),
+            &diff_image(g, f, false),
+        )
+        .expect("write absdiff");
         write_pgm(
             dir.join(format!("{tag}_d_thresholded.pgm")),
             &diff_image(g, f, true),

@@ -35,14 +35,7 @@ pub fn run(opts: &Opts) -> String {
         .keep_sdc_outputs(false);
     let full = outcome_rates(&run_campaign(&w, &g, &full_cfg));
 
-    let mut t = Table::new([
-        "site group",
-        "population",
-        "masked",
-        "sdc",
-        "crash",
-        "hang",
-    ]);
+    let mut t = Table::new(["site group", "population", "masked", "sdc", "crash", "hang"]);
     for (grp, rates) in &pruned.groups {
         t.row([
             format!("{}/{}", grp.func, grp.op),
@@ -71,7 +64,8 @@ pub fn run(opts: &Opts) -> String {
         pct(full.hang),
     ]);
     let dir = opts.artifact_dir("pruning");
-    t.write_csv(dir.join("groups.csv")).expect("write groups.csv");
+    t.write_csv(dir.join("groups.csv"))
+        .expect("write groups.csv");
     cmp.write_csv(dir.join("comparison.csv"))
         .expect("write comparison.csv");
     format!(

@@ -65,7 +65,11 @@ pub fn measure<R>(budget: Duration, mut f: impl FnMut() -> R) -> Measurement {
 /// Measure `f` and print one `name: time/iter` line, criterion-style.
 pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
     let m = measure(Duration::from_millis(600), &mut f);
-    println!("{name:<44} {:>12}/iter ({} iters)", fmt_secs(m.secs_per_iter), m.iters);
+    println!(
+        "{name:<44} {:>12}/iter ({} iters)",
+        fmt_secs(m.secs_per_iter),
+        m.iters
+    );
     m
 }
 

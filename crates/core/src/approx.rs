@@ -31,10 +31,7 @@ pub fn downsample_features(features: Vec<Feature>, keep_divisor: usize) -> Vec<F
     if keep_divisor <= 1 {
         return features;
     }
-    features
-        .into_iter()
-        .step_by(keep_divisor)
-        .collect()
+    features.into_iter().step_by(keep_divisor).collect()
 }
 
 #[cfg(test)]

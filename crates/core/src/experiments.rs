@@ -145,12 +145,7 @@ mod tests {
 
     #[test]
     fn frame_override_is_applied() {
-        let w = vs_workload_with_frames(
-            InputId::Input2,
-            Scale::Quick,
-            Approximation::Baseline,
-            5,
-        );
+        let w = vs_workload_with_frames(InputId::Input2, Scale::Quick, Approximation::Baseline, 5);
         assert_eq!(w.frames().len(), 5);
     }
 

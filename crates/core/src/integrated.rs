@@ -136,12 +136,8 @@ mod tests {
     #[test]
     fn static_scene_produces_no_tracks() {
         let frames = render_input(&spec_with_vehicles(0));
-        let s = summarize_with_events(
-            &frames,
-            &PipelineConfig::default(),
-            &EventConfig::default(),
-        )
-        .unwrap();
+        let s = summarize_with_events(&frames, &PipelineConfig::default(), &EventConfig::default())
+            .unwrap();
         assert_eq!(
             s.track_count(),
             0,
@@ -154,12 +150,8 @@ mod tests {
     #[test]
     fn moving_vehicles_produce_tracks() {
         let frames = render_input(&spec_with_vehicles(6));
-        let s = summarize_with_events(
-            &frames,
-            &PipelineConfig::default(),
-            &EventConfig::default(),
-        )
-        .unwrap();
+        let s = summarize_with_events(&frames, &PipelineConfig::default(), &EventConfig::default())
+            .unwrap();
         assert!(
             s.track_count() >= 1,
             "no vehicle tracked; stats {:?}",
@@ -178,12 +170,9 @@ mod tests {
         let plain = VideoSummarizer::new(PipelineConfig::default())
             .run(&frames)
             .unwrap();
-        let integrated = summarize_with_events(
-            &frames,
-            &PipelineConfig::default(),
-            &EventConfig::default(),
-        )
-        .unwrap();
+        let integrated =
+            summarize_with_events(&frames, &PipelineConfig::default(), &EventConfig::default())
+                .unwrap();
         if integrated.track_count() > 0 {
             assert_ne!(
                 plain.panoramas, integrated.coverage.panoramas,

@@ -45,9 +45,9 @@ mod pipeline;
 pub mod quality;
 pub mod workloads;
 
-pub use approx::{drop_frame, downsample_features};
+pub use approx::{downsample_features, drop_frame};
 pub use config::{Approximation, PipelineConfig};
 pub use integrated::{summarize_with_events, EventConfig, IntegratedSummary};
-pub use pipeline::{FrameAlignment, Summary, SummaryStats, VideoSummarizer};
+pub use pipeline::{FrameAlignment, RunScratch, Summary, SummaryStats, VideoSummarizer};
 pub use quality::{ed_cdf, primary_panorama, sdc_quality, SdcQuality};
-pub use workloads::{IntegratedWorkload, VsWorkload, WpWorkload};
+pub use workloads::{IntegratedWorkload, VsScratch, VsWorkload, WpWorkload};

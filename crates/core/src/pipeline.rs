@@ -12,14 +12,14 @@ use crate::approx::drop_frame;
 use crate::config::{Approximation, PipelineConfig};
 use vs_fault::session::{self, TapSnapshot};
 use vs_fault::{tap, FuncId, OpClass, SimError};
-use vs_features::{Descriptor, Feature, Orb};
-use vs_geometry::ransac::{self, RansacConfig};
+use vs_features::{Descriptor, Feature, Orb, OrbScratch};
+use vs_geometry::ransac::{self, RansacConfig, RansacScratch};
 use vs_geometry::transform::{transformed_bounds, Bounds};
 use vs_image::{GrayImage, RgbImage};
 use vs_linalg::{Mat3, Vec2};
 use vs_matching::{Match, RatioMatcher, SimpleMatcher};
 use vs_telemetry::Value;
-use vs_warp::{Canvas, CompositeOptions};
+use vs_warp::{Canvas, WarpScratch};
 
 /// Counters describing what the pipeline did with its input.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -55,7 +55,7 @@ pub struct FrameAlignment {
 ///
 /// Only the panoramas constitute the *observable output* compared for
 /// SDC classification; the rest is diagnostic/auxiliary.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Summary {
     /// Mini-panorama images, in segment order.
     pub panoramas: Vec<RgbImage>,
@@ -79,9 +79,109 @@ struct PrevFrame {
     h_to_anchor: Mat3,
 }
 
-/// Pipeline state at a frame boundary during golden profiling, plus the
-/// tap counters there ([`TapSnapshot`]) — everything needed to replay
-/// the run's suffix exactly. Captured by
+/// Run-scoped workspace owning every transient buffer one pipeline run
+/// needs: the gray plane, ORB pyramid/detection scratch, feature and
+/// descriptor vectors for the current and previous frame, match and
+/// correspondence lists, RANSAC buffers, segment alignment lists (plus a
+/// recycling pool), the stitching canvas with its warp patch, and the
+/// [`Summary`] the run writes into.
+///
+/// Feed the same workspace to [`VideoSummarizer::run_with`] /
+/// [`VideoSummarizer::resume_with`] across runs and, once the buffers
+/// have grown to the workload's high-water mark, steady-state execution
+/// performs no heap allocation at all. Results are bit-identical to the
+/// allocating entry points.
+#[derive(Default)]
+pub struct RunScratch {
+    summary: Summary,
+    gray: GrayImage,
+    orb: OrbScratch,
+    features: Vec<Feature>,
+    descriptors: Vec<Descriptor>,
+    prev_features: Vec<Feature>,
+    prev_descriptors: Vec<Descriptor>,
+    prev_h: Mat3,
+    prev_some: bool,
+    downsampled: Vec<Descriptor>,
+    matches: Vec<Match>,
+    pairs: Vec<(Vec2, Vec2)>,
+    ransac: RansacScratch,
+    segments: Vec<Vec<(usize, Mat3)>>,
+    current: Vec<(usize, Mat3)>,
+    pool: Vec<Vec<(usize, Mat3)>>,
+    canvas: Canvas,
+    warp: WarpScratch,
+}
+
+/// Number of buffer groups [`RunScratch::footprints`] tracks (the
+/// resolution of the `scratch_reuse` telemetry counter).
+const SCRATCH_GROUPS: usize = 8;
+
+impl RunScratch {
+    /// The output of the last successful `run_with`/`resume_with` call.
+    /// Contents are unspecified after a run that returned an error.
+    pub fn summary(&self) -> &Summary {
+        &self.summary
+    }
+
+    /// Total heap footprint (element counts) of all owned buffers.
+    pub fn footprint(&self) -> usize {
+        self.footprints().iter().sum()
+    }
+
+    /// Per-group heap footprints, compared across a run to count which
+    /// buffer groups were reused versus grown (`scratch_reuse` event).
+    fn footprints(&self) -> [usize; SCRATCH_GROUPS] {
+        [
+            self.gray.capacity(),
+            self.orb.footprint(),
+            self.features.capacity()
+                + self.descriptors.capacity()
+                + self.prev_features.capacity()
+                + self.prev_descriptors.capacity(),
+            self.downsampled.capacity() + self.matches.capacity() + self.pairs.capacity(),
+            self.ransac.footprint(),
+            self.segments.capacity()
+                + self.segments.iter().map(|s| s.capacity()).sum::<usize>()
+                + self.current.capacity()
+                + self.pool.capacity()
+                + self.pool.iter().map(|s| s.capacity()).sum::<usize>(),
+            self.canvas.footprint() + self.warp.footprint(),
+            self.summary.panoramas.capacity()
+                + self
+                    .summary
+                    .panoramas
+                    .iter()
+                    .map(|p| p.capacity())
+                    .sum::<usize>()
+                + self.summary.panorama_origins.capacity()
+                + self.summary.alignments.capacity(),
+        ]
+    }
+}
+
+/// Render-phase extension of [`PipelineCheckpoint`]: the canvas as
+/// composited so far plus every already-finished panorama, so a resumed
+/// run replays only the composites at and after the captured position.
+/// The render phase holds ~90% of a run's taps (the warp pair dominates
+/// the execution profile, Fig 8), so these checkpoints — not the
+/// frame-loop ones — carry most of the campaign fast-forward.
+#[derive(Clone)]
+struct RenderCheckpoint {
+    /// Segment being rendered.
+    segment: usize,
+    /// Composites `0..pos` of that segment are already on the canvas.
+    pos: usize,
+    canvas: Canvas,
+    /// Finished panoramas of segments `< segment`.
+    panoramas: Vec<RgbImage>,
+    /// Their origins, in segment order.
+    origins: Vec<Vec2>,
+}
+
+/// Pipeline state at a frame or composite boundary during golden
+/// profiling, plus the tap counters there ([`TapSnapshot`]) — everything
+/// needed to replay the run's suffix exactly. Captured by
 /// [`VideoSummarizer::run_capturing`], consumed by
 /// [`VideoSummarizer::resume`]; the golden-prefix fast-forward for fault
 /// campaigns (see [`vs_fault::campaign::Checkpointed`]).
@@ -89,13 +189,16 @@ struct PrevFrame {
 /// Opaque on purpose: its fields mirror the loop's private state.
 #[derive(Clone)]
 pub struct PipelineCheckpoint {
-    /// Frame index the resumed loop starts at.
+    /// Frame index the resumed loop starts at (`frames.len()` for
+    /// render-phase checkpoints: the frame loop is already complete).
     next_frame: usize,
     stats: SummaryStats,
     segments: Vec<Vec<(usize, Mat3)>>,
     current: Vec<(usize, Mat3)>,
     prev: Option<PrevFrame>,
     discard_streak: usize,
+    /// Mid-render state, when captured inside the render phase.
+    render: Option<RenderCheckpoint>,
     taps: TapSnapshot,
 }
 
@@ -108,6 +211,12 @@ impl PipelineCheckpoint {
     /// The frame index the resumed loop starts at.
     pub fn next_frame(&self) -> usize {
         self.next_frame
+    }
+
+    /// Whether this checkpoint was captured inside the render phase
+    /// (after the frame loop completed).
+    pub fn is_render(&self) -> bool {
+        self.render.is_some()
     }
 }
 
@@ -139,7 +248,23 @@ impl VideoSummarizer {
     /// Propagates simulated faults ([`SimError`]) from instrumented
     /// stages; an error-free run over non-degenerate input succeeds.
     pub fn run(&self, frames: &[RgbImage]) -> Result<Summary, SimError> {
-        self.run_inner(frames, None, None)
+        let mut scratch = RunScratch::default();
+        self.run_inner(frames, None, None, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.summary))
+    }
+
+    /// As [`VideoSummarizer::run`], but into a caller-owned workspace:
+    /// the output lands in [`RunScratch::summary`] and every transient
+    /// buffer is recycled from the previous run. Bit-identical to
+    /// [`VideoSummarizer::run`]; allocation-free once `scratch` has
+    /// warmed up.
+    ///
+    /// # Errors
+    ///
+    /// As for [`VideoSummarizer::run`]. On error the workspace stays
+    /// reusable but its summary contents are unspecified.
+    pub fn run_with(&self, frames: &[RgbImage], scratch: &mut RunScratch) -> Result<(), SimError> {
+        self.run_inner(frames, None, None, scratch)
     }
 
     /// Run as [`VideoSummarizer::run`] does — tap-for-tap identical —
@@ -157,8 +282,14 @@ impl VideoSummarizer {
         every_k: usize,
     ) -> Result<(Summary, Vec<PipelineCheckpoint>), SimError> {
         let mut checkpoints = Vec::new();
-        let summary = self.run_inner(frames, None, Some((every_k.max(1), &mut checkpoints)))?;
-        Ok((summary, checkpoints))
+        let mut scratch = RunScratch::default();
+        self.run_inner(
+            frames,
+            None,
+            Some((every_k.max(1), &mut checkpoints)),
+            &mut scratch,
+        )?;
+        Ok((std::mem::take(&mut scratch.summary), checkpoints))
     }
 
     /// Replay only the suffix of a run after `ckpt` — exact for any
@@ -175,7 +306,24 @@ impl VideoSummarizer {
         frames: &[RgbImage],
         ckpt: &PipelineCheckpoint,
     ) -> Result<Summary, SimError> {
-        self.run_inner(frames, Some(ckpt), None)
+        let mut scratch = RunScratch::default();
+        self.run_inner(frames, Some(ckpt), None, &mut scratch)?;
+        Ok(std::mem::take(&mut scratch.summary))
+    }
+
+    /// As [`VideoSummarizer::resume`], but into a caller-owned
+    /// workspace (see [`VideoSummarizer::run_with`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`VideoSummarizer::run`].
+    pub fn resume_with(
+        &self,
+        frames: &[RgbImage],
+        ckpt: &PipelineCheckpoint,
+        scratch: &mut RunScratch,
+    ) -> Result<(), SimError> {
+        self.run_inner(frames, Some(ckpt), None, scratch)
     }
 
     fn run_inner(
@@ -183,25 +331,61 @@ impl VideoSummarizer {
         frames: &[RgbImage],
         resume: Option<&PipelineCheckpoint>,
         mut capture: Option<(usize, &mut Vec<PipelineCheckpoint>)>,
-    ) -> Result<Summary, SimError> {
+        scratch: &mut RunScratch,
+    ) -> Result<(), SimError> {
         let _ctl = tap::scope(FuncId::StitchControl);
+        let fp0 = scratch.footprints();
         let mut stats;
-        let mut segments: Vec<Vec<(usize, Mat3)>>;
-        let mut current: Vec<(usize, Mat3)>;
-        let mut prev: Option<PrevFrame>;
         let mut discard_streak;
         let n;
         let mut i;
+        // Every buffer is reset *before* its first read: a previous run
+        // that was faulted or aborted leaves arbitrary state behind.
         match resume {
             Some(ck) => {
                 vs_telemetry::emit(
                     "checkpoint_restore",
-                    &[("frame", Value::U64(ck.next_frame as u64))],
+                    &[
+                        ("frame", Value::U64(ck.next_frame as u64)),
+                        (
+                            "phase",
+                            Value::Str(if ck.render.is_some() {
+                                "render"
+                            } else {
+                                "frames"
+                            }),
+                        ),
+                    ],
                 );
                 stats = ck.stats;
-                segments = ck.segments.clone();
-                current = ck.current.clone();
-                prev = ck.prev.clone();
+                // Restore the segment lists without shedding capacity:
+                // surplus lists park in the pool, missing ones come back
+                // from it, and each is overwritten element-wise.
+                while scratch.segments.len() > ck.segments.len() {
+                    let mut seg = scratch.segments.pop().expect("len checked");
+                    seg.clear();
+                    scratch.pool.push(seg);
+                }
+                while scratch.segments.len() < ck.segments.len() {
+                    scratch
+                        .segments
+                        .push(scratch.pool.pop().unwrap_or_default());
+                }
+                for (dst, src) in scratch.segments.iter_mut().zip(ck.segments.iter()) {
+                    dst.clear();
+                    dst.extend_from_slice(src);
+                }
+                scratch.current.clear();
+                scratch.current.extend_from_slice(&ck.current);
+                match ck.prev.as_ref() {
+                    Some(p) => {
+                        scratch.prev_features.clone_from(&p.features);
+                        scratch.prev_descriptors.clone_from(&p.descriptors);
+                        scratch.prev_h = p.h_to_anchor;
+                        scratch.prev_some = true;
+                    }
+                    None => scratch.prev_some = false,
+                }
                 discard_streak = ck.discard_streak;
                 // The loop bound was tapped into a control register
                 // *before* the skipped prefix's frames; re-tapping it
@@ -217,9 +401,12 @@ impl VideoSummarizer {
                     frames_in: frames.len(),
                     ..SummaryStats::default()
                 };
-                segments = Vec::new();
-                current = Vec::new();
-                prev = None;
+                while let Some(mut seg) = scratch.segments.pop() {
+                    seg.clear();
+                    scratch.pool.push(seg);
+                }
+                scratch.current.clear();
+                scratch.prev_some = false;
                 discard_streak = 0;
                 // The frame-loop bound lives in a control register.
                 n = tap::ctl(frames.len());
@@ -234,10 +421,15 @@ impl VideoSummarizer {
                     sink.push(PipelineCheckpoint {
                         next_frame: i,
                         stats,
-                        segments: segments.clone(),
-                        current: current.clone(),
-                        prev: prev.clone(),
+                        segments: scratch.segments.clone(),
+                        current: scratch.current.clone(),
+                        prev: scratch.prev_some.then(|| PrevFrame {
+                            features: scratch.prev_features.clone(),
+                            descriptors: scratch.prev_descriptors.clone(),
+                            h_to_anchor: scratch.prev_h,
+                        }),
                         discard_streak,
+                        render: None,
                         taps: session::snapshot(),
                     });
                 }
@@ -257,73 +449,79 @@ impl VideoSummarizer {
                 }
             }
 
-            let gray = decode(frame)?;
-            let features = orb.detect_and_describe(&gray)?;
+            decode_into(frame, &mut scratch.gray)?;
+            orb.detect_and_describe_into(&scratch.gray, &mut scratch.orb, &mut scratch.features)?;
             // How this frame fared, for the per-frame telemetry event.
             let action;
-            let feature_count = features.len();
+            let feature_count = scratch.features.len();
             // Extract the descriptor vector once per accepted frame: it
             // serves as this frame's query side now and, unchanged, as
             // the train side when the next frame matches against it.
-            let descriptors: Vec<Descriptor> = features.iter().map(|f| f.descriptor).collect();
+            scratch.descriptors.clear();
+            scratch
+                .descriptors
+                .extend(scratch.features.iter().map(|f| f.descriptor));
 
-            match prev.as_ref() {
-                None => {
-                    action = "anchor";
-                    current.push((i, Mat3::IDENTITY));
-                    prev = Some(PrevFrame {
-                        features,
-                        descriptors,
-                        h_to_anchor: Mat3::IDENTITY,
-                    });
-                }
-                Some(p) => {
-                    let pairs = self.match_pairs(&features, &descriptors, p)?;
-                    let model = self.estimate_model(&pairs, i, &mut stats)?;
-                    match model {
-                        Some(h_cur_to_prev) => {
-                            let h_to_anchor = p.h_to_anchor * h_cur_to_prev;
-                            if chain_is_sane(&h_to_anchor, gray.width(), gray.height()) {
-                                action = "aligned";
-                                current.push((i, h_to_anchor));
-                                prev = Some(PrevFrame {
-                                    features,
-                                    descriptors,
-                                    h_to_anchor,
-                                });
-                                discard_streak = 0;
-                            } else {
-                                // Accumulated drift became geometrically
-                                // absurd: close the segment and re-anchor.
-                                action = "reanchor";
-                                segments.push(std::mem::take(&mut current));
-                                current.push((i, Mat3::IDENTITY));
-                                prev = Some(PrevFrame {
-                                    features,
-                                    descriptors,
-                                    h_to_anchor: Mat3::IDENTITY,
-                                });
-                                discard_streak = 0;
-                            }
+            if !scratch.prev_some {
+                action = "anchor";
+                scratch.current.push((i, Mat3::IDENTITY));
+                accept_frame(scratch, Mat3::IDENTITY);
+            } else {
+                self.match_pairs_scratch(
+                    &scratch.features,
+                    &scratch.descriptors,
+                    &scratch.prev_features,
+                    &scratch.prev_descriptors,
+                    &mut scratch.downsampled,
+                    &mut scratch.matches,
+                    &mut scratch.pairs,
+                )?;
+                let model = self.estimate_model_scratch(
+                    &scratch.pairs,
+                    i,
+                    &mut stats,
+                    &mut scratch.ransac,
+                )?;
+                match model {
+                    Some(h_cur_to_prev) => {
+                        let h_to_anchor = scratch.prev_h * h_cur_to_prev;
+                        if chain_is_sane(&h_to_anchor, scratch.gray.width(), scratch.gray.height())
+                        {
+                            action = "aligned";
+                            scratch.current.push((i, h_to_anchor));
+                            accept_frame(scratch, h_to_anchor);
+                            discard_streak = 0;
+                        } else {
+                            // Accumulated drift became geometrically
+                            // absurd: close the segment and re-anchor.
+                            action = "reanchor";
+                            close_segment(
+                                &mut scratch.segments,
+                                &mut scratch.current,
+                                &mut scratch.pool,
+                            );
+                            scratch.current.push((i, Mat3::IDENTITY));
+                            accept_frame(scratch, Mat3::IDENTITY);
+                            discard_streak = 0;
                         }
-                        None => {
-                            discard_streak += 1;
-                            if discard_streak > self.config.max_discard_streak {
-                                // Scene change: start a new mini-panorama
-                                // anchored at this frame (not discarded).
-                                action = "segment_break";
-                                segments.push(std::mem::take(&mut current));
-                                current.push((i, Mat3::IDENTITY));
-                                prev = Some(PrevFrame {
-                                    features,
-                                    descriptors,
-                                    h_to_anchor: Mat3::IDENTITY,
-                                });
-                                discard_streak = 0;
-                            } else {
-                                action = "discarded";
-                                stats.frames_discarded += 1;
-                            }
+                    }
+                    None => {
+                        discard_streak += 1;
+                        if discard_streak > self.config.max_discard_streak {
+                            // Scene change: start a new mini-panorama
+                            // anchored at this frame (not discarded).
+                            action = "segment_break";
+                            close_segment(
+                                &mut scratch.segments,
+                                &mut scratch.current,
+                                &mut scratch.pool,
+                            );
+                            scratch.current.push((i, Mat3::IDENTITY));
+                            accept_frame(scratch, Mat3::IDENTITY);
+                            discard_streak = 0;
+                        } else {
+                            action = "discarded";
+                            stats.frames_discarded += 1;
                         }
                     }
                 }
@@ -331,27 +529,100 @@ impl VideoSummarizer {
             emit_frame_event(i, action, feature_count);
             i += 1;
         }
-        if !current.is_empty() {
-            segments.push(current);
+        if !scratch.current.is_empty() {
+            close_segment(
+                &mut scratch.segments,
+                &mut scratch.current,
+                &mut scratch.pool,
+            );
         }
-        segments.retain(|s| !s.is_empty());
-
-        let mut panoramas = Vec::with_capacity(segments.len());
-        let mut panorama_origins = Vec::with_capacity(segments.len());
-        let mut alignments = Vec::new();
-        for (si, seg) in segments.iter().enumerate() {
-            let (img, origin) = render_segment(seg, frames, &self.config.compositing)?;
-            panoramas.push(img);
-            panorama_origins.push(origin);
-            for &(frame, h) in seg {
-                alignments.push(FrameAlignment {
-                    frame,
-                    segment: si,
-                    h_to_anchor: h,
-                });
+        // Drop empty segments (none arise today — every close is
+        // preceded by an anchor push — but the invariant is cheap to
+        // keep). Removed lists go back to the pool, not the allocator.
+        let mut k = 0;
+        while k < scratch.segments.len() {
+            if scratch.segments[k].is_empty() {
+                let seg = scratch.segments.remove(k);
+                scratch.pool.push(seg);
+            } else {
+                k += 1;
             }
         }
-        stats.segments = segments.len();
+
+        let seg_count = scratch.segments.len();
+        scratch.summary.panorama_origins.clear();
+        scratch.summary.alignments.clear();
+        scratch.summary.panoramas.truncate(seg_count);
+        while scratch.summary.panoramas.len() < seg_count {
+            scratch.summary.panoramas.push(RgbImage::default());
+        }
+        // Render fast-forward: a checkpoint captured mid-render carries
+        // the canvas and every finished panorama, so a resumed run
+        // replays only the composites at and after the captured
+        // position. Restores are bit-copies of golden state; the
+        // bounds/reset work they skip is tap-free, keeping the resumed
+        // tap stream exactly on the golden run's.
+        let render_resume = resume.and_then(|ck| ck.render.as_ref());
+        for si in 0..seg_count {
+            if let Some(rc) = render_resume {
+                if si < rc.segment {
+                    scratch.summary.panoramas[si].copy_from(&rc.panoramas[si]);
+                    scratch.summary.panorama_origins.push(rc.origins[si]);
+                    push_alignments(&mut scratch.summary.alignments, &scratch.segments[si], si);
+                    continue;
+                }
+            }
+            let start = match render_resume {
+                Some(rc) if rc.segment == si => {
+                    scratch.canvas.restore_from(&rc.canvas);
+                    rc.pos
+                }
+                _ => {
+                    let bounds = segment_bounds(&scratch.segments[si], frames)?;
+                    scratch.canvas.reset(&bounds)?;
+                    0
+                }
+            };
+            for pos in start..scratch.segments[si].len() {
+                if let Some((every_k, sink)) = capture.as_mut() {
+                    if pos % *every_k == 0 {
+                        sink.push(PipelineCheckpoint {
+                            next_frame: n,
+                            stats,
+                            segments: scratch.segments.clone(),
+                            current: Vec::new(),
+                            prev: None,
+                            discard_streak,
+                            render: Some(RenderCheckpoint {
+                                segment: si,
+                                pos,
+                                canvas: scratch.canvas.clone(),
+                                panoramas: scratch.summary.panoramas[..si].to_vec(),
+                                origins: scratch.summary.panorama_origins.clone(),
+                            }),
+                            taps: session::snapshot(),
+                        });
+                    }
+                }
+                tap::work(OpClass::IntAlu, 50)?;
+                let (idx, h) = scratch.segments[si][pos];
+                let fi = tap::addr(idx);
+                let frame = frames.get(fi).ok_or(SimError::Segfault)?;
+                scratch.canvas.composite_scratch(
+                    frame,
+                    &h,
+                    &self.config.compositing,
+                    &mut scratch.warp,
+                )?;
+            }
+            let origin = scratch
+                .canvas
+                .crop_to_content_into(&mut scratch.summary.panoramas[si])
+                .ok_or(SimError::Abort)?;
+            scratch.summary.panorama_origins.push(origin);
+            push_alignments(&mut scratch.summary.alignments, &scratch.segments[si], si);
+        }
+        stats.segments = seg_count;
         vs_telemetry::emit(
             "summary",
             &[
@@ -369,23 +640,33 @@ impl VideoSummarizer {
                 ("segments", Value::U64(stats.segments as u64)),
             ],
         );
-        Ok(Summary {
-            panoramas,
-            panorama_origins,
-            alignments,
-            stats,
-        })
+        scratch.summary.stats = stats;
+        let fp1 = scratch.footprints();
+        let grown = fp0.iter().zip(fp1.iter()).filter(|(a, b)| b > a).count();
+        vs_telemetry::emit(
+            "scratch_reuse",
+            &[
+                ("reused", Value::U64((SCRATCH_GROUPS - grown) as u64)),
+                ("grown", Value::U64(grown as u64)),
+            ],
+        );
+        Ok(())
     }
 
     /// Match the current frame's features against the previous frame's
-    /// with the configured matcher, returning point pairs (current →
-    /// previous).
-    fn match_pairs(
+    /// with the configured matcher, leaving point pairs (current →
+    /// previous) in `pairs`. All three output buffers are recycled.
+    #[allow(clippy::too_many_arguments)]
+    fn match_pairs_scratch(
         &self,
         current: &[Feature],
         current_descs: &[Descriptor],
-        previous: &PrevFrame,
-    ) -> Result<Vec<(Vec2, Vec2)>, SimError> {
+        prev_features: &[Feature],
+        prev_descs: &[Descriptor],
+        downsampled: &mut Vec<Descriptor>,
+        matches: &mut Vec<Match>,
+        pairs: &mut Vec<(Vec2, Vec2)>,
+    ) -> Result<(), SimError> {
         // VS_KDS: "only perform matching on a fraction (one-third) of
         // the key points" — every kept query point still scans the full
         // train set, cutting the O(n^2) matching cost by the keep
@@ -398,53 +679,53 @@ impl VideoSummarizer {
         // Query role: borrow the frame's descriptor vector outright in
         // the common keep-all case; train role: the previous frame's
         // vector, extracted once when that frame was accepted.
-        let downsampled: Vec<Descriptor>;
         let query: &[Descriptor] = if keep == 1 {
             current_descs
         } else {
-            downsampled = downsample_query(current_descs, keep)
-                .into_iter()
-                .copied()
-                .collect();
-            &downsampled
+            downsampled.clear();
+            downsampled.extend(downsample_query(current_descs, keep).copied());
+            downsampled
         };
-        let train: &[Descriptor] = &previous.descriptors;
-        let matches: Vec<Match> = match self.config.approximation {
+        match self.config.approximation {
             Approximation::Sm { max_distance } => {
-                SimpleMatcher { max_distance }.matches(query, train)?
+                SimpleMatcher { max_distance }.matches_into(query, prev_descs, matches)?;
             }
-            _ => RatioMatcher {
-                ratio: self.config.match_ratio,
+            _ => {
+                RatioMatcher {
+                    ratio: self.config.match_ratio,
+                }
+                .matches_into(query, prev_descs, matches)?;
             }
-            .matches(query, train)?,
-        };
-        Ok(matches
-            .iter()
-            .map(|m| {
-                // Query index `m.query` walks the downsampled stream;
-                // the underlying feature sits at `m.query * keep`.
-                let q = &current[m.query * keep].keypoint;
-                let t = &previous.features[m.train].keypoint;
-                (Vec2::new(q.x, q.y), Vec2::new(t.x, t.y))
-            })
-            .collect())
+        }
+        pairs.clear();
+        pairs.extend(matches.iter().map(|m| {
+            // Query index `m.query` walks the downsampled stream;
+            // the underlying feature sits at `m.query * keep`.
+            let q = &current[m.query * keep].keypoint;
+            let t = &prev_features[m.train].keypoint;
+            (Vec2::new(q.x, q.y), Vec2::new(t.x, t.y))
+        }));
+        Ok(())
     }
 
     /// Homography with affine fallback (§III-A), or `None` to discard.
-    fn estimate_model(
+    fn estimate_model_scratch(
         &self,
         pairs: &[(Vec2, Vec2)],
         frame_index: usize,
         stats: &mut SummaryStats,
+        rs: &mut RansacScratch,
     ) -> Result<Option<Mat3>, SimError> {
         let seed = self
             .config
             .seed
             .wrapping_add((frame_index as u64).wrapping_mul(0x9e37_79b9));
         if pairs.len() >= self.config.min_matches_homography {
-            if let Some(fit) = ransac::estimate_homography(pairs, &self.config.ransac, seed)? {
+            if let Some(model) =
+                ransac::estimate_homography_scratch(pairs, &self.config.ransac, seed, rs)?
+            {
                 stats.homographies += 1;
-                return Ok(Some(stabilize(fit.model)));
+                return Ok(Some(stabilize(model)));
             }
         }
         if pairs.len() >= self.config.min_matches_affine {
@@ -452,13 +733,38 @@ impl VideoSummarizer {
                 min_inliers: self.config.min_matches_affine.max(4),
                 ..self.config.ransac
             };
-            if let Some(fit) = ransac::estimate_affine(pairs, &affine_cfg, seed ^ 0xaff1)? {
+            if let Some(model) =
+                ransac::estimate_affine_scratch(pairs, &affine_cfg, seed ^ 0xaff1, rs)?
+            {
                 stats.affine_fallbacks += 1;
-                return Ok(Some(fit.model));
+                return Ok(Some(model));
             }
         }
         Ok(None)
     }
+}
+
+/// Hand the just-processed frame's features to the `prev_*` slots by
+/// swapping buffers: the displaced previous-frame vectors become next
+/// frame's (cleared-before-use) scratch, keeping their capacity.
+fn accept_frame(s: &mut RunScratch, h_to_anchor: Mat3) {
+    std::mem::swap(&mut s.features, &mut s.prev_features);
+    std::mem::swap(&mut s.descriptors, &mut s.prev_descriptors);
+    s.prev_h = h_to_anchor;
+    s.prev_some = true;
+}
+
+/// Move `current` into `segments`, replacing it with a recycled (or
+/// fresh) empty list. The pool exists because `mem::take` would hand
+/// `current` a capacity-less vector, reintroducing steady-state growth.
+fn close_segment(
+    segments: &mut Vec<Vec<(usize, Mat3)>>,
+    current: &mut Vec<(usize, Mat3)>,
+    pool: &mut Vec<Vec<(usize, Mat3)>>,
+) {
+    let mut fresh = pool.pop().unwrap_or_default();
+    std::mem::swap(&mut fresh, current);
+    segments.push(fresh);
 }
 
 /// One per-frame telemetry event (no-op without an installed sink).
@@ -493,18 +799,21 @@ fn stabilize(h: Mat3) -> Mat3 {
 
 /// Keep every `keep`-th item for the KDS query side. `keep` of 0 is
 /// treated as 1 (keep everything); a `keep` beyond the input length
-/// keeps only the first item.
-fn downsample_query<T>(items: &[T], keep: usize) -> Vec<&T> {
-    items.iter().step_by(keep.max(1)).collect()
+/// keeps only the first item. Lazy, so the caller can collect into a
+/// recycled buffer.
+fn downsample_query<T>(items: &[T], keep: usize) -> impl Iterator<Item = &T> {
+    items.iter().step_by(keep.max(1))
 }
 
-/// Decode a frame: RGB → grayscale with instruction accounting.
-fn decode(frame: &RgbImage) -> Result<GrayImage, SimError> {
+/// Decode a frame: RGB → grayscale with instruction accounting, into a
+/// recycled gray plane.
+fn decode_into(frame: &RgbImage, out: &mut GrayImage) -> Result<(), SimError> {
     let _f = tap::scope(FuncId::Decode);
     let px = (frame.width() * frame.height()) as u64;
     tap::work(OpClass::Mem, 4 * px)?;
     tap::work(OpClass::IntAlu, 5 * px)?;
-    Ok(frame.to_gray())
+    frame.to_gray_into(out);
+    Ok(())
 }
 
 /// Is the chained transform still geometrically plausible? Guards
@@ -518,13 +827,10 @@ fn chain_is_sane(h: &Mat3, w: usize, ht: usize) -> bool {
     area_out.is_finite() && area_out > area_in * 0.05 && area_out < area_in * 30.0
 }
 
-/// Stitch one segment into a mini-panorama, returning the image and the
-/// anchor-frame coordinate of its pixel `(0, 0)`.
-fn render_segment(
-    segment: &[(usize, Mat3)],
-    frames: &[RgbImage],
-    compositing: &CompositeOptions,
-) -> Result<(RgbImage, Vec2), SimError> {
+/// Union of the transformed bounds of every frame in a segment — the
+/// canvas extent of its mini-panorama. Tap-free on purpose: render
+/// checkpoint restores skip it without shifting the tap stream.
+fn segment_bounds(segment: &[(usize, Mat3)], frames: &[RgbImage]) -> Result<Bounds, SimError> {
     let mut bounds: Option<Bounds> = None;
     for (idx, h) in segment {
         let frame = frames.get(*idx).ok_or(SimError::Segfault)?;
@@ -534,18 +840,18 @@ fn render_segment(
             Some(b) => b.union(&fb),
         });
     }
-    let bounds = bounds.ok_or(SimError::Abort)?;
-    let mut canvas = Canvas::new(&bounds)?;
-    {
-        let _f = tap::scope(FuncId::StitchControl);
-        for (idx, h) in segment {
-            tap::work(OpClass::IntAlu, 50)?;
-            let fi = tap::addr(*idx);
-            let frame = frames.get(fi).ok_or(SimError::Segfault)?;
-            canvas.composite_with(frame, h, compositing)?;
-        }
+    bounds.ok_or(SimError::Abort)
+}
+
+/// Record the alignment of every frame in a segment.
+fn push_alignments(out: &mut Vec<FrameAlignment>, segment: &[(usize, Mat3)], si: usize) {
+    for &(frame, h) in segment {
+        out.push(FrameAlignment {
+            frame,
+            segment: si,
+            h_to_anchor: h,
+        });
     }
-    canvas.crop_to_content_with_origin().ok_or(SimError::Abort)
 }
 
 #[cfg(test)]
@@ -711,16 +1017,69 @@ mod tests {
     fn downsample_query_edge_cases() {
         let items: Vec<u32> = (0..10).collect();
         // keep == 0 is treated as keep-everything (step 1), not a panic.
-        let all: Vec<u32> = downsample_query(&items, 0).into_iter().copied().collect();
+        let all: Vec<u32> = downsample_query(&items, 0).copied().collect();
         assert_eq!(all, items);
-        let every: Vec<u32> = downsample_query(&items, 1).into_iter().copied().collect();
+        let every: Vec<u32> = downsample_query(&items, 1).copied().collect();
         assert_eq!(every, items);
         // keep > len degenerates to just the first item.
-        let first: Vec<u32> = downsample_query(&items, 100).into_iter().copied().collect();
+        let first: Vec<u32> = downsample_query(&items, 100).copied().collect();
         assert_eq!(first, vec![0]);
-        let thirds: Vec<u32> = downsample_query(&items, 3).into_iter().copied().collect();
+        let thirds: Vec<u32> = downsample_query(&items, 3).copied().collect();
         assert_eq!(thirds, vec![0, 3, 6, 9]);
-        assert!(downsample_query::<u32>(&[], 4).is_empty());
+        assert!(downsample_query::<u32>(&[], 4).next().is_none());
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_and_footprint_stable() {
+        let frames = quick_input2(8);
+        let vs = VideoSummarizer::new(PipelineConfig::default());
+        let fresh = vs.run(&frames).unwrap();
+        let mut scratch = RunScratch::default();
+        // Swapped buffer pairs (features/prev_features, RANSAC inlier
+        // lists) reach their high-water marks only once each buffer has
+        // served every role, so warm up for a few runs first.
+        for _ in 0..3 {
+            vs.run_with(&frames, &mut scratch).unwrap();
+            assert_eq!(*scratch.summary(), fresh);
+        }
+        let warmed = scratch.footprint();
+        assert!(warmed > 0);
+        for _ in 0..3 {
+            vs.run_with(&frames, &mut scratch).unwrap();
+            assert_eq!(*scratch.summary(), fresh);
+            assert_eq!(
+                scratch.footprint(),
+                warmed,
+                "steady-state run must not grow any buffer"
+            );
+        }
+        // A dirtied workspace (different input) must not leak state into
+        // the next run.
+        vs.run_with(&quick_input1(5), &mut scratch).unwrap();
+        vs.run_with(&frames, &mut scratch).unwrap();
+        assert_eq!(*scratch.summary(), fresh);
+    }
+
+    #[test]
+    fn workspace_resume_matches_allocating_resume() {
+        let frames = quick_input2(8);
+        let vs = VideoSummarizer::new(PipelineConfig::default());
+        let ckpts = {
+            let _g = session::begin_profile();
+            vs.run_capturing(&frames, 3).unwrap().1
+        };
+        let mut scratch = RunScratch::default();
+        // Dirty the workspace with a full run first, then resume into it.
+        vs.run_with(&frames, &mut scratch).unwrap();
+        for ck in &ckpts {
+            let fresh = {
+                let _g = session::begin_profile_at(ck.tap_snapshot());
+                vs.resume(&frames, ck).unwrap()
+            };
+            let _g = session::begin_profile_at(ck.tap_snapshot());
+            vs.resume_with(&frames, ck, &mut scratch).unwrap();
+            assert_eq!(*scratch.summary(), fresh);
+        }
     }
 
     #[test]
@@ -732,7 +1091,10 @@ mod tests {
             let (s, c) = vs.run_capturing(&frames, 3).unwrap();
             (s, c, session::report())
         };
-        assert!(!ckpts.is_empty(), "8 frames at k=3 must capture checkpoints");
+        assert!(
+            !ckpts.is_empty(),
+            "8 frames at k=3 must capture checkpoints"
+        );
         // Capturing must not perturb the run itself.
         assert_eq!(golden, vs.run(&frames).unwrap());
         for ck in &ckpts {
@@ -757,9 +1119,46 @@ mod tests {
     fn checkpoint_capture_respects_interval() {
         let frames = quick_input2(9);
         let vs = VideoSummarizer::new(PipelineConfig::default());
-        let (_, ckpts) = vs.run_capturing(&frames, 4).unwrap();
-        let at: Vec<usize> = ckpts.iter().map(|c| c.next_frame()).collect();
-        assert_eq!(at, vec![4, 8]);
+        let (summary, ckpts) = vs.run_capturing(&frames, 4).unwrap();
+        let frame_at: Vec<usize> = ckpts
+            .iter()
+            .filter(|c| !c.is_render())
+            .map(|c| c.next_frame())
+            .collect();
+        assert_eq!(frame_at, vec![4, 8]);
+        // Render checkpoints: one every 4 composites, all after the frame
+        // loop, and monotone in the tap stream.
+        let renders: Vec<&PipelineCheckpoint> = ckpts.iter().filter(|c| c.is_render()).collect();
+        let composites: usize = summary.alignments.len();
+        assert_eq!(
+            renders.len(),
+            summary
+                .panoramas
+                .iter()
+                .enumerate()
+                .map(|(si, _)| {
+                    let in_seg = summary
+                        .alignments
+                        .iter()
+                        .filter(|a| a.segment == si)
+                        .count();
+                    in_seg.div_ceil(4)
+                })
+                .sum::<usize>(),
+            "one render checkpoint per 4 composites ({composites} total)"
+        );
+        for r in &renders {
+            assert_eq!(
+                r.next_frame(),
+                9,
+                "render checkpoints follow the frame loop"
+            );
+        }
+        let taps: Vec<u64> = ckpts.iter().map(|c| c.tap_snapshot().gpr_taps).collect();
+        assert!(
+            taps.windows(2).all(|w| w[0] <= w[1]),
+            "checkpoint order: {taps:?}"
+        );
     }
 
     #[test]
@@ -772,6 +1171,10 @@ mod tests {
             + s.stats.homographies
             + s.stats.affine_fallbacks
             + s.stats.segments; // each segment has one anchor frame
-        assert_eq!(accounted, s.stats.frames_in, "stats must partition frames: {:?}", s.stats);
+        assert_eq!(
+            accounted, s.stats.frames_in,
+            "stats must partition frames: {:?}",
+            s.stats
+        );
     }
 }

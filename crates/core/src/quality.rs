@@ -153,7 +153,11 @@ pub fn sdc_quality(golden: &RgbImage, faulty: &RgbImage) -> SdcQuality {
     }
     if golden_sq_sum <= 0.0 {
         // A black golden image: any difference is egregious.
-        return SdcQuality::from_norm(if diff_sq_sum > 0.0 { f64::INFINITY } else { 0.0 });
+        return SdcQuality::from_norm(if diff_sq_sum > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        });
     }
     SdcQuality::from_norm(100.0 * (diff_sq_sum.sqrt() / golden_sq_sum.sqrt()))
 }
@@ -213,7 +217,11 @@ mod tests {
         let a = textured(2, 64, 48);
         let b = RgbImage::from_fn(64, 48, |x, y| {
             let p = a.get(x, y).unwrap();
-            [p[0].saturating_add(40), p[1].saturating_add(40), p[2].saturating_add(40)]
+            [
+                p[0].saturating_add(40),
+                p[1].saturating_add(40),
+                p[2].saturating_add(40),
+            ]
         });
         let q = sdc_quality(&a, &b);
         assert_eq!(q.ed, Some(0), "sub-threshold changes must be free: {q:?}");
@@ -239,17 +247,12 @@ mod tests {
         // The same content shifted by 4 pixels: after alignment the norm
         // must be far below the unaligned norm.
         let a = textured(5, 96, 96);
-        let shifted = RgbImage::from_fn(96, 96, |x, y| {
-            a.get_clamped(x as isize - 4, y as isize - 4)
-        });
+        let shifted =
+            RgbImage::from_fn(96, 96, |x, y| a.get_clamped(x as isize - 4, y as isize - 4));
         let q = sdc_quality(&a, &shifted);
         // Without registration nearly every pixel of this hash texture
         // would differ by >128 somewhere; with it the norm stays small.
-        assert!(
-            q.relative_l2_norm < 30.0,
-            "registration failed: {:?}",
-            q
-        );
+        assert!(q.relative_l2_norm < 30.0, "registration failed: {:?}", q);
     }
 
     #[test]

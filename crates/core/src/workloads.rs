@@ -2,8 +2,8 @@
 //! standalone `WP` hot-function toy benchmark of §V-C.
 
 use crate::config::PipelineConfig;
-use crate::pipeline::{PipelineCheckpoint, VideoSummarizer};
-use vs_fault::campaign::{Checkpointed, Workload};
+use crate::pipeline::{PipelineCheckpoint, RunScratch, VideoSummarizer};
+use vs_fault::campaign::{Checkpointed, ScratchCheckpointed, ScratchWorkload, Workload};
 use vs_fault::session::TapSnapshot;
 use vs_fault::SimError;
 use vs_image::RgbImage;
@@ -78,6 +78,46 @@ impl Checkpointed for VsWorkload {
 
     fn tap_snapshot(ckpt: &PipelineCheckpoint) -> &TapSnapshot {
         ckpt.tap_snapshot()
+    }
+}
+
+/// Per-worker workspace for [`VsWorkload`] campaigns: the summarizer is
+/// built once (its config never changes between runs) and the pipeline's
+/// [`RunScratch`] recycles every transient buffer across runs.
+pub struct VsScratch {
+    summarizer: VideoSummarizer,
+    scratch: RunScratch,
+}
+
+impl VsScratch {
+    /// The pipeline workspace (for footprint inspection in benchmarks).
+    pub fn pipeline_scratch(&self) -> &RunScratch {
+        &self.scratch
+    }
+}
+
+impl ScratchWorkload for VsWorkload {
+    type Scratch = VsScratch;
+
+    fn make_scratch(&self) -> VsScratch {
+        VsScratch {
+            summarizer: VideoSummarizer::new(self.config.clone()),
+            scratch: RunScratch::default(),
+        }
+    }
+
+    fn run_scratch(&self, s: &mut VsScratch) -> Result<(), SimError> {
+        s.summarizer.run_with(&self.frames, &mut s.scratch)
+    }
+
+    fn scratch_output<'s>(&self, s: &'s VsScratch) -> &'s Vec<RgbImage> {
+        &s.scratch.summary().panoramas
+    }
+}
+
+impl ScratchCheckpointed for VsWorkload {
+    fn resume_scratch(&self, ckpt: &PipelineCheckpoint, s: &mut VsScratch) -> Result<(), SimError> {
+        s.summarizer.resume_with(&self.frames, ckpt, &mut s.scratch)
     }
 }
 
@@ -220,9 +260,12 @@ mod tests {
     fn vs_checkpointed_campaign_matches_scratch_campaign() {
         use vs_fault::campaign::CheckpointPolicy;
         let w = VsWorkload::new(tiny_frames(), PipelineConfig::default());
-        let ck = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(1))
-            .unwrap();
-        assert!(!ck.checkpoints.is_empty(), "4 frames at k=1 must checkpoint");
+        let ck =
+            campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(1)).unwrap();
+        assert!(
+            !ck.checkpoints.is_empty(),
+            "4 frames at k=1 must checkpoint"
+        );
         let scratch = campaign::run_campaign(
             &w,
             &ck.golden,
@@ -234,7 +277,10 @@ mod tests {
                 .threads(threads)
                 .checkpoint_policy(CheckpointPolicy::EveryKFrames(1));
             let fast = campaign::run_campaign_checkpointed(&w, &ck, &cfg);
-            let a: Vec<_> = scratch.iter().map(|r| (r.spec, r.outcome, r.fired)).collect();
+            let a: Vec<_> = scratch
+                .iter()
+                .map(|r| (r.spec, r.outcome, r.fired))
+                .collect();
             let b: Vec<_> = fast.iter().map(|r| (r.spec, r.outcome, r.fired)).collect();
             assert_eq!(a, b, "threads {threads}");
         }

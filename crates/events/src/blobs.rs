@@ -188,13 +188,7 @@ mod proptests {
         for case in 0..128u64 {
             let density = rng.gen_range(0.05f64..0.95);
             let pixels: Vec<bool> = (0..144).map(|_| rng.gen_bool(density)).collect();
-            let mask = GrayImage::from_fn(12, 12, |x, y| {
-                if pixels[y * 12 + x] {
-                    255
-                } else {
-                    0
-                }
-            });
+            let mask = GrayImage::from_fn(12, 12, |x, y| if pixels[y * 12 + x] { 255 } else { 0 });
             let blobs = connected_components(&mask, 1).unwrap();
             let total: usize = blobs.iter().map(|b| b.area).sum();
             let set = pixels.iter().filter(|&&p| p).count();

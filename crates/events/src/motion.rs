@@ -73,8 +73,7 @@ pub fn detect_motion(
     h_cur_to_prev: &Mat3,
     config: &MotionConfig,
 ) -> Result<GrayImage, SimError> {
-    let (aligned, coverage) =
-        warp_perspective(cur, h_cur_to_prev, prev.width(), prev.height())?;
+    let (aligned, coverage) = warp_perspective(cur, h_cur_to_prev, prev.width(), prev.height())?;
     let _f = tap::scope(FuncId::DetectMotion);
     let prev_gray = prev.to_gray();
     let aligned_gray = aligned.to_gray();

@@ -93,9 +93,7 @@ impl Tracker {
                     continue;
                 }
                 let dist = last.distance(p);
-                if dist <= self.config.gate_radius
-                    && best.is_none_or(|(_, bd)| dist < bd)
-                {
+                if dist <= self.config.gate_radius && best.is_none_or(|(_, bd)| dist < bd) {
                     best = Some((d, dist));
                 }
             }

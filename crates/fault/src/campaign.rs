@@ -86,6 +86,59 @@ pub trait Checkpointed: Workload {
     fn tap_snapshot(ckpt: &Self::Checkpoint) -> &TapSnapshot;
 }
 
+/// A [`Workload`] that can execute into a reusable per-worker workspace
+/// instead of allocating its transient state afresh every run.
+///
+/// Campaign drivers create one workspace per worker thread
+/// ([`ScratchWorkload::make_scratch`]) and feed it to every run that
+/// worker executes; once the workspace has grown to the workload's
+/// high-water mark, steady-state injection runs perform no heap
+/// allocation. The contract mirrors [`Workload::run`] exactly: for any
+/// armed fault, `run_scratch` must produce the same tap stream, the same
+/// error, and (via [`ScratchWorkload::scratch_output`]) the same output
+/// as `run` — workspace reuse is an optimization, never an observable.
+///
+/// A faulted, panicked or aborted run may leave the workspace in an
+/// arbitrary state; implementations must reset every buffer before its
+/// first read on the next run.
+pub trait ScratchWorkload: Workload {
+    /// The reusable workspace (one per worker thread).
+    type Scratch;
+
+    /// Create a cold workspace. Called once per worker, outside any
+    /// injection session.
+    fn make_scratch(&self) -> Self::Scratch;
+
+    /// Execute the program once into `scratch`, leaving the output
+    /// readable via [`ScratchWorkload::scratch_output`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Workload::run`].
+    fn run_scratch(&self, scratch: &mut Self::Scratch) -> Result<(), SimError>;
+
+    /// The output of the last successful [`ScratchWorkload::run_scratch`]
+    /// (or [`ScratchCheckpointed::resume_scratch`]) on this workspace.
+    fn scratch_output<'s>(&self, scratch: &'s Self::Scratch) -> &'s Self::Output;
+}
+
+/// A [`ScratchWorkload`] whose checkpoint-resume path can also execute
+/// into the reusable workspace. Same exactness contract as
+/// [`Checkpointed::resume`], same reuse contract as
+/// [`ScratchWorkload::run_scratch`].
+pub trait ScratchCheckpointed: ScratchWorkload + Checkpointed {
+    /// Execute only the suffix after `ckpt`, into `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Workload::run`].
+    fn resume_scratch(
+        &self,
+        ckpt: &Self::Checkpoint,
+        scratch: &mut Self::Scratch,
+    ) -> Result<(), SimError>;
+}
+
 /// When the golden profiler captures resumable checkpoints.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum CheckpointPolicy {
@@ -173,14 +226,24 @@ pub fn profile_golden_masked<W: Workload>(
     Ok(golden_from_report(output, &report, mask))
 }
 
-fn golden_from_report<O>(output: O, report: &session::SessionReport, mask: FuncMask) -> GoldenRun<O> {
+fn golden_from_report<O>(
+    output: O,
+    report: &session::SessionReport,
+    mask: FuncMask,
+) -> GoldenRun<O> {
     vs_telemetry::emit(
         "golden_profile",
         &[
             ("gpr_taps", vs_telemetry::Value::U64(report.gpr_taps)),
             ("fpr_taps", vs_telemetry::Value::U64(report.fpr_taps)),
-            ("eligible_gpr", vs_telemetry::Value::U64(report.eligible_gpr)),
-            ("eligible_fpr", vs_telemetry::Value::U64(report.eligible_fpr)),
+            (
+                "eligible_gpr",
+                vs_telemetry::Value::U64(report.eligible_gpr),
+            ),
+            (
+                "eligible_fpr",
+                vs_telemetry::Value::U64(report.eligible_fpr),
+            ),
             ("instr_total", vs_telemetry::Value::U64(report.instr.total)),
         ],
     );
@@ -442,10 +505,16 @@ fn run_one<W: Workload>(
 }
 
 /// Execute one injected run fast-forwarded from `ckpt` (or from scratch
-/// when `None`) and classify its outcome. Exactness rests on the
-/// [`Checkpointed`] contract: the skipped prefix is bit-identical to the
-/// golden run because the armed fault lies beyond the checkpoint.
-fn run_one_from<W: Checkpointed>(
+/// when `None`) into a reusable per-worker workspace, and classify its
+/// outcome. Exactness rests on the [`Checkpointed`] and
+/// [`ScratchWorkload`] contracts: the skipped prefix is bit-identical to
+/// the golden run because the armed fault lies beyond the checkpoint,
+/// and workspace reuse never changes the tap stream or output.
+///
+/// Classification compares the output *borrowed* from the workspace;
+/// only SDC outcomes (when retained) pay for a clone.
+#[allow(clippy::too_many_arguments)]
+fn run_one_from_scratch<W: ScratchCheckpointed>(
     workload: &W,
     golden: &GoldenRun<W::Output>,
     ckpt: Option<&W::Checkpoint>,
@@ -453,20 +522,37 @@ fn run_one_from<W: Checkpointed>(
     budget: u64,
     keep_sdc: bool,
     index: usize,
-) -> Injection<W::Output> {
+    scratch: &mut W::Scratch,
+) -> Injection<W::Output>
+where
+    W::Output: Clone,
+{
     let guard = match ckpt {
         Some(c) => session::begin_injection_at(spec, golden.mask, budget, W::tap_snapshot(c)),
         None => session::begin_injection(spec, golden.mask, budget),
     };
     state::with(|s| s.in_injection.set(true));
     let result = panic::catch_unwind(AssertUnwindSafe(|| match ckpt {
-        Some(c) => workload.resume(c),
-        None => workload.run(),
+        Some(c) => workload.resume_scratch(c, &mut *scratch),
+        None => workload.run_scratch(&mut *scratch),
     }));
     state::with(|s| s.in_injection.set(false));
     let fired = session::report().fired;
     drop(guard);
-    let (outcome, sdc_output) = classify(result, &golden.output, keep_sdc);
+    let (outcome, sdc_output) = match result {
+        Err(_) => (Outcome::CrashSegfault, None),
+        Ok(Err(SimError::Segfault)) => (Outcome::CrashSegfault, None),
+        Ok(Err(SimError::Abort)) => (Outcome::CrashAbort, None),
+        Ok(Err(SimError::Hang)) => (Outcome::Hang, None),
+        Ok(Ok(())) => {
+            let out = workload.scratch_output(scratch);
+            if *out == golden.output {
+                (Outcome::Masked, None)
+            } else {
+                (Outcome::Sdc, keep_sdc.then(|| out.clone()))
+            }
+        }
+    };
     Injection {
         index,
         spec,
@@ -477,20 +563,29 @@ fn run_one_from<W: Checkpointed>(
 }
 
 /// Thread-striped parallel driver shared by the campaign variants: run
-/// `run(i)` for every `i < n` across `threads` workers, with worker `t`
-/// taking indices `t, t + threads, ...` — results land by index, so the
-/// output order is deterministic regardless of thread count.
-fn drive<T: Send>(n: usize, threads: usize, run: impl Fn(usize) -> T + Sync) -> Vec<T> {
+/// `run(i, state)` for every `i < n` across `threads` workers, with
+/// worker `t` taking indices `t, t + threads, ...` — results land by
+/// index, so the output order is deterministic regardless of thread
+/// count. Each worker owns one `init()`-created state for its whole
+/// stripe (the per-worker workspace of [`ScratchWorkload`] drivers).
+fn drive_with<T: Send, S>(
+    n: usize,
+    threads: usize,
+    init: impl Fn() -> S + Sync,
+    run: impl Fn(usize, &mut S) -> T + Sync,
+) -> Vec<T> {
     let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
     std::thread::scope(|scope| {
         for t in 0..threads {
             let results = &results;
             let run = &run;
+            let init = &init;
             scope.spawn(move || {
-                let mut local = Vec::new();
+                let mut state = init();
+                let mut local = Vec::with_capacity(n.div_ceil(threads.max(1)));
                 let mut i = t;
                 while i < n {
-                    local.push((i, run(i)));
+                    local.push((i, run(i, &mut state)));
                     i += threads;
                 }
                 let mut slots = results.lock().expect("campaign result mutex poisoned");
@@ -506,6 +601,11 @@ fn drive<T: Send>(n: usize, threads: usize, run: impl Fn(usize) -> T + Sync) -> 
         .into_iter()
         .map(|slot| slot.expect("every injection slot must be filled"))
         .collect()
+}
+
+/// [`drive_with`] without per-worker state.
+fn drive<T: Send>(n: usize, threads: usize, run: impl Fn(usize) -> T + Sync) -> Vec<T> {
+    drive_with(n, threads, || (), |i, ()| run(i))
 }
 
 /// Run a fault-injection campaign against `workload`.
@@ -549,24 +649,30 @@ pub fn run_campaign<W: Workload>(
     records
 }
 
-/// Run a fault-injection campaign with golden-prefix fast-forward: each
-/// injected run starts from the latest checkpoint whose eligible-tap
-/// count does not exceed the drawn fault's tap index (or from scratch if
-/// none qualifies).
+/// Run a fault-injection campaign with golden-prefix fast-forward and
+/// per-worker workspace reuse: each injected run starts from the latest
+/// checkpoint whose eligible-tap count does not exceed the drawn fault's
+/// tap index (or from scratch if none qualifies), and executes into its
+/// worker's [`ScratchWorkload`] workspace — so after a worker's first
+/// few runs, steady-state execution allocates nothing.
 ///
 /// Classification is bit-for-bit identical to [`run_campaign`] on the
 /// same seed — same specs, same outcomes, same fired faults — because
-/// the skipped prefix of every run is identical to the golden run.
+/// the skipped prefix of every run is identical to the golden run and
+/// workspace reuse is contract-bound to be unobservable.
 ///
 /// # Panics
 ///
 /// Panics if the golden profile recorded zero eligible taps for the
 /// campaign's register class.
-pub fn run_campaign_checkpointed<W: Checkpointed>(
+pub fn run_campaign_checkpointed<W: ScratchCheckpointed>(
     workload: &W,
     golden: &CheckpointedGolden<W>,
     cfg: &CampaignConfig,
-) -> Vec<Injection<W::Output>> {
+) -> Vec<Injection<W::Output>>
+where
+    W::Output: Clone,
+{
     let g = &golden.golden;
     let sites = g.profile.sites(cfg.class);
     assert!(
@@ -585,16 +691,30 @@ pub fn run_campaign_checkpointed<W: Checkpointed>(
     let n = cfg.injections;
     let threads = cfg.threads.min(n.max(1));
     let monitor = crate::telemetry::CampaignMonitor::new(cfg, sites, golden.checkpoints.len());
-    let records = drive(n, threads, |i| {
-        let spec = draw_spec(cfg, sites, i);
-        let usable = golden
-            .checkpoints
-            .partition_point(|c| W::tap_snapshot(c).eligible(cfg.class) <= spec.tap_index);
-        let ckpt = usable.checked_sub(1).map(|j| &golden.checkpoints[j]);
-        let rec = run_one_from(workload, g, ckpt, spec, budget, cfg.keep_sdc_outputs, i);
-        monitor.record(&rec);
-        rec
-    });
+    let records = drive_with(
+        n,
+        threads,
+        || workload.make_scratch(),
+        |i, scratch| {
+            let spec = draw_spec(cfg, sites, i);
+            let usable = golden
+                .checkpoints
+                .partition_point(|c| W::tap_snapshot(c).eligible(cfg.class) <= spec.tap_index);
+            let ckpt = usable.checked_sub(1).map(|j| &golden.checkpoints[j]);
+            let rec = run_one_from_scratch(
+                workload,
+                g,
+                ckpt,
+                spec,
+                budget,
+                cfg.keep_sdc_outputs,
+                i,
+                scratch,
+            );
+            monitor.record(&rec);
+            rec
+        },
+    );
     monitor.finish();
     records
 }
@@ -667,16 +787,16 @@ mod tests {
         let recs = run_campaign(&Toy, &g, &cfg);
         assert_eq!(recs.len(), 300);
         let crashes = recs.iter().filter(|r| r.outcome.is_crash()).count();
-        let masked = recs
-            .iter()
-            .filter(|r| r.outcome == Outcome::Masked)
-            .count();
+        let masked = recs.iter().filter(|r| r.outcome == Outcome::Masked).count();
         assert!(crashes > 0, "address faults must produce some crashes");
         assert!(masked > 0, "low bits of control values must mask sometimes");
         // Every fired fault must be recorded.
         for r in &recs {
             if r.outcome != Outcome::Masked {
-                assert!(r.fired.is_some(), "non-masked outcome without a fired fault");
+                assert!(
+                    r.fired.is_some(),
+                    "non-masked outcome without a fired fault"
+                );
             }
         }
     }
@@ -786,11 +906,38 @@ mod tests {
         }
     }
 
+    impl ScratchWorkload for Toy {
+        type Scratch = Option<(u64, u64)>;
+
+        fn make_scratch(&self) -> Self::Scratch {
+            None
+        }
+
+        fn run_scratch(&self, scratch: &mut Self::Scratch) -> Result<(), SimError> {
+            *scratch = Some(self.run()?);
+            Ok(())
+        }
+
+        fn scratch_output<'s>(&self, scratch: &'s Self::Scratch) -> &'s (u64, u64) {
+            scratch.as_ref().expect("read only after a successful run")
+        }
+    }
+
+    impl ScratchCheckpointed for Toy {
+        fn resume_scratch(
+            &self,
+            ckpt: &ToyCheckpoint,
+            scratch: &mut Self::Scratch,
+        ) -> Result<(), SimError> {
+            *scratch = Some(self.resume(ckpt)?);
+            Ok(())
+        }
+    }
+
     #[test]
     fn checkpointed_profile_matches_plain_profile() {
         let plain = profile_golden(&Toy).unwrap();
-        let ck =
-            profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(10)).unwrap();
+        let ck = profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(10)).unwrap();
         assert_eq!(ck.golden.output, plain.output);
         assert_eq!(ck.golden.profile, plain.profile);
         assert_eq!(ck.checkpoints.len(), 6, "64 iterations / 10 (skipping i=0)");
@@ -813,8 +960,7 @@ mod tests {
     #[test]
     fn checkpointed_campaign_is_outcome_identical() {
         let plain = profile_golden(&Toy).unwrap();
-        let ck =
-            profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(7)).unwrap();
+        let ck = profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(7)).unwrap();
         for class in [RegClass::Gpr, RegClass::Fpr] {
             let reference = run_campaign(
                 &Toy,
@@ -906,7 +1052,12 @@ mod tests {
             .events()
             .iter()
             .filter(|e| e.name == "injection")
-            .map(|e| (e.u64("index").unwrap(), e.str("outcome").unwrap().to_string()))
+            .map(|e| {
+                (
+                    e.u64("index").unwrap(),
+                    e.str("outcome").unwrap().to_string(),
+                )
+            })
             .collect();
         seen.sort();
         for (i, (idx, outcome)) in seen.iter().enumerate() {
@@ -930,8 +1081,7 @@ mod tests {
         let sink = std::sync::Arc::new(vs_telemetry::MemorySink::new());
         let observed = {
             let _g = vs_telemetry::install(sink.clone());
-            let ck =
-                profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(9)).unwrap();
+            let ck = profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(9)).unwrap();
             assert_eq!(ck.golden.profile, quiet_ck.golden.profile);
             run_campaign_checkpointed(&Toy, &ck, &cfg)
         };

@@ -70,13 +70,20 @@ mod tests {
 
     #[test]
     fn csv_has_header_and_rows() {
-        let csv = records_to_csv(&[rec(Outcome::CrashSegfault, true), rec(Outcome::Masked, false)]);
+        let csv = records_to_csv(&[
+            rec(Outcome::CrashSegfault, true),
+            rec(Outcome::Masked, false),
+        ]);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 3);
         assert_eq!(lines[0], RECORD_CSV_HEADER);
         assert!(lines[1].contains("crash_segfault"));
         assert!(lines[1].contains("remap_bilinear"));
-        assert!(lines[2].ends_with(",,,"), "unfired fault must leave fields empty: {}", lines[2]);
+        assert!(
+            lines[2].ends_with(",,,"),
+            "unfired fault must leave fields empty: {}",
+            lines[2]
+        );
     }
 
     #[test]

@@ -63,8 +63,8 @@ pub mod func;
 pub mod pruning;
 pub mod session;
 pub mod spec;
-pub mod stats;
 mod state;
+pub mod stats;
 pub mod tap;
 mod telemetry;
 

@@ -149,7 +149,12 @@ pub fn run_pruned_campaign<W: Workload>(
             let bit = (mix64(h ^ 0xb17) % REG_BITS as u64) as u8;
             let spec = FaultSpec::new(RegClass::Gpr, tap_index, bit);
             records.push(run_one_grouped(
-                workload, golden, spec, *group, budget, injections + p,
+                workload,
+                golden,
+                spec,
+                *group,
+                budget,
+                injections + p,
             ));
         }
         injections += records.len();
@@ -348,8 +353,7 @@ mod tests {
     fn weighted_rates_sum_to_one_hundred() {
         let g = profile_golden(&TwoGroup).unwrap();
         let res = run_pruned_campaign(&TwoGroup, &g, &PrunedConfig::default());
-        let total =
-            res.estimate.masked + res.estimate.sdc + res.estimate.crash + res.estimate.hang;
+        let total = res.estimate.masked + res.estimate.sdc + res.estimate.crash + res.estimate.hang;
         assert!((total - 100.0).abs() < 1e-6, "rates sum to {total}");
     }
 }

@@ -76,7 +76,11 @@ impl FaultSpec {
     /// Panics if `bit >= 64`.
     pub fn new(class: RegClass, tap_index: u64, bit: u8) -> Self {
         assert!(bit < REG_BITS, "bit position {bit} out of range");
-        FaultSpec { class, tap_index, bit }
+        FaultSpec {
+            class,
+            tap_index,
+            bit,
+        }
     }
 
     /// The virtual register id this fault lands in.
@@ -155,7 +159,10 @@ mod tests {
         let expected = n as f64 / NUM_REGS as f64;
         for (r, &c) in hist.iter().enumerate() {
             let dev = (c as f64 - expected).abs() / expected;
-            assert!(dev < 0.15, "register {r} count {c} deviates {dev:.2} from uniform");
+            assert!(
+                dev < 0.15,
+                "register {r} count {c} deviates {dev:.2} from uniform"
+            );
         }
     }
 

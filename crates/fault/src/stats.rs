@@ -362,7 +362,11 @@ mod tests {
         let recs: Vec<_> = (0..100)
             .map(|i| {
                 rec(
-                    if i < 97 { Outcome::Masked } else { Outcome::Sdc },
+                    if i < 97 {
+                        Outcome::Masked
+                    } else {
+                        Outcome::Sdc
+                    },
                     i,
                     0,
                 )
@@ -372,7 +376,11 @@ mod tests {
         for class in OutcomeClass::ALL {
             let (lo, hi) = r.wilson_interval(class);
             let p = r.rate(class);
-            assert!(lo <= p && p <= hi, "{}: {p} not in [{lo}, {hi}]", class.name());
+            assert!(
+                lo <= p && p <= hi,
+                "{}: {p} not in [{lo}, {hi}]",
+                class.name()
+            );
             assert!((0.0..=100.0).contains(&lo) && (0.0..=100.0).contains(&hi));
         }
         // Known value: 97/100 successes → Wilson 95% CI ≈ [91.5%, 99.0%].
@@ -408,7 +416,11 @@ mod tests {
             let recs: Vec<_> = (0..n)
                 .map(|i| {
                     rec(
-                        if i % 2 == 0 { Outcome::Masked } else { Outcome::Sdc },
+                        if i % 2 == 0 {
+                            Outcome::Masked
+                        } else {
+                            Outcome::Sdc
+                        },
                         i,
                         0,
                     )

@@ -270,9 +270,7 @@ mod tests {
     /// live set, so the flip actually lands in a live value.
     fn live_fpr_tap() -> u64 {
         (0u64..1000)
-            .find(|&t| {
-                FaultSpec::new(RegClass::Fpr, t, 0).register() < crate::spec::FPR_LIVE_REGS
-            })
+            .find(|&t| FaultSpec::new(RegClass::Fpr, t, 0).register() < crate::spec::FPR_LIVE_REGS)
             .expect("some tap index must map to a live register")
     }
 
@@ -292,9 +290,7 @@ mod tests {
     #[test]
     fn fpr_fault_in_dead_register_fires_without_corrupting() {
         let dead = (0u64..1000)
-            .find(|&t| {
-                FaultSpec::new(RegClass::Fpr, t, 0).register() >= crate::spec::FPR_LIVE_REGS
-            })
+            .find(|&t| FaultSpec::new(RegClass::Fpr, t, 0).register() >= crate::spec::FPR_LIVE_REGS)
             .expect("some tap index must map to a dead register");
         let spec = FaultSpec::new(RegClass::Fpr, dead, 63);
         let _g = session::begin_injection(spec, crate::FuncMask::all(), u64::MAX);

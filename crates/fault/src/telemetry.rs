@@ -118,7 +118,13 @@ impl CampaignMonitor {
 
     /// One rates snapshot: counts, percentage rates with 95% Wilson
     /// bounds per class, elapsed wall time, throughput and ETA.
-    fn emit_rates(&self, sink: &Arc<dyn Sink>, name: &'static str, done: usize, rates: &OutcomeRates) {
+    fn emit_rates(
+        &self,
+        sink: &Arc<dyn Sink>,
+        name: &'static str,
+        done: usize,
+        rates: &OutcomeRates,
+    ) {
         let elapsed = self.start.elapsed().as_secs_f64();
         let inj_per_sec = if elapsed > 0.0 {
             done as f64 / elapsed

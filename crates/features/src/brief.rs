@@ -110,13 +110,26 @@ fn pattern() -> &'static [TestPair; BITS] {
 /// # Errors
 ///
 /// Propagates hang-budget exhaustion.
-pub fn describe(
+pub fn describe(smoothed: &GrayImage, keypoints: &[KeyPoint]) -> Result<Vec<Descriptor>, SimError> {
+    let mut out = Vec::with_capacity(keypoints.len());
+    describe_into(smoothed, keypoints, &mut out)?;
+    Ok(out)
+}
+
+/// [`describe`] into a caller-owned vector (cleared first), reusing its
+/// allocation. Tap stream and descriptors are bit-identical.
+///
+/// # Errors
+///
+/// Propagates hang-budget exhaustion.
+pub fn describe_into(
     smoothed: &GrayImage,
     keypoints: &[KeyPoint],
-) -> Result<Vec<Descriptor>, SimError> {
+    out: &mut Vec<Descriptor>,
+) -> Result<(), SimError> {
     let _f = tap::scope(FuncId::OrbDescribe);
     let pat = pattern();
-    let mut out = Vec::with_capacity(keypoints.len());
+    out.clear();
     for kp in keypoints {
         tap::work(OpClass::Mem, 2 * BITS as u64)?;
         tap::work(OpClass::IntAlu, 4 * BITS as u64)?;
@@ -148,7 +161,7 @@ pub fn describe(
         }
         out.push(Descriptor(stored));
     }
-    Ok(out)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -189,7 +202,9 @@ mod tests {
         // Deterministic random pairs at every interesting bound.
         let mut s = 0x5eedu64;
         let mut next = move || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             s
         };
         for _ in 0..200 {
@@ -266,10 +281,7 @@ mod tests {
             assert!(a.x1.abs() <= PATCH as f64 && a.y2.abs() <= PATCH as f64);
         }
         // Pairs must not all be identical (degenerate pattern).
-        let distinct = p1
-            .iter()
-            .filter(|p| (p.x1, p.y1) != (p.x2, p.y2))
-            .count();
+        let distinct = p1.iter().filter(|p| (p.x1, p.y1) != (p.x2, p.y2)).count();
         assert!(distinct > 250);
     }
 

@@ -107,6 +107,23 @@ fn response(img: &GrayImage, x: usize, y: usize, center: u8, t: u8) -> f64 {
     acc
 }
 
+/// Reusable buffers for [`detect_into`]: the NMS score plane and the
+/// candidate list survive across frames so steady-state detection
+/// allocates nothing.
+#[derive(Debug, Default)]
+pub struct FastScratch {
+    scores: Vec<f64>,
+    candidates: Vec<(usize, usize, f64)>,
+}
+
+impl FastScratch {
+    /// Total heap footprint (element counts of the owned buffers) —
+    /// feeds the scratch-reuse telemetry counter.
+    pub fn footprint(&self) -> usize {
+        self.scores.capacity() + self.candidates.capacity()
+    }
+}
+
 /// Detect FAST corners.
 ///
 /// Returns keypoints ordered strongest-first, truncated to
@@ -117,15 +134,48 @@ fn response(img: &GrayImage, x: usize, y: usize, center: u8, t: u8) -> f64 {
 /// Returns [`SimError::Segfault`] when a fault-corrupted row address
 /// escapes the image, and propagates hang-budget exhaustion.
 pub fn detect(img: &GrayImage, config: &FastConfig) -> Result<Vec<KeyPoint>, SimError> {
+    let mut scratch = FastScratch::default();
+    let mut out = Vec::new();
+    detect_into(img, config, &mut scratch, &mut out)?;
+    Ok(out)
+}
+
+/// [`detect`] into caller-owned buffers.
+///
+/// Tap stream and results are bit-identical to [`detect`]; the scan is
+/// restructured for cache behaviour only. Each row's centre loads walk a
+/// hoisted row slice when the tapped row base is uncorrupted (the
+/// fault-free and masked-fault case), falling back to the original
+/// checked `get_linear` walk when a fault has redirected the base
+/// register. Circle samples read through a precomputed linear-offset
+/// table — interior pixels make every ring read in-bounds, so the table
+/// walk returns exactly what the clamped per-coordinate reads did.
+pub fn detect_into(
+    img: &GrayImage,
+    config: &FastConfig,
+    scratch: &mut FastScratch,
+    out: &mut Vec<KeyPoint>,
+) -> Result<(), SimError> {
     let _f = tap::scope(FuncId::FastDetect);
+    out.clear();
     let w = img.width();
     let h = img.height();
     if w < 8 || h < 8 {
-        return Ok(Vec::new());
+        return Ok(());
     }
-    let mut scores = vec![0.0f64; w * h];
-    let mut candidates = Vec::new();
+    let scores = &mut scratch.scores;
+    scores.clear();
+    scores.resize(w * h, 0.0);
+    let candidates = &mut scratch.candidates;
+    candidates.clear();
     let t = config.threshold;
+    let data = img.as_bytes();
+    // Linear offsets of the 16-pixel ring; in-bounds for every interior
+    // (3-pixel-margin) centre, where the clamped reads never clamped.
+    let mut ring = [0isize; 16];
+    for (o, &(dx, dy)) in ring.iter_mut().zip(CIRCLE.iter()) {
+        *o = dy as isize * w as isize + dx as isize;
+    }
 
     for y in 3..h - 3 {
         // One address tap per row: the row base pointer. All centre loads
@@ -135,15 +185,23 @@ pub fn detect(img: &GrayImage, config: &FastConfig) -> Result<Vec<KeyPoint>, Sim
         tap::work(OpClass::Mem, (w as u64) * 2)?;
         tap::work(OpClass::IntAlu, (w as u64) * 4)?;
         tap::work(OpClass::Control, w as u64)?;
+        // Row-slice fast path only while the base register is intact.
+        let row = (row_base == y * w).then(|| &data[row_base..row_base + w]);
         for x in 3..w - 3 {
-            let center = img.get_linear(row_base + x).ok_or(SimError::Segfault)?;
+            let center = match row {
+                Some(r) => r[x],
+                None => img.get_linear(row_base + x).ok_or(SimError::Segfault)?,
+            };
+            let base = (y * w + x) as isize;
+            let at = |i: usize| data[(base + ring[i]) as usize];
             // Quick rejection: a contiguous 9-arc on the 16-ring must
-            // contain at least 2 of the 4 compass points.
+            // contain at least 2 of the 4 compass points (ring entries
+            // 0, 4, 8, 12 = top, right, bottom, left).
             let quick = [
-                classify(img.get_clamped(x as isize, y as isize - 3), center, t),
-                classify(img.get_clamped(x as isize + 3, y as isize), center, t),
-                classify(img.get_clamped(x as isize, y as isize + 3), center, t),
-                classify(img.get_clamped(x as isize - 3, y as isize), center, t),
+                classify(at(0), center, t),
+                classify(at(4), center, t),
+                classify(at(8), center, t),
+                classify(at(12), center, t),
             ];
             let bright = quick.iter().filter(|&&s| s == 1).count();
             let dark = quick.iter().filter(|&&s| s == 2).count();
@@ -157,9 +215,9 @@ pub fn detect(img: &GrayImage, config: &FastConfig) -> Result<Vec<KeyPoint>, Sim
             let center_reg = tap::gpr(center as u64) as i64;
             tap::work(OpClass::IntAlu, 32)?;
             let mut states = [0u8; 16];
-            for (i, &(dx, dy)) in CIRCLE.iter().enumerate() {
-                let v = img.get_clamped(x as isize + dx as isize, y as isize + dy as isize) as i64;
-                states[i] = if v >= center_reg.saturating_add(t as i64) {
+            for (i, s) in states.iter_mut().enumerate() {
+                let v = at(i) as i64;
+                *s = if v >= center_reg.saturating_add(t as i64) {
                     1
                 } else if v <= center_reg.saturating_sub(t as i64) {
                     2
@@ -176,50 +234,51 @@ pub fn detect(img: &GrayImage, config: &FastConfig) -> Result<Vec<KeyPoint>, Sim
         }
     }
 
-    let mut keypoints: Vec<KeyPoint> = if config.nonmax_suppression {
-        candidates
-            .into_iter()
-            .filter(|&(x, y, s)| {
-                let mut is_max = true;
-                'outer: for dy in -1isize..=1 {
-                    for dx in -1isize..=1 {
-                        if dx == 0 && dy == 0 {
-                            continue;
-                        }
-                        let nx = x as isize + dx;
-                        let ny = y as isize + dy;
-                        if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
-                            continue;
-                        }
-                        let n = scores[ny as usize * w + nx as usize];
-                        // Strictly-greater on one side of the raster order
-                        // keeps exactly one point of a plateau.
-                        if n > s || (n == s && (ny, nx) < (y as isize, x as isize)) {
-                            is_max = false;
-                            break 'outer;
+    if config.nonmax_suppression {
+        out.extend(
+            candidates
+                .iter()
+                .filter(|&&(x, y, s)| {
+                    let mut is_max = true;
+                    'outer: for dy in -1isize..=1 {
+                        for dx in -1isize..=1 {
+                            if dx == 0 && dy == 0 {
+                                continue;
+                            }
+                            let nx = x as isize + dx;
+                            let ny = y as isize + dy;
+                            if nx < 0 || ny < 0 || nx >= w as isize || ny >= h as isize {
+                                continue;
+                            }
+                            let n = scores[ny as usize * w + nx as usize];
+                            // Strictly-greater on one side of the raster order
+                            // keeps exactly one point of a plateau.
+                            if n > s || (n == s && (ny, nx) < (y as isize, x as isize)) {
+                                is_max = false;
+                                break 'outer;
+                            }
                         }
                     }
-                }
-                is_max
-            })
-            .map(|(x, y, s)| KeyPoint::new(x, y, s))
-            .collect()
+                    is_max
+                })
+                .map(|&(x, y, s)| KeyPoint::new(x, y, s)),
+        );
     } else {
-        candidates
-            .into_iter()
-            .map(|(x, y, s)| KeyPoint::new(x, y, s))
-            .collect()
-    };
+        out.extend(candidates.iter().map(|&(x, y, s)| KeyPoint::new(x, y, s)));
+    }
 
-    // Strongest first; deterministic tie-break on raster position.
-    keypoints.sort_by(|a, b| {
+    // Strongest first; deterministic tie-break on raster position. The
+    // comparator is a strict total order over distinct candidates
+    // (responses are finite, positions unique), so the in-place unstable
+    // sort agrees with a stable one.
+    out.sort_unstable_by(|a, b| {
         b.response
             .partial_cmp(&a.response)
             .unwrap_or(std::cmp::Ordering::Equal)
             .then_with(|| (a.y as u64, a.x as u64).cmp(&(b.y as u64, b.x as u64)))
     });
-    keypoints.truncate(config.max_keypoints);
-    Ok(keypoints)
+    out.truncate(config.max_keypoints);
+    Ok(())
 }
 
 #[cfg(test)]
@@ -322,6 +381,18 @@ mod tests {
     fn tiny_images_yield_nothing() {
         let img = GrayImage::new(6, 6);
         assert!(detect(&img, &FastConfig::default()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn detect_into_reuses_buffers_without_changing_results() {
+        let a = square_image();
+        let b = GrayImage::from_fn(48, 40, |x, y| ((x * 7) ^ (y * 13)) as u8);
+        let mut scratch = FastScratch::default();
+        let mut out = Vec::new();
+        for img in [&a, &b, &a] {
+            detect_into(img, &FastConfig::default(), &mut scratch, &mut out).unwrap();
+            assert_eq!(out, detect(img, &FastConfig::default()).unwrap());
+        }
     }
 
     #[test]

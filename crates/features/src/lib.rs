@@ -41,7 +41,7 @@ pub use brief::Descriptor;
 pub use keypoint::KeyPoint;
 
 use vs_fault::SimError;
-use vs_image::{gaussian_blur_5x5, GrayImage, Pyramid};
+use vs_image::{gaussian_blur_5x5_into, GrayImage};
 
 /// A keypoint together with its descriptor.
 #[derive(Debug, Clone, PartialEq)]
@@ -101,31 +101,87 @@ impl Orb {
     ///
     /// Propagates simulated faults ([`SimError`]) from instrumented code.
     pub fn detect_and_describe(&self, img: &GrayImage) -> Result<Vec<Feature>, SimError> {
-        let pyramid = Pyramid::new(img, self.config.levels.max(1), self.config.min_level_size);
-        let per_level = self.config.max_features / pyramid.len().max(1);
+        let mut scratch = OrbScratch::default();
         let mut features = Vec::new();
-        for (level, level_img) in pyramid.iter() {
-            let kps = fast::detect(
+        self.detect_and_describe_into(img, &mut scratch, &mut features)?;
+        Ok(features)
+    }
+
+    /// [`Orb::detect_and_describe`] into caller-owned buffers, reusing
+    /// every transient allocation (pyramid levels, blur planes, FAST
+    /// candidate buffers, keypoint and descriptor vectors) across calls.
+    ///
+    /// Tap stream and features are bit-identical to the allocating path:
+    /// the pyramid construction and per-level detect/orient/blur/describe
+    /// sequence is unchanged, only buffer ownership moved to `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulated faults ([`SimError`]) from instrumented code.
+    pub fn detect_and_describe_into(
+        &self,
+        img: &GrayImage,
+        scratch: &mut OrbScratch,
+        features: &mut Vec<Feature>,
+    ) -> Result<(), SimError> {
+        features.clear();
+        // Mirror Pyramid::new without cloning the base: scratch.levels[i]
+        // holds pyramid level i+1, level 0 is `img` itself.
+        let max_levels = self.config.levels.max(1);
+        let min_size = self.config.min_level_size;
+        let mut n_levels = 1usize;
+        while n_levels < max_levels {
+            let (built, rest) = scratch.levels.split_at_mut(n_levels - 1);
+            let prev: &GrayImage = if n_levels == 1 {
+                img
+            } else {
+                &built[n_levels - 2]
+            };
+            if prev.width() / 2 < min_size || prev.height() / 2 < min_size {
+                break;
+            }
+            match rest.first_mut() {
+                Some(slot) => {
+                    vs_image::downsample_half_into(prev, slot);
+                }
+                None => {
+                    let level = vs_image::downsample_half(prev);
+                    scratch.levels.push(level);
+                }
+            }
+            n_levels += 1;
+        }
+
+        let per_level = self.config.max_features / n_levels;
+        for level in 0..n_levels {
+            let level_img: &GrayImage = if level == 0 {
+                img
+            } else {
+                &scratch.levels[level - 1]
+            };
+            fast::detect_into(
                 level_img,
                 &fast::FastConfig {
                     threshold: self.config.fast_threshold,
                     max_keypoints: per_level.max(8),
                     ..fast::FastConfig::default()
                 },
+                &mut scratch.fast,
+                &mut scratch.kps,
             )?;
-            let kps = orientation::assign_orientations(level_img, kps)?;
-            let smoothed = gaussian_blur_5x5(level_img);
-            let descs = brief::describe(&smoothed, &kps)?;
-            let scale = pyramid.scale(level);
-            for (kp, desc) in kps.into_iter().zip(descs) {
+            orientation::assign_orientations_mut(level_img, &mut scratch.kps)?;
+            gaussian_blur_5x5_into(level_img, &mut scratch.blur_tmp, &mut scratch.smoothed);
+            brief::describe_into(&scratch.smoothed, &scratch.kps, &mut scratch.descs)?;
+            let scale = (1u64 << level) as f64;
+            for (kp, desc) in scratch.kps.iter().zip(&scratch.descs) {
                 features.push(Feature {
                     keypoint: KeyPoint {
                         x: kp.x * scale,
                         y: kp.y * scale,
                         level: level as u8,
-                        ..kp
+                        ..*kp
                     },
-                    descriptor: desc,
+                    descriptor: *desc,
                 });
             }
         }
@@ -133,10 +189,37 @@ impl Orb {
             "orb",
             &[
                 ("keypoints", vs_telemetry::Value::U64(features.len() as u64)),
-                ("levels", vs_telemetry::Value::U64(pyramid.len() as u64)),
+                ("levels", vs_telemetry::Value::U64(n_levels as u64)),
             ],
         );
-        Ok(features)
+        Ok(())
+    }
+}
+
+/// Reusable buffers for [`Orb::detect_and_describe_into`]: downsampled
+/// pyramid levels, blur planes, FAST scratch, and per-level keypoint /
+/// descriptor vectors.
+#[derive(Debug, Default)]
+pub struct OrbScratch {
+    levels: Vec<GrayImage>,
+    blur_tmp: GrayImage,
+    smoothed: GrayImage,
+    fast: fast::FastScratch,
+    kps: Vec<KeyPoint>,
+    descs: Vec<Descriptor>,
+}
+
+impl OrbScratch {
+    /// Total heap footprint (element counts of the owned buffers) —
+    /// feeds the scratch-reuse telemetry counter.
+    pub fn footprint(&self) -> usize {
+        self.levels.capacity()
+            + self.levels.iter().map(|l| l.capacity()).sum::<usize>()
+            + self.blur_tmp.capacity()
+            + self.smoothed.capacity()
+            + self.fast.footprint()
+            + self.kps.capacity()
+            + self.descs.capacity()
     }
 }
 
@@ -200,6 +283,27 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_matches_fresh_detection() {
+        let orb = Orb::new(OrbConfig::default());
+        let imgs = [
+            checkerboard(128, 16),
+            checkerboard(96, 12),
+            checkerboard(128, 16),
+        ];
+        let mut scratch = OrbScratch::default();
+        let mut out = Vec::new();
+        for img in &imgs {
+            orb.detect_and_describe_into(img, &mut scratch, &mut out)
+                .unwrap();
+            assert_eq!(out, orb.detect_and_describe(img).unwrap());
+        }
+        let footprint = scratch.footprint();
+        orb.detect_and_describe_into(&imgs[0], &mut scratch, &mut out)
+            .unwrap();
+        assert_eq!(scratch.footprint(), footprint, "steady state must not grow");
+    }
+
+    #[test]
     fn pyramid_levels_contribute_features() {
         let cfg = OrbConfig {
             levels: 3,
@@ -235,6 +339,9 @@ mod tests {
                 shifted_hits += 1;
             }
         }
-        assert!(shifted_hits >= 10, "only {shifted_hits} corners tracked the shift");
+        assert!(
+            shifted_hits >= 10,
+            "only {shifted_hits} corners tracked the shift"
+        );
     }
 }

@@ -49,8 +49,23 @@ pub fn assign_orientations(
     img: &GrayImage,
     mut keypoints: Vec<KeyPoint>,
 ) -> Result<Vec<KeyPoint>, SimError> {
+    assign_orientations_mut(img, &mut keypoints)?;
+    Ok(keypoints)
+}
+
+/// [`assign_orientations`] on a borrowed slice — the allocation-free
+/// form the scratch-workspace pipeline uses. Tap stream and angles are
+/// bit-identical.
+///
+/// # Errors
+///
+/// Propagates hang-budget exhaustion from the instrumented loop.
+pub fn assign_orientations_mut(
+    img: &GrayImage,
+    keypoints: &mut [KeyPoint],
+) -> Result<(), SimError> {
     let _f = tap::scope(FuncId::OrbOrientation);
-    for kp in &mut keypoints {
+    for kp in keypoints.iter_mut() {
         // The patch radius is a loop bound living in a control register.
         // Corruption inflates the moment loops until the hang monitor
         // trips — the pure-hang surface of this pipeline (patch reads are
@@ -79,7 +94,7 @@ pub fn assign_orientations(
         }
         kp.angle = tap::fpr(m01.atan2(m10));
     }
-    Ok(keypoints)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -125,7 +140,11 @@ mod tests {
             if err > std::f64::consts::PI {
                 err = 2.0 * std::f64::consts::PI - err;
             }
-            assert!(err < 0.25, "theta={theta_deg}° measured {}°", a.to_degrees());
+            assert!(
+                err < 0.25,
+                "theta={theta_deg}° measured {}°",
+                a.to_degrees()
+            );
         }
     }
 

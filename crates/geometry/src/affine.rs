@@ -1,7 +1,7 @@
 //! Affine transform estimation — the pipeline's fallback when too few
 //! matches exist for a homography (§III-A).
 
-use vs_linalg::{solve_dense, Mat3, Vec2};
+use vs_linalg::{solve_in_place, Mat3, Vec2};
 
 /// Estimate the affine transform `[a b tx; c d ty]` mapping `src[i]` to
 /// `dst[i]` from at least three correspondences, least-squares when
@@ -31,9 +31,13 @@ pub fn least_squares(src: &[Vec2], dst: &[Vec2]) -> Option<Mat3> {
             }
         }
     }
-    let xu = solve_dense(&mut m.to_vec(), &mut bu.to_vec(), 3).ok()?;
-    let xv = solve_dense(&mut m.to_vec(), &mut bv.to_vec(), 3).ok()?;
-    let out = Mat3::affine(xu[0], xu[1], xu[2], xv[0], xv[1], xv[2]);
+    // The solver pivots its matrix in place, so each solve gets a fresh
+    // stack copy of M (no heap round-trip through `to_vec`).
+    let mut mu = m;
+    solve_in_place(&mut mu, &mut bu, 3).ok()?;
+    let mut mv = m;
+    solve_in_place(&mut mv, &mut bv, 3).ok()?;
+    let out = Mat3::affine(bu[0], bu[1], bu[2], bv[0], bv[1], bv[2]);
     out.is_finite().then_some(out)
 }
 
@@ -101,7 +105,11 @@ mod tests {
 
     #[test]
     fn collinear_sources_are_degenerate() {
-        let src = [Vec2::new(0.0, 0.0), Vec2::new(1.0, 1.0), Vec2::new(2.0, 2.0)];
+        let src = [
+            Vec2::new(0.0, 0.0),
+            Vec2::new(1.0, 1.0),
+            Vec2::new(2.0, 2.0),
+        ];
         let dst = triangle();
         assert!(from_three_points(&src, &dst).is_none());
     }

@@ -7,11 +7,28 @@
 //! equations. Points are pre-conditioned with Hartley normalization
 //! (centroid at the origin, mean distance √2).
 
-use vs_linalg::{solve_dense, Mat3, Vec2};
+use vs_linalg::{solve_in_place, Mat3, Vec2};
 
-/// Hartley normalization: a similarity `T` moving the centroid to the
-/// origin with mean distance √2, plus the transformed points.
-fn normalize(points: &[Vec2]) -> Option<(Mat3, Vec<Vec2>)> {
+/// Reusable normalized-point buffers for the allocation-free estimation
+/// path ([`least_squares_with`]).
+#[derive(Debug, Default)]
+pub struct NormScratch {
+    src_n: Vec<Vec2>,
+    dst_n: Vec<Vec2>,
+}
+
+impl NormScratch {
+    /// Total heap footprint (element counts of the owned buffers).
+    pub fn footprint(&self) -> usize {
+        self.src_n.capacity() + self.dst_n.capacity()
+    }
+}
+
+/// Hartley normalization into a caller-owned buffer (cleared first):
+/// computes the similarity `T` moving the centroid to the origin with
+/// mean distance √2 and writes the transformed points to `out`.
+fn normalize_into(points: &[Vec2], out: &mut Vec<Vec2>) -> Option<Mat3> {
+    out.clear();
     let n = points.len() as f64;
     if points.is_empty() {
         return None;
@@ -34,11 +51,10 @@ fn normalize(points: &[Vec2]) -> Option<(Mat3, Vec<Vec2>)> {
     }
     let s = std::f64::consts::SQRT_2 / mean_dist;
     let t = Mat3::from_rows([s, 0.0, -s * cx, 0.0, s, -s * cy, 0.0, 0.0, 1.0]);
-    let mapped = points
-        .iter()
-        .map(|&p| t.apply(p))
-        .collect::<Option<Vec<_>>>()?;
-    Some((t, mapped))
+    for &p in points {
+        out.push(t.apply(p)?);
+    }
+    Some(t)
 }
 
 /// Assemble and solve the DLT system for normalized correspondences.
@@ -69,7 +85,8 @@ fn solve_dlt(src: &[Vec2], dst: &[Vec2]) -> Option<Mat3> {
             }
         }
     }
-    let h = solve_dense(&mut ata, &mut atb, 8).ok()?;
+    solve_in_place(&mut ata, &mut atb, 8).ok()?;
+    let h = &atb;
     let m = Mat3::from_rows([h[0], h[1], h[2], h[3], h[4], h[5], h[6], h[7], 1.0]);
     m.is_finite().then_some(m)
 }
@@ -80,15 +97,21 @@ fn solve_dlt(src: &[Vec2], dst: &[Vec2]) -> Option<Mat3> {
 /// Returns `None` for degenerate configurations (collinear points,
 /// coincident points, non-finite input).
 pub fn least_squares(src: &[Vec2], dst: &[Vec2]) -> Option<Mat3> {
+    least_squares_with(src, dst, &mut NormScratch::default())
+}
+
+/// [`least_squares`] with caller-owned normalization buffers — the
+/// allocation-free form. Results are bit-identical.
+pub fn least_squares_with(src: &[Vec2], dst: &[Vec2], s: &mut NormScratch) -> Option<Mat3> {
     if src.len() != dst.len() || src.len() < 4 {
         return None;
     }
     if src.iter().chain(dst.iter()).any(|p| !p.is_finite()) {
         return None;
     }
-    let (t_src, src_n) = normalize(src)?;
-    let (t_dst, dst_n) = normalize(dst)?;
-    let h_n = solve_dlt(&src_n, &dst_n)?;
+    let t_src = normalize_into(src, &mut s.src_n)?;
+    let t_dst = normalize_into(dst, &mut s.dst_n)?;
+    let h_n = solve_dlt(&s.src_n, &s.dst_n)?;
     // Denormalize: H = T_dst⁻¹ · H_n · T_src.
     let h = t_dst.inverse()? * h_n * t_src;
     h.normalized()
@@ -99,6 +122,15 @@ pub fn least_squares(src: &[Vec2], dst: &[Vec2]) -> Option<Mat3> {
 /// Returns `None` when the four points are (near-)degenerate.
 pub fn from_four_points(src: &[Vec2; 4], dst: &[Vec2; 4]) -> Option<Mat3> {
     least_squares(src, dst)
+}
+
+/// [`from_four_points`] with caller-owned normalization buffers.
+pub fn from_four_points_with(
+    src: &[Vec2; 4],
+    dst: &[Vec2; 4],
+    s: &mut NormScratch,
+) -> Option<Mat3> {
+    least_squares_with(src, dst, s)
 }
 
 /// Symmetric check that a model maps `src[i]` near `dst[i]`.

@@ -41,4 +41,4 @@ pub mod homography;
 pub mod ransac;
 pub mod transform;
 
-pub use ransac::{RansacConfig, RansacFit};
+pub use ransac::{RansacConfig, RansacFit, RansacScratch};

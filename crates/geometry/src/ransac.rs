@@ -47,14 +47,52 @@ pub struct RansacFit {
     pub inliers: Vec<usize>,
 }
 
-/// Count and collect inliers of `model` over the correspondences.
-fn consensus(model: &Mat3, pairs: &[(Vec2, Vec2)], threshold: f64) -> Vec<usize> {
-    pairs
-        .iter()
-        .enumerate()
-        .filter(|(_, (s, d))| homography::transfer_error(model, *s, *d) <= threshold)
-        .map(|(i, _)| i)
-        .collect()
+/// Reusable buffers for the allocation-free RANSAC entry points
+/// ([`estimate_homography_scratch`] / [`estimate_affine_scratch`]):
+/// sample indices, the two consensus sets, refit point vectors and the
+/// normalization buffers of the minimal/refit solvers.
+#[derive(Debug, Default)]
+pub struct RansacScratch {
+    sample: Vec<usize>,
+    inliers: Vec<usize>,
+    best_inliers: Vec<usize>,
+    refit_src: Vec<Vec2>,
+    refit_dst: Vec<Vec2>,
+    norm: homography::NormScratch,
+}
+
+impl RansacScratch {
+    /// Consensus set of the model returned by the last `*_scratch`
+    /// estimate (empty when it returned `None`).
+    ///
+    /// Deliberately reads `best_inliers`, not the per-iteration
+    /// `inliers` working buffer.
+    #[allow(clippy::misnamed_getters)]
+    pub fn inliers(&self) -> &[usize] {
+        &self.best_inliers
+    }
+
+    /// Total heap footprint (element counts of the owned buffers).
+    pub fn footprint(&self) -> usize {
+        self.sample.capacity()
+            + self.inliers.capacity()
+            + self.best_inliers.capacity()
+            + self.refit_src.capacity()
+            + self.refit_dst.capacity()
+            + self.norm.footprint()
+    }
+}
+
+/// Collect inliers of `model` into a caller-owned vector (cleared first).
+fn consensus_into(model: &Mat3, pairs: &[(Vec2, Vec2)], threshold: f64, out: &mut Vec<usize>) {
+    out.clear();
+    out.extend(
+        pairs
+            .iter()
+            .enumerate()
+            .filter(|(_, (s, d))| homography::transfer_error(model, *s, *d) <= threshold)
+            .map(|(i, _)| i),
+    );
 }
 
 /// Sample `k` distinct indices in `0..n`.
@@ -70,26 +108,38 @@ fn sample_distinct(rng: &mut SplitMix64, n: usize, k: usize, out: &mut Vec<usize
 
 /// Generic RANSAC loop over a minimal-sample estimator. `kind` labels
 /// the model family in telemetry events.
-fn estimate<F>(
+///
+/// All transient state lives in `s`; on `Ok(Some(model))` the consensus
+/// set is left in `s.best_inliers`. The hypothesize/score/refine
+/// sequence — and hence the tap stream — is identical to the historical
+/// allocating loop; only buffer ownership moved into the scratch.
+#[allow(clippy::too_many_arguments)]
+fn estimate_scratch(
     kind: &'static str,
     pairs: &[(Vec2, Vec2)],
     cfg: &RansacConfig,
     seed: u64,
     sample_size: usize,
-    fit_minimal: F,
-    refit: fn(&[Vec2], &[Vec2]) -> Option<Mat3>,
-) -> Result<Option<RansacFit>, SimError>
-where
-    F: Fn(&[usize], &[(Vec2, Vec2)]) -> Option<Mat3>,
-{
+    mut fit_minimal: impl FnMut(&[usize], &[(Vec2, Vec2)], &mut homography::NormScratch) -> Option<Mat3>,
+    mut refit: impl FnMut(&[Vec2], &[Vec2], &mut homography::NormScratch) -> Option<Mat3>,
+    s: &mut RansacScratch,
+) -> Result<Option<Mat3>, SimError> {
+    let RansacScratch {
+        sample,
+        inliers,
+        best_inliers,
+        refit_src,
+        refit_dst,
+        norm,
+    } = s;
+    best_inliers.clear();
     if pairs.len() < sample_size {
         emit_ransac_event(kind, 0, pairs.len(), 0);
         return Ok(None);
     }
     let mut rng = SplitMix64::new(seed);
-    let mut best: Option<RansacFit> = None;
+    let mut best: Option<Mat3> = None;
     let iterations = tap::ctl(cfg.iterations);
-    let mut sample = Vec::with_capacity(sample_size);
     let mut it = 0usize;
     while it < iterations {
         it += 1;
@@ -97,7 +147,7 @@ where
         tap::work(OpClass::IntAlu, 60)?;
         tap::work(OpClass::Float, 40 + 10 * pairs.len() as u64)?;
         tap::work(OpClass::Mem, 4 * pairs.len() as u64)?;
-        sample_distinct(&mut rng, pairs.len(), sample_size, &mut sample);
+        sample_distinct(&mut rng, pairs.len(), sample_size, sample);
         // Address-tap the first sample index: the load below is the
         // crash surface for corrupted index registers.
         let first = tap::addr(sample[0]);
@@ -105,27 +155,32 @@ where
             return Err(SimError::Segfault);
         }
         sample[0] = first;
-        let Some(model) = fit_minimal(&sample, pairs) else {
+        let Some(model) = fit_minimal(sample, pairs, norm) else {
             continue;
         };
         // Float-tap one model entry per hypothesis: corrupted FPR state
         // perturbs the hypothesis, not the control flow.
         let rows = model.to_rows();
         let tapped = Mat3::from_rows([
-            rows[0], rows[1], tap::fpr(rows[2]), rows[3], rows[4], rows[5], rows[6], rows[7],
+            rows[0],
+            rows[1],
+            tap::fpr(rows[2]),
+            rows[3],
+            rows[4],
+            rows[5],
+            rows[6],
+            rows[7],
             rows[8],
         ]);
         if !tapped.is_finite() {
             continue;
         }
-        let inliers = consensus(&tapped, pairs, cfg.inlier_threshold);
+        consensus_into(&tapped, pairs, cfg.inlier_threshold, inliers);
         if inliers.len() >= cfg.min_inliers.max(sample_size)
-            && best.as_ref().is_none_or(|b| inliers.len() > b.inliers.len())
+            && (best.is_none() || inliers.len() > best_inliers.len())
         {
-            best = Some(RansacFit {
-                model: tapped,
-                inliers,
-            });
+            std::mem::swap(inliers, best_inliers);
+            best = Some(tapped);
         }
     }
 
@@ -134,19 +189,21 @@ where
         return Ok(None);
     };
     if cfg.refine {
-        let src: Vec<Vec2> = fit.inliers.iter().map(|&i| pairs[i].0).collect();
-        let dst: Vec<Vec2> = fit.inliers.iter().map(|&i| pairs[i].1).collect();
-        if let Some(refined) = refit(&src, &dst) {
-            let inliers = consensus(&refined, pairs, cfg.inlier_threshold);
-            if inliers.len() >= fit.inliers.len() {
-                fit = RansacFit {
-                    model: refined,
-                    inliers,
-                };
+        refit_src.clear();
+        refit_dst.clear();
+        for &i in best_inliers.iter() {
+            refit_src.push(pairs[i].0);
+            refit_dst.push(pairs[i].1);
+        }
+        if let Some(refined) = refit(refit_src, refit_dst, norm) {
+            consensus_into(&refined, pairs, cfg.inlier_threshold, inliers);
+            if inliers.len() >= best_inliers.len() {
+                std::mem::swap(inliers, best_inliers);
+                fit = refined;
             }
         }
     }
-    emit_ransac_event(kind, it, pairs.len(), fit.inliers.len());
+    emit_ransac_event(kind, it, pairs.len(), best_inliers.len());
     Ok(Some(fit))
 }
 
@@ -178,14 +235,36 @@ pub fn estimate_homography(
     cfg: &RansacConfig,
     seed: u64,
 ) -> Result<Option<RansacFit>, SimError> {
+    let mut s = RansacScratch::default();
+    Ok(
+        estimate_homography_scratch(pairs, cfg, seed, &mut s)?.map(|model| RansacFit {
+            model,
+            inliers: std::mem::take(&mut s.best_inliers),
+        }),
+    )
+}
+
+/// [`estimate_homography`] with caller-owned buffers — the
+/// allocation-free form. On `Ok(Some(_))` the consensus set is left in
+/// [`RansacScratch::inliers`]. Tap stream and model are bit-identical.
+///
+/// # Errors
+///
+/// Propagates simulated faults from instrumented code.
+pub fn estimate_homography_scratch(
+    pairs: &[(Vec2, Vec2)],
+    cfg: &RansacConfig,
+    seed: u64,
+    s: &mut RansacScratch,
+) -> Result<Option<Mat3>, SimError> {
     let _f = tap::scope(FuncId::RansacHomography);
-    estimate(
+    estimate_scratch(
         "homography",
         pairs,
         cfg,
         seed,
         4,
-        |sample, pairs| {
+        |sample, pairs, norm| {
             let src = [
                 pairs[sample[0]].0,
                 pairs[sample[1]].0,
@@ -198,9 +277,10 @@ pub fn estimate_homography(
                 pairs[sample[2]].1,
                 pairs[sample[3]].1,
             ];
-            homography::from_four_points(&src, &dst)
+            homography::from_four_points_with(&src, &dst, norm)
         },
-        homography::least_squares,
+        homography::least_squares_with,
+        s,
     )
 }
 
@@ -215,27 +295,42 @@ pub fn estimate_affine(
     cfg: &RansacConfig,
     seed: u64,
 ) -> Result<Option<RansacFit>, SimError> {
+    let mut s = RansacScratch::default();
+    Ok(
+        estimate_affine_scratch(pairs, cfg, seed, &mut s)?.map(|model| RansacFit {
+            model,
+            inliers: std::mem::take(&mut s.best_inliers),
+        }),
+    )
+}
+
+/// [`estimate_affine`] with caller-owned buffers — the allocation-free
+/// form. On `Ok(Some(_))` the consensus set is left in
+/// [`RansacScratch::inliers`]. Tap stream and model are bit-identical.
+///
+/// # Errors
+///
+/// Propagates simulated faults from instrumented code.
+pub fn estimate_affine_scratch(
+    pairs: &[(Vec2, Vec2)],
+    cfg: &RansacConfig,
+    seed: u64,
+    s: &mut RansacScratch,
+) -> Result<Option<Mat3>, SimError> {
     let _f = tap::scope(FuncId::EstimateAffine);
-    estimate(
+    estimate_scratch(
         "affine",
         pairs,
         cfg,
         seed,
         3,
-        |sample, pairs| {
-            let src = [
-                pairs[sample[0]].0,
-                pairs[sample[1]].0,
-                pairs[sample[2]].0,
-            ];
-            let dst = [
-                pairs[sample[0]].1,
-                pairs[sample[1]].1,
-                pairs[sample[2]].1,
-            ];
+        |sample, pairs, _| {
+            let src = [pairs[sample[0]].0, pairs[sample[1]].0, pairs[sample[2]].0];
+            let dst = [pairs[sample[0]].1, pairs[sample[1]].1, pairs[sample[2]].1];
             affine::from_three_points(&src, &dst)
         },
-        affine::least_squares,
+        |src, dst, _| affine::least_squares(src, dst),
+        s,
     )
 }
 
@@ -318,9 +413,12 @@ mod tests {
     #[test]
     fn affine_needs_fewer_points_than_homography() {
         let truth = Mat3::affine(1.0, 0.0, 6.0, 0.0, 1.0, -2.0);
-        let src = [Vec2::new(3.0, 5.0), Vec2::new(80.0, 12.0), Vec2::new(30.0, 70.0)];
-        let pairs: Vec<(Vec2, Vec2)> =
-            src.iter().map(|&p| (p, truth.apply(p).unwrap())).collect();
+        let src = [
+            Vec2::new(3.0, 5.0),
+            Vec2::new(80.0, 12.0),
+            Vec2::new(30.0, 70.0),
+        ];
+        let pairs: Vec<(Vec2, Vec2)> = src.iter().map(|&p| (p, truth.apply(p).unwrap())).collect();
         let cfg = RansacConfig {
             min_inliers: 3,
             ..RansacConfig::default()
@@ -341,6 +439,44 @@ mod tests {
         let a = estimate_homography(&pairs, &RansacConfig::default(), 9).unwrap();
         let b = estimate_homography(&pairs, &RansacConfig::default(), 9).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_path_matches_allocating_path() {
+        let truth = Mat3::translation(8.0, 4.0);
+        let mut pairs = grid_pairs(&truth, 40);
+        for i in 0..12 {
+            pairs.push((
+                Vec2::new(i as f64 * 11.0, 50.0),
+                Vec2::new(500.0 - i as f64 * 23.0, i as f64 * 31.0),
+            ));
+        }
+        let cfg = RansacConfig::default();
+        let mut s = RansacScratch::default();
+        for seed in [2u64, 9, 77] {
+            let fresh = estimate_homography(&pairs, &cfg, seed).unwrap().unwrap();
+            let model = estimate_homography_scratch(&pairs, &cfg, seed, &mut s)
+                .unwrap()
+                .unwrap();
+            assert_eq!(model, fresh.model);
+            assert_eq!(s.inliers(), fresh.inliers.as_slice());
+            let fresh_a = estimate_affine(&pairs, &cfg, seed).unwrap().unwrap();
+            let model_a = estimate_affine_scratch(&pairs, &cfg, seed, &mut s)
+                .unwrap()
+                .unwrap();
+            assert_eq!(model_a, fresh_a.model);
+            assert_eq!(s.inliers(), fresh_a.inliers.as_slice());
+        }
+        let footprint = s.footprint();
+        estimate_homography_scratch(&pairs, &cfg, 2, &mut s)
+            .unwrap()
+            .unwrap();
+        assert_eq!(s.footprint(), footprint, "steady state must not grow");
+        // A failed estimate clears the stale consensus set.
+        assert!(estimate_homography_scratch(&pairs[..3], &cfg, 0, &mut s)
+            .unwrap()
+            .is_none());
+        assert!(s.inliers().is_empty());
     }
 
     #[test]
@@ -403,7 +539,11 @@ mod proptests {
             let fit = estimate_homography(&pairs, &RansacConfig::default(), seed)
                 .unwrap()
                 .expect("model must be found");
-            assert!(fit.inliers.len() >= 40, "case {case}: {}", fit.inliers.len());
+            assert!(
+                fit.inliers.len() >= 40,
+                "case {case}: {}",
+                fit.inliers.len()
+            );
             for (p, q) in pairs.iter().take(40) {
                 let e = crate::homography::transfer_error(&fit.model, *p, *q);
                 assert!(e < 1.0, "case {case}: transfer error {e}");

@@ -33,24 +33,52 @@ pub fn box_blur(img: &GrayImage, radius: usize) -> GrayImage {
 }
 
 fn separable_blur(img: &GrayImage, kernel: &[f64]) -> GrayImage {
+    let mut tmp = GrayImage::new(0, 0);
+    let mut out = GrayImage::new(0, 0);
+    separable_blur_into(img, kernel, &mut tmp, &mut out);
+    out
+}
+
+/// Separable convolution into caller-owned images: `tmp` holds the
+/// horizontal pass, `out` the result. Same per-pixel `get_clamped`
+/// taps and accumulation order as the allocating path, so the output
+/// is bit-identical. Returns whether either buffer grew.
+fn separable_blur_into(
+    img: &GrayImage,
+    kernel: &[f64],
+    tmp: &mut GrayImage,
+    out: &mut GrayImage,
+) -> bool {
+    let (w, h) = (img.width(), img.height());
+    let mut grew = tmp
+        .try_reset(w, h)
+        .expect("image dimensions exceed MAX_PIXELS");
+    grew |= out
+        .try_reset(w, h)
+        .expect("image dimensions exceed MAX_PIXELS");
     if img.is_empty() {
-        return img.clone();
+        return grew;
     }
     let r = (kernel.len() / 2) as isize;
-    let horiz = GrayImage::from_fn(img.width(), img.height(), |x, y| {
-        let mut acc = 0.0;
-        for (i, k) in kernel.iter().enumerate() {
-            acc += k * img.get_clamped(x as isize + i as isize - r, y as isize) as f64;
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (i, k) in kernel.iter().enumerate() {
+                acc += k * img.get_clamped(x as isize + i as isize - r, y as isize) as f64;
+            }
+            tmp.set(x, y, saturate_u8(acc));
         }
-        saturate_u8(acc)
-    });
-    GrayImage::from_fn(img.width(), img.height(), |x, y| {
-        let mut acc = 0.0;
-        for (i, k) in kernel.iter().enumerate() {
-            acc += k * horiz.get_clamped(x as isize, y as isize + i as isize - r) as f64;
+    }
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (i, k) in kernel.iter().enumerate() {
+                acc += k * tmp.get_clamped(x as isize, y as isize + i as isize - r) as f64;
+            }
+            out.set(x, y, saturate_u8(acc));
         }
-        saturate_u8(acc)
-    })
+    }
+    grew
 }
 
 /// 3×3 Gaussian blur (binomial [1 2 1]/4 kernel), replicate borders.
@@ -60,7 +88,22 @@ pub fn gaussian_blur_3x3(img: &GrayImage) -> GrayImage {
 
 /// 5×5 Gaussian blur (binomial [1 4 6 4 1]/16 kernel), replicate borders.
 pub fn gaussian_blur_5x5(img: &GrayImage) -> GrayImage {
-    separable_blur(img, &[1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0])
+    separable_blur(
+        img,
+        &[1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0],
+    )
+}
+
+/// [`gaussian_blur_5x5`] into caller-owned scratch images (`tmp` for
+/// the horizontal pass, `out` for the result), bit-identical output.
+/// Returns whether either buffer grew.
+pub fn gaussian_blur_5x5_into(img: &GrayImage, tmp: &mut GrayImage, out: &mut GrayImage) -> bool {
+    separable_blur_into(
+        img,
+        &[1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0],
+        tmp,
+        out,
+    )
 }
 
 #[cfg(test)]
@@ -87,6 +130,16 @@ mod tests {
         assert!(neighbor > corner, "cross neighbours exceed corners");
         assert!(corner > 0, "energy spreads to the 3x3 ring");
         assert_eq!(b.get(0, 0), Some(0), "energy stays local");
+    }
+
+    #[test]
+    fn blur_into_matches_allocating_blur() {
+        let img = GrayImage::from_fn(11, 9, |x, y| (x * 23 + y * 5) as u8);
+        let mut tmp = GrayImage::new(0, 0);
+        let mut out = GrayImage::from_fn(2, 2, |_, _| 7);
+        assert!(gaussian_blur_5x5_into(&img, &mut tmp, &mut out));
+        assert_eq!(out, gaussian_blur_5x5(&img));
+        assert!(!gaussian_blur_5x5_into(&img, &mut tmp, &mut out));
     }
 
     #[test]

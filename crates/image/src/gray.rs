@@ -36,6 +36,41 @@ impl GrayImage {
         })
     }
 
+    /// Reuse this image's buffer as a zero-filled `width`×`height`
+    /// image, or `None` if the dimensions overflow the pixel cap.
+    ///
+    /// The allocation is kept whenever the existing capacity suffices;
+    /// the returned flag is `true` when the buffer had to grow (the
+    /// scratch-workspace steady-state counter feeds on it).
+    pub fn try_reset(&mut self, width: usize, height: usize) -> Option<bool> {
+        let pixels = width.checked_mul(height)?;
+        if pixels > MAX_PIXELS {
+            return None;
+        }
+        let grew = pixels > self.data.capacity();
+        self.data.clear();
+        self.data.resize(pixels, 0);
+        self.width = width;
+        self.height = height;
+        Some(grew)
+    }
+
+    /// Heap capacity of the pixel buffer, in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Overwrite this image with a bit-copy of `src`, reusing the
+    /// existing buffer whenever its capacity suffices — the
+    /// allocation-free counterpart of `clone` for recycled workspaces.
+    pub fn copy_from(&mut self, src: &GrayImage) {
+        self.width = src.width;
+        self.height = src.height;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Build an image by evaluating `f(x, y)` for every pixel.
     pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
         let mut img = GrayImage::new(width, height);
@@ -192,6 +227,14 @@ impl GrayImage {
     }
 }
 
+impl Default for GrayImage {
+    /// An empty 0×0 image — the natural seed for reusable scratch
+    /// buffers that grow on first use.
+    fn default() -> Self {
+        GrayImage::new(0, 0)
+    }
+}
+
 impl fmt::Debug for GrayImage {
     /// Compact representation: dimensions, not megabytes of pixel dumps.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -216,6 +259,19 @@ mod tests {
         assert!(GrayImage::try_new(usize::MAX, 2).is_none());
         assert!(GrayImage::try_new(1 << 20, 1 << 20).is_none());
         assert!(GrayImage::try_new(16, 16).is_some());
+    }
+
+    #[test]
+    fn try_reset_reuses_capacity_and_zero_fills() {
+        let mut g = GrayImage::from_fn(8, 4, |_, _| 9);
+        let grew = g.try_reset(4, 4).unwrap();
+        assert!(!grew, "shrinking must reuse the buffer");
+        assert_eq!((g.width(), g.height()), (4, 4));
+        assert!(g.as_bytes().iter().all(|&v| v == 0));
+        assert!(g.try_reset(16, 16).unwrap(), "growth must be reported");
+        assert!(g.try_reset(usize::MAX, 2).is_none());
+        // A failed reset leaves the previous geometry untouched.
+        assert_eq!((g.width(), g.height()), (16, 16));
     }
 
     #[test]

@@ -10,15 +10,41 @@ use crate::{saturate_u8, GrayImage};
 /// Odd trailing rows/columns are dropped, matching the conventional
 /// `pyrDown` grid. Images smaller than 2×2 collapse to an empty image.
 pub fn downsample_half(img: &GrayImage) -> GrayImage {
+    let mut out = GrayImage::new(0, 0);
+    downsample_half_into(img, &mut out);
+    out
+}
+
+/// [`downsample_half`] into a caller-owned image, reusing its buffer.
+///
+/// The row-wise slice walk visits the same 2×2 blocks in the same raster
+/// order with the same `u32`-sum / `f64`-average arithmetic, so the
+/// result is bit-identical to the allocating version. Returns whether
+/// the destination buffer grew.
+pub fn downsample_half_into(img: &GrayImage, out: &mut GrayImage) -> bool {
     let w = img.width() / 2;
     let h = img.height() / 2;
-    GrayImage::from_fn(w, h, |x, y| {
-        let acc = img.get(2 * x, 2 * y).unwrap_or(0) as u32
-            + img.get(2 * x + 1, 2 * y).unwrap_or(0) as u32
-            + img.get(2 * x, 2 * y + 1).unwrap_or(0) as u32
-            + img.get(2 * x + 1, 2 * y + 1).unwrap_or(0) as u32;
-        saturate_u8(acc as f64 / 4.0)
-    })
+    let grew = out
+        .try_reset(w, h)
+        .expect("image dimensions exceed MAX_PIXELS");
+    if w == 0 || h == 0 {
+        return grew;
+    }
+    let src = img.as_bytes();
+    let src_w = img.width();
+    let dst = out.as_bytes_mut();
+    for (y, dst_row) in dst.chunks_exact_mut(w).enumerate() {
+        let row0 = &src[2 * y * src_w..2 * y * src_w + src_w];
+        let row1 = &src[(2 * y + 1) * src_w..(2 * y + 1) * src_w + src_w];
+        for (x, d) in dst_row.iter_mut().enumerate() {
+            let acc = row0[2 * x] as u32
+                + row0[2 * x + 1] as u32
+                + row1[2 * x] as u32
+                + row1[2 * x + 1] as u32;
+            *d = saturate_u8(acc as f64 / 4.0);
+        }
+    }
+    grew
 }
 
 /// A multi-scale pyramid: level 0 is the source image, each further level
@@ -87,6 +113,16 @@ mod tests {
         assert_eq!(d.height(), 1);
         assert_eq!(d.get(0, 0), Some(20));
         assert_eq!(d.get(1, 0), Some(100));
+    }
+
+    #[test]
+    fn downsample_into_matches_allocating_version() {
+        let img = GrayImage::from_fn(9, 7, |x, y| (x * 31 + y * 17) as u8);
+        let mut out = GrayImage::from_fn(3, 3, |_, _| 99);
+        let grew = downsample_half_into(&img, &mut out);
+        assert!(grew, "9-pixel buffer cannot hold a 12-pixel result");
+        assert_eq!(out, downsample_half(&img));
+        assert!(!downsample_half_into(&img, &mut out), "second pass reuses");
     }
 
     #[test]

@@ -36,6 +36,41 @@ impl RgbImage {
         })
     }
 
+    /// Reuse this image's buffer as a zero-filled `width`×`height`
+    /// image, or `None` if the dimensions overflow the pixel cap.
+    ///
+    /// Same contract as [`GrayImage::try_reset`]: the allocation is kept
+    /// whenever the capacity suffices, and the returned flag reports
+    /// whether the buffer had to grow.
+    pub fn try_reset(&mut self, width: usize, height: usize) -> Option<bool> {
+        let pixels = width.checked_mul(height)?;
+        if pixels > MAX_PIXELS {
+            return None;
+        }
+        let grew = pixels * 3 > self.data.capacity();
+        self.data.clear();
+        self.data.resize(pixels * 3, 0);
+        self.width = width;
+        self.height = height;
+        Some(grew)
+    }
+
+    /// Heap capacity of the pixel buffer, in bytes.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.data.capacity()
+    }
+
+    /// Overwrite this image with a bit-copy of `src`, reusing the
+    /// existing buffer whenever its capacity suffices — the
+    /// allocation-free counterpart of `clone` for recycled workspaces.
+    pub fn copy_from(&mut self, src: &RgbImage) {
+        self.width = src.width;
+        self.height = src.height;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Build an image by evaluating `f(x, y)` for every pixel.
     pub fn from_fn(
         width: usize,
@@ -131,14 +166,37 @@ impl RgbImage {
     /// Convert to grayscale with the ITU-R BT.601 luma weights, the same
     /// weights OpenCV's `cvtColor(COLOR_RGB2GRAY)` uses.
     pub fn to_gray(&self) -> GrayImage {
-        GrayImage::from_fn(self.width, self.height, |x, y| {
-            let o = (y * self.width + x) * 3;
-            let r = self.data[o] as u32;
-            let g = self.data[o + 1] as u32;
-            let b = self.data[o + 2] as u32;
-            // Fixed-point 0.299 R + 0.587 G + 0.114 B.
-            ((r * 306 + g * 601 + b * 117 + 512) >> 10) as u8
-        })
+        let mut out = GrayImage::new(0, 0);
+        self.to_gray_into(&mut out);
+        out
+    }
+
+    /// Grayscale conversion into a caller-owned image, reusing its
+    /// buffer. Bit-identical to [`RgbImage::to_gray`]: the row-wise
+    /// slice walk performs the same fixed-point luma computation in the
+    /// same raster order. Returns whether the destination buffer grew.
+    pub fn to_gray_into(&self, out: &mut GrayImage) -> bool {
+        // `self` exists, so width*height already respects MAX_PIXELS.
+        let grew = out
+            .try_reset(self.width, self.height)
+            .expect("image dimensions exceed MAX_PIXELS");
+        if self.width == 0 || self.height == 0 {
+            return grew;
+        }
+        let dst = out.as_bytes_mut();
+        for (dst_row, src_row) in dst
+            .chunks_exact_mut(self.width)
+            .zip(self.data.chunks_exact(self.width * 3))
+        {
+            for (d, px) in dst_row.iter_mut().zip(src_row.chunks_exact(3)) {
+                let r = px[0] as u32;
+                let g = px[1] as u32;
+                let b = px[2] as u32;
+                // Fixed-point 0.299 R + 0.587 G + 0.114 B.
+                *d = ((r * 306 + g * 601 + b * 117 + 512) >> 10) as u8;
+            }
+        }
+        grew
     }
 
     /// Bilinear sample of all channels at fractional coordinates.
@@ -172,17 +230,34 @@ impl RgbImage {
 
     /// Extract a sub-image; `None` if the rectangle escapes the bounds.
     pub fn crop(&self, x: usize, y: usize, w: usize, h: usize) -> Option<RgbImage> {
-        if x.checked_add(w)? > self.width || y.checked_add(h)? > self.height {
-            return None;
+        let mut out = RgbImage::new(0, 0);
+        self.crop_into(x, y, w, h, &mut out).then_some(out)
+    }
+
+    /// Extract a sub-image into a caller-owned image, reusing its
+    /// buffer. Returns `false` (leaving `out` untouched) if the
+    /// rectangle escapes the bounds.
+    pub fn crop_into(&self, x: usize, y: usize, w: usize, h: usize, out: &mut RgbImage) -> bool {
+        let in_bounds = x.checked_add(w).is_some_and(|r| r <= self.width)
+            && y.checked_add(h).is_some_and(|b| b <= self.height);
+        if !in_bounds || out.try_reset(w, h).is_none() {
+            return false;
         }
-        let mut out = RgbImage::new(w, h);
         for row in 0..h {
             let src_off = ((y + row) * self.width + x) * 3;
             let dst_off = row * w * 3;
             out.data[dst_off..dst_off + w * 3]
                 .copy_from_slice(&self.data[src_off..src_off + w * 3]);
         }
-        Some(out)
+        true
+    }
+}
+
+impl Default for RgbImage {
+    /// An empty 0×0 image — the natural seed for reusable scratch
+    /// buffers that grow on first use.
+    fn default() -> Self {
+        RgbImage::new(0, 0)
     }
 }
 
@@ -211,7 +286,10 @@ mod tests {
         let img = RgbImage::from_fn(1, 1, |_, _| [255, 0, 0]);
         let g = img.to_gray();
         let v = g.get(0, 0).unwrap();
-        assert!((v as i32 - 76).abs() <= 1, "red luma should be ~76, got {v}");
+        assert!(
+            (v as i32 - 76).abs() <= 1,
+            "red luma should be ~76, got {v}"
+        );
         let white = RgbImage::from_fn(1, 1, |_, _| [255, 255, 255]).to_gray();
         assert_eq!(white.get(0, 0), Some(255));
     }
@@ -239,6 +317,34 @@ mod tests {
         assert_eq!(c.get(0, 0), img.get(1, 2));
         assert_eq!(c.get(2, 1), img.get(3, 3));
         assert!(img.crop(4, 4, 2, 2).is_none());
+    }
+
+    #[test]
+    fn to_gray_into_matches_to_gray_and_reuses_buffer() {
+        let img = RgbImage::from_fn(7, 5, |x, y| [x as u8, (y * 3) as u8, (x * y) as u8]);
+        let mut out = GrayImage::from_fn(9, 9, |_, _| 42);
+        let grew = img.to_gray_into(&mut out);
+        assert!(!grew, "81-pixel buffer must absorb a 35-pixel result");
+        assert_eq!(out, img.to_gray());
+    }
+
+    #[test]
+    fn crop_into_matches_crop() {
+        let img = RgbImage::from_fn(5, 5, |x, y| [x as u8, y as u8, 7]);
+        let mut out = RgbImage::new(8, 8);
+        assert!(img.crop_into(1, 2, 3, 2, &mut out));
+        assert_eq!(Some(out.clone()), img.crop(1, 2, 3, 2));
+        assert!(!img.crop_into(4, 4, 2, 2, &mut out));
+        assert_eq!(out.width(), 3, "failed crop must leave the target alone");
+    }
+
+    #[test]
+    fn try_reset_reuses_capacity() {
+        let mut img = RgbImage::from_fn(4, 4, |_, _| [1, 2, 3]);
+        assert!(!img.try_reset(2, 2).unwrap());
+        assert!(img.as_bytes().iter().all(|&v| v == 0));
+        assert!(img.try_reset(8, 8).unwrap());
+        assert!(img.try_reset(usize::MAX, 3).is_none());
     }
 
     #[test]

@@ -23,5 +23,5 @@ mod solve;
 mod vec;
 
 pub use mat::Mat3;
-pub use solve::{solve_dense, LinearSystemError};
+pub use solve::{solve_dense, solve_in_place, LinearSystemError};
 pub use vec::{Vec2, Vec3};

@@ -197,10 +197,7 @@ mod tests {
     use super::*;
 
     fn assert_close(a: Vec2, b: Vec2, tol: f64) {
-        assert!(
-            (a - b).norm() < tol,
-            "expected {b}, got {a} (tol {tol})"
-        );
+        assert!((a - b).norm() < tol, "expected {b}, got {a} (tol {tol})");
     }
 
     #[test]

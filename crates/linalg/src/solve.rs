@@ -41,6 +41,21 @@ impl std::error::Error for LinearSystemError {}
 /// * [`LinearSystemError::NonFinite`] if the inputs contain NaN/∞.
 /// * [`LinearSystemError::Singular`] if no usable pivot exists.
 pub fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Result<Vec<f64>, LinearSystemError> {
+    solve_in_place(a, b, n)?;
+    Ok(b.to_vec())
+}
+
+/// Solve the dense system `A x = b`, leaving `x` in `b`.
+///
+/// Allocation-free twin of [`solve_dense`]: both slices are consumed as
+/// workspace and the solution overwrites `b`. The elimination, pivoting
+/// and back-substitution perform the exact same floating-point operation
+/// sequence as [`solve_dense`], so results are bit-identical.
+///
+/// # Errors
+///
+/// Same contract as [`solve_dense`].
+pub fn solve_in_place(a: &mut [f64], b: &mut [f64], n: usize) -> Result<(), LinearSystemError> {
     if a.len() != n * n || b.len() != n {
         return Err(LinearSystemError::BadShape);
     }
@@ -83,19 +98,19 @@ pub fn solve_dense(a: &mut [f64], b: &mut [f64], n: usize) -> Result<Vec<f64>, L
         }
     }
 
-    // Back substitution.
-    let mut x = vec![0.0f64; n];
+    // Back substitution, in place: rows below `row` already hold their
+    // solved x values, `b[row]` still holds the eliminated RHS.
     for row in (0..n).rev() {
         let mut acc = b[row];
         for k in row + 1..n {
-            acc -= a[row * n + k] * x[k];
+            acc -= a[row * n + k] * b[k];
         }
-        x[row] = acc / a[row * n + row];
-        if !x[row].is_finite() {
+        b[row] = acc / a[row * n + row];
+        if !b[row].is_finite() {
             return Err(LinearSystemError::Singular);
         }
     }
-    Ok(x)
+    Ok(())
 }
 
 #[cfg(test)]
@@ -108,6 +123,16 @@ mod tests {
         let mut b = vec![3.0, -1.0, 2.0];
         let x = solve_dense(&mut a, &mut b, 3).unwrap();
         assert_eq!(x, vec![3.0, -1.0, 2.0]);
+    }
+
+    #[test]
+    fn in_place_matches_allocating_solver_bitwise() {
+        let a = vec![4.0, 1.0, -2.0, 1.0, 6.0, 0.5, -2.0, 0.5, 5.0];
+        let b = vec![3.0, -1.5, 2.25];
+        let x = solve_dense(&mut a.clone(), &mut b.clone(), 3).unwrap();
+        let mut b2 = b.clone();
+        solve_in_place(&mut a.clone(), &mut b2, 3).unwrap();
+        assert_eq!(x, b2);
     }
 
     #[test]
@@ -166,7 +191,9 @@ mod tests {
         let n = 12;
         let mut seed = 0x1234_5678_u64;
         let mut next = move || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / u32::MAX as f64) - 0.5
         };
         let mut a: Vec<f64> = (0..n * n).map(|_| next()).collect();

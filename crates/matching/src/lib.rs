@@ -117,8 +117,26 @@ impl RatioMatcher {
         query: &[Descriptor],
         train: &[Descriptor],
     ) -> Result<Vec<Match>, SimError> {
-        let _f = tap::scope(FuncId::MatchKeypoints);
         let mut out = Vec::new();
+        self.matches_into(query, train, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`RatioMatcher::matches`] into a caller-owned vector (cleared
+    /// first), reusing its allocation. Tap stream and matches are
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RatioMatcher::matches`].
+    pub fn matches_into(
+        &self,
+        query: &[Descriptor],
+        train: &[Descriptor],
+        out: &mut Vec<Match>,
+    ) -> Result<(), SimError> {
+        let _f = tap::scope(FuncId::MatchKeypoints);
+        out.clear();
         let mut early_exits = 0u64;
         for i in 0..query.len() {
             // Cost model: one 256-bit Hamming distance is 4 xors + 4
@@ -148,7 +166,7 @@ impl RatioMatcher {
             }
         }
         emit_match_event("ratio", query.len(), train.len(), out.len(), early_exits);
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -196,8 +214,26 @@ impl SimpleMatcher {
         query: &[Descriptor],
         train: &[Descriptor],
     ) -> Result<Vec<Match>, SimError> {
-        let _f = tap::scope(FuncId::MatchKeypoints);
         let mut out = Vec::new();
+        self.matches_into(query, train, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`SimpleMatcher::matches`] into a caller-owned vector (cleared
+    /// first), reusing its allocation. Tap stream and matches are
+    /// bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimpleMatcher::matches`].
+    pub fn matches_into(
+        &self,
+        query: &[Descriptor],
+        train: &[Descriptor],
+        out: &mut Vec<Match>,
+    ) -> Result<(), SimError> {
+        let _f = tap::scope(FuncId::MatchKeypoints);
+        out.clear();
         let mut early_exits = 0u64;
         for i in 0..query.len() {
             tap::work(OpClass::IntAlu, 6 * train.len() as u64)?;
@@ -233,7 +269,7 @@ impl SimpleMatcher {
             }
         }
         emit_match_event("simple", query.len(), train.len(), out.len(), early_exits);
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -320,7 +356,10 @@ mod tests {
         let d = [random_desc(3)];
         assert!(RatioMatcher::default().matches(&[], &d).unwrap().is_empty());
         assert!(RatioMatcher::default().matches(&d, &[]).unwrap().is_empty());
-        assert!(SimpleMatcher::default().matches(&d, &[]).unwrap().is_empty());
+        assert!(SimpleMatcher::default()
+            .matches(&d, &[])
+            .unwrap()
+            .is_empty());
     }
 
     #[test]
@@ -372,6 +411,26 @@ mod tests {
         // 20×20 candidate scans are abandoned early.
         let exits = ev.u64("hamming_early_exits").unwrap();
         assert!(exits > 0 && exits < 400, "exits = {exits}");
+    }
+
+    #[test]
+    fn matches_into_reuses_buffer_identically() {
+        let train: Vec<Descriptor> = (0..20).map(|i| random_desc(1000 + i)).collect();
+        let query: Vec<Descriptor> = train
+            .iter()
+            .enumerate()
+            .map(|(i, d)| perturb(d, 8, i as u64))
+            .collect();
+        let mut out = Vec::new();
+        let ratio = RatioMatcher::default();
+        ratio.matches_into(&query, &train, &mut out).unwrap();
+        assert_eq!(out, ratio.matches(&query, &train).unwrap());
+        let cap = out.capacity();
+        ratio.matches_into(&query, &train, &mut out).unwrap();
+        assert_eq!(out.capacity(), cap, "steady state must reuse the buffer");
+        let simple = SimpleMatcher::default();
+        simple.matches_into(&query, &train, &mut out).unwrap();
+        assert_eq!(out, simple.matches(&query, &train).unwrap());
     }
 
     #[test]

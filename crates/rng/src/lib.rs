@@ -193,7 +193,10 @@ mod tests {
         for _ in 0..500 {
             seen[r.gen_range(0..8usize)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues must appear: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues must appear: {seen:?}"
+        );
     }
 
     #[test]

@@ -97,10 +97,7 @@ impl<'a> Event<'a> {
 
     /// Look up a field by key (first match wins).
     pub fn get(&self, key: &str) -> Option<Value<'a>> {
-        self.fields
-            .iter()
-            .find(|(k, _)| *k == key)
-            .map(|(_, v)| *v)
+        self.fields.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
     }
 }
 
@@ -277,7 +274,10 @@ mod tests {
 
     #[test]
     fn non_finite_floats_become_null() {
-        let fields = [("x", Value::F64(f64::NAN)), ("y", Value::F64(f64::INFINITY))];
+        let fields = [
+            ("x", Value::F64(f64::NAN)),
+            ("y", Value::F64(f64::INFINITY)),
+        ];
         let e = Event::new("t", &fields);
         assert_eq!(to_jsonl(&e), r#"{"event":"t","x":null,"y":null}"#);
     }

@@ -84,8 +84,7 @@ impl<'a> Parser<'a> {
                     Some(b'u') => {
                         let mut code = 0u32;
                         for _ in 0..4 {
-                            let Some(h) = self.bump().and_then(|b| (b as char).to_digit(16))
-                            else {
+                            let Some(h) = self.bump().and_then(|b| (b as char).to_digit(16)) else {
                                 return self.err("bad \\u escape");
                             };
                             code = code * 16 + h;

@@ -164,8 +164,7 @@ mod tests {
             emit("three", &[]);
         }
         assert!(!enabled());
-        let outer_names: Vec<String> =
-            outer.events().into_iter().map(|e| e.name).collect();
+        let outer_names: Vec<String> = outer.events().into_iter().map(|e| e.name).collect();
         assert_eq!(outer_names, ["one", "three"]);
         assert_eq!(inner.count("two"), 1);
         assert_eq!(inner.len(), 1);
@@ -191,7 +190,10 @@ mod tests {
         }
         let events = sink.events();
         let names: Vec<&str> = events.iter().map(|e| e.name.as_str()).collect();
-        assert_eq!(names, ["span_enter", "span_enter", "span_exit", "span_exit"]);
+        assert_eq!(
+            names,
+            ["span_enter", "span_enter", "span_exit", "span_exit"]
+        );
         assert_eq!(events[0].u64("depth"), Some(0));
         assert_eq!(events[1].u64("depth"), Some(1));
         assert_eq!(events[1].u64("frame"), Some(3));

@@ -97,10 +97,7 @@ impl<W: Write + Send> JsonlSink<W> {
 
     /// Flush and return the inner writer.
     pub fn into_inner(self) -> W {
-        let mut w = self
-            .writer
-            .into_inner()
-            .expect("jsonl sink mutex poisoned");
+        let mut w = self.writer.into_inner().expect("jsonl sink mutex poisoned");
         let _ = w.flush();
         w
     }
@@ -135,7 +132,14 @@ pub struct TextSink<W: Write + Send> {
 /// per-frame/per-stage counters and per-injection records that would
 /// swamp a terminal but belong in a JSONL trace.
 pub const DETAIL_EVENTS: &[&str] = &[
-    "frame", "match", "orb", "ransac", "warp", "span_enter", "span_exit", "injection",
+    "frame",
+    "match",
+    "orb",
+    "ransac",
+    "warp",
+    "span_enter",
+    "span_exit",
+    "injection",
 ];
 
 impl<W: Write + Send> TextSink<W> {

@@ -87,9 +87,8 @@ impl Trajectory {
                 let leg = (t * legs).floor().min(legs - 1.0);
                 let lt = t * legs - leg; // progress within the leg
                 let leg_u = leg as u64;
-                let base = |salt: u64| {
-                    value_noise_2d(self.seed ^ salt ^ (leg_u * 0x51), 7.3 * leg, 1.1)
-                };
+                let base =
+                    |salt: u64| value_noise_2d(self.seed ^ salt ^ (leg_u * 0x51), 7.3 * leg, 1.1);
                 // Endpoints forced to opposite halves of the world so every
                 // leg sweeps a long path (fast pan), alternating direction.
                 let near = |b: f64| 0.05 + 0.35 * b;
@@ -147,7 +146,12 @@ impl MovingObject {
 /// Spawn `count` vehicle-like objects with deterministic positions and
 /// velocities, confined to the world's central region so the camera can
 /// see them.
-pub fn spawn_vehicles(seed: u64, count: usize, world_w: usize, world_h: usize) -> Vec<MovingObject> {
+pub fn spawn_vehicles(
+    seed: u64,
+    count: usize,
+    world_w: usize,
+    world_h: usize,
+) -> Vec<MovingObject> {
     let u = |salt: u64| value_noise_2d(seed ^ salt, salt as f64 * 1.7, 0.3);
     (0..count)
         .map(|i| {
@@ -184,18 +188,15 @@ pub fn render_frame_with_objects(
     RgbImage::from_fn(fw, fh, |x, y| {
         let p = Vec2::new(x as f64, y as f64);
         let w = m.apply(p).unwrap_or(Vec2::ZERO);
-        let mut s = world
-            .sample_bilinear(w.x, w.y)
-            .unwrap_or([0.0, 0.0, 0.0]);
+        let mut s = world.sample_bilinear(w.x, w.y).unwrap_or([0.0, 0.0, 0.0]);
         for o in objects {
             if o.covers(w, frame_index) {
                 s = [o.color[0] as f64, o.color[1] as f64, o.color[2] as f64];
                 break;
             }
         }
-        let n = (value_noise_2d(noise_seed, x as f64 * 3.1, y as f64 * 2.7) - 0.5)
-            * 2.0
-            * noise_amp;
+        let n =
+            (value_noise_2d(noise_seed, x as f64 * 3.1, y as f64 * 2.7) - 0.5) * 2.0 * noise_amp;
         [
             saturate_u8(s[0] + n),
             saturate_u8(s[1] + n),
@@ -269,7 +270,10 @@ mod tests {
             .windows(2)
             .map(|w| (w[1].center - w[0].center).norm())
             .fold(0.0, f64::max);
-        assert!(max_step > 40.0, "expected an abrupt cut, max step {max_step:.1}");
+        assert!(
+            max_step > 40.0,
+            "expected an abrupt cut, max step {max_step:.1}"
+        );
         let zooms: Vec<f64> = poses.iter().map(|p| p.scale).collect();
         let zmin = zooms.iter().cloned().fold(f64::MAX, f64::min);
         let zmax = zooms.iter().cloned().fold(f64::MIN, f64::max);
@@ -282,8 +286,16 @@ mod tests {
             let tr = Trajectory::new(kind, 3);
             for i in 0..80 {
                 let p = tr.pose_at(i as f64 / 79.0, i, 512, 512);
-                assert!(p.center.x > 60.0 && p.center.x < 452.0, "{kind:?} x {}", p.center.x);
-                assert!(p.center.y > 60.0 && p.center.y < 452.0, "{kind:?} y {}", p.center.y);
+                assert!(
+                    p.center.x > 60.0 && p.center.x < 452.0,
+                    "{kind:?} x {}",
+                    p.center.x
+                );
+                assert!(
+                    p.center.y > 60.0 && p.center.y < 452.0,
+                    "{kind:?} y {}",
+                    p.center.y
+                );
             }
         }
     }

@@ -34,8 +34,10 @@ mod camera;
 mod noise;
 mod terrain;
 
-pub use camera::{render_frame, render_frame_with_objects, spawn_vehicles, CameraPose,
-    MovingObject, Trajectory, TrajectoryKind};
+pub use camera::{
+    render_frame, render_frame_with_objects, spawn_vehicles, CameraPose, MovingObject, Trajectory,
+    TrajectoryKind,
+};
 pub use noise::{value_noise_2d, ValueNoise};
 pub use terrain::{generate_world, WorldConfig};
 
@@ -201,7 +203,10 @@ mod tests {
 
     #[test]
     fn frames_are_textured_not_flat() {
-        for spec in [tiny(InputSpec::input1_preset), tiny(InputSpec::input2_preset)] {
+        for spec in [
+            tiny(InputSpec::input1_preset),
+            tiny(InputSpec::input2_preset),
+        ] {
             for f in render_input(&spec) {
                 let g = f.to_gray();
                 let mean = g.mean();
@@ -211,7 +216,11 @@ mod tests {
                     .map(|&v| (v as f64 - mean).powi(2))
                     .sum::<f64>()
                     / g.as_bytes().len() as f64;
-                assert!(var > 25.0, "frame too flat (var {var:.1}) for {}", spec.name);
+                assert!(
+                    var > 25.0,
+                    "frame too flat (var {var:.1}) for {}",
+                    spec.name
+                );
             }
         }
     }

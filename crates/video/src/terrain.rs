@@ -6,8 +6,8 @@
 //! FAST plenty of corner energy (real aerial imagery is corner-dense).
 
 use crate::noise::ValueNoise;
-use vs_rng::SplitMix64;
 use vs_image::{draw_disc_gray, draw_line_gray, GrayImage, RgbImage};
+use vs_rng::SplitMix64;
 
 /// World-generation parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,10 +65,10 @@ pub fn generate_world(cfg: &WorldConfig) -> RgbImage {
         let mut y = rng.gen_range(0..n) as isize;
         let segments = rng.gen_range(3..7);
         for _ in 0..segments {
-            let nx = (x + rng.gen_range(-(n as isize) / 3..n as isize / 3))
-                .clamp(0, n as isize - 1);
-            let ny = (y + rng.gen_range(-(n as isize) / 3..n as isize / 3))
-                .clamp(0, n as isize - 1);
+            let nx =
+                (x + rng.gen_range(-(n as isize) / 3..n as isize / 3)).clamp(0, n as isize - 1);
+            let ny =
+                (y + rng.gen_range(-(n as isize) / 3..n as isize / 3)).clamp(0, n as isize - 1);
             draw_line_gray(&mut road_plane, x, y, nx, ny, 1, 255);
             x = nx;
             y = ny;

@@ -8,7 +8,7 @@
 //! compositional masking of Fig 11b: an SDC in one warped frame can be
 //! painted over by the next frame.
 
-use crate::{warp_perspective_offset, MAX_WARP_PIXELS};
+use crate::{warp_perspective_offset_into, WarpScratch, MAX_WARP_PIXELS};
 use vs_fault::{tap, FuncId, OpClass, SimError};
 use vs_geometry::transform::{transformed_bounds, Bounds};
 use vs_image::{GrayImage, RgbImage};
@@ -46,6 +46,18 @@ pub struct Canvas {
     origin: Vec2,
 }
 
+impl Default for Canvas {
+    /// An empty 0×0 canvas — the natural seed for a reusable canvas
+    /// that is [`Canvas::reset`] before each use.
+    fn default() -> Self {
+        Canvas {
+            image: RgbImage::default(),
+            mask: GrayImage::default(),
+            origin: Vec2::ZERO,
+        }
+    }
+}
+
 impl Canvas {
     /// Allocate a canvas covering `bounds` (world coordinates).
     ///
@@ -55,15 +67,45 @@ impl Canvas {
     /// exceed [`MAX_WARP_PIXELS`] — the library-allocation constraint
     /// that fault-corrupted homographies trip.
     pub fn new(bounds: &Bounds) -> Result<Canvas, SimError> {
+        let mut canvas = Canvas {
+            image: RgbImage::default(),
+            mask: GrayImage::default(),
+            origin: Vec2::ZERO,
+        };
+        canvas.reset(bounds)?;
+        Ok(canvas)
+    }
+
+    /// Re-target this canvas at `bounds`, reusing its pixel buffers
+    /// (zero-filled, exactly as a fresh allocation would be).
+    ///
+    /// # Errors
+    ///
+    /// As [`Canvas::new`]; on error the canvas is left in an unspecified
+    /// (but valid) state.
+    pub fn reset(&mut self, bounds: &Bounds) -> Result<(), SimError> {
         let (w, h) = bounds.pixel_size().ok_or(SimError::Abort)?;
         if w.checked_mul(h).is_none_or(|p| p > MAX_WARP_PIXELS) {
             return Err(SimError::Abort);
         }
-        Ok(Canvas {
-            image: RgbImage::try_new(w, h).ok_or(SimError::Abort)?,
-            mask: GrayImage::try_new(w, h).ok_or(SimError::Abort)?,
-            origin: bounds.min,
-        })
+        self.image.try_reset(w, h).ok_or(SimError::Abort)?;
+        self.mask.try_reset(w, h).ok_or(SimError::Abort)?;
+        self.origin = bounds.min;
+        Ok(())
+    }
+
+    /// Total heap footprint of the canvas buffers, in bytes.
+    pub fn footprint(&self) -> usize {
+        self.image.capacity() + self.mask.capacity()
+    }
+
+    /// Overwrite this canvas with a bit-copy of `src`, reusing the pixel
+    /// buffers whenever capacity suffices — the allocation-free restore
+    /// path of render-phase checkpoint fast-forward.
+    pub fn restore_from(&mut self, src: &Canvas) {
+        self.image.copy_from(&src.image);
+        self.mask.copy_from(&src.mask);
+        self.origin = src.origin;
     }
 
     /// World coordinate of canvas pixel `(0, 0)`.
@@ -112,6 +154,22 @@ impl Canvas {
         h: &Mat3,
         opts: &CompositeOptions,
     ) -> Result<(), SimError> {
+        self.composite_scratch(src, h, opts, &mut WarpScratch::default())
+    }
+
+    /// [`Canvas::composite_with`] with a caller-owned warp workspace —
+    /// the allocation-free form. Tap stream and pixels are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// As [`Canvas::composite`].
+    pub fn composite_scratch(
+        &mut self,
+        src: &RgbImage,
+        h: &Mat3,
+        opts: &CompositeOptions,
+        warp: &mut WarpScratch,
+    ) -> Result<(), SimError> {
         // Degenerate-transform check (the native library asserts here).
         let _ = transformed_bounds(h, src.width(), src.height()).ok_or(SimError::Abort)?;
         // Paper-faithful cost structure: like OpenCV's `warpPerspective`
@@ -121,13 +179,22 @@ impl Canvas {
         // effectively polynomial in accepted frames (§IV-A): fewer or
         // smaller panoramas save panorama-sized work per frame.
         let (win_w, win_h) = (self.image.width(), self.image.height());
-        let (patch, patch_mask) = warp_perspective_offset(src, h, win_w, win_h, self.origin)?;
+        warp_perspective_offset_into(
+            src,
+            h,
+            win_w,
+            win_h,
+            self.origin,
+            &mut warp.patch,
+            &mut warp.mask,
+        )?;
+        let (patch, patch_mask) = (&warp.patch, &warp.mask);
 
         // Optional exposure compensation: ratio of mean luma of already
         // painted canvas content under the new frame's footprint to the
         // new frame's mean luma there.
         let gain = if opts.gain_compensation {
-            self.exposure_gain(&patch, &patch_mask)
+            self.exposure_gain(patch, patch_mask)
         } else {
             1.0
         };
@@ -201,6 +268,16 @@ impl Canvas {
     /// coordinate of the cropped image's pixel `(0, 0)` — needed to map
     /// world-frame annotations (e.g. object tracks) onto the panorama.
     pub fn crop_to_content_with_origin(&self) -> Option<(RgbImage, Vec2)> {
+        let mut img = RgbImage::default();
+        let origin = self.crop_to_content_into(&mut img)?;
+        Some((img, origin))
+    }
+
+    /// [`Canvas::crop_to_content_with_origin`] into a caller-owned image
+    /// (reusing its buffer), returning the world coordinate of the
+    /// cropped image's pixel `(0, 0)`. `out` is untouched when nothing
+    /// was composited.
+    pub fn crop_to_content_into(&self, out: &mut RgbImage) -> Option<Vec2> {
         let w = self.image.width();
         let h = self.image.height();
         let mut min_x = w;
@@ -209,8 +286,9 @@ impl Canvas {
         let mut max_y = 0usize;
         let mut any = false;
         for y in 0..h {
-            for x in 0..w {
-                if self.mask.get(x, y) == Some(255) {
+            let row = &self.mask.as_bytes()[y * w..(y + 1) * w];
+            for (x, &m) in row.iter().enumerate() {
+                if m == 255 {
                     any = true;
                     min_x = min_x.min(x);
                     min_y = min_y.min(y);
@@ -222,14 +300,16 @@ impl Canvas {
         if !any {
             return None;
         }
-        let img = self
+        if !self
             .image
-            .crop(min_x, min_y, max_x - min_x + 1, max_y - min_y + 1)?;
-        let origin = Vec2::new(
+            .crop_into(min_x, min_y, max_x - min_x + 1, max_y - min_y + 1, out)
+        {
+            return None;
+        }
+        Some(Vec2::new(
             self.origin.x + min_x as f64,
             self.origin.y + min_y as f64,
-        );
-        Some((img, origin))
+        ))
     }
 }
 
@@ -262,7 +342,8 @@ mod tests {
     #[test]
     fn composite_at_identity_paints_frame() {
         let mut c = Canvas::new(&bounds(0.0, 0.0, 40.0, 30.0)).unwrap();
-        c.composite(&solid(20, 15, [9, 9, 9]), &Mat3::IDENTITY).unwrap();
+        c.composite(&solid(20, 15, [9, 9, 9]), &Mat3::IDENTITY)
+            .unwrap();
         assert_eq!(c.image().get(5, 5), Some([9, 9, 9]));
         assert_eq!(c.mask().get(25, 20), Some(0));
         assert!(c.coverage() > 0.1 && c.coverage() < 0.5);
@@ -271,7 +352,8 @@ mod tests {
     #[test]
     fn later_frames_overwrite_earlier() {
         let mut c = Canvas::new(&bounds(0.0, 0.0, 30.0, 30.0)).unwrap();
-        c.composite(&solid(20, 20, [10, 0, 0]), &Mat3::IDENTITY).unwrap();
+        c.composite(&solid(20, 20, [10, 0, 0]), &Mat3::IDENTITY)
+            .unwrap();
         c.composite(&solid(20, 20, [0, 20, 0]), &Mat3::translation(5.0, 5.0))
             .unwrap();
         // Overlap region takes the second frame.
@@ -304,8 +386,16 @@ mod tests {
             .unwrap();
         let cropped = c.crop_to_content().unwrap();
         // Bilinear border bleed can extend coverage by ~1px per side.
-        assert!((7..=10).contains(&cropped.width()), "width {}", cropped.width());
-        assert!((5..=8).contains(&cropped.height()), "height {}", cropped.height());
+        assert!(
+            (7..=10).contains(&cropped.width()),
+            "width {}",
+            cropped.width()
+        );
+        assert!(
+            (5..=8).contains(&cropped.height()),
+            "height {}",
+            cropped.height()
+        );
         assert_eq!(cropped.get(2, 2), Some([3, 3, 3]));
     }
 
@@ -326,7 +416,11 @@ mod tests {
             .unwrap();
         c.composite_with(&solid(10, 10, [200, 0, 0]), &Mat3::IDENTITY, &opts)
             .unwrap();
-        assert_eq!(c.image().get(5, 5), Some([150, 0, 0]), "overlap must average");
+        assert_eq!(
+            c.image().get(5, 5),
+            Some([150, 0, 0]),
+            "overlap must average"
+        );
     }
 
     #[test]
@@ -338,6 +432,47 @@ mod tests {
         b.composite_with(&frame, &Mat3::IDENTITY, &CompositeOptions::default())
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn reset_and_scratch_composite_match_fresh() {
+        let frame = solid(10, 10, [33, 44, 55]);
+        let mut fresh = Canvas::new(&bounds(0.0, 0.0, 20.0, 20.0)).unwrap();
+        fresh.composite(&frame, &Mat3::IDENTITY).unwrap();
+        // Dirty the reused canvas with unrelated content first, then
+        // re-target it: the result must be indistinguishable from new.
+        let mut reused = Canvas::new(&bounds(0.0, 0.0, 40.0, 25.0)).unwrap();
+        reused
+            .composite(&frame, &Mat3::translation(3.0, 3.0))
+            .unwrap();
+        let mut warp = WarpScratch::default();
+        reused.reset(&bounds(0.0, 0.0, 20.0, 20.0)).unwrap();
+        reused
+            .composite_scratch(
+                &frame,
+                &Mat3::IDENTITY,
+                &CompositeOptions::default(),
+                &mut warp,
+            )
+            .unwrap();
+        assert_eq!(fresh, reused);
+        let mut out = RgbImage::default();
+        let origin = reused.crop_to_content_into(&mut out).unwrap();
+        let (img, origin_fresh) = fresh.crop_to_content_with_origin().unwrap();
+        assert_eq!(out, img);
+        assert_eq!(origin, origin_fresh);
+        // Steady state: repeating the same work must not grow buffers.
+        let fp = reused.footprint() + warp.footprint();
+        reused.reset(&bounds(0.0, 0.0, 20.0, 20.0)).unwrap();
+        reused
+            .composite_scratch(
+                &frame,
+                &Mat3::IDENTITY,
+                &CompositeOptions::default(),
+                &mut warp,
+            )
+            .unwrap();
+        assert_eq!(reused.footprint() + warp.footprint(), fp);
     }
 
     #[test]
@@ -364,9 +499,13 @@ mod tests {
         );
         // Without compensation the overlap is the raw bright value.
         let mut raw = Canvas::new(&bounds(0.0, 0.0, 30.0, 20.0)).unwrap();
-        raw.composite(&solid(16, 16, [80, 80, 80]), &Mat3::IDENTITY).unwrap();
-        raw.composite(&solid(16, 16, [160, 160, 160]), &Mat3::translation(6.0, 0.0))
+        raw.composite(&solid(16, 16, [80, 80, 80]), &Mat3::IDENTITY)
             .unwrap();
+        raw.composite(
+            &solid(16, 16, [160, 160, 160]),
+            &Mat3::translation(6.0, 0.0),
+        )
+        .unwrap();
         assert_eq!(raw.image().get(12, 8), Some([160, 160, 160]));
     }
 
@@ -374,10 +513,10 @@ mod tests {
     fn degenerate_transform_aborts_composite() {
         let mut c = Canvas::new(&bounds(0.0, 0.0, 20.0, 20.0)).unwrap();
         // Sends the frame's right edge (x = 30) to infinity.
-        let degenerate =
-            Mat3::from_rows([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, -1.0 / 30.0, 0.0, 1.0]);
+        let degenerate = Mat3::from_rows([1.0, 0.0, 0.0, 0.0, 1.0, 0.0, -1.0 / 30.0, 0.0, 1.0]);
         assert_eq!(
-            c.composite(&solid(30, 30, [1, 1, 1]), &degenerate).unwrap_err(),
+            c.composite(&solid(30, 30, [1, 1, 1]), &degenerate)
+                .unwrap_err(),
             SimError::Abort
         );
     }

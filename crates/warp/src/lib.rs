@@ -32,6 +32,22 @@ mod canvas;
 
 pub use canvas::{BlendMode, Canvas, CompositeOptions};
 
+/// Reusable warp destination + coverage-mask buffers for
+/// [`Canvas::composite_scratch`] (and any caller of
+/// [`warp_perspective_offset_into`] that wants a named pair).
+#[derive(Debug, Default)]
+pub struct WarpScratch {
+    pub(crate) patch: RgbImage,
+    pub(crate) mask: GrayImage,
+}
+
+impl WarpScratch {
+    /// Total heap footprint of the owned buffers, in bytes.
+    pub fn footprint(&self) -> usize {
+        self.patch.capacity() + self.mask.capacity()
+    }
+}
+
 use vs_fault::{tap, FuncId, OpClass, SimError};
 use vs_image::{saturate_u8, GrayImage, RgbImage};
 use vs_linalg::{Mat3, Vec2};
@@ -98,28 +114,48 @@ fn remap_bilinear(
             let y0c = (sy.floor() as isize).clamp(0, sh as isize - 2) as usize;
             let fx = (sx - x0c as f64).clamp(0.0, 1.0);
             let fy = (sy - y0c as f64).clamp(0.0, 1.0);
-            let src_idx = tap::addr(y0c * row_stride + x0c * 3);
-            // Out-of-bounds fetches split by magnitude, as native crashes
-            // do: mild overshoot lands in adjacent allocations and trips
-            // library assertions (abort); wild pointers segfault.
-            let fetch = |off: usize| -> Result<f64, SimError> {
-                let i = src_idx.wrapping_add(off);
-                match src_bytes.get(i) {
-                    Some(&v) => Ok(f64::from(v)),
-                    None if i < src_bytes.len().saturating_mul(16) => Err(SimError::Abort),
-                    None => Err(SimError::Segfault),
-                }
-            };
-            let mut pixel = [0u8; 3];
+            let src_base = y0c * row_stride + x0c * 3;
+            let src_idx = tap::addr(src_base);
             let mut packed = 0u64;
-            for c in 0..3 {
-                let p00 = fetch(c)?;
-                let p10 = fetch(3 + c)?;
-                let p01 = fetch(row_stride + c)?;
-                let p11 = fetch(row_stride + 3 + c)?;
-                let top = p00 + (p10 - p00) * fx;
-                let bottom = p01 + (p11 - p01) * fx;
-                packed |= (saturate_u8(top + (bottom - top) * fy) as u64) << (8 * c);
+            if src_idx == src_base {
+                // Uncorrupted address: gather through two row slices with
+                // the bounds check hoisted out of the channel loop. The
+                // clamps above give `src_base + row_stride + 5 <
+                // src_bytes.len()`, so these slices cannot fail.
+                let row0 = &src_bytes[src_base..src_base + 6];
+                let row1 = &src_bytes[src_base + row_stride..src_base + row_stride + 6];
+                for c in 0..3 {
+                    let p00 = f64::from(row0[c]);
+                    let p10 = f64::from(row0[3 + c]);
+                    let p01 = f64::from(row1[c]);
+                    let p11 = f64::from(row1[3 + c]);
+                    let top = p00 + (p10 - p00) * fx;
+                    let bottom = p01 + (p11 - p01) * fx;
+                    packed |= (saturate_u8(top + (bottom - top) * fy) as u64) << (8 * c);
+                }
+            } else {
+                // Corrupted load base: per-byte checked fetches splitting
+                // out-of-bounds accesses by magnitude, as native crashes
+                // do — mild overshoot lands in adjacent allocations and
+                // trips library assertions (abort); wild pointers
+                // segfault.
+                let fetch = |off: usize| -> Result<f64, SimError> {
+                    let i = src_idx.wrapping_add(off);
+                    match src_bytes.get(i) {
+                        Some(&v) => Ok(f64::from(v)),
+                        None if i < src_bytes.len().saturating_mul(16) => Err(SimError::Abort),
+                        None => Err(SimError::Segfault),
+                    }
+                };
+                for c in 0..3 {
+                    let p00 = fetch(c)?;
+                    let p10 = fetch(3 + c)?;
+                    let p01 = fetch(row_stride + c)?;
+                    let p11 = fetch(row_stride + 3 + c)?;
+                    let top = p00 + (p10 - p00) * fx;
+                    let bottom = p01 + (p11 - p01) * fx;
+                    packed |= (saturate_u8(top + (bottom - top) * fy) as u64) << (8 * c);
+                }
             }
             // Dead-register tap: compiled remap kernels keep several
             // ephemeral temporaries per pixel whose corruption never
@@ -128,19 +164,29 @@ fn remap_bilinear(
             // Data tap on the packed pixel value (an integer register
             // holding store data); and an address tap on the store index.
             let packed = tap::gpr(packed);
+            let mut pixel = [0u8; 3];
             for (c, px) in pixel.iter_mut().enumerate() {
                 *px = ((packed >> (8 * c)) & 0xff) as u8;
             }
             let idx = tap::addr(row_base + x);
-            let (px, py) = (idx % w, idx / w);
-            if !dst.set(px, py, pixel) {
-                return Err(if idx < dst.width() * dst.height() * 16 {
-                    SimError::Abort
-                } else {
-                    SimError::Segfault
-                });
+            if idx == row_base + x {
+                // Uncorrupted store index: direct byte store, skipping the
+                // div/mod recovery and the per-pixel bounds re-check
+                // (`idx < w * dst_h` since `y < y1 <= dst.height()`).
+                let byte = idx * 3;
+                dst.as_bytes_mut()[byte..byte + 3].copy_from_slice(&pixel);
+                mask.as_bytes_mut()[idx] = 255;
+            } else {
+                let (px, py) = (idx % w, idx / w);
+                if !dst.set(px, py, pixel) {
+                    return Err(if idx < dst.width() * dst.height() * 16 {
+                        SimError::Abort
+                    } else {
+                        SimError::Segfault
+                    });
+                }
+                mask.set(px, py, 255);
             }
-            mask.set(px, py, 255);
         }
     }
     Ok(())
@@ -181,6 +227,29 @@ pub fn warp_perspective_offset(
     dst_h: usize,
     origin: Vec2,
 ) -> Result<(RgbImage, GrayImage), SimError> {
+    let mut dst = RgbImage::default();
+    let mut mask = GrayImage::default();
+    warp_perspective_offset_into(src, h, dst_w, dst_h, origin, &mut dst, &mut mask)?;
+    Ok((dst, mask))
+}
+
+/// [`warp_perspective_offset`] into caller-owned destination and mask
+/// buffers, reused (zero-filled) across calls. Tap stream and pixels are
+/// bit-identical to the allocating path. On error the buffers are left
+/// in an unspecified (but valid) state.
+///
+/// # Errors
+///
+/// As [`warp_perspective`].
+pub fn warp_perspective_offset_into(
+    src: &RgbImage,
+    h: &Mat3,
+    dst_w: usize,
+    dst_h: usize,
+    origin: Vec2,
+    dst: &mut RgbImage,
+    mask: &mut GrayImage,
+) -> Result<(), SimError> {
     let _f = tap::scope(FuncId::WarpPerspective);
     tap::work(OpClass::Float, 120)?;
     tap::work(OpClass::IntAlu, 60)?;
@@ -188,17 +257,14 @@ pub fn warp_perspective_offset(
         return Err(SimError::Abort);
     }
     let inv = h.inverse().ok_or(SimError::Abort)?;
-    let mut dst = RgbImage::try_new(dst_w, dst_h).ok_or(SimError::Abort)?;
-    let mut mask = GrayImage::try_new(dst_w, dst_h).ok_or(SimError::Abort)?;
-    remap_bilinear(src, &inv, &mut dst, &mut mask, origin, 0, dst_h)?;
+    dst.try_reset(dst_w, dst_h).ok_or(SimError::Abort)?;
+    mask.try_reset(dst_w, dst_h).ok_or(SimError::Abort)?;
+    remap_bilinear(src, &inv, dst, mask, origin, 0, dst_h)?;
     vs_telemetry::emit(
         "warp",
-        &[(
-            "pixels",
-            vs_telemetry::Value::U64((dst_w * dst_h) as u64),
-        )],
+        &[("pixels", vs_telemetry::Value::U64((dst_w * dst_h) as u64))],
     );
-    Ok((dst, mask))
+    Ok(())
 }
 
 /// Warp an affine transform (`h` must have last row `[0, 0, 1]`); same
@@ -225,7 +291,9 @@ mod tests {
     use super::*;
 
     fn gradient(w: usize, h: usize) -> RgbImage {
-        RgbImage::from_fn(w, h, |x, y| [(x * 7 % 256) as u8, (y * 11 % 256) as u8, 128])
+        RgbImage::from_fn(w, h, |x, y| {
+            [(x * 7 % 256) as u8, (y * 11 % 256) as u8, 128]
+        })
     }
 
     #[test]
@@ -252,9 +320,8 @@ mod tests {
         let mut src = RgbImage::new(33, 33);
         src.set(16, 16, [200, 100, 50]);
         // Rotate about the centre: T(c) R T(-c).
-        let r = Mat3::translation(16.0, 16.0)
-            * Mat3::rotation(0.7)
-            * Mat3::translation(-16.0, -16.0);
+        let r =
+            Mat3::translation(16.0, 16.0) * Mat3::rotation(0.7) * Mat3::translation(-16.0, -16.0);
         let (out, _) = warp_perspective(&src, &r, 33, 33).unwrap();
         let p = out.get(16, 16).unwrap();
         assert!(p[0] > 100, "centre pixel must survive rotation: {p:?}");
@@ -299,8 +366,7 @@ mod tests {
         let src = gradient(40, 40);
         let (a, _) = warp_perspective(&src, &Mat3::IDENTITY, 20, 20).unwrap();
         let (b, _) =
-            warp_perspective_offset(&src, &Mat3::IDENTITY, 20, 20, Vec2::new(10.0, 5.0))
-                .unwrap();
+            warp_perspective_offset(&src, &Mat3::IDENTITY, 20, 20, Vec2::new(10.0, 5.0)).unwrap();
         assert_eq!(b.get(0, 0), src.get(10, 5));
         assert_eq!(a.get(0, 0), src.get(0, 0));
     }

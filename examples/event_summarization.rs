@@ -32,7 +32,11 @@ fn main() -> Result<(), SimError> {
         })
         .collect();
     let spec = spec.with_objects(vehicles);
-    println!("rendering {} frames with {} vehicles...", spec.frames, spec.objects.len());
+    println!(
+        "rendering {} frames with {} vehicles...",
+        spec.frames,
+        spec.objects.len()
+    );
     let frames = render_input(&spec);
 
     let integrated =

@@ -22,7 +22,9 @@ fn main() -> Result<(), SimError> {
     // 1. End-to-end VS with injections confined to the warp functions.
     let vs = experiments::vs_workload(InputId::Input1, Scale::Quick, Approximation::Baseline);
     let vs_golden = profile_golden_masked(&vs, warp_only)?;
-    let cfg = CampaignConfig::new(RegClass::Gpr, injections).seed(0xB).keep_sdc_outputs(false);
+    let cfg = CampaignConfig::new(RegClass::Gpr, injections)
+        .seed(0xB)
+        .keep_sdc_outputs(false);
     let vs_rates = outcome_rates(&campaign::run_campaign(&vs, &vs_golden, &cfg));
     println!(
         "VS (end-to-end), warp-confined faults: masked {:.1}%  sdc {:.1}%  crash {:.1}%",

@@ -16,8 +16,7 @@ fn main() -> Result<(), SimError> {
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
 
-    let workload =
-        experiments::vs_workload(InputId::Input2, Scale::Quick, Approximation::Baseline);
+    let workload = experiments::vs_workload(InputId::Input2, Scale::Quick, Approximation::Baseline);
     let golden = campaign::profile_golden(&workload)?;
     println!("running {injections} GPR injections, keeping SDC outputs...");
     let cfg = CampaignConfig::new(RegClass::Gpr, injections)
@@ -39,8 +38,14 @@ fn main() -> Result<(), SimError> {
 
     for q in &qualities {
         match q.ed {
-            Some(ed) => println!("  SDC: relative_l2_norm {:6.2}%  ED {ed}", q.relative_l2_norm),
-            None => println!("  SDC: relative_l2_norm {:6.2}%  EGREGIOUS", q.relative_l2_norm),
+            Some(ed) => println!(
+                "  SDC: relative_l2_norm {:6.2}%  ED {ed}",
+                q.relative_l2_norm
+            ),
+            None => println!(
+                "  SDC: relative_l2_norm {:6.2}%  EGREGIOUS",
+                q.relative_l2_norm
+            ),
         }
     }
 

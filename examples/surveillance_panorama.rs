@@ -55,12 +55,7 @@ fn main() -> Result<(), SimError> {
     for (i, pano) in summary.panoramas.iter().enumerate() {
         let path = out.join(format!("mini_panorama_{i}.ppm"));
         write_ppm(&path, pano).expect("write panorama");
-        println!(
-            "  {} ({}x{})",
-            path.display(),
-            pano.width(),
-            pano.height()
-        );
+        println!("  {} ({}x{})", path.display(), pano.width(), pano.height());
     }
 
     // Coverage summary: how much of the world did the sweep capture?

@@ -9,6 +9,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== format: cargo fmt --check =="
+cargo fmt --check
+
 echo "== tier-1: cargo build --release =="
 cargo build --release --offline
 
@@ -20,6 +23,12 @@ cargo clippy --workspace --release --offline -- -D warnings
 
 echo "== bench smoke: campaign_bench --smoke =="
 ./target/release/campaign_bench --smoke --out /tmp/BENCH_smoke.json
+# The workspace-reuse path must reach its zero-allocation steady state:
+# after warmup, a reused workspace performs no heap allocation per run.
+grep -q '"allocs_per_run_steady": 0.000000' /tmp/BENCH_smoke.json || {
+    echo "error: allocs_per_run_steady != 0 in smoke bench" >&2
+    exit 1
+}
 rm -f /tmp/BENCH_smoke.json
 
 echo "== trace smoke: campaign_bench --smoke --trace + trace_check =="
@@ -28,18 +37,21 @@ echo "== trace smoke: campaign_bench --smoke --trace + trace_check =="
 # Every line must parse as a schema-conforming JSONL event, and the
 # event census must match the campaign shape: 24 injections x 2
 # campaigns (scratch + checkpointed), each with its own golden profile.
+# --scratch-steady validates from the trace alone that the last traced
+# run reused every workspace buffer group (zero-allocation steady state).
 ./target/release/trace_check /tmp/BENCH_smoke.jsonl --quiet \
     --expect injection=48 \
     --expect campaign_start=2 \
     --expect campaign_done=2 \
     --expect golden_profile=2 \
     --expect bench_result=1 \
-    --require frame --require match --require ransac --require warp
+    --require frame --require match --require ransac --require warp \
+    --scratch-steady
 rm -f /tmp/BENCH_smoke.json /tmp/BENCH_smoke.jsonl
 
 if [ "${1:-}" = "--full" ]; then
-    echo "== bench full: campaign_bench -> BENCH_1.json =="
-    ./target/release/campaign_bench --out BENCH_1.json
+    echo "== bench full: campaign_bench -> BENCH_2.json =="
+    ./target/release/campaign_bench --out BENCH_2.json
 fi
 
 echo "== verify: OK =="

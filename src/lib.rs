@@ -86,9 +86,9 @@ pub mod prelude {
     pub use vs_fault::stats::outcome_rates;
     pub use vs_fault::{FuncId, FuncMask, SimError};
     pub use vs_image::{GrayImage, RgbImage};
-    pub use vs_warp::{BlendMode, CompositeOptions};
     pub use vs_perfmodel::MachineModel;
     pub use vs_video::{render_input, InputSpec};
+    pub use vs_warp::{BlendMode, CompositeOptions};
 }
 
 #[cfg(test)]

@@ -9,7 +9,9 @@ use video_summarization::prelude::*;
 fn full_campaign(class: RegClass, n: usize) -> Vec<campaign::Injection<Vec<RgbImage>>> {
     let w = experiments::vs_workload(InputId::Input1, Scale::Quick, Approximation::Baseline);
     let g = campaign::profile_golden(&w).unwrap();
-    let cfg = CampaignConfig::new(class, n).seed(0xFA).keep_sdc_outputs(false);
+    let cfg = CampaignConfig::new(class, n)
+        .seed(0xFA)
+        .keep_sdc_outputs(false);
     campaign::run_campaign(&w, &g, &cfg)
 }
 
@@ -70,7 +72,9 @@ fn faults_land_across_many_pipeline_functions() {
 fn masked_runs_produce_identical_outputs_by_construction() {
     let w = experiments::vs_workload(InputId::Input2, Scale::Quick, Approximation::Baseline);
     let g = campaign::profile_golden(&w).unwrap();
-    let cfg = CampaignConfig::new(RegClass::Fpr, 40).seed(5).keep_sdc_outputs(true);
+    let cfg = CampaignConfig::new(RegClass::Fpr, 40)
+        .seed(5)
+        .keep_sdc_outputs(true);
     let recs = campaign::run_campaign(&w, &g, &cfg);
     // FPR faults mask overwhelmingly; each masked record must carry no
     // output (it equalled golden) and each SDC record must carry one.
@@ -100,7 +104,9 @@ fn function_mask_confines_fired_faults() {
     let mask = FuncMask::only(&[FuncId::MatchKeypoints]);
     let w = experiments::vs_workload(InputId::Input2, Scale::Quick, Approximation::Baseline);
     let g = campaign::profile_golden_masked(&w, mask).unwrap();
-    let cfg = CampaignConfig::new(RegClass::Gpr, 60).seed(9).keep_sdc_outputs(false);
+    let cfg = CampaignConfig::new(RegClass::Gpr, 60)
+        .seed(9)
+        .keep_sdc_outputs(false);
     let recs = campaign::run_campaign(&w, &g, &cfg);
     for r in &recs {
         let fired = r.fired.expect("fault must fire");

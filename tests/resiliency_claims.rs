@@ -40,7 +40,11 @@ fn gpr_faults_crash_heavily_fpr_faults_mask() {
         "segfaults must dominate crashes ({:.1}%)",
         gpr.crash_segfault_share
     );
-    assert!(gpr.masked > 30.0, "GPR masking collapsed: {:.1}%", gpr.masked);
+    assert!(
+        gpr.masked > 30.0,
+        "GPR masking collapsed: {:.1}%",
+        gpr.masked
+    );
 
     let fpr = {
         let w = experiments::vs_workload(InputId::Input1, Scale::Quick, Approximation::Baseline);
@@ -73,11 +77,7 @@ fn approximations_do_not_degrade_crash_or_hang_profile() {
             r.crash,
             base.crash
         );
-        assert!(
-            r.hang < 6.0,
-            "{approx}: hang rate {:.1}% exploded",
-            r.hang
-        );
+        assert!(r.hang < 6.0, "{approx}: hang rate {:.1}% exploded", r.hang);
         assert!(
             r.sdc < base.sdc + 12.0,
             "{approx}: SDC {:.1}% more than slightly above baseline {:.1}%",

@@ -1,0 +1,127 @@
+//! Zero-allocation proof at the workload layer: reusable run workspaces
+//! must never change what the fault simulator computes. Golden tap
+//! profiles (total, eligible and per-function counts), fault draws,
+//! outcome classifications and fired-fault records have to be
+//! bit-for-bit identical between the fresh-allocation path
+//! ([`Workload::run`] / `run_campaign`) and the workspace-reuse path
+//! (`run_scratch` / `run_campaign_checkpointed`) — across repeated
+//! reuse, thread counts and both checkpoint policies. The workspace is a
+//! buffer recycler outside the simulated machine; any divergence here
+//! means buffer reuse leaked into the tap stream or the output.
+
+use video_summarization::prelude::*;
+use vs_fault::campaign::{
+    CheckpointPolicy, Checkpointed, Injection, ScratchCheckpointed, ScratchWorkload,
+};
+use vs_fault::session;
+
+fn workload() -> VsWorkload {
+    experiments::vs_workload(InputId::Input2, Scale::Quick, Approximation::Baseline)
+}
+
+/// (spec, outcome, fired) fingerprint of a campaign — everything the
+/// resiliency statistics are built from.
+fn fingerprint(recs: &[Injection<Vec<RgbImage>>]) -> Vec<String> {
+    recs.iter()
+        .map(|r| format!("{} {:?} {:?}", r.spec, r.outcome, r.fired))
+        .collect()
+}
+
+#[test]
+fn workspace_runs_match_allocating_runs_tap_for_tap() {
+    let w = workload();
+    let (fresh, fresh_taps) = {
+        let _g = session::begin_profile();
+        (Workload::run(&w).unwrap(), session::report())
+    };
+    // The same workspace, reused run after run: the tap report (which
+    // carries per-function and per-class instruction counts) and the
+    // output must never drift from the allocating run's.
+    let mut scratch = w.make_scratch();
+    for round in 0..3 {
+        let _g = session::begin_profile();
+        w.run_scratch(&mut scratch).unwrap();
+        assert_eq!(
+            session::report(),
+            fresh_taps,
+            "tap profile diverged on reuse round {round}"
+        );
+        assert_eq!(
+            *w.scratch_output(&scratch),
+            fresh,
+            "output diverged on reuse round {round}"
+        );
+    }
+}
+
+#[test]
+fn workspace_resume_matches_allocating_resume_at_every_checkpoint() {
+    let w = workload();
+    let ck = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(2)).unwrap();
+    assert!(!ck.checkpoints.is_empty());
+    let mut scratch = w.make_scratch();
+    // Dirty the workspace with a full run first: a restore must fully
+    // reset every buffer it touches.
+    w.run_scratch(&mut scratch).unwrap();
+    for (i, c) in ck.checkpoints.iter().enumerate() {
+        let (fresh, fresh_taps) = {
+            let _g = session::begin_profile_at(c.tap_snapshot());
+            (Checkpointed::resume(&w, c).unwrap(), session::report())
+        };
+        let _g = session::begin_profile_at(c.tap_snapshot());
+        w.resume_scratch(c, &mut scratch).unwrap();
+        assert_eq!(
+            session::report(),
+            fresh_taps,
+            "tap counters diverged resuming checkpoint {i}"
+        );
+        assert_eq!(
+            *w.scratch_output(&scratch),
+            fresh,
+            "output diverged resuming checkpoint {i}"
+        );
+        assert_eq!(fresh, ck.golden.output, "checkpoint {i} resume vs golden");
+    }
+}
+
+#[test]
+fn campaigns_match_across_policies_and_threads() {
+    let w = workload();
+    let golden = campaign::profile_golden(&w).unwrap();
+    let ck_off = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::Off).unwrap();
+    let ck2 = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(2)).unwrap();
+    assert_eq!(
+        golden.profile, ck2.golden.profile,
+        "checkpoint capture perturbed the golden profile"
+    );
+    assert!(ck_off.checkpoints.is_empty(), "Off must capture nothing");
+    assert!(
+        ck2.checkpoints.iter().any(|c| c.is_render()),
+        "render-phase checkpoints expected at EveryKFrames(2)"
+    );
+    const N: usize = 16;
+    for class in [RegClass::Gpr, RegClass::Fpr] {
+        for threads in [1usize, 4] {
+            let alloc = campaign::run_campaign(
+                &w,
+                &golden,
+                &CampaignConfig::new(class, N).seed(0x7E1E).threads(threads),
+            );
+            for (policy, g) in [
+                (CheckpointPolicy::Off, &ck_off),
+                (CheckpointPolicy::EveryKFrames(2), &ck2),
+            ] {
+                let cfg = CampaignConfig::new(class, N)
+                    .seed(0x7E1E)
+                    .threads(threads)
+                    .checkpoint_policy(policy);
+                let reused = campaign::run_campaign_checkpointed(&w, g, &cfg);
+                assert_eq!(
+                    fingerprint(&alloc),
+                    fingerprint(&reused),
+                    "campaign diverged: {class} threads({threads}) {policy:?}"
+                );
+            }
+        }
+    }
+}

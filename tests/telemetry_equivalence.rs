@@ -92,8 +92,14 @@ fn campaigns_are_identical_across_threads_with_jsonl_sink() {
         let events = vs_telemetry::jsonl::parse_trace(&text).expect("trace must parse");
         let injections = events.iter().filter(|e| e.name == "injection").count();
         assert_eq!(injections, N, "one injection event per run");
-        assert_eq!(events.iter().filter(|e| e.name == "campaign_start").count(), 1);
-        assert_eq!(events.iter().filter(|e| e.name == "campaign_done").count(), 1);
+        assert_eq!(
+            events.iter().filter(|e| e.name == "campaign_start").count(),
+            1
+        );
+        assert_eq!(
+            events.iter().filter(|e| e.name == "campaign_done").count(),
+            1
+        );
     }
 }
 
@@ -128,7 +134,9 @@ fn checkpointed_campaigns_are_identical_with_jsonl_sink() {
         let scratch = campaign::run_campaign(
             &w,
             &golden,
-            &CampaignConfig::new(RegClass::Gpr, N).seed(0x7E1E).threads(threads),
+            &CampaignConfig::new(RegClass::Gpr, N)
+                .seed(0x7E1E)
+                .threads(threads),
         );
         assert_eq!(fingerprint(&scratch), fingerprint(&traced));
 
