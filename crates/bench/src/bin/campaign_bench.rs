@@ -4,9 +4,16 @@
 //! steady-state heap allocations, and emits the result as `BENCH_2.json`.
 //!
 //! ```text
-//! campaign_bench [--frames N] [--inj N] [--threads N] [--every-k K]
+//! campaign_bench [--frames N] [--inj N] [--threads N[,N...]] [--every-k K]
 //!                [--seed S] [--out FILE] [--trace FILE] [--smoke]
 //! ```
+//!
+//! `--threads` accepts a comma list (`--threads 1,2,4`): the first count
+//! drives the off/on comparison, and every further count re-runs the
+//! checkpointed campaign as a scaling sweep whose outcome records must
+//! be identical to the first run's (thread-striping is index-
+//! deterministic, so any divergence is a bug). The sweep lands in the
+//! JSON as `thread_sweep` rows.
 //!
 //! The benchmark profiles one golden run (plain and checkpoint-capturing),
 //! then runs the same GPR campaign twice — every injection re-executed
@@ -116,14 +123,16 @@ fn measure_allocs(w: &VsWorkload) -> AllocStats {
     })
 }
 
-const USAGE: &str = "usage: campaign_bench [--frames N] [--inj N] [--threads N] [--every-k K] [--seed S] [--out FILE] [--trace FILE] [--smoke]";
+const USAGE: &str = "usage: campaign_bench [--frames N] [--inj N] [--threads N[,N...]] [--every-k K] [--seed S] [--out FILE] [--trace FILE] [--smoke]";
 
 struct BenchOpts {
     frames: usize,
     width: usize,
     height: usize,
     injections: usize,
-    threads: usize,
+    /// Thread counts to bench: the first is the primary off/on
+    /// comparison, the rest are scaling-sweep reruns.
+    threads: Vec<usize>,
     every_k: usize,
     seed: u64,
     out: std::path::PathBuf,
@@ -137,13 +146,25 @@ impl Default for BenchOpts {
             width: 128,
             height: 96,
             injections: 120,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: vec![std::thread::available_parallelism().map_or(1, |n| n.get())],
             every_k: 1,
             seed: 0xBE6C,
             out: "BENCH_2.json".into(),
             trace: None,
         }
     }
+}
+
+/// Parse a `--threads` comma list: non-empty, every count positive.
+fn parse_threads(v: &str) -> Result<Vec<usize>, String> {
+    let list: Vec<usize> = v
+        .split(',')
+        .map(|s| s.trim().parse::<usize>().map_err(|_| "bad --threads"))
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() || list.contains(&0) {
+        return Err("--threads needs positive counts".into());
+    }
+    Ok(list)
 }
 
 fn parse(args: &[String]) -> Result<BenchOpts, String> {
@@ -156,7 +177,7 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
         match arg.as_str() {
             "--frames" => o.frames = val("--frames")?.parse().map_err(|_| "bad --frames")?,
             "--inj" => o.injections = val("--inj")?.parse().map_err(|_| "bad --inj")?,
-            "--threads" => o.threads = val("--threads")?.parse().map_err(|_| "bad --threads")?,
+            "--threads" => o.threads = parse_threads(&val("--threads")?)?,
             "--every-k" => o.every_k = val("--every-k")?.parse().map_err(|_| "bad --every-k")?,
             "--seed" => o.seed = val("--seed")?.parse().map_err(|_| "bad --seed")?,
             "--out" => o.out = val("--out")?.into(),
@@ -169,8 +190,8 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
-        if o.threads == 0 || o.every_k == 0 {
-            return Err("--threads and --every-k must be positive".into());
+        if o.every_k == 0 {
+            return Err("--every-k must be positive".into());
         }
     }
     Ok(o)
@@ -205,7 +226,8 @@ fn main() -> ExitCode {
             ("width", Value::U64(o.width as u64)),
             ("height", Value::U64(o.height as u64)),
             ("injections", Value::U64(o.injections as u64)),
-            ("threads", Value::U64(o.threads as u64)),
+            ("threads", Value::U64(o.threads[0] as u64)),
+            ("thread_sweep", Value::U64(o.threads.len() as u64)),
             ("every_k", Value::U64(o.every_k as u64)),
             ("seed", Value::U64(o.seed)),
         ],
@@ -249,20 +271,53 @@ fn main() -> ExitCode {
     );
 
     // The same campaign, from scratch and fast-forwarded.
+    let primary_threads = o.threads[0];
     let cfg_off = CampaignConfig::new(RegClass::Gpr, o.injections)
         .seed(o.seed)
-        .threads(o.threads);
+        .threads(primary_threads);
     let t0 = Instant::now();
     let scratch = campaign::run_campaign(&w, &golden, &cfg_off);
     let campaign_off_secs = t0.elapsed().as_secs_f64();
 
     let cfg_on = CampaignConfig::new(RegClass::Gpr, o.injections)
         .seed(o.seed)
-        .threads(o.threads)
+        .threads(primary_threads)
         .checkpoint_policy(CheckpointPolicy::EveryKFrames(o.every_k));
     let t0 = Instant::now();
     let fast = campaign::run_campaign_checkpointed(&w, &ck, &cfg_on);
     let campaign_on_secs = t0.elapsed().as_secs_f64();
+
+    // Scaling sweep: rerun the checkpointed campaign at every further
+    // thread count. Thread-striping only partitions injection indices,
+    // so every rerun must classify every injection exactly like the
+    // primary run — a divergence means a cross-thread determinism bug.
+    let mut sweep_rows = vec![(primary_threads, campaign_on_secs, true)];
+    let mut sweep_identical = true;
+    for &n in &o.threads[1..] {
+        let cfg = CampaignConfig::new(RegClass::Gpr, o.injections)
+            .seed(o.seed)
+            .threads(n)
+            .checkpoint_policy(CheckpointPolicy::EveryKFrames(o.every_k));
+        let t0 = Instant::now();
+        let rerun = campaign::run_campaign_checkpointed(&w, &ck, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        let same = rerun.len() == fast.len()
+            && rerun
+                .iter()
+                .zip(&fast)
+                .all(|(a, b)| a.spec == b.spec && a.outcome == b.outcome && a.fired == b.fired);
+        sweep_identical &= same;
+        vs_telemetry::emit(
+            "thread_sweep",
+            &[
+                ("threads", Value::U64(n as u64)),
+                ("on_secs", Value::F64(secs)),
+                ("runs_per_sec_on", Value::F64(o.injections as f64 / secs)),
+                ("identical", Value::Bool(same)),
+            ],
+        );
+        sweep_rows.push((n, secs, same));
+    }
 
     let identical = scratch.len() == fast.len()
         && scratch
@@ -295,13 +350,24 @@ fn main() -> ExitCode {
         }
     }
 
+    let sweep_json = sweep_rows
+        .iter()
+        .map(|&(n, secs, same)| {
+            format!(
+                "    {{\"threads\": {n}, \"on_secs\": {}, \"runs_per_sec_on\": {}, \"identical\": {same}}}",
+                json_f(secs),
+                json_f(o.injections as f64 / secs)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"injections\": {},\n  \"threads\": {},\n  \"checkpoint_every_k\": {},\n  \"checkpoints\": {},\n  \"golden_run_secs\": {},\n  \"golden_capturing_secs\": {},\n  \"campaign_checkpoint_off_secs\": {},\n  \"campaign_checkpoint_on_secs\": {},\n  \"runs_per_sec_off\": {},\n  \"runs_per_sec_on\": {},\n  \"speedup\": {},\n  \"allocs_per_run_scratch\": {},\n  \"allocs_per_run_steady\": {},\n  \"outcomes_identical\": {}\n}}\n",
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"injections\": {},\n  \"threads\": {},\n  \"checkpoint_every_k\": {},\n  \"checkpoints\": {},\n  \"golden_run_secs\": {},\n  \"golden_capturing_secs\": {},\n  \"campaign_checkpoint_off_secs\": {},\n  \"campaign_checkpoint_on_secs\": {},\n  \"runs_per_sec_off\": {},\n  \"runs_per_sec_on\": {},\n  \"speedup\": {},\n  \"allocs_per_run_scratch\": {},\n  \"allocs_per_run_steady\": {},\n  \"thread_sweep\": [\n{sweep_json}\n  ],\n  \"outcomes_identical\": {}\n}}\n",
         o.frames,
         o.width,
         o.height,
         o.injections,
-        o.threads,
+        primary_threads,
         o.every_k,
         ck.checkpoints.len(),
         json_f(golden_run_secs),
@@ -313,7 +379,7 @@ fn main() -> ExitCode {
         json_f(speedup),
         allocs.per_run_scratch,
         json_f(allocs.per_run_steady),
-        identical
+        identical && sweep_identical
     );
     if let Err(e) = std::fs::write(&o.out, &json) {
         eprintln!("error: cannot write {}: {e}", o.out.display());
@@ -323,6 +389,10 @@ fn main() -> ExitCode {
     vs_telemetry::emit("artifact", &[("path", Value::Str(&out_path))]);
     if !identical {
         eprintln!("error: checkpointed campaign diverged from scratch campaign");
+        return ExitCode::FAILURE;
+    }
+    if !sweep_identical {
+        eprintln!("error: thread sweep diverged from primary campaign outcomes");
         return ExitCode::FAILURE;
     }
     if allocs.per_run_steady != 0.0 {

@@ -1,0 +1,606 @@
+//! Per-kernel microbenchmark: times each SWAR/fixed-point kernel
+//! against the scalar reference oracle it was proven bit-exact to, and
+//! emits `BENCH_3.json`.
+//!
+//! ```text
+//! kernel_bench [--threads N[,N...]] [--seed S] [--out FILE]
+//!              [--trace FILE] [--smoke] [--check-speedups]
+//! ```
+//!
+//! Six kernel rows, each `scalar_ns` / `swar_ns` / `speedup` /
+//! `identical`:
+//!
+//! - `blur5x5` — separable u16 fixed-point blur vs the f64
+//!   `get_clamped` path
+//! - `downsample` — `(acc + 2) >> 2` vs the f64 mean/round path
+//! - `fast_detect` — SWAR 16-bit-lane segment test with popcount
+//!   pre-reject vs the saturating-i64 classify + arc scan
+//! - `warp_affine` — constant-divisor hoisting + float blend vs the
+//!   per-pixel projective divide (rotation: arbitrary weights)
+//! - `warp_halfpix` — the i64 fixed-point interpolator path (dyadic
+//!   subpixel translation: every weight is k/2^15)
+//! - `hamming` — shared XOR+popcount core with the 128-bit early exit
+//!   vs the scalar oracle pair, driven by a two-nearest scan
+//!
+//! The `identical` flag re-verifies bit-exactness on the bench inputs
+//! (outputs compared before timing), and a steady-allocation probe
+//! pins the warmed `_into` paths at zero heap calls. Kernels run on a
+//! dedicated sink-less thread so telemetry timers stay disabled —
+//! the same conditions campaign workers see.
+//!
+//! An end-to-end row then runs the checkpointed GPR campaign at every
+//! `--threads` count (BENCH_2-compatible workload defaults) and
+//! cross-checks that all thread counts classify every injection
+//! identically; `runs_per_sec_on` is directly comparable with
+//! `BENCH_2.json`. `--check-speedups` additionally fails the process
+//! if any kernel row regresses below 1.0× — the `scripts/verify.sh`
+//! gate.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use vs_bench::timing::{fmt_secs, measure_pair, Measurement};
+use vs_core::workloads::VsWorkload;
+use vs_core::PipelineConfig;
+use vs_fault::campaign::{self, CampaignConfig, CheckpointPolicy};
+use vs_fault::spec::RegClass;
+use vs_features::fast::{self, FastConfig, FastScratch};
+use vs_features::{Descriptor, KeyPoint};
+use vs_image::{
+    downsample_half_into, downsample_half_into_scalar, gaussian_blur_5x5_into,
+    gaussian_blur_5x5_into_scalar, GrayImage, RgbImage,
+};
+use vs_linalg::{Mat3, Vec2};
+use vs_rng::SplitMix64;
+use vs_telemetry::Value;
+use vs_video::{render_input, InputSpec};
+use vs_warp::{warp_perspective_offset_into, warp_perspective_offset_into_scalar};
+
+/// Process-wide allocation counter (bench binary only) — used to pin
+/// the warmed kernel paths at zero allocations per call.
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn alloc_calls() -> u64 {
+    ALLOC_CALLS.load(Ordering::Relaxed)
+}
+
+const USAGE: &str =
+    "usage: kernel_bench [--threads N[,N...]] [--seed S] [--out FILE] [--trace FILE] [--smoke] [--check-speedups]";
+
+struct BenchOpts {
+    /// End-to-end campaign workload — BENCH_2-compatible defaults so
+    /// `runs_per_sec_on` is directly comparable.
+    frames: usize,
+    width: usize,
+    height: usize,
+    injections: usize,
+    every_k: usize,
+    seed: u64,
+    /// Campaign thread counts; first is primary, rest are sweep reruns.
+    threads: Vec<usize>,
+    /// Kernel input sizes and per-side timing budget.
+    kernel_w: usize,
+    kernel_h: usize,
+    queries: usize,
+    train: usize,
+    budget: Duration,
+    out: std::path::PathBuf,
+    trace: Option<std::path::PathBuf>,
+    check_speedups: bool,
+}
+
+impl Default for BenchOpts {
+    fn default() -> Self {
+        BenchOpts {
+            frames: 16,
+            width: 128,
+            height: 96,
+            injections: 120,
+            every_k: 1,
+            seed: 0xBE6C,
+            threads: vec![std::thread::available_parallelism().map_or(1, |n| n.get())],
+            kernel_w: 480,
+            kernel_h: 360,
+            queries: 256,
+            train: 512,
+            budget: Duration::from_millis(500),
+            out: "BENCH_3.json".into(),
+            trace: None,
+            check_speedups: false,
+        }
+    }
+}
+
+fn parse_threads(v: &str) -> Result<Vec<usize>, String> {
+    let list: Vec<usize> = v
+        .split(',')
+        .map(|s| s.trim().parse::<usize>().map_err(|_| "bad --threads"))
+        .collect::<Result<_, _>>()?;
+    if list.is_empty() || list.contains(&0) {
+        return Err("--threads needs positive counts".into());
+    }
+    Ok(list)
+}
+
+fn parse(args: &[String]) -> Result<BenchOpts, String> {
+    let mut o = BenchOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--threads" => o.threads = parse_threads(&val("--threads")?)?,
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--out" => o.out = val("--out")?.into(),
+            "--trace" => o.trace = Some(val("--trace")?.into()),
+            "--check-speedups" => o.check_speedups = true,
+            "--smoke" => {
+                o.frames = 6;
+                o.width = 80;
+                o.height = 60;
+                o.injections = 24;
+                o.kernel_w = 240;
+                o.kernel_h = 180;
+                o.queries = 64;
+                o.train = 128;
+                o.budget = Duration::from_millis(150);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(o)
+}
+
+/// One kernel row: scalar-vs-SWAR timing, a fresh bit-exactness check
+/// on the bench input, and the warmed path's allocations per call.
+struct KernelRow {
+    name: &'static str,
+    scalar: Measurement,
+    swar: Measurement,
+    identical: bool,
+    steady_allocs: u64,
+}
+
+impl KernelRow {
+    fn speedup(&self) -> f64 {
+        self.scalar.secs_per_iter / self.swar.secs_per_iter
+    }
+}
+
+/// Time a scalar/SWAR closure pair with interleaved batches (drift
+/// lands on both sides equally, so the speedup ratio is stable). Both
+/// closures were already invoked at least once by the caller's equality
+/// check, so the allocation probe sees warmed buffers: the optimized
+/// `_into` paths must not touch the heap at steady state.
+fn run_pair(
+    name: &'static str,
+    budget: Duration,
+    identical: bool,
+    mut scalar_f: impl FnMut(),
+    mut swar_f: impl FnMut(),
+) -> KernelRow {
+    swar_f();
+    let a0 = alloc_calls();
+    for _ in 0..4 {
+        swar_f();
+    }
+    let steady_allocs = (alloc_calls() - a0) / 4;
+    let (scalar, swar) = measure_pair(budget, &mut scalar_f, &mut swar_f);
+    let row = KernelRow {
+        name,
+        scalar,
+        swar,
+        identical,
+        steady_allocs,
+    };
+    println!(
+        "{name:<14} scalar {:>10}/iter   swar {:>10}/iter   {:>5.2}x   identical={} allocs={}",
+        fmt_secs(scalar.secs_per_iter),
+        fmt_secs(swar.secs_per_iter),
+        row.speedup(),
+        identical,
+        steady_allocs
+    );
+    row
+}
+
+/// Two-nearest descriptor scan (the matcher inner loop's shape): for
+/// each query, the nearest train index/distance under an early-exit
+/// bound that tightens to the running second-best.
+fn two_nearest(
+    queries: &[Descriptor],
+    train: &[Descriptor],
+    out: &mut Vec<(usize, u32)>,
+    dist: impl Fn(&Descriptor, &Descriptor, u32) -> Option<u32>,
+) {
+    out.clear();
+    out.extend(queries.iter().map(|q| {
+        let mut best = (usize::MAX, u32::MAX);
+        let mut second = u32::MAX;
+        for (j, t) in train.iter().enumerate() {
+            if let Some(d) = dist(q, t, second) {
+                if d < best.1 {
+                    second = best.1;
+                    best = (j, d);
+                } else {
+                    second = d;
+                }
+            }
+        }
+        best
+    }));
+}
+
+/// Run every kernel row. Called on a dedicated sink-less thread:
+/// telemetry is disabled there (`vs_telemetry::enabled()` is false), so
+/// the timers the instrumented kernels would otherwise read stay off —
+/// exactly the conditions campaign worker threads see.
+fn bench_kernels(o: &BenchOpts) -> Vec<KernelRow> {
+    let (kw, kh) = (o.kernel_w, o.kernel_h);
+    let frame = render_input(
+        &InputSpec::input2_preset()
+            .with_frames(1)
+            .with_frame_size(kw, kh),
+    )
+    .remove(0);
+    let gray = frame.to_gray();
+    let mut rows = Vec::new();
+
+    // blur5x5: fixed-point separable pass vs f64 oracle.
+    {
+        let (mut tmp_a, mut out_a) = (GrayImage::new(0, 0), GrayImage::new(0, 0));
+        let (mut tmp_b, mut out_b) = (GrayImage::new(0, 0), GrayImage::new(0, 0));
+        gaussian_blur_5x5_into_scalar(&gray, &mut tmp_a, &mut out_a);
+        gaussian_blur_5x5_into(&gray, &mut tmp_b, &mut out_b);
+        let identical = out_a == out_b;
+        rows.push(run_pair(
+            "blur5x5",
+            o.budget,
+            identical,
+            || {
+                gaussian_blur_5x5_into_scalar(&gray, &mut tmp_a, &mut out_a);
+            },
+            || {
+                gaussian_blur_5x5_into(&gray, &mut tmp_b, &mut out_b);
+            },
+        ));
+    }
+
+    // downsample: (acc + 2) >> 2 vs f64 mean/round oracle.
+    {
+        let mut out_a = GrayImage::new(0, 0);
+        let mut out_b = GrayImage::new(0, 0);
+        downsample_half_into_scalar(&gray, &mut out_a);
+        downsample_half_into(&gray, &mut out_b);
+        let identical = out_a == out_b;
+        rows.push(run_pair(
+            "downsample",
+            o.budget,
+            identical,
+            || {
+                downsample_half_into_scalar(&gray, &mut out_a);
+            },
+            || {
+                downsample_half_into(&gray, &mut out_b);
+            },
+        ));
+    }
+
+    // fast_detect: SWAR segment test + pre-reject vs classify/arc-scan.
+    {
+        let cfg = FastConfig::default();
+        let mut scratch_a = FastScratch::default();
+        let mut scratch_b = FastScratch::default();
+        let mut out_a: Vec<KeyPoint> = Vec::new();
+        let mut out_b: Vec<KeyPoint> = Vec::new();
+        fast::detect_into_scalar(&gray, &cfg, &mut scratch_a, &mut out_a).expect("fast scalar");
+        fast::detect_into(&gray, &cfg, &mut scratch_b, &mut out_b).expect("fast swar");
+        let identical = out_a == out_b && scratch_b.prereject() > 0;
+        rows.push(run_pair(
+            "fast_detect",
+            o.budget,
+            identical,
+            || {
+                fast::detect_into_scalar(&gray, &cfg, &mut scratch_a, &mut out_a).expect("fast");
+            },
+            || {
+                fast::detect_into(&gray, &cfg, &mut scratch_b, &mut out_b).expect("fast");
+            },
+        ));
+    }
+
+    // warp_affine: rotation — constant divisor, arbitrary blend weights
+    // (float path with hoisted row terms).
+    // warp_halfpix: dyadic subpixel translation — every weight k/2^15,
+    // the i64 fixed-point interpolator path.
+    let origin = Vec2::new(-2.0, 1.0);
+    for (name, h) in [
+        (
+            "warp_affine",
+            Mat3::translation(10.0, 5.0) * Mat3::rotation(0.1),
+        ),
+        ("warp_halfpix", Mat3::translation(3.5, -2.25)),
+    ] {
+        let (mut dst_a, mut mask_a) = (RgbImage::new(0, 0), GrayImage::new(0, 0));
+        let (mut dst_b, mut mask_b) = (RgbImage::new(0, 0), GrayImage::new(0, 0));
+        warp_perspective_offset_into_scalar(&frame, &h, kw, kh, origin, &mut dst_a, &mut mask_a)
+            .expect("warp scalar");
+        warp_perspective_offset_into(&frame, &h, kw, kh, origin, &mut dst_b, &mut mask_b)
+            .expect("warp swar");
+        let identical = dst_a == dst_b && mask_a == mask_b;
+        rows.push(run_pair(
+            name,
+            o.budget,
+            identical,
+            || {
+                warp_perspective_offset_into_scalar(
+                    &frame,
+                    &h,
+                    kw,
+                    kh,
+                    origin,
+                    &mut dst_a,
+                    &mut mask_a,
+                )
+                .expect("warp");
+            },
+            || {
+                warp_perspective_offset_into(&frame, &h, kw, kh, origin, &mut dst_b, &mut mask_b)
+                    .expect("warp");
+            },
+        ));
+    }
+
+    // hamming: two-nearest scan over random descriptors, bounded
+    // early-exit core vs the scalar oracle.
+    {
+        let mut rng = SplitMix64::new(o.seed ^ 0xD15C);
+        let mut gen_descs = |n: usize| -> Vec<Descriptor> {
+            (0..n)
+                .map(|_| Descriptor(std::array::from_fn(|_| rng.next_u64())))
+                .collect()
+        };
+        let queries = gen_descs(o.queries);
+        let train = gen_descs(o.train);
+        let mut nearest_a = Vec::new();
+        let mut nearest_b = Vec::new();
+        two_nearest(&queries, &train, &mut nearest_a, |q, t, b| {
+            q.hamming_bounded_scalar(t, b)
+        });
+        two_nearest(&queries, &train, &mut nearest_b, |q, t, b| {
+            q.hamming_bounded(t, b)
+        });
+        let identical = nearest_a == nearest_b;
+        rows.push(run_pair(
+            "hamming",
+            o.budget,
+            identical,
+            || {
+                two_nearest(&queries, &train, &mut nearest_a, |q, t, b| {
+                    q.hamming_bounded_scalar(t, b)
+                });
+                std::hint::black_box(&nearest_a);
+            },
+            || {
+                two_nearest(&queries, &train, &mut nearest_b, |q, t, b| {
+                    q.hamming_bounded(t, b)
+                });
+                std::hint::black_box(&nearest_b);
+            },
+        ));
+    }
+
+    rows
+}
+
+fn json_f(x: f64) -> String {
+    format!("{x:.6}")
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sink = match vs_bench::trace::build_sink(o.trace.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot create trace file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _telemetry = vs_telemetry::install(sink);
+    vs_telemetry::emit(
+        "bench_config",
+        &[
+            ("bench", Value::Str("kernel_microbench")),
+            ("kernel_width", Value::U64(o.kernel_w as u64)),
+            ("kernel_height", Value::U64(o.kernel_h as u64)),
+            ("frames", Value::U64(o.frames as u64)),
+            ("width", Value::U64(o.width as u64)),
+            ("height", Value::U64(o.height as u64)),
+            ("injections", Value::U64(o.injections as u64)),
+            ("threads", Value::U64(o.threads[0] as u64)),
+            ("seed", Value::U64(o.seed)),
+        ],
+    );
+
+    // Kernel rows on a sink-less thread (telemetry timers disabled, no
+    // per-call event spam from the instrumented kernels).
+    let rows = std::thread::scope(|scope| {
+        scope
+            .spawn(|| bench_kernels(&o))
+            .join()
+            .expect("kernel bench thread panicked")
+    });
+    for r in &rows {
+        vs_telemetry::emit(
+            "kernel_result",
+            &[
+                ("kernel", Value::Str(r.name)),
+                ("scalar_ns", Value::F64(r.scalar.secs_per_iter * 1e9)),
+                ("swar_ns", Value::F64(r.swar.secs_per_iter * 1e9)),
+                ("speedup", Value::F64(r.speedup())),
+                ("identical", Value::Bool(r.identical)),
+                ("steady_allocs", Value::U64(r.steady_allocs)),
+            ],
+        );
+    }
+
+    // End-to-end: the checkpointed GPR campaign at every requested
+    // thread count, all counts cross-checked for identical outcomes.
+    let frames = render_input(
+        &InputSpec::input2_preset()
+            .with_frames(o.frames)
+            .with_frame_size(o.width, o.height),
+    );
+    let w = VsWorkload::new(frames, PipelineConfig::default());
+    let ck = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(o.every_k))
+        .expect("capturing golden run failed");
+    let mut sweep: Vec<(usize, f64, bool)> = Vec::new();
+    let mut primary: Option<Vec<campaign::Injection<<VsWorkload as campaign::Workload>::Output>>> =
+        None;
+    let mut sweep_identical = true;
+    for &n in &o.threads {
+        let cfg = CampaignConfig::new(RegClass::Gpr, o.injections)
+            .seed(o.seed)
+            .threads(n)
+            .checkpoint_policy(CheckpointPolicy::EveryKFrames(o.every_k));
+        let t0 = Instant::now();
+        let results = campaign::run_campaign_checkpointed(&w, &ck, &cfg);
+        let secs = t0.elapsed().as_secs_f64();
+        let same = primary.as_ref().is_none_or(|p: &Vec<_>| {
+            p.len() == results.len()
+                && p.iter()
+                    .zip(&results)
+                    .all(|(a, b)| a.spec == b.spec && a.outcome == b.outcome && a.fired == b.fired)
+        });
+        sweep_identical &= same;
+        vs_telemetry::emit(
+            "thread_sweep",
+            &[
+                ("threads", Value::U64(n as u64)),
+                ("on_secs", Value::F64(secs)),
+                ("runs_per_sec_on", Value::F64(o.injections as f64 / secs)),
+                ("identical", Value::Bool(same)),
+            ],
+        );
+        sweep.push((n, secs, same));
+        if primary.is_none() {
+            primary = Some(results);
+        }
+    }
+    let runs_on = o.injections as f64 / sweep[0].1;
+
+    let kernels_identical = rows.iter().all(|r| r.identical);
+    let kernels_alloc_free = rows.iter().all(|r| r.steady_allocs == 0);
+    let outcomes_identical = kernels_identical && sweep_identical;
+    vs_telemetry::emit(
+        "bench_result",
+        &[
+            ("runs_per_sec_on", Value::F64(runs_on)),
+            ("kernels", Value::U64(rows.len() as u64)),
+            ("identical", Value::Bool(outcomes_identical)),
+        ],
+    );
+
+    let kernel_json = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"name\": \"{}\", \"scalar_ns\": {}, \"swar_ns\": {}, \"speedup\": {}, \"identical\": {}, \"steady_allocs\": {}}}",
+                r.name,
+                json_f(r.scalar.secs_per_iter * 1e9),
+                json_f(r.swar.secs_per_iter * 1e9),
+                json_f(r.speedup()),
+                r.identical,
+                r.steady_allocs
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let sweep_json = sweep
+        .iter()
+        .map(|&(n, secs, same)| {
+            format!(
+                "    {{\"threads\": {n}, \"on_secs\": {}, \"runs_per_sec_on\": {}, \"identical\": {same}}}",
+                json_f(secs),
+                json_f(o.injections as f64 / secs)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_microbench\",\n  \"kernel_frame_size\": [{}, {}],\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"injections\": {},\n  \"checkpoint_every_k\": {},\n  \"seed\": {},\n  \"kernels\": [\n{kernel_json}\n  ],\n  \"runs_per_sec_on\": {},\n  \"thread_sweep\": [\n{sweep_json}\n  ],\n  \"outcomes_identical\": {}\n}}\n",
+        o.kernel_w,
+        o.kernel_h,
+        o.frames,
+        o.width,
+        o.height,
+        o.injections,
+        o.every_k,
+        o.seed,
+        json_f(runs_on),
+        outcomes_identical
+    );
+    if let Err(e) = std::fs::write(&o.out, &json) {
+        eprintln!("error: cannot write {}: {e}", o.out.display());
+        return ExitCode::FAILURE;
+    }
+    let out_path = o.out.display().to_string();
+    vs_telemetry::emit("artifact", &[("path", Value::Str(&out_path))]);
+
+    if !kernels_identical {
+        eprintln!("error: a SWAR kernel diverged from its scalar oracle");
+        return ExitCode::FAILURE;
+    }
+    if !sweep_identical {
+        eprintln!("error: thread sweep diverged from primary campaign outcomes");
+        return ExitCode::FAILURE;
+    }
+    if !kernels_alloc_free {
+        eprintln!("error: a warmed kernel path still allocates at steady state");
+        return ExitCode::FAILURE;
+    }
+    if o.check_speedups {
+        for r in &rows {
+            if r.speedup() < 1.0 {
+                eprintln!("error: kernel {} regressed ({:.3}x)", r.name, r.speedup());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

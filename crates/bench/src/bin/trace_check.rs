@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! trace_check FILE [--expect NAME=COUNT]... [--require NAME]...
-//!             [--scratch-steady] [--quiet]
+//!             [--scratch-steady] [--kernels] [--quiet]
 //! ```
 //!
 //! Every line must parse against the trace schema (flat JSON object,
@@ -11,19 +11,24 @@
 //! validates the zero-allocation steady state from the trace alone: the
 //! last `scratch_reuse` counter (one per pipeline run, emitted by the
 //! run workspace) must report `grown=0` — every buffer group reused,
-//! none regrown. Prints a per-event census and exits non-zero on any
-//! violation — the trace smoke gate in `scripts/verify.sh`.
+//! none regrown. `--kernels` validates the per-kernel instrumentation:
+//! every `warp` and `match` event must carry an `ns` timer, every `orb`
+//! event the `fast_prereject`/`fast_ns`/`blur_ns` counters, and at
+//! least one traced detection must have exercised the SWAR pre-reject
+//! (`fast_prereject > 0`). Prints a per-event census and exits non-zero
+//! on any violation — the trace smoke gate in `scripts/verify.sh`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--scratch-steady] [--quiet]";
+const USAGE: &str = "usage: trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--scratch-steady] [--kernels] [--quiet]";
 
 struct CheckOpts {
     file: std::path::PathBuf,
     expect: Vec<(String, usize)>,
     require: Vec<String>,
     scratch_steady: bool,
+    kernels: bool,
     quiet: bool,
 }
 
@@ -32,6 +37,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
     let mut expect = Vec::new();
     let mut require = Vec::new();
     let mut scratch_steady = false;
+    let mut kernels = false;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -48,6 +54,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
                 require.push(it.next().ok_or("--require needs NAME")?.clone());
             }
             "--scratch-steady" => scratch_steady = true,
+            "--kernels" => kernels = true,
             "--quiet" => quiet = true,
             other if file.is_none() && !other.starts_with("--") => {
                 file = Some(other.into());
@@ -60,6 +67,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
         expect,
         require,
         scratch_steady,
+        kernels,
         quiet,
     })
 }
@@ -136,6 +144,33 @@ fn main() -> ExitCode {
                     failed = true;
                 }
             },
+        }
+    }
+    if o.kernels {
+        // Per-kernel instrumentation: timer and counter fields the
+        // SWAR/fixed-point pass added to the hot-kernel events.
+        let field_checks: &[(&str, &[&str])] = &[
+            ("warp", &["ns"]),
+            ("match", &["ns"]),
+            ("orb", &["fast_prereject", "fast_ns", "blur_ns"]),
+        ];
+        for &(name, fields) in field_checks {
+            for ev in events.iter().filter(|e| e.name == name) {
+                for field in fields {
+                    if ev.u64(field).is_none() {
+                        eprintln!("error: --kernels: '{name}' event lacks u64 field '{field}'");
+                        failed = true;
+                    }
+                }
+            }
+        }
+        let prerejects = events
+            .iter()
+            .filter(|e| e.name == "orb")
+            .filter_map(|e| e.u64("fast_prereject"));
+        if prerejects.clone().count() > 0 && prerejects.sum::<u64>() == 0 {
+            eprintln!("error: --kernels: no traced detection exercised the SWAR pre-reject");
+            failed = true;
         }
     }
     if failed {

@@ -62,6 +62,68 @@ pub fn measure<R>(budget: Duration, mut f: impl FnMut() -> R) -> Measurement {
     }
 }
 
+/// Time two closures with interleaved batches: A, B, A, B, … until the
+/// shared budget runs out, then take each side's median batch time.
+///
+/// Use this (not two sequential [`measure`] calls) when the quantity of
+/// interest is the *ratio* of the two times: machine-wide drift between
+/// two sequential measurement windows — frequency scaling, a noisy
+/// neighbour — lands on one side only and swamps modest speedups,
+/// whereas interleaved batches see the same conditions within every
+/// A/B pair.
+pub fn measure_pair<RA, RB>(
+    budget: Duration,
+    mut a: impl FnMut() -> RA,
+    mut b: impl FnMut() -> RB,
+) -> (Measurement, Measurement) {
+    black_box(a());
+    black_box(b());
+    let t0 = Instant::now();
+    black_box(a());
+    let once_a = t0.elapsed().max(Duration::from_nanos(50));
+    let t0 = Instant::now();
+    black_box(b());
+    let once_b = t0.elapsed().max(Duration::from_nanos(50));
+    let per_batch = budget.div_f64(16.0).max(Duration::from_micros(200));
+    let iters_a = (per_batch.as_secs_f64() / once_a.as_secs_f64()).clamp(1.0, 1e7) as u64;
+    let iters_b = (per_batch.as_secs_f64() / once_b.as_secs_f64()).clamp(1.0, 1e7) as u64;
+
+    let mut times_a = Vec::new();
+    let mut times_b = Vec::new();
+    let mut total_a = 0u64;
+    let mut total_b = 0u64;
+    let deadline = Instant::now() + budget * 2;
+    while times_a.len() < 3 || Instant::now() < deadline {
+        let t = Instant::now();
+        for _ in 0..iters_a {
+            black_box(a());
+        }
+        times_a.push(t.elapsed().as_secs_f64() / iters_a as f64);
+        total_a += iters_a;
+        let t = Instant::now();
+        for _ in 0..iters_b {
+            black_box(b());
+        }
+        times_b.push(t.elapsed().as_secs_f64() / iters_b as f64);
+        total_b += iters_b;
+        if times_a.len() >= 64 {
+            break;
+        }
+    }
+    times_a.sort_by(f64::total_cmp);
+    times_b.sort_by(f64::total_cmp);
+    (
+        Measurement {
+            secs_per_iter: times_a[times_a.len() / 2],
+            iters: total_a,
+        },
+        Measurement {
+            secs_per_iter: times_b[times_b.len() / 2],
+            iters: total_b,
+        },
+    )
+}
+
 /// Measure `f` and print one `name: time/iter` line, criterion-style.
 pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) -> Measurement {
     let m = measure(Duration::from_millis(600), &mut f);
@@ -98,6 +160,26 @@ mod tests {
         assert!(m.secs_per_iter > 0.0);
         assert!(m.secs_per_iter < 0.1, "100-element sum can't take 100ms");
         assert!(m.iters >= 3);
+    }
+
+    #[test]
+    fn measure_pair_resolves_a_heavy_side() {
+        let (light, heavy) = measure_pair(
+            Duration::from_millis(20),
+            || std::hint::black_box((0..100u64).sum::<u64>()),
+            || {
+                std::hint::black_box(
+                    (0..2000u64).fold(0u64, |acc, x| acc ^ x.wrapping_mul(acc | 1)),
+                )
+            },
+        );
+        assert!(light.secs_per_iter > 0.0 && heavy.secs_per_iter > 0.0);
+        assert!(
+            heavy.secs_per_iter > light.secs_per_iter,
+            "20x the serial work must measure slower: light={} heavy={}",
+            light.secs_per_iter,
+            heavy.secs_per_iter
+        );
     }
 
     #[test]

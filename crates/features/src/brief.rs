@@ -23,9 +23,45 @@ pub const BITS: usize = 256;
 pub struct Descriptor(pub [u64; 4]);
 
 impl Descriptor {
+    /// XOR+popcount over one 128-bit half (`h` = 0 or 1) — the single
+    /// shared core both [`Self::hamming`] and [`Self::hamming_bounded`]
+    /// build on, so the two paths cannot drift apart.
+    #[inline(always)]
+    fn half_hamming(&self, other: &Descriptor, h: usize) -> u32 {
+        (self.0[2 * h] ^ other.0[2 * h]).count_ones()
+            + (self.0[2 * h + 1] ^ other.0[2 * h + 1]).count_ones()
+    }
+
     /// Hamming distance to another descriptor (0..=256).
     #[inline]
     pub fn hamming(&self, other: &Descriptor) -> u32 {
+        self.half_hamming(other, 0) + self.half_hamming(other, 1)
+    }
+
+    /// Hamming distance to `other` when it is strictly below `bound`,
+    /// else `None` — abandoning the scan once per 128 bits, when the
+    /// first half's popcount already reaches `bound`. Half-wise partial
+    /// sums are monotone, so this is exact: `Some(d)` iff
+    /// `self.hamming(other) < bound`, with `d` the true distance, and
+    /// the matchers' `hamming_early_exits` telemetry (one per `None`)
+    /// is unchanged from the word-wise scan it replaces.
+    ///
+    /// Brute-force matchers use this to skip most of each candidate's
+    /// 256 bits once a closer neighbour is known.
+    #[inline]
+    pub fn hamming_bounded(&self, other: &Descriptor, bound: u32) -> Option<u32> {
+        let lo = self.half_hamming(other, 0);
+        if lo >= bound {
+            return None;
+        }
+        let d = lo + self.half_hamming(other, 1);
+        (d < bound).then_some(d)
+    }
+
+    /// Scalar reference oracle for [`Self::hamming`]: the original
+    /// word-by-word iterator chain. Kept for the kernel equivalence
+    /// harness and `kernel_bench`.
+    pub fn hamming_scalar(&self, other: &Descriptor) -> u32 {
         self.0
             .iter()
             .zip(&other.0)
@@ -33,16 +69,11 @@ impl Descriptor {
             .sum()
     }
 
-    /// Hamming distance to `other` when it is strictly below `bound`,
-    /// else `None` — abandoning the scan at the first 64-bit word where
-    /// the partial sum already reaches `bound`. Word-wise partial sums
-    /// are monotone, so this is exact: `Some(d)` iff
-    /// `self.hamming(other) < bound`, with `d` the true distance.
-    ///
-    /// Brute-force matchers use this to skip most of each candidate's
-    /// 256 bits once a closer neighbour is known.
-    #[inline]
-    pub fn hamming_bounded(&self, other: &Descriptor, bound: u32) -> Option<u32> {
+    /// Scalar reference oracle for [`Self::hamming_bounded`]: the
+    /// original per-word early-exit scan. `Some`/`None` results agree
+    /// with the 128-bit-granularity scan on every input because both
+    /// return `Some(d)` exactly when the full distance is below `bound`.
+    pub fn hamming_bounded_scalar(&self, other: &Descriptor, bound: u32) -> Option<u32> {
         let mut d = 0u32;
         for (a, b) in self.0.iter().zip(&other.0) {
             d += (a ^ b).count_ones();
@@ -218,6 +249,38 @@ mod tests {
                 } else {
                     assert_eq!(got, None);
                 }
+            }
+        }
+    }
+
+    /// The shared-core hamming paths agree with the retained scalar
+    /// oracles — distances, and Some/None plus early-exit behaviour at
+    /// every bound — on random descriptor pairs.
+    #[test]
+    fn hamming_core_matches_scalar_oracles() {
+        let mut rng = vs_rng::SplitMix64::new(0x4A3A_5EED);
+        for trial in 0..2_000 {
+            let a = Descriptor(std::array::from_fn(|_| rng.next_u64()));
+            // Mix of far (independent) and near (few-bit-flip) pairs so
+            // both sides of every bound comparison get exercised.
+            let b = if trial % 2 == 0 {
+                Descriptor(std::array::from_fn(|_| rng.next_u64()))
+            } else {
+                let mut b = a;
+                for _ in 0..(trial % 7) {
+                    let bit = rng.gen_range(0u32..256);
+                    b.0[(bit / 64) as usize] ^= 1u64 << (bit % 64);
+                }
+                b
+            };
+            assert_eq!(a.hamming(&b), a.hamming_scalar(&b));
+            let d = a.hamming(&b);
+            for bound in [0, 1, d.saturating_sub(1), d, d + 1, 48, 256, u32::MAX] {
+                assert_eq!(
+                    a.hamming_bounded(&b, bound),
+                    a.hamming_bounded_scalar(&b, bound),
+                    "trial {trial} bound {bound} d {d}"
+                );
             }
         }
     }

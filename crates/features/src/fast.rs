@@ -93,6 +93,83 @@ fn has_arc(states: &[u8; 16]) -> bool {
     false
 }
 
+/// SWAR lane layout: the 16 ring pixels live in four u64 words of four
+/// 16-bit lanes each. 8-bit lanes cannot hold the bright threshold
+/// `c + t` (up to 510), so the lanes are 16 bits wide.
+const LANE_ONES: u64 = 0x0001_0001_0001_0001;
+/// High (sign) bit of each 16-bit lane.
+const LANE_HI: u64 = 0x8000_8000_8000_8000;
+
+/// Compress the four lane-high bits of `x` (bits 15/31/47/63) into bits
+/// 0..4, preserving lane order. The multiplier routes each source bit to
+/// a distinct bit of the top nibble with no carry overlap.
+#[inline]
+fn movemask4(x: u64) -> u32 {
+    const GATHER: u64 = (1 << 48) | (1 << 33) | (1 << 18) | (1 << 3);
+    ((((x >> 15) & LANE_ONES).wrapping_mul(GATHER)) >> 48) as u32 & 0xF
+}
+
+/// Does a 16-bit ring mask contain `ARC_LENGTH` (9) contiguous set bits,
+/// counting wrap-around? Doubling the mask into 32 bits makes wrapped
+/// runs contiguous; the shift-and ladder ANDs the mask with itself at
+/// offsets 1, 2, 4, 1 (= 8 cumulative + 1), leaving a bit set exactly
+/// where a run of ≥ 9 begins. Proven against the scalar run counter for
+/// all 2^16 masks in the tests.
+#[inline]
+fn has_arc16(m: u16) -> bool {
+    let m32 = (m as u32) | ((m as u32) << 16);
+    let r2 = m32 & (m32 >> 1);
+    let r4 = r2 & (r2 >> 2);
+    let r8 = r4 & (r4 >> 4);
+    let r9 = r8 & (r8 >> 1);
+    r9 & 0xFFFF != 0
+}
+
+/// SWAR segment test for an in-range centre register value.
+///
+/// Computes the 16-bit bright (`v >= c + t`) and dark (`v <= c - t`)
+/// ring masks four lanes at a time, then applies a popcount pre-reject
+/// (an arc of 9 needs at least 9 set bits — candidates killed here are
+/// counted in `prereject`) before the exact contiguous-arc test.
+///
+/// Lane safety: with `c ≤ 255`, `t ≤ 255`, `v ≤ 255` every lane
+/// difference stays strictly inside `(0, 2^16)`, so no borrow crosses a
+/// lane boundary. Bright: `(v | H) - (c+t)` has lane value
+/// `v + 0x8000 - (c+t) ≥ 0x8000 - 510 > 0`; its lane-high bit is set iff
+/// `v ≥ c + t`. Dark (only when `c ≥ t`, otherwise no u8 can satisfy
+/// `v ≤ c - t < 0`): `((c-t) | H) - v ≥ 0x8000 - 255 > 0`; lane-high set
+/// iff `v ≤ c - t`. Equivalence with the scalar `classify`/`has_arc`
+/// path is proven exhaustively per-lane and on random rings in the tests.
+#[inline]
+fn swar_segment_test(ring_vals: &[u8; 16], c: u64, t: u8, prereject: &mut u64) -> bool {
+    let cpt = (c + t as u64).wrapping_mul(LANE_ONES);
+    // (c - t) | H in every lane; None when c < t (no dark pixel possible).
+    let cmt = (c >= t as u64).then(|| (c - t as u64).wrapping_mul(LANE_ONES) | LANE_HI);
+    let mut bright = 0u32;
+    let mut dark = 0u32;
+    for q in 0..4 {
+        let v = ring_vals[4 * q] as u64
+            | (ring_vals[4 * q + 1] as u64) << 16
+            | (ring_vals[4 * q + 2] as u64) << 32
+            | (ring_vals[4 * q + 3] as u64) << 48;
+        bright |= movemask4((v | LANE_HI).wrapping_sub(cpt) & LANE_HI) << (4 * q);
+        if let Some(k) = cmt {
+            dark |= movemask4(k.wrapping_sub(v) & LANE_HI) << (4 * q);
+        }
+    }
+    // The scalar classify is an else-if chain: bright wins when both
+    // predicates hold (possible only at t = 0, where c+t ≤ v ≤ c-t
+    // collapses to v = c). Masking dark with !bright reproduces that
+    // priority; for t ≥ 1 the conditions are disjoint and this is a
+    // no-op.
+    dark &= !bright;
+    if bright.count_ones() < ARC_LENGTH as u32 && dark.count_ones() < ARC_LENGTH as u32 {
+        *prereject += 1;
+        return false;
+    }
+    has_arc16(bright as u16) || has_arc16(dark as u16)
+}
+
 /// SAD corner response: sum of |circle - centre| over pixels exceeding
 /// the threshold.
 fn response(img: &GrayImage, x: usize, y: usize, center: u8, t: u8) -> f64 {
@@ -114,6 +191,7 @@ fn response(img: &GrayImage, x: usize, y: usize, center: u8, t: u8) -> f64 {
 pub struct FastScratch {
     scores: Vec<f64>,
     candidates: Vec<(usize, usize, f64)>,
+    prereject: u64,
 }
 
 impl FastScratch {
@@ -121,6 +199,14 @@ impl FastScratch {
     /// feeds the scratch-reuse telemetry counter.
     pub fn footprint(&self) -> usize {
         self.scores.capacity() + self.candidates.capacity()
+    }
+
+    /// Candidates the last [`detect_into`] call killed with the SWAR
+    /// popcount pre-reject (before the exact arc scan) — feeds the
+    /// `fast_prereject` telemetry counter. Always 0 for the scalar
+    /// oracle path.
+    pub fn prereject(&self) -> u64 {
+        self.prereject
     }
 }
 
@@ -150,13 +236,44 @@ pub fn detect(img: &GrayImage, config: &FastConfig) -> Result<Vec<KeyPoint>, Sim
 /// register. Circle samples read through a precomputed linear-offset
 /// table — interior pixels make every ring read in-bounds, so the table
 /// walk returns exactly what the clamped per-coordinate reads did.
+///
+/// The segment test runs as a SWAR mask computation
+/// ([`swar_segment_test`]) whenever the tapped centre register holds an
+/// in-range u8 value; a fault-widened centre falls back to the original
+/// saturating-i64 classify loop so corrupted-run outcomes are untouched.
+/// The SWAR path sits strictly between the same taps as the scalar loop
+/// and computes the same corner decision, so the tap stream and results
+/// stay bit-identical — [`detect_into_scalar`] keeps the original path
+/// alive as the proof oracle.
 pub fn detect_into(
     img: &GrayImage,
     config: &FastConfig,
     scratch: &mut FastScratch,
     out: &mut Vec<KeyPoint>,
 ) -> Result<(), SimError> {
+    detect_into_impl::<true>(img, config, scratch, out)
+}
+
+/// Scalar reference oracle for [`detect_into`]: the original per-pixel
+/// classify/arc-scan segment test with no SWAR pre-reject. Exposed for
+/// the kernel equivalence harness and `kernel_bench`.
+pub fn detect_into_scalar(
+    img: &GrayImage,
+    config: &FastConfig,
+    scratch: &mut FastScratch,
+    out: &mut Vec<KeyPoint>,
+) -> Result<(), SimError> {
+    detect_into_impl::<false>(img, config, scratch, out)
+}
+
+fn detect_into_impl<const SWAR: bool>(
+    img: &GrayImage,
+    config: &FastConfig,
+    scratch: &mut FastScratch,
+    out: &mut Vec<KeyPoint>,
+) -> Result<(), SimError> {
     let _f = tap::scope(FuncId::FastDetect);
+    scratch.prereject = 0;
     out.clear();
     let w = img.width();
     let h = img.height();
@@ -176,6 +293,7 @@ pub fn detect_into(
     for (o, &(dx, dy)) in ring.iter_mut().zip(CIRCLE.iter()) {
         *o = dy as isize * w as isize + dx as isize;
     }
+    let mut prereject = 0u64;
 
     for y in 3..h - 3 {
         // One address tap per row: the row base pointer. All centre loads
@@ -214,18 +332,28 @@ pub fn detect_into(
             // enormous and every circle pixel "darker".
             let center_reg = tap::gpr(center as u64) as i64;
             tap::work(OpClass::IntAlu, 32)?;
-            let mut states = [0u8; 16];
-            for (i, s) in states.iter_mut().enumerate() {
-                let v = at(i) as i64;
-                *s = if v >= center_reg.saturating_add(t as i64) {
-                    1
-                } else if v <= center_reg.saturating_sub(t as i64) {
-                    2
-                } else {
-                    0
-                };
-            }
-            if has_arc(&states) {
+            let corner = if SWAR && (0..=255).contains(&center_reg) {
+                // Uncorrupted centre: SWAR masks + popcount pre-reject,
+                // exact arc test on the surviving masks.
+                let ring_vals: [u8; 16] = std::array::from_fn(&at);
+                swar_segment_test(&ring_vals, center_reg as u64, t, &mut prereject)
+            } else {
+                // Fault-widened centre (or the scalar oracle): original
+                // saturating-i64 classify loop.
+                let mut states = [0u8; 16];
+                for (i, s) in states.iter_mut().enumerate() {
+                    let v = at(i) as i64;
+                    *s = if v >= center_reg.saturating_add(t as i64) {
+                        1
+                    } else if v <= center_reg.saturating_sub(t as i64) {
+                        2
+                    } else {
+                        0
+                    };
+                }
+                has_arc(&states)
+            };
+            if corner {
                 let center = center_reg.clamp(0, 255) as u8;
                 let score = response(img, x, y, center, t);
                 scores[y * w + x] = score;
@@ -278,6 +406,7 @@ pub fn detect_into(
             .then_with(|| (a.y as u64, a.x as u64).cmp(&(b.y as u64, b.x as u64)))
     });
     out.truncate(config.max_keypoints);
+    scratch.prereject = prereject;
     Ok(())
 }
 
@@ -393,6 +522,151 @@ mod tests {
             detect_into(img, &FastConfig::default(), &mut scratch, &mut out).unwrap();
             assert_eq!(out, detect(img, &FastConfig::default()).unwrap());
         }
+    }
+
+    /// Scalar segment test mirroring the fallback path, for oracle use.
+    fn scalar_segment(ring: &[u8; 16], center_reg: i64, t: u8) -> bool {
+        let mut states = [0u8; 16];
+        for (i, s) in states.iter_mut().enumerate() {
+            let v = ring[i] as i64;
+            *s = if v >= center_reg.saturating_add(t as i64) {
+                1
+            } else if v <= center_reg.saturating_sub(t as i64) {
+                2
+            } else {
+                0
+            };
+        }
+        has_arc(&states)
+    }
+
+    /// `has_arc16` agrees with the scalar double-walk run counter on
+    /// every one of the 2^16 possible ring masks.
+    #[test]
+    fn arc16_matches_scalar_arc_scan_exhaustively() {
+        for m in 0..=u16::MAX {
+            let states: [u8; 16] = std::array::from_fn(|i| ((m >> i) & 1) as u8);
+            assert_eq!(
+                has_arc16(m),
+                has_arc(&states),
+                "mask {m:#06x} disagrees with the run counter"
+            );
+        }
+    }
+
+    /// SWAR lane predicates agree with the scalar classify comparisons
+    /// for every (centre, threshold, value) triple — exhaustive over the
+    /// full u8 cube via uniform rings (all 16 lanes carry `v`).
+    #[test]
+    fn swar_lane_predicates_exhaustive() {
+        for c in 0u64..=255 {
+            for t in 0u16..=255 {
+                let t = t as u8;
+                for v in 0u8..=255 {
+                    let ring = [v; 16];
+                    let mut pre = 0u64;
+                    assert_eq!(
+                        swar_segment_test(&ring, c, t, &mut pre),
+                        scalar_segment(&ring, c as i64, t),
+                        "c={c} t={t} v={v}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// SWAR segment test vs the scalar classify/arc path on random
+    /// mixed rings, including threshold extremes.
+    #[test]
+    fn swar_segment_matches_scalar_on_random_rings() {
+        let mut rng = vs_rng::SplitMix64::new(0xFA57_5EED);
+        for trial in 0..200_000 {
+            let c = rng.gen_range(0u32..256) as u64;
+            let t = match trial % 5 {
+                0 => 0,
+                1 => 255,
+                _ => rng.gen_range(0u32..256) as u8,
+            };
+            let ring: [u8; 16] = std::array::from_fn(|_| rng.gen_range(0u32..256) as u8);
+            let mut pre = 0u64;
+            assert_eq!(
+                swar_segment_test(&ring, c, t, &mut pre),
+                scalar_segment(&ring, c as i64, t),
+                "trial {trial}: c={c} t={t} ring={ring:?}"
+            );
+        }
+    }
+
+    /// Full-detector equivalence on random images (textured, sparse, and
+    /// small/border-dominated), plus identical prereject bookkeeping.
+    #[test]
+    fn detect_matches_scalar_oracle_on_random_images() {
+        let mut rng = vs_rng::SplitMix64::new(0xDE7EC7);
+        let mut s_swar = FastScratch::default();
+        let mut s_ref = FastScratch::default();
+        let mut kp_swar = Vec::new();
+        let mut kp_ref = Vec::new();
+        for trial in 0..30 {
+            let w = 8 + rng.gen_range(0usize..40);
+            let h = 8 + rng.gen_range(0usize..40);
+            let img = match trial % 3 {
+                0 => GrayImage::from_fn(w, h, |_, _| rng.gen_range(0u32..256) as u8),
+                1 => {
+                    GrayImage::from_fn(w, h, |x, y| if (x / 5 + y / 5) % 2 == 0 { 230 } else { 25 })
+                }
+                _ => GrayImage::from_fn(w, h, |x, y| ((x * 7) ^ (y * 13)) as u8),
+            };
+            let cfg = FastConfig {
+                threshold: [4, 20, 60][trial % 3],
+                ..FastConfig::default()
+            };
+            detect_into(&img, &cfg, &mut s_swar, &mut kp_swar).unwrap();
+            detect_into_scalar(&img, &cfg, &mut s_ref, &mut kp_ref).unwrap();
+            assert_eq!(kp_swar, kp_ref, "trial {trial}: {w}x{h}");
+            assert_eq!(s_ref.prereject(), 0, "scalar path must not prereject");
+        }
+    }
+
+    /// Fault-campaign equivalence: the SWAR and scalar detectors expose
+    /// identical tap streams, so golden profiles and every injection
+    /// record (spec, fired fault, outcome) must match exactly.
+    #[test]
+    fn fault_campaign_outcomes_identical_to_scalar() {
+        use vs_fault::campaign::{profile_golden, run_campaign, CampaignConfig};
+        use vs_fault::RegClass;
+
+        struct DetectWl<const SWAR: bool>(GrayImage);
+        impl<const SWAR: bool> vs_fault::campaign::Workload for DetectWl<SWAR> {
+            type Output = Vec<KeyPoint>;
+            fn run(&self) -> Result<Vec<KeyPoint>, SimError> {
+                let mut scratch = FastScratch::default();
+                let mut out = Vec::new();
+                let cfg = FastConfig::default();
+                if SWAR {
+                    detect_into(&self.0, &cfg, &mut scratch, &mut out)?;
+                } else {
+                    detect_into_scalar(&self.0, &cfg, &mut scratch, &mut out)?;
+                }
+                Ok(out)
+            }
+        }
+
+        let img = square_image();
+        let swar = DetectWl::<true>(img.clone());
+        let scalar = DetectWl::<false>(img);
+        let g_swar = profile_golden(&swar).unwrap();
+        let g_scalar = profile_golden(&scalar).unwrap();
+        assert_eq!(g_swar.profile, g_scalar.profile, "tap profiles diverge");
+        assert_eq!(g_swar.output, g_scalar.output, "golden outputs diverge");
+
+        let cfg = CampaignConfig::new(RegClass::Gpr, 120)
+            .seed(0xFA57)
+            .threads(2);
+        let a = run_campaign(&swar, &g_swar, &cfg);
+        let b = run_campaign(&scalar, &g_scalar, &cfg);
+        let ka: Vec<_> = a.iter().map(|r| (r.spec, r.fired, r.outcome)).collect();
+        let kb: Vec<_> = b.iter().map(|r| (r.spec, r.fired, r.outcome)).collect();
+        assert_eq!(ka, kb, "injection records diverge");
     }
 
     #[test]

@@ -153,12 +153,21 @@ impl Orb {
         }
 
         let per_level = self.config.max_features / n_levels;
+        // Per-kernel wall-clock counters, gathered only when a telemetry
+        // sink is installed: campaign workers run sink-less and skip the
+        // clock reads entirely. The timers sit outside all tap calls, so
+        // they cannot perturb the fault stream either way.
+        let timing = vs_telemetry::enabled();
+        let mut fast_ns = 0u64;
+        let mut blur_ns = 0u64;
+        let mut fast_prereject = 0u64;
         for level in 0..n_levels {
             let level_img: &GrayImage = if level == 0 {
                 img
             } else {
                 &scratch.levels[level - 1]
             };
+            let t0 = timing.then(std::time::Instant::now);
             fast::detect_into(
                 level_img,
                 &fast::FastConfig {
@@ -169,8 +178,16 @@ impl Orb {
                 &mut scratch.fast,
                 &mut scratch.kps,
             )?;
+            if let Some(t0) = t0 {
+                fast_ns += t0.elapsed().as_nanos() as u64;
+            }
+            fast_prereject += scratch.fast.prereject();
             orientation::assign_orientations_mut(level_img, &mut scratch.kps)?;
+            let t1 = timing.then(std::time::Instant::now);
             gaussian_blur_5x5_into(level_img, &mut scratch.blur_tmp, &mut scratch.smoothed);
+            if let Some(t1) = t1 {
+                blur_ns += t1.elapsed().as_nanos() as u64;
+            }
             brief::describe_into(&scratch.smoothed, &scratch.kps, &mut scratch.descs)?;
             let scale = (1u64 << level) as f64;
             for (kp, desc) in scratch.kps.iter().zip(&scratch.descs) {
@@ -190,6 +207,9 @@ impl Orb {
             &[
                 ("keypoints", vs_telemetry::Value::U64(features.len() as u64)),
                 ("levels", vs_telemetry::Value::U64(n_levels as u64)),
+                ("fast_prereject", vs_telemetry::Value::U64(fast_prereject)),
+                ("fast_ns", vs_telemetry::Value::U64(fast_ns)),
+                ("blur_ns", vs_telemetry::Value::U64(blur_ns)),
             ],
         );
         Ok(())

@@ -2,6 +2,13 @@
 //!
 //! ORB smooths the image before sampling BRIEF point pairs; the synthetic
 //! terrain generator uses blurs to soften painted structure.
+//!
+//! The binomial Gaussian blurs run as fixed-point u16 row/column passes.
+//! Their weights are dyadic rationals (k/2^s), so the historical float
+//! path computes every partial sum exactly in `f64`; the integer passes
+//! reproduce it bit-for-bit (see [`separable_blur_fixed_into`]) and the
+//! float code is retained as the reference oracle
+//! ([`gaussian_blur_5x5_into_scalar`]).
 
 use crate::{saturate_u8, GrayImage};
 
@@ -32,18 +39,10 @@ pub fn box_blur(img: &GrayImage, radius: usize) -> GrayImage {
     })
 }
 
-fn separable_blur(img: &GrayImage, kernel: &[f64]) -> GrayImage {
-    let mut tmp = GrayImage::new(0, 0);
-    let mut out = GrayImage::new(0, 0);
-    separable_blur_into(img, kernel, &mut tmp, &mut out);
-    out
-}
-
-/// Separable convolution into caller-owned images: `tmp` holds the
-/// horizontal pass, `out` the result. Same per-pixel `get_clamped`
-/// taps and accumulation order as the allocating path, so the output
-/// is bit-identical. Returns whether either buffer grew.
-fn separable_blur_into(
+/// Float reference for the separable blurs: per-pixel `get_clamped`
+/// accumulation in `f64`, then [`saturate_u8`]. Kept as the oracle the
+/// fixed-point passes are proven against.
+fn separable_blur_into_scalar(
     img: &GrayImage,
     kernel: &[f64],
     tmp: &mut GrayImage,
@@ -81,24 +80,140 @@ fn separable_blur_into(
     grew
 }
 
+/// Fixed-point separable convolution for binomial kernels whose float
+/// weights are `weights[i] / 2^shift`.
+///
+/// Bit-exactness vs the float path: each float weight `k/2^shift` is a
+/// dyadic rational, and every product `k/2^shift * v` (v ≤ 255) and every
+/// partial sum has ≤ `shift` fractional bits with numerator far below
+/// 2^53, so the float accumulation is exact and equals `S / 2^shift` for
+/// the integer sum `S` computed here. `saturate_u8` rounds half away
+/// from zero; for a non-negative dyadic `S / 2^shift` that is exactly
+/// `(S + 2^(shift-1)) >> shift`, and the result cannot exceed 255
+/// because `S ≤ 255 * 2^shift`. The u16 accumulator cannot overflow:
+/// `S + 2^(shift-1) ≤ 255*16 + 8 = 4088`.
+fn separable_blur_fixed_into<const N: usize>(
+    img: &GrayImage,
+    weights: &[u16; N],
+    shift: u32,
+    tmp: &mut GrayImage,
+    out: &mut GrayImage,
+) -> bool {
+    let (w, h) = (img.width(), img.height());
+    let mut grew = tmp
+        .try_reset(w, h)
+        .expect("image dimensions exceed MAX_PIXELS");
+    grew |= out
+        .try_reset(w, h)
+        .expect("image dimensions exceed MAX_PIXELS");
+    if img.is_empty() {
+        return grew;
+    }
+    let r = N / 2;
+    let half = 1u16 << (shift - 1);
+    let src = img.as_bytes();
+    // Horizontal pass: clamped accumulation on the border columns,
+    // branch-free windowed reads in the interior.
+    {
+        let dst = tmp.as_bytes_mut();
+        for y in 0..h {
+            let row = &src[y * w..y * w + w];
+            let trow = &mut dst[y * w..y * w + w];
+            let clamped_at = |x: usize, i: usize| {
+                let xi = x as isize + i as isize - r as isize;
+                row[xi.clamp(0, w as isize - 1) as usize] as u16
+            };
+            if w > 2 * r {
+                for (x, t) in trow.iter_mut().enumerate().take(r) {
+                    let mut s = half;
+                    for (i, &k) in weights.iter().enumerate() {
+                        s += k * clamped_at(x, i);
+                    }
+                    *t = (s >> shift) as u8;
+                }
+                for x in r..w - r {
+                    let win = &row[x - r..x + r + 1];
+                    let mut s = half;
+                    for (i, &k) in weights.iter().enumerate() {
+                        s += k * win[i] as u16;
+                    }
+                    trow[x] = (s >> shift) as u8;
+                }
+                for (x, t) in trow.iter_mut().enumerate().skip(w - r) {
+                    let mut s = half;
+                    for (i, &k) in weights.iter().enumerate() {
+                        s += k * clamped_at(x, i);
+                    }
+                    *t = (s >> shift) as u8;
+                }
+            } else {
+                for (x, t) in trow.iter_mut().enumerate() {
+                    let mut s = half;
+                    for (i, &k) in weights.iter().enumerate() {
+                        s += k * clamped_at(x, i);
+                    }
+                    *t = (s >> shift) as u8;
+                }
+            }
+        }
+    }
+    // Vertical pass: N row slices with clamped indices per output row,
+    // then a branch-free column sweep the compiler can vectorize.
+    {
+        let t = tmp.as_bytes();
+        let dst = out.as_bytes_mut();
+        for y in 0..h {
+            let rows: [&[u8]; N] = std::array::from_fn(|i| {
+                let yi = y as isize + i as isize - r as isize;
+                let yc = yi.clamp(0, h as isize - 1) as usize;
+                &t[yc * w..yc * w + w]
+            });
+            let orow = &mut dst[y * w..y * w + w];
+            for (x, o) in orow.iter_mut().enumerate() {
+                let mut s = half;
+                for (i, &k) in weights.iter().enumerate() {
+                    s += k * rows[i][x] as u16;
+                }
+                *o = (s >> shift) as u8;
+            }
+        }
+    }
+    grew
+}
+
 /// 3×3 Gaussian blur (binomial [1 2 1]/4 kernel), replicate borders.
 pub fn gaussian_blur_3x3(img: &GrayImage) -> GrayImage {
-    separable_blur(img, &[0.25, 0.5, 0.25])
+    let mut tmp = GrayImage::new(0, 0);
+    let mut out = GrayImage::new(0, 0);
+    separable_blur_fixed_into(img, &[1, 2, 1], 2, &mut tmp, &mut out);
+    out
 }
 
 /// 5×5 Gaussian blur (binomial [1 4 6 4 1]/16 kernel), replicate borders.
 pub fn gaussian_blur_5x5(img: &GrayImage) -> GrayImage {
-    separable_blur(
-        img,
-        &[1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0],
-    )
+    let mut tmp = GrayImage::new(0, 0);
+    let mut out = GrayImage::new(0, 0);
+    gaussian_blur_5x5_into(img, &mut tmp, &mut out);
+    out
 }
 
 /// [`gaussian_blur_5x5`] into caller-owned scratch images (`tmp` for
 /// the horizontal pass, `out` for the result), bit-identical output.
 /// Returns whether either buffer grew.
 pub fn gaussian_blur_5x5_into(img: &GrayImage, tmp: &mut GrayImage, out: &mut GrayImage) -> bool {
-    separable_blur_into(
+    separable_blur_fixed_into(img, &[1, 4, 6, 4, 1], 4, tmp, out)
+}
+
+/// Float reference oracle for [`gaussian_blur_5x5_into`]: the original
+/// per-pixel `get_clamped` f64 path. Exposed so the kernel equivalence
+/// harness and `kernel_bench` can verify and time the fixed-point pass
+/// against it.
+pub fn gaussian_blur_5x5_into_scalar(
+    img: &GrayImage,
+    tmp: &mut GrayImage,
+    out: &mut GrayImage,
+) -> bool {
+    separable_blur_into_scalar(
         img,
         &[1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0],
         tmp,
@@ -109,6 +224,7 @@ pub fn gaussian_blur_5x5_into(img: &GrayImage, tmp: &mut GrayImage, out: &mut Gr
 #[cfg(test)]
 mod tests {
     use super::*;
+    use vs_rng::SplitMix64;
 
     #[test]
     fn blur_preserves_constant_images() {
@@ -168,5 +284,65 @@ mod tests {
         let img = GrayImage::new(0, 0);
         assert!(box_blur(&img, 3).is_empty());
         assert!(gaussian_blur_5x5(&img).is_empty());
+    }
+
+    /// Every reachable integer sum rounds identically through the float
+    /// funnel and the fixed-point shift, for both blur kernels.
+    #[test]
+    fn fixed_rounding_matches_float_for_all_sums() {
+        for s in 0u32..=4080 {
+            let float = saturate_u8(s as f64 / 16.0);
+            let fixed = ((s + 8) >> 4) as u8;
+            assert_eq!(fixed, float, "5x5 kernel sum {s}");
+        }
+        for s in 0u32..=1020 {
+            let float = saturate_u8(s as f64 / 4.0);
+            let fixed = ((s + 2) >> 2) as u8;
+            assert_eq!(fixed, float, "3x3 kernel sum {s}");
+        }
+    }
+
+    /// The float path's left-associated accumulation of dyadic products
+    /// is exact: it lands on S/16 with no rounding for random windows.
+    #[test]
+    fn float_accumulation_of_dyadic_weights_is_exact() {
+        let kernel = [1.0 / 16.0, 4.0 / 16.0, 6.0 / 16.0, 4.0 / 16.0, 1.0 / 16.0];
+        let ik = [1u32, 4, 6, 4, 1];
+        let mut rng = SplitMix64::new(0x5EED_B10B);
+        for _ in 0..10_000 {
+            let vs: [u8; 5] = std::array::from_fn(|_| rng.gen_range(0u32..256) as u8);
+            let mut acc = 0.0;
+            let mut s = 0u32;
+            for i in 0..5 {
+                acc += kernel[i] * vs[i] as f64;
+                s += ik[i] * vs[i] as u32;
+            }
+            assert_eq!(acc, s as f64 / 16.0, "window {vs:?}");
+        }
+    }
+
+    /// Randomized equivalence: fixed-point separable blur vs the float
+    /// reference, over many sizes including ones narrower/shorter than
+    /// the kernel (border clamping dominates there).
+    #[test]
+    fn fixed_blur_matches_scalar_reference_randomized() {
+        let mut rng = SplitMix64::new(0xB1_0B5EED);
+        let mut tmp_a = GrayImage::new(0, 0);
+        let mut out_a = GrayImage::new(0, 0);
+        let mut tmp_b = GrayImage::new(0, 0);
+        let mut out_b = GrayImage::new(0, 0);
+        for trial in 0..60 {
+            let w = 1 + rng.gen_range(0usize..24);
+            let h = 1 + rng.gen_range(0usize..24);
+            let img = GrayImage::from_fn(w, h, |_, _| rng.gen_range(0u32..256) as u8);
+            gaussian_blur_5x5_into(&img, &mut tmp_a, &mut out_a);
+            gaussian_blur_5x5_into_scalar(&img, &mut tmp_b, &mut out_b);
+            assert_eq!(out_a, out_b, "trial {trial}: {w}x{h}");
+            let fixed3 = gaussian_blur_3x3(&img);
+            let mut t = GrayImage::new(0, 0);
+            let mut o = GrayImage::new(0, 0);
+            separable_blur_into_scalar(&img, &[0.25, 0.5, 0.25], &mut t, &mut o);
+            assert_eq!(fixed3, o, "trial {trial} 3x3: {w}x{h}");
+        }
     }
 }

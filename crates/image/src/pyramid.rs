@@ -17,11 +17,44 @@ pub fn downsample_half(img: &GrayImage) -> GrayImage {
 
 /// [`downsample_half`] into a caller-owned image, reusing its buffer.
 ///
-/// The row-wise slice walk visits the same 2×2 blocks in the same raster
-/// order with the same `u32`-sum / `f64`-average arithmetic, so the
-/// result is bit-identical to the allocating version. Returns whether
-/// the destination buffer grew.
+/// The 2×2 block average runs in pure integer arithmetic: the block sum
+/// `S ≤ 4*255 = 1020` is a dyadic numerator, so the historical
+/// `saturate_u8(S as f64 / 4.0)` (exact division, round half away from
+/// zero, max 255) is exactly `(S + 2) >> 2` — proven exhaustively over
+/// every reachable sum in the tests and kept honest by the float oracle
+/// [`downsample_half_into_scalar`]. Returns whether the destination
+/// buffer grew.
 pub fn downsample_half_into(img: &GrayImage, out: &mut GrayImage) -> bool {
+    let w = img.width() / 2;
+    let h = img.height() / 2;
+    let grew = out
+        .try_reset(w, h)
+        .expect("image dimensions exceed MAX_PIXELS");
+    if w == 0 || h == 0 {
+        return grew;
+    }
+    let src = img.as_bytes();
+    let src_w = img.width();
+    let dst = out.as_bytes_mut();
+    for (y, dst_row) in dst.chunks_exact_mut(w).enumerate() {
+        let row0 = &src[2 * y * src_w..2 * y * src_w + src_w];
+        let row1 = &src[(2 * y + 1) * src_w..(2 * y + 1) * src_w + src_w];
+        for (x, d) in dst_row.iter_mut().enumerate() {
+            let acc = row0[2 * x] as u32
+                + row0[2 * x + 1] as u32
+                + row1[2 * x] as u32
+                + row1[2 * x + 1] as u32;
+            *d = ((acc + 2) >> 2) as u8;
+        }
+    }
+    grew
+}
+
+/// Float reference oracle for [`downsample_half_into`]: the original
+/// `u32`-sum / `f64`-average / [`saturate_u8`] arithmetic. Exposed so
+/// the kernel equivalence harness and `kernel_bench` can verify and
+/// time the integer pass against it.
+pub fn downsample_half_into_scalar(img: &GrayImage, out: &mut GrayImage) -> bool {
     let w = img.width() / 2;
     let h = img.height() / 2;
     let grew = out
@@ -123,6 +156,31 @@ mod tests {
         assert!(grew, "9-pixel buffer cannot hold a 12-pixel result");
         assert_eq!(out, downsample_half(&img));
         assert!(!downsample_half_into(&img, &mut out), "second pass reuses");
+    }
+
+    /// Every reachable 2×2 block sum rounds identically through the
+    /// integer shift and the float funnel.
+    #[test]
+    fn integer_rounding_matches_float_for_all_block_sums() {
+        for s in 0u32..=1020 {
+            assert_eq!(((s + 2) >> 2) as u8, saturate_u8(s as f64 / 4.0), "sum {s}");
+        }
+    }
+
+    /// Randomized equivalence: integer downsample vs the float oracle.
+    #[test]
+    fn downsample_matches_scalar_reference_randomized() {
+        let mut rng = vs_rng::SplitMix64::new(0xD0_5EED);
+        let mut a = GrayImage::new(0, 0);
+        let mut b = GrayImage::new(0, 0);
+        for trial in 0..40 {
+            let w = 1 + rng.gen_range(0usize..33);
+            let h = 1 + rng.gen_range(0usize..33);
+            let img = GrayImage::from_fn(w, h, |_, _| rng.gen_range(0u32..256) as u8);
+            downsample_half_into(&img, &mut a);
+            downsample_half_into_scalar(&img, &mut b);
+            assert_eq!(a, b, "trial {trial}: {w}x{h}");
+        }
     }
 
     #[test]

@@ -135,6 +135,7 @@ impl RatioMatcher {
         train: &[Descriptor],
         out: &mut Vec<Match>,
     ) -> Result<(), SimError> {
+        let t0 = vs_telemetry::enabled().then(std::time::Instant::now);
         let _f = tap::scope(FuncId::MatchKeypoints);
         out.clear();
         let mut early_exits = 0u64;
@@ -165,13 +166,29 @@ impl RatioMatcher {
                 });
             }
         }
-        emit_match_event("ratio", query.len(), train.len(), out.len(), early_exits);
+        emit_match_event(
+            "ratio",
+            query.len(),
+            train.len(),
+            out.len(),
+            early_exits,
+            t0,
+        );
         Ok(())
     }
 }
 
-/// One per-call `match` telemetry event (no-op without an installed sink).
-fn emit_match_event(matcher: &str, queries: usize, train: usize, matches: usize, early_exits: u64) {
+/// One per-call `match` telemetry event (no-op without an installed
+/// sink). `t0` is the matcher's start instant, captured only when a
+/// sink is installed (the timer never runs inside campaign workers).
+fn emit_match_event(
+    matcher: &str,
+    queries: usize,
+    train: usize,
+    matches: usize,
+    early_exits: u64,
+    t0: Option<std::time::Instant>,
+) {
     vs_telemetry::emit(
         "match",
         &[
@@ -180,6 +197,10 @@ fn emit_match_event(matcher: &str, queries: usize, train: usize, matches: usize,
             ("train", Value::U64(train as u64)),
             ("matches", Value::U64(matches as u64)),
             ("hamming_early_exits", Value::U64(early_exits)),
+            (
+                "ns",
+                Value::U64(t0.map_or(0, |t| t.elapsed().as_nanos() as u64)),
+            ),
         ],
     );
 }
@@ -232,6 +253,7 @@ impl SimpleMatcher {
         train: &[Descriptor],
         out: &mut Vec<Match>,
     ) -> Result<(), SimError> {
+        let t0 = vs_telemetry::enabled().then(std::time::Instant::now);
         let _f = tap::scope(FuncId::MatchKeypoints);
         out.clear();
         let mut early_exits = 0u64;
@@ -268,7 +290,14 @@ impl SimpleMatcher {
                 });
             }
         }
-        emit_match_event("simple", query.len(), train.len(), out.len(), early_exits);
+        emit_match_event(
+            "simple",
+            query.len(),
+            train.len(),
+            out.len(),
+            early_exits,
+            t0,
+        );
         Ok(())
     }
 }
@@ -411,6 +440,8 @@ mod tests {
         // 20×20 candidate scans are abandoned early.
         let exits = ev.u64("hamming_early_exits").unwrap();
         assert!(exits > 0 && exits < 400, "exits = {exits}");
+        // Kernel wall-clock counter: present whenever a sink is installed.
+        assert!(ev.u64("ns").is_some(), "match event must carry ns");
     }
 
     #[test]

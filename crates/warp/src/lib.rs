@@ -56,11 +56,44 @@ use vs_linalg::{Mat3, Vec2};
 /// sanity limits; exceeding it is a simulated abort.
 pub const MAX_WARP_PIXELS: usize = 1 << 24;
 
+/// [`saturate_u8`] for values already known to lie in `[0, 255]` — true
+/// of every uncorrupted bilinear blend, which is a convex combination
+/// of u8 samples (each float step stays within the sample bounds plus
+/// sub-ulp rounding that cannot escape `[0, 255]` after rounding).
+/// Truncation plus an exact fraction test (`v - trunc(v)` is exact by
+/// Sterbenz) reproduces round-half-away-from-zero bit-for-bit without
+/// the libm `round` call baseline x86-64 would emit.
+#[inline(always)]
+fn round_u8_in_range(v: f64) -> u8 {
+    let t = v as i64;
+    (t + i64::from(v - t as f64 >= 0.5)) as u8
+}
+
 /// Inner bilinear remap kernel: fill destination rows `y0..y1` of `dst`
 /// by sampling `src` at `inv · (x + ox, y + oy)`.
 ///
 /// This is the analogue of OpenCV's `remapBilinear`; the Fig 11b study
 /// injects faults here and in the [`warp_perspective`] driver.
+///
+/// Two branch-lean fast paths accelerate the loop without moving a
+/// single tap or changing a single stored bit (oracle:
+/// [`remap_bilinear_scalar`], proven equivalent in the tests):
+///
+/// * **Constant homogeneous divisor.** When `inv_rows[6]` and
+///   `inv_rows[7]` are (signed) zero — every affine transform's inverse,
+///   since those entries are cofactor products of exact zeros — the
+///   per-pixel divisor is `±0·dx + ±0·dy + inv_rows[8]`, which IEEE
+///   addition collapses to exactly `inv_rows[8]` whenever it is nonzero.
+///   The per-pixel `hw` computation folds to a constant, and when that
+///   constant is exactly 1.0 the two divisions disappear entirely
+///   (`v / 1.0` is the identity).
+/// * **Fixed-point bilinear blend.** When both interpolation weights are
+///   exact multiples of 2⁻¹⁵ (true for every integer- and
+///   half/quarter-pixel translation), the blend runs in i64: all float
+///   partials of the scalar path are then exact in `f64` (numerators
+///   < 2³⁸ ≪ 2⁵³), so `round(n / 2³⁰)` = `(n + 2²⁹) >> 30` reproduces
+///   `saturate_u8` bit-for-bit — swept exhaustively over u8 pairs ×
+///   weights in the tests.
 fn remap_bilinear(
     src: &RgbImage,
     inv: &Mat3,
@@ -80,6 +113,11 @@ fn remap_bilinear(
     let src_bytes = src.as_bytes();
     let row_stride = sw * 3;
     let inv_rows = inv.to_rows();
+    // Finite origin keeps dx/dy finite, so ±0 * dx cannot produce NaN
+    // and the divisor really is inv_rows[8] on the fast path.
+    let const_hw =
+        (inv_rows[6] == 0.0 && inv_rows[7] == 0.0 && origin.x.is_finite() && origin.y.is_finite())
+            .then_some(inv_rows[8]);
     for y in y0..y1 {
         let row_base = y * w;
         tap::work(OpClass::Float, 14 * w as u64)?;
@@ -87,19 +125,36 @@ fn remap_bilinear(
         tap::work(OpClass::IntAlu, 6 * w as u64)?;
         tap::work(OpClass::Control, w as u64)?;
         let dy = y as f64 + origin.y;
+        // Hoisted dy products; the per-pixel sums below keep the scalar
+        // path's left-to-right association, so every hx/hy/hw value is
+        // bit-identical.
+        let r1dy = inv_rows[1] * dy;
+        let r4dy = inv_rows[4] * dy;
         for x in 0..w {
             let dx = x as f64 + origin.x;
-            let hx = inv_rows[0] * dx + inv_rows[1] * dy + inv_rows[2];
-            let hy = inv_rows[3] * dx + inv_rows[4] * dy + inv_rows[5];
-            let hw = inv_rows[6] * dx + inv_rows[7] * dy + inv_rows[8];
-            if hw.abs() < 1e-12 {
-                continue;
-            }
+            let hx = inv_rows[0] * dx + r1dy + inv_rows[2];
+            let hy = inv_rows[3] * dx + r4dy + inv_rows[5];
+            let (sx_raw, sy_raw) = if let Some(c) = const_hw {
+                if c == 1.0 {
+                    (hx, hy)
+                } else {
+                    if c.abs() < 1e-12 {
+                        continue;
+                    }
+                    (hx / c, hy / c)
+                }
+            } else {
+                let hw = inv_rows[6] * dx + inv_rows[7] * dy + inv_rows[8];
+                if hw.abs() < 1e-12 {
+                    continue;
+                }
+                (hx / hw, hy / hw)
+            };
             // The source x coordinate lives in an FPR: tap it. Faults
             // here shift the sampled texel; the result re-enters u8
             // storage through saturation, so most flips are masked.
-            let sx = tap::fpr(hx / hw);
-            let sy = hy / hw;
+            let sx = tap::fpr(sx_raw);
+            let sy = sy_raw;
             if !sx.is_finite() || !sy.is_finite() {
                 continue;
             }
@@ -110,8 +165,14 @@ fn remap_bilinear(
             // the load-base register of the gather. A corrupted high bit
             // drives the checked loads out of bounds (segfault), exactly
             // how address-register faults kill the native application.
-            let x0c = (sx.floor() as isize).clamp(0, sw as isize - 2) as usize;
-            let y0c = (sy.floor() as isize).clamp(0, sh as isize - 2) as usize;
+            //
+            // `as isize` truncates toward zero where the oracle floors,
+            // but the range check above pins sx/sy to [-1, sw]/[-1, sh]:
+            // the two differ only on (-1, 0), where both clamp to 0 —
+            // and it avoids a libm `floor` call per coordinate on
+            // baseline x86-64.
+            let x0c = (sx as isize).clamp(0, sw as isize - 2) as usize;
+            let y0c = (sy as isize).clamp(0, sh as isize - 2) as usize;
             let fx = (sx - x0c as f64).clamp(0.0, 1.0);
             let fy = (sy - y0c as f64).clamp(0.0, 1.0);
             let src_base = y0c * row_stride + x0c * 3;
@@ -124,14 +185,37 @@ fn remap_bilinear(
                 // src_bytes.len()`, so these slices cannot fail.
                 let row0 = &src_bytes[src_base..src_base + 6];
                 let row1 = &src_bytes[src_base + row_stride..src_base + row_stride + 6];
-                for c in 0..3 {
-                    let p00 = f64::from(row0[c]);
-                    let p10 = f64::from(row0[3 + c]);
-                    let p01 = f64::from(row1[c]);
-                    let p11 = f64::from(row1[3 + c]);
-                    let top = p00 + (p10 - p00) * fx;
-                    let bottom = p01 + (p11 - p01) * fx;
-                    packed |= (saturate_u8(top + (bottom - top) * fy) as u64) << (8 * c);
+                let mxf = fx * 32768.0;
+                let myf = fy * 32768.0;
+                // Round-trip integrality test: for finite mxf in
+                // [0, 32768], `mx as f64 == mxf` holds exactly when mxf
+                // is an integer — same predicate as `mxf == mxf.floor()`
+                // without the libm floor calls.
+                let mx = mxf as i64;
+                let my = myf as i64;
+                if mx as f64 == mxf && my as f64 == myf {
+                    // Both weights are k/2^15: integer blend, bit-exact
+                    // per the function docs.
+                    for c in 0..3 {
+                        let p00 = row0[c] as i64;
+                        let p10 = row0[3 + c] as i64;
+                        let p01 = row1[c] as i64;
+                        let p11 = row1[3 + c] as i64;
+                        let top = (p00 << 15) + (p10 - p00) * mx;
+                        let bot = (p01 << 15) + (p11 - p01) * mx;
+                        let n = (top << 15) + (bot - top) * my;
+                        packed |= (((n + (1 << 29)) >> 30) as u64) << (8 * c);
+                    }
+                } else {
+                    for c in 0..3 {
+                        let p00 = f64::from(row0[c]);
+                        let p10 = f64::from(row0[3 + c]);
+                        let p01 = f64::from(row1[c]);
+                        let p11 = f64::from(row1[3 + c]);
+                        let top = p00 + (p10 - p00) * fx;
+                        let bottom = p01 + (p11 - p01) * fx;
+                        packed |= (round_u8_in_range(top + (bottom - top) * fy) as u64) << (8 * c);
+                    }
                 }
             } else {
                 // Corrupted load base: per-byte checked fetches splitting
@@ -173,6 +257,117 @@ fn remap_bilinear(
                 // Uncorrupted store index: direct byte store, skipping the
                 // div/mod recovery and the per-pixel bounds re-check
                 // (`idx < w * dst_h` since `y < y1 <= dst.height()`).
+                let byte = idx * 3;
+                dst.as_bytes_mut()[byte..byte + 3].copy_from_slice(&pixel);
+                mask.as_bytes_mut()[idx] = 255;
+            } else {
+                let (px, py) = (idx % w, idx / w);
+                if !dst.set(px, py, pixel) {
+                    return Err(if idx < dst.width() * dst.height() * 16 {
+                        SimError::Abort
+                    } else {
+                        SimError::Segfault
+                    });
+                }
+                mask.set(px, py, 255);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Scalar reference oracle for [`remap_bilinear`]: the original
+/// per-pixel homogeneous divide and float-only bilinear blend, with the
+/// identical tap sequence. Retained so the equivalence harness and
+/// `kernel_bench` can prove and measure the fast paths against it.
+fn remap_bilinear_scalar(
+    src: &RgbImage,
+    inv: &Mat3,
+    dst: &mut RgbImage,
+    mask: &mut GrayImage,
+    origin: Vec2,
+    y0: usize,
+    y1: usize,
+) -> Result<(), SimError> {
+    let _f = tap::scope(FuncId::RemapBilinear);
+    let w = dst.width();
+    let sw = src.width();
+    let sh = src.height();
+    if sw < 2 || sh < 2 {
+        return Err(SimError::Abort);
+    }
+    let src_bytes = src.as_bytes();
+    let row_stride = sw * 3;
+    let inv_rows = inv.to_rows();
+    for y in y0..y1 {
+        let row_base = y * w;
+        tap::work(OpClass::Float, 14 * w as u64)?;
+        tap::work(OpClass::Mem, 9 * w as u64)?;
+        tap::work(OpClass::IntAlu, 6 * w as u64)?;
+        tap::work(OpClass::Control, w as u64)?;
+        let dy = y as f64 + origin.y;
+        for x in 0..w {
+            let dx = x as f64 + origin.x;
+            let hx = inv_rows[0] * dx + inv_rows[1] * dy + inv_rows[2];
+            let hy = inv_rows[3] * dx + inv_rows[4] * dy + inv_rows[5];
+            let hw = inv_rows[6] * dx + inv_rows[7] * dy + inv_rows[8];
+            if hw.abs() < 1e-12 {
+                continue;
+            }
+            let sx = tap::fpr(hx / hw);
+            let sy = hy / hw;
+            if !sx.is_finite() || !sy.is_finite() {
+                continue;
+            }
+            if sx < -1.0 || sy < -1.0 || sx > sw as f64 || sy > sh as f64 {
+                continue;
+            }
+            let x0c = (sx.floor() as isize).clamp(0, sw as isize - 2) as usize;
+            let y0c = (sy.floor() as isize).clamp(0, sh as isize - 2) as usize;
+            let fx = (sx - x0c as f64).clamp(0.0, 1.0);
+            let fy = (sy - y0c as f64).clamp(0.0, 1.0);
+            let src_base = y0c * row_stride + x0c * 3;
+            let src_idx = tap::addr(src_base);
+            let mut packed = 0u64;
+            if src_idx == src_base {
+                let row0 = &src_bytes[src_base..src_base + 6];
+                let row1 = &src_bytes[src_base + row_stride..src_base + row_stride + 6];
+                for c in 0..3 {
+                    let p00 = f64::from(row0[c]);
+                    let p10 = f64::from(row0[3 + c]);
+                    let p01 = f64::from(row1[c]);
+                    let p11 = f64::from(row1[3 + c]);
+                    let top = p00 + (p10 - p00) * fx;
+                    let bottom = p01 + (p11 - p01) * fx;
+                    packed |= (saturate_u8(top + (bottom - top) * fy) as u64) << (8 * c);
+                }
+            } else {
+                let fetch = |off: usize| -> Result<f64, SimError> {
+                    let i = src_idx.wrapping_add(off);
+                    match src_bytes.get(i) {
+                        Some(&v) => Ok(f64::from(v)),
+                        None if i < src_bytes.len().saturating_mul(16) => Err(SimError::Abort),
+                        None => Err(SimError::Segfault),
+                    }
+                };
+                for c in 0..3 {
+                    let p00 = fetch(c)?;
+                    let p10 = fetch(3 + c)?;
+                    let p01 = fetch(row_stride + c)?;
+                    let p11 = fetch(row_stride + 3 + c)?;
+                    let top = p00 + (p10 - p00) * fx;
+                    let bottom = p01 + (p11 - p01) * fx;
+                    packed |= (saturate_u8(top + (bottom - top) * fy) as u64) << (8 * c);
+                }
+            }
+            let _dead = tap::gpr(packed ^ (src_idx as u64).rotate_left(17));
+            let packed = tap::gpr(packed);
+            let mut pixel = [0u8; 3];
+            for (c, px) in pixel.iter_mut().enumerate() {
+                *px = ((packed >> (8 * c)) & 0xff) as u8;
+            }
+            let idx = tap::addr(row_base + x);
+            if idx == row_base + x {
                 let byte = idx * 3;
                 dst.as_bytes_mut()[byte..byte + 3].copy_from_slice(&pixel);
                 mask.as_bytes_mut()[idx] = 255;
@@ -250,6 +445,57 @@ pub fn warp_perspective_offset_into(
     dst: &mut RgbImage,
     mask: &mut GrayImage,
 ) -> Result<(), SimError> {
+    warp_driver(src, h, dst_w, dst_h, origin, dst, mask, remap_bilinear)
+}
+
+/// Scalar reference oracle for [`warp_perspective_offset_into`]: the
+/// same driver around [`remap_bilinear_scalar`]. Tap stream, outputs
+/// and telemetry shape are identical; only the inner-loop arithmetic
+/// differs (and provably not in its results).
+///
+/// # Errors
+///
+/// As [`warp_perspective`].
+#[allow(clippy::too_many_arguments)]
+pub fn warp_perspective_offset_into_scalar(
+    src: &RgbImage,
+    h: &Mat3,
+    dst_w: usize,
+    dst_h: usize,
+    origin: Vec2,
+    dst: &mut RgbImage,
+    mask: &mut GrayImage,
+) -> Result<(), SimError> {
+    warp_driver(
+        src,
+        h,
+        dst_w,
+        dst_h,
+        origin,
+        dst,
+        mask,
+        remap_bilinear_scalar,
+    )
+}
+
+type RemapFn =
+    fn(&RgbImage, &Mat3, &mut RgbImage, &mut GrayImage, Vec2, usize, usize) -> Result<(), SimError>;
+
+#[allow(clippy::too_many_arguments)]
+fn warp_driver(
+    src: &RgbImage,
+    h: &Mat3,
+    dst_w: usize,
+    dst_h: usize,
+    origin: Vec2,
+    dst: &mut RgbImage,
+    mask: &mut GrayImage,
+    remap: RemapFn,
+) -> Result<(), SimError> {
+    // Wall-clock kernel counter, read only when a telemetry sink is
+    // installed (campaign workers run sink-less and skip the clock);
+    // the timer sits outside all taps so it cannot perturb the stream.
+    let t0 = vs_telemetry::enabled().then(std::time::Instant::now);
     let _f = tap::scope(FuncId::WarpPerspective);
     tap::work(OpClass::Float, 120)?;
     tap::work(OpClass::IntAlu, 60)?;
@@ -259,10 +505,16 @@ pub fn warp_perspective_offset_into(
     let inv = h.inverse().ok_or(SimError::Abort)?;
     dst.try_reset(dst_w, dst_h).ok_or(SimError::Abort)?;
     mask.try_reset(dst_w, dst_h).ok_or(SimError::Abort)?;
-    remap_bilinear(src, &inv, dst, mask, origin, 0, dst_h)?;
+    remap(src, &inv, dst, mask, origin, 0, dst_h)?;
     vs_telemetry::emit(
         "warp",
-        &[("pixels", vs_telemetry::Value::U64((dst_w * dst_h) as u64))],
+        &[
+            ("pixels", vs_telemetry::Value::U64((dst_w * dst_h) as u64)),
+            (
+                "ns",
+                vs_telemetry::Value::U64(t0.map_or(0, |t| t.elapsed().as_nanos() as u64)),
+            ),
+        ],
     );
     Ok(())
 }
@@ -418,6 +670,25 @@ mod proptests {
         RgbImage::from_fn(w, h, |x, y| [(x * 5 % 256) as u8, (y * 7 % 256) as u8, 99])
     }
 
+    /// The libm-free rounding used by the fast blend must agree with
+    /// `saturate_u8` on its whole [0, 255] domain — half boundaries,
+    /// values a single ulp either side of them, and random reals.
+    #[test]
+    fn round_u8_in_range_matches_saturate_u8() {
+        for k in 0..=510u32 {
+            let v = f64::from(k) / 2.0;
+            assert_eq!(round_u8_in_range(v), saturate_u8(v), "v={v}");
+            for adj in [v.next_down().max(0.0), v.next_up().min(255.0)] {
+                assert_eq!(round_u8_in_range(adj), saturate_u8(adj), "v={adj}");
+            }
+        }
+        let mut rng = SplitMix64::new(0x0D0D);
+        for _ in 0..200_000 {
+            let v = rng.next_u64() as f64 / u64::MAX as f64 * 255.0;
+            assert_eq!(round_u8_in_range(v), saturate_u8(v), "v={v}");
+        }
+    }
+
     /// Warping by a random translation relocates pixels exactly:
     /// every interior destination pixel equals the source pixel the
     /// translation maps it from.
@@ -468,6 +739,210 @@ mod proptests {
                 frame.get(qx, qy),
                 "case {case}"
             );
+        }
+    }
+
+    /// Fixed-point bilinear blend equals the float+saturate path: swept
+    /// over every u8 value pair × a dense weight grid (both 1-D stages),
+    /// then over random quads × random weight pairs for the full 2-D
+    /// formula.
+    #[test]
+    fn fixed_point_bilinear_matches_float_path() {
+        let blend_float = |p00: u8, p10: u8, p01: u8, p11: u8, fx: f64, fy: f64| -> u8 {
+            let (p00, p10, p01, p11) = (p00 as f64, p10 as f64, p01 as f64, p11 as f64);
+            let top = p00 + (p10 - p00) * fx;
+            let bottom = p01 + (p11 - p01) * fx;
+            saturate_u8(top + (bottom - top) * fy)
+        };
+        let blend_fixed = |p00: u8, p10: u8, p01: u8, p11: u8, mx: i64, my: i64| -> u8 {
+            let (p00, p10, p01, p11) = (p00 as i64, p10 as i64, p01 as i64, p11 as i64);
+            let top = (p00 << 15) + (p10 - p00) * mx;
+            let bot = (p01 << 15) + (p11 - p01) * mx;
+            let n = (top << 15) + (bot - top) * my;
+            ((n + (1 << 29)) >> 30) as u8
+        };
+        // Exhaustive pair sweep: every (a, b) × 48 weights spanning the
+        // whole range, exercising both the horizontal (fy = 0) and
+        // vertical (fx = 0) stages.
+        let mut weights: Vec<i64> = (0..=32768).step_by(700).collect();
+        weights.extend_from_slice(&[1, 2, 16383, 16384, 16385, 32767, 32768]);
+        for a in 0u32..=255 {
+            for b in 0u32..=255 {
+                let (a, b) = (a as u8, b as u8);
+                for &m in &weights {
+                    let f = m as f64 / 32768.0;
+                    assert_eq!(
+                        blend_fixed(a, b, a, b, m, 12345),
+                        blend_float(a, b, a, b, f, 12345.0 / 32768.0),
+                        "horiz a={a} b={b} m={m}"
+                    );
+                    assert_eq!(
+                        blend_fixed(a, a, b, b, 777, m),
+                        blend_float(a, a, b, b, 777.0 / 32768.0, f),
+                        "vert a={a} b={b} m={m}"
+                    );
+                }
+            }
+        }
+        // Random full quads.
+        let mut rng = vs_rng::SplitMix64::new(0xB111_EA12);
+        for trial in 0..500_000 {
+            let q: [u8; 4] = std::array::from_fn(|_| rng.gen_range(0u32..256) as u8);
+            let mx = rng.gen_range(0i64..32769);
+            let my = rng.gen_range(0i64..32769);
+            assert_eq!(
+                blend_fixed(q[0], q[1], q[2], q[3], mx, my),
+                blend_float(
+                    q[0],
+                    q[1],
+                    q[2],
+                    q[3],
+                    mx as f64 / 32768.0,
+                    my as f64 / 32768.0
+                ),
+                "trial {trial}: {q:?} mx={mx} my={my}"
+            );
+        }
+    }
+
+    /// Full-warp equivalence against the scalar oracle over random
+    /// transforms covering all three divisor paths: affine with unit
+    /// divisor (translations, rotations), affine with non-unit divisor,
+    /// and genuinely projective matrices.
+    #[test]
+    fn warp_matches_scalar_oracle_randomized() {
+        let mut rng = vs_rng::SplitMix64::new(0x3A12_70FF);
+        let src = RgbImage::from_fn(40, 32, |x, y| {
+            [
+                (x * 5 % 256) as u8,
+                (y * 7 % 256) as u8,
+                ((x * y) % 256) as u8,
+            ]
+        });
+        let mut fast = (RgbImage::default(), GrayImage::default());
+        let mut refr = (RgbImage::default(), GrayImage::default());
+        for case in 0..120u64 {
+            let m = match case % 6 {
+                // Integer and subpixel (k/2^15) translations: fixed-point
+                // interpolator territory.
+                0 => Mat3::translation(
+                    rng.gen_range(-9i32..10) as f64,
+                    rng.gen_range(-7i32..8) as f64,
+                ),
+                1 => Mat3::translation(
+                    rng.gen_range(-9i32..10) as f64 + 0.5,
+                    rng.gen_range(-7i32..8) as f64 + 0.25,
+                ),
+                // Rotations/general affines: unit-divisor float blend.
+                2 => Mat3::rotation(rng.gen_range(-3.0f64..3.0)),
+                3 => Mat3::affine(
+                    rng.gen_range(-2.0f64..2.0),
+                    rng.gen_range(-2.0f64..2.0),
+                    rng.gen_range(-20.0f64..20.0),
+                    rng.gen_range(-2.0f64..2.0),
+                    rng.gen_range(-2.0f64..2.0),
+                    rng.gen_range(-20.0f64..20.0),
+                ),
+                // Scaled affine: the inverse's divisor is a non-unit
+                // constant (h scaled by s has inverse scaled by 1/s in
+                // the bottom-right).
+                4 => {
+                    let s = rng.gen_range(0.5f64..2.0);
+                    Mat3::from_rows([s, 0.0, 3.0, 0.0, s, -2.0, 0.0, 0.0, s])
+                }
+                // Projective: per-pixel divisor path.
+                _ => Mat3::from_rows([
+                    1.0,
+                    rng.gen_range(-0.1f64..0.1),
+                    rng.gen_range(-5.0f64..5.0),
+                    rng.gen_range(-0.1f64..0.1),
+                    1.0,
+                    rng.gen_range(-5.0f64..5.0),
+                    rng.gen_range(-0.002f64..0.002),
+                    rng.gen_range(-0.002f64..0.002),
+                    1.0,
+                ]),
+            };
+            let origin = if case % 2 == 0 {
+                Vec2::ZERO
+            } else {
+                Vec2::new(rng.gen_range(-6.0f64..6.0), rng.gen_range(-6.0f64..6.0))
+            };
+            let a =
+                warp_perspective_offset_into(&src, &m, 36, 28, origin, &mut fast.0, &mut fast.1);
+            let b = warp_perspective_offset_into_scalar(
+                &src,
+                &m,
+                36,
+                28,
+                origin,
+                &mut refr.0,
+                &mut refr.1,
+            );
+            assert_eq!(a, b, "case {case}: result status diverged");
+            if a.is_ok() {
+                assert_eq!(fast.0, refr.0, "case {case}: pixels diverged ({m:?})");
+                assert_eq!(fast.1, refr.1, "case {case}: masks diverged ({m:?})");
+            }
+        }
+    }
+
+    /// Fault-campaign equivalence: the fast and scalar warps expose the
+    /// same tap stream, so golden profiles and every injection record
+    /// must match for both integer and float fault classes.
+    #[test]
+    fn fault_campaign_outcomes_identical_to_scalar() {
+        use vs_fault::campaign::{profile_golden, run_campaign, CampaignConfig};
+        use vs_fault::RegClass;
+
+        struct WarpWl<const SCALAR: bool> {
+            src: RgbImage,
+            m: Mat3,
+        }
+        impl<const SCALAR: bool> vs_fault::campaign::Workload for WarpWl<SCALAR> {
+            type Output = (RgbImage, GrayImage);
+            fn run(&self) -> Result<Self::Output, SimError> {
+                let mut dst = RgbImage::default();
+                let mut mask = GrayImage::default();
+                let f = if SCALAR {
+                    warp_perspective_offset_into_scalar
+                } else {
+                    warp_perspective_offset_into
+                };
+                f(
+                    &self.src,
+                    &self.m,
+                    30,
+                    24,
+                    Vec2::new(-2.0, 1.0),
+                    &mut dst,
+                    &mut mask,
+                )?;
+                Ok((dst, mask))
+            }
+        }
+
+        let src = RgbImage::from_fn(32, 26, |x, y| {
+            [(x * 9 % 256) as u8, (y * 5 % 256) as u8, 77]
+        });
+        let m = Mat3::translation(3.0, -1.0) * Mat3::rotation(0.35);
+        let fast = WarpWl::<false> {
+            src: src.clone(),
+            m,
+        };
+        let scalar = WarpWl::<true> { src, m };
+        let g_fast = profile_golden(&fast).unwrap();
+        let g_scalar = profile_golden(&scalar).unwrap();
+        assert_eq!(g_fast.profile, g_scalar.profile, "tap profiles diverge");
+        assert_eq!(g_fast.output, g_scalar.output, "golden outputs diverge");
+
+        for class in [RegClass::Gpr, RegClass::Fpr] {
+            let cfg = CampaignConfig::new(class, 100).seed(0x3A12).threads(2);
+            let a = run_campaign(&fast, &g_fast, &cfg);
+            let b = run_campaign(&scalar, &g_scalar, &cfg);
+            let ka: Vec<_> = a.iter().map(|r| (r.spec, r.fired, r.outcome)).collect();
+            let kb: Vec<_> = b.iter().map(|r| (r.spec, r.fired, r.outcome)).collect();
+            assert_eq!(ka, kb, "{class:?} injection records diverge");
         }
     }
 

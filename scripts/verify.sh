@@ -31,6 +31,19 @@ grep -q '"allocs_per_run_steady": 0.000000' /tmp/BENCH_smoke.json || {
 }
 rm -f /tmp/BENCH_smoke.json
 
+echo "== kernel smoke: kernel_bench --smoke --check-speedups =="
+# Every SWAR/fixed-point kernel must reproduce its scalar oracle
+# bit-for-bit on the bench inputs, beat it on wall-clock, and run
+# allocation-free once warmed; the campaign thread sweep must classify
+# every injection identically at 1 and 2 workers.
+./target/release/kernel_bench --smoke --check-speedups --threads 1,2 \
+    --out /tmp/BENCH3_smoke.json
+grep -q '"outcomes_identical": true' /tmp/BENCH3_smoke.json || {
+    echo "error: outcomes_identical != true in kernel smoke bench" >&2
+    exit 1
+}
+rm -f /tmp/BENCH3_smoke.json
+
 echo "== trace smoke: campaign_bench --smoke --trace + trace_check =="
 ./target/release/campaign_bench --smoke --out /tmp/BENCH_smoke.json \
     --trace /tmp/BENCH_smoke.jsonl >/dev/null
@@ -38,7 +51,9 @@ echo "== trace smoke: campaign_bench --smoke --trace + trace_check =="
 # event census must match the campaign shape: 24 injections x 2
 # campaigns (scratch + checkpointed), each with its own golden profile.
 # --scratch-steady validates from the trace alone that the last traced
-# run reused every workspace buffer group (zero-allocation steady state).
+# run reused every workspace buffer group (zero-allocation steady state);
+# --kernels that the hot-kernel events carry their timer/pre-reject
+# instrumentation.
 ./target/release/trace_check /tmp/BENCH_smoke.jsonl --quiet \
     --expect injection=48 \
     --expect campaign_start=2 \
@@ -46,12 +61,15 @@ echo "== trace smoke: campaign_bench --smoke --trace + trace_check =="
     --expect golden_profile=2 \
     --expect bench_result=1 \
     --require frame --require match --require ransac --require warp \
-    --scratch-steady
+    --require orb \
+    --scratch-steady --kernels
 rm -f /tmp/BENCH_smoke.json /tmp/BENCH_smoke.jsonl
 
 if [ "${1:-}" = "--full" ]; then
     echo "== bench full: campaign_bench -> BENCH_2.json =="
     ./target/release/campaign_bench --out BENCH_2.json
+    echo "== bench full: kernel_bench -> BENCH_3.json =="
+    ./target/release/kernel_bench --check-speedups --out BENCH_3.json
 fi
 
 echo "== verify: OK =="
