@@ -1,0 +1,554 @@
+//! Fault-forensics campaign report: runs GPR and FPR campaigns against a
+//! forensic golden profile and renders where faults entered the pipeline,
+//! how deep they propagated and where they were absorbed.
+//!
+//! ```text
+//! campaign_report [--frames N] [--inj N] [--threads N] [--every-k K]
+//!                 [--seed S] [--out-dir DIR] [--trace FILE] [--smoke]
+//! ```
+//!
+//! For each register class the report runs the *same* campaign twice:
+//! once from a plain golden profile (forensics off) and once
+//! fast-forwarded from a forensic checkpointed golden (forensics on).
+//! Both must classify every injection identically — digest recording
+//! lives outside the simulated machine, so any divergence is a bug and
+//! fails the run. The forensic records then feed:
+//!
+//! * the stage×outcome propagation matrix (Wilson intervals per row),
+//! * the divergence-depth histogram (how many stage digests a fault
+//!   corrupted before the output),
+//! * the egregiousness-vs-divergence-stage table (§V-D `SdcQuality` of
+//!   each retained SDC output, grouped by attributed stage),
+//! * register/bit/function coverage histograms.
+//!
+//! Artifacts land under `--out-dir` (default `out/forensics/`):
+//! `report.md`, `propagation.csv` and `report.json`. The binary exits
+//! non-zero if the off/on record lists differ, if fewer than 90% of FPR
+//! masked runs attribute to the warp/summary stages, or if any GPR
+//! non-crash run lands in the `unknown` row — the acceptance gates
+//! `scripts/verify.sh` relies on.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vs_core::quality::{self, SdcQuality};
+use vs_core::workloads::VsWorkload;
+use vs_core::PipelineConfig;
+use vs_fault::campaign::{self, CampaignConfig, CheckpointPolicy, Injection, Outcome};
+use vs_fault::forensics::{PropagationMatrix, Stage, NUM_STAGES};
+use vs_fault::spec::RegClass;
+use vs_fault::stats::{self, OutcomeClass};
+use vs_fault::FuncId;
+use vs_image::RgbImage;
+use vs_telemetry::Value;
+use vs_video::{render_input, InputSpec};
+
+const USAGE: &str = "usage: campaign_report [--frames N] [--inj N] [--threads N] [--every-k K] [--seed S] [--out-dir DIR] [--trace FILE] [--smoke]";
+
+struct ReportOpts {
+    frames: usize,
+    width: usize,
+    height: usize,
+    injections: usize,
+    threads: usize,
+    every_k: usize,
+    seed: u64,
+    out_dir: PathBuf,
+    trace: Option<PathBuf>,
+}
+
+impl Default for ReportOpts {
+    fn default() -> Self {
+        ReportOpts {
+            frames: 12,
+            width: 128,
+            height: 96,
+            injections: 200,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            every_k: 1,
+            seed: 0xF0DE,
+            out_dir: "out/forensics".into(),
+            trace: None,
+        }
+    }
+}
+
+fn parse(args: &[String]) -> Result<ReportOpts, String> {
+    let mut o = ReportOpts::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |name: &str| -> Result<String, String> {
+            it.next().cloned().ok_or(format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--frames" => o.frames = val("--frames")?.parse().map_err(|_| "bad --frames")?,
+            "--inj" => o.injections = val("--inj")?.parse().map_err(|_| "bad --inj")?,
+            "--threads" => o.threads = val("--threads")?.parse().map_err(|_| "bad --threads")?,
+            "--every-k" => o.every_k = val("--every-k")?.parse().map_err(|_| "bad --every-k")?,
+            "--seed" => o.seed = val("--seed")?.parse().map_err(|_| "bad --seed")?,
+            "--out-dir" => o.out_dir = val("--out-dir")?.into(),
+            "--trace" => o.trace = Some(val("--trace")?.into()),
+            "--smoke" => {
+                o.frames = 6;
+                o.width = 80;
+                o.height = 60;
+                o.injections = 60;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+        if o.every_k == 0 || o.threads == 0 {
+            return Err("--every-k and --threads must be positive".into());
+        }
+    }
+    Ok(o)
+}
+
+fn class_name(class: RegClass) -> &'static str {
+    match class {
+        RegClass::Gpr => "gpr",
+        RegClass::Fpr => "fpr",
+    }
+}
+
+/// SDC quality grouped by attributed stage (the `unknown` bucket last).
+struct StageEd {
+    stage: &'static str,
+    n: usize,
+    egregious: usize,
+    norm_sum: f64,
+    ed_sum: u64,
+}
+
+/// Everything the report renders for one register class.
+struct ClassReport {
+    class: RegClass,
+    records: Vec<Injection<Vec<RgbImage>>>,
+    matrix: PropagationMatrix,
+    /// `depth_hist[d]` = non-crash runs whose trace diverged at `d` stages.
+    depth_hist: [usize; NUM_STAGES + 1],
+    stage_ed: Vec<StageEd>,
+    reg_cv: f64,
+    bit_cv: f64,
+    func_hist: [u32; vs_fault::NUM_FUNCS],
+    identical: bool,
+}
+
+fn analyze(
+    w: &VsWorkload,
+    golden_plain: &campaign::GoldenRun<Vec<RgbImage>>,
+    ck: &campaign::CheckpointedGolden<VsWorkload>,
+    class: RegClass,
+    o: &ReportOpts,
+) -> ClassReport {
+    let cfg_off = CampaignConfig::new(class, o.injections)
+        .seed(o.seed)
+        .threads(o.threads);
+    let off = campaign::run_campaign(w, golden_plain, &cfg_off);
+    let cfg_on = CampaignConfig::new(class, o.injections)
+        .seed(o.seed)
+        .threads(o.threads)
+        .checkpoint_policy(CheckpointPolicy::EveryKFrames(o.every_k));
+    let on = campaign::run_campaign_checkpointed(w, ck, &cfg_on);
+    let identical = off.len() == on.len()
+        && off
+            .iter()
+            .zip(&on)
+            .all(|(a, b)| a.spec == b.spec && a.outcome == b.outcome && a.fired == b.fired);
+
+    let matrix = PropagationMatrix::from_records(&on);
+    let mut depth_hist = [0usize; NUM_STAGES + 1];
+    for r in &on {
+        if let Some(f) = &r.forensics {
+            depth_hist[f.attribution.depth as usize] += 1;
+        }
+    }
+
+    // §V-D quality of every retained SDC output, grouped by the stage
+    // the corruption is attributed to.
+    let mut stage_ed: Vec<StageEd> = PropagationMatrix::row_names()
+        .iter()
+        .map(|name| StageEd {
+            stage: name,
+            n: 0,
+            egregious: 0,
+            norm_sum: 0.0,
+            ed_sum: 0,
+        })
+        .collect();
+    for r in &on {
+        let (Outcome::Sdc, Some(out)) = (r.outcome, r.sdc_output.as_ref()) else {
+            continue;
+        };
+        let q: SdcQuality = quality::summary_quality(&ck.golden.output, out);
+        let row = vs_fault::forensics::attributed_stage(r.forensics.as_ref(), r.fired)
+            .map_or(NUM_STAGES, Stage::index);
+        let e = &mut stage_ed[row];
+        e.n += 1;
+        match q.ed {
+            Some(ed) => {
+                e.norm_sum += q.relative_l2_norm;
+                e.ed_sum += u64::from(ed);
+            }
+            None => e.egregious += 1,
+        }
+    }
+
+    let reg_cv = stats::coefficient_of_variation(&stats::register_histogram(&on));
+    let bit_cv = stats::coefficient_of_variation(&stats::bit_histogram(&on));
+    let func_hist = stats::func_histogram(&on);
+    vs_telemetry::emit(
+        "forensics_summary",
+        &[
+            ("class", Value::Str(class_name(class))),
+            ("injections", Value::U64(on.len() as u64)),
+            ("identical", Value::Bool(identical)),
+            (
+                "unknown_noncrash",
+                Value::U64((matrix.row(None).masked + matrix.row(None).sdc) as u64),
+            ),
+        ],
+    );
+    ClassReport {
+        class,
+        records: on,
+        matrix,
+        depth_hist,
+        stage_ed,
+        reg_cv,
+        bit_cv,
+        func_hist,
+        identical,
+    }
+}
+
+/// Fraction (percent) of a class's masked runs attributed to the warp or
+/// summary stage — the FPR acceptance gate (FPR taps concentrate in the
+/// per-pixel warp math, so absorbed flips should attribute there).
+fn masked_warp_summary_pct(r: &ClassReport) -> f64 {
+    let total: usize = r.matrix.rows().iter().map(|c| c.masked).sum();
+    let ws = r.matrix.row(Some(Stage::Warp)).masked + r.matrix.row(Some(Stage::Summary)).masked;
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * ws as f64 / total as f64
+    }
+}
+
+fn render_markdown(reports: &[ClassReport], o: &ReportOpts, checkpoints: usize) -> String {
+    let mut md = String::new();
+    let _ = writeln!(md, "# Fault-forensics campaign report\n");
+    let _ = writeln!(
+        md,
+        "- input: {} frames at {}×{} (input2 preset), checkpoint interval {} ({} checkpoints)",
+        o.frames, o.width, o.height, o.every_k, checkpoints
+    );
+    let _ = writeln!(
+        md,
+        "- campaigns: {} injections per class, seed {}, {} threads",
+        o.injections, o.seed, o.threads
+    );
+    let _ = writeln!(
+        md,
+        "- zero-perturbation check: each campaign ran twice (forensics off/on); record lists must be identical\n"
+    );
+    for r in reports {
+        let rates = stats::outcome_rates(&r.records);
+        let _ = writeln!(md, "## {} campaign\n", class_name(r.class).to_uppercase());
+        let _ = writeln!(
+            md,
+            "- outcomes: {rates}\n- forensics off/on record lists identical: **{}**\n",
+            r.identical
+        );
+        let _ = writeln!(md, "### Propagation matrix (attributed stage × outcome)\n");
+        let _ = writeln!(
+            md,
+            "| stage | n | masked | sdc | crash | hang | masked % [95% CI] | sdc % [95% CI] |"
+        );
+        let _ = writeln!(md, "|---|---|---|---|---|---|---|---|");
+        for (name, row) in PropagationMatrix::row_names().iter().zip(r.matrix.rows()) {
+            if row.n() == 0 {
+                continue;
+            }
+            let rr = row.rates();
+            let (mlo, mhi) = rr.wilson_interval(OutcomeClass::Masked);
+            let (slo, shi) = rr.wilson_interval(OutcomeClass::Sdc);
+            let _ = writeln!(
+                md,
+                "| {name} | {} | {} | {} | {} | {} | {:.1} [{:.1}, {:.1}] | {:.1} [{:.1}, {:.1}] |",
+                row.n(),
+                row.masked,
+                row.sdc,
+                row.crash_segfault + row.crash_abort,
+                row.hang,
+                rr.masked,
+                mlo,
+                mhi,
+                rr.sdc,
+                slo,
+                shi
+            );
+        }
+        let _ = writeln!(
+            md,
+            "\n### Divergence depth (stages corrupted per non-crash run)\n"
+        );
+        let _ = writeln!(md, "| depth | runs |");
+        let _ = writeln!(md, "|---|---|");
+        for (d, n) in r.depth_hist.iter().enumerate() {
+            if *n > 0 {
+                let _ = writeln!(md, "| {d} | {n} |");
+            }
+        }
+        let _ = writeln!(md, "\n### SDC egregiousness by divergence stage (§V-D)\n");
+        let _ = writeln!(md, "| stage | sdcs | egregious | mean rel-L2 % | mean ED |");
+        let _ = writeln!(md, "|---|---|---|---|---|");
+        for e in &r.stage_ed {
+            if e.n == 0 {
+                continue;
+            }
+            let graded = e.n - e.egregious;
+            let (norm, ed) = if graded == 0 {
+                ("—".to_string(), "—".to_string())
+            } else {
+                (
+                    format!("{:.2}", e.norm_sum / graded as f64),
+                    format!("{:.1}", e.ed_sum as f64 / graded as f64),
+                )
+            };
+            let _ = writeln!(
+                md,
+                "| {} | {} | {} | {norm} | {ed} |",
+                e.stage, e.n, e.egregious
+            );
+        }
+        let _ = writeln!(
+            md,
+            "\n### Coverage\n\n- register histogram CV: {:.3}\n- bit histogram CV: {:.3}",
+            r.reg_cv, r.bit_cv
+        );
+        let fired: Vec<String> = FuncId::ALL
+            .iter()
+            .filter(|f| r.func_hist[f.index()] > 0)
+            .map(|f| format!("{}: {}", f.name(), r.func_hist[f.index()]))
+            .collect();
+        let _ = writeln!(md, "- fired-fault functions: {}\n", fired.join(", "));
+        if r.class == RegClass::Fpr {
+            let _ = writeln!(
+                md,
+                "- masked runs attributed to warp/summary: {:.1}% (gate: ≥ 90%)\n",
+                masked_warp_summary_pct(r)
+            );
+        }
+    }
+    md.push_str(
+        "Attribution: a run's `first_divergence` stage when its digest trace \
+         diverged from golden, else the fired fault's stage. Masked runs whose \
+         trace never diverged were absorbed before the next stage boundary.\n",
+    );
+    md
+}
+
+fn render_csv(reports: &[ClassReport]) -> String {
+    let mut csv = String::from(
+        "class,stage,n,masked,sdc,crash_segfault,crash_abort,hang,masked_pct,masked_lo,masked_hi,sdc_pct,sdc_lo,sdc_hi\n",
+    );
+    for r in reports {
+        for (name, row) in PropagationMatrix::row_names().iter().zip(r.matrix.rows()) {
+            let rr = row.rates();
+            let (mlo, mhi) = rr.wilson_interval(OutcomeClass::Masked);
+            let (slo, shi) = rr.wilson_interval(OutcomeClass::Sdc);
+            let _ = writeln!(
+                csv,
+                "{},{name},{},{},{},{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4}",
+                class_name(r.class),
+                row.n(),
+                row.masked,
+                row.sdc,
+                row.crash_segfault,
+                row.crash_abort,
+                row.hang,
+                rr.masked,
+                mlo,
+                mhi,
+                rr.sdc,
+                slo,
+                shi
+            );
+        }
+    }
+    csv
+}
+
+fn render_json(reports: &[ClassReport], o: &ReportOpts, checkpoints: usize) -> String {
+    let class_json: Vec<String> = reports
+        .iter()
+        .map(|r| {
+            let rows: Vec<String> = PropagationMatrix::row_names()
+                .iter()
+                .zip(r.matrix.rows())
+                .map(|(name, row)| {
+                    format!(
+                        "        {{\"stage\": \"{name}\", \"masked\": {}, \"sdc\": {}, \"crash_segfault\": {}, \"crash_abort\": {}, \"hang\": {}}}",
+                        row.masked, row.sdc, row.crash_segfault, row.crash_abort, row.hang
+                    )
+                })
+                .collect();
+            let depth: Vec<String> = r.depth_hist.iter().map(usize::to_string).collect();
+            let eds: Vec<String> = r
+                .stage_ed
+                .iter()
+                .filter(|e| e.n > 0)
+                .map(|e| {
+                    let graded = e.n - e.egregious;
+                    format!(
+                        "        {{\"stage\": \"{}\", \"sdcs\": {}, \"egregious\": {}, \"mean_rel_l2\": {:.6}}}",
+                        e.stage,
+                        e.n,
+                        e.egregious,
+                        if graded == 0 { 0.0 } else { e.norm_sum / graded as f64 }
+                    )
+                })
+                .collect();
+            format!
+                (
+                "    {{\n      \"class\": \"{}\",\n      \"identical_off_on\": {},\n      \"masked_warp_summary_pct\": {:.4},\n      \"register_cv\": {:.6},\n      \"bit_cv\": {:.6},\n      \"propagation\": [\n{}\n      ],\n      \"depth_hist\": [{}],\n      \"sdc_quality_by_stage\": [\n{}\n      ]\n    }}",
+                class_name(r.class),
+                r.identical,
+                masked_warp_summary_pct(r),
+                r.reg_cv,
+                r.bit_cv,
+                rows.join(",\n"),
+                depth.join(", "),
+                eds.join(",\n")
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"report\": \"fault_forensics\",\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"injections_per_class\": {},\n  \"seed\": {},\n  \"checkpoint_every_k\": {},\n  \"checkpoints\": {},\n  \"classes\": [\n{}\n  ]\n}}\n",
+        o.frames,
+        o.width,
+        o.height,
+        o.injections,
+        o.seed,
+        o.every_k,
+        checkpoints,
+        class_json.join(",\n")
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let sink = match vs_bench::trace::build_sink(o.trace.as_deref()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot create trace file: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let _telemetry = vs_telemetry::install(sink);
+    vs_telemetry::emit(
+        "report_config",
+        &[
+            ("report", Value::Str("fault_forensics")),
+            ("frames", Value::U64(o.frames as u64)),
+            ("width", Value::U64(o.width as u64)),
+            ("height", Value::U64(o.height as u64)),
+            ("injections", Value::U64(o.injections as u64)),
+            ("threads", Value::U64(o.threads as u64)),
+            ("every_k", Value::U64(o.every_k as u64)),
+            ("seed", Value::U64(o.seed)),
+        ],
+    );
+
+    let frames = render_input(
+        &InputSpec::input2_preset()
+            .with_frames(o.frames)
+            .with_frame_size(o.width, o.height),
+    );
+    let w = VsWorkload::new(frames, PipelineConfig::default());
+    // One plain golden (drives the forensics-off control campaigns) and
+    // one forensic checkpointed golden (drives the forensics-on runs).
+    let golden_plain = campaign::profile_golden(&w).expect("golden run failed");
+    let ck = campaign::profile_golden_checkpointed_forensic(
+        &w,
+        CheckpointPolicy::EveryKFrames(o.every_k),
+    )
+    .expect("forensic golden run failed");
+
+    let reports: Vec<ClassReport> = [RegClass::Gpr, RegClass::Fpr]
+        .iter()
+        .map(|&class| analyze(&w, &golden_plain, &ck, class, &o))
+        .collect();
+
+    if let Err(e) = std::fs::create_dir_all(&o.out_dir) {
+        eprintln!("error: cannot create {}: {e}", o.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    let artifacts = [
+        (
+            "report.md",
+            render_markdown(&reports, &o, ck.checkpoints.len()),
+        ),
+        ("propagation.csv", render_csv(&reports)),
+        (
+            "report.json",
+            render_json(&reports, &o, ck.checkpoints.len()),
+        ),
+    ];
+    for (name, contents) in &artifacts {
+        let path = o.out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        let shown = path.display().to_string();
+        vs_telemetry::emit("artifact", &[("path", Value::Str(&shown))]);
+    }
+
+    // Acceptance gates (see module docs).
+    let mut failed = false;
+    for r in &reports {
+        if !r.identical {
+            eprintln!(
+                "error: {} campaign records differ between forensics off and on",
+                class_name(r.class)
+            );
+            failed = true;
+        }
+    }
+    if let Some(gpr) = reports.iter().find(|r| r.class == RegClass::Gpr) {
+        let unknown = gpr.matrix.row(None);
+        if unknown.masked + unknown.sdc > 0 {
+            eprintln!(
+                "error: {} GPR non-crash runs have no stage attribution",
+                unknown.masked + unknown.sdc
+            );
+            failed = true;
+        }
+    }
+    if let Some(fpr) = reports.iter().find(|r| r.class == RegClass::Fpr) {
+        let pct = masked_warp_summary_pct(fpr);
+        if pct < 90.0 {
+            eprintln!(
+                "error: only {pct:.1}% of FPR masked runs attribute to warp/summary (gate: 90%)"
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "forensics report written to {} (gpr + fpr, {} injections each)",
+        o.out_dir.display(),
+        o.injections
+    );
+    ExitCode::SUCCESS
+}

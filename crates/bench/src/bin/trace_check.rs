@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! trace_check FILE [--expect NAME=COUNT]... [--require NAME]...
-//!             [--scratch-steady] [--kernels] [--quiet]
+//!             [--scratch-steady] [--kernels] [--forensics] [--quiet]
 //! ```
 //!
 //! Every line must parse against the trace schema (flat JSON object,
@@ -15,13 +15,18 @@
 //! every `warp` and `match` event must carry an `ns` timer, every `orb`
 //! event the `fast_prereject`/`fast_ns`/`blur_ns` counters, and at
 //! least one traced detection must have exercised the SWAR pre-reject
-//! (`fast_prereject > 0`). Prints a per-event census and exits non-zero
-//! on any violation — the trace smoke gate in `scripts/verify.sh`.
+//! (`fast_prereject > 0`). `--forensics` validates the fault-forensics
+//! digest events: at least one `forensics_golden` carrying a digest per
+//! pipeline stage, at least one `injection` with an `attr_stage`
+//! attribution field, and every SDC injection carrying attribution
+//! fields must be stage-resolved (`attr_stage != "unknown"`, `depth >=
+//! 1`). Prints a per-event census and exits non-zero on any violation —
+//! the trace smoke gate in `scripts/verify.sh`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--scratch-steady] [--kernels] [--quiet]";
+const USAGE: &str = "usage: trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--scratch-steady] [--kernels] [--forensics] [--quiet]";
 
 struct CheckOpts {
     file: std::path::PathBuf,
@@ -29,6 +34,7 @@ struct CheckOpts {
     require: Vec<String>,
     scratch_steady: bool,
     kernels: bool,
+    forensics: bool,
     quiet: bool,
 }
 
@@ -38,6 +44,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
     let mut require = Vec::new();
     let mut scratch_steady = false;
     let mut kernels = false;
+    let mut forensics = false;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -55,6 +62,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
             }
             "--scratch-steady" => scratch_steady = true,
             "--kernels" => kernels = true,
+            "--forensics" => forensics = true,
             "--quiet" => quiet = true,
             other if file.is_none() && !other.starts_with("--") => {
                 file = Some(other.into());
@@ -68,6 +76,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
         require,
         scratch_steady,
         kernels,
+        forensics,
         quiet,
     })
 }
@@ -170,6 +179,63 @@ fn main() -> ExitCode {
             .filter_map(|e| e.u64("fast_prereject"));
         if prerejects.clone().count() > 0 && prerejects.sum::<u64>() == 0 {
             eprintln!("error: --kernels: no traced detection exercised the SWAR pre-reject");
+            failed = true;
+        }
+    }
+    if o.forensics {
+        // Fault-forensics digest events from a forensic campaign run.
+        let stages = [
+            "decode", "pyramid", "fast", "orb", "match", "ransac", "warp", "summary",
+        ];
+        let goldens: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "forensics_golden")
+            .collect();
+        if goldens.is_empty() {
+            eprintln!("error: --forensics: no forensics_golden event in trace");
+            failed = true;
+        }
+        for ev in &goldens {
+            for stage in stages {
+                if ev.u64(stage).is_none() {
+                    eprintln!(
+                        "error: --forensics: forensics_golden lacks u64 digest field '{stage}'"
+                    );
+                    failed = true;
+                }
+            }
+        }
+        let mut attributed = 0usize;
+        for ev in events.iter().filter(|e| e.name == "injection") {
+            // Only injections from forensic campaigns carry attribution
+            // fields; control campaigns (forensics off) interleave in
+            // the same trace.
+            let Some(attr) = ev.str("attr_stage") else {
+                continue;
+            };
+            attributed += 1;
+            if !stages.contains(&attr) && attr != "unknown" {
+                eprintln!("error: --forensics: unknown attr_stage '{attr}'");
+                failed = true;
+            }
+            if ev.str("outcome") == Some("sdc") {
+                if attr == "unknown" {
+                    eprintln!("error: --forensics: sdc injection with unresolved attr_stage");
+                    failed = true;
+                }
+                match ev.u64("depth") {
+                    Some(d) if d >= 1 => {}
+                    _ => {
+                        eprintln!(
+                            "error: --forensics: sdc injection without divergence depth >= 1"
+                        );
+                        failed = true;
+                    }
+                }
+            }
+        }
+        if attributed == 0 {
+            eprintln!("error: --forensics: no injection event carries attr_stage");
             failed = true;
         }
     }

@@ -10,6 +10,7 @@
 
 use crate::approx::drop_frame;
 use crate::config::{Approximation, PipelineConfig};
+use vs_fault::forensics::{self, DigestTrace, Stage};
 use vs_fault::session::{self, TapSnapshot};
 use vs_fault::{tap, FuncId, OpClass, SimError};
 use vs_features::{Descriptor, Feature, Orb, OrbScratch};
@@ -200,6 +201,9 @@ pub struct PipelineCheckpoint {
     /// Mid-render state, when captured inside the render phase.
     render: Option<RenderCheckpoint>,
     taps: TapSnapshot,
+    /// Stage digest trace accumulated up to the capture point (all-zero
+    /// when forensics was off during the capturing run).
+    digests: DigestTrace,
 }
 
 impl PipelineCheckpoint {
@@ -217,6 +221,13 @@ impl PipelineCheckpoint {
     /// (after the frame loop completed).
     pub fn is_render(&self) -> bool {
         self.render.is_some()
+    }
+
+    /// The stage digest trace at the capture point. Seeding a resumed
+    /// run's recorder with this trace makes the replayed suffix fold to
+    /// exactly the digests a from-scratch run produces.
+    pub fn digest_trace(&self) -> DigestTrace {
+        self.digests
     }
 }
 
@@ -431,6 +442,7 @@ impl VideoSummarizer {
                         discard_streak,
                         render: None,
                         taps: session::snapshot(),
+                        digests: forensics::current_trace(),
                     });
                 }
             }
@@ -450,6 +462,7 @@ impl VideoSummarizer {
             }
 
             decode_into(frame, &mut scratch.gray)?;
+            forensics::record_bytes(Stage::Decode, scratch.gray.as_bytes());
             orb.detect_and_describe_into(&scratch.gray, &mut scratch.orb, &mut scratch.features)?;
             // How this frame fared, for the per-frame telemetry event.
             let action;
@@ -476,12 +489,36 @@ impl VideoSummarizer {
                     &mut scratch.matches,
                     &mut scratch.pairs,
                 )?;
+                if forensics::enabled() {
+                    let mut h = 0u64;
+                    for (q, t) in &scratch.pairs {
+                        h = forensics::hash_fold(h, q.x.to_bits());
+                        h = forensics::hash_fold(h, q.y.to_bits());
+                        h = forensics::hash_fold(h, t.x.to_bits());
+                        h = forensics::hash_fold(h, t.y.to_bits());
+                    }
+                    forensics::record(Stage::Match, h);
+                }
                 let model = self.estimate_model_scratch(
                     &scratch.pairs,
                     i,
                     &mut stats,
                     &mut scratch.ransac,
                 )?;
+                if forensics::enabled() {
+                    let mut h = 0u64;
+                    match &model {
+                        Some(m) => {
+                            for v in m.to_rows() {
+                                h = forensics::hash_fold(h, v.to_bits());
+                            }
+                        }
+                        // Discards digest as a distinct constant so a
+                        // fault flipping accept→discard still diverges.
+                        None => h = forensics::hash_fold(h, u64::MAX),
+                    }
+                    forensics::record(Stage::Ransac, h);
+                }
                 match model {
                     Some(h_cur_to_prev) => {
                         let h_to_anchor = scratch.prev_h * h_cur_to_prev;
@@ -601,6 +638,7 @@ impl VideoSummarizer {
                                 origins: scratch.summary.panorama_origins.clone(),
                             }),
                             taps: session::snapshot(),
+                            digests: forensics::current_trace(),
                         });
                     }
                 }
@@ -614,7 +652,15 @@ impl VideoSummarizer {
                     &self.config.compositing,
                     &mut scratch.warp,
                 )?;
+                if forensics::enabled() {
+                    let mut hd = forensics::hash_fold(0, idx as u64);
+                    for v in h.to_rows() {
+                        hd = forensics::hash_fold(hd, v.to_bits());
+                    }
+                    forensics::record(Stage::Warp, hd);
+                }
             }
+            forensics::record_bytes(Stage::Warp, scratch.canvas.image().as_bytes());
             let origin = scratch
                 .canvas
                 .crop_to_content_into(&mut scratch.summary.panoramas[si])
@@ -623,6 +669,25 @@ impl VideoSummarizer {
             push_alignments(&mut scratch.summary.alignments, &scratch.segments[si], si);
         }
         stats.segments = seg_count;
+        if forensics::enabled() {
+            // The panoramas are the observable output compared for SDC
+            // classification, so any SDC necessarily diverges here even
+            // when every upstream digest agreed.
+            for pano in &scratch.summary.panoramas {
+                forensics::record_bytes(Stage::Summary, pano.as_bytes());
+            }
+            let mut h = 0u64;
+            for o in &scratch.summary.panorama_origins {
+                h = forensics::hash_fold(h, o.x.to_bits());
+                h = forensics::hash_fold(h, o.y.to_bits());
+            }
+            h = forensics::hash_fold(h, stats.frames_dropped_by_input as u64);
+            h = forensics::hash_fold(h, stats.frames_discarded as u64);
+            h = forensics::hash_fold(h, stats.homographies as u64);
+            h = forensics::hash_fold(h, stats.affine_fallbacks as u64);
+            h = forensics::hash_fold(h, stats.segments as u64);
+            forensics::record(Stage::Summary, h);
+        }
         vs_telemetry::emit(
             "summary",
             &[

@@ -273,6 +273,50 @@ mod tests {
     }
 
     #[test]
+    fn from_norm_boundary_is_inclusive() {
+        // Exactly 100% is the last norm that still earns an ED; the
+        // egregious class starts strictly above it.
+        let q = SdcQuality::from_norm(100.0);
+        assert_eq!(q.ed, Some(100));
+        assert!(!q.is_egregious());
+        assert!(SdcQuality::from_norm(100.0 + f64::EPSILON * 128.0).is_egregious());
+        // NaN is not finite: never assigned an ED.
+        assert!(SdcQuality::from_norm(f64::NAN).is_egregious());
+        // Negative norms (impossible upstream, but the type admits
+        // them) clamp to ED 0 rather than wrapping in the cast.
+        assert_eq!(SdcQuality::from_norm(-3.0).ed, Some(0));
+    }
+
+    #[test]
+    fn ed_cdf_at_zero_max_ed_counts_only_ed_zero() {
+        let qualities = vec![
+            SdcQuality::from_norm(0.2),   // ED 0
+            SdcQuality::from_norm(1.5),   // ED 1
+            SdcQuality::from_norm(400.0), // egregious
+        ];
+        let cdf = ed_cdf(&qualities, 0);
+        assert_eq!(cdf, vec![(0, 100.0 / 3.0)]);
+        // Empty input at the same boundary: a single all-zero point.
+        assert_eq!(ed_cdf(&[], 0), vec![(0, 0.0)]);
+    }
+
+    #[test]
+    fn strongly_mismatched_dimensions_are_costly() {
+        // A faulty output with a wildly different shape: padding puts
+        // both on the union canvas, so the uncovered area must count.
+        let a = textured(10, 96, 24);
+        let b = textured(11, 24, 96);
+        let q = sdc_quality(&a, &b);
+        assert!(q.relative_l2_norm > 10.0, "shape mismatch invisible: {q:?}");
+
+        // Degenerate zero-area inputs never divide by zero.
+        let empty = RgbImage::new(0, 0);
+        assert_eq!(sdc_quality(&empty, &empty).ed, Some(0));
+        let q = sdc_quality(&empty, &a);
+        assert!(q.relative_l2_norm >= 0.0 && q.relative_l2_norm.is_finite() || q.is_egregious());
+    }
+
+    #[test]
     fn primary_panorama_picks_largest() {
         let small = textured(7, 10, 10);
         let big = textured(8, 50, 20);

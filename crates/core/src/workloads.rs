@@ -79,6 +79,10 @@ impl Checkpointed for VsWorkload {
     fn tap_snapshot(ckpt: &PipelineCheckpoint) -> &TapSnapshot {
         ckpt.tap_snapshot()
     }
+
+    fn digest_snapshot(ckpt: &PipelineCheckpoint) -> vs_fault::forensics::DigestTrace {
+        ckpt.digest_trace()
+    }
 }
 
 /// Per-worker workspace for [`VsWorkload`] campaigns: the summarizer is

@@ -16,6 +16,7 @@
 //! bit for bit regardless of thread count.
 
 use crate::error::SimError;
+use crate::forensics::{self, Attribution, DigestTrace, ForensicsRecord, Stage};
 use crate::func::FuncMask;
 use crate::session::{self, InstrCounts, TapSnapshot};
 use crate::spec::{FaultSpec, FiredFault, RegClass, REG_BITS};
@@ -84,6 +85,15 @@ pub trait Checkpointed: Workload {
 
     /// The tap counters captured at the boundary.
     fn tap_snapshot(ckpt: &Self::Checkpoint) -> &TapSnapshot;
+
+    /// The forensic digest trace accumulated over the golden prefix up
+    /// to the boundary, so a fast-forwarded run's recorder can be
+    /// seeded to land on the same per-stage digests a from-scratch run
+    /// folds. The default (an empty trace) is correct for workloads
+    /// without forensic instrumentation.
+    fn digest_snapshot(_ckpt: &Self::Checkpoint) -> DigestTrace {
+        DigestTrace::default()
+    }
 }
 
 /// A [`Workload`] that can execute into a reusable per-worker workspace
@@ -196,6 +206,11 @@ pub struct GoldenRun<O> {
     pub profile: TapProfile,
     /// Function mask the profile was taken under (campaigns reuse it).
     pub mask: FuncMask,
+    /// Per-stage digest trace of the golden run, recorded only by the
+    /// `*_forensic` profilers. When present, campaigns run with a
+    /// forensic recorder installed and attribute every completed
+    /// injection against this trace.
+    pub digests: Option<DigestTrace>,
 }
 
 /// Profile the golden run with all functions eligible.
@@ -258,7 +273,58 @@ fn golden_from_report<O>(
             instr: report.instr,
         },
         mask,
+        digests: None,
     }
+}
+
+/// Announce a forensic golden trace on the telemetry stream (one field
+/// per stage digest) — `trace_check --forensics` requires this event.
+fn emit_forensics_golden(trace: &DigestTrace) {
+    let fields: Vec<(&str, vs_telemetry::Value)> = Stage::ALL
+        .iter()
+        .map(|&s| (s.name(), vs_telemetry::Value::U64(trace.digest(s))))
+        .collect();
+    vs_telemetry::emit("forensics_golden", &fields);
+}
+
+/// [`profile_golden`] with forensic digest recording: the returned
+/// golden run carries the per-stage digest trace, which arms forensic
+/// attribution in [`run_campaign`].
+///
+/// # Errors
+///
+/// Propagates a [`SimError`] if the workload fails without a fault.
+pub fn profile_golden_forensic<W: Workload>(
+    workload: &W,
+) -> Result<GoldenRun<W::Output>, SimError> {
+    let recorder = forensics::begin_recording();
+    let mut golden = profile_golden(workload)?;
+    let trace = forensics::current_trace();
+    drop(recorder);
+    golden.digests = Some(trace);
+    emit_forensics_golden(&trace);
+    Ok(golden)
+}
+
+/// [`profile_golden_checkpointed`] with forensic digest recording; the
+/// captured checkpoints snapshot their prefix traces (via the
+/// workload's capture sites), arming forensic attribution in
+/// [`run_campaign_checkpointed`].
+///
+/// # Errors
+///
+/// Propagates a [`SimError`] if the workload fails without a fault.
+pub fn profile_golden_checkpointed_forensic<W: Checkpointed>(
+    workload: &W,
+    policy: CheckpointPolicy,
+) -> Result<CheckpointedGolden<W>, SimError> {
+    let recorder = forensics::begin_recording();
+    let mut ck = profile_golden_checkpointed(workload, policy)?;
+    let trace = forensics::current_trace();
+    drop(recorder);
+    ck.golden.digests = Some(trace);
+    emit_forensics_golden(&trace);
+    Ok(ck)
 }
 
 /// Golden-run artifacts of a checkpoint-capturing profile: the usual
@@ -318,14 +384,26 @@ impl Outcome {
         matches!(self, Outcome::CrashSegfault | Outcome::CrashAbort)
     }
 
-    /// Short lowercase name used in reports.
+    /// The aggregate class this outcome collapses into (the two crash
+    /// causes both map to [`crate::stats::OutcomeClass::Crash`]).
+    pub fn class(self) -> crate::stats::OutcomeClass {
+        match self {
+            Outcome::Masked => crate::stats::OutcomeClass::Masked,
+            Outcome::Sdc => crate::stats::OutcomeClass::Sdc,
+            Outcome::CrashSegfault | Outcome::CrashAbort => crate::stats::OutcomeClass::Crash,
+            Outcome::Hang => crate::stats::OutcomeClass::Hang,
+        }
+    }
+
+    /// Short lowercase name used in reports. Delegates to
+    /// [`crate::stats::OutcomeClass::name`] wherever the class name is
+    /// exact, so outcome and class labels cannot drift apart; only the
+    /// crash-cause split keeps its own strings.
     pub fn name(self) -> &'static str {
         match self {
-            Outcome::Masked => "masked",
-            Outcome::Sdc => "sdc",
             Outcome::CrashSegfault => "crash_segfault",
             Outcome::CrashAbort => "crash_abort",
-            Outcome::Hang => "hang",
+            other => other.class().name(),
         }
     }
 }
@@ -350,6 +428,11 @@ pub struct Injection<O> {
     /// The corrupted output, retained for SDC-quality analysis when the
     /// outcome is [`Outcome::Sdc`] and the campaign keeps outputs.
     pub sdc_output: Option<O>,
+    /// Digest trace and divergence attribution of this run, present
+    /// only for completed runs (Masked/Sdc) of forensic campaigns — a
+    /// crashed or hung run's trace stops at an arbitrary point and is
+    /// discarded.
+    pub forensics: Option<ForensicsRecord>,
 }
 
 /// Campaign parameters. Construct with [`CampaignConfig::new`] and chain
@@ -479,6 +562,24 @@ fn classify<O: PartialEq>(
     }
 }
 
+/// Forensic payload for one classified run: only completed runs carry a
+/// meaningful end-of-run trace, so crash/hang outcomes get `None`.
+fn forensic_record(
+    golden: Option<DigestTrace>,
+    trace: Option<DigestTrace>,
+    outcome: Outcome,
+) -> Option<ForensicsRecord> {
+    match (golden, trace) {
+        (Some(g), Some(t)) if matches!(outcome, Outcome::Masked | Outcome::Sdc) => {
+            Some(ForensicsRecord {
+                trace: t,
+                attribution: Attribution::between(&g, &t),
+            })
+        }
+        _ => None,
+    }
+}
+
 /// Execute one injected run and classify its outcome.
 fn run_one<W: Workload>(
     workload: &W,
@@ -488,19 +589,27 @@ fn run_one<W: Workload>(
     keep_sdc: bool,
     index: usize,
 ) -> Injection<W::Output> {
+    let recorder = golden.digests.is_some().then(forensics::begin_recording);
     let guard = session::begin_injection(spec, golden.mask, budget);
     state::with(|s| s.in_injection.set(true));
     let result = panic::catch_unwind(AssertUnwindSafe(|| workload.run()));
     state::with(|s| s.in_injection.set(false));
     let fired = session::report().fired;
     drop(guard);
+    let trace = recorder.map(|r| {
+        let t = forensics::current_trace();
+        drop(r);
+        t
+    });
     let (outcome, sdc_output) = classify(result, &golden.output, keep_sdc);
+    let forensics = forensic_record(golden.digests, trace, outcome);
     Injection {
         index,
         spec,
         fired,
         outcome,
         sdc_output,
+        forensics,
     }
 }
 
@@ -527,6 +636,10 @@ fn run_one_from_scratch<W: ScratchCheckpointed>(
 where
     W::Output: Clone,
 {
+    let recorder = golden.digests.is_some().then(|| match ckpt {
+        Some(c) => forensics::begin_recording_at(W::digest_snapshot(c)),
+        None => forensics::begin_recording(),
+    });
     let guard = match ckpt {
         Some(c) => session::begin_injection_at(spec, golden.mask, budget, W::tap_snapshot(c)),
         None => session::begin_injection(spec, golden.mask, budget),
@@ -539,6 +652,11 @@ where
     state::with(|s| s.in_injection.set(false));
     let fired = session::report().fired;
     drop(guard);
+    let trace = recorder.map(|r| {
+        let t = forensics::current_trace();
+        drop(r);
+        t
+    });
     let (outcome, sdc_output) = match result {
         Err(_) => (Outcome::CrashSegfault, None),
         Ok(Err(SimError::Segfault)) => (Outcome::CrashSegfault, None),
@@ -553,12 +671,14 @@ where
             }
         }
     };
+    let forensics = forensic_record(golden.digests, trace, outcome);
     Injection {
         index,
         spec,
         fired,
         outcome,
         sdc_output,
+        forensics,
     }
 }
 
@@ -638,7 +758,7 @@ pub fn run_campaign<W: Workload>(
 
     let n = cfg.injections;
     let threads = cfg.threads.min(n.max(1));
-    let monitor = crate::telemetry::CampaignMonitor::new(cfg, sites, 0);
+    let monitor = crate::telemetry::CampaignMonitor::new(cfg, sites, 0, golden.digests.is_some());
     let records = drive(n, threads, |i| {
         let spec = draw_spec(cfg, sites, i);
         let rec = run_one(workload, golden, spec, budget, cfg.keep_sdc_outputs, i);
@@ -690,7 +810,12 @@ where
 
     let n = cfg.injections;
     let threads = cfg.threads.min(n.max(1));
-    let monitor = crate::telemetry::CampaignMonitor::new(cfg, sites, golden.checkpoints.len());
+    let monitor = crate::telemetry::CampaignMonitor::new(
+        cfg,
+        sites,
+        golden.checkpoints.len(),
+        g.digests.is_some(),
+    );
     let records = drive_with(
         n,
         threads,
@@ -746,6 +871,9 @@ mod tests {
                 // Dead state: a scratch value that never reaches the
                 // output — faults landing here are always masked.
                 let _scratch = tap::gpr(v.wrapping_mul(3));
+                // Forensic digest of the live integer state (two toy
+                // "stages" so attribution has an order to resolve).
+                forensics::record(Stage::Match, acc);
                 i += 1;
             }
             let mut facc = 0.0f64;
@@ -755,6 +883,7 @@ mod tests {
                 // Saturating narrow, as the pipeline's float->u8 step does.
                 facc += x.clamp(0.0, 255.0).floor();
             }
+            forensics::record(Stage::Summary, facc.to_bits());
             Ok((acc, facc as u64))
         }
     }
@@ -838,6 +967,7 @@ mod tests {
         bound: usize,
         acc: u64,
         taps: crate::session::TapSnapshot,
+        trace: DigestTrace,
     }
 
     impl Checkpointed for Toy {
@@ -860,6 +990,7 @@ mod tests {
                         bound,
                         acc,
                         taps: crate::session::snapshot(),
+                        trace: forensics::current_trace(),
                     });
                 }
                 tap::work(OpClass::Control, 1)?;
@@ -867,6 +998,7 @@ mod tests {
                 let v = *data.get(idx).ok_or(SimError::Segfault)?;
                 acc = acc.wrapping_add(tap::gpr(v));
                 let _scratch = tap::gpr(v.wrapping_mul(3));
+                forensics::record(Stage::Match, acc);
                 i += 1;
             }
             let mut facc = 0.0f64;
@@ -875,6 +1007,7 @@ mod tests {
                 let x = tap::fpr(k as f64 * 0.5);
                 facc += x.clamp(0.0, 255.0).floor();
             }
+            forensics::record(Stage::Summary, facc.to_bits());
             Ok(((acc, facc as u64), checkpoints))
         }
 
@@ -890,6 +1023,7 @@ mod tests {
                 let v = *data.get(idx).ok_or(SimError::Segfault)?;
                 acc = acc.wrapping_add(tap::gpr(v));
                 let _scratch = tap::gpr(v.wrapping_mul(3));
+                forensics::record(Stage::Match, acc);
                 i += 1;
             }
             let mut facc = 0.0f64;
@@ -898,11 +1032,16 @@ mod tests {
                 let x = tap::fpr(k as f64 * 0.5);
                 facc += x.clamp(0.0, 255.0).floor();
             }
+            forensics::record(Stage::Summary, facc.to_bits());
             Ok((acc, facc as u64))
         }
 
         fn tap_snapshot(ckpt: &ToyCheckpoint) -> &crate::session::TapSnapshot {
             &ckpt.taps
+        }
+
+        fn digest_snapshot(ckpt: &ToyCheckpoint) -> DigestTrace {
+            ckpt.trace
         }
     }
 
@@ -1112,6 +1251,136 @@ mod tests {
         assert_eq!(done.f64("masked_lo"), Some(lo));
         assert_eq!(done.f64("masked_hi"), Some(hi));
         assert!(lo <= rates.masked && rates.masked <= hi);
+    }
+
+    /// Forensics must be zero-perturbation: campaigns against a
+    /// forensic golden classify every injection exactly like plain
+    /// campaigns, and only completed runs carry forensic payloads.
+    #[test]
+    fn forensics_does_not_perturb_campaigns() {
+        let plain = profile_golden(&Toy).unwrap();
+        let forensic = profile_golden_forensic(&Toy).unwrap();
+        assert_eq!(plain.profile, forensic.profile);
+        assert_eq!(plain.output, forensic.output);
+        let trace = forensic.digests.expect("forensic profile records digests");
+        assert_eq!(trace.count(Stage::Match), 64);
+        assert_eq!(trace.count(Stage::Summary), 1);
+
+        for class in [RegClass::Gpr, RegClass::Fpr] {
+            let cfg = CampaignConfig::new(class, 120).seed(17).threads(2);
+            let quiet = run_campaign(&Toy, &plain, &cfg);
+            let traced = run_campaign(&Toy, &forensic, &cfg);
+            let a: Vec<_> = quiet.iter().map(|r| (r.spec, r.outcome, r.fired)).collect();
+            let b: Vec<_> = traced
+                .iter()
+                .map(|r| (r.spec, r.outcome, r.fired))
+                .collect();
+            assert_eq!(a, b, "forensics perturbed a {class} campaign");
+            assert!(quiet.iter().all(|r| r.forensics.is_none()));
+            for r in &traced {
+                match r.outcome {
+                    Outcome::Masked | Outcome::Sdc => assert!(r.forensics.is_some()),
+                    _ => assert!(r.forensics.is_none()),
+                }
+            }
+        }
+    }
+
+    /// Attribution resolves stages: every SDC's trace diverges
+    /// somewhere, and Toy's masked runs never diverge (its integer
+    /// state is cumulative — corruption either reaches the output or
+    /// never crossed a stage boundary), so they attribute through the
+    /// fired fault's function.
+    #[test]
+    fn forensic_attribution_resolves_stages() {
+        let golden = profile_golden_forensic(&Toy).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Gpr, 300).seed(3).threads(2);
+        let recs = run_campaign(&Toy, &golden, &cfg);
+        let mut sdcs = 0;
+        for r in &recs {
+            match r.outcome {
+                Outcome::Sdc => {
+                    sdcs += 1;
+                    let f = r.forensics.as_ref().unwrap();
+                    assert!(
+                        f.attribution.first_divergence.is_some(),
+                        "SDC with no digest divergence at index {}",
+                        r.index
+                    );
+                    assert!(f.attribution.depth >= 1);
+                }
+                Outcome::Masked => {
+                    let f = r.forensics.as_ref().unwrap();
+                    assert_eq!(f.attribution.first_divergence, None);
+                    assert_eq!(f.attribution.depth, 0);
+                }
+                _ => {}
+            }
+        }
+        assert!(sdcs > 0, "campaign produced no SDCs to attribute");
+        let matrix = forensics::PropagationMatrix::from_records(&recs);
+        assert_eq!(matrix.n(), recs.len());
+    }
+
+    /// Fast-forwarded forensic runs must fold the *same* digest traces
+    /// as from-scratch runs: the checkpoint's seeded prefix trace plus
+    /// the replayed suffix reproduces the full fold exactly.
+    #[test]
+    fn forensic_checkpointed_campaign_matches_scratch_traces() {
+        let golden = profile_golden_forensic(&Toy).unwrap();
+        let ck =
+            profile_golden_checkpointed_forensic(&Toy, CheckpointPolicy::EveryKFrames(7)).unwrap();
+        assert_eq!(
+            ck.golden.digests, golden.digests,
+            "capturing profile must fold the same digests"
+        );
+        for class in [RegClass::Gpr, RegClass::Fpr] {
+            let scratch = run_campaign(
+                &Toy,
+                &golden,
+                &CampaignConfig::new(class, 150).seed(21).threads(2),
+            );
+            for threads in [1, 4] {
+                let cfg = CampaignConfig::new(class, 150)
+                    .seed(21)
+                    .threads(threads)
+                    .checkpoint_policy(CheckpointPolicy::EveryKFrames(7));
+                let fast = run_campaign_checkpointed(&Toy, &ck, &cfg);
+                assert_eq!(scratch.len(), fast.len());
+                for (a, b) in scratch.iter().zip(&fast) {
+                    assert_eq!((a.spec, a.outcome, a.fired), (b.spec, b.outcome, b.fired));
+                    assert_eq!(
+                        a.forensics, b.forensics,
+                        "digest trace not resume-exact at index {} ({class}, {threads} threads)",
+                        a.index
+                    );
+                }
+            }
+        }
+    }
+
+    /// Forensic campaigns annotate their injection telemetry with
+    /// attribution fields; SDC events must be stage-resolved.
+    #[test]
+    fn forensic_campaign_telemetry_carries_attribution() {
+        let sink = std::sync::Arc::new(vs_telemetry::MemorySink::new());
+        let _g = vs_telemetry::install(sink.clone());
+        let golden = profile_golden_forensic(&Toy).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Gpr, 80).seed(13).threads(2);
+        let _recs = run_campaign(&Toy, &golden, &cfg);
+        assert_eq!(sink.count("forensics_golden"), 1);
+        let events = sink.events();
+        let injections: Vec<_> = events.iter().filter(|e| e.name == "injection").collect();
+        assert_eq!(injections.len(), cfg.injections());
+        for e in injections {
+            let attr = e
+                .str("attr_stage")
+                .expect("forensic injection events carry attr_stage");
+            if e.str("outcome") == Some("sdc") {
+                assert_ne!(attr, "unknown", "SDC must be stage-resolved");
+                assert!(e.u64("depth").unwrap() >= 1);
+            }
+        }
     }
 
     #[test]

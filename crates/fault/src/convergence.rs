@@ -78,6 +78,7 @@ mod tests {
             fired: None,
             outcome,
             sdc_output: None,
+            forensics: None,
         }
     }
 

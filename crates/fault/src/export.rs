@@ -65,6 +65,7 @@ mod tests {
             }),
             outcome,
             sdc_output: None,
+            forensics: None,
         }
     }
 

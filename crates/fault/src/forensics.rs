@@ -1,0 +1,584 @@
+//! Fault forensics: stage-level digest traces and divergence attribution.
+//!
+//! A campaign outcome (Masked/SDC/Crash/Hang) says *what* a fault did to
+//! the final output but not *where* the corruption entered the pipeline
+//! or *where* it was absorbed. This module adds that layer:
+//!
+//! * instrumented pipeline stages fold cheap splitmix64 digests of their
+//!   outputs into a thread-local [`DigestTrace`] (one rolling hash per
+//!   [`Stage`]), gated exactly like telemetry — when no recorder is
+//!   installed every record call is a no-op, so campaigns without
+//!   forensics are provably unperturbed;
+//! * the campaign driver records the golden trace once, has every
+//!   non-crash injected run carry its own trace, and attributes each
+//!   injection by comparing the two ([`Attribution`]): the
+//!   first-divergence stage, the stage where digests re-converge
+//!   (masking stage) and the propagation depth;
+//! * [`PropagationMatrix`] aggregates attributed records into the
+//!   stage×outcome table the `campaign_report` binary renders, reusing
+//!   [`OutcomeCounts`]/`OutcomeRates` so rates come with Wilson
+//!   intervals.
+//!
+//! Digests live *outside* the simulated machine — recording never touches
+//! the tap stream, instruction counts or fault-draw arithmetic. The
+//! zero-perturbation proof (`tests/forensics_equivalence.rs` and the Toy
+//! campaigns in `campaign.rs`) checks record-list equality with forensics
+//! off and on, across thread counts and checkpoint policies.
+
+use crate::campaign::{Injection, Outcome};
+use crate::func::FuncId;
+use crate::spec::FiredFault;
+use crate::stats::OutcomeCounts;
+use std::cell::Cell;
+pub use vs_rng::{hash_bytes, hash_fold};
+
+/// Number of instrumented pipeline stages.
+pub const NUM_STAGES: usize = 8;
+
+/// One instrumented stage of the summarization pipeline, in dataflow
+/// order. Digest comparison walks this order, so "first divergence"
+/// means "earliest point in the dataflow where injected state differs
+/// from golden".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Stage {
+    /// Frame decode / grayscale conversion.
+    Decode = 0,
+    /// Image pyramid construction.
+    Pyramid = 1,
+    /// FAST-9 corner detection.
+    Fast = 2,
+    /// ORB orientation + descriptor extraction.
+    Orb = 3,
+    /// Brute-force descriptor matching.
+    Match = 4,
+    /// RANSAC/affine model estimation.
+    Ransac = 5,
+    /// Perspective warp and canvas compositing.
+    Warp = 6,
+    /// Summary assembly (panoramas, origins, run statistics).
+    Summary = 7,
+}
+
+impl Stage {
+    /// All stages, in dataflow order.
+    pub const ALL: [Stage; NUM_STAGES] = [
+        Stage::Decode,
+        Stage::Pyramid,
+        Stage::Fast,
+        Stage::Orb,
+        Stage::Match,
+        Stage::Ransac,
+        Stage::Warp,
+        Stage::Summary,
+    ];
+
+    /// Stable index of this stage in per-stage arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Short lowercase name used in reports and telemetry fields.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Decode => "decode",
+            Stage::Pyramid => "pyramid",
+            Stage::Fast => "fast",
+            Stage::Orb => "orb",
+            Stage::Match => "match",
+            Stage::Ransac => "ransac",
+            Stage::Warp => "warp",
+            Stage::Summary => "summary",
+        }
+    }
+
+    /// The stage a fired fault's function belongs to — the fallback
+    /// attribution for runs whose digest trace never diverged (the fault
+    /// was absorbed before any stage boundary) or never completed
+    /// (crash/hang).
+    pub fn of_func(func: FuncId) -> Stage {
+        match func {
+            FuncId::Decode => Stage::Decode,
+            FuncId::FastDetect => Stage::Fast,
+            FuncId::OrbOrientation | FuncId::OrbDescribe => Stage::Orb,
+            FuncId::MatchKeypoints => Stage::Match,
+            FuncId::RansacHomography | FuncId::EstimateAffine => Stage::Ransac,
+            FuncId::WarpPerspective | FuncId::RemapBilinear | FuncId::Blend => Stage::Warp,
+            // Application control flow, the quality checker and the
+            // event-summarization helpers all run at the summary level;
+            // Terrain only executes during input synthesis (never inside
+            // a campaign) and Other is the unattributed bucket.
+            FuncId::StitchControl
+            | FuncId::Quality
+            | FuncId::Terrain
+            | FuncId::DetectMotion
+            | FuncId::TrackObjects
+            | FuncId::Other => Stage::Summary,
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-stage rolling digests of one pipeline run.
+///
+/// Every record folds order-sensitively into its stage's slot
+/// (`digest = mix64(digest ^ value)`), and `counts` tracks how many
+/// records each stage folded — two traces are equal only if every stage
+/// saw the same values in the same order, the same number of times.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DigestTrace {
+    digests: [u64; NUM_STAGES],
+    counts: [u64; NUM_STAGES],
+}
+
+impl DigestTrace {
+    /// Fold one digest into a stage's rolling hash.
+    #[inline]
+    pub fn fold(&mut self, stage: Stage, digest: u64) {
+        let i = stage.index();
+        self.digests[i] = hash_fold(self.digests[i], digest);
+        self.counts[i] = self.counts[i].wrapping_add(1);
+    }
+
+    /// The rolling digest of one stage.
+    #[inline]
+    pub fn digest(&self, stage: Stage) -> u64 {
+        self.digests[stage.index()]
+    }
+
+    /// How many records one stage folded.
+    #[inline]
+    pub fn count(&self, stage: Stage) -> u64 {
+        self.counts[stage.index()]
+    }
+
+    /// Whether a stage's digest (or record count) differs from `golden`'s.
+    #[inline]
+    fn diverges_at(&self, golden: &DigestTrace, stage: Stage) -> bool {
+        let i = stage.index();
+        self.digests[i] != golden.digests[i] || self.counts[i] != golden.counts[i]
+    }
+}
+
+thread_local! {
+    /// The calling thread's active digest trace, if forensics is
+    /// recording. `Cell<Option<..>>` suffices: `DigestTrace` is `Copy`
+    /// and recording is a get-modify-set on one thread.
+    static TRACE: Cell<Option<DigestTrace>> = const { Cell::new(None) };
+}
+
+/// RAII guard for a recording scope; restores the previous recorder
+/// state (usually "off") on drop. Not `Send` — recording is per-thread,
+/// like telemetry sinks and fault sessions.
+pub struct RecorderGuard {
+    prev: Option<DigestTrace>,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for RecorderGuard {
+    fn drop(&mut self) {
+        TRACE.with(|t| t.set(self.prev.take()));
+    }
+}
+
+/// Start recording on this thread with an empty trace.
+#[must_use = "recording stops when the guard drops"]
+pub fn begin_recording() -> RecorderGuard {
+    begin_recording_at(DigestTrace::default())
+}
+
+/// Start recording on this thread, seeded with `base` — the trace a
+/// golden-prefix checkpoint accumulated before its capture point, so a
+/// fast-forwarded run's fold over the replayed suffix lands on the same
+/// digests a from-scratch run would produce.
+#[must_use = "recording stops when the guard drops"]
+pub fn begin_recording_at(base: DigestTrace) -> RecorderGuard {
+    RecorderGuard {
+        prev: TRACE.with(|t| t.replace(Some(base))),
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Whether a recorder is installed on this thread. Instrumentation sites
+/// whose digest input needs assembling (serializing keypoints, model
+/// matrices) gate on this so disabled forensics costs one thread-local
+/// read.
+#[inline]
+pub fn enabled() -> bool {
+    TRACE.with(|t| t.get().is_some())
+}
+
+/// Fold one pre-computed digest into this thread's trace (no-op when
+/// recording is off).
+#[inline]
+pub fn record(stage: Stage, digest: u64) {
+    TRACE.with(|t| {
+        if let Some(mut trace) = t.get() {
+            trace.fold(stage, digest);
+            t.set(Some(trace));
+        }
+    });
+}
+
+/// Hash a byte slice and fold it into this thread's trace. The hash is
+/// only computed when recording is on.
+pub fn record_bytes(stage: Stage, bytes: &[u8]) {
+    if enabled() {
+        record(stage, hash_bytes(stage.index() as u64, bytes));
+    }
+}
+
+/// The trace recorded so far on this thread (empty when recording is
+/// off). Checkpoint capture uses this to snapshot the prefix trace.
+#[inline]
+pub fn current_trace() -> DigestTrace {
+    TRACE.with(|t| t.get().unwrap_or_default())
+}
+
+/// Where an injected run's digest trace diverged from golden, and where
+/// it re-converged.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attribution {
+    /// Earliest stage (dataflow order) whose digest differs from golden;
+    /// `None` if the trace matches golden everywhere (fault absorbed
+    /// before any stage boundary).
+    pub first_divergence: Option<Stage>,
+    /// The stage after the *last* divergent stage — where the corrupted
+    /// state was fully absorbed and every later digest matches golden
+    /// again. `None` when nothing diverged or the divergence reached the
+    /// summary (nothing left to mask it).
+    pub masked_at: Option<Stage>,
+    /// Number of stages whose digests diverged — how deep the corruption
+    /// propagated through the dataflow.
+    pub depth: u32,
+}
+
+impl Attribution {
+    /// Compare an injected run's trace against the golden trace.
+    pub fn between(golden: &DigestTrace, injected: &DigestTrace) -> Attribution {
+        let mut first = None;
+        let mut last = None;
+        let mut depth = 0u32;
+        for s in Stage::ALL {
+            if injected.diverges_at(golden, s) {
+                first.get_or_insert(s);
+                last = Some(s);
+                depth += 1;
+            }
+        }
+        let masked_at = last.and_then(|s| Stage::ALL.get(s.index() + 1).copied());
+        Attribution {
+            first_divergence: first,
+            masked_at,
+            depth,
+        }
+    }
+}
+
+/// The forensic payload of one non-crash injected run: its digest trace
+/// and the attribution against golden.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ForensicsRecord {
+    /// Per-stage digests of the injected run.
+    pub trace: DigestTrace,
+    /// Divergence attribution against the golden trace.
+    pub attribution: Attribution,
+}
+
+/// The stage an injection is attributed to: the first-divergence stage
+/// when the digest trace diverged, otherwise the fired fault's stage
+/// (the only evidence a fully-absorbed or crashed run leaves). `None`
+/// means no evidence at all — rendered as `unknown` in reports.
+pub fn attributed_stage(
+    forensics: Option<&ForensicsRecord>,
+    fired: Option<FiredFault>,
+) -> Option<Stage> {
+    forensics
+        .and_then(|f| f.attribution.first_divergence)
+        .or_else(|| fired.map(|f| Stage::of_func(f.func)))
+}
+
+/// Stage×outcome propagation matrix: outcome tallies per attributed
+/// stage, plus an `unknown` row for records with no attribution
+/// evidence. Rates and Wilson intervals come from each row's
+/// [`OutcomeCounts::rates`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PropagationMatrix {
+    rows: [OutcomeCounts; NUM_STAGES + 1],
+}
+
+impl PropagationMatrix {
+    /// Row labels, aligned with [`PropagationMatrix::rows`]: the stage
+    /// names followed by `"unknown"`.
+    pub fn row_names() -> [&'static str; NUM_STAGES + 1] {
+        let mut names = ["unknown"; NUM_STAGES + 1];
+        for s in Stage::ALL {
+            names[s.index()] = s.name();
+        }
+        names
+    }
+
+    /// Tally one attributed outcome.
+    pub fn add(&mut self, stage: Option<Stage>, outcome: Outcome) {
+        let row = stage.map_or(NUM_STAGES, Stage::index);
+        self.rows[row].add(outcome);
+    }
+
+    /// The tallies of one stage's row (`None` = the `unknown` row).
+    pub fn row(&self, stage: Option<Stage>) -> &OutcomeCounts {
+        &self.rows[stage.map_or(NUM_STAGES, Stage::index)]
+    }
+
+    /// All rows in [`PropagationMatrix::row_names`] order.
+    pub fn rows(&self) -> &[OutcomeCounts; NUM_STAGES + 1] {
+        &self.rows
+    }
+
+    /// Total injections tallied.
+    pub fn n(&self) -> usize {
+        self.rows.iter().map(OutcomeCounts::n).sum()
+    }
+
+    /// Build the matrix from campaign records, attributing each via
+    /// [`attributed_stage`].
+    pub fn from_records<O>(records: &[Injection<O>]) -> PropagationMatrix {
+        let mut m = PropagationMatrix::default();
+        for r in records {
+            m.add(attributed_stage(r.forensics.as_ref(), r.fired), r.outcome);
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{FaultSpec, RegClass};
+    use crate::OpClass;
+
+    #[test]
+    fn fold_is_order_sensitive_per_stage() {
+        let mut a = DigestTrace::default();
+        a.fold(Stage::Fast, 1);
+        a.fold(Stage::Fast, 2);
+        let mut b = DigestTrace::default();
+        b.fold(Stage::Fast, 2);
+        b.fold(Stage::Fast, 1);
+        assert_ne!(a, b);
+        assert_eq!(a.count(Stage::Fast), 2);
+        assert_eq!(a.digest(Stage::Warp), 0, "other stages untouched");
+    }
+
+    #[test]
+    fn recording_is_gated_and_scoped() {
+        assert!(!enabled());
+        record(Stage::Decode, 42); // must be a silent no-op
+        assert_eq!(current_trace(), DigestTrace::default());
+        {
+            let _g = begin_recording();
+            assert!(enabled());
+            record(Stage::Decode, 42);
+            record_bytes(Stage::Warp, b"canvas");
+            let t = current_trace();
+            assert_eq!(t.count(Stage::Decode), 1);
+            assert_eq!(t.count(Stage::Warp), 1);
+        }
+        assert!(!enabled(), "guard drop must stop recording");
+        assert_eq!(current_trace(), DigestTrace::default());
+    }
+
+    #[test]
+    fn seeded_recording_matches_full_fold() {
+        // A run recorded in one piece…
+        let full = {
+            let _g = begin_recording();
+            for v in [3u64, 5, 7] {
+                record(Stage::Match, v);
+            }
+            record(Stage::Summary, 11);
+            current_trace()
+        };
+        // …equals a prefix snapshot + seeded suffix replay.
+        let prefix = {
+            let _g = begin_recording();
+            record(Stage::Match, 3);
+            current_trace()
+        };
+        let resumed = {
+            let _g = begin_recording_at(prefix);
+            for v in [5u64, 7] {
+                record(Stage::Match, v);
+            }
+            record(Stage::Summary, 11);
+            current_trace()
+        };
+        assert_eq!(full, resumed);
+    }
+
+    #[test]
+    fn nested_guards_restore_outer_trace() {
+        let _outer = begin_recording();
+        record(Stage::Orb, 1);
+        let outer_trace = current_trace();
+        {
+            let _inner = begin_recording();
+            record(Stage::Orb, 999);
+            assert_ne!(current_trace(), outer_trace);
+        }
+        assert_eq!(current_trace(), outer_trace);
+    }
+
+    #[test]
+    fn attribution_finds_first_divergence_and_masking() {
+        let mut golden = DigestTrace::default();
+        let mut injected = DigestTrace::default();
+        for s in Stage::ALL {
+            golden.fold(s, 100 + s.index() as u64);
+            injected.fold(s, 100 + s.index() as u64);
+        }
+        // Diverge at Fast and Orb, re-converge from Match on.
+        injected.fold(Stage::Fast, 1);
+        injected.fold(Stage::Orb, 2);
+        let a = Attribution::between(&golden, &injected);
+        assert_eq!(a.first_divergence, Some(Stage::Fast));
+        assert_eq!(a.masked_at, Some(Stage::Match));
+        assert_eq!(a.depth, 2);
+    }
+
+    #[test]
+    fn attribution_of_identical_traces_is_empty() {
+        let t = DigestTrace::default();
+        let a = Attribution::between(&t, &t);
+        assert_eq!(a.first_divergence, None);
+        assert_eq!(a.masked_at, None);
+        assert_eq!(a.depth, 0);
+    }
+
+    #[test]
+    fn divergence_reaching_summary_has_no_masking_stage() {
+        let golden = DigestTrace::default();
+        let mut injected = DigestTrace::default();
+        injected.fold(Stage::Summary, 1);
+        let a = Attribution::between(&golden, &injected);
+        assert_eq!(a.first_divergence, Some(Stage::Summary));
+        assert_eq!(a.masked_at, None);
+        assert_eq!(a.depth, 1);
+    }
+
+    #[test]
+    fn count_only_divergence_is_detected() {
+        // Same rolling digest values but a different record count must
+        // still count as divergence (guards against fold-count slips).
+        let mut golden = DigestTrace::default();
+        golden.fold(Stage::Ransac, 9);
+        let mut injected = golden;
+        injected.counts[Stage::Ransac.index()] += 1;
+        let a = Attribution::between(&golden, &injected);
+        assert_eq!(a.first_divergence, Some(Stage::Ransac));
+    }
+
+    fn fired(func: FuncId) -> FiredFault {
+        FiredFault {
+            func,
+            op: OpClass::Float,
+            reg: 3,
+            bit: 17,
+            before: 0,
+            after: 1 << 17,
+        }
+    }
+
+    #[test]
+    fn attributed_stage_prefers_divergence_over_fired_func() {
+        let golden = DigestTrace::default();
+        let mut injected = DigestTrace::default();
+        injected.fold(Stage::Match, 5);
+        let rec = ForensicsRecord {
+            trace: injected,
+            attribution: Attribution::between(&golden, &injected),
+        };
+        assert_eq!(
+            attributed_stage(Some(&rec), Some(fired(FuncId::RemapBilinear))),
+            Some(Stage::Match)
+        );
+        // No divergence → fall back to the fired function's stage.
+        let clean = ForensicsRecord {
+            trace: golden,
+            attribution: Attribution::between(&golden, &golden),
+        };
+        assert_eq!(
+            attributed_stage(Some(&clean), Some(fired(FuncId::RemapBilinear))),
+            Some(Stage::Warp)
+        );
+        assert_eq!(attributed_stage(None, None), None);
+    }
+
+    #[test]
+    fn of_func_covers_every_func() {
+        // Exhaustiveness is enforced by the match; spot-check the
+        // dataflow mapping.
+        assert_eq!(Stage::of_func(FuncId::Decode), Stage::Decode);
+        assert_eq!(Stage::of_func(FuncId::OrbDescribe), Stage::Orb);
+        assert_eq!(Stage::of_func(FuncId::Blend), Stage::Warp);
+        assert_eq!(Stage::of_func(FuncId::StitchControl), Stage::Summary);
+    }
+
+    #[test]
+    fn propagation_matrix_tallies_rows() {
+        let mut m = PropagationMatrix::default();
+        m.add(Some(Stage::Warp), Outcome::Masked);
+        m.add(Some(Stage::Warp), Outcome::Masked);
+        m.add(Some(Stage::Decode), Outcome::Sdc);
+        m.add(None, Outcome::CrashSegfault);
+        assert_eq!(m.n(), 4);
+        assert_eq!(m.row(Some(Stage::Warp)).masked, 2);
+        assert_eq!(m.row(Some(Stage::Decode)).sdc, 1);
+        assert_eq!(m.row(None).crash_segfault, 1);
+        let names = PropagationMatrix::row_names();
+        assert_eq!(names[0], "decode");
+        assert_eq!(names[NUM_STAGES], "unknown");
+        // Rows expose Wilson intervals through OutcomeRates.
+        let (lo, hi) = m
+            .row(Some(Stage::Warp))
+            .rates()
+            .wilson_interval(crate::stats::OutcomeClass::Masked);
+        assert!(lo > 0.0 && hi == 100.0);
+    }
+
+    #[test]
+    fn propagation_matrix_from_records_attributes_each() {
+        let golden = DigestTrace::default();
+        let mut diverged = DigestTrace::default();
+        diverged.fold(Stage::Ransac, 1);
+        let mk = |forensics, fired_func: Option<FuncId>, outcome| Injection {
+            index: 0,
+            spec: FaultSpec::new(RegClass::Gpr, 1, 2),
+            fired: fired_func.map(fired),
+            outcome,
+            sdc_output: None::<u64>,
+            forensics,
+        };
+        let recs = vec![
+            mk(
+                Some(ForensicsRecord {
+                    trace: diverged,
+                    attribution: Attribution::between(&golden, &diverged),
+                }),
+                Some(FuncId::MatchKeypoints),
+                Outcome::Sdc,
+            ),
+            mk(None, Some(FuncId::RemapBilinear), Outcome::CrashSegfault),
+            mk(None, None, Outcome::Hang),
+        ];
+        let m = PropagationMatrix::from_records(&recs);
+        assert_eq!(m.row(Some(Stage::Ransac)).sdc, 1);
+        assert_eq!(m.row(Some(Stage::Warp)).crash_segfault, 1);
+        assert_eq!(m.row(None).hang, 1);
+    }
+}

@@ -59,6 +59,7 @@ pub mod campaign;
 pub mod convergence;
 pub mod error;
 pub mod export;
+pub mod forensics;
 pub mod func;
 pub mod pruning;
 pub mod session;

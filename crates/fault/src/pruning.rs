@@ -220,6 +220,7 @@ fn run_one_grouped<W: Workload>(
             fired,
             outcome: crate::campaign::Outcome::CrashSegfault,
             sdc_output: None,
+            forensics: None,
         },
         Ok(Err(e)) => Injection {
             index,
@@ -231,6 +232,7 @@ fn run_one_grouped<W: Workload>(
                 crate::SimError::Hang => crate::campaign::Outcome::Hang,
             },
             sdc_output: None,
+            forensics: None,
         },
         Ok(Ok(out)) => {
             let outcome = if out == golden.output {
@@ -244,6 +246,7 @@ fn run_one_grouped<W: Workload>(
                 fired,
                 outcome,
                 sdc_output: None,
+                forensics: None,
             }
         }
     }

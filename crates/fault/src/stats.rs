@@ -153,17 +153,21 @@ impl OutcomeRates {
     /// telemetry snapshots carry these bounds so convergence plots get
     /// honest error bars.
     ///
-    /// Returns `(0, 100)` when no injections have been summarized.
+    /// Returns the degenerate interval `(0, 0)` when no injections have
+    /// been summarized — there is no observation to put a bound around,
+    /// and a `(0, 100)` pseudo-interval would render as a full-height
+    /// error bar on empty propagation-matrix rows.
     pub fn wilson_interval(&self, class: OutcomeClass) -> (f64, f64) {
         wilson_interval_pct(self.rate(class), self.n)
     }
 }
 
 /// 95% Wilson score interval around a percentage rate observed over `n`
-/// trials; both bounds in percent, clamped to `[0, 100]`.
+/// trials; both bounds in percent, clamped to `[0, 100]`. `n == 0` and
+/// non-finite rates yield the degenerate `(0, 0)` rather than NaN.
 fn wilson_interval_pct(rate_pct: f64, n: usize) -> (f64, f64) {
-    if n == 0 {
-        return (0.0, 100.0);
+    if n == 0 || !rate_pct.is_finite() {
+        return (0.0, 0.0);
     }
     // z for a two-sided 95% interval.
     const Z: f64 = 1.959_963_984_540_054;
@@ -288,6 +292,7 @@ mod tests {
             fired: None,
             outcome,
             sdc_output: None,
+            forensics: None,
         }
     }
 
@@ -405,9 +410,45 @@ mod tests {
     }
 
     #[test]
-    fn wilson_interval_empty_is_vacuous() {
+    fn wilson_interval_empty_is_degenerate() {
+        // No observations → no interval: both bounds are 0 and finite,
+        // never NaN, so empty propagation-matrix rows render flat.
         let r = outcome_rates::<u64>(&[]);
-        assert_eq!(r.wilson_interval(OutcomeClass::Sdc), (0.0, 100.0));
+        for class in OutcomeClass::ALL {
+            let (lo, hi) = r.wilson_interval(class);
+            assert_eq!((lo, hi), (0.0, 0.0));
+            assert!(lo.is_finite() && hi.is_finite());
+        }
+    }
+
+    #[test]
+    fn wilson_interval_guards_non_finite_rates() {
+        assert_eq!(super::wilson_interval_pct(f64::NAN, 10), (0.0, 0.0));
+        assert_eq!(super::wilson_interval_pct(f64::INFINITY, 10), (0.0, 0.0));
+    }
+
+    #[test]
+    fn cv_of_empty_and_all_zero_histograms_is_zero() {
+        // Degenerate histograms must yield 0.0, not NaN (0/0).
+        let empty: [u32; 0] = [];
+        assert_eq!(coefficient_of_variation(&empty), 0.0);
+        assert_eq!(coefficient_of_variation(&[0, 0, 0, 0]), 0.0);
+        assert!(coefficient_of_variation(&[0, 0, 0, 0]).is_finite());
+    }
+
+    #[test]
+    fn outcome_names_are_single_sourced_from_class_names() {
+        // The dedup contract: wherever an outcome's class name is
+        // exact, Outcome::name must be the same &str; the crash-cause
+        // split prefixes the class name.
+        assert_eq!(Outcome::Masked.name(), OutcomeClass::Masked.name());
+        assert_eq!(Outcome::Sdc.name(), OutcomeClass::Sdc.name());
+        assert_eq!(Outcome::Hang.name(), OutcomeClass::Hang.name());
+        for o in [Outcome::CrashSegfault, Outcome::CrashAbort] {
+            assert_eq!(o.class(), OutcomeClass::Crash);
+            assert!(o.name().starts_with(OutcomeClass::Crash.name()));
+        }
+        assert_ne!(Outcome::CrashSegfault.name(), Outcome::CrashAbort.name());
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub(crate) struct CampaignMonitor {
     snapshot_every: usize,
     start: Instant,
     counts: Mutex<OutcomeCounts>,
+    /// Whether this campaign runs against a forensic golden — injection
+    /// events then carry stage-attribution fields.
+    forensic: bool,
 }
 
 impl CampaignMonitor {
@@ -56,8 +59,14 @@ impl CampaignMonitor {
     ///
     /// `sites` is the eligible-tap population faults are drawn from;
     /// `checkpoints` the number of resumable checkpoints available (0
-    /// for the from-scratch driver).
-    pub(crate) fn new(cfg: &CampaignConfig, sites: u64, checkpoints: usize) -> Self {
+    /// for the from-scratch driver); `forensic` whether the golden run
+    /// carries a digest trace.
+    pub(crate) fn new(
+        cfg: &CampaignConfig,
+        sites: u64,
+        checkpoints: usize,
+        forensic: bool,
+    ) -> Self {
         let sink = vs_telemetry::current();
         let total = cfg.injections();
         if let Some(s) = &sink {
@@ -80,6 +89,7 @@ impl CampaignMonitor {
             snapshot_every: (total / 20).max(1),
             start: Instant::now(),
             counts: Mutex::new(OutcomeCounts::default()),
+            forensic,
         }
     }
 
@@ -92,17 +102,29 @@ impl CampaignMonitor {
             (c.n(), *c)
         };
         let fired_func = rec.fired.map_or("", |f| f.func.name());
-        sink.event(&Event::new(
-            "injection",
-            &[
-                ("index", Value::U64(rec.index as u64)),
-                ("tap", Value::U64(rec.spec.tap_index)),
-                ("bit", Value::U64(u64::from(rec.spec.bit))),
-                ("outcome", Value::Str(rec.outcome.name())),
-                ("fired", Value::Bool(rec.fired.is_some())),
-                ("fired_func", Value::Str(fired_func)),
-            ],
-        ));
+        let mut fields = vec![
+            ("index", Value::U64(rec.index as u64)),
+            ("tap", Value::U64(rec.spec.tap_index)),
+            ("bit", Value::U64(u64::from(rec.spec.bit))),
+            ("outcome", Value::Str(rec.outcome.name())),
+            ("fired", Value::Bool(rec.fired.is_some())),
+            ("fired_func", Value::Str(fired_func)),
+        ];
+        if self.forensic {
+            let attr = crate::forensics::attributed_stage(rec.forensics.as_ref(), rec.fired);
+            fields.push((
+                "attr_stage",
+                Value::Str(attr.map_or("unknown", |s| s.name())),
+            ));
+            if let Some(f) = &rec.forensics {
+                let stage_name =
+                    |s: Option<crate::forensics::Stage>| Value::Str(s.map_or("none", |s| s.name()));
+                fields.push(("div_stage", stage_name(f.attribution.first_divergence)));
+                fields.push(("mask_stage", stage_name(f.attribution.masked_at)));
+                fields.push(("depth", Value::U64(u64::from(f.attribution.depth))));
+            }
+        }
+        sink.event(&Event::new("injection", &fields));
         if done % self.snapshot_every == 0 || done == self.total {
             self.emit_rates(sink, "campaign_progress", done, &counts.rates());
         }

@@ -65,6 +65,21 @@ echo "== trace smoke: campaign_bench --smoke --trace + trace_check =="
     --scratch-steady --kernels
 rm -f /tmp/BENCH_smoke.json /tmp/BENCH_smoke.jsonl
 
+echo "== forensics smoke: campaign_report --smoke + trace_check --forensics =="
+# The forensics report runs each campaign twice (forensics off, then
+# on) and exits non-zero itself if any (spec, outcome, fired) record
+# differs, if a non-crash GPR injection is unattributed, or if fewer
+# than 90% of masked FPR faults attribute to the warp/summary stages.
+# trace_check --forensics then validates the digest events in the
+# emitted JSONL trace: a golden digest per pipeline stage and
+# stage-resolved attribution on every SDC injection.
+./target/release/campaign_report --smoke --out-dir /tmp/forensics_smoke \
+    --trace /tmp/forensics_smoke.jsonl >/dev/null
+./target/release/trace_check /tmp/forensics_smoke.jsonl --quiet \
+    --require forensics_golden --require report_config \
+    --forensics
+rm -rf /tmp/forensics_smoke /tmp/forensics_smoke.jsonl
+
 if [ "${1:-}" = "--full" ]; then
     echo "== bench full: campaign_bench -> BENCH_2.json =="
     ./target/release/campaign_bench --out BENCH_2.json
