@@ -6,6 +6,8 @@
 //! ```text
 //! campaign_bench [--frames N] [--inj N] [--threads N[,N...]] [--every-k K]
 //!                [--seed S] [--out FILE] [--trace FILE] [--smoke]
+//!                [--adaptive] [--adaptive-out FILE] [--epsilon PP]
+//!                [--cache FILE] [--rate-agreement] [--min-reduction X]
 //! ```
 //!
 //! `--threads` accepts a comma list (`--threads 1,2,4`): the first count
@@ -13,7 +15,18 @@
 //! checkpointed campaign as a scaling sweep whose outcome records must
 //! be identical to the first run's (thread-striping is index-
 //! deterministic, so any divergence is a bug). The sweep lands in the
-//! JSON as `thread_sweep` rows.
+//! JSON as `thread_sweep` rows, each annotated with whether it
+//! oversubscribes the recorded `host_cores`.
+//!
+//! `--adaptive` switches to the adaptive-campaign benchmark (emitted as
+//! `BENCH_4.json`): one fixed-budget reference campaign, the
+//! Wilson-gated adaptive campaign at the same seed, and a cold/warm
+//! compositional pass against a (optionally persistent, `--cache`)
+//! group-measurement cache. `--rate-agreement` gates every estimate's
+//! per-class rates against the reference campaign's 95% Wilson interval
+//! widened by the adaptive epsilon; `--min-reduction X` additionally
+//! requires the adaptive campaign to stop early with at least an `X`-fold
+//! injection reduction.
 //!
 //! The benchmark profiles one golden run (plain and checkpoint-capturing),
 //! then runs the same GPR campaign twice — every injection re-executed
@@ -39,8 +52,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 use vs_core::workloads::VsWorkload;
 use vs_core::PipelineConfig;
+use vs_fault::adaptive::{self, AdaptiveConfig};
 use vs_fault::campaign::{self, CampaignConfig, CheckpointPolicy, ScratchWorkload};
+use vs_fault::compose::{self, CampaignCache, ComposeConfig};
 use vs_fault::spec::RegClass;
+use vs_fault::stats::{outcome_rates, OutcomeClass, OutcomeRates};
 use vs_telemetry::Value;
 use vs_video::{render_input, InputSpec};
 
@@ -123,7 +139,7 @@ fn measure_allocs(w: &VsWorkload) -> AllocStats {
     })
 }
 
-const USAGE: &str = "usage: campaign_bench [--frames N] [--inj N] [--threads N[,N...]] [--every-k K] [--seed S] [--out FILE] [--trace FILE] [--smoke]";
+const USAGE: &str = "usage: campaign_bench [--frames N] [--inj N] [--threads N[,N...]] [--every-k K] [--seed S] [--out FILE] [--trace FILE] [--smoke] [--adaptive] [--adaptive-out FILE] [--epsilon PP] [--cache FILE] [--rate-agreement] [--min-reduction X]";
 
 struct BenchOpts {
     frames: usize,
@@ -137,6 +153,25 @@ struct BenchOpts {
     seed: u64,
     out: std::path::PathBuf,
     trace: Option<std::path::PathBuf>,
+    /// Run the adaptive-campaign benchmark instead of the throughput
+    /// benchmark.
+    adaptive: bool,
+    /// Output path of the adaptive benchmark JSON.
+    adaptive_out: std::path::PathBuf,
+    /// Adaptive Wilson half-width target, percentage points. `None`
+    /// picks a scale-appropriate default (8pp full, 30pp smoke).
+    epsilon: Option<f64>,
+    /// Persistent compositional cache path (loaded before the cold
+    /// pass, saved after the warm pass).
+    cache: Option<std::path::PathBuf>,
+    /// Fail unless every estimate passes the per-class agreement gate.
+    rate_agreement: bool,
+    /// Fail unless the adaptive campaign converges with at least this
+    /// injection reduction (0 disables the gate).
+    min_reduction: f64,
+    /// Whether `--smoke` was given (picks smoke-scale adaptive/compose
+    /// parameters).
+    smoke: bool,
 }
 
 impl Default for BenchOpts {
@@ -151,6 +186,13 @@ impl Default for BenchOpts {
             seed: 0xBE6C,
             out: "BENCH_2.json".into(),
             trace: None,
+            adaptive: false,
+            adaptive_out: "BENCH_4.json".into(),
+            epsilon: None,
+            cache: None,
+            rate_agreement: false,
+            min_reduction: 0.0,
+            smoke: false,
         }
     }
 }
@@ -182,11 +224,24 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
             "--seed" => o.seed = val("--seed")?.parse().map_err(|_| "bad --seed")?,
             "--out" => o.out = val("--out")?.into(),
             "--trace" => o.trace = Some(val("--trace")?.into()),
+            "--adaptive" => o.adaptive = true,
+            "--adaptive-out" => o.adaptive_out = val("--adaptive-out")?.into(),
+            "--epsilon" => {
+                o.epsilon = Some(val("--epsilon")?.parse().map_err(|_| "bad --epsilon")?)
+            }
+            "--cache" => o.cache = Some(val("--cache")?.into()),
+            "--rate-agreement" => o.rate_agreement = true,
+            "--min-reduction" => {
+                o.min_reduction = val("--min-reduction")?
+                    .parse()
+                    .map_err(|_| "bad --min-reduction")?
+            }
             "--smoke" => {
                 o.frames = 6;
                 o.width = 80;
                 o.height = 60;
                 o.injections = 24;
+                o.smoke = true;
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
@@ -199,6 +254,273 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
 
 fn json_f(x: f64) -> String {
     format!("{x:.6}")
+}
+
+/// One outcome class of an estimate checked against the reference
+/// campaign's widened 95% Wilson interval.
+struct AgreementRow {
+    class: &'static str,
+    reference: f64,
+    estimate: f64,
+    lo: f64,
+    hi: f64,
+    pass: bool,
+}
+
+/// Check every outcome class of `estimate` against `reference`'s 95%
+/// Wilson interval widened by `widen_pp` percentage points. The
+/// widening is the resolution the adaptive stopping rule was asked for
+/// (`epsilon_pp`): a passing estimate equals the reference within the
+/// confidence that was actually purchased, which is the meaning of
+/// "fewer injections at equal confidence".
+fn agreement(
+    estimate: &OutcomeRates,
+    reference: &OutcomeRates,
+    widen_pp: f64,
+) -> Vec<AgreementRow> {
+    OutcomeClass::ALL
+        .iter()
+        .map(|&c| {
+            let (lo, hi) = reference.wilson_interval(c);
+            let r = estimate.rate(c);
+            AgreementRow {
+                class: c.name(),
+                reference: reference.rate(c),
+                estimate: r,
+                lo,
+                hi,
+                pass: r >= lo - widen_pp && r <= hi + widen_pp,
+            }
+        })
+        .collect()
+}
+
+fn agreement_json(rows: &[AgreementRow], widen_pp: f64) -> String {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "    {{\"class\": \"{}\", \"reference\": {}, \"estimate\": {}, \"lo\": {}, \"hi\": {}, \"widen_pp\": {}, \"pass\": {}}}",
+                r.class,
+                json_f(r.reference),
+                json_f(r.estimate),
+                json_f(r.lo),
+                json_f(r.hi),
+                json_f(widen_pp),
+                r.pass
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn rates_json(r: &OutcomeRates) -> String {
+    format!(
+        "{{\"n\": {}, \"masked\": {}, \"sdc\": {}, \"crash\": {}, \"hang\": {}}}",
+        r.n,
+        json_f(r.masked),
+        json_f(r.sdc),
+        json_f(r.crash),
+        json_f(r.hang)
+    )
+}
+
+/// The adaptive-campaign benchmark (`--adaptive`): one fixed-budget
+/// reference campaign, the Wilson-gated adaptive campaign at the same
+/// seed (whose records are a prefix of the reference's), and a
+/// cold+warm compositional pass against the group-measurement cache.
+/// Emits the BENCH_4 JSON and applies the warm-reuse, rate-agreement
+/// and injection-reduction gates.
+fn run_adaptive_bench(
+    o: &BenchOpts,
+    w: &VsWorkload,
+    host_cores: usize,
+    pipeline_digest: u64,
+) -> Result<(), String> {
+    let epsilon_pp = o.epsilon.unwrap_or(if o.smoke { 30.0 } else { 8.0 });
+    let acfg = AdaptiveConfig {
+        epsilon_pp,
+        batch: if o.smoke { 8 } else { 25 },
+        min_injections: if o.smoke { 16 } else { 100 },
+        knee_tol_pp: epsilon_pp / 2.0,
+    };
+    let threads = o.threads[0];
+    // Compose pilots run from scratch (no checkpoint fast-forward), so
+    // the smoke preset stops each group at a couple of pilots; the full
+    // preset resolves each group to 12pp before the weighted merge.
+    let ccfg = if o.smoke {
+        ComposeConfig {
+            seed: o.seed ^ 0xC05E,
+            epsilon_pp: 100.0,
+            batch: 4,
+            min_pilots: 2,
+            max_pilots: 4,
+            hang_factor: 16,
+            threads,
+        }
+    } else {
+        ComposeConfig {
+            seed: o.seed ^ 0xC05E,
+            epsilon_pp: 12.0,
+            batch: 8,
+            min_pilots: 8,
+            max_pilots: 24,
+            hang_factor: 16,
+            threads,
+        }
+    };
+
+    let golden = campaign::profile_golden_checkpointed_forensic(
+        w,
+        CheckpointPolicy::EveryKFrames(o.every_k),
+    )
+    .map_err(|e| format!("forensic golden run failed: {e:?}"))?;
+
+    let cfg = CampaignConfig::new(RegClass::Gpr, o.injections)
+        .seed(o.seed)
+        .threads(threads)
+        .checkpoint_policy(CheckpointPolicy::EveryKFrames(o.every_k));
+
+    let t0 = Instant::now();
+    let fixed = campaign::run_campaign_checkpointed(w, &golden, &cfg);
+    let fixed_secs = t0.elapsed().as_secs_f64();
+    let fixed_rates = outcome_rates(&fixed);
+
+    let t0 = Instant::now();
+    let adapted = adaptive::run_adaptive_checkpointed(w, &golden, &cfg, &acfg);
+    let adaptive_secs = t0.elapsed().as_secs_f64();
+    let reduction = fixed.len() as f64 / adapted.records.len().max(1) as f64;
+
+    let mut cache = match &o.cache {
+        Some(p) => CampaignCache::load(p)?,
+        None => CampaignCache::new(),
+    };
+    let t0 = Instant::now();
+    let cold = compose::run_composed_campaign(w, &golden.golden, &ccfg, &mut cache);
+    let cold_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let warm = compose::run_composed_campaign(w, &golden.golden, &ccfg, &mut cache);
+    let warm_secs = t0.elapsed().as_secs_f64();
+    if let Some(p) = &o.cache {
+        cache.workload_digest = pipeline_digest;
+        cache
+            .save(p)
+            .map_err(|e| format!("write {}: {e}", p.display()))?;
+    }
+    let cold_groups_injected = cold.groups.len() - cold.reused_groups;
+    let warm_groups_injected = warm.groups.len() - warm.reused_groups;
+
+    let a_rows = agreement(&adapted.rates, &fixed_rates, epsilon_pp);
+    let c_rows = agreement(&cold.estimate, &fixed_rates, ccfg.epsilon_pp);
+    let agreement_ok = a_rows.iter().chain(&c_rows).all(|r| r.pass);
+
+    println!(
+        "fixed     {:>5} injections in {:>6.2}s",
+        fixed.len(),
+        fixed_secs
+    );
+    println!(
+        "adaptive  {:>5} injections in {:>6.2}s   {:.1}x fewer, converged={}, half-width {:.2}pp (target {:.0}pp)",
+        adapted.records.len(),
+        adaptive_secs,
+        reduction,
+        adapted.converged,
+        adaptive::max_half_width(&adapted.rates),
+        epsilon_pp
+    );
+    println!(
+        "composed  {:>5} injections in {:>6.2}s cold ({}/{} groups injected); warm: {} injections, {} groups",
+        cold.injections_executed,
+        cold_secs,
+        cold_groups_injected,
+        cold.groups.len(),
+        warm.injections_executed,
+        warm_groups_injected
+    );
+    println!(
+        "rate agreement: {}",
+        if agreement_ok { "pass" } else { "FAIL" }
+    );
+    vs_telemetry::emit(
+        "adaptive_bench",
+        &[
+            ("fixed_injections", Value::U64(fixed.len() as u64)),
+            (
+                "adaptive_injections",
+                Value::U64(adapted.records.len() as u64),
+            ),
+            ("reduction", Value::F64(reduction)),
+            (
+                "cold_groups_injected",
+                Value::U64(cold_groups_injected as u64),
+            ),
+            (
+                "warm_groups_injected",
+                Value::U64(warm_groups_injected as u64),
+            ),
+            ("agreement", Value::Bool(agreement_ok)),
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"bench\": \"adaptive_campaign\",\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"threads\": {},\n  \"host_cores\": {},\n  \"seed\": {},\n  \"config_digest\": {},\n  \"compose_digest\": {},\n  \"epsilon_pp\": {},\n  \"fixed_injections\": {},\n  \"fixed_secs\": {},\n  \"adaptive_injections\": {},\n  \"adaptive_secs\": {},\n  \"adaptive_stopped_early\": {},\n  \"adaptive_max_half_width_pp\": {},\n  \"injection_reduction\": {},\n  \"composed_groups\": {},\n  \"cold_groups_injected\": {},\n  \"cold_injections\": {},\n  \"cold_secs\": {},\n  \"warm_groups_injected\": {},\n  \"warm_injections\": {},\n  \"warm_secs\": {},\n  \"rates\": {{\n    \"fixed\": {},\n    \"adaptive\": {},\n    \"composed\": {}\n  }},\n  \"adaptive_agreement\": [\n{}\n  ],\n  \"composed_agreement\": [\n{}\n  ],\n  \"rate_agreement\": {}\n}}\n",
+        o.frames,
+        o.width,
+        o.height,
+        threads,
+        host_cores,
+        o.seed,
+        pipeline_digest,
+        ccfg.digest(),
+        json_f(epsilon_pp),
+        fixed.len(),
+        json_f(fixed_secs),
+        adapted.records.len(),
+        json_f(adaptive_secs),
+        adapted.converged,
+        json_f(adaptive::max_half_width(&adapted.rates)),
+        json_f(reduction),
+        cold.groups.len(),
+        cold_groups_injected,
+        cold.injections_executed,
+        json_f(cold_secs),
+        warm_groups_injected,
+        warm.injections_executed,
+        json_f(warm_secs),
+        rates_json(&fixed_rates),
+        rates_json(&adapted.rates),
+        rates_json(&cold.estimate),
+        agreement_json(&a_rows, epsilon_pp),
+        agreement_json(&c_rows, ccfg.epsilon_pp),
+        agreement_ok
+    );
+    std::fs::write(&o.adaptive_out, &json)
+        .map_err(|e| format!("cannot write {}: {e}", o.adaptive_out.display()))?;
+    let out_path = o.adaptive_out.display().to_string();
+    vs_telemetry::emit("artifact", &[("path", Value::Str(&out_path))]);
+
+    if warm_groups_injected != 0 {
+        return Err(format!(
+            "warm compositional pass re-injected {warm_groups_injected} groups"
+        ));
+    }
+    if o.rate_agreement && !agreement_ok {
+        return Err("an estimate left the reference campaign's widened Wilson interval".into());
+    }
+    if o.min_reduction > 0.0 {
+        if !adapted.converged {
+            return Err(format!(
+                "adaptive campaign failed to converge within {} injections",
+                o.injections
+            ));
+        }
+        if reduction < o.min_reduction {
+            return Err(format!(
+                "injection reduction {reduction:.2}x below the {}x gate",
+                o.min_reduction
+            ));
+        }
+    }
+    Ok(())
 }
 
 fn main() -> ExitCode {
@@ -218,10 +540,18 @@ fn main() -> ExitCode {
         }
     };
     let _telemetry = vs_telemetry::install(sink);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     vs_telemetry::emit(
         "bench_config",
         &[
-            ("bench", Value::Str("campaign_throughput")),
+            (
+                "bench",
+                Value::Str(if o.adaptive {
+                    "adaptive_campaign"
+                } else {
+                    "campaign_throughput"
+                }),
+            ),
             ("frames", Value::U64(o.frames as u64)),
             ("width", Value::U64(o.width as u64)),
             ("height", Value::U64(o.height as u64)),
@@ -230,6 +560,7 @@ fn main() -> ExitCode {
             ("thread_sweep", Value::U64(o.threads.len() as u64)),
             ("every_k", Value::U64(o.every_k as u64)),
             ("seed", Value::U64(o.seed)),
+            ("host_cores", Value::U64(host_cores as u64)),
         ],
     );
 
@@ -238,7 +569,19 @@ fn main() -> ExitCode {
             .with_frames(o.frames)
             .with_frame_size(o.width, o.height),
     );
-    let w = VsWorkload::new(frames, PipelineConfig::default());
+    let pipeline = PipelineConfig::default();
+    let pipeline_digest = pipeline.digest();
+    let w = VsWorkload::new(frames, pipeline);
+
+    if o.adaptive {
+        return match run_adaptive_bench(&o, &w, host_cores, pipeline_digest) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     // Steady-state allocation count of the workspace path (quiet
     // thread), then a short traced demo on this thread so the JSONL
@@ -314,6 +657,7 @@ fn main() -> ExitCode {
                 ("on_secs", Value::F64(secs)),
                 ("runs_per_sec_on", Value::F64(o.injections as f64 / secs)),
                 ("identical", Value::Bool(same)),
+                ("oversubscribed", Value::Bool(n > host_cores)),
             ],
         );
         sweep_rows.push((n, secs, same));
@@ -354,20 +698,22 @@ fn main() -> ExitCode {
         .iter()
         .map(|&(n, secs, same)| {
             format!(
-                "    {{\"threads\": {n}, \"on_secs\": {}, \"runs_per_sec_on\": {}, \"identical\": {same}}}",
+                "    {{\"threads\": {n}, \"on_secs\": {}, \"runs_per_sec_on\": {}, \"identical\": {same}, \"oversubscribed\": {}}}",
                 json_f(secs),
-                json_f(o.injections as f64 / secs)
+                json_f(o.injections as f64 / secs),
+                n > host_cores
             )
         })
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"campaign_throughput\",\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"injections\": {},\n  \"threads\": {},\n  \"checkpoint_every_k\": {},\n  \"checkpoints\": {},\n  \"golden_run_secs\": {},\n  \"golden_capturing_secs\": {},\n  \"campaign_checkpoint_off_secs\": {},\n  \"campaign_checkpoint_on_secs\": {},\n  \"runs_per_sec_off\": {},\n  \"runs_per_sec_on\": {},\n  \"speedup\": {},\n  \"allocs_per_run_scratch\": {},\n  \"allocs_per_run_steady\": {},\n  \"thread_sweep\": [\n{sweep_json}\n  ],\n  \"outcomes_identical\": {}\n}}\n",
+        "{{\n  \"bench\": \"campaign_throughput\",\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"injections\": {},\n  \"threads\": {},\n  \"host_cores\": {},\n  \"checkpoint_every_k\": {},\n  \"checkpoints\": {},\n  \"golden_run_secs\": {},\n  \"golden_capturing_secs\": {},\n  \"campaign_checkpoint_off_secs\": {},\n  \"campaign_checkpoint_on_secs\": {},\n  \"runs_per_sec_off\": {},\n  \"runs_per_sec_on\": {},\n  \"speedup\": {},\n  \"allocs_per_run_scratch\": {},\n  \"allocs_per_run_steady\": {},\n  \"thread_sweep\": [\n{sweep_json}\n  ],\n  \"outcomes_identical\": {}\n}}\n",
         o.frames,
         o.width,
         o.height,
         o.injections,
         primary_threads,
+        host_cores,
         o.every_k,
         ck.checkpoints.len(),
         json_f(golden_run_secs),

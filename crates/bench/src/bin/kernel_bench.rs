@@ -442,6 +442,7 @@ fn main() -> ExitCode {
         }
     };
     let _telemetry = vs_telemetry::install(sink);
+    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
     vs_telemetry::emit(
         "bench_config",
         &[
@@ -454,6 +455,7 @@ fn main() -> ExitCode {
             ("injections", Value::U64(o.injections as u64)),
             ("threads", Value::U64(o.threads[0] as u64)),
             ("seed", Value::U64(o.seed)),
+            ("host_cores", Value::U64(host_cores as u64)),
         ],
     );
 
@@ -515,6 +517,7 @@ fn main() -> ExitCode {
                 ("on_secs", Value::F64(secs)),
                 ("runs_per_sec_on", Value::F64(o.injections as f64 / secs)),
                 ("identical", Value::Bool(same)),
+                ("oversubscribed", Value::Bool(n > host_cores)),
             ],
         );
         sweep.push((n, secs, same));
@@ -555,15 +558,16 @@ fn main() -> ExitCode {
         .iter()
         .map(|&(n, secs, same)| {
             format!(
-                "    {{\"threads\": {n}, \"on_secs\": {}, \"runs_per_sec_on\": {}, \"identical\": {same}}}",
+                "    {{\"threads\": {n}, \"on_secs\": {}, \"runs_per_sec_on\": {}, \"identical\": {same}, \"oversubscribed\": {}}}",
                 json_f(secs),
-                json_f(o.injections as f64 / secs)
+                json_f(o.injections as f64 / secs),
+                n > host_cores
             )
         })
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"kernel_microbench\",\n  \"kernel_frame_size\": [{}, {}],\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"injections\": {},\n  \"checkpoint_every_k\": {},\n  \"seed\": {},\n  \"kernels\": [\n{kernel_json}\n  ],\n  \"runs_per_sec_on\": {},\n  \"thread_sweep\": [\n{sweep_json}\n  ],\n  \"outcomes_identical\": {}\n}}\n",
+        "{{\n  \"bench\": \"kernel_microbench\",\n  \"kernel_frame_size\": [{}, {}],\n  \"frames\": {},\n  \"frame_size\": [{}, {}],\n  \"injections\": {},\n  \"checkpoint_every_k\": {},\n  \"seed\": {},\n  \"host_cores\": {},\n  \"kernels\": [\n{kernel_json}\n  ],\n  \"runs_per_sec_on\": {},\n  \"thread_sweep\": [\n{sweep_json}\n  ],\n  \"outcomes_identical\": {}\n}}\n",
         o.kernel_w,
         o.kernel_h,
         o.frames,
@@ -572,6 +576,7 @@ fn main() -> ExitCode {
         o.injections,
         o.every_k,
         o.seed,
+        host_cores,
         json_f(runs_on),
         outcomes_identical
     );

@@ -144,6 +144,49 @@ impl PipelineConfig {
         self.compositing = compositing;
         self
     }
+
+    /// Stable 64-bit digest over every configuration field — provenance
+    /// for campaign caches and bench artifacts, so a measurement can be
+    /// tied to the exact pipeline settings it was taken under. Any
+    /// field change (including approximation operating points and float
+    /// knobs, folded by bit pattern) changes the digest.
+    pub fn digest(&self) -> u64 {
+        use vs_fault::mix64;
+        let approx = match self.approximation {
+            Approximation::Baseline => (0u64, 0u64),
+            Approximation::Rfd { drop_rate } => (1, drop_rate.to_bits()),
+            Approximation::Kds { keep_divisor } => (2, keep_divisor as u64),
+            Approximation::Sm { max_distance } => (3, u64::from(max_distance)),
+        };
+        let blend = match self.compositing.blend {
+            vs_warp::BlendMode::Overwrite => 0u64,
+            vs_warp::BlendMode::Feather => 1,
+        };
+        let parts = [
+            u64::from(self.orb.fast_threshold),
+            self.orb.max_features as u64,
+            self.orb.levels as u64,
+            self.orb.min_level_size as u64,
+            self.ransac.iterations as u64,
+            self.ransac.inlier_threshold.to_bits(),
+            self.ransac.min_inliers as u64,
+            u64::from(self.ransac.refine),
+            self.match_ratio.to_bits(),
+            self.min_matches_homography as u64,
+            self.min_matches_affine as u64,
+            self.max_discard_streak as u64,
+            approx.0,
+            approx.1,
+            blend,
+            u64::from(self.compositing.gain_compensation),
+            self.seed,
+        ];
+        let mut k = mix64(0x0c0f_16d1_6e57_0001);
+        for p in parts {
+            k = mix64(k ^ p);
+        }
+        k
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +216,34 @@ mod tests {
             Approximation::kds_default(),
             Approximation::Kds { keep_divisor: 3 }
         ));
+    }
+
+    #[test]
+    fn digest_tracks_every_knob() {
+        let base = PipelineConfig::default();
+        assert_eq!(base.digest(), PipelineConfig::default().digest());
+        let mut seen = vec![base.digest()];
+        for variant in [
+            base.clone().with_seed(99),
+            base.clone()
+                .with_approximation(Approximation::kds_default()),
+            base.clone()
+                .with_approximation(Approximation::Rfd { drop_rate: 0.2 }),
+            {
+                let mut c = base.clone();
+                c.match_ratio = 0.7;
+                c
+            },
+            {
+                let mut c = base.clone();
+                c.orb.fast_threshold = 15;
+                c
+            },
+        ] {
+            let d = variant.digest();
+            assert!(!seen.contains(&d), "digest collision for {variant:?}");
+            seen.push(d);
+        }
     }
 
     #[test]

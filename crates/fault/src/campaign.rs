@@ -439,13 +439,13 @@ pub struct Injection<O> {
 /// the builder methods.
 #[derive(Debug, Clone)]
 pub struct CampaignConfig {
-    class: RegClass,
-    injections: usize,
-    seed: u64,
-    threads: usize,
-    hang_factor: u64,
-    keep_sdc_outputs: bool,
-    checkpoint_policy: CheckpointPolicy,
+    pub(crate) class: RegClass,
+    pub(crate) injections: usize,
+    pub(crate) seed: u64,
+    pub(crate) threads: usize,
+    pub(crate) hang_factor: u64,
+    pub(crate) keep_sdc_outputs: bool,
+    pub(crate) checkpoint_policy: CheckpointPolicy,
 }
 
 impl CampaignConfig {
@@ -520,7 +520,7 @@ impl CampaignConfig {
 /// Install (once) a panic hook that silences panics raised inside
 /// injection runs — a corrupted index panicking in a slice access is an
 /// *expected* crash outcome, not test noise.
-fn install_quiet_hook() {
+pub(crate) fn install_quiet_hook() {
     static HOOK: OnceLock<()> = OnceLock::new();
     HOOK.get_or_init(|| {
         let previous = panic::take_hook();
@@ -533,8 +533,12 @@ fn install_quiet_hook() {
     });
 }
 
-/// Draw the fault spec for run `index` of a campaign.
-fn draw_spec(cfg: &CampaignConfig, sites: u64, index: usize) -> FaultSpec {
+/// Draw the fault spec for run `index` of a campaign. Depends only on
+/// `(cfg.seed, cfg.class, sites, index)` — never on how many runs the
+/// campaign will ultimately execute — so an early-stopped campaign's
+/// records are an exact prefix of the fixed-budget campaign's records at
+/// the same seed (the property `adaptive` builds on).
+pub(crate) fn draw_spec(cfg: &CampaignConfig, sites: u64, index: usize) -> FaultSpec {
     let h = mix64(cfg.seed ^ mix64(index as u64 ^ 0x0121_7ec7_1011));
     let tap_index = mix64(h ^ 0x07a9_517e) % sites;
     let bit = (mix64(h ^ 0x0b17_f11b) % REG_BITS as u64) as u8;
@@ -623,7 +627,7 @@ fn run_one<W: Workload>(
 /// Classification compares the output *borrowed* from the workspace;
 /// only SDC outcomes (when retained) pay for a clone.
 #[allow(clippy::too_many_arguments)]
-fn run_one_from_scratch<W: ScratchCheckpointed>(
+pub(crate) fn run_one_from_scratch<W: ScratchCheckpointed>(
     workload: &W,
     golden: &GoldenRun<W::Output>,
     ckpt: Option<&W::Checkpoint>,
@@ -688,7 +692,7 @@ where
 /// index, so the output order is deterministic regardless of thread
 /// count. Each worker owns one `init()`-created state for its whole
 /// stripe (the per-worker workspace of [`ScratchWorkload`] drivers).
-fn drive_with<T: Send, S>(
+pub(crate) fn drive_with<T: Send, S>(
     n: usize,
     threads: usize,
     init: impl Fn() -> S + Sync,
@@ -724,7 +728,7 @@ fn drive_with<T: Send, S>(
 }
 
 /// [`drive_with`] without per-worker state.
-fn drive<T: Send>(n: usize, threads: usize, run: impl Fn(usize) -> T + Sync) -> Vec<T> {
+pub(crate) fn drive<T: Send>(n: usize, threads: usize, run: impl Fn(usize) -> T + Sync) -> Vec<T> {
     drive_with(n, threads, || (), |i, ()| run(i))
 }
 

@@ -18,20 +18,23 @@ pub struct ConvergencePoint {
     pub rates: OutcomeRates,
 }
 
-/// Compute running outcome rates at each checkpoint (checkpoints larger
-/// than the record count are clamped to it; duplicates are removed).
+/// Compute running outcome rates at each checkpoint. Checkpoints are
+/// expected nondecreasing (as [`even_checkpoints`] produces them);
+/// entries larger than the record count are clamped to it, and
+/// duplicate or non-increasing entries are skipped — so dedup is a
+/// single last-accepted comparison, not a scan of every prior point.
 pub fn convergence_curve<O>(
     records: &[Injection<O>],
     checkpoints: &[usize],
 ) -> Vec<ConvergencePoint> {
     let mut pts = Vec::new();
-    let mut seen = Vec::new();
+    let mut last = 0usize;
     for &cp in checkpoints {
         let n = cp.min(records.len());
-        if n == 0 || seen.contains(&n) {
+        if n <= last {
             continue;
         }
-        seen.push(n);
+        last = n;
         pts.push(ConvergencePoint {
             n,
             rates: outcome_rates(&records[..n]),
@@ -52,7 +55,11 @@ pub fn even_checkpoints(total: usize, step: usize) -> Vec<usize> {
 
 /// Locate the knee of a convergence curve: the first checkpoint after
 /// which no later checkpoint's rates differ by more than `tol_pct`
-/// percentage points. Returns `None` if the curve never stabilizes.
+/// percentage points. Returns `None` only for an empty curve: the last
+/// point vacuously agrees with everything after it, so a non-empty
+/// curve's knee is at worst its final checkpoint — callers that need a
+/// *meaningful* stabilization (e.g. the adaptive stopping rule) must
+/// check the knee lands strictly before the end.
 pub fn knee(curve: &[ConvergencePoint], tol_pct: f64) -> Option<usize> {
     'outer: for (i, cand) in curve.iter().enumerate() {
         for later in &curve[i + 1..] {
@@ -130,6 +137,49 @@ mod tests {
         let curve = convergence_curve(&recs, &even_checkpoints(100, 10));
         // Every earlier checkpoint differs from the final one by > 5pp.
         assert_ne!(knee(&curve, 5.0), Some(10));
+    }
+
+    #[test]
+    fn out_of_order_checkpoints_are_skipped_not_resorted() {
+        let recs = synthetic(100);
+        let curve = convergence_curve(&recs, &[50, 10, 60, 60, 5]);
+        let ns: Vec<_> = curve.iter().map(|p| p.n).collect();
+        assert_eq!(ns, vec![50, 60]);
+    }
+
+    #[test]
+    fn knee_of_empty_curve_is_none() {
+        assert_eq!(knee(&[], 1.0), None);
+        assert_eq!(knee(&convergence_curve::<u64>(&[], &[10, 20]), 1.0), None);
+    }
+
+    #[test]
+    fn knee_of_single_point_is_that_point() {
+        let recs = synthetic(30);
+        let curve = convergence_curve(&recs, &[30]);
+        assert_eq!(curve.len(), 1);
+        // A lone point vacuously agrees with everything after it.
+        assert_eq!(knee(&curve, 0.0), Some(30));
+    }
+
+    #[test]
+    fn knee_of_never_stabilizing_curve_degenerates_to_the_last_point() {
+        // Rates that drift at every checkpoint: no earlier point
+        // qualifies, and the final point qualifies vacuously — callers
+        // needing real stabilization must reject a trailing knee.
+        let mut recs = Vec::new();
+        for i in 0..100u64 {
+            recs.push(rec(
+                if i < 50 {
+                    Outcome::Masked
+                } else {
+                    Outcome::CrashSegfault
+                },
+                i,
+            ));
+        }
+        let curve = convergence_curve(&recs, &even_checkpoints(100, 10));
+        assert_eq!(knee(&curve, 5.0), Some(100));
     }
 
     #[test]

@@ -55,7 +55,9 @@
 //! assert_eq!(records.len(), 100);
 //! ```
 
+pub mod adaptive;
 pub mod campaign;
+pub mod compose;
 pub mod convergence;
 pub mod error;
 pub mod export;

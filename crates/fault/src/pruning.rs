@@ -131,12 +131,6 @@ pub fn run_pruned_campaign<W: Workload>(
     let mut injections = 0usize;
     let total_pop: u64 = groups.iter().map(|g| g.population).sum();
 
-    // Aggregate as weighted sums of percentages.
-    let mut agg = [0.0f64; 4]; // masked, sdc, crash, hang
-    let mut seg_share = 0.0f64;
-    let mut abort_share = 0.0f64;
-    let mut crash_weight = 0.0f64;
-
     for (gi, group) in groups.iter().enumerate() {
         let share = group.population as f64 / total_pop as f64;
         let pilots = ((cfg.total_pilots as f64 * share).round() as usize)
@@ -158,38 +152,11 @@ pub fn run_pruned_campaign<W: Workload>(
             ));
         }
         injections += records.len();
-        let rates = outcome_rates(&records);
-        let w = group.population as f64 / total_pop as f64;
-        agg[0] += w * rates.masked;
-        agg[1] += w * rates.sdc;
-        agg[2] += w * rates.crash;
-        agg[3] += w * rates.hang;
-        if rates.crash > 0.0 {
-            seg_share += w * rates.crash * rates.crash_segfault_share / 100.0;
-            abort_share += w * rates.crash * rates.crash_abort_share / 100.0;
-            crash_weight += w * rates.crash;
-        }
-        per_group.push((*group, rates));
+        per_group.push((*group, outcome_rates(&records)));
         all_records.extend(records);
     }
 
-    let estimate = OutcomeRates {
-        n: injections,
-        masked: agg[0],
-        sdc: agg[1],
-        crash: agg[2],
-        hang: agg[3],
-        crash_segfault_share: if crash_weight > 0.0 {
-            100.0 * seg_share / crash_weight
-        } else {
-            0.0
-        },
-        crash_abort_share: if crash_weight > 0.0 {
-            100.0 * abort_share / crash_weight
-        } else {
-            0.0
-        },
-    };
+    let estimate = weighted_estimate(&per_group, injections);
     PrunedResult {
         groups: per_group,
         estimate,
@@ -198,8 +165,55 @@ pub fn run_pruned_campaign<W: Workload>(
     }
 }
 
+/// Population-weighted aggregate of per-group outcome rates — the
+/// estimator both [`run_pruned_campaign`] and the compositional runner
+/// in [`crate::compose`] assemble their campaign-level rates with.
+/// Each group's rates are weighted by its share of the total eligible
+/// population; crash-cause shares are reweighted by each group's crash
+/// mass. `n` is recorded verbatim as the estimate's sample size.
+///
+/// Degenerate inputs are well-defined rather than NaN: an empty slice or
+/// an all-zero-population slice yields all-zero rates, and groups with
+/// zero population contribute nothing.
+pub fn weighted_estimate(groups: &[(SiteGroup, OutcomeRates)], n: usize) -> OutcomeRates {
+    let total_pop: u64 = groups.iter().map(|(g, _)| g.population).sum();
+    let mut estimate = OutcomeRates {
+        n,
+        masked: 0.0,
+        sdc: 0.0,
+        crash: 0.0,
+        hang: 0.0,
+        crash_segfault_share: 0.0,
+        crash_abort_share: 0.0,
+    };
+    if total_pop == 0 {
+        return estimate;
+    }
+    // Aggregate as weighted sums of percentages.
+    let mut seg_share = 0.0f64;
+    let mut abort_share = 0.0f64;
+    let mut crash_weight = 0.0f64;
+    for (group, rates) in groups {
+        let w = group.population as f64 / total_pop as f64;
+        estimate.masked += w * rates.masked;
+        estimate.sdc += w * rates.sdc;
+        estimate.crash += w * rates.crash;
+        estimate.hang += w * rates.hang;
+        if rates.crash > 0.0 {
+            seg_share += w * rates.crash * rates.crash_segfault_share / 100.0;
+            abort_share += w * rates.crash * rates.crash_abort_share / 100.0;
+            crash_weight += w * rates.crash;
+        }
+    }
+    if crash_weight > 0.0 {
+        estimate.crash_segfault_share = 100.0 * seg_share / crash_weight;
+        estimate.crash_abort_share = 100.0 * abort_share / crash_weight;
+    }
+    estimate
+}
+
 /// Execute one group-confined injected run.
-fn run_one_grouped<W: Workload>(
+pub(crate) fn run_one_grouped<W: Workload>(
     workload: &W,
     golden: &GoldenRun<W::Output>,
     spec: FaultSpec,
@@ -350,6 +364,79 @@ mod tests {
             full
         );
         assert!(pruned.injections < 600 / 4);
+    }
+
+    fn rates_of(masked: usize, sdc: usize, seg: usize, hang: usize) -> OutcomeRates {
+        let mut c = crate::stats::OutcomeCounts::default();
+        for _ in 0..masked {
+            c.add(crate::campaign::Outcome::Masked);
+        }
+        for _ in 0..sdc {
+            c.add(crate::campaign::Outcome::Sdc);
+        }
+        for _ in 0..seg {
+            c.add(crate::campaign::Outcome::CrashSegfault);
+        }
+        for _ in 0..hang {
+            c.add(crate::campaign::Outcome::Hang);
+        }
+        c.rates()
+    }
+
+    fn group(func: FuncId, op: OpClass, population: u64) -> SiteGroup {
+        SiteGroup {
+            func,
+            op,
+            population,
+        }
+    }
+
+    #[test]
+    fn weighted_estimate_of_single_group_is_its_own_rates() {
+        let rates = rates_of(6, 2, 2, 0);
+        let est = weighted_estimate(&[(group(FuncId::Blend, OpClass::IntAlu, 40), rates)], 10);
+        assert_eq!(est.n, 10);
+        assert!((est.masked - rates.masked).abs() < 1e-12);
+        assert!((est.sdc - rates.sdc).abs() < 1e-12);
+        assert!((est.crash - rates.crash).abs() < 1e-12);
+        assert!((est.crash_segfault_share - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_estimate_ignores_zero_population_groups() {
+        // A zero-population group must contribute nothing — its rates
+        // are weighted by population share, which is zero.
+        let live = rates_of(10, 0, 0, 0);
+        let ghost = rates_of(0, 10, 0, 0);
+        let est = weighted_estimate(
+            &[
+                (group(FuncId::Blend, OpClass::IntAlu, 64), live),
+                (group(FuncId::MatchKeypoints, OpClass::Addr, 0), ghost),
+            ],
+            20,
+        );
+        assert!((est.masked - 100.0).abs() < 1e-12, "est {est}");
+        assert!(est.sdc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_estimate_of_empty_or_unpopulated_profile_is_zero() {
+        let empty = weighted_estimate(&[], 0);
+        assert_eq!(empty.n, 0);
+        assert_eq!(empty.masked, 0.0);
+        assert_eq!(empty.crash_segfault_share, 0.0);
+        // All-zero populations: no weights exist, rates stay zero
+        // rather than NaN.
+        let unpop = weighted_estimate(
+            &[(
+                group(FuncId::Blend, OpClass::IntAlu, 0),
+                rates_of(4, 0, 0, 0),
+            )],
+            4,
+        );
+        assert_eq!(unpop.n, 4);
+        assert_eq!(unpop.masked, 0.0);
+        assert!(unpop.masked.is_finite());
     }
 
     #[test]

@@ -18,10 +18,11 @@
 //! (proven by the equivalence tests in `campaign.rs` and the workspace
 //! `telemetry_equivalence` suite).
 
-use crate::campaign::{CampaignConfig, Injection};
+use crate::campaign::{CampaignConfig, Injection, Outcome};
 use crate::spec::RegClass;
 use crate::stats::{OutcomeClass, OutcomeCounts, OutcomeRates};
-use std::sync::{Arc, Mutex};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 use vs_telemetry::{Event, Sink, Value};
 
@@ -39,7 +40,10 @@ fn class_name(class: RegClass) -> &'static str {
 /// once per classified injection.
 ///
 /// When no sink is installed on the calling thread the monitor is
-/// entirely inert: `record` is a single branch, with no locking.
+/// entirely inert: `record` is a single branch, with no locking. With a
+/// sink installed the per-record path is lock-free — per-outcome atomic
+/// counters plus a completion counter, the last cross-thread lock that
+/// used to sit on the campaign hot path.
 ///
 /// [`record`]: CampaignMonitor::record
 pub(crate) struct CampaignMonitor {
@@ -48,10 +52,54 @@ pub(crate) struct CampaignMonitor {
     /// Emit a `campaign_progress` snapshot every this many completions.
     snapshot_every: usize,
     start: Instant,
-    counts: Mutex<OutcomeCounts>,
+    counts: AtomicOutcomeCounts,
     /// Whether this campaign runs against a forensic golden — injection
     /// events then carry stage-attribution fields.
     forensic: bool,
+}
+
+/// Lock-free outcome tallies: one atomic per outcome, plus a completion
+/// counter that orders snapshot emission.
+#[derive(Default)]
+struct AtomicOutcomeCounts {
+    masked: AtomicU64,
+    sdc: AtomicU64,
+    crash_segfault: AtomicU64,
+    crash_abort: AtomicU64,
+    hang: AtomicU64,
+    done: AtomicU64,
+}
+
+impl AtomicOutcomeCounts {
+    /// Tally one outcome; returns the number of completions including
+    /// this one. The outcome increment is released before the `done`
+    /// increment, so a thread observing `done == total` after acquiring
+    /// it sees every tally (the exactness `finish` additionally gets
+    /// from running after the drive loop joins).
+    fn add(&self, outcome: Outcome) -> usize {
+        let slot = match outcome {
+            Outcome::Masked => &self.masked,
+            Outcome::Sdc => &self.sdc,
+            Outcome::CrashSegfault => &self.crash_segfault,
+            Outcome::CrashAbort => &self.crash_abort,
+            Outcome::Hang => &self.hang,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+        (self.done.fetch_add(1, Ordering::AcqRel) + 1) as usize
+    }
+
+    /// Snapshot the tallies. Mid-campaign snapshots may run slightly
+    /// ahead of a given `done` observation (other workers keep
+    /// tallying); each snapshot is internally consistent.
+    fn load(&self) -> OutcomeCounts {
+        OutcomeCounts {
+            masked: self.masked.load(Ordering::Acquire) as usize,
+            sdc: self.sdc.load(Ordering::Acquire) as usize,
+            crash_segfault: self.crash_segfault.load(Ordering::Acquire) as usize,
+            crash_abort: self.crash_abort.load(Ordering::Acquire) as usize,
+            hang: self.hang.load(Ordering::Acquire) as usize,
+        }
+    }
 }
 
 impl CampaignMonitor {
@@ -88,7 +136,7 @@ impl CampaignMonitor {
             // ~20 snapshots per campaign, at least one injection apart.
             snapshot_every: (total / 20).max(1),
             start: Instant::now(),
-            counts: Mutex::new(OutcomeCounts::default()),
+            counts: AtomicOutcomeCounts::default(),
             forensic,
         }
     }
@@ -96,11 +144,7 @@ impl CampaignMonitor {
     /// Record one classified injection. Called from worker threads.
     pub(crate) fn record<O>(&self, rec: &Injection<O>) {
         let Some(sink) = &self.sink else { return };
-        let (done, counts) = {
-            let mut c = self.counts.lock().expect("campaign monitor mutex poisoned");
-            c.add(rec.outcome);
-            (c.n(), *c)
-        };
+        let done = self.counts.add(rec.outcome);
         let fired_func = rec.fired.map_or("", |f| f.func.name());
         let mut fields = vec![
             ("index", Value::U64(rec.index as u64)),
@@ -125,16 +169,18 @@ impl CampaignMonitor {
             }
         }
         sink.event(&Event::new("injection", &fields));
-        if done % self.snapshot_every == 0 || done == self.total {
+        if done.is_multiple_of(self.snapshot_every) || done == self.total {
+            let counts = self.counts.load();
             self.emit_rates(sink, "campaign_progress", done, &counts.rates());
         }
     }
 
     /// Emit the final `campaign_done` snapshot. Called once, after the
-    /// drive loop joins, on the campaign's calling thread.
+    /// drive loop joins, on the campaign's calling thread — so the
+    /// atomic tallies are exact here.
     pub(crate) fn finish(&self) {
         let Some(sink) = &self.sink else { return };
-        let counts = *self.counts.lock().expect("campaign monitor mutex poisoned");
+        let counts = self.counts.load();
         self.emit_rates(sink, "campaign_done", counts.n(), &counts.rates());
     }
 

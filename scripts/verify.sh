@@ -80,11 +80,45 @@ echo "== forensics smoke: campaign_report --smoke + trace_check --forensics =="
     --forensics
 rm -rf /tmp/forensics_smoke /tmp/forensics_smoke.jsonl
 
+echo "== adaptive smoke: campaign_bench --adaptive (cold, then warm cache) =="
+# The Wilson-gated adaptive campaign must stop before the fixed budget,
+# the in-process warm compositional pass must re-inject zero groups, and
+# every estimate must agree with the fixed campaign's per-class rates
+# inside its widened 95% Wilson interval (--rate-agreement makes the
+# binary exit non-zero on a miss).
+rm -f /tmp/adaptive_cache.jsonl
+./target/release/campaign_bench --smoke --adaptive --rate-agreement \
+    --cache /tmp/adaptive_cache.jsonl \
+    --adaptive-out /tmp/BENCH4_smoke.json >/dev/null
+grep -q '"adaptive_stopped_early": true' /tmp/BENCH4_smoke.json || {
+    echo "error: adaptive smoke campaign did not stop early" >&2
+    exit 1
+}
+grep -q '"warm_groups_injected": 0' /tmp/BENCH4_smoke.json || {
+    echo "error: warm compositional pass re-injected groups" >&2
+    exit 1
+}
+# A second invocation starts from the persisted cache: with the pipeline
+# unchanged, even its cold pass must re-inject nothing.
+./target/release/campaign_bench --smoke --adaptive --rate-agreement \
+    --cache /tmp/adaptive_cache.jsonl \
+    --adaptive-out /tmp/BENCH4_smoke.json >/dev/null
+grep -q '"cold_groups_injected": 0' /tmp/BENCH4_smoke.json || {
+    echo "error: persisted cache did not warm the second invocation" >&2
+    exit 1
+}
+rm -f /tmp/BENCH4_smoke.json /tmp/adaptive_cache.jsonl
+
 if [ "${1:-}" = "--full" ]; then
     echo "== bench full: campaign_bench -> BENCH_2.json =="
     ./target/release/campaign_bench --out BENCH_2.json
     echo "== bench full: kernel_bench -> BENCH_3.json =="
     ./target/release/kernel_bench --check-speedups --out BENCH_3.json
+    echo "== bench full: campaign_bench --adaptive -> BENCH_4.json =="
+    # 1000-injection reference vs the adaptive stop at an 8pp Wilson
+    # half-width: gate at a 5x injection reduction with rate agreement.
+    ./target/release/campaign_bench --adaptive --rate-agreement \
+        --inj 1000 --min-reduction 5 --adaptive-out BENCH_4.json
 fi
 
 echo "== verify: OK =="
