@@ -543,10 +543,15 @@ fn main() -> ExitCode {
         .iter()
         .map(|r| {
             format!(
-                "    {{\"name\": \"{}\", \"scalar_ns\": {}, \"swar_ns\": {}, \"speedup\": {}, \"identical\": {}, \"steady_allocs\": {}}}",
+                "    {{\"name\": \"{}\", \"scalar_ns\": {}, \"swar_ns\": {}, \"scalar_min_ns\": {}, \"swar_min_ns\": {}, \"scalar_mean_ns\": {}, \"swar_mean_ns\": {}, \"batches\": {}, \"speedup\": {}, \"identical\": {}, \"steady_allocs\": {}}}",
                 r.name,
                 json_f(r.scalar.secs_per_iter * 1e9),
                 json_f(r.swar.secs_per_iter * 1e9),
+                json_f(r.scalar.min_secs_per_iter * 1e9),
+                json_f(r.swar.min_secs_per_iter * 1e9),
+                json_f(r.scalar.mean_secs_per_iter * 1e9),
+                json_f(r.swar.mean_secs_per_iter * 1e9),
+                r.scalar.batches.min(r.swar.batches),
                 json_f(r.speedup()),
                 r.identical,
                 r.steady_allocs

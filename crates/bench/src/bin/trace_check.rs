@@ -15,7 +15,13 @@
 //! every `warp` and `match` event must carry an `ns` timer, every `orb`
 //! event the `fast_prereject`/`fast_ns`/`blur_ns` counters, and at
 //! least one traced detection must have exercised the SWAR pre-reject
-//! (`fast_prereject > 0`). `--forensics` validates the fault-forensics
+//! (`fast_prereject > 0`). `--metrics` validates the scaling-report
+//! metrics snapshots: at least one `metrics_phase` event, each carrying
+//! the full quantile schema (`count`/`sum_ns`/`mean_ns`/`p50_ns`/
+//! `p90_ns`/`p99_ns`/`max_ns` as u64) with monotone quantiles
+//! (p50 <= p90 <= p99 <= max), every `metrics_counter` carrying a u64
+//! `value`, and at least one `metrics_coverage` event whose `coverage`
+//! lies in [0, 1]. `--forensics` validates the fault-forensics
 //! digest events: at least one `forensics_golden` carrying a digest per
 //! pipeline stage, at least one `injection` with an `attr_stage`
 //! attribution field, and every SDC injection carrying attribution
@@ -26,7 +32,7 @@
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--scratch-steady] [--kernels] [--forensics] [--quiet]";
+const USAGE: &str = "usage: trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--scratch-steady] [--kernels] [--metrics] [--forensics] [--quiet]";
 
 struct CheckOpts {
     file: std::path::PathBuf,
@@ -34,6 +40,7 @@ struct CheckOpts {
     require: Vec<String>,
     scratch_steady: bool,
     kernels: bool,
+    metrics: bool,
     forensics: bool,
     quiet: bool,
 }
@@ -44,6 +51,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
     let mut require = Vec::new();
     let mut scratch_steady = false;
     let mut kernels = false;
+    let mut metrics = false;
     let mut forensics = false;
     let mut quiet = false;
     let mut it = args.iter();
@@ -62,6 +70,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
             }
             "--scratch-steady" => scratch_steady = true,
             "--kernels" => kernels = true,
+            "--metrics" => metrics = true,
             "--forensics" => forensics = true,
             "--quiet" => quiet = true,
             other if file.is_none() && !other.starts_with("--") => {
@@ -76,6 +85,7 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
         require,
         scratch_steady,
         kernels,
+        metrics,
         forensics,
         quiet,
     })
@@ -180,6 +190,79 @@ fn main() -> ExitCode {
         if prerejects.clone().count() > 0 && prerejects.sum::<u64>() == 0 {
             eprintln!("error: --kernels: no traced detection exercised the SWAR pre-reject");
             failed = true;
+        }
+    }
+    if o.metrics {
+        // Metrics snapshots from a metrics-armed campaign (the
+        // scaling_report binary): phase histograms with a complete,
+        // monotone quantile schema, plus attribution coverage.
+        let phases: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "metrics_phase")
+            .collect();
+        if phases.is_empty() {
+            eprintln!("error: --metrics: no metrics_phase event in trace");
+            failed = true;
+        }
+        for ev in &phases {
+            if ev.str("phase").is_none() {
+                eprintln!("error: --metrics: metrics_phase lacks str field 'phase'");
+                failed = true;
+                continue;
+            }
+            let name = ev.str("phase").unwrap_or("?");
+            let fields = [
+                "count", "sum_ns", "mean_ns", "p50_ns", "p90_ns", "p99_ns", "max_ns",
+            ];
+            let mut complete = true;
+            for field in fields {
+                if ev.u64(field).is_none() {
+                    eprintln!("error: --metrics: metrics_phase '{name}' lacks u64 field '{field}'");
+                    failed = true;
+                    complete = false;
+                }
+            }
+            if complete {
+                let q = |f: &str| ev.u64(f).unwrap_or(0);
+                if !(q("p50_ns") <= q("p90_ns")
+                    && q("p90_ns") <= q("p99_ns")
+                    && q("p99_ns") <= q("max_ns"))
+                {
+                    eprintln!("error: --metrics: metrics_phase '{name}' quantiles not monotone");
+                    failed = true;
+                }
+                if q("count") == 0 {
+                    eprintln!("error: --metrics: metrics_phase '{name}' with zero samples");
+                    failed = true;
+                }
+            }
+        }
+        for ev in events.iter().filter(|e| e.name == "metrics_counter") {
+            if ev.str("counter").is_none() || ev.u64("value").is_none() {
+                eprintln!("error: --metrics: metrics_counter lacks 'counter'/'value' fields");
+                failed = true;
+            }
+        }
+        let coverages: Vec<_> = events
+            .iter()
+            .filter(|e| e.name == "metrics_coverage")
+            .collect();
+        if coverages.is_empty() {
+            eprintln!("error: --metrics: no metrics_coverage event in trace");
+            failed = true;
+        }
+        for ev in &coverages {
+            match ev.f64("coverage") {
+                Some(c) if (0.0..=1.0).contains(&c) => {}
+                Some(c) => {
+                    eprintln!("error: --metrics: coverage {c} outside [0, 1]");
+                    failed = true;
+                }
+                None => {
+                    eprintln!("error: --metrics: metrics_coverage lacks f64 field 'coverage'");
+                    failed = true;
+                }
+            }
         }
     }
     if o.forensics {

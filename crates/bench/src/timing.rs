@@ -9,16 +9,37 @@
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-/// One measured benchmark: median batch time divided by batch iterations.
+/// One measured benchmark: median batch time divided by batch
+/// iterations, with the batch spread (min/mean) alongside so BENCH
+/// entries carry variance, not just a point estimate.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
-    /// Seconds per iteration (median over batches).
+    /// Seconds per iteration (median over batches) — the headline
+    /// number, robust to scheduler noise.
     pub secs_per_iter: f64,
+    /// Fastest batch's seconds per iteration — the low-noise floor.
+    pub min_secs_per_iter: f64,
+    /// Mean seconds per iteration across batches.
+    pub mean_secs_per_iter: f64,
+    /// Number of timed batches behind the spread.
+    pub batches: u64,
     /// Iterations actually executed (all batches).
     pub iters: u64,
 }
 
 impl Measurement {
+    /// Summarize sorted per-iteration batch times (ascending).
+    fn from_sorted_batches(batch_times: &[f64], iters: u64) -> Measurement {
+        let n = batch_times.len();
+        Measurement {
+            secs_per_iter: batch_times[n / 2],
+            min_secs_per_iter: batch_times[0],
+            mean_secs_per_iter: batch_times.iter().sum::<f64>() / n as f64,
+            batches: n as u64,
+            iters,
+        }
+    }
+
     /// Iterations per second.
     pub fn per_sec(&self) -> f64 {
         if self.secs_per_iter > 0.0 {
@@ -56,10 +77,7 @@ pub fn measure<R>(budget: Duration, mut f: impl FnMut() -> R) -> Measurement {
         }
     }
     batch_times.sort_by(f64::total_cmp);
-    Measurement {
-        secs_per_iter: batch_times[batch_times.len() / 2],
-        iters: total_iters,
-    }
+    Measurement::from_sorted_batches(&batch_times, total_iters)
 }
 
 /// Time two closures with interleaved batches: A, B, A, B, … until the
@@ -113,14 +131,8 @@ pub fn measure_pair<RA, RB>(
     times_a.sort_by(f64::total_cmp);
     times_b.sort_by(f64::total_cmp);
     (
-        Measurement {
-            secs_per_iter: times_a[times_a.len() / 2],
-            iters: total_a,
-        },
-        Measurement {
-            secs_per_iter: times_b[times_b.len() / 2],
-            iters: total_b,
-        },
+        Measurement::from_sorted_batches(&times_a, total_a),
+        Measurement::from_sorted_batches(&times_b, total_b),
     )
 }
 
@@ -160,6 +172,27 @@ mod tests {
         assert!(m.secs_per_iter > 0.0);
         assert!(m.secs_per_iter < 0.1, "100-element sum can't take 100ms");
         assert!(m.iters >= 3);
+    }
+
+    #[test]
+    fn measure_reports_consistent_spread() {
+        let m = measure(Duration::from_millis(20), || {
+            std::hint::black_box((0..100u64).sum::<u64>())
+        });
+        assert!(m.batches >= 3);
+        assert!(m.min_secs_per_iter > 0.0);
+        // min <= median, and the mean lies within the batch range.
+        assert!(m.min_secs_per_iter <= m.secs_per_iter);
+        assert!(m.mean_secs_per_iter >= m.min_secs_per_iter);
+        let (a, b) = measure_pair(
+            Duration::from_millis(10),
+            || std::hint::black_box((0..100u64).sum::<u64>()),
+            || std::hint::black_box((0..100u64).sum::<u64>()),
+        );
+        for m in [a, b] {
+            assert!(m.min_secs_per_iter <= m.secs_per_iter);
+            assert!(m.batches >= 3);
+        }
     }
 
     #[test]

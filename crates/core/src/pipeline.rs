@@ -354,6 +354,10 @@ impl VideoSummarizer {
         // that was faulted or aborted leaves arbitrary state behind.
         match resume {
             Some(ck) => {
+                // Attributed to the `restore` sub-phase of `exec` when
+                // the campaign worker is armed for metrics (a no-op,
+                // clock untouched, otherwise).
+                let t_restore = vs_telemetry::metrics::start();
                 vs_telemetry::emit(
                     "checkpoint_restore",
                     &[
@@ -406,6 +410,7 @@ impl VideoSummarizer {
                 // checkpoint), so the plain length is exact.
                 n = frames.len();
                 i = ck.next_frame;
+                vs_telemetry::metrics::stop(vs_fault::campaign::phase::RESTORE, t_restore);
             }
             None => {
                 stats = SummaryStats {
@@ -603,15 +608,19 @@ impl VideoSummarizer {
         for si in 0..seg_count {
             if let Some(rc) = render_resume {
                 if si < rc.segment {
+                    let t_restore = vs_telemetry::metrics::start();
                     scratch.summary.panoramas[si].copy_from(&rc.panoramas[si]);
                     scratch.summary.panorama_origins.push(rc.origins[si]);
                     push_alignments(&mut scratch.summary.alignments, &scratch.segments[si], si);
+                    vs_telemetry::metrics::stop(vs_fault::campaign::phase::RESTORE, t_restore);
                     continue;
                 }
             }
             let start = match render_resume {
                 Some(rc) if rc.segment == si => {
+                    let t_restore = vs_telemetry::metrics::start();
                     scratch.canvas.restore_from(&rc.canvas);
+                    vs_telemetry::metrics::stop(vs_fault::campaign::phase::RESTORE, t_restore);
                     rc.pos
                 }
                 _ => {

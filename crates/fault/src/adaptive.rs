@@ -156,14 +156,17 @@ where
         let batch = campaign::drive_with(
             n_batch,
             threads,
+            cfg.collection,
             || workload.make_scratch(),
             |j, scratch| {
                 let i = start + j;
+                let t_draw = vs_telemetry::metrics::start();
                 let spec = campaign::draw_spec(cfg, sites, i);
                 let usable = golden
                     .checkpoints
                     .partition_point(|c| W::tap_snapshot(c).eligible(cfg.class) <= spec.tap_index);
                 let ckpt = usable.checked_sub(1).map(|k| &golden.checkpoints[k]);
+                vs_telemetry::metrics::stop(campaign::phase::DRAW, t_draw);
                 let rec = campaign::run_one_from_scratch(
                     workload,
                     g,

@@ -25,6 +25,51 @@ use std::any::Any;
 use std::fmt;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::{Mutex, OnceLock};
+use vs_telemetry::metrics;
+
+/// Phase vocabulary of the campaign metrics instrumentation: every
+/// nanosecond of a worker's stripe is attributed to one of these named
+/// histograms when a [`metrics::MetricsRegistry`] is installed on the
+/// campaign's calling thread (see [`metrics::install`]). With no
+/// registry installed the timers never read the clock.
+pub mod phase {
+    /// Fault-spec draw plus checkpoint selection, per run.
+    pub const DRAW: &str = "draw";
+    /// Forensic-recorder and injection-session guard setup, per run.
+    pub const SETUP: &str = "setup";
+    /// Workload execution under the armed fault (including any
+    /// checkpoint restore), per run.
+    pub const EXEC: &str = "exec";
+    /// Checkpoint-restore slice of [`EXEC`], recorded by resuming
+    /// workloads (a nested sub-phase: excluded from [`TOP`]).
+    pub const RESTORE: &str = "restore";
+    /// Session teardown: fired-fault readback, guard drop, forensic
+    /// trace take, per run.
+    pub const TEARDOWN: &str = "teardown";
+    /// Outcome classification against the golden output, per run.
+    pub const CLASSIFY: &str = "classify";
+    /// Campaign-monitor record (telemetry fan-out), per run.
+    pub const RECORD: &str = "record";
+    /// Wait on the shared results mutex, one sample per worker
+    /// ([`super::Collection::SharedMutex`] only).
+    pub const LOCK_WAIT: &str = "lock_wait";
+    /// Driver-side scatter of worker stripes into index order, one
+    /// sample per campaign ([`super::Collection::WorkerSlots`] only;
+    /// runs on the calling thread, so it is *not* worker time).
+    pub const COLLECT: &str = "collect";
+    /// Whole stripe wall time, one sample per worker — the attribution
+    /// denominator.
+    pub const WORKER_WALL: &str = "worker_wall";
+    /// Counter: runs fast-forwarded from a checkpoint.
+    pub const RUNS_RESUMED: &str = "runs_resumed";
+    /// Counter: runs executed from scratch.
+    pub const RUNS_FROM_SCRATCH: &str = "runs_from_scratch";
+    /// The non-overlapping per-worker phases whose sum a scaling report
+    /// compares against [`WORKER_WALL`] for attribution coverage.
+    /// [`RESTORE`] nests inside [`EXEC`] and [`COLLECT`] happens on the
+    /// driver thread, so neither belongs here.
+    pub const TOP: &[&str] = &[DRAW, SETUP, EXEC, TEARDOWN, CLASSIFY, RECORD, LOCK_WAIT];
+}
 
 /// A fault-injectable program under study.
 ///
@@ -435,6 +480,37 @@ pub struct Injection<O> {
     pub forensics: Option<ForensicsRecord>,
 }
 
+/// How the parallel driver collects per-run records from its workers.
+///
+/// Both strategies produce bit-identical record lists (pinned by the
+/// `collection_strategies_are_outcome_identical` test); they differ
+/// only in what the workers synchronize on, which is exactly what the
+/// `scaling_report` tool measures when diagnosing the thread sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Collection {
+    /// Each worker returns its stripe through its join handle; the
+    /// driver scatters records into index order after the join. No
+    /// shared state anywhere on the worker path.
+    #[default]
+    WorkerSlots,
+    /// The legacy collector: one shared `Mutex<Vec<Option<T>>>` every
+    /// worker locks once at the end of its stripe. Retained (behind
+    /// this knob) so the before/after of the slots fix stays measurable
+    /// in one binary; the lock wait is attributed to
+    /// [`phase::LOCK_WAIT`].
+    SharedMutex,
+}
+
+impl Collection {
+    /// Short lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Collection::WorkerSlots => "worker_slots",
+            Collection::SharedMutex => "shared_mutex",
+        }
+    }
+}
+
 /// Campaign parameters. Construct with [`CampaignConfig::new`] and chain
 /// the builder methods.
 #[derive(Debug, Clone)]
@@ -446,6 +522,7 @@ pub struct CampaignConfig {
     pub(crate) hang_factor: u64,
     pub(crate) keep_sdc_outputs: bool,
     pub(crate) checkpoint_policy: CheckpointPolicy,
+    pub(crate) collection: Collection,
 }
 
 impl CampaignConfig {
@@ -459,6 +536,7 @@ impl CampaignConfig {
             hang_factor: 16,
             keep_sdc_outputs: true,
             checkpoint_policy: CheckpointPolicy::Off,
+            collection: Collection::default(),
         }
     }
 
@@ -498,6 +576,15 @@ impl CampaignConfig {
     /// the plain [`run_campaign`] always runs from scratch.
     pub fn checkpoint_policy(mut self, policy: CheckpointPolicy) -> Self {
         self.checkpoint_policy = policy;
+        self
+    }
+
+    /// Result-collection strategy of the parallel driver (default
+    /// [`Collection::WorkerSlots`]). The legacy [`Collection::SharedMutex`]
+    /// exists for before/after contention measurement; outcomes are
+    /// identical either way.
+    pub fn collection(mut self, collection: Collection) -> Self {
+        self.collection = collection;
         self
     }
 
@@ -593,11 +680,16 @@ fn run_one<W: Workload>(
     keep_sdc: bool,
     index: usize,
 ) -> Injection<W::Output> {
+    let t_setup = metrics::start();
     let recorder = golden.digests.is_some().then(forensics::begin_recording);
     let guard = session::begin_injection(spec, golden.mask, budget);
+    metrics::stop(phase::SETUP, t_setup);
+    let t_exec = metrics::start();
     state::with(|s| s.in_injection.set(true));
     let result = panic::catch_unwind(AssertUnwindSafe(|| workload.run()));
     state::with(|s| s.in_injection.set(false));
+    metrics::stop(phase::EXEC, t_exec);
+    let t_teardown = metrics::start();
     let fired = session::report().fired;
     drop(guard);
     let trace = recorder.map(|r| {
@@ -605,8 +697,11 @@ fn run_one<W: Workload>(
         drop(r);
         t
     });
+    metrics::stop(phase::TEARDOWN, t_teardown);
+    let t_classify = metrics::start();
     let (outcome, sdc_output) = classify(result, &golden.output, keep_sdc);
     let forensics = forensic_record(golden.digests, trace, outcome);
+    metrics::stop(phase::CLASSIFY, t_classify);
     Injection {
         index,
         spec,
@@ -640,6 +735,15 @@ pub(crate) fn run_one_from_scratch<W: ScratchCheckpointed>(
 where
     W::Output: Clone,
 {
+    metrics::add(
+        if ckpt.is_some() {
+            phase::RUNS_RESUMED
+        } else {
+            phase::RUNS_FROM_SCRATCH
+        },
+        1,
+    );
+    let t_setup = metrics::start();
     let recorder = golden.digests.is_some().then(|| match ckpt {
         Some(c) => forensics::begin_recording_at(W::digest_snapshot(c)),
         None => forensics::begin_recording(),
@@ -648,12 +752,16 @@ where
         Some(c) => session::begin_injection_at(spec, golden.mask, budget, W::tap_snapshot(c)),
         None => session::begin_injection(spec, golden.mask, budget),
     };
+    metrics::stop(phase::SETUP, t_setup);
+    let t_exec = metrics::start();
     state::with(|s| s.in_injection.set(true));
     let result = panic::catch_unwind(AssertUnwindSafe(|| match ckpt {
         Some(c) => workload.resume_scratch(c, &mut *scratch),
         None => workload.run_scratch(&mut *scratch),
     }));
     state::with(|s| s.in_injection.set(false));
+    metrics::stop(phase::EXEC, t_exec);
+    let t_teardown = metrics::start();
     let fired = session::report().fired;
     drop(guard);
     let trace = recorder.map(|r| {
@@ -661,6 +769,8 @@ where
         drop(r);
         t
     });
+    metrics::stop(phase::TEARDOWN, t_teardown);
+    let t_classify = metrics::start();
     let (outcome, sdc_output) = match result {
         Err(_) => (Outcome::CrashSegfault, None),
         Ok(Err(SimError::Segfault)) => (Outcome::CrashSegfault, None),
@@ -676,6 +786,7 @@ where
         }
     };
     let forensics = forensic_record(golden.digests, trace, outcome);
+    metrics::stop(phase::CLASSIFY, t_classify);
     Injection {
         index,
         spec,
@@ -690,46 +801,118 @@ where
 /// `run(i, state)` for every `i < n` across `threads` workers, with
 /// worker `t` taking indices `t, t + threads, ...` — results land by
 /// index, so the output order is deterministic regardless of thread
-/// count. Each worker owns one `init()`-created state for its whole
-/// stripe (the per-worker workspace of [`ScratchWorkload`] drivers).
+/// count or [`Collection`] strategy. Each worker owns one
+/// `init()`-created state for its whole stripe (the per-worker
+/// workspace of [`ScratchWorkload`] drivers).
+///
+/// When a [`metrics::MetricsRegistry`] is installed on the calling
+/// thread, every worker is armed for lock-free metrics collection
+/// ([`metrics::arm`]) and deposits its stripe's phase histograms into
+/// the registry under its worker id once, at stripe end; the driver
+/// itself deposits the scatter time under id `threads`. With no
+/// registry installed the arming (and every timer inside the run
+/// closures) is skipped entirely.
 pub(crate) fn drive_with<T: Send, S>(
     n: usize,
     threads: usize,
+    collection: Collection,
     init: impl Fn() -> S + Sync,
     run: impl Fn(usize, &mut S) -> T + Sync,
 ) -> Vec<T> {
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let results = &results;
-            let run = &run;
-            let init = &init;
-            scope.spawn(move || {
-                let mut state = init();
-                let mut local = Vec::with_capacity(n.div_ceil(threads.max(1)));
-                let mut i = t;
-                while i < n {
-                    local.push((i, run(i, &mut state)));
-                    i += threads;
-                }
-                let mut slots = results.lock().expect("campaign result mutex poisoned");
-                for (idx, rec) in local {
+    let registry = metrics::registry();
+    let registry = registry.as_deref();
+    match collection {
+        Collection::WorkerSlots => {
+            let stripes: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let run = &run;
+                        let init = &init;
+                        scope.spawn(move || {
+                            let armed = registry.map(|_| metrics::arm());
+                            let wall = metrics::start();
+                            let mut state = init();
+                            let mut local = Vec::with_capacity(n.div_ceil(threads.max(1)));
+                            let mut i = t;
+                            while i < n {
+                                local.push((i, run(i, &mut state)));
+                                i += threads;
+                            }
+                            metrics::stop(phase::WORKER_WALL, wall);
+                            if let (Some(reg), Some(g)) = (registry, armed) {
+                                reg.absorb(t, g.finish());
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("campaign worker panicked"))
+                    .collect()
+            });
+            let scatter_start = registry.map(|_| std::time::Instant::now());
+            let mut slots: Vec<Option<T>> = (0..n).map(|_| None).collect();
+            for stripe in stripes {
+                for (idx, rec) in stripe {
                     slots[idx] = Some(rec);
                 }
-            });
+            }
+            if let (Some(reg), Some(t0)) = (registry, scatter_start) {
+                let mut driver = metrics::WorkerMetrics::default();
+                driver.record_ns(phase::COLLECT, t0.elapsed().as_nanos() as u64);
+                reg.absorb(threads, driver);
+            }
+            slots
+                .into_iter()
+                .map(|slot| slot.expect("every injection slot must be filled"))
+                .collect()
         }
-    });
-    results
-        .into_inner()
-        .expect("campaign result mutex poisoned")
-        .into_iter()
-        .map(|slot| slot.expect("every injection slot must be filled"))
-        .collect()
+        Collection::SharedMutex => {
+            let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let results = &results;
+                    let run = &run;
+                    let init = &init;
+                    scope.spawn(move || {
+                        let armed = registry.map(|_| metrics::arm());
+                        let wall = metrics::start();
+                        let mut state = init();
+                        let mut local = Vec::with_capacity(n.div_ceil(threads.max(1)));
+                        let mut i = t;
+                        while i < n {
+                            local.push((i, run(i, &mut state)));
+                            i += threads;
+                        }
+                        let t_lock = metrics::start();
+                        let mut slots = results.lock().expect("campaign result mutex poisoned");
+                        metrics::stop(phase::LOCK_WAIT, t_lock);
+                        for (idx, rec) in local {
+                            slots[idx] = Some(rec);
+                        }
+                        drop(slots);
+                        metrics::stop(phase::WORKER_WALL, wall);
+                        if let (Some(reg), Some(g)) = (registry, armed) {
+                            reg.absorb(t, g.finish());
+                        }
+                    });
+                }
+            });
+            results
+                .into_inner()
+                .expect("campaign result mutex poisoned")
+                .into_iter()
+                .map(|slot| slot.expect("every injection slot must be filled"))
+                .collect()
+        }
+    }
 }
 
-/// [`drive_with`] without per-worker state.
+/// [`drive_with`] without per-worker state, under the default
+/// collection strategy.
 pub(crate) fn drive<T: Send>(n: usize, threads: usize, run: impl Fn(usize) -> T + Sync) -> Vec<T> {
-    drive_with(n, threads, || (), |i, ()| run(i))
+    drive_with(n, threads, Collection::default(), || (), |i, ()| run(i))
 }
 
 /// Run a fault-injection campaign against `workload`.
@@ -763,12 +946,20 @@ pub fn run_campaign<W: Workload>(
     let n = cfg.injections;
     let threads = cfg.threads.min(n.max(1));
     let monitor = crate::telemetry::CampaignMonitor::new(cfg, sites, 0, golden.digests.is_some());
-    let records = drive(n, threads, |i| {
-        let spec = draw_spec(cfg, sites, i);
-        let rec = run_one(workload, golden, spec, budget, cfg.keep_sdc_outputs, i);
-        monitor.record(&rec);
-        rec
-    });
+    let records = drive_with(
+        n,
+        threads,
+        cfg.collection,
+        || (),
+        |i, ()| {
+            let t_draw = metrics::start();
+            let spec = draw_spec(cfg, sites, i);
+            metrics::stop(phase::DRAW, t_draw);
+            let rec = run_one(workload, golden, spec, budget, cfg.keep_sdc_outputs, i);
+            monitor.record(&rec);
+            rec
+        },
+    );
     monitor.finish();
     records
 }
@@ -823,13 +1014,16 @@ where
     let records = drive_with(
         n,
         threads,
+        cfg.collection,
         || workload.make_scratch(),
         |i, scratch| {
+            let t_draw = metrics::start();
             let spec = draw_spec(cfg, sites, i);
             let usable = golden
                 .checkpoints
                 .partition_point(|c| W::tap_snapshot(c).eligible(cfg.class) <= spec.tap_index);
             let ckpt = usable.checked_sub(1).map(|j| &golden.checkpoints[j]);
+            metrics::stop(phase::DRAW, t_draw);
             let rec = run_one_from_scratch(
                 workload,
                 g,
@@ -1383,6 +1577,143 @@ mod tests {
             if e.str("outcome") == Some("sdc") {
                 assert_ne!(attr, "unknown", "SDC must be stage-resolved");
                 assert!(e.u64("depth").unwrap() >= 1);
+            }
+        }
+    }
+
+    /// Both result-collection strategies must produce bit-identical
+    /// record lists at every thread count — the per-worker-slots fix is
+    /// an optimization of *how* records travel, never of what they say.
+    #[test]
+    fn collection_strategies_are_outcome_identical() {
+        let g = profile_golden(&Toy).unwrap();
+        let ck = profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(7)).unwrap();
+        for threads in [1, 4] {
+            let base = CampaignConfig::new(RegClass::Gpr, 120)
+                .seed(33)
+                .threads(threads);
+            let slots = run_campaign(&Toy, &g, &base.clone().collection(Collection::WorkerSlots));
+            let mutexed = run_campaign(&Toy, &g, &base.clone().collection(Collection::SharedMutex));
+            let a: Vec<_> = slots
+                .iter()
+                .map(|r| (r.index, r.spec, r.outcome, r.fired))
+                .collect();
+            let b: Vec<_> = mutexed
+                .iter()
+                .map(|r| (r.index, r.spec, r.outcome, r.fired))
+                .collect();
+            assert_eq!(a, b, "plain campaign, {threads} threads");
+            let ck_base = base.checkpoint_policy(CheckpointPolicy::EveryKFrames(7));
+            let slots = run_campaign_checkpointed(
+                &Toy,
+                &ck,
+                &ck_base.clone().collection(Collection::WorkerSlots),
+            );
+            let mutexed = run_campaign_checkpointed(
+                &Toy,
+                &ck,
+                &ck_base.clone().collection(Collection::SharedMutex),
+            );
+            let a: Vec<_> = slots
+                .iter()
+                .map(|r| (r.index, r.spec, r.outcome, r.fired))
+                .collect();
+            let b: Vec<_> = mutexed
+                .iter()
+                .map(|r| (r.index, r.spec, r.outcome, r.fired))
+                .collect();
+            assert_eq!(a, b, "checkpointed campaign, {threads} threads");
+        }
+    }
+
+    /// Zero-perturbation for the metrics layer, mirroring the telemetry
+    /// and forensics invariants: an installed registry must leave
+    /// golden profiles, draws, fired faults and outcomes bit-identical.
+    #[test]
+    fn metrics_registry_does_not_perturb_campaigns() {
+        let ck = profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(9)).unwrap();
+        let cfg = CampaignConfig::new(RegClass::Gpr, 80)
+            .seed(41)
+            .threads(2)
+            .checkpoint_policy(CheckpointPolicy::EveryKFrames(9));
+        let quiet = run_campaign_checkpointed(&Toy, &ck, &cfg);
+        let reg = std::sync::Arc::new(metrics::MetricsRegistry::new());
+        let profiled = {
+            let _g = metrics::install(reg.clone());
+            run_campaign_checkpointed(&Toy, &ck, &cfg)
+        };
+        let a: Vec<_> = quiet.iter().map(|r| (r.spec, r.outcome, r.fired)).collect();
+        let b: Vec<_> = profiled
+            .iter()
+            .map(|r| (r.spec, r.outcome, r.fired))
+            .collect();
+        assert_eq!(a, b, "metrics must not change campaign results");
+    }
+
+    /// The phase histograms fully attribute the campaign: one `exec`
+    /// sample per run, one `worker_wall` sample per worker, resume
+    /// counters summing to the run count, and the top-level phase sums
+    /// bounded by (and dominating) the worker wall time.
+    #[test]
+    fn metrics_registry_attributes_worker_time() {
+        let ck = profile_golden_checkpointed(&Toy, CheckpointPolicy::EveryKFrames(7)).unwrap();
+        let n = 60usize;
+        let threads = 2usize;
+        for collection in [Collection::WorkerSlots, Collection::SharedMutex] {
+            let cfg = CampaignConfig::new(RegClass::Gpr, n)
+                .seed(21)
+                .threads(threads)
+                .checkpoint_policy(CheckpointPolicy::EveryKFrames(7))
+                .collection(collection);
+            let reg = std::sync::Arc::new(metrics::MetricsRegistry::new());
+            {
+                let _g = metrics::install(reg.clone());
+                run_campaign_checkpointed(&Toy, &ck, &cfg);
+            }
+            let merged = reg.merged();
+            for name in [
+                phase::DRAW,
+                phase::SETUP,
+                phase::EXEC,
+                phase::TEARDOWN,
+                phase::CLASSIFY,
+            ] {
+                let h = merged
+                    .histogram(name)
+                    .unwrap_or_else(|| panic!("{name} histogram missing ({collection:?})"));
+                assert_eq!(h.count(), n as u64, "{name} samples ({collection:?})");
+            }
+            let wall = merged.histogram(phase::WORKER_WALL).expect("worker_wall");
+            assert_eq!(wall.count(), threads as u64);
+            assert_eq!(
+                merged.counter(phase::RUNS_RESUMED) + merged.counter(phase::RUNS_FROM_SCRATCH),
+                n as u64
+            );
+            // Attribution: named phases nest inside the stripe wall.
+            let attributed: u64 = phase::TOP
+                .iter()
+                .filter_map(|p| merged.histogram(p))
+                .map(|h| h.sum())
+                .sum();
+            assert!(attributed > 0);
+            assert!(
+                attributed <= wall.sum(),
+                "phases cannot exceed the wall they nest in ({collection:?})"
+            );
+            match collection {
+                Collection::SharedMutex => {
+                    let lw = merged.histogram(phase::LOCK_WAIT).expect("lock_wait");
+                    assert_eq!(lw.count(), threads as u64);
+                    assert!(merged.histogram(phase::COLLECT).is_none());
+                }
+                Collection::WorkerSlots => {
+                    assert!(merged.histogram(phase::LOCK_WAIT).is_none());
+                    // The driver deposits scatter time under id `threads`.
+                    let per = reg.per_worker();
+                    assert_eq!(per.len(), threads + 1);
+                    assert_eq!(per[threads].0, threads);
+                    assert!(per[threads].1.histogram(phase::COLLECT).is_some());
+                }
             }
         }
     }

@@ -27,6 +27,11 @@
 //!   near-free [`emit`] / [`span`] entry points instrumented code calls.
 //! * [`jsonl`] — a dependency-free parser/validator for traces written
 //!   by [`JsonlSink`] (used by the `trace_check` tool and tests).
+//! * [`metrics`] — per-worker counters and log2-bucketed latency
+//!   histograms for phase/contention attribution: lock-free on the hot
+//!   path (thread-local arming, one registry deposit per worker), with
+//!   `metrics_phase`/`metrics_counter` snapshot events through the sink
+//!   machinery.
 //!
 //! # Example
 //!
@@ -45,6 +50,7 @@
 
 pub mod event;
 pub mod jsonl;
+pub mod metrics;
 pub mod scope;
 pub mod sink;
 

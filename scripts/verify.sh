@@ -109,6 +109,27 @@ grep -q '"cold_groups_injected": 0' /tmp/BENCH4_smoke.json || {
 }
 rm -f /tmp/BENCH4_smoke.json /tmp/adaptive_cache.jsonl
 
+echo "== scaling smoke: scaling_report --smoke + trace_check --metrics =="
+# The scaling report reruns the thread sweep with per-worker phase
+# metrics armed. The binary itself exits non-zero if any sweep campaign
+# diverges from the metrics-off reference records, if the phase
+# vocabulary attributes less than 95% of summed worker wall time, or if
+# arming metrics costs more than 2% on the median (with an absolute
+# slack floor for smoke-scale noise). trace_check --metrics then
+# validates the snapshot schema: complete monotone quantiles on every
+# metrics_phase event and a [0, 1] attribution coverage.
+./target/release/scaling_report --smoke --overhead-gate 2 \
+    --out-dir /tmp/scaling_smoke --bench-out /tmp/BENCH5_smoke.json \
+    --trace /tmp/scaling_smoke.jsonl >/dev/null
+grep -q '"outcomes_identical": true' /tmp/BENCH5_smoke.json || {
+    echo "error: outcomes_identical != true in scaling smoke report" >&2
+    exit 1
+}
+./target/release/trace_check /tmp/scaling_smoke.jsonl --quiet \
+    --require scaling_run --require scaling_fit --require metrics_overhead \
+    --metrics
+rm -rf /tmp/scaling_smoke /tmp/BENCH5_smoke.json /tmp/scaling_smoke.jsonl
+
 if [ "${1:-}" = "--full" ]; then
     echo "== bench full: campaign_bench -> BENCH_2.json =="
     ./target/release/campaign_bench --out BENCH_2.json
@@ -119,6 +140,12 @@ if [ "${1:-}" = "--full" ]; then
     # half-width: gate at a 5x injection reduction with rate agreement.
     ./target/release/campaign_bench --adaptive --rate-agreement \
         --inj 1000 --min-reduction 5 --adaptive-out BENCH_4.json
+    echo "== bench full: scaling_report -> BENCH_5.json =="
+    # --expect-scaling is applied only when the host has the cores to
+    # deliver it; on a 1-core host the report records the
+    # oversubscription diagnosis instead of a fabricated speedup.
+    ./target/release/scaling_report --overhead-gate 2 --expect-scaling 1.5 \
+        --out-dir out/scaling --bench-out BENCH_5.json
 fi
 
 echo "== verify: OK =="

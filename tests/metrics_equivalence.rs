@@ -1,0 +1,147 @@
+//! Zero-perturbation proof for the metrics layer: arming per-worker
+//! phase histograms must never change what the fault simulator
+//! computes. Fault draws, firing records and outcome classifications
+//! have to be bit-for-bit identical with metrics off and with a
+//! registry collecting every phase sample — across thread counts, both
+//! checkpoint policies, and both result-collection strategies. Metrics
+//! live outside the simulated machine; any divergence here means a
+//! timer leaked into the tap stream.
+
+use std::sync::Arc;
+use video_summarization::prelude::*;
+use vs_core::workloads::VsWorkload;
+use vs_fault::campaign::{phase, CheckpointPolicy, Collection, Injection};
+use vs_telemetry::metrics::{self, MetricsRegistry};
+
+fn workload() -> VsWorkload {
+    experiments::vs_workload(InputId::Input2, Scale::Quick, Approximation::Baseline)
+}
+
+/// (spec, outcome, fired) fingerprint of a campaign — everything the
+/// resiliency statistics are built from.
+fn fingerprint(recs: &[Injection<Vec<RgbImage>>]) -> Vec<String> {
+    recs.iter()
+        .map(|r| format!("{} {:?} {:?}", r.spec, r.outcome, r.fired))
+        .collect()
+}
+
+#[test]
+fn campaigns_are_identical_with_metrics_registry_installed() {
+    let w = workload();
+    let golden = campaign::profile_golden(&w).unwrap();
+    const N: usize = 16;
+
+    for threads in [1usize, 4] {
+        let cfg = CampaignConfig::new(RegClass::Gpr, N)
+            .seed(0x7E1E)
+            .threads(threads);
+        let quiet = campaign::run_campaign(&w, &golden, &cfg);
+
+        let reg = Arc::new(MetricsRegistry::new());
+        let metered = {
+            let _g = metrics::install(reg.clone());
+            campaign::run_campaign(&w, &golden, &cfg)
+        };
+        assert_eq!(
+            fingerprint(&quiet),
+            fingerprint(&metered),
+            "metrics perturbed campaign at threads({threads})"
+        );
+
+        // The registry really collected: one exec sample per injection,
+        // one wall sample per worker, and the phase sums nest inside
+        // the wall denominator.
+        let m = reg.merged();
+        let exec = m.histogram(phase::EXEC).expect("exec histogram");
+        assert_eq!(exec.count(), N as u64);
+        let wall = m.histogram(phase::WORKER_WALL).expect("wall histogram");
+        assert_eq!(wall.count(), threads as u64);
+        let attributed: u64 = phase::TOP
+            .iter()
+            .filter_map(|p| m.histogram(p))
+            .map(|h| h.sum())
+            .sum();
+        assert!(attributed > 0 && attributed <= wall.sum());
+    }
+}
+
+#[test]
+fn checkpointed_campaigns_are_identical_with_metrics_registry_installed() {
+    let w = workload();
+    let ck = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(2)).unwrap();
+    const N: usize = 16;
+
+    for threads in [1usize, 4] {
+        let cfg = CampaignConfig::new(RegClass::Gpr, N)
+            .seed(0x7E1E)
+            .threads(threads)
+            .checkpoint_policy(CheckpointPolicy::EveryKFrames(2));
+        let quiet = campaign::run_campaign_checkpointed(&w, &ck, &cfg);
+
+        let reg = Arc::new(MetricsRegistry::new());
+        let metered = {
+            let _g = metrics::install(reg.clone());
+            campaign::run_campaign_checkpointed(&w, &ck, &cfg)
+        };
+        assert_eq!(
+            fingerprint(&quiet),
+            fingerprint(&metered),
+            "metrics perturbed checkpointed campaign at threads({threads})"
+        );
+
+        // Every run is counted exactly once as resumed or from-scratch.
+        let m = reg.merged();
+        assert_eq!(
+            m.counter(phase::RUNS_RESUMED) + m.counter(phase::RUNS_FROM_SCRATCH),
+            N as u64
+        );
+        assert!(
+            m.histogram(phase::RESTORE).is_some(),
+            "resumed runs must time checkpoint restore"
+        );
+    }
+}
+
+#[test]
+fn collection_strategies_are_identical_at_workload_layer() {
+    let w = workload();
+    let ck = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(2)).unwrap();
+    const N: usize = 16;
+    const THREADS: usize = 4;
+
+    let cfg_for = |coll: Collection| {
+        CampaignConfig::new(RegClass::Gpr, N)
+            .seed(0x7E1E)
+            .threads(THREADS)
+            .checkpoint_policy(CheckpointPolicy::EveryKFrames(2))
+            .collection(coll)
+    };
+    let reg_slots = Arc::new(MetricsRegistry::new());
+    let slots = {
+        let _g = metrics::install(reg_slots.clone());
+        campaign::run_campaign_checkpointed(&w, &ck, &cfg_for(Collection::WorkerSlots))
+    };
+    let reg_mutex = Arc::new(MetricsRegistry::new());
+    let mutex = {
+        let _g = metrics::install(reg_mutex.clone());
+        campaign::run_campaign_checkpointed(&w, &ck, &cfg_for(Collection::SharedMutex))
+    };
+    assert_eq!(
+        fingerprint(&slots),
+        fingerprint(&mutex),
+        "result-collection strategy changed campaign outcomes"
+    );
+
+    // Phase vocabulary matches the strategy: the legacy collector waits
+    // on the shared mutex once per worker, the per-worker-slot
+    // collector never locks (its scatter runs on the driver thread).
+    let m_mutex = reg_mutex.merged();
+    let lock = m_mutex.histogram(phase::LOCK_WAIT).expect("lock_wait");
+    assert_eq!(lock.count(), THREADS as u64);
+    assert!(m_mutex.histogram(phase::COLLECT).is_none());
+
+    let m_slots = reg_slots.merged();
+    assert!(m_slots.histogram(phase::LOCK_WAIT).is_none());
+    let collect = m_slots.histogram(phase::COLLECT).expect("collect");
+    assert_eq!(collect.count(), 1);
+}
