@@ -1,14 +1,19 @@
 //! Per-kernel microbenchmark: times each SWAR/fixed-point kernel
 //! against the scalar reference oracle it was proven bit-exact to, and
-//! emits `BENCH_3.json`.
+//! emits `BENCH_3.json`. With `--hd` it instead sweeps the runtime
+//! SIMD dispatch levels (scalar / SWAR / SSE2 / AVX2) over HD frame
+//! tiers and emits `BENCH_6.json`.
 //!
 //! ```text
 //! kernel_bench [--threads N[,N...]] [--seed S] [--out FILE]
 //!              [--trace FILE] [--smoke] [--check-speedups]
+//!              [--hd] [--check-simd]
 //! ```
 //!
 //! Six kernel rows, each `scalar_ns` / `swar_ns` / `speedup` /
-//! `identical`:
+//! `identical` (the SWAR side is pinned to the explicit SWAR entry
+//! points, so these rows keep their meaning regardless of what the
+//! runtime dispatcher would pick):
 //!
 //! - `blur5x5` — separable u16 fixed-point blur vs the f64
 //!   `get_clamped` path
@@ -35,6 +40,22 @@
 //! `BENCH_2.json`. `--check-speedups` additionally fails the process
 //! if any kernel row regresses below 1.0× — the `scripts/verify.sh`
 //! gate.
+//!
+//! # HD mode (`--hd`)
+//!
+//! For each HD tier (1280×720, 1920×1080, plus a 1919×1079
+//! odd-dimension tier exercising pyramid-halving edge lanes), every
+//! kernel is timed at each compiled dispatch level with the SWAR path
+//! as the interleaved reference side, after a fresh bit-exactness
+//! check against the scalar oracle. Rows whose batch coefficient of
+//! variation exceeds 20% are flagged `unstable`. Row-band parallel
+//! blur/warp rows are added only when the host has ≥ 2 cores, and an
+//! end-to-end checkpointed-campaign row anchors the kernel numbers to
+//! campaign throughput. `--check-simd` fails the process unless SSE2
+//! reaches ≥ 1.5× over SWAR on at least two of {fast_detect,
+//! warp_affine, warp_halfpix, hamming}; the AVX2 and row-band gates
+//! arm only when the CPU features / core count permit (a note is
+//! printed when they auto-skip).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::process::ExitCode;
@@ -48,14 +69,19 @@ use vs_fault::spec::RegClass;
 use vs_features::fast::{self, FastConfig, FastScratch};
 use vs_features::{Descriptor, KeyPoint};
 use vs_image::{
-    downsample_half_into, downsample_half_into_scalar, gaussian_blur_5x5_into,
-    gaussian_blur_5x5_into_scalar, GrayImage, RgbImage,
+    downsample_half_into_level, downsample_half_into_scalar, downsample_half_into_swar,
+    gaussian_blur_5x5_into_bands, gaussian_blur_5x5_into_level, gaussian_blur_5x5_into_scalar,
+    gaussian_blur_5x5_into_swar, GrayImage, RgbImage, SimdLevel,
 };
 use vs_linalg::{Mat3, Vec2};
+use vs_matching::{Match, RatioMatcher};
 use vs_rng::SplitMix64;
 use vs_telemetry::Value;
 use vs_video::{render_input, InputSpec};
-use vs_warp::{warp_perspective_offset_into, warp_perspective_offset_into_scalar};
+use vs_warp::{
+    warp_perspective_offset_into_bands, warp_perspective_offset_into_level,
+    warp_perspective_offset_into_scalar,
+};
 
 /// Process-wide allocation counter (bench binary only) — used to pin
 /// the warmed kernel paths at zero allocations per call.
@@ -92,7 +118,7 @@ fn alloc_calls() -> u64 {
 }
 
 const USAGE: &str =
-    "usage: kernel_bench [--threads N[,N...]] [--seed S] [--out FILE] [--trace FILE] [--smoke] [--check-speedups]";
+    "usage: kernel_bench [--threads N[,N...]] [--seed S] [--out FILE] [--trace FILE] [--smoke] [--check-speedups] [--hd] [--check-simd]";
 
 struct BenchOpts {
     /// End-to-end campaign workload — BENCH_2-compatible defaults so
@@ -114,6 +140,12 @@ struct BenchOpts {
     out: std::path::PathBuf,
     trace: Option<std::path::PathBuf>,
     check_speedups: bool,
+    /// HD dispatch-level sweep mode (`BENCH_6.json`).
+    hd: bool,
+    /// Fail unless the armed SIMD speedup gates pass (HD mode).
+    check_simd: bool,
+    /// `--smoke`: shrink the HD tiers too.
+    smoke: bool,
 }
 
 impl Default for BenchOpts {
@@ -134,6 +166,9 @@ impl Default for BenchOpts {
             out: "BENCH_3.json".into(),
             trace: None,
             check_speedups: false,
+            hd: false,
+            check_simd: false,
+            smoke: false,
         }
     }
 }
@@ -151,6 +186,7 @@ fn parse_threads(v: &str) -> Result<Vec<usize>, String> {
 
 fn parse(args: &[String]) -> Result<BenchOpts, String> {
     let mut o = BenchOpts::default();
+    let mut out_set = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut val = |name: &str| -> Result<String, String> {
@@ -159,10 +195,16 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
         match arg.as_str() {
             "--threads" => o.threads = parse_threads(&val("--threads")?)?,
             "--seed" => o.seed = val("--seed")?.parse().map_err(|_| "bad --seed")?,
-            "--out" => o.out = val("--out")?.into(),
+            "--out" => {
+                o.out = val("--out")?.into();
+                out_set = true;
+            }
             "--trace" => o.trace = Some(val("--trace")?.into()),
             "--check-speedups" => o.check_speedups = true,
+            "--hd" => o.hd = true,
+            "--check-simd" => o.check_simd = true,
             "--smoke" => {
+                o.smoke = true;
                 o.frames = 6;
                 o.width = 80;
                 o.height = 60;
@@ -175,6 +217,9 @@ fn parse(args: &[String]) -> Result<BenchOpts, String> {
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
+    }
+    if o.hd && !out_set {
+        o.out = "BENCH_6.json".into();
     }
     Ok(o)
 }
@@ -279,7 +324,7 @@ fn bench_kernels(o: &BenchOpts) -> Vec<KernelRow> {
         let (mut tmp_a, mut out_a) = (GrayImage::new(0, 0), GrayImage::new(0, 0));
         let (mut tmp_b, mut out_b) = (GrayImage::new(0, 0), GrayImage::new(0, 0));
         gaussian_blur_5x5_into_scalar(&gray, &mut tmp_a, &mut out_a);
-        gaussian_blur_5x5_into(&gray, &mut tmp_b, &mut out_b);
+        gaussian_blur_5x5_into_swar(&gray, &mut tmp_b, &mut out_b);
         let identical = out_a == out_b;
         rows.push(run_pair(
             "blur5x5",
@@ -289,7 +334,7 @@ fn bench_kernels(o: &BenchOpts) -> Vec<KernelRow> {
                 gaussian_blur_5x5_into_scalar(&gray, &mut tmp_a, &mut out_a);
             },
             || {
-                gaussian_blur_5x5_into(&gray, &mut tmp_b, &mut out_b);
+                gaussian_blur_5x5_into_swar(&gray, &mut tmp_b, &mut out_b);
             },
         ));
     }
@@ -299,7 +344,7 @@ fn bench_kernels(o: &BenchOpts) -> Vec<KernelRow> {
         let mut out_a = GrayImage::new(0, 0);
         let mut out_b = GrayImage::new(0, 0);
         downsample_half_into_scalar(&gray, &mut out_a);
-        downsample_half_into(&gray, &mut out_b);
+        downsample_half_into_swar(&gray, &mut out_b);
         let identical = out_a == out_b;
         rows.push(run_pair(
             "downsample",
@@ -309,7 +354,7 @@ fn bench_kernels(o: &BenchOpts) -> Vec<KernelRow> {
                 downsample_half_into_scalar(&gray, &mut out_a);
             },
             || {
-                downsample_half_into(&gray, &mut out_b);
+                downsample_half_into_swar(&gray, &mut out_b);
             },
         ));
     }
@@ -322,7 +367,8 @@ fn bench_kernels(o: &BenchOpts) -> Vec<KernelRow> {
         let mut out_a: Vec<KeyPoint> = Vec::new();
         let mut out_b: Vec<KeyPoint> = Vec::new();
         fast::detect_into_scalar(&gray, &cfg, &mut scratch_a, &mut out_a).expect("fast scalar");
-        fast::detect_into(&gray, &cfg, &mut scratch_b, &mut out_b).expect("fast swar");
+        fast::detect_into_level(&gray, &cfg, &mut scratch_b, &mut out_b, SimdLevel::Swar)
+            .expect("fast swar");
         let identical = out_a == out_b && scratch_b.prereject() > 0;
         rows.push(run_pair(
             "fast_detect",
@@ -332,7 +378,8 @@ fn bench_kernels(o: &BenchOpts) -> Vec<KernelRow> {
                 fast::detect_into_scalar(&gray, &cfg, &mut scratch_a, &mut out_a).expect("fast");
             },
             || {
-                fast::detect_into(&gray, &cfg, &mut scratch_b, &mut out_b).expect("fast");
+                fast::detect_into_level(&gray, &cfg, &mut scratch_b, &mut out_b, SimdLevel::Swar)
+                    .expect("fast");
             },
         ));
     }
@@ -353,8 +400,17 @@ fn bench_kernels(o: &BenchOpts) -> Vec<KernelRow> {
         let (mut dst_b, mut mask_b) = (RgbImage::new(0, 0), GrayImage::new(0, 0));
         warp_perspective_offset_into_scalar(&frame, &h, kw, kh, origin, &mut dst_a, &mut mask_a)
             .expect("warp scalar");
-        warp_perspective_offset_into(&frame, &h, kw, kh, origin, &mut dst_b, &mut mask_b)
-            .expect("warp swar");
+        warp_perspective_offset_into_level(
+            &frame,
+            &h,
+            kw,
+            kh,
+            origin,
+            &mut dst_b,
+            &mut mask_b,
+            SimdLevel::Swar,
+        )
+        .expect("warp swar");
         let identical = dst_a == dst_b && mask_a == mask_b;
         rows.push(run_pair(
             name,
@@ -373,8 +429,17 @@ fn bench_kernels(o: &BenchOpts) -> Vec<KernelRow> {
                 .expect("warp");
             },
             || {
-                warp_perspective_offset_into(&frame, &h, kw, kh, origin, &mut dst_b, &mut mask_b)
-                    .expect("warp");
+                warp_perspective_offset_into_level(
+                    &frame,
+                    &h,
+                    kw,
+                    kh,
+                    origin,
+                    &mut dst_b,
+                    &mut mask_b,
+                    SimdLevel::Swar,
+                )
+                .expect("warp");
             },
         ));
     }
@@ -425,6 +490,637 @@ fn json_f(x: f64) -> String {
     format!("{x:.6}")
 }
 
+/// One HD-tier row: a dispatch level timed against an interleaved
+/// reference side on the same input (SWAR for level rows, the
+/// single-band dispatched kernel for row-band rows), plus a fresh
+/// bit-exactness verdict against the scalar oracle.
+struct HdRow {
+    kernel: String,
+    tier: String,
+    level: SimdLevel,
+    /// What the reference side is ("swar" or "single_band").
+    ref_kind: &'static str,
+    reference: Measurement,
+    at_level: Measurement,
+    identical: bool,
+}
+
+impl HdRow {
+    fn speedup(&self) -> f64 {
+        self.reference.secs_per_iter / self.at_level.secs_per_iter
+    }
+
+    /// Batch spread above 20% on either side: the row was measured
+    /// under noise and its ratio should not be trusted as-is.
+    fn unstable(&self) -> bool {
+        self.reference.cv > 0.20 || self.at_level.cv > 0.20
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_hd_pair(
+    kernel: &str,
+    tier: &str,
+    level: SimdLevel,
+    ref_kind: &'static str,
+    budget: Duration,
+    identical: bool,
+    mut ref_f: impl FnMut(),
+    mut level_f: impl FnMut(),
+) -> HdRow {
+    let (reference, at_level) = measure_pair(budget, &mut ref_f, &mut level_f);
+    let row = HdRow {
+        kernel: kernel.into(),
+        tier: tier.into(),
+        level,
+        ref_kind,
+        reference,
+        at_level,
+        identical,
+    };
+    println!(
+        "{:<24} {:<6} {ref_kind} {:>11}/iter   level {:>11}/iter   {:>6.2}x   identical={}{}",
+        format!("{kernel}@{tier}"),
+        level.as_str(),
+        fmt_secs(reference.secs_per_iter),
+        fmt_secs(at_level.secs_per_iter),
+        row.speedup(),
+        identical,
+        if row.unstable() { "  UNSTABLE" } else { "" }
+    );
+    row
+}
+
+/// The dispatch levels the HD sweep times against the SWAR reference:
+/// everything compiled-and-available except SWAR itself.
+fn hd_levels() -> Vec<SimdLevel> {
+    SimdLevel::ALL
+        .into_iter()
+        .filter(|&l| l != SimdLevel::Swar && l.available())
+        .collect()
+}
+
+/// HD-tier dispatch-level sweep. Full tiers run every kernel; the
+/// odd-dimension tier runs only blur + downsample (its purpose is the
+/// pyramid-halving edge lanes).
+fn bench_hd(o: &BenchOpts) -> Vec<HdRow> {
+    let levels = hd_levels();
+    let tiers: &[(usize, usize, bool)] = if o.smoke {
+        &[(639, 359, true)]
+    } else {
+        &[(1280, 720, true), (1920, 1080, true), (1919, 1079, false)]
+    };
+    let mut rows = Vec::new();
+    for &(kw, kh, full) in tiers {
+        let tier = format!("{kw}x{kh}");
+        let frame = render_input(
+            &InputSpec::input2_preset()
+                .with_frames(1)
+                .with_frame_size(kw, kh),
+        )
+        .remove(0);
+        let gray = frame.to_gray();
+
+        {
+            let (mut tmp_o, mut out_o) = (GrayImage::new(0, 0), GrayImage::new(0, 0));
+            gaussian_blur_5x5_into_scalar(&gray, &mut tmp_o, &mut out_o);
+            for &level in &levels {
+                let (mut tmp_s, mut out_s) = (GrayImage::new(0, 0), GrayImage::new(0, 0));
+                let (mut tmp_l, mut out_l) = (GrayImage::new(0, 0), GrayImage::new(0, 0));
+                gaussian_blur_5x5_into_swar(&gray, &mut tmp_s, &mut out_s);
+                gaussian_blur_5x5_into_level(&gray, &mut tmp_l, &mut out_l, level);
+                let identical = out_l == out_o && out_s == out_o;
+                rows.push(run_hd_pair(
+                    "blur5x5",
+                    &tier,
+                    level,
+                    "swar",
+                    o.budget,
+                    identical,
+                    || {
+                        gaussian_blur_5x5_into_swar(&gray, &mut tmp_s, &mut out_s);
+                    },
+                    || {
+                        gaussian_blur_5x5_into_level(&gray, &mut tmp_l, &mut out_l, level);
+                    },
+                ));
+            }
+        }
+
+        {
+            let mut out_o = GrayImage::new(0, 0);
+            downsample_half_into_scalar(&gray, &mut out_o);
+            for &level in &levels {
+                let mut out_s = GrayImage::new(0, 0);
+                let mut out_l = GrayImage::new(0, 0);
+                downsample_half_into_swar(&gray, &mut out_s);
+                downsample_half_into_level(&gray, &mut out_l, level);
+                let identical = out_l == out_o && out_s == out_o;
+                rows.push(run_hd_pair(
+                    "downsample",
+                    &tier,
+                    level,
+                    "swar",
+                    o.budget,
+                    identical,
+                    || {
+                        downsample_half_into_swar(&gray, &mut out_s);
+                    },
+                    || {
+                        downsample_half_into_level(&gray, &mut out_l, level);
+                    },
+                ));
+            }
+        }
+
+        if !full {
+            continue;
+        }
+
+        {
+            let cfg = FastConfig::default();
+            let mut scratch_o = FastScratch::default();
+            let mut out_o: Vec<KeyPoint> = Vec::new();
+            fast::detect_into_scalar(&gray, &cfg, &mut scratch_o, &mut out_o).expect("fast");
+            for &level in &levels {
+                let (mut scratch_s, mut scratch_l) =
+                    (FastScratch::default(), FastScratch::default());
+                let (mut out_s, mut out_l): (Vec<KeyPoint>, Vec<KeyPoint>) =
+                    (Vec::new(), Vec::new());
+                fast::detect_into_level(&gray, &cfg, &mut scratch_s, &mut out_s, SimdLevel::Swar)
+                    .expect("fast");
+                fast::detect_into_level(&gray, &cfg, &mut scratch_l, &mut out_l, level)
+                    .expect("fast");
+                let identical = out_l == out_o && out_s == out_o;
+                rows.push(run_hd_pair(
+                    "fast_detect",
+                    &tier,
+                    level,
+                    "swar",
+                    o.budget,
+                    identical,
+                    || {
+                        fast::detect_into_level(
+                            &gray,
+                            &cfg,
+                            &mut scratch_s,
+                            &mut out_s,
+                            SimdLevel::Swar,
+                        )
+                        .expect("fast");
+                    },
+                    || {
+                        fast::detect_into_level(&gray, &cfg, &mut scratch_l, &mut out_l, level)
+                            .expect("fast");
+                    },
+                ));
+            }
+        }
+
+        let origin = Vec2::new(-2.0, 1.0);
+        for (name, h) in [
+            (
+                "warp_affine",
+                Mat3::translation(10.0, 5.0) * Mat3::rotation(0.1),
+            ),
+            ("warp_halfpix", Mat3::translation(3.5, -2.25)),
+        ] {
+            let (mut dst_o, mut mask_o) = (RgbImage::new(0, 0), GrayImage::new(0, 0));
+            warp_perspective_offset_into_scalar(
+                &frame,
+                &h,
+                kw,
+                kh,
+                origin,
+                &mut dst_o,
+                &mut mask_o,
+            )
+            .expect("warp");
+            for &level in &levels {
+                let (mut dst_s, mut mask_s) = (RgbImage::new(0, 0), GrayImage::new(0, 0));
+                let (mut dst_l, mut mask_l) = (RgbImage::new(0, 0), GrayImage::new(0, 0));
+                warp_perspective_offset_into_level(
+                    &frame,
+                    &h,
+                    kw,
+                    kh,
+                    origin,
+                    &mut dst_s,
+                    &mut mask_s,
+                    SimdLevel::Swar,
+                )
+                .expect("warp");
+                warp_perspective_offset_into_level(
+                    &frame,
+                    &h,
+                    kw,
+                    kh,
+                    origin,
+                    &mut dst_l,
+                    &mut mask_l,
+                    level,
+                )
+                .expect("warp");
+                let identical =
+                    dst_l == dst_o && mask_l == mask_o && dst_s == dst_o && mask_s == mask_o;
+                rows.push(run_hd_pair(
+                    name,
+                    &tier,
+                    level,
+                    "swar",
+                    o.budget,
+                    identical,
+                    || {
+                        warp_perspective_offset_into_level(
+                            &frame,
+                            &h,
+                            kw,
+                            kh,
+                            origin,
+                            &mut dst_s,
+                            &mut mask_s,
+                            SimdLevel::Swar,
+                        )
+                        .expect("warp");
+                    },
+                    || {
+                        warp_perspective_offset_into_level(
+                            &frame,
+                            &h,
+                            kw,
+                            kh,
+                            origin,
+                            &mut dst_l,
+                            &mut mask_l,
+                            level,
+                        )
+                        .expect("warp");
+                    },
+                ));
+            }
+        }
+    }
+
+    // hamming: the real ratio-matcher inner loop over HD-scale
+    // descriptor sets (resolution-independent, so one tier).
+    {
+        let mut rng = SplitMix64::new(o.seed ^ 0xD15C);
+        let mut gen_descs = |n: usize| -> Vec<Descriptor> {
+            (0..n)
+                .map(|_| Descriptor(std::array::from_fn(|_| rng.next_u64())))
+                .collect()
+        };
+        let queries = gen_descs(o.queries * 2);
+        let train = gen_descs(o.train * 2);
+        let tier = format!("{}q{}t", queries.len(), train.len());
+        let ratio = RatioMatcher::default();
+        let mut out_o: Vec<Match> = Vec::new();
+        ratio
+            .matches_into_level(&queries, &train, &mut out_o, SimdLevel::Scalar)
+            .expect("hamming");
+        for &level in &levels {
+            let (mut out_s, mut out_l): (Vec<Match>, Vec<Match>) = (Vec::new(), Vec::new());
+            ratio
+                .matches_into_level(&queries, &train, &mut out_s, SimdLevel::Swar)
+                .expect("hamming");
+            ratio
+                .matches_into_level(&queries, &train, &mut out_l, level)
+                .expect("hamming");
+            let identical = out_l == out_o && out_s == out_o;
+            rows.push(run_hd_pair(
+                "hamming",
+                &tier,
+                level,
+                "swar",
+                o.budget,
+                identical,
+                || {
+                    ratio
+                        .matches_into_level(&queries, &train, &mut out_s, SimdLevel::Swar)
+                        .expect("hamming");
+                    std::hint::black_box(&out_s);
+                },
+                || {
+                    ratio
+                        .matches_into_level(&queries, &train, &mut out_l, level)
+                        .expect("hamming");
+                    std::hint::black_box(&out_l);
+                },
+            ));
+        }
+    }
+
+    rows
+}
+
+/// Row-band parallel blur/warp rows: banded vs single-band dispatched
+/// kernels. Only meaningful with ≥ 2 host cores; skipped (with a note)
+/// otherwise, so the serial-host CI lane never measures fake
+/// parallelism.
+fn bench_hd_bands(o: &BenchOpts, host_cores: usize) -> (Vec<HdRow>, Option<String>) {
+    if host_cores < 2 {
+        let note = format!("row-band parallel rows skipped: host_cores = {host_cores} < 2");
+        println!("note: {note}");
+        return (Vec::new(), Some(note));
+    }
+    let bands = host_cores.min(4);
+    let level = vs_image::dispatch::level();
+    let (kw, kh) = if o.smoke { (639, 359) } else { (1920, 1080) };
+    let tier = format!("{kw}x{kh}");
+    let frame = render_input(
+        &InputSpec::input2_preset()
+            .with_frames(1)
+            .with_frame_size(kw, kh),
+    )
+    .remove(0);
+    let gray = frame.to_gray();
+    let mut rows = Vec::new();
+
+    {
+        let (mut tmp_o, mut out_o) = (GrayImage::new(0, 0), GrayImage::new(0, 0));
+        let (mut tmp_s, mut out_s) = (GrayImage::new(0, 0), GrayImage::new(0, 0));
+        let (mut tmp_b, mut out_b) = (GrayImage::new(0, 0), GrayImage::new(0, 0));
+        gaussian_blur_5x5_into_scalar(&gray, &mut tmp_o, &mut out_o);
+        gaussian_blur_5x5_into_level(&gray, &mut tmp_s, &mut out_s, level);
+        gaussian_blur_5x5_into_bands(&gray, &mut tmp_b, &mut out_b, bands);
+        let identical = out_s == out_o && out_b == out_o;
+        rows.push(run_hd_pair(
+            &format!("blur5x5_bands{bands}"),
+            &tier,
+            level,
+            "single_band",
+            o.budget,
+            identical,
+            || {
+                gaussian_blur_5x5_into_level(&gray, &mut tmp_s, &mut out_s, level);
+            },
+            || {
+                gaussian_blur_5x5_into_bands(&gray, &mut tmp_b, &mut out_b, bands);
+            },
+        ));
+    }
+
+    {
+        let h = Mat3::translation(10.0, 5.0) * Mat3::rotation(0.1);
+        let origin = Vec2::new(-2.0, 1.0);
+        let (mut dst_o, mut mask_o) = (RgbImage::new(0, 0), GrayImage::new(0, 0));
+        let (mut dst_s, mut mask_s) = (RgbImage::new(0, 0), GrayImage::new(0, 0));
+        let (mut dst_b, mut mask_b) = (RgbImage::new(0, 0), GrayImage::new(0, 0));
+        warp_perspective_offset_into_scalar(&frame, &h, kw, kh, origin, &mut dst_o, &mut mask_o)
+            .expect("warp");
+        warp_perspective_offset_into_level(
+            &frame,
+            &h,
+            kw,
+            kh,
+            origin,
+            &mut dst_s,
+            &mut mask_s,
+            level,
+        )
+        .expect("warp");
+        warp_perspective_offset_into_bands(
+            &frame,
+            &h,
+            kw,
+            kh,
+            origin,
+            &mut dst_b,
+            &mut mask_b,
+            bands,
+        )
+        .expect("warp");
+        let identical = dst_s == dst_o && mask_s == mask_o && dst_b == dst_o && mask_b == mask_o;
+        rows.push(run_hd_pair(
+            &format!("warp_affine_bands{bands}"),
+            &tier,
+            level,
+            "single_band",
+            o.budget,
+            identical,
+            || {
+                warp_perspective_offset_into_level(
+                    &frame,
+                    &h,
+                    kw,
+                    kh,
+                    origin,
+                    &mut dst_s,
+                    &mut mask_s,
+                    level,
+                )
+                .expect("warp");
+            },
+            || {
+                warp_perspective_offset_into_bands(
+                    &frame,
+                    &h,
+                    kw,
+                    kh,
+                    origin,
+                    &mut dst_b,
+                    &mut mask_b,
+                    bands,
+                )
+                .expect("warp");
+            },
+        ));
+    }
+
+    (rows, None)
+}
+
+/// Kernels whose SIMD speedup the `--check-simd` gate inspects.
+const GATE_KERNELS: [&str; 4] = ["fast_detect", "warp_affine", "warp_halfpix", "hamming"];
+
+fn hd_row_json(r: &HdRow) -> String {
+    format!(
+        "    {{\"kernel\": \"{}\", \"tier\": \"{}\", \"level\": \"{}\", \"ref_kind\": \"{}\", \"ref_ns\": {}, \"level_ns\": {}, \"ref_min_ns\": {}, \"level_min_ns\": {}, \"speedup\": {}, \"ref_cv\": {}, \"level_cv\": {}, \"unstable\": {}, \"identical\": {}, \"batches\": {}}}",
+        r.kernel,
+        r.tier,
+        r.level.as_str(),
+        r.ref_kind,
+        json_f(r.reference.secs_per_iter * 1e9),
+        json_f(r.at_level.secs_per_iter * 1e9),
+        json_f(r.reference.min_secs_per_iter * 1e9),
+        json_f(r.at_level.min_secs_per_iter * 1e9),
+        json_f(r.speedup()),
+        json_f(r.reference.cv),
+        json_f(r.at_level.cv),
+        r.unstable(),
+        r.identical,
+        r.reference.batches.min(r.at_level.batches)
+    )
+}
+
+/// HD mode entry: dispatch-level sweep, row-band rows, end-to-end
+/// campaign anchor, gates, `BENCH_6.json`.
+fn run_hd(o: &BenchOpts, host_cores: usize) -> ExitCode {
+    let features = vs_image::dispatch::detected_features();
+    vs_telemetry::emit(
+        "bench_config",
+        &[
+            ("bench", Value::Str("kernel_simd_hd")),
+            ("seed", Value::U64(o.seed)),
+            ("host_cores", Value::U64(host_cores as u64)),
+            ("detected_features", Value::Str(&features)),
+        ],
+    );
+    println!("detected features: {features}; host cores: {host_cores}");
+
+    // All kernel timing on a sink-less thread (telemetry timers off —
+    // the same conditions campaign workers see).
+    let (rows, band_rows, band_note) = std::thread::scope(|scope| {
+        scope
+            .spawn(|| {
+                let rows = bench_hd(o);
+                let (band_rows, band_note) = bench_hd_bands(o, host_cores);
+                (rows, band_rows, band_note)
+            })
+            .join()
+            .expect("kernel bench thread panicked")
+    });
+    for r in rows.iter().chain(&band_rows) {
+        vs_telemetry::emit(
+            "hd_kernel_result",
+            &[
+                ("kernel", Value::Str(&r.kernel)),
+                ("tier", Value::Str(&r.tier)),
+                ("level", Value::Str(r.level.as_str())),
+                ("ref_kind", Value::Str(r.ref_kind)),
+                ("ref_ns", Value::F64(r.reference.secs_per_iter * 1e9)),
+                ("level_ns", Value::F64(r.at_level.secs_per_iter * 1e9)),
+                ("speedup", Value::F64(r.speedup())),
+                ("unstable", Value::Bool(r.unstable())),
+                ("identical", Value::Bool(r.identical)),
+            ],
+        );
+    }
+
+    // End-to-end anchor: one checkpointed GPR campaign at the primary
+    // thread count, BENCH_2-compatible workload defaults.
+    let frames = render_input(
+        &InputSpec::input2_preset()
+            .with_frames(o.frames)
+            .with_frame_size(o.width, o.height),
+    );
+    let w = VsWorkload::new(frames, PipelineConfig::default());
+    let ck = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(o.every_k))
+        .expect("capturing golden run failed");
+    let cfg = CampaignConfig::new(RegClass::Gpr, o.injections)
+        .seed(o.seed)
+        .threads(o.threads[0])
+        .checkpoint_policy(CheckpointPolicy::EveryKFrames(o.every_k));
+    let t0 = Instant::now();
+    let results = campaign::run_campaign_checkpointed(&w, &ck, &cfg);
+    let e2e_secs = t0.elapsed().as_secs_f64();
+    std::hint::black_box(results.len());
+    let runs_on = o.injections as f64 / e2e_secs;
+    println!(
+        "end_to_end: {} injections at {} threads in {:.2}s ({:.2} runs/s)",
+        o.injections, o.threads[0], e2e_secs, runs_on
+    );
+    vs_telemetry::emit(
+        "bench_result",
+        &[
+            ("runs_per_sec_on", Value::F64(runs_on)),
+            ("kernels", Value::U64((rows.len() + band_rows.len()) as u64)),
+        ],
+    );
+
+    // Gates. SSE2 is always armed (x86-64 baseline); AVX2 and row-band
+    // arm only when the CPU / core count permits.
+    let wins = |lvl: SimdLevel| {
+        GATE_KERNELS
+            .iter()
+            .filter(|k| {
+                rows.iter()
+                    .any(|r| r.kernel == **k && r.level == lvl && r.speedup() >= 1.5)
+            })
+            .count()
+    };
+    let sse2_armed = SimdLevel::Sse2.available();
+    let sse2_wins = wins(SimdLevel::Sse2);
+    let sse2_pass = sse2_wins >= 2;
+    let avx2_armed = SimdLevel::Avx2.available();
+    let avx2_wins = wins(SimdLevel::Avx2);
+    let avx2_pass = avx2_wins >= 2;
+    let band_armed = host_cores >= 2;
+    let band_pass = band_rows.iter().any(|r| r.speedup() >= 1.2);
+    if sse2_armed {
+        println!("gate sse2: {sse2_wins}/4 gate kernels at >=1.5x over swar -> pass={sse2_pass}");
+    } else {
+        println!("note: sse2 gate skipped (not an x86-64 host)");
+    }
+    if avx2_armed {
+        println!("gate avx2: {avx2_wins}/4 gate kernels at >=1.5x over swar -> pass={avx2_pass}");
+    } else {
+        println!("note: avx2 gate skipped (avx2 not detected; features: {features})");
+    }
+    if band_armed {
+        println!(
+            "gate bands: best {:.2}x -> pass={band_pass}",
+            band_rows.iter().map(|r| r.speedup()).fold(0.0, f64::max)
+        );
+    } else {
+        println!("note: row-band gate skipped (host_cores = {host_cores} < 2)");
+    }
+
+    let rows_json = rows.iter().map(hd_row_json).collect::<Vec<_>>().join(",\n");
+    let band_json = band_rows
+        .iter()
+        .map(hd_row_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_simd_hd\",\n  \"detected_features\": \"{features}\",\n  \"host_cores\": {host_cores},\n  \"seed\": {},\n  \"rows\": [\n{rows_json}\n  ],\n  \"band_rows\": [{}{band_json}{}],\n  \"band_note\": {},\n  \"end_to_end\": {{\"injections\": {}, \"threads\": {}, \"frames\": {}, \"frame_size\": [{}, {}], \"on_secs\": {}, \"runs_per_sec_on\": {}}},\n  \"gates\": {{\"sse2_armed\": {sse2_armed}, \"sse2_wins\": {sse2_wins}, \"sse2_pass\": {sse2_pass}, \"avx2_armed\": {avx2_armed}, \"avx2_wins\": {avx2_wins}, \"avx2_pass\": {avx2_pass}, \"band_armed\": {band_armed}, \"band_pass\": {band_pass}}}\n}}\n",
+        o.seed,
+        if band_rows.is_empty() { "" } else { "\n" },
+        if band_rows.is_empty() { "" } else { "\n  " },
+        band_note
+            .as_ref()
+            .map_or("null".to_string(), |n| format!("\"{n}\"")),
+        o.injections,
+        o.threads[0],
+        o.frames,
+        o.width,
+        o.height,
+        json_f(e2e_secs),
+        json_f(runs_on),
+    );
+    if let Err(e) = std::fs::write(&o.out, &json) {
+        eprintln!("error: cannot write {}: {e}", o.out.display());
+        return ExitCode::FAILURE;
+    }
+    let out_path = o.out.display().to_string();
+    vs_telemetry::emit("artifact", &[("path", Value::Str(&out_path))]);
+
+    if let Some(bad) = rows.iter().chain(&band_rows).find(|r| !r.identical) {
+        eprintln!(
+            "error: {}@{} at level {} diverged from the scalar oracle",
+            bad.kernel,
+            bad.tier,
+            bad.level.as_str()
+        );
+        return ExitCode::FAILURE;
+    }
+    if o.check_simd {
+        if sse2_armed && !sse2_pass {
+            eprintln!("error: sse2 gate failed ({sse2_wins}/4 gate kernels at >=1.5x, need >=2)");
+            return ExitCode::FAILURE;
+        }
+        if avx2_armed && !avx2_pass {
+            eprintln!("error: avx2 gate failed ({avx2_wins}/4 gate kernels at >=1.5x, need >=2)");
+            return ExitCode::FAILURE;
+        }
+        if band_armed && !band_pass {
+            eprintln!("error: row-band gate failed (no banded row at >=1.2x)");
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let o = match parse(&args) {
@@ -443,6 +1139,9 @@ fn main() -> ExitCode {
     };
     let _telemetry = vs_telemetry::install(sink);
     let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if o.hd {
+        return run_hd(&o, host_cores);
+    }
     vs_telemetry::emit(
         "bench_config",
         &[

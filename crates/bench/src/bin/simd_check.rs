@@ -1,0 +1,83 @@
+//! Cross-process SIMD dispatch smoke: the record stream of a fault
+//! campaign must not depend on which kernel implementation the runtime
+//! dispatcher picked.
+//!
+//! Runs one plain (off-session) pipeline pass plus a small GPR and a
+//! small FPR campaign on the standard `VsWorkload`, and prints one
+//! digest line per phase to stdout. The dispatch level and detected
+//! CPU features go to stderr only. `scripts/verify.sh` executes this
+//! binary under `VS_SIMD=scalar`, `VS_SIMD=swar` and `VS_SIMD=auto`
+//! and diffs the stdout — any divergence means a vector kernel leaked
+//! a bit somewhere (into the output pixels, the tap stream, or an
+//! injection outcome).
+//!
+//! `std::hash::DefaultHasher` is deterministic across processes (SipHash
+//! with fixed keys), so the digests are directly comparable.
+
+use std::hash::{DefaultHasher, Hash, Hasher};
+use std::process::ExitCode;
+use vs_core::workloads::VsWorkload;
+use vs_core::PipelineConfig;
+use vs_fault::campaign::{self, CampaignConfig, Workload};
+use vs_fault::spec::RegClass;
+use vs_video::{render_input, InputSpec};
+
+fn main() -> ExitCode {
+    eprintln!(
+        "simd_check: level {} (detected: {})",
+        vs_image::dispatch::level().as_str(),
+        vs_image::dispatch::detected_features()
+    );
+    let frames = render_input(
+        &InputSpec::input2_preset()
+            .with_frames(6)
+            .with_frame_size(96, 72),
+    );
+    let w = VsWorkload::new(frames, PipelineConfig::default());
+
+    // Plain run: the panorama pixels themselves.
+    let panoramas = match w.run() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: plain run failed: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut h = DefaultHasher::new();
+    panoramas.len().hash(&mut h);
+    for img in &panoramas {
+        (img.width(), img.height()).hash(&mut h);
+        img.as_bytes().hash(&mut h);
+    }
+    println!("plain {:016x}", h.finish());
+
+    // Injection campaigns: every record (spec, landing site, outcome,
+    // any retained SDC output) folded into one digest per class.
+    let golden = match campaign::profile_golden(&w) {
+        Ok(g) => g,
+        Err(e) => {
+            eprintln!("error: golden profile failed: {e:?}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for class in [RegClass::Gpr, RegClass::Fpr] {
+        let cfg = CampaignConfig::new(class, 32).seed(0x51D0);
+        let records = campaign::run_campaign(&w, &golden, &cfg);
+        let mut h = DefaultHasher::new();
+        records.len().hash(&mut h);
+        for r in &records {
+            r.index.hash(&mut h);
+            format!("{:?}", r.spec).hash(&mut h);
+            format!("{:?}", r.fired).hash(&mut h);
+            r.outcome.name().hash(&mut h);
+            if let Some(out) = &r.sdc_output {
+                for img in out {
+                    (img.width(), img.height()).hash(&mut h);
+                    img.as_bytes().hash(&mut h);
+                }
+            }
+        }
+        println!("{class} {:016x}", h.finish());
+    }
+    ExitCode::SUCCESS
+}

@@ -25,18 +25,30 @@ pub struct Measurement {
     pub batches: u64,
     /// Iterations actually executed (all batches).
     pub iters: u64,
+    /// Coefficient of variation of batch times (stddev / mean, 0 when
+    /// the mean is zero). High values flag a measurement taken under
+    /// scheduler or frequency-scaling noise; `kernel_bench` marks rows
+    /// above 20% as unstable.
+    pub cv: f64,
 }
 
 impl Measurement {
     /// Summarize sorted per-iteration batch times (ascending).
     fn from_sorted_batches(batch_times: &[f64], iters: u64) -> Measurement {
         let n = batch_times.len();
+        let mean = batch_times.iter().sum::<f64>() / n as f64;
+        let var = batch_times
+            .iter()
+            .map(|t| (t - mean) * (t - mean))
+            .sum::<f64>()
+            / n as f64;
         Measurement {
             secs_per_iter: batch_times[n / 2],
             min_secs_per_iter: batch_times[0],
-            mean_secs_per_iter: batch_times.iter().sum::<f64>() / n as f64,
+            mean_secs_per_iter: mean,
             batches: n as u64,
             iters,
+            cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
         }
     }
 
@@ -184,6 +196,8 @@ mod tests {
         // min <= median, and the mean lies within the batch range.
         assert!(m.min_secs_per_iter <= m.secs_per_iter);
         assert!(m.mean_secs_per_iter >= m.min_secs_per_iter);
+        // CV is a finite non-negative ratio; equal batches would give 0.
+        assert!(m.cv.is_finite() && m.cv >= 0.0, "cv = {}", m.cv);
         let (a, b) = measure_pair(
             Duration::from_millis(10),
             || std::hint::black_box((0..100u64).sum::<u64>()),

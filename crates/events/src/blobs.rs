@@ -184,7 +184,7 @@ mod proptests {
     /// its bounding box — across a deterministic sweep of random masks.
     #[test]
     fn blob_invariants() {
-        let mut rng = SplitMix64::new(0xb10b_5);
+        let mut rng = SplitMix64::new(0xb10b5);
         for case in 0..128u64 {
             let density = rng.gen_range(0.05f64..0.95);
             let pixels: Vec<bool> = (0..144).map(|_| rng.gen_bool(density)).collect();

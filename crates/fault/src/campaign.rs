@@ -1182,7 +1182,7 @@ mod tests {
             let bound = tap::ctl(data.len());
             let mut i = 0usize;
             while i < bound {
-                if i > 0 && i % every_k == 0 {
+                if i > 0 && i.is_multiple_of(every_k) {
                     checkpoints.push(ToyCheckpoint {
                         i,
                         bound,

@@ -83,6 +83,17 @@ impl TapSnapshot {
     }
 }
 
+/// Whether an instrumentation session (profile or injection) is active
+/// on the current thread.
+///
+/// Kernels whose vector paths cannot reproduce the per-pixel tap stream
+/// (e.g. the SIMD warp) consult this to fall back to their instrumented
+/// implementation inside sessions, keeping campaign records identical
+/// while the uninstrumented path serves plain summarization traffic.
+pub fn active() -> bool {
+    state::with(|s| s.mode.get() != Mode::Off)
+}
+
 /// Snapshot the current session's counters mid-run (any mode).
 pub fn snapshot() -> TapSnapshot {
     let r = report();

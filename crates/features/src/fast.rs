@@ -61,7 +61,7 @@ impl Default for FastConfig {
 
 /// Classify circle pixels against the centre: 1 = brighter, 2 = darker.
 #[inline]
-fn classify(v: u8, center: u8, t: u8) -> u8 {
+pub(crate) fn classify(v: u8, center: u8, t: u8) -> u8 {
     let ci = center as i16;
     let vi = v as i16;
     if vi >= ci + t as i16 {
@@ -116,7 +116,7 @@ fn movemask4(x: u64) -> u32 {
 /// where a run of ≥ 9 begins. Proven against the scalar run counter for
 /// all 2^16 masks in the tests.
 #[inline]
-fn has_arc16(m: u16) -> bool {
+pub(crate) fn has_arc16(m: u16) -> bool {
     let m32 = (m as u32) | ((m as u32) << 16);
     let r2 = m32 & (m32 >> 1);
     let r4 = r2 & (r2 >> 2);
@@ -141,7 +141,7 @@ fn has_arc16(m: u16) -> bool {
 /// iff `v ≤ c - t`. Equivalence with the scalar `classify`/`has_arc`
 /// path is proven exhaustively per-lane and on random rings in the tests.
 #[inline]
-fn swar_segment_test(ring_vals: &[u8; 16], c: u64, t: u8, prereject: &mut u64) -> bool {
+pub(crate) fn swar_segment_test(ring_vals: &[u8; 16], c: u64, t: u8, prereject: &mut u64) -> bool {
     let cpt = (c + t as u64).wrapping_mul(LANE_ONES);
     // (c - t) | H in every lane; None when c < t (no dark pixel possible).
     let cmt = (c >= t as u64).then(|| (c - t as u64).wrapping_mul(LANE_ONES) | LANE_HI);
@@ -251,7 +251,7 @@ pub fn detect_into(
     scratch: &mut FastScratch,
     out: &mut Vec<KeyPoint>,
 ) -> Result<(), SimError> {
-    detect_into_impl::<true>(img, config, scratch, out)
+    detect_into_level(img, config, scratch, out, vs_image::dispatch::level())
 }
 
 /// Scalar reference oracle for [`detect_into`]: the original per-pixel
@@ -263,14 +263,108 @@ pub fn detect_into_scalar(
     scratch: &mut FastScratch,
     out: &mut Vec<KeyPoint>,
 ) -> Result<(), SimError> {
-    detect_into_impl::<false>(img, config, scratch, out)
+    detect_into_impl(img, config, scratch, out, Mode::Scalar)
 }
 
-fn detect_into_impl<const SWAR: bool>(
+/// [`detect_into`] at an explicit [`vs_image::SimdLevel`]. Keypoints,
+/// tap stream, and prereject bookkeeping are identical at every level
+/// except that the scalar oracle never prerejects.
+pub fn detect_into_level(
     img: &GrayImage,
     config: &FastConfig,
     scratch: &mut FastScratch,
     out: &mut Vec<KeyPoint>,
+    level: vs_image::SimdLevel,
+) -> Result<(), SimError> {
+    let mode = match level {
+        vs_image::SimdLevel::Scalar => Mode::Scalar,
+        vs_image::SimdLevel::Swar => Mode::Swar,
+        vs_image::SimdLevel::Sse2 => Mode::Sse2,
+        vs_image::SimdLevel::Avx2 => Mode::Avx2,
+    };
+    detect_into_impl(img, config, scratch, out, mode)
+}
+
+/// Runtime implementation selector for one `detect_into` call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Original per-pixel classify/arc loop, no pre-reject.
+    Scalar,
+    /// SWAR masks + popcount pre-reject (PR 4).
+    Swar,
+    /// Vector compass quick-scan + 128-bit ring classify.
+    Sse2,
+    /// As [`Mode::Sse2`] with a 32-lane quick-scan.
+    Avx2,
+}
+
+/// The tapped candidate block shared by every scan strategy: data-tap
+/// the centre register, run the full segment test, and score/record the
+/// corner. Byte-identical tap stream across modes; a fault-widened
+/// centre always falls back to the saturating-i64 classify loop.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn process_candidate(
+    img: &GrayImage,
+    data: &[u8],
+    ring: &[isize; 16],
+    w: usize,
+    x: usize,
+    y: usize,
+    center: u8,
+    t: u8,
+    mode: Mode,
+    prereject: &mut u64,
+    scores: &mut [f64],
+    candidates: &mut Vec<(usize, usize, f64)>,
+) -> Result<(), SimError> {
+    // Full segment test on a data-tapped centre value. The comparison
+    // happens in the full register width, as the native `cmp` would: a
+    // corrupted high bit makes the centre enormous and every circle
+    // pixel "darker".
+    let center_reg = tap::gpr(center as u64) as i64;
+    tap::work(OpClass::IntAlu, 32)?;
+    let base = (y * w + x) as isize;
+    let corner = if mode != Mode::Scalar && (0..=255).contains(&center_reg) {
+        // Uncorrupted centre: mask computation + popcount pre-reject,
+        // exact arc test on the surviving masks.
+        let ring_vals: [u8; 16] = std::array::from_fn(|i| data[(base + ring[i]) as usize]);
+        if mode == Mode::Swar {
+            swar_segment_test(&ring_vals, center_reg as u64, t, prereject)
+        } else {
+            crate::simd::segment_test_simd(&ring_vals, center_reg as u8, t, prereject)
+        }
+    } else {
+        // Fault-widened centre (or the scalar oracle): original
+        // saturating-i64 classify loop.
+        let mut states = [0u8; 16];
+        for (i, s) in states.iter_mut().enumerate() {
+            let v = data[(base + ring[i]) as usize] as i64;
+            *s = if v >= center_reg.saturating_add(t as i64) {
+                1
+            } else if v <= center_reg.saturating_sub(t as i64) {
+                2
+            } else {
+                0
+            };
+        }
+        has_arc(&states)
+    };
+    if corner {
+        let center = center_reg.clamp(0, 255) as u8;
+        let score = response(img, x, y, center, t);
+        scores[y * w + x] = score;
+        candidates.push((x, y, score));
+    }
+    Ok(())
+}
+
+fn detect_into_impl(
+    img: &GrayImage,
+    config: &FastConfig,
+    scratch: &mut FastScratch,
+    out: &mut Vec<KeyPoint>,
+    mode: Mode,
 ) -> Result<(), SimError> {
     let _f = tap::scope(FuncId::FastDetect);
     scratch.prereject = 0;
@@ -305,6 +399,58 @@ fn detect_into_impl<const SWAR: bool>(
         tap::work(OpClass::Control, w as u64)?;
         // Row-slice fast path only while the base register is intact.
         let row = (row_base == y * w).then(|| &data[row_base..row_base + w]);
+        if let (Some(r), Mode::Sse2 | Mode::Avx2) = (row, mode) {
+            // Vector compass quick-scan: the quick rejection is tap-free
+            // in the scalar walk, so computing its pass mask 16/32
+            // centres at a time and visiting survivors in ascending x
+            // reproduces the tap stream byte-for-byte.
+            let lanes = crate::simd::quick_lanes(mode == Mode::Avx2);
+            let mut x = 3usize;
+            while x + lanes + 3 <= w {
+                let mut mask = crate::simd::quick_pass_mask(data, w, y, x, t, mode == Mode::Avx2);
+                while mask != 0 {
+                    let j = mask.trailing_zeros() as usize;
+                    mask &= mask - 1;
+                    process_candidate(
+                        img,
+                        data,
+                        &ring,
+                        w,
+                        x + j,
+                        y,
+                        r[x + j],
+                        t,
+                        mode,
+                        &mut prereject,
+                        scores,
+                        candidates,
+                    )?;
+                }
+                x += lanes;
+            }
+            while x < w - 3 {
+                let base = (y * w + x) as isize;
+                let vals: [u8; 4] = std::array::from_fn(|q| data[(base + ring[4 * q]) as usize]);
+                if crate::simd::compass_pass(vals, r[x], t) {
+                    process_candidate(
+                        img,
+                        data,
+                        &ring,
+                        w,
+                        x,
+                        y,
+                        r[x],
+                        t,
+                        mode,
+                        &mut prereject,
+                        scores,
+                        candidates,
+                    )?;
+                }
+                x += 1;
+            }
+            continue;
+        }
         for x in 3..w - 3 {
             let center = match row {
                 Some(r) => r[x],
@@ -326,39 +472,20 @@ fn detect_into_impl<const SWAR: bool>(
             if bright < 2 && dark < 2 {
                 continue;
             }
-            // Full segment test on a data-tapped centre value. The
-            // comparison happens in the full register width, as the
-            // native `cmp` would: a corrupted high bit makes the centre
-            // enormous and every circle pixel "darker".
-            let center_reg = tap::gpr(center as u64) as i64;
-            tap::work(OpClass::IntAlu, 32)?;
-            let corner = if SWAR && (0..=255).contains(&center_reg) {
-                // Uncorrupted centre: SWAR masks + popcount pre-reject,
-                // exact arc test on the surviving masks.
-                let ring_vals: [u8; 16] = std::array::from_fn(&at);
-                swar_segment_test(&ring_vals, center_reg as u64, t, &mut prereject)
-            } else {
-                // Fault-widened centre (or the scalar oracle): original
-                // saturating-i64 classify loop.
-                let mut states = [0u8; 16];
-                for (i, s) in states.iter_mut().enumerate() {
-                    let v = at(i) as i64;
-                    *s = if v >= center_reg.saturating_add(t as i64) {
-                        1
-                    } else if v <= center_reg.saturating_sub(t as i64) {
-                        2
-                    } else {
-                        0
-                    };
-                }
-                has_arc(&states)
-            };
-            if corner {
-                let center = center_reg.clamp(0, 255) as u8;
-                let score = response(img, x, y, center, t);
-                scores[y * w + x] = score;
-                candidates.push((x, y, score));
-            }
+            process_candidate(
+                img,
+                data,
+                &ring,
+                w,
+                x,
+                y,
+                center,
+                t,
+                mode,
+                &mut prereject,
+                scores,
+                candidates,
+            )?;
         }
     }
 
@@ -624,6 +751,41 @@ mod tests {
             detect_into_scalar(&img, &cfg, &mut s_ref, &mut kp_ref).unwrap();
             assert_eq!(kp_swar, kp_ref, "trial {trial}: {w}x{h}");
             assert_eq!(s_ref.prereject(), 0, "scalar path must not prereject");
+        }
+    }
+
+    /// Every dispatch level of the detector returns identical keypoints
+    /// on random images, and the pre-rejecting levels agree on the
+    /// prereject count too.
+    #[test]
+    fn detect_levels_agree_on_random_images() {
+        use vs_image::SimdLevel;
+        let mut rng = vs_rng::SplitMix64::new(0x1E7E1 ^ 0x5EED);
+        let mut s_ref = FastScratch::default();
+        let mut s_lvl = FastScratch::default();
+        let mut kp_ref = Vec::new();
+        let mut kp_lvl = Vec::new();
+        for trial in 0..24 {
+            let w = 8 + rng.gen_range(0usize..50);
+            let h = 8 + rng.gen_range(0usize..50);
+            let img = GrayImage::from_fn(w, h, |_, _| rng.gen_range(0u32..256) as u8);
+            let cfg = FastConfig {
+                threshold: [0, 4, 20, 255][trial % 4],
+                ..FastConfig::default()
+            };
+            detect_into_scalar(&img, &cfg, &mut s_ref, &mut kp_ref).unwrap();
+            let mut swar_pre = None;
+            for level in SimdLevel::ALL {
+                if !level.available() {
+                    continue;
+                }
+                detect_into_level(&img, &cfg, &mut s_lvl, &mut kp_lvl, level).unwrap();
+                assert_eq!(kp_lvl, kp_ref, "trial {trial} level {level}: {w}x{h}");
+                if level != SimdLevel::Scalar {
+                    let pre = swar_pre.get_or_insert(s_lvl.prereject());
+                    assert_eq!(s_lvl.prereject(), *pre, "trial {trial} level {level}");
+                }
+            }
         }
     }
 

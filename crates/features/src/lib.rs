@@ -36,6 +36,7 @@ pub mod brief;
 pub mod fast;
 mod keypoint;
 pub mod orientation;
+mod simd;
 
 pub use brief::Descriptor;
 pub use keypoint::KeyPoint;

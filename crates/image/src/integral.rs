@@ -133,7 +133,7 @@ mod proptests {
     /// across a deterministic sweep of random images and query rects.
     #[test]
     fn integral_equals_brute() {
-        let mut rng = SplitMix64::new(0x1a7e_6a1);
+        let mut rng = SplitMix64::new(0x1a7e6a1);
         for case in 0..128u64 {
             let w: usize = rng.gen_range(1..12);
             let h: usize = rng.gen_range(1..12);

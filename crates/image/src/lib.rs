@@ -24,6 +24,7 @@
 //! assert_eq!(rgb.get(3, 2), Some([200, 200, 200]));
 //! ```
 
+pub mod dispatch;
 mod draw;
 mod filter;
 mod gray;
@@ -31,16 +32,22 @@ mod integral;
 mod ppm;
 mod pyramid;
 mod rgb;
+mod simd;
 
+pub use dispatch::SimdLevel;
 pub use draw::{draw_disc_gray, draw_line_gray, fill_rect_gray, fill_rect_rgb};
 pub use filter::{
     box_blur, gaussian_blur_3x3, gaussian_blur_5x5, gaussian_blur_5x5_into,
-    gaussian_blur_5x5_into_scalar,
+    gaussian_blur_5x5_into_bands, gaussian_blur_5x5_into_level, gaussian_blur_5x5_into_scalar,
+    gaussian_blur_5x5_into_swar,
 };
 pub use gray::GrayImage;
 pub use integral::IntegralImage;
 pub use ppm::{read_pgm, read_ppm, write_pgm, write_ppm, PnmError};
-pub use pyramid::{downsample_half, downsample_half_into, downsample_half_into_scalar, Pyramid};
+pub use pyramid::{
+    downsample_half, downsample_half_into, downsample_half_into_level, downsample_half_into_scalar,
+    downsample_half_into_swar, Pyramid,
+};
 pub use rgb::RgbImage;
 
 /// Hard cap on pixels per image (256 Mpx).

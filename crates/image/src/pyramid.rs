@@ -24,7 +24,33 @@ pub fn downsample_half(img: &GrayImage) -> GrayImage {
 /// every reachable sum in the tests and kept honest by the float oracle
 /// [`downsample_half_into_scalar`]. Returns whether the destination
 /// buffer grew.
+///
+/// Dispatches to the widest proven-bit-exact implementation for the
+/// process ([`crate::dispatch::level`]); use
+/// [`downsample_half_into_level`] to pin a level explicitly.
 pub fn downsample_half_into(img: &GrayImage, out: &mut GrayImage) -> bool {
+    downsample_half_into_level(img, out, crate::dispatch::level())
+}
+
+/// [`downsample_half_into`] at an explicit [`SimdLevel`]. All levels
+/// produce bit-identical output.
+pub fn downsample_half_into_level(
+    img: &GrayImage,
+    out: &mut GrayImage,
+    level: crate::dispatch::SimdLevel,
+) -> bool {
+    use crate::dispatch::SimdLevel;
+    match level {
+        SimdLevel::Scalar => downsample_half_into_scalar(img, out),
+        SimdLevel::Swar => downsample_half_into_swar(img, out),
+        SimdLevel::Sse2 => crate::simd::downsample_half_sse2(img, out),
+        SimdLevel::Avx2 => crate::simd::downsample_half_avx2(img, out),
+    }
+}
+
+/// The integer pass from PR 4, kept addressable as the portable proof
+/// oracle the vector paths are verified against.
+pub fn downsample_half_into_swar(img: &GrayImage, out: &mut GrayImage) -> bool {
     let w = img.width() / 2;
     let h = img.height() / 2;
     let grew = out
@@ -188,6 +214,32 @@ mod tests {
         let img = GrayImage::new(5, 3);
         let d = downsample_half(&img);
         assert_eq!((d.width(), d.height()), (2, 1));
+    }
+
+    /// HD odd-dimension halving: 1919×1079-class frames drop the odd
+    /// trailing row/column at every level and stay bit-identical to the
+    /// float oracle (the dispatched path may be a vector level here).
+    #[test]
+    fn hd_odd_dimensions_match_oracle() {
+        let mut rng = vs_rng::SplitMix64::new(0x1919_1079);
+        let img = GrayImage::from_fn(1919, 1079, |_, _| rng.gen_range(0u32..256) as u8);
+        let mut a = GrayImage::new(0, 0);
+        let mut b = GrayImage::new(0, 0);
+        downsample_half_into(&img, &mut a);
+        downsample_half_into_scalar(&img, &mut b);
+        assert_eq!((a.width(), a.height()), (959, 539));
+        assert_eq!(a, b, "dispatched HD downsample vs float oracle");
+        let p = Pyramid::new(&img, 4, 8);
+        let sizes: Vec<_> = p.iter().map(|(_, im)| (im.width(), im.height())).collect();
+        assert_eq!(
+            sizes,
+            vec![(1919, 1079), (959, 539), (479, 269), (239, 134)]
+        );
+        assert_eq!(
+            p.level(1).unwrap(),
+            &a,
+            "pyramid level 1 is the halved frame"
+        );
     }
 
     #[test]

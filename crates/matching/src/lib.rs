@@ -34,7 +34,11 @@
 
 use vs_fault::{tap, FuncId, OpClass, SimError};
 use vs_features::Descriptor;
+use vs_image::SimdLevel;
 use vs_telemetry::Value;
+
+mod simd;
+use simd::{bounded_dist_for, BoundedDist};
 
 /// A correspondence between a query descriptor and a train descriptor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,11 +60,27 @@ struct TwoNearest {
 }
 
 /// Scan `train` for the two nearest neighbours of `desc`, tallying
-/// abandoned candidate scans into `early_exits`.
+/// abandoned candidate scans into `early_exits`. The SWAR half-wise
+/// scan is the reference strategy; `two_nearest_with` takes any
+/// strategy from the dispatch table (all observationally identical).
+#[cfg(test)]
 fn two_nearest(
     desc: &Descriptor,
     train: &[Descriptor],
     early_exits: &mut u64,
+) -> Option<TwoNearest> {
+    two_nearest_with(desc, train, early_exits, Descriptor::hamming_bounded)
+}
+
+/// [`two_nearest`] parameterized on the bounded-distance strategy the
+/// dispatch level selected. Every strategy returns `Some(d)` iff the
+/// true distance is below the bound, so the neighbours found and the
+/// `early_exits` tally (one per `None`) are identical across levels.
+fn two_nearest_with(
+    desc: &Descriptor,
+    train: &[Descriptor],
+    early_exits: &mut u64,
+    dist: BoundedDist,
 ) -> Option<TwoNearest> {
     let mut best = usize::MAX;
     let mut best_dist = u32::MAX;
@@ -70,7 +90,7 @@ fn two_nearest(
         // distance can affect neither slot, so its scan is abandoned as
         // soon as the partial word sums prove that (exact — see
         // `Descriptor::hamming_bounded`).
-        let Some(d) = desc.hamming_bounded(t, second_dist) else {
+        let Some(d) = dist(desc, t, second_dist) else {
             *early_exits += 1;
             continue;
         };
@@ -135,6 +155,24 @@ impl RatioMatcher {
         train: &[Descriptor],
         out: &mut Vec<Match>,
     ) -> Result<(), SimError> {
+        self.matches_into_level(query, train, out, vs_image::dispatch::level())
+    }
+
+    /// [`RatioMatcher::matches_into`] at an explicit dispatch level.
+    /// Matches, tap stream and early-exit telemetry are bit-identical
+    /// across levels; only the Hamming inner loop changes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RatioMatcher::matches`].
+    pub fn matches_into_level(
+        &self,
+        query: &[Descriptor],
+        train: &[Descriptor],
+        out: &mut Vec<Match>,
+        level: SimdLevel,
+    ) -> Result<(), SimError> {
+        let dist = bounded_dist_for(level);
         let t0 = vs_telemetry::enabled().then(std::time::Instant::now);
         let _f = tap::scope(FuncId::MatchKeypoints);
         out.clear();
@@ -147,7 +185,7 @@ impl RatioMatcher {
             tap::work(OpClass::Control, train.len() as u64)?;
             let qi = tap::addr(i);
             let desc = query.get(qi).ok_or(SimError::Segfault)?;
-            let Some(nn) = two_nearest(desc, train, &mut early_exits) else {
+            let Some(nn) = two_nearest_with(desc, train, &mut early_exits, dist) else {
                 continue;
             };
             let best_dist = tap::gpr(nn.best_dist as u64) as u32;
@@ -253,6 +291,24 @@ impl SimpleMatcher {
         train: &[Descriptor],
         out: &mut Vec<Match>,
     ) -> Result<(), SimError> {
+        self.matches_into_level(query, train, out, vs_image::dispatch::level())
+    }
+
+    /// [`SimpleMatcher::matches_into`] at an explicit dispatch level.
+    /// Matches, tap stream and early-exit telemetry are bit-identical
+    /// across levels; only the Hamming inner loop changes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SimpleMatcher::matches`].
+    pub fn matches_into_level(
+        &self,
+        query: &[Descriptor],
+        train: &[Descriptor],
+        out: &mut Vec<Match>,
+        level: SimdLevel,
+    ) -> Result<(), SimError> {
+        let dist = bounded_dist_for(level);
         let t0 = vs_telemetry::enabled().then(std::time::Instant::now);
         let _f = tap::scope(FuncId::MatchKeypoints);
         out.clear();
@@ -268,7 +324,7 @@ impl SimpleMatcher {
             for (j, t) in train.iter().enumerate() {
                 // Same early exit as `two_nearest`, bounded by the single
                 // best distance.
-                if let Some(d) = desc.hamming_bounded(t, best_dist) {
+                if let Some(d) = dist(desc, t, best_dist) {
                     best_dist = d;
                     best = j;
                 } else {
@@ -560,6 +616,57 @@ mod proptests {
             for m in &ratio {
                 let min = train.iter().map(|t| query[m.query].hamming(t)).min();
                 assert_eq!(Some(m.distance), min);
+            }
+        }
+    }
+
+    /// Every available dispatch level yields the same matches AND the
+    /// same `hamming_early_exits` telemetry as the SWAR reference, for
+    /// both matchers, on random and tie-heavy descriptor sets.
+    #[test]
+    fn matcher_levels_agree_with_swar_reference() {
+        let mut rng = SplitMix64::new(0x3a7c_0004);
+        let ratio = RatioMatcher::default();
+        let simple = SimpleMatcher { max_distance: 128 };
+        let run = |level: SimdLevel, query: &[Descriptor], train: &[Descriptor]| {
+            let sink = std::sync::Arc::new(vs_telemetry::MemorySink::new());
+            let mut r = Vec::new();
+            let mut s = Vec::new();
+            {
+                let _g = vs_telemetry::install(sink.clone());
+                ratio
+                    .matches_into_level(query, train, &mut r, level)
+                    .unwrap();
+                simple
+                    .matches_into_level(query, train, &mut s, level)
+                    .unwrap();
+            }
+            let exits: Vec<u64> = sink
+                .events()
+                .iter()
+                .filter(|e| e.name == "match")
+                .map(|e| e.u64("hamming_early_exits").unwrap())
+                .collect();
+            (r, s, exits)
+        };
+        for case in 0..48u64 {
+            let query = rand_descs(&mut rng, 0, 10);
+            let train: Vec<Descriptor> = if case % 2 == 0 {
+                rand_descs(&mut rng, 0, 24)
+            } else {
+                // Low-entropy sets force distance ties and frequent exits.
+                let n = rng.gen_range(0..24usize);
+                (0..n)
+                    .map(|_| Descriptor([rng.next_u64() & 0xffff, 0, 0, 0]))
+                    .collect()
+            };
+            let reference = run(SimdLevel::Swar, &query, &train);
+            for level in SimdLevel::ALL {
+                if level == SimdLevel::Swar || !level.available() {
+                    continue;
+                }
+                let got = run(level, &query, &train);
+                assert_eq!(got, reference, "case {case} level {level}");
             }
         }
     }

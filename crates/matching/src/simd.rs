@@ -1,0 +1,217 @@
+//! Explicit-SIMD bounded Hamming distance for descriptor matching.
+//!
+//! The matchers' inner loop is one call per train candidate:
+//! `Some(d)` iff the 256-bit Hamming distance is strictly below the
+//! caller's bound. That predicate is what the fault-injection records
+//! and the `hamming_early_exits` telemetry observe (one `None` per
+//! abandoned scan), and it depends only on the *total* distance —
+//! partial sums are monotone, so `lo >= bound` implies `d >= bound`.
+//! Every strategy below therefore returns bit-identical `Option<u32>`
+//! results; they differ only in how much of the 256 bits they touch
+//! before deciding:
+//!
+//! - scalar: per-64-bit-word early exit ([`Descriptor::hamming_bounded_scalar`])
+//! - SWAR: per-128-bit-half early exit ([`Descriptor::hamming_bounded`])
+//! - SSE2: byte-parallel popcount (Muła's 0x55/0x33/0x0F ladder +
+//!   `_mm_sad_epu8`), per-128-bit-half early exit
+//! - AVX2: one 256-bit XOR + popcount, no intermediate exit
+//!
+//! Dispatch hands the matchers a plain `fn` pointer so the hot loop
+//! pays one indirect call and zero per-pair feature checks.
+
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use vs_features::Descriptor;
+use vs_image::SimdLevel;
+
+/// A bounded-distance strategy: `Some(d)` iff `a.hamming(b) < bound`,
+/// with `d` the true 256-bit distance.
+pub(crate) type BoundedDist = fn(&Descriptor, &Descriptor, u32) -> Option<u32>;
+
+/// Strategy for one dispatch level. Asserting AVX2 availability here —
+/// once per matcher call, not per descriptor pair — is what makes the
+/// unchecked wrapper below sound.
+pub(crate) fn bounded_dist_for(level: SimdLevel) -> BoundedDist {
+    match level {
+        SimdLevel::Scalar => Descriptor::hamming_bounded_scalar,
+        SimdLevel::Swar => Descriptor::hamming_bounded,
+        SimdLevel::Sse2 => hamming_bounded_sse2,
+        SimdLevel::Avx2 => {
+            assert!(SimdLevel::Avx2.available());
+            hamming_bounded_avx2
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use std::arch::x86_64::*;
+
+    /// Byte-parallel popcount of a 128-bit register: the classic SWAR
+    /// ladder (2-bit, 4-bit, 8-bit field sums; shifts are epi64 but
+    /// every cross-byte bit lands in a masked-off position), then
+    /// `_mm_sad_epu8` against zero horizontally sums the 16 byte counts
+    /// into two u64 lanes.
+    #[target_feature(enable = "sse2")]
+    fn popcnt128(v: __m128i) -> u32 {
+        let m1 = _mm_set1_epi8(0x55);
+        let m2 = _mm_set1_epi8(0x33);
+        let m4 = _mm_set1_epi8(0x0f);
+        let a = _mm_sub_epi8(v, _mm_and_si128(_mm_srli_epi64(v, 1), m1));
+        let b = _mm_add_epi8(
+            _mm_and_si128(a, m2),
+            _mm_and_si128(_mm_srli_epi64(a, 2), m2),
+        );
+        let c = _mm_and_si128(_mm_add_epi8(b, _mm_srli_epi64(b, 4)), m4);
+        let sad = _mm_sad_epu8(c, _mm_setzero_si128());
+        (_mm_cvtsi128_si64(sad) + _mm_cvtsi128_si64(_mm_unpackhi_epi64(sad, sad))) as u32
+    }
+
+    /// 256-bit twin of [`popcnt128`]; the four `_mm256_sad_epu8` lanes
+    /// collapse via one 128-bit fold.
+    #[target_feature(enable = "avx2")]
+    fn popcnt256(v: __m256i) -> u32 {
+        let m1 = _mm256_set1_epi8(0x55);
+        let m2 = _mm256_set1_epi8(0x33);
+        let m4 = _mm256_set1_epi8(0x0f);
+        let a = _mm256_sub_epi8(v, _mm256_and_si256(_mm256_srli_epi64(v, 1), m1));
+        let b = _mm256_add_epi8(
+            _mm256_and_si256(a, m2),
+            _mm256_and_si256(_mm256_srli_epi64(a, 2), m2),
+        );
+        let c = _mm256_and_si256(_mm256_add_epi8(b, _mm256_srli_epi64(b, 4)), m4);
+        let sad = _mm256_sad_epu8(c, _mm256_setzero_si256());
+        let s = _mm_add_epi64(
+            _mm256_castsi256_si128(sad),
+            _mm256_extracti128_si256(sad, 1),
+        );
+        (_mm_cvtsi128_si64(s) + _mm_cvtsi128_si64(_mm_unpackhi_epi64(s, s))) as u32
+    }
+
+    /// SSE2 bounded distance with the same per-128-bit-half early exit
+    /// as `Descriptor::hamming_bounded`.
+    #[target_feature(enable = "sse2")]
+    pub fn hamming_bounded_sse2(a: &[u64; 4], b: &[u64; 4], bound: u32) -> Option<u32> {
+        // SAFETY: both arrays are 32 bytes, so 16-byte unaligned loads
+        // at word offsets 0 and 2 stay in bounds.
+        let lo = popcnt128(_mm_xor_si128(
+            unsafe { _mm_loadu_si128(a.as_ptr().cast()) },
+            unsafe { _mm_loadu_si128(b.as_ptr().cast()) },
+        ));
+        if lo >= bound {
+            return None;
+        }
+        // SAFETY: as above, second 16-byte half.
+        let d = lo
+            + popcnt128(_mm_xor_si128(
+                unsafe { _mm_loadu_si128(a.as_ptr().add(2).cast()) },
+                unsafe { _mm_loadu_si128(b.as_ptr().add(2).cast()) },
+            ));
+        (d < bound).then_some(d)
+    }
+
+    /// AVX2 bounded distance: one 256-bit XOR + popcount, bound checked
+    /// once on the total (identical `Some`/`None` by monotonicity).
+    #[target_feature(enable = "avx2")]
+    pub fn hamming_bounded_avx2(a: &[u64; 4], b: &[u64; 4], bound: u32) -> Option<u32> {
+        // SAFETY: both arrays are exactly 32 bytes — one unaligned
+        // 256-bit load each.
+        let x = _mm256_xor_si256(unsafe { _mm256_loadu_si256(a.as_ptr().cast()) }, unsafe {
+            _mm256_loadu_si256(b.as_ptr().cast())
+        });
+        let d = popcnt256(x);
+        (d < bound).then_some(d)
+    }
+}
+
+/// SSE2-path bounded distance (unconditional on x86-64; SWAR elsewhere).
+pub(crate) fn hamming_bounded_sse2(a: &Descriptor, b: &Descriptor, bound: u32) -> Option<u32> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: SSE2 is part of the x86-64 baseline.
+        unsafe { x86::hamming_bounded_sse2(&a.0, &b.0, bound) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    a.hamming_bounded(b, bound)
+}
+
+/// AVX2-path bounded distance. Callers must have verified AVX2 is
+/// available ([`bounded_dist_for`] asserts it before handing this out).
+pub(crate) fn hamming_bounded_avx2(a: &Descriptor, b: &Descriptor, bound: u32) -> Option<u32> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        debug_assert!(SimdLevel::Avx2.available());
+        // SAFETY: AVX2 availability is asserted by `bounded_dist_for`
+        // before this fn pointer escapes (and re-checked in debug).
+        unsafe { x86::hamming_bounded_avx2(&a.0, &b.0, bound) }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    a.hamming_bounded(b, bound)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_rng::SplitMix64;
+
+    fn strategies() -> Vec<(SimdLevel, BoundedDist)> {
+        SimdLevel::ALL
+            .into_iter()
+            .filter(|l| l.available())
+            .map(|l| (l, bounded_dist_for(l)))
+            .collect()
+    }
+
+    /// Every compiled strategy agrees with the scalar oracle on random
+    /// and adversarially structured descriptor pairs across the full
+    /// range of meaningful bounds.
+    #[test]
+    fn bounded_distance_matches_scalar_oracle() {
+        let mut rng = SplitMix64::new(0x4A3D_0001);
+        let strategies = strategies();
+        let mut pairs: Vec<(Descriptor, Descriptor)> = Vec::new();
+        // Structured extremes: identical, complement, single-bit, half-set.
+        let zero = Descriptor([0; 4]);
+        let ones = Descriptor([!0; 4]);
+        pairs.push((zero, zero));
+        pairs.push((zero, ones));
+        pairs.push((ones, ones));
+        for w in 0..4 {
+            for bit in [0u32, 1, 31, 63] {
+                let mut d = zero;
+                d.0[w] = 1u64 << bit;
+                pairs.push((zero, d));
+                pairs.push((ones, d));
+            }
+        }
+        pairs.push((Descriptor([!0, !0, 0, 0]), zero));
+        pairs.push((Descriptor([0, 0, !0, !0]), zero));
+        for _ in 0..4000 {
+            let a = Descriptor(std::array::from_fn(|_| rng.next_u64()));
+            let b = Descriptor(std::array::from_fn(|_| rng.next_u64()));
+            pairs.push((a, b));
+        }
+        for (a, b) in &pairs {
+            let full = a.hamming_scalar(b);
+            for bound in [
+                0u32,
+                1,
+                full.saturating_sub(1),
+                full,
+                full + 1,
+                256,
+                u32::MAX,
+            ] {
+                let want = a.hamming_bounded_scalar(b, bound);
+                assert_eq!(want, (full < bound).then_some(full), "oracle self-check");
+                for (level, dist) in &strategies {
+                    assert_eq!(
+                        dist(a, b, bound),
+                        want,
+                        "level {level} disagrees at bound {bound} (full {full})"
+                    );
+                }
+            }
+        }
+    }
+}

@@ -29,6 +29,7 @@
 //! ```
 
 mod canvas;
+mod simd;
 
 pub use canvas::{BlendMode, Canvas, CompositeOptions};
 
@@ -64,7 +65,7 @@ pub const MAX_WARP_PIXELS: usize = 1 << 24;
 /// Sterbenz) reproduces round-half-away-from-zero bit-for-bit without
 /// the libm `round` call baseline x86-64 would emit.
 #[inline(always)]
-fn round_u8_in_range(v: f64) -> u8 {
+pub(crate) fn round_u8_in_range(v: f64) -> u8 {
     let t = v as i64;
     (t + i64::from(v - t as f64 >= 0.5)) as u8
 }
@@ -445,7 +446,128 @@ pub fn warp_perspective_offset_into(
     dst: &mut RgbImage,
     mask: &mut GrayImage,
 ) -> Result<(), SimError> {
-    warp_driver(src, h, dst_w, dst_h, origin, dst, mask, remap_bilinear)
+    warp_perspective_offset_into_level(
+        src,
+        h,
+        dst_w,
+        dst_h,
+        origin,
+        dst,
+        mask,
+        vs_image::dispatch::level(),
+    )
+}
+
+/// [`warp_perspective_offset_into`] at an explicit
+/// [`vs_image::SimdLevel`]. Output bytes are bit-identical at every
+/// level. The vector levels drop the per-pixel fault taps, so they only
+/// run outside instrumentation sessions; inside a session (profiling or
+/// injection) they fall back to the instrumented SWAR kernel, which
+/// keeps the tap stream — and therefore every campaign record —
+/// identical across `VS_SIMD` settings.
+///
+/// # Errors
+///
+/// As [`warp_perspective`].
+#[allow(clippy::too_many_arguments)]
+pub fn warp_perspective_offset_into_level(
+    src: &RgbImage,
+    h: &Mat3,
+    dst_w: usize,
+    dst_h: usize,
+    origin: Vec2,
+    dst: &mut RgbImage,
+    mask: &mut GrayImage,
+    level: vs_image::SimdLevel,
+) -> Result<(), SimError> {
+    use vs_image::SimdLevel;
+    let remap: RemapFn = match level {
+        SimdLevel::Scalar => remap_bilinear_scalar,
+        SimdLevel::Swar => remap_bilinear,
+        SimdLevel::Sse2 | SimdLevel::Avx2 if vs_fault::session::active() => remap_bilinear,
+        SimdLevel::Sse2 => simd::remap_sse2,
+        SimdLevel::Avx2 => simd::remap_avx2,
+    };
+    warp_driver(src, h, dst_w, dst_h, origin, dst, mask, remap)
+}
+
+/// [`warp_perspective_offset_into`] with destination rows split across
+/// `bands` scoped threads — the opt-in intra-run parallel mode for HD
+/// frames.
+///
+/// Each thread remaps a disjoint destination row band through the
+/// tap-free vector span kernel, whose bytes are bit-identical to the
+/// single-threaded path at every dispatch level. Inside instrumentation
+/// sessions (where the tap stream must be sequential) or with
+/// `bands <= 1` this falls through to the plain dispatched path.
+///
+/// # Errors
+///
+/// As [`warp_perspective`].
+#[allow(clippy::too_many_arguments)]
+pub fn warp_perspective_offset_into_bands(
+    src: &RgbImage,
+    h: &Mat3,
+    dst_w: usize,
+    dst_h: usize,
+    origin: Vec2,
+    dst: &mut RgbImage,
+    mask: &mut GrayImage,
+    bands: usize,
+) -> Result<(), SimError> {
+    let bands = bands.min(dst_h).max(1);
+    if bands <= 1 || dst_w == 0 || vs_fault::session::active() {
+        return warp_perspective_offset_into(src, h, dst_w, dst_h, origin, dst, mask);
+    }
+    let t0 = vs_telemetry::enabled().then(std::time::Instant::now);
+    let _f = tap::scope(FuncId::WarpPerspective);
+    tap::work(OpClass::Float, 120)?;
+    tap::work(OpClass::IntAlu, 60)?;
+    if dst_w.checked_mul(dst_h).is_none_or(|p| p > MAX_WARP_PIXELS) {
+        return Err(SimError::Abort);
+    }
+    let inv = h.inverse().ok_or(SimError::Abort)?;
+    dst.try_reset(dst_w, dst_h).ok_or(SimError::Abort)?;
+    mask.try_reset(dst_w, dst_h).ok_or(SimError::Abort)?;
+    let wide = vs_image::dispatch::level() == vs_image::SimdLevel::Avx2;
+    let rows_per = dst_h.div_ceil(bands);
+    let dst_bytes = dst.as_bytes_mut();
+    let mask_bytes = mask.as_bytes_mut();
+    let mut first_err = None;
+    std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(bands);
+        for (b, (dband, mband)) in dst_bytes
+            .chunks_mut(rows_per * dst_w * 3)
+            .zip(mask_bytes.chunks_mut(rows_per * dst_w))
+            .enumerate()
+        {
+            let y0 = b * rows_per;
+            let y1 = (y0 + rows_per).min(dst_h);
+            let inv = &inv;
+            handles.push(s.spawn(move || {
+                simd::remap_span_bytes(src, inv, dband, mband, dst_w, origin, y0, y1, wide)
+            }));
+        }
+        for h in handles {
+            if let Err(e) = h.join().expect("warp band thread panicked") {
+                first_err.get_or_insert(e);
+            }
+        }
+    });
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+    vs_telemetry::emit(
+        "warp",
+        &[
+            ("pixels", vs_telemetry::Value::U64((dst_w * dst_h) as u64)),
+            (
+                "ns",
+                vs_telemetry::Value::U64(t0.map_or(0, |t| t.elapsed().as_nanos() as u64)),
+            ),
+        ],
+    );
+    Ok(())
 }
 
 /// Scalar reference oracle for [`warp_perspective_offset_into`]: the
@@ -883,6 +1005,70 @@ mod proptests {
             if a.is_ok() {
                 assert_eq!(fast.0, refr.0, "case {case}: pixels diverged ({m:?})");
                 assert_eq!(fast.1, refr.1, "case {case}: masks diverged ({m:?})");
+            }
+        }
+    }
+
+    /// Every available dispatch level — and the band-parallel entry at
+    /// several band counts — produces bit-identical pixels and masks
+    /// across the same transform families the oracle test sweeps.
+    #[test]
+    fn warp_levels_and_bands_match_scalar_oracle() {
+        use vs_image::SimdLevel;
+        let mut rng = vs_rng::SplitMix64::new(0x513D_3A12);
+        let src = RgbImage::from_fn(40, 32, |x, y| {
+            [
+                (x * 5 % 256) as u8,
+                (y * 7 % 256) as u8,
+                ((x + 2 * y) % 256) as u8,
+            ]
+        });
+        let mut refr = (RgbImage::default(), GrayImage::default());
+        let mut got = (RgbImage::default(), GrayImage::default());
+        for case in 0..40u64 {
+            let m = match case % 4 {
+                0 => Mat3::translation(
+                    rng.gen_range(-9i32..10) as f64 + 0.5,
+                    rng.gen_range(-7i32..8) as f64,
+                ),
+                1 => Mat3::rotation(rng.gen_range(-3.0f64..3.0)),
+                2 => {
+                    let s = rng.gen_range(0.5f64..2.0);
+                    Mat3::from_rows([s, 0.0, 3.0, 0.0, s, -2.0, 0.0, 0.0, s])
+                }
+                _ => Mat3::from_rows([
+                    1.0,
+                    rng.gen_range(-0.1f64..0.1),
+                    rng.gen_range(-5.0f64..5.0),
+                    rng.gen_range(-0.1f64..0.1),
+                    1.0,
+                    rng.gen_range(-5.0f64..5.0),
+                    rng.gen_range(-0.002f64..0.002),
+                    rng.gen_range(-0.002f64..0.002),
+                    1.0,
+                ]),
+            };
+            let origin = Vec2::new(rng.gen_range(-6.0f64..6.0), rng.gen_range(-6.0f64..6.0));
+            warp_perspective_offset_into_scalar(&src, &m, 37, 29, origin, &mut refr.0, &mut refr.1)
+                .unwrap();
+            for level in SimdLevel::ALL {
+                if !level.available() {
+                    continue;
+                }
+                warp_perspective_offset_into_level(
+                    &src, &m, 37, 29, origin, &mut got.0, &mut got.1, level,
+                )
+                .unwrap();
+                assert_eq!(got.0, refr.0, "case {case} level {level}: pixels");
+                assert_eq!(got.1, refr.1, "case {case} level {level}: masks");
+            }
+            for bands in [2usize, 3, 4, 64] {
+                warp_perspective_offset_into_bands(
+                    &src, &m, 37, 29, origin, &mut got.0, &mut got.1, bands,
+                )
+                .unwrap();
+                assert_eq!(got.0, refr.0, "case {case} bands={bands}: pixels");
+                assert_eq!(got.1, refr.1, "case {case} bands={bands}: masks");
             }
         }
     }

@@ -1,0 +1,392 @@
+//! Vectorized coordinate computation for the bilinear warp — the only
+//! `unsafe` code in the warp crate.
+//!
+//! The warp's inner loop has two halves: the homogeneous coordinate
+//! transform (`hx/hw`, `hy/hw` — multiply/add/divide chains in f64) and
+//! the bilinear sample/blend/store. The transform is tap-free and
+//! elementwise, so it vectorizes exactly: every SSE2/AVX2 lane performs
+//! the same IEEE operations in the same order as the scalar expression
+//! (`inv₀·dx + r1dy + inv₂`, then one correctly-rounded division), so
+//! the coordinates — and therefore every sampled byte — are
+//! bit-identical to [`super::remap_bilinear`]'s uncorrupted path. The
+//! sample/blend half reuses the scalar fast paths (fixed-point blend
+//! for dyadic weights, [`super::round_u8_in_range`] otherwise)
+//! unchanged.
+//!
+//! The per-pixel fault taps (`tap::fpr` on `sx`, `tap::addr` on the
+//! load/store bases, `tap::gpr` on the packed pixel) have no vector
+//! equivalent, so this path only runs when no instrumentation session
+//! is active on the thread ([`vs_fault::session::active`]); inside
+//! campaigns the warp falls back to the instrumented kernel, keeping
+//! every injection record identical across `VS_SIMD` levels. Outside
+//! sessions the taps are pure pass-throughs, so skipping them changes
+//! nothing but the cycle count.
+#![deny(unsafe_op_in_unsafe_fn)]
+
+use vs_fault::SimError;
+use vs_image::{GrayImage, RgbImage};
+use vs_linalg::{Mat3, Vec2};
+
+/// Pixels per coordinate batch (two cache lines of f64 per axis).
+const BLOCK: usize = 16;
+
+/// Fill `sxs`/`sys[..n]` with the source coordinates of destination
+/// pixels `x0..x0+n` on the row with hoisted products `r1dy`/`r4dy`.
+/// `const_hw` is the affine constant-divisor fast path (`Some(1.0)` =
+/// no division); `None` computes the per-pixel projective divisor and
+/// encodes the scalar path's tiny-divisor `continue` as a NaN
+/// coordinate (the sampler's finite check skips it identically).
+#[allow(clippy::too_many_arguments)]
+fn fill_coords(
+    inv: &[f64; 9],
+    ox: f64,
+    dy: f64,
+    r1dy: f64,
+    r4dy: f64,
+    const_hw: Option<f64>,
+    x0: usize,
+    n: usize,
+    sxs: &mut [f64; BLOCK],
+    sys: &mut [f64; BLOCK],
+    wide: bool,
+) {
+    // SAFETY: SSE2 is baseline x86-64; `wide` is only set when
+    // dispatch selected AVX2 (availability-checked).
+    #[cfg(target_arch = "x86_64")]
+    let mut j = unsafe {
+        if wide {
+            x86::coords_avx2(inv, ox, dy, r1dy, r4dy, const_hw, x0, n, sxs, sys)
+        } else {
+            x86::coords_sse2(inv, ox, dy, r1dy, r4dy, const_hw, x0, n, sxs, sys)
+        }
+    };
+    #[cfg(not(target_arch = "x86_64"))]
+    let mut j = {
+        let _ = wide;
+        0usize
+    };
+    // Scalar tail lanes: one-lane IEEE is the same IEEE.
+    while j < n {
+        let dx = (x0 + j) as f64 + ox;
+        let hx = inv[0] * dx + r1dy + inv[2];
+        let hy = inv[3] * dx + r4dy + inv[5];
+        (sxs[j], sys[j]) = match const_hw {
+            Some(1.0) => (hx, hy),
+            Some(c) => (hx / c, hy / c),
+            None => {
+                let hw = inv[6] * dx + inv[7] * dy + inv[8];
+                if hw.abs() < 1e-12 {
+                    (f64::NAN, f64::NAN)
+                } else {
+                    (hx / hw, hy / hw)
+                }
+            }
+        };
+        j += 1;
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::BLOCK;
+    use std::arch::x86_64::*;
+
+    /// Two-lane coordinate transform; returns how many lanes were
+    /// filled (the largest even number ≤ n).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "sse2")]
+    pub(super) fn coords_sse2(
+        inv: &[f64; 9],
+        ox: f64,
+        dy: f64,
+        r1dy: f64,
+        r4dy: f64,
+        const_hw: Option<f64>,
+        x0: usize,
+        n: usize,
+        sxs: &mut [f64; BLOCK],
+        sys: &mut [f64; BLOCK],
+    ) -> usize {
+        let inv0 = _mm_set1_pd(inv[0]);
+        let inv2 = _mm_set1_pd(inv[2]);
+        let inv3 = _mm_set1_pd(inv[3]);
+        let inv5 = _mm_set1_pd(inv[5]);
+        let r1 = _mm_set1_pd(r1dy);
+        let r4 = _mm_set1_pd(r4dy);
+        let oxv = _mm_set1_pd(ox);
+        let mut j = 0usize;
+        while j + 2 <= n {
+            let xs = _mm_set_pd((x0 + j + 1) as f64, (x0 + j) as f64);
+            let dx = _mm_add_pd(xs, oxv);
+            // Same association as the scalar path: (inv·dx + rdy) + inv_c.
+            let hx = _mm_add_pd(_mm_add_pd(_mm_mul_pd(inv0, dx), r1), inv2);
+            let hy = _mm_add_pd(_mm_add_pd(_mm_mul_pd(inv3, dx), r4), inv5);
+            let (sx, sy) = match const_hw {
+                Some(1.0) => (hx, hy),
+                Some(c) => {
+                    let cv = _mm_set1_pd(c);
+                    (_mm_div_pd(hx, cv), _mm_div_pd(hy, cv))
+                }
+                None => {
+                    let inv6 = _mm_set1_pd(inv[6]);
+                    let inv7 = _mm_set1_pd(inv[7]);
+                    let inv8 = _mm_set1_pd(inv[8]);
+                    let dyv = _mm_set1_pd(dy);
+                    let hw = _mm_add_pd(
+                        _mm_add_pd(_mm_mul_pd(inv6, dx), _mm_mul_pd(inv7, dyv)),
+                        inv8,
+                    );
+                    // |hw| < 1e-12 lanes become NaN coordinates, the
+                    // vector spelling of the scalar `continue`.
+                    let abs_mask = _mm_castsi128_pd(_mm_set1_epi64x(0x7FFF_FFFF_FFFF_FFFF));
+                    let tiny = _mm_cmplt_pd(_mm_and_pd(hw, abs_mask), _mm_set1_pd(1e-12));
+                    let nan = _mm_set1_pd(f64::NAN);
+                    let sx = _mm_div_pd(hx, hw);
+                    let sy = _mm_div_pd(hy, hw);
+                    (
+                        _mm_or_pd(_mm_and_pd(tiny, nan), _mm_andnot_pd(tiny, sx)),
+                        _mm_or_pd(_mm_and_pd(tiny, nan), _mm_andnot_pd(tiny, sy)),
+                    )
+                }
+            };
+            // SAFETY: j + 2 ≤ n ≤ BLOCK bounds both 2-lane stores.
+            unsafe {
+                _mm_storeu_pd(sxs.as_mut_ptr().add(j), sx);
+                _mm_storeu_pd(sys.as_mut_ptr().add(j), sy);
+            }
+            j += 2;
+        }
+        j
+    }
+
+    /// Four-lane coordinate transform; returns how many lanes were
+    /// filled (the largest multiple of 4 ≤ n).
+    #[allow(clippy::too_many_arguments)]
+    #[target_feature(enable = "avx2")]
+    pub(super) fn coords_avx2(
+        inv: &[f64; 9],
+        ox: f64,
+        dy: f64,
+        r1dy: f64,
+        r4dy: f64,
+        const_hw: Option<f64>,
+        x0: usize,
+        n: usize,
+        sxs: &mut [f64; BLOCK],
+        sys: &mut [f64; BLOCK],
+    ) -> usize {
+        let inv0 = _mm256_set1_pd(inv[0]);
+        let inv2 = _mm256_set1_pd(inv[2]);
+        let inv3 = _mm256_set1_pd(inv[3]);
+        let inv5 = _mm256_set1_pd(inv[5]);
+        let r1 = _mm256_set1_pd(r1dy);
+        let r4 = _mm256_set1_pd(r4dy);
+        let oxv = _mm256_set1_pd(ox);
+        let mut j = 0usize;
+        while j + 4 <= n {
+            let xs = _mm256_set_pd(
+                (x0 + j + 3) as f64,
+                (x0 + j + 2) as f64,
+                (x0 + j + 1) as f64,
+                (x0 + j) as f64,
+            );
+            let dx = _mm256_add_pd(xs, oxv);
+            let hx = _mm256_add_pd(_mm256_add_pd(_mm256_mul_pd(inv0, dx), r1), inv2);
+            let hy = _mm256_add_pd(_mm256_add_pd(_mm256_mul_pd(inv3, dx), r4), inv5);
+            let (sx, sy) = match const_hw {
+                Some(1.0) => (hx, hy),
+                Some(c) => {
+                    let cv = _mm256_set1_pd(c);
+                    (_mm256_div_pd(hx, cv), _mm256_div_pd(hy, cv))
+                }
+                None => {
+                    let inv6 = _mm256_set1_pd(inv[6]);
+                    let inv7 = _mm256_set1_pd(inv[7]);
+                    let inv8 = _mm256_set1_pd(inv[8]);
+                    let dyv = _mm256_set1_pd(dy);
+                    let hw = _mm256_add_pd(
+                        _mm256_add_pd(_mm256_mul_pd(inv6, dx), _mm256_mul_pd(inv7, dyv)),
+                        inv8,
+                    );
+                    let abs_mask = _mm256_castsi256_pd(_mm256_set1_epi64x(0x7FFF_FFFF_FFFF_FFFF));
+                    let tiny = _mm256_cmp_pd(
+                        _mm256_and_pd(hw, abs_mask),
+                        _mm256_set1_pd(1e-12),
+                        _CMP_LT_OQ,
+                    );
+                    let nan = _mm256_set1_pd(f64::NAN);
+                    let sx = _mm256_div_pd(hx, hw);
+                    let sy = _mm256_div_pd(hy, hw);
+                    (
+                        _mm256_blendv_pd(sx, nan, tiny),
+                        _mm256_blendv_pd(sy, nan, tiny),
+                    )
+                }
+            };
+            // SAFETY: j + 4 ≤ n ≤ BLOCK bounds both 4-lane stores.
+            unsafe {
+                _mm256_storeu_pd(sxs.as_mut_ptr().add(j), sx);
+                _mm256_storeu_pd(sys.as_mut_ptr().add(j), sy);
+            }
+            j += 4;
+        }
+        j
+    }
+}
+
+/// Sample one destination pixel from precomputed source coordinates:
+/// the uncorrupted-path body of [`super::remap_bilinear`] minus taps.
+/// `idx` is the destination pixel index local to the byte bands.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn sample_pixel(
+    src_bytes: &[u8],
+    row_stride: usize,
+    sw: usize,
+    sh: usize,
+    sx: f64,
+    sy: f64,
+    dst_band: &mut [u8],
+    mask_band: &mut [u8],
+    idx: usize,
+) {
+    if !sx.is_finite() || !sy.is_finite() {
+        return;
+    }
+    if sx < -1.0 || sy < -1.0 || sx > sw as f64 || sy > sh as f64 {
+        return;
+    }
+    let x0c = (sx as isize).clamp(0, sw as isize - 2) as usize;
+    let y0c = (sy as isize).clamp(0, sh as isize - 2) as usize;
+    let fx = (sx - x0c as f64).clamp(0.0, 1.0);
+    let fy = (sy - y0c as f64).clamp(0.0, 1.0);
+    let src_base = y0c * row_stride + x0c * 3;
+    let row0 = &src_bytes[src_base..src_base + 6];
+    let row1 = &src_bytes[src_base + row_stride..src_base + row_stride + 6];
+    let mxf = fx * 32768.0;
+    let myf = fy * 32768.0;
+    let mx = mxf as i64;
+    let my = myf as i64;
+    let out = &mut dst_band[idx * 3..idx * 3 + 3];
+    if mx as f64 == mxf && my as f64 == myf {
+        for c in 0..3 {
+            let p00 = row0[c] as i64;
+            let p10 = row0[3 + c] as i64;
+            let p01 = row1[c] as i64;
+            let p11 = row1[3 + c] as i64;
+            let top = (p00 << 15) + (p10 - p00) * mx;
+            let bot = (p01 << 15) + (p11 - p01) * mx;
+            let n = (top << 15) + (bot - top) * my;
+            out[c] = ((n + (1 << 29)) >> 30) as u8;
+        }
+    } else {
+        for c in 0..3 {
+            let p00 = f64::from(row0[c]);
+            let p10 = f64::from(row0[3 + c]);
+            let p01 = f64::from(row1[c]);
+            let p11 = f64::from(row1[3 + c]);
+            let top = p00 + (p10 - p00) * fx;
+            let bottom = p01 + (p11 - p01) * fx;
+            out[c] = super::round_u8_in_range(top + (bottom - top) * fy);
+        }
+    }
+    mask_band[idx] = 255;
+}
+
+/// Remap destination rows `y0..y1` into band-local byte slices
+/// (`dst_band`/`mask_band` hold exactly those rows). Bit-identical to
+/// the instrumented kernel's output on the same rows; usable from
+/// multiple threads on disjoint bands.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn remap_span_bytes(
+    src: &RgbImage,
+    inv: &Mat3,
+    dst_band: &mut [u8],
+    mask_band: &mut [u8],
+    w: usize,
+    origin: Vec2,
+    y0: usize,
+    y1: usize,
+    wide: bool,
+) -> Result<(), SimError> {
+    let sw = src.width();
+    let sh = src.height();
+    if sw < 2 || sh < 2 {
+        return Err(SimError::Abort);
+    }
+    let src_bytes = src.as_bytes();
+    let row_stride = sw * 3;
+    let inv_rows = inv.to_rows();
+    let const_hw =
+        (inv_rows[6] == 0.0 && inv_rows[7] == 0.0 && origin.x.is_finite() && origin.y.is_finite())
+            .then_some(inv_rows[8]);
+    if let Some(c) = const_hw {
+        if c != 1.0 && c.abs() < 1e-12 {
+            // The scalar path skips every pixel; no bytes are written.
+            return Ok(());
+        }
+    }
+    let mut sxs = [0f64; BLOCK];
+    let mut sys = [0f64; BLOCK];
+    for y in y0..y1 {
+        let local_base = (y - y0) * w;
+        let dy = y as f64 + origin.y;
+        let r1dy = inv_rows[1] * dy;
+        let r4dy = inv_rows[4] * dy;
+        let mut x = 0usize;
+        while x < w {
+            let n = BLOCK.min(w - x);
+            fill_coords(
+                &inv_rows, origin.x, dy, r1dy, r4dy, const_hw, x, n, &mut sxs, &mut sys, wide,
+            );
+            for j in 0..n {
+                sample_pixel(
+                    src_bytes,
+                    row_stride,
+                    sw,
+                    sh,
+                    sxs[j],
+                    sys[j],
+                    dst_band,
+                    mask_band,
+                    local_base + x + j,
+                );
+            }
+            x += n;
+        }
+    }
+    Ok(())
+}
+
+/// `RemapFn`-shaped SSE2 entry: whole-image remap through the vector
+/// coordinate path. Only selected off-session (see module docs).
+pub(crate) fn remap_sse2(
+    src: &RgbImage,
+    inv: &Mat3,
+    dst: &mut RgbImage,
+    mask: &mut GrayImage,
+    origin: Vec2,
+    y0: usize,
+    y1: usize,
+) -> Result<(), SimError> {
+    let w = dst.width();
+    let dst_band = &mut dst.as_bytes_mut()[y0 * w * 3..y1 * w * 3];
+    let mask_band = &mut mask.as_bytes_mut()[y0 * w..y1 * w];
+    remap_span_bytes(src, inv, dst_band, mask_band, w, origin, y0, y1, false)
+}
+
+/// `RemapFn`-shaped AVX2 entry (dispatch guarantees availability).
+pub(crate) fn remap_avx2(
+    src: &RgbImage,
+    inv: &Mat3,
+    dst: &mut RgbImage,
+    mask: &mut GrayImage,
+    origin: Vec2,
+    y0: usize,
+    y1: usize,
+) -> Result<(), SimError> {
+    let w = dst.width();
+    let dst_band = &mut dst.as_bytes_mut()[y0 * w * 3..y1 * w * 3];
+    let mask_band = &mut mask.as_bytes_mut()[y0 * w..y1 * w];
+    remap_span_bytes(src, inv, dst_band, mask_band, w, origin, y0, y1, true)
+}

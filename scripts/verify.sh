@@ -12,6 +12,24 @@ cd "$(dirname "$0")/.."
 echo "== format: cargo fmt --check =="
 cargo fmt --check
 
+echo "== unsafe hygiene: grep gate =="
+# `unsafe` is confined to the four explicit-SIMD modules (which carry
+# #![deny(unsafe_op_in_unsafe_fn)] and per-block SAFETY comments) and
+# the two bench binaries' GlobalAlloc counters. Anywhere else is a
+# regression.
+UNSAFE_ALLOWED="crates/image/src/simd.rs
+crates/features/src/simd.rs
+crates/warp/src/simd.rs
+crates/matching/src/simd.rs
+crates/bench/src/bin/kernel_bench.rs
+crates/bench/src/bin/campaign_bench.rs"
+UNSAFE_FOUND=$(grep -rl "unsafe" crates/*/src --include="*.rs" | sort)
+if [ "$UNSAFE_FOUND" != "$(printf '%s\n' "$UNSAFE_ALLOWED" | sort)" ]; then
+    echo "error: 'unsafe' outside the allowlisted files:" >&2
+    printf '%s\n' "$UNSAFE_FOUND" | grep -vxF "$(printf '%s\n' "$UNSAFE_ALLOWED")" >&2 || true
+    exit 1
+fi
+
 echo "== tier-1: cargo build --release =="
 cargo build --release --offline
 
@@ -43,6 +61,36 @@ grep -q '"outcomes_identical": true' /tmp/BENCH3_smoke.json || {
     exit 1
 }
 rm -f /tmp/BENCH3_smoke.json
+
+echo "== simd dispatch smoke: simd_check under VS_SIMD=scalar/swar/auto =="
+# The record stream of a fault campaign (and the plain panorama output)
+# must be byte-identical whichever kernel implementation the runtime
+# dispatcher picks. simd_check prints one digest per phase; the three
+# dispatch levels must agree line for line.
+VS_SIMD=scalar ./target/release/simd_check 2>/dev/null > /tmp/simd_scalar.txt
+VS_SIMD=swar   ./target/release/simd_check 2>/dev/null > /tmp/simd_swar.txt
+VS_SIMD=auto   ./target/release/simd_check 2>/dev/null > /tmp/simd_auto.txt
+diff /tmp/simd_scalar.txt /tmp/simd_swar.txt || {
+    echo "error: VS_SIMD=swar records diverge from scalar" >&2
+    exit 1
+}
+diff /tmp/simd_scalar.txt /tmp/simd_auto.txt || {
+    echo "error: VS_SIMD=auto records diverge from scalar" >&2
+    exit 1
+}
+rm -f /tmp/simd_scalar.txt /tmp/simd_swar.txt /tmp/simd_auto.txt
+
+echo "== hd smoke: kernel_bench --hd --smoke =="
+# Every dispatch level must reproduce the scalar oracle bit-for-bit on
+# the HD-mode bench inputs (the binary exits non-zero on divergence;
+# speedup gates are reserved for the --full run where tiers are real).
+./target/release/kernel_bench --hd --smoke --out /tmp/BENCH6_smoke.json \
+    >/dev/null
+grep -q '"bench": "kernel_simd_hd"' /tmp/BENCH6_smoke.json || {
+    echo "error: HD smoke bench wrote an unexpected schema" >&2
+    exit 1
+}
+rm -f /tmp/BENCH6_smoke.json
 
 echo "== trace smoke: campaign_bench --smoke --trace + trace_check =="
 ./target/release/campaign_bench --smoke --out /tmp/BENCH_smoke.json \
@@ -135,6 +183,11 @@ if [ "${1:-}" = "--full" ]; then
     ./target/release/campaign_bench --out BENCH_2.json
     echo "== bench full: kernel_bench -> BENCH_3.json =="
     ./target/release/kernel_bench --check-speedups --out BENCH_3.json
+    echo "== bench full: kernel_bench --hd -> BENCH_6.json =="
+    # The SSE2 speedup gate is always armed on x86-64; the AVX2 and
+    # row-band gates arm themselves only when the CPU features / core
+    # count permit (the binary prints a note when they auto-skip).
+    ./target/release/kernel_bench --hd --check-simd --out BENCH_6.json
     echo "== bench full: campaign_bench --adaptive -> BENCH_4.json =="
     # 1000-injection reference vs the adaptive stop at an 8pp Wilson
     # half-width: gate at a 5x injection reduction with rate agreement.
