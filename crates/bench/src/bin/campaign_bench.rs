@@ -181,7 +181,7 @@ impl Default for BenchOpts {
             width: 128,
             height: 96,
             injections: 120,
-            threads: vec![std::thread::available_parallelism().map_or(1, |n| n.get())],
+            threads: vec![vs_bench::host_cores()],
             every_k: 1,
             seed: 0xBE6C,
             out: "BENCH_2.json".into(),
@@ -497,6 +497,31 @@ fn run_adaptive_bench(
         .map_err(|e| format!("cannot write {}: {e}", o.adaptive_out.display()))?;
     let out_path = o.adaptive_out.display().to_string();
     vs_telemetry::emit("artifact", &[("path", Value::Str(&out_path))]);
+    vs_bench::manifest::Manifest::new("adaptive_bench")
+        .u64(
+            "config_digest",
+            vs_bench::manifest::config_digest(&[
+                o.frames as u64,
+                o.width as u64,
+                o.height as u64,
+                o.injections as u64,
+                o.every_k as u64,
+                o.seed,
+                pipeline_digest,
+            ]),
+        )
+        .u64("pipeline_digest", pipeline_digest)
+        .u64("injections", o.injections as u64)
+        .u64("threads", threads as u64)
+        .u64("seed", o.seed)
+        .f64("injection_reduction", reduction)
+        .f64(
+            "fixed_runs_per_sec",
+            fixed.len() as f64 / fixed_secs.max(1e-9),
+        )
+        .bool("identical", agreement_ok)
+        .rates(&fixed_rates)
+        .append_default();
 
     if warm_groups_injected != 0 {
         return Err(format!(
@@ -539,8 +564,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    vs_telemetry::set_trace_seed(o.seed);
     let _telemetry = vs_telemetry::install(sink);
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_cores = vs_bench::host_cores();
     vs_telemetry::emit(
         "bench_config",
         &[
@@ -733,6 +759,30 @@ fn main() -> ExitCode {
     }
     let out_path = o.out.display().to_string();
     vs_telemetry::emit("artifact", &[("path", Value::Str(&out_path))]);
+    vs_bench::manifest::Manifest::new("campaign_bench")
+        .u64(
+            "config_digest",
+            vs_bench::manifest::config_digest(&[
+                o.frames as u64,
+                o.width as u64,
+                o.height as u64,
+                o.injections as u64,
+                o.every_k as u64,
+                o.seed,
+                pipeline_digest,
+            ]),
+        )
+        .u64("pipeline_digest", pipeline_digest)
+        .u64("injections", o.injections as u64)
+        .u64("threads", primary_threads as u64)
+        .u64("seed", o.seed)
+        .f64("runs_per_sec_off", runs_off)
+        .f64("runs_per_sec_on", runs_on)
+        .f64("speedup", speedup)
+        .f64("allocs_per_run_steady", allocs.per_run_steady)
+        .bool("identical", identical && sweep_identical)
+        .rates(&outcome_rates(&fast))
+        .append_default();
     if !identical {
         eprintln!("error: checkpointed campaign diverged from scratch campaign");
         return ExitCode::FAILURE;

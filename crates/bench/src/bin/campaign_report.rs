@@ -64,7 +64,7 @@ impl Default for ReportOpts {
             width: 128,
             height: 96,
             injections: 200,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: vs_bench::host_cores(),
             every_k: 1,
             seed: 0xF0DE,
             out_dir: "out/forensics".into(),
@@ -452,6 +452,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    vs_telemetry::set_trace_seed(o.seed);
     let _telemetry = vs_telemetry::install(sink);
     vs_telemetry::emit(
         "report_config",
@@ -511,6 +512,27 @@ fn main() -> ExitCode {
         let shown = path.display().to_string();
         vs_telemetry::emit("artifact", &[("path", Value::Str(&shown))]);
     }
+    let mut manifest = vs_bench::manifest::Manifest::new("campaign_report")
+        .u64(
+            "config_digest",
+            vs_bench::manifest::config_digest(&[
+                o.frames as u64,
+                o.width as u64,
+                o.height as u64,
+                o.injections as u64,
+                o.every_k as u64,
+                o.seed,
+            ]),
+        )
+        .u64("injections", o.injections as u64)
+        .u64("threads", o.threads as u64)
+        .u64("seed", o.seed)
+        .bool("identical", reports.iter().all(|r| r.identical));
+    for r in &reports {
+        let prefix = format!("{}_", class_name(r.class));
+        manifest = manifest.rates_prefixed(&prefix, &stats::outcome_rates(&r.records));
+    }
+    manifest.append_default();
 
     // Acceptance gates (see module docs).
     let mut failed = false;

@@ -157,7 +157,7 @@ impl Default for BenchOpts {
             injections: 120,
             every_k: 1,
             seed: 0xBE6C,
-            threads: vec![std::thread::available_parallelism().map_or(1, |n| n.get())],
+            threads: vec![vs_bench::host_cores()],
             kernel_w: 480,
             kernel_h: 360,
             queries: 256,
@@ -1137,8 +1137,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    vs_telemetry::set_trace_seed(o.seed);
     let _telemetry = vs_telemetry::install(sink);
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_cores = vs_bench::host_cores();
     if o.hd {
         return run_hd(&o, host_cores);
     }
@@ -1290,6 +1291,35 @@ fn main() -> ExitCode {
     }
     let out_path = o.out.display().to_string();
     vs_telemetry::emit("artifact", &[("path", Value::Str(&out_path))]);
+    let kernel_speedup_min = rows
+        .iter()
+        .map(KernelRow::speedup)
+        .fold(f64::INFINITY, f64::min);
+    let mut manifest = vs_bench::manifest::Manifest::new("kernel_bench")
+        .u64(
+            "config_digest",
+            vs_bench::manifest::config_digest(&[
+                o.kernel_w as u64,
+                o.kernel_h as u64,
+                o.frames as u64,
+                o.width as u64,
+                o.height as u64,
+                o.injections as u64,
+                o.every_k as u64,
+                o.seed,
+            ]),
+        )
+        .u64("injections", o.injections as u64)
+        .u64("threads", o.threads[0] as u64)
+        .u64("seed", o.seed)
+        .u64("kernels", rows.len() as u64)
+        .f64("runs_per_sec_on", runs_on)
+        .f64("kernel_speedup_min", kernel_speedup_min)
+        .bool("identical", outcomes_identical);
+    if let Some(primary) = &primary {
+        manifest = manifest.rates(&vs_fault::stats::outcome_rates(primary));
+    }
+    manifest.append_default();
 
     if !kernels_identical {
         eprintln!("error: a SWAR kernel diverged from its scalar oracle");

@@ -1,0 +1,645 @@
+//! Cross-run regression sentinel over the persistent run ledger and
+//! the committed `BENCH_*.json` trajectory.
+//!
+//! ```text
+//! obs_report [--ledger DIR] [--bench-dir DIR] [--out-dir DIR]
+//!            [--threshold-pct P] [--widen-pp W] [--quiet]
+//! ```
+//!
+//! Every bench binary appends one `run_manifest` line per run to the
+//! ledger (`out/ledger/ledger.jsonl`, see `vs_telemetry::ledger`).
+//! This binary groups those manifests into comparable series — same
+//! tool, config digest, `VS_SIMD` level, host cores and thread count —
+//! and compares each series' latest run against the median of its
+//! earlier runs:
+//!
+//! * **Throughput regressions.** A throughput metric (`runs_per_sec_*`,
+//!   `speedup`, ...) is flagged when the latest run drops below the
+//!   baseline median by more than a CV-aware threshold:
+//!   `max(--threshold-pct, 2 sigma of the baseline's own run-to-run
+//!   spread)` — the same coefficient-of-variation definition
+//!   `Measurement::cv` uses for batch noise, so a historically noisy
+//!   series needs a proportionally bigger drop to alarm.
+//! * **Outcome-rate drift.** Every rate field carrying Wilson bounds
+//!   (`rate_sdc` with `rate_sdc_lo`/`rate_sdc_hi`, any prefix) is
+//!   compared interval-against-interval with the previous run; both
+//!   intervals are widened by `--widen-pp` percentage points and the
+//!   field is flagged only when they fail to overlap — a statistically
+//!   resolvable shift in campaign outcomes, not sampling noise.
+//!
+//! The committed `BENCH_*.json` files get the same treatment as a
+//! second, coarser trajectory: files are grouped by their `bench` name
+//! (matching host shape only), ordered by file name, and the latest
+//! file's headline metrics are compared against the median of its
+//! predecessors.
+//!
+//! Writes `obs_report.md` and `obs_report.json` under `--out-dir`
+//! (default `out/observatory`). Exit code: 0 clean, 2 when any
+//! regression is flagged, 1 on unreadable inputs — `scripts/verify.sh
+//! --full` runs this as an advisory gate.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+use vs_bench::json::Json;
+use vs_bench::timing::cv_of;
+use vs_telemetry::ledger::Ledger;
+use vs_telemetry::{OwnedEvent, OwnedValue};
+
+const USAGE: &str = "usage: obs_report [--ledger DIR] [--bench-dir DIR] [--out-dir DIR] [--threshold-pct P] [--widen-pp W] [--quiet]";
+
+/// Headline higher-is-better metrics compared across runs.
+const THROUGHPUT_KEYS: &[&str] = &[
+    "runs_per_sec_on",
+    "runs_per_sec_off",
+    "runs_per_sec",
+    "fixed_runs_per_sec",
+    "speedup",
+    "speedup_after",
+    "kernel_speedup_min",
+    "injection_reduction",
+];
+
+struct Opts {
+    ledger_dir: PathBuf,
+    bench_dir: PathBuf,
+    out_dir: PathBuf,
+    threshold_pct: f64,
+    widen_pp: f64,
+    quiet: bool,
+}
+
+fn parse(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        ledger_dir: match std::env::var("VS_LEDGER_DIR") {
+            Ok(dir) if !dir.is_empty() => dir.into(),
+            _ => "out/ledger".into(),
+        },
+        bench_dir: ".".into(),
+        out_dir: "out/observatory".into(),
+        threshold_pct: 10.0,
+        widen_pp: 1.0,
+        quiet: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match arg.as_str() {
+            "--ledger" => o.ledger_dir = val("--ledger")?.into(),
+            "--bench-dir" => o.bench_dir = val("--bench-dir")?.into(),
+            "--out-dir" => o.out_dir = val("--out-dir")?.into(),
+            "--threshold-pct" => {
+                let v = val("--threshold-pct")?;
+                o.threshold_pct = v
+                    .parse()
+                    .map_err(|_| format!("bad --threshold-pct '{v}'"))?;
+            }
+            "--widen-pp" => {
+                let v = val("--widen-pp")?;
+                o.widen_pp = v.parse().map_err(|_| format!("bad --widen-pp '{v}'"))?;
+            }
+            "--quiet" => o.quiet = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(o)
+}
+
+/// One flagged regression.
+#[derive(Debug, Clone, PartialEq)]
+struct Finding {
+    /// Comparable-series key (or BENCH group name).
+    group: String,
+    /// Metric or rate-field name.
+    metric: String,
+    /// Baseline value (median of earlier runs; rate midpoint for drift).
+    baseline: f64,
+    /// Latest run's value.
+    latest: f64,
+    /// Threshold the comparison used (percent drop, or widening in pp).
+    threshold: f64,
+    /// `"throughput"` or `"rate_drift"`.
+    kind: &'static str,
+}
+
+/// One comparable series' comparison summary (for the report even when
+/// nothing is flagged).
+struct GroupSummary {
+    group: String,
+    runs: usize,
+    compared: usize,
+    flagged: usize,
+}
+
+fn f64_field(ev: &OwnedEvent, key: &str) -> Option<f64> {
+    ev.fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .and_then(|(_, v)| match v {
+            OwnedValue::F64(x) => Some(*x),
+            OwnedValue::U64(x) => Some(*x as f64),
+            OwnedValue::I64(x) => Some(*x as f64),
+            _ => None,
+        })
+}
+
+fn display_field(ev: &OwnedEvent, key: &str) -> String {
+    match ev.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v) {
+        Some(OwnedValue::Str(s)) => s.clone(),
+        Some(OwnedValue::U64(x)) => x.to_string(),
+        Some(OwnedValue::I64(x)) => x.to_string(),
+        Some(OwnedValue::F64(x)) => format!("{x}"),
+        Some(OwnedValue::Bool(b)) => b.to_string(),
+        Some(OwnedValue::Null) | None => "?".into(),
+    }
+}
+
+/// Comparable-series key of a manifest: tool + config digest + SIMD
+/// level + host shape. Runs in the same series measured the same thing
+/// on the same kind of machine.
+fn group_key(ev: &OwnedEvent) -> String {
+    format!(
+        "{}/cfg={}/simd={}/cores={}/threads={}",
+        display_field(ev, "tool"),
+        display_field(ev, "config_digest"),
+        display_field(ev, "simd"),
+        display_field(ev, "host_cores"),
+        display_field(ev, "threads"),
+    )
+}
+
+/// Median of an unsorted non-empty sample.
+fn median(values: &[f64]) -> f64 {
+    let mut v = values.to_vec();
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Compare `latest` against `priors` for one higher-is-better metric.
+/// Returns the finding if the drop exceeds the CV-aware threshold.
+fn throughput_finding(
+    group: &str,
+    metric: &str,
+    priors: &[f64],
+    latest: f64,
+    threshold_pct: f64,
+) -> Option<Finding> {
+    let baseline = median(priors);
+    if baseline <= 0.0 || !baseline.is_finite() || !latest.is_finite() {
+        return None;
+    }
+    // Two sigmas of the baseline's own run-to-run spread, floored by
+    // the static threshold: noisy series need bigger drops to alarm.
+    let threshold = threshold_pct.max(200.0 * cv_of(priors));
+    let drop_pct = (1.0 - latest / baseline) * 100.0;
+    (drop_pct > threshold).then(|| Finding {
+        group: group.to_string(),
+        metric: metric.to_string(),
+        baseline,
+        latest,
+        threshold,
+        kind: "throughput",
+    })
+}
+
+/// Rate fields of a manifest that carry Wilson bounds: every key `k`
+/// with `k_lo` and `k_hi` siblings.
+fn rate_keys(ev: &OwnedEvent) -> Vec<String> {
+    ev.fields
+        .iter()
+        .filter(|(k, _)| !k.ends_with("_lo") && !k.ends_with("_hi"))
+        .filter(|(k, _)| {
+            f64_field(ev, &format!("{k}_lo")).is_some()
+                && f64_field(ev, &format!("{k}_hi")).is_some()
+        })
+        .map(|(k, _)| k.clone())
+        .collect()
+}
+
+/// Compare one rate field's Wilson interval between two runs; flag only
+/// when the intervals, widened by `widen_pp` on each side, fail to
+/// overlap.
+fn drift_finding(
+    group: &str,
+    key: &str,
+    prev: &OwnedEvent,
+    latest: &OwnedEvent,
+    widen_pp: f64,
+) -> Option<Finding> {
+    let (p_lo, p_hi) = (
+        f64_field(prev, &format!("{key}_lo"))?,
+        f64_field(prev, &format!("{key}_hi"))?,
+    );
+    let (l_lo, l_hi) = (
+        f64_field(latest, &format!("{key}_lo"))?,
+        f64_field(latest, &format!("{key}_hi"))?,
+    );
+    let disjoint = l_lo - widen_pp > p_hi + widen_pp || l_hi + widen_pp < p_lo - widen_pp;
+    disjoint.then(|| Finding {
+        group: group.to_string(),
+        metric: key.to_string(),
+        baseline: f64_field(prev, key).unwrap_or((p_lo + p_hi) / 2.0),
+        latest: f64_field(latest, key).unwrap_or((l_lo + l_hi) / 2.0),
+        threshold: widen_pp,
+        kind: "rate_drift",
+    })
+}
+
+/// Analyze the whole ledger: group manifests into comparable series and
+/// compare each series' latest run against its history.
+fn analyze_ledger(
+    entries: &[OwnedEvent],
+    threshold_pct: f64,
+    widen_pp: f64,
+) -> (Vec<GroupSummary>, Vec<Finding>) {
+    let mut groups: BTreeMap<String, Vec<&OwnedEvent>> = BTreeMap::new();
+    for ev in entries {
+        groups.entry(group_key(ev)).or_default().push(ev);
+    }
+    let mut summaries = Vec::new();
+    let mut findings = Vec::new();
+    for (group, mut runs) in groups {
+        // Append order is already chronological; unix_ms refines it
+        // when ledgers are concatenated.
+        runs.sort_by_key(|ev| f64_field(ev, "unix_ms").unwrap_or(0.0) as u64);
+        let mut compared = 0usize;
+        let mut flagged = 0usize;
+        if let Some((latest, priors)) = runs.split_last() {
+            if !priors.is_empty() {
+                for metric in THROUGHPUT_KEYS {
+                    let Some(l) = f64_field(latest, metric) else {
+                        continue;
+                    };
+                    let history: Vec<f64> =
+                        priors.iter().filter_map(|p| f64_field(p, metric)).collect();
+                    if history.is_empty() {
+                        continue;
+                    }
+                    compared += 1;
+                    if let Some(f) = throughput_finding(&group, metric, &history, l, threshold_pct)
+                    {
+                        flagged += 1;
+                        findings.push(f);
+                    }
+                }
+                let prev = priors.last().expect("non-empty priors");
+                for key in rate_keys(latest) {
+                    if f64_field(prev, &key).is_none() {
+                        continue;
+                    }
+                    compared += 1;
+                    if let Some(f) = drift_finding(&group, &key, prev, latest, widen_pp) {
+                        flagged += 1;
+                        findings.push(f);
+                    }
+                }
+            }
+        }
+        summaries.push(GroupSummary {
+            group,
+            runs: runs.len(),
+            compared,
+            flagged,
+        });
+    }
+    (summaries, findings)
+}
+
+/// Analyze the committed `BENCH_*.json` trajectory: group by `bench`
+/// name and host shape, order by file name, compare the latest file's
+/// headline metrics against the median of its predecessors.
+fn analyze_bench_files(
+    files: &[(String, Json)],
+    threshold_pct: f64,
+) -> (Vec<GroupSummary>, Vec<Finding>) {
+    let mut groups: BTreeMap<String, Vec<&(String, Json)>> = BTreeMap::new();
+    for entry in files {
+        let bench = entry.1.get("bench").and_then(Json::as_str).unwrap_or("?");
+        let cores = entry
+            .1
+            .get("host_cores")
+            .and_then(Json::as_u64)
+            .unwrap_or(0);
+        groups
+            .entry(format!("BENCH:{bench}/cores={cores}"))
+            .or_default()
+            .push(entry);
+    }
+    let mut summaries = Vec::new();
+    let mut findings = Vec::new();
+    for (group, mut members) in groups {
+        members.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut compared = 0usize;
+        let mut flagged = 0usize;
+        if let Some(((_, latest), priors)) = members.split_last() {
+            if !priors.is_empty() {
+                for metric in THROUGHPUT_KEYS {
+                    let Some(l) = latest.get(metric).and_then(Json::as_f64) else {
+                        continue;
+                    };
+                    let history: Vec<f64> = priors
+                        .iter()
+                        .filter_map(|(_, j)| j.get(metric).and_then(Json::as_f64))
+                        .collect();
+                    if history.is_empty() {
+                        continue;
+                    }
+                    compared += 1;
+                    if let Some(f) = throughput_finding(&group, metric, &history, l, threshold_pct)
+                    {
+                        flagged += 1;
+                        findings.push(f);
+                    }
+                }
+            }
+        }
+        summaries.push(GroupSummary {
+            group,
+            runs: members.len(),
+            compared,
+            flagged,
+        });
+    }
+    (summaries, findings)
+}
+
+/// Load every `BENCH_*.json` in `dir`, name-sorted.
+fn load_bench_files(dir: &Path) -> Result<Vec<(String, Json)>, String> {
+    let mut files = Vec::new();
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(files),
+    };
+    for entry in entries.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_") || !name.ends_with(".json") {
+            continue;
+        }
+        let text = std::fs::read_to_string(entry.path())
+            .map_err(|e| format!("cannot read {}: {e}", entry.path().display()))?;
+        let json = Json::parse(&text).map_err(|e| format!("{}: {e}", entry.path().display()))?;
+        files.push((name, json));
+    }
+    files.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(files)
+}
+
+fn render_markdown(
+    summaries: &[GroupSummary],
+    findings: &[Finding],
+    ledger_path: &Path,
+    bench_count: usize,
+) -> String {
+    let mut md = String::from("# Observability report: cross-run regression sentinel\n\n");
+    md.push_str(&format!(
+        "Ledger: `{}`. BENCH trajectory files: {bench_count}.\n\n## Verdict\n\n",
+        ledger_path.display()
+    ));
+    if findings.is_empty() {
+        md.push_str("No regressions flagged.\n\n");
+    } else {
+        md.push_str(&format!(
+            "**{} regression(s) flagged.**\n\n",
+            findings.len()
+        ));
+        md.push_str("| group | metric | kind | baseline | latest | threshold |\n|---|---|---|---:|---:|---:|\n");
+        for f in findings {
+            md.push_str(&format!(
+                "| {} | {} | {} | {:.4} | {:.4} | {:.2}{} |\n",
+                f.group,
+                f.metric,
+                f.kind,
+                f.baseline,
+                f.latest,
+                f.threshold,
+                if f.kind == "throughput" { "%" } else { "pp" },
+            ));
+        }
+        md.push('\n');
+    }
+    md.push_str("## Series\n\n| series | runs | comparisons | flagged |\n|---|---:|---:|---:|\n");
+    for s in summaries {
+        md.push_str(&format!(
+            "| {} | {} | {} | {} |\n",
+            s.group, s.runs, s.compared, s.flagged
+        ));
+    }
+    md
+}
+
+fn json_f(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+fn render_json(summaries: &[GroupSummary], findings: &[Finding]) -> String {
+    let findings_json = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"group\": \"{}\", \"metric\": \"{}\", \"kind\": \"{}\", \"baseline\": {}, \"latest\": {}, \"threshold\": {}}}",
+                f.group,
+                f.metric,
+                f.kind,
+                json_f(f.baseline),
+                json_f(f.latest),
+                json_f(f.threshold)
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let series_json = summaries
+        .iter()
+        .map(|s| {
+            format!(
+                "    {{\"series\": \"{}\", \"runs\": {}, \"comparisons\": {}, \"flagged\": {}}}",
+                s.group, s.runs, s.compared, s.flagged
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!(
+        "{{\n  \"report\": \"obs_report\",\n  \"regressions\": {},\n  \"findings\": [\n{findings_json}\n  ],\n  \"series\": [\n{series_json}\n  ]\n}}\n",
+        findings.len()
+    )
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let o = match parse(&args) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let ledger = Ledger::in_dir(&o.ledger_dir);
+    let entries = match ledger.read() {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: cannot read ledger {}: {e}", ledger.path().display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let bench_files = match load_bench_files(&o.bench_dir) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let (mut summaries, mut findings) = analyze_ledger(&entries, o.threshold_pct, o.widen_pp);
+    let (bench_summaries, bench_findings) = analyze_bench_files(&bench_files, o.threshold_pct);
+    summaries.extend(bench_summaries);
+    findings.extend(bench_findings);
+    // Most interesting first: biggest relative drop.
+    findings.sort_by(|a, b| {
+        let drop = |f: &Finding| (f.baseline - f.latest) / f.baseline.abs().max(1e-12);
+        drop(b).total_cmp(&drop(a))
+    });
+
+    let md = render_markdown(&summaries, &findings, ledger.path(), bench_files.len());
+    let json = render_json(&summaries, &findings);
+    if let Err(e) = std::fs::create_dir_all(&o.out_dir) {
+        eprintln!("error: cannot create {}: {e}", o.out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for (name, body) in [("obs_report.md", &md), ("obs_report.json", &json)] {
+        let path = o.out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("error: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if !o.quiet {
+        print!("{md}");
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        // Distinct from hard errors (1): regressions flagged.
+        ExitCode::from(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vs_telemetry::ledger;
+
+    /// A synthetic campaign_bench manifest.
+    fn manifest(unix_ms: u64, runs_per_sec: f64, sdc: (f64, f64, f64)) -> OwnedEvent {
+        let (rate, lo, hi) = sdc;
+        ledger::manifest(vec![
+            ("tool".into(), OwnedValue::Str("campaign_bench".into())),
+            ("unix_ms".into(), OwnedValue::U64(unix_ms)),
+            ("simd".into(), OwnedValue::Str("swar".into())),
+            ("host_cores".into(), OwnedValue::U64(4)),
+            ("threads".into(), OwnedValue::U64(4)),
+            ("config_digest".into(), OwnedValue::U64(0xD16E57)),
+            ("runs_per_sec_on".into(), OwnedValue::F64(runs_per_sec)),
+            ("rate_sdc".into(), OwnedValue::F64(rate)),
+            ("rate_sdc_lo".into(), OwnedValue::F64(lo)),
+            ("rate_sdc_hi".into(), OwnedValue::F64(hi)),
+        ])
+    }
+
+    /// Same manifest in a different comparable series (other digest).
+    fn manifest_in_series(unix_ms: u64, runs_per_sec: f64, digest: u64) -> OwnedEvent {
+        let mut m = manifest(unix_ms, runs_per_sec, (5.0, 3.0, 8.0));
+        if let Some((_, v)) = m.fields.iter_mut().find(|(k, _)| k == "config_digest") {
+            *v = OwnedValue::U64(digest);
+        }
+        m
+    }
+
+    #[test]
+    fn flags_exactly_the_degraded_run() {
+        // Two series: one stable, one with a 40% throughput collapse in
+        // its latest entry. Exactly the degraded series is flagged.
+        let entries = vec![
+            manifest(1_000, 100.0, (5.0, 3.0, 8.0)),
+            manifest(2_000, 101.0, (5.0, 3.0, 8.0)),
+            manifest_in_series(1_500, 100.0, 0xBADD16),
+            manifest_in_series(2_500, 60.0, 0xBADD16),
+        ];
+        let (summaries, findings) = analyze_ledger(&entries, 10.0, 1.0);
+        assert_eq!(summaries.len(), 2);
+        assert_eq!(findings.len(), 1, "exactly the degraded run is flagged");
+        assert!(
+            findings[0].group.contains("cfg=12246294"),
+            "0xBADD16 series"
+        );
+        assert_eq!(findings[0].metric, "runs_per_sec_on");
+        assert_eq!(findings[0].kind, "throughput");
+        assert_eq!(findings[0].latest, 60.0);
+    }
+
+    #[test]
+    fn noisy_series_need_bigger_drops() {
+        // Baseline spread (CV) ~20%: a 25% drop stays under the 2-sigma
+        // threshold; the same drop on a tight baseline alarms.
+        let noisy: Vec<f64> = vec![80.0, 100.0, 120.0];
+        assert!(throughput_finding("g", "m", &noisy, 75.0, 10.0).is_none());
+        let tight: Vec<f64> = vec![99.0, 100.0, 101.0];
+        assert!(throughput_finding("g", "m", &tight, 75.0, 10.0).is_some());
+    }
+
+    #[test]
+    fn rate_drift_uses_widened_wilson_intervals() {
+        let a = manifest(1_000, 100.0, (5.0, 3.0, 8.0));
+        // Overlaps once widened by 1pp: no flag.
+        let b = manifest(2_000, 100.0, (10.0, 8.5, 13.0));
+        let (_, findings) = analyze_ledger(&[a.clone(), b], 10.0, 1.0);
+        assert!(findings.is_empty(), "widened intervals overlap");
+        // Far outside even after widening: flagged as drift.
+        let c = manifest(2_000, 100.0, (20.0, 16.0, 25.0));
+        let (_, findings) = analyze_ledger(&[a, c], 10.0, 1.0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].kind, "rate_drift");
+        assert_eq!(findings[0].metric, "rate_sdc");
+    }
+
+    #[test]
+    fn single_run_series_compare_nothing() {
+        let (summaries, findings) =
+            analyze_ledger(&[manifest(1_000, 100.0, (5.0, 3.0, 8.0))], 10.0, 1.0);
+        assert_eq!(summaries.len(), 1);
+        assert_eq!(summaries[0].compared, 0);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn bench_trajectory_flags_latest_file_regression() {
+        let old = Json::parse(
+            r#"{"bench": "campaign_throughput", "host_cores": 1, "runs_per_sec_on": 100.0}"#,
+        )
+        .unwrap();
+        let new = Json::parse(
+            r#"{"bench": "campaign_throughput", "host_cores": 1, "runs_per_sec_on": 50.0}"#,
+        )
+        .unwrap();
+        let files = vec![("BENCH_1.json".into(), old), ("BENCH_2.json".into(), new)];
+        let (_, findings) = analyze_bench_files(&files, 10.0);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].metric, "runs_per_sec_on");
+        // Different host shapes never compare.
+        let a =
+            Json::parse(r#"{"bench": "x", "host_cores": 1, "runs_per_sec_on": 100.0}"#).unwrap();
+        let b = Json::parse(r#"{"bench": "x", "host_cores": 8, "runs_per_sec_on": 10.0}"#).unwrap();
+        let (_, findings) = analyze_bench_files(
+            &[("BENCH_1.json".into(), a), ("BENCH_2.json".into(), b)],
+            10.0,
+        );
+        assert!(findings.is_empty());
+    }
+}

@@ -120,6 +120,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    vs_telemetry::set_trace_seed(opts.seed);
     let _telemetry = vs_telemetry::install(sink);
     let scale = format!("{:?}", opts.scale);
     let out_dir = opts.out_dir.display().to_string();

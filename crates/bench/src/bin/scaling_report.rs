@@ -338,8 +338,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    vs_telemetry::set_trace_seed(o.seed);
     let _telemetry = vs_telemetry::install(sink);
-    let host_cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_cores = vs_bench::host_cores();
     vs_telemetry::emit(
         "bench_config",
         &[
@@ -806,6 +807,37 @@ fn main() -> ExitCode {
         let shown = path.display().to_string();
         vs_telemetry::emit("artifact", &[("path", Value::Str(&shown))]);
     }
+    let mut manifest = vs_bench::manifest::Manifest::new("scaling_report")
+        .u64(
+            "config_digest",
+            vs_bench::manifest::config_digest(&[
+                o.frames as u64,
+                o.width as u64,
+                o.height as u64,
+                o.injections as u64,
+                o.every_k as u64,
+                o.seed,
+                o.repeats as u64,
+                max_n as u64,
+            ]),
+        )
+        .u64("injections", o.injections as u64)
+        .u64("threads", max_n as u64)
+        .u64("seed", o.seed)
+        .f64(
+            "runs_per_sec_on",
+            o.injections as f64 / max_slots.wall.median,
+        )
+        .f64("overhead_pct", overhead_pct)
+        .f64("speedup_after", speedup_after)
+        .bool("identical", identical)
+        .rates(&vs_fault::stats::outcome_rates(&reference));
+    for name in phase::TOP {
+        if let Some(h) = max_slots.merged.histogram(name) {
+            manifest = manifest.phase(name, h);
+        }
+    }
+    manifest.append_default();
     println!("\n{md}");
 
     // ---- Gates -----------------------------------------------------

@@ -13,6 +13,10 @@
 //!
 //! `std::hash::DefaultHasher` is deterministic across processes (SipHash
 //! with fixed keys), so the digests are directly comparable.
+//!
+//! `--trace FILE` streams the span-instrumented JSONL event trace to
+//! FILE. The trace sink is file-only — never stdout — because the
+//! digest lines are the contract this binary is diffed on.
 
 use std::hash::{DefaultHasher, Hash, Hasher};
 use std::process::ExitCode;
@@ -22,7 +26,39 @@ use vs_fault::campaign::{self, CampaignConfig, Workload};
 use vs_fault::spec::RegClass;
 use vs_video::{render_input, InputSpec};
 
+const USAGE: &str = "usage: simd_check [--trace FILE]";
+
 fn main() -> ExitCode {
+    let mut trace: Option<std::path::PathBuf> = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--trace" => match it.next() {
+                Some(v) => trace = Some(v.into()),
+                None => {
+                    eprintln!("error: --trace needs a value\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let _telemetry = match &trace {
+        Some(path) => match vs_bench::trace::build_jsonl_sink(path) {
+            Ok(sink) => {
+                vs_telemetry::set_trace_seed(0x51D0);
+                Some(vs_telemetry::install(sink))
+            }
+            Err(e) => {
+                eprintln!("error: cannot create trace file: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
     eprintln!(
         "simd_check: level {} (detected: {})",
         vs_image::dispatch::level().as_str(),

@@ -26,13 +26,21 @@
 //! pipeline stage, at least one `injection` with an `attr_stage`
 //! attribution field, and every SDC injection carrying attribution
 //! fields must be stage-resolved (`attr_stage != "unknown"`, `depth >=
-//! 1`). Prints a per-event census and exits non-zero on any violation —
-//! the trace smoke gate in `scripts/verify.sh`.
+//! 1`). `--spans` validates the span-tree schema: every `span_enter`
+//! carries a non-zero unique `span_id` whose `parent_id` is the
+//! enclosing open span of the same thread, spans are well-nested per
+//! thread with monotone timestamps, and every in-span event's `span_id`
+//! points at its open enclosing span. `--export-chrome FILE` converts
+//! the trace to Chrome trace-event JSON (loadable in Perfetto /
+//! `chrome://tracing`), `--export-flame FILE` to a collapsed-stack
+//! flame summary (one `stack self_ns` line per span path). Prints a
+//! per-event census and exits non-zero on any violation — the trace
+//! smoke gate in `scripts/verify.sh`.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--scratch-steady] [--kernels] [--metrics] [--forensics] [--quiet]";
+const USAGE: &str = "usage: trace_check FILE [--expect NAME=COUNT]... [--require NAME]... [--scratch-steady] [--kernels] [--metrics] [--forensics] [--spans] [--export-chrome FILE] [--export-flame FILE] [--quiet]";
 
 struct CheckOpts {
     file: std::path::PathBuf,
@@ -42,6 +50,9 @@ struct CheckOpts {
     kernels: bool,
     metrics: bool,
     forensics: bool,
+    spans: bool,
+    export_chrome: Option<std::path::PathBuf>,
+    export_flame: Option<std::path::PathBuf>,
     quiet: bool,
 }
 
@@ -53,6 +64,9 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
     let mut kernels = false;
     let mut metrics = false;
     let mut forensics = false;
+    let mut spans = false;
+    let mut export_chrome = None;
+    let mut export_flame = None;
     let mut quiet = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -72,6 +86,13 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
             "--kernels" => kernels = true,
             "--metrics" => metrics = true,
             "--forensics" => forensics = true,
+            "--spans" => spans = true,
+            "--export-chrome" => {
+                export_chrome = Some(it.next().ok_or("--export-chrome needs FILE")?.into());
+            }
+            "--export-flame" => {
+                export_flame = Some(it.next().ok_or("--export-flame needs FILE")?.into());
+            }
             "--quiet" => quiet = true,
             other if file.is_none() && !other.starts_with("--") => {
                 file = Some(other.into());
@@ -87,6 +108,9 @@ fn parse(args: &[String]) -> Result<CheckOpts, String> {
         kernels,
         metrics,
         forensics,
+        spans,
+        export_chrome,
+        export_flame,
         quiet,
     })
 }
@@ -320,6 +344,51 @@ fn main() -> ExitCode {
         if attributed == 0 {
             eprintln!("error: --forensics: no injection event carries attr_stage");
             failed = true;
+        }
+    }
+    if o.spans {
+        match vs_telemetry::export::validate_spans(&events) {
+            Ok(stats) => {
+                if stats.spans == 0 {
+                    eprintln!("error: --spans: no span_enter events in trace");
+                    failed = true;
+                } else if !o.quiet {
+                    println!(
+                        "# spans {} (max depth {}, {} thread(s), {} in-span events)",
+                        stats.spans, stats.max_depth, stats.threads, stats.events_in_spans
+                    );
+                }
+            }
+            Err(e) => {
+                eprintln!("error: --spans: {e}");
+                failed = true;
+            }
+        }
+    }
+    for (path, body, kind) in [
+        (
+            &o.export_chrome,
+            o.export_chrome
+                .as_ref()
+                .map(|_| vs_telemetry::export::chrome_trace(&events)),
+            "chrome trace",
+        ),
+        (
+            &o.export_flame,
+            o.export_flame
+                .as_ref()
+                .map(|_| vs_telemetry::export::flame_summary(&events)),
+            "flame summary",
+        ),
+    ] {
+        let (Some(path), Some(body)) = (path, body) else {
+            continue;
+        };
+        if let Err(e) = std::fs::write(path, body) {
+            eprintln!("error: cannot write {kind} to {}: {e}", path.display());
+            failed = true;
+        } else if !o.quiet {
+            println!("# {kind} written to {}", path.display());
         }
     }
     if failed {

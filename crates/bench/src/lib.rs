@@ -15,11 +15,23 @@
 //! (orderings, crossovers, magnitudes' ballpark) — see EXPERIMENTS.md.
 
 pub mod figs;
+pub mod json;
+pub mod manifest;
 pub mod report;
 pub mod timing;
 pub mod trace;
 
 use vs_core::experiments::Scale;
+
+/// Logical cores on this host (1 when undetectable).
+///
+/// Every bench binary reports this in its `bench_config` event, its
+/// JSON artifact and its run-ledger manifest through this one probe,
+/// so cross-run comparisons (`obs_report`) can match runs by host
+/// shape without worrying about probe drift.
+pub fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Options shared by all figure generators.
 #[derive(Debug, Clone)]
@@ -42,7 +54,7 @@ impl Default for Opts {
             scale: Scale::Quick,
             injections: 200,
             out_dir: std::path::PathBuf::from("out"),
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: host_cores(),
             seed: 0xDA7A,
         }
     }

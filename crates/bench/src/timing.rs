@@ -37,18 +37,13 @@ impl Measurement {
     fn from_sorted_batches(batch_times: &[f64], iters: u64) -> Measurement {
         let n = batch_times.len();
         let mean = batch_times.iter().sum::<f64>() / n as f64;
-        let var = batch_times
-            .iter()
-            .map(|t| (t - mean) * (t - mean))
-            .sum::<f64>()
-            / n as f64;
         Measurement {
             secs_per_iter: batch_times[n / 2],
             min_secs_per_iter: batch_times[0],
             mean_secs_per_iter: mean,
             batches: n as u64,
             iters,
-            cv: if mean > 0.0 { var.sqrt() / mean } else { 0.0 },
+            cv: cv_of(batch_times),
         }
     }
 
@@ -60,6 +55,25 @@ impl Measurement {
             f64::INFINITY
         }
     }
+}
+
+/// Coefficient of variation of a sample (population stddev over mean, 0
+/// for an empty sample or a zero/negative mean).
+///
+/// The one CV definition the repo uses for noise awareness: the batch
+/// spread inside [`Measurement`], and the run-to-run spread the
+/// `obs_report` regression sentinel widens its thresholds by.
+pub fn cv_of(samples: &[f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    var.sqrt() / mean
 }
 
 /// Time `f`, adapting the iteration count so the whole measurement takes

@@ -28,6 +28,20 @@ pub fn build_sink(trace: Option<&Path>) -> std::io::Result<Arc<dyn Sink>> {
     Ok(Arc::new(fan))
 }
 
+/// Build a trace-only JSONL sink, with no stdout progress mirror.
+///
+/// For binaries whose stdout is a machine-checked artifact
+/// (`simd_check`'s digest lines are byte-diffed across `VS_SIMD`
+/// levels by `scripts/verify.sh`) — tracing must not perturb it.
+///
+/// # Errors
+///
+/// Returns the I/O error if the trace file cannot be created.
+pub fn build_jsonl_sink(path: &Path) -> std::io::Result<Arc<dyn Sink>> {
+    let file = BufWriter::new(File::create(path)?);
+    Ok(Arc::new(JsonlSink::new(file)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

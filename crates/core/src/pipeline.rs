@@ -345,6 +345,12 @@ impl VideoSummarizer {
         scratch: &mut RunScratch,
     ) -> Result<(), SimError> {
         let _ctl = tap::scope(FuncId::StitchControl);
+        // Telemetry-only span (no taps): near-free without a sink, so it
+        // is safe on campaign worker threads.
+        let _run_span = vs_telemetry::span_with(
+            "pipeline_run",
+            &[("resumed", Value::Bool(resume.is_some()))],
+        );
         let fp0 = scratch.footprints();
         let mut stats;
         let mut discard_streak;
@@ -451,6 +457,8 @@ impl VideoSummarizer {
                     });
                 }
             }
+            let _frame_span =
+                vs_telemetry::span_with("frame_stage", &[("frame", Value::U64(i as u64))]);
             tap::work(OpClass::Control, 12)?;
             tap::work(OpClass::IntAlu, 40)?;
             // The frame pointer is address arithmetic: tap it.
@@ -605,6 +613,10 @@ impl VideoSummarizer {
         // bounds/reset work they skip is tap-free, keeping the resumed
         // tap stream exactly on the golden run's.
         let render_resume = resume.and_then(|ck| ck.render.as_ref());
+        let render_span = vs_telemetry::span_with(
+            "render_stage",
+            &[("segments", Value::U64(seg_count as u64))],
+        );
         for si in 0..seg_count {
             if let Some(rc) = render_resume {
                 if si < rc.segment {
@@ -677,6 +689,7 @@ impl VideoSummarizer {
             scratch.summary.panorama_origins.push(origin);
             push_alignments(&mut scratch.summary.alignments, &scratch.segments[si], si);
         }
+        drop(render_span);
         stats.segments = seg_count;
         if forensics::enabled() {
             // The panoramas are the observable output compared for SDC

@@ -278,6 +278,8 @@ pub fn profile_golden_masked<W: Workload>(
     workload: &W,
     mask: FuncMask,
 ) -> Result<GoldenRun<W::Output>, SimError> {
+    // Telemetry-only span bracketing the golden run in driver traces.
+    let _stage = vs_telemetry::span("profile_golden");
     let guard = session::begin_profile();
     state::with(|s| s.mask_bits.set(mask.bits()));
     let output = workload.run()?;
@@ -392,6 +394,8 @@ pub fn profile_golden_checkpointed<W: Checkpointed>(
     workload: &W,
     policy: CheckpointPolicy,
 ) -> Result<CheckpointedGolden<W>, SimError> {
+    // Telemetry-only span bracketing the golden run in driver traces.
+    let _stage = vs_telemetry::span("profile_golden");
     let mask = FuncMask::all();
     let guard = session::begin_profile();
     state::with(|s| s.mask_bits.set(mask.bits()));
@@ -935,6 +939,8 @@ pub fn run_campaign<W: Workload>(
         "no eligible {} taps recorded in the golden profile",
         cfg.class
     );
+    // Telemetry-only span on the driver thread; workers run sink-free.
+    let _stage = vs_telemetry::span("campaign");
     install_quiet_hook();
     let budget = golden
         .profile
@@ -995,6 +1001,8 @@ where
         "no eligible {} taps recorded in the golden profile",
         cfg.class
     );
+    // Telemetry-only span on the driver thread; workers run sink-free.
+    let _stage = vs_telemetry::span("campaign");
     install_quiet_hook();
     let budget = g
         .profile

@@ -126,6 +126,8 @@ impl Orb {
         scratch: &mut OrbScratch,
         features: &mut Vec<Feature>,
     ) -> Result<(), SimError> {
+        // Telemetry-only span (no taps); near-free without a sink.
+        let _stage = vs_telemetry::span("orb_stage");
         features.clear();
         // Mirror Pyramid::new without cloning the base: scratch.levels[i]
         // holds pyramid level i+1, level 0 is `img` itself.

@@ -124,6 +124,9 @@ fn estimate_scratch(
     mut refit: impl FnMut(&[Vec2], &[Vec2], &mut homography::NormScratch) -> Option<Mat3>,
     s: &mut RansacScratch,
 ) -> Result<Option<Mat3>, SimError> {
+    // Telemetry-only span (no taps); near-free without a sink.
+    let _stage =
+        vs_telemetry::span_with("ransac_stage", &[("kind", vs_telemetry::Value::Str(kind))]);
     let RansacScratch {
         sample,
         inliers,

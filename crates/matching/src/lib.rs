@@ -173,6 +173,8 @@ impl RatioMatcher {
         level: SimdLevel,
     ) -> Result<(), SimError> {
         let dist = bounded_dist_for(level);
+        // Telemetry-only span (no taps); near-free without a sink.
+        let _stage = vs_telemetry::span("match_stage");
         let t0 = vs_telemetry::enabled().then(std::time::Instant::now);
         let _f = tap::scope(FuncId::MatchKeypoints);
         out.clear();
@@ -309,6 +311,8 @@ impl SimpleMatcher {
         level: SimdLevel,
     ) -> Result<(), SimError> {
         let dist = bounded_dist_for(level);
+        // Telemetry-only span (no taps); near-free without a sink.
+        let _stage = vs_telemetry::span("match_stage");
         let t0 = vs_telemetry::enabled().then(std::time::Instant::now);
         let _f = tap::scope(FuncId::MatchKeypoints);
         out.clear();

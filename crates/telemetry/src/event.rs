@@ -236,6 +236,46 @@ pub(crate) fn write_json_value(out: &mut String, v: &Value<'_>) {
     }
 }
 
+/// Append an owned field value in JSON syntax ([`OwnedValue::Null`]
+/// round-trips as `null`; non-finite floats become `null` as on the
+/// borrowed path).
+pub(crate) fn write_owned_json_value(out: &mut String, v: &OwnedValue) {
+    use fmt::Write;
+    match v {
+        OwnedValue::U64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        OwnedValue::I64(x) => {
+            let _ = write!(out, "{x}");
+        }
+        OwnedValue::F64(x) if x.is_finite() => {
+            let _ = write!(out, "{x}");
+        }
+        OwnedValue::F64(_) | OwnedValue::Null => out.push_str("null"),
+        OwnedValue::Bool(x) => {
+            let _ = write!(out, "{x}");
+        }
+        OwnedValue::Str(s) => write_json_str(out, s),
+    }
+}
+
+/// Render an owned event as one JSONL line (no trailing newline) — the
+/// serialization the run ledger appends, bit-compatible with
+/// [`to_jsonl`] and re-readable by [`crate::jsonl::parse_line`].
+pub fn owned_to_jsonl(event: &OwnedEvent) -> String {
+    let mut out = String::with_capacity(48 + 16 * event.fields.len());
+    out.push_str("{\"event\":");
+    write_json_str(&mut out, &event.name);
+    for (k, v) in &event.fields {
+        out.push(',');
+        write_json_str(&mut out, k);
+        out.push(':');
+        write_owned_json_value(&mut out, v);
+    }
+    out.push('}');
+    out
+}
+
 /// Render an event as one JSONL line (no trailing newline):
 /// `{"event":"<name>","k":v,...}`.
 pub fn to_jsonl(event: &Event<'_>) -> String {

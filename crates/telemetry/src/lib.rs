@@ -26,7 +26,14 @@
 //! * [`scope`] — per-thread sink installation ([`install`]) and the
 //!   near-free [`emit`] / [`span`] entry points instrumented code calls.
 //! * [`jsonl`] — a dependency-free parser/validator for traces written
-//!   by [`JsonlSink`] (used by the `trace_check` tool and tests).
+//!   by [`JsonlSink`] (used by the `trace_check` tool and tests), with
+//!   classified parse errors (truncation, bad escapes, duplicate keys).
+//! * [`export`] — span-tree exporters: Chrome trace-event JSON
+//!   (Perfetto/`chrome://tracing`), collapsed-stack flame summaries and
+//!   the `trace_check --spans` schema validator.
+//! * [`ledger`] — the append-only `run_manifest` JSONL store under
+//!   `out/ledger/` that bench binaries append a per-invocation manifest
+//!   to, feeding the `obs_report` regression sentinel.
 //! * [`metrics`] — per-worker counters and log2-bucketed latency
 //!   histograms for phase/contention attribution: lock-free on the hot
 //!   path (thread-local arming, one registry deposit per worker), with
@@ -49,13 +56,18 @@
 //! ```
 
 pub mod event;
+pub mod export;
 pub mod jsonl;
+pub mod ledger;
 pub mod metrics;
 pub mod scope;
 pub mod sink;
 
-pub use event::{to_jsonl, Event, OwnedEvent, OwnedValue, Value};
-pub use scope::{current, emit, enabled, install, span, span_with, SinkGuard, Span};
+pub use event::{owned_to_jsonl, to_jsonl, Event, OwnedEvent, OwnedValue, Value};
+pub use scope::{
+    current, emit, enabled, install, set_trace_seed, span, span_with, trace_seed, trace_tid,
+    SinkGuard, Span,
+};
 pub use sink::{FanoutSink, JsonlSink, MemorySink, NullSink, Sink, TextSink, DETAIL_EVENTS};
 
 #[cfg(test)]

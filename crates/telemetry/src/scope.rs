@@ -1,4 +1,5 @@
-//! Thread-local sink installation and the zero-cost disabled path.
+//! Thread-local sink installation, the zero-cost disabled path, and the
+//! deterministic span-tree context.
 //!
 //! Telemetry mirrors the session discipline of `vs-fault`: a sink is
 //! installed on a thread with an RAII guard ([`install`]); instrumented
@@ -13,24 +14,125 @@
 //! from every injected run (and cross-contaminate parallel tests).
 //! Campaign-level telemetry instead flows through an explicit handle
 //! captured by the campaign driver (see `vs-fault`).
+//!
+//! # Span identities
+//!
+//! Every [`Span`] opened while a sink is installed is assigned a
+//! `span_id` from the splitmix64 finalizer over `(trace seed, thread,
+//! per-thread counter)` — a bijection, so ids are unique within a trace
+//! and *deterministic*: the same binary with the same seed produces the
+//! same id sequence. [`install`] starts a fresh span context (counter 0,
+//! empty stack) and the guard restores the previous context on drop, so
+//! each trace file gets a self-contained id space. Plain [`emit`] calls
+//! made inside a span carry the enclosing `span_id`, which is what lets
+//! the exporter ([`crate::export`]) attach instant events to the tree.
+//! Span state only advances while a sink is installed: untraced runs
+//! leave the id stream untouched, keeping traced runs reproducible.
 
 use crate::event::{Event, Value};
 use crate::sink::Sink;
 use std::cell::{Cell, RefCell};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Maximum tracked span nesting per thread. Deeper spans still get ids
+/// (parented to the deepest tracked span) but are not pushed.
+const MAX_SPAN_DEPTH: usize = 64;
+
+/// Per-thread span context: the open-span id stack and the id counter.
+/// Fixed-capacity so span bookkeeping never allocates — instrumented
+/// code runs inside allocation-gated benchmark loops.
+#[derive(Clone, Copy)]
+struct SpanState {
+    stack: [u64; MAX_SPAN_DEPTH],
+    len: usize,
+    counter: u64,
+}
+
+impl SpanState {
+    const fn new() -> Self {
+        SpanState {
+            stack: [0; MAX_SPAN_DEPTH],
+            len: 0,
+            counter: 0,
+        }
+    }
+
+    fn top(&self) -> Option<u64> {
+        self.len.checked_sub(1).map(|i| self.stack[i])
+    }
+}
 
 thread_local! {
     static SINK: RefCell<Option<Arc<dyn Sink>>> = const { RefCell::new(None) };
     static SPAN_DEPTH: Cell<u32> = const { Cell::new(0) };
+    static SPANS: RefCell<SpanState> = const { RefCell::new(SpanState::new()) };
+    static TID: Cell<u32> = const { Cell::new(u32::MAX) };
+}
+
+/// Seed mixed into every span id; set once per process by traced
+/// binaries (usually to the workload seed) so traces are reproducible.
+static TRACE_SEED: AtomicU64 = AtomicU64::new(0);
+
+/// Next trace thread id; assigned lazily on a thread's first use.
+static NEXT_TID: AtomicU32 = AtomicU32::new(0);
+
+/// Process epoch for span timestamps.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Splitmix64 finalizer — a bijection on `u64`, mirroring `vs_rng::mix64`
+/// (inlined here because this crate is deliberately dependency-free).
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Set the process-wide trace seed span ids are derived from. Call once
+/// before installing a sink; the default seed is 0.
+pub fn set_trace_seed(seed: u64) {
+    TRACE_SEED.store(seed, Ordering::Relaxed);
+}
+
+/// The current trace seed.
+pub fn trace_seed() -> u64 {
+    TRACE_SEED.load(Ordering::Relaxed)
+}
+
+/// This thread's trace thread id (assigned on first use, dense from 0).
+pub fn trace_tid() -> u32 {
+    TID.with(|t| {
+        let cur = t.get();
+        if cur != u32::MAX {
+            return cur;
+        }
+        let id = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        t.set(id);
+        id
+    })
+}
+
+/// Nanoseconds since the process telemetry epoch (first use).
+fn now_ns() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
 /// RAII guard returned by [`install`]; restores the previously installed
-/// sink (if any) on drop. Not `Send`: the sink is installed on the
-/// current thread only.
-#[derive(Debug)]
+/// sink (if any) and the previous span context on drop. Not `Send`: the
+/// sink is installed on the current thread only.
 pub struct SinkGuard {
     prev: Option<Arc<dyn Sink>>,
+    prev_spans: SpanState,
     _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl std::fmt::Debug for SinkGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SinkGuard")
+    }
 }
 
 impl std::fmt::Debug for dyn Sink {
@@ -40,12 +142,15 @@ impl std::fmt::Debug for dyn Sink {
 }
 
 /// Install `sink` as the current thread's telemetry sink until the guard
-/// drops. Nests: the previous sink is restored.
+/// drops. Nests: the previous sink (and its span context) is restored.
+/// Each installation starts a fresh, deterministic span-id space.
 #[must_use = "telemetry is uninstalled when the guard is dropped"]
 pub fn install(sink: Arc<dyn Sink>) -> SinkGuard {
     let prev = SINK.with(|s| s.borrow_mut().replace(sink));
+    let prev_spans = SPANS.with(|s| std::mem::replace(&mut *s.borrow_mut(), SpanState::new()));
     SinkGuard {
         prev,
+        prev_spans,
         _not_send: std::marker::PhantomData,
     }
 }
@@ -60,6 +165,7 @@ impl Drop for SinkGuard {
             }
             *slot = prev;
         });
+        SPANS.with(|s| *s.borrow_mut() = self.prev_spans);
     }
 }
 
@@ -78,24 +184,72 @@ pub fn enabled() -> bool {
     SINK.with(|s| s.borrow().is_some())
 }
 
+/// Stack-buffered field concatenation: events stay allocation-free up to
+/// [`EMIT_FIELDS_MAX`] total fields (the workload's widest event is far
+/// below this); wider events fall back to a heap buffer.
+const EMIT_FIELDS_MAX: usize = 32;
+
+/// Forward `fields` + `extra` to `sink` without allocating when they fit
+/// the fixed buffer.
+fn emit_with_extra(
+    sink: &Arc<dyn Sink>,
+    name: &str,
+    fields: &[(&str, Value<'_>)],
+    extra: &[(&str, Value<'_>)],
+) {
+    let total = fields.len() + extra.len();
+    if total <= EMIT_FIELDS_MAX {
+        let mut buf = [("", Value::Bool(false)); EMIT_FIELDS_MAX];
+        buf[..fields.len()].copy_from_slice(fields);
+        buf[fields.len()..total].copy_from_slice(extra);
+        sink.event(&Event {
+            name,
+            fields: &buf[..total],
+        });
+    } else {
+        let mut all = Vec::with_capacity(total);
+        all.extend_from_slice(fields);
+        all.extend_from_slice(extra);
+        sink.event(&Event { name, fields: &all });
+    }
+}
+
 /// Emit one event to the thread's sink; a near-free no-op when no sink
-/// is installed.
+/// is installed. Inside an open span the event additionally carries the
+/// enclosing `span_id`, the trace `tid` and a `ts_ns` timestamp, so
+/// exporters can place it in the span tree.
 #[inline]
 pub fn emit(name: &str, fields: &[(&str, Value<'_>)]) {
     SINK.with(|s| {
         if let Some(sink) = s.borrow().as_ref() {
-            sink.event(&Event { name, fields });
+            let top = SPANS.with(|sp| sp.borrow().top());
+            match top {
+                Some(id) => emit_with_extra(
+                    sink,
+                    name,
+                    fields,
+                    &[
+                        ("span_id", Value::U64(id)),
+                        ("tid", Value::U64(u64::from(trace_tid()))),
+                        ("ts_ns", Value::U64(now_ns())),
+                    ],
+                ),
+                None => sink.event(&Event { name, fields }),
+            }
         }
     });
 }
 
 /// A structured span: emits `span_enter` on creation and `span_exit` on
-/// drop, with a per-thread nesting depth, so a trace reconstructs the
-/// stage tree without timestamps.
+/// drop, with a per-thread nesting depth and a deterministic `span_id`/
+/// `parent_id` pair (`parent_id` 0 marks a root), so a trace
+/// reconstructs the stage tree without timestamps.
 #[derive(Debug)]
 pub struct Span {
     name: &'static str,
     depth: u32,
+    /// Assigned id, if a sink was installed at creation.
+    id: Option<u64>,
     _not_send: std::marker::PhantomData<*const ()>,
 }
 
@@ -106,16 +260,39 @@ pub fn span_with(name: &'static str, fields: &[(&str, Value<'_>)]) -> Span {
         d.set(depth + 1);
         depth
     });
-    if enabled() {
-        let mut all: Vec<(&str, Value<'_>)> = Vec::with_capacity(fields.len() + 2);
-        all.push(("span", Value::Str(name)));
-        all.push(("depth", Value::U64(u64::from(depth))));
-        all.extend_from_slice(fields);
-        emit("span_enter", &all);
-    }
+    let mut id = None;
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow().as_ref() {
+            let (span_id, parent_id, tid) = SPANS.with(|sp| {
+                let mut st = sp.borrow_mut();
+                let tid = trace_tid();
+                let span_id =
+                    mix64(trace_seed() ^ ((u64::from(tid) << 32).wrapping_add(st.counter)));
+                st.counter = st.counter.wrapping_add(1);
+                let parent_id = st.top().unwrap_or(0);
+                if st.len < MAX_SPAN_DEPTH {
+                    let len = st.len;
+                    st.stack[len] = span_id;
+                    st.len = len + 1;
+                }
+                (span_id, parent_id, tid)
+            });
+            id = Some(span_id);
+            let header = [
+                ("span", Value::Str(name)),
+                ("depth", Value::U64(u64::from(depth))),
+                ("span_id", Value::U64(span_id)),
+                ("parent_id", Value::U64(parent_id)),
+                ("tid", Value::U64(u64::from(tid))),
+                ("ts_ns", Value::U64(now_ns())),
+            ];
+            emit_with_extra(sink, "span_enter", &header, fields);
+        }
+    });
     Span {
         name,
         depth,
+        id,
         _not_send: std::marker::PhantomData,
     }
 }
@@ -128,13 +305,29 @@ pub fn span(name: &'static str) -> Span {
 impl Drop for Span {
     fn drop(&mut self) {
         SPAN_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
-        emit(
-            "span_exit",
-            &[
-                ("span", Value::Str(self.name)),
-                ("depth", Value::U64(u64::from(self.depth))),
-            ],
-        );
+        let Some(id) = self.id else {
+            return;
+        };
+        SPANS.with(|sp| {
+            let mut st = sp.borrow_mut();
+            if st.top() == Some(id) {
+                st.len -= 1;
+            }
+        });
+        SINK.with(|s| {
+            if let Some(sink) = s.borrow().as_ref() {
+                sink.event(&Event {
+                    name: "span_exit",
+                    fields: &[
+                        ("span", Value::Str(self.name)),
+                        ("depth", Value::U64(u64::from(self.depth))),
+                        ("span_id", Value::U64(id)),
+                        ("tid", Value::U64(u64::from(trace_tid()))),
+                        ("ts_ns", Value::U64(now_ns())),
+                    ],
+                });
+            }
+        });
     }
 }
 
@@ -212,5 +405,51 @@ mod tests {
         let s = span("after");
         drop(s);
         assert_eq!(sink.events()[0].u64("depth"), Some(0));
+    }
+
+    #[test]
+    fn span_ids_link_parents_and_are_deterministic_per_install() {
+        let first = Arc::new(MemorySink::new());
+        {
+            let _g = install(first.clone());
+            let _outer = span("run");
+            let _inner = span("frame");
+            emit("orb", &[("keypoints", Value::U64(9))]);
+        }
+        let second = Arc::new(MemorySink::new());
+        {
+            let _g = install(second.clone());
+            let _outer = span("run");
+            let _inner = span("frame");
+            emit("orb", &[("keypoints", Value::U64(9))]);
+        }
+        let a = first.events();
+        let b = second.events();
+        // Same seed + fresh install => identical id streams.
+        assert_eq!(a[0].u64("span_id"), b[0].u64("span_id"));
+        assert_eq!(a[1].u64("span_id"), b[1].u64("span_id"));
+        // Tree structure: outer is a root, inner points at outer, and the
+        // plain event carries the innermost enclosing span id.
+        let outer_id = a[0].u64("span_id").unwrap();
+        let inner_id = a[1].u64("span_id").unwrap();
+        assert_ne!(outer_id, inner_id);
+        assert_eq!(a[0].u64("parent_id"), Some(0));
+        assert_eq!(a[1].u64("parent_id"), Some(outer_id));
+        assert_eq!(a[2].name, "orb");
+        assert_eq!(a[2].u64("span_id"), Some(inner_id));
+        assert!(a[2].u64("ts_ns").is_some());
+        // Exits name the span they close.
+        assert_eq!(a[3].u64("span_id"), Some(inner_id));
+        assert_eq!(a[4].u64("span_id"), Some(outer_id));
+    }
+
+    #[test]
+    fn emits_outside_spans_carry_no_span_fields() {
+        let sink = Arc::new(MemorySink::new());
+        let _g = install(sink.clone());
+        emit("bench_config", &[("threads", Value::U64(4))]);
+        let e = &sink.events()[0];
+        assert_eq!(e.get("span_id"), None);
+        assert_eq!(e.get("ts_ns"), None);
     }
 }

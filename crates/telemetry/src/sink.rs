@@ -161,6 +161,10 @@ impl<W: Write + Send> TextSink<W> {
     }
 }
 
+/// Span-stamp fields the emitter appends to events inside a span;
+/// machine data for the exporters, noise on a terminal.
+const SPAN_STAMP_FIELDS: &[&str] = &["span_id", "parent_id", "tid", "ts_ns"];
+
 impl<W: Write + Send> Sink for TextSink<W> {
     fn event(&self, event: &Event<'_>) {
         if self.skip.contains(&event.name) {
@@ -170,6 +174,9 @@ impl<W: Write + Send> Sink for TextSink<W> {
         line.push_str("# ");
         line.push_str(event.name);
         for (k, v) in event.fields {
+            if SPAN_STAMP_FIELDS.contains(k) {
+                continue;
+            }
             line.push(' ');
             line.push_str(k);
             line.push('=');

@@ -519,6 +519,8 @@ pub fn warp_perspective_offset_into_bands(
     if bands <= 1 || dst_w == 0 || vs_fault::session::active() {
         return warp_perspective_offset_into(src, h, dst_w, dst_h, origin, dst, mask);
     }
+    // Telemetry-only span (no taps); near-free without a sink.
+    let _stage = vs_telemetry::span("warp_stage");
     let t0 = vs_telemetry::enabled().then(std::time::Instant::now);
     let _f = tap::scope(FuncId::WarpPerspective);
     tap::work(OpClass::Float, 120)?;
@@ -614,6 +616,8 @@ fn warp_driver(
     mask: &mut GrayImage,
     remap: RemapFn,
 ) -> Result<(), SimError> {
+    // Telemetry-only span (no taps); near-free without a sink.
+    let _stage = vs_telemetry::span("warp_stage");
     // Wall-clock kernel counter, read only when a telemetry sink is
     // installed (campaign workers run sink-less and skip the clock);
     // the timer sits outside all taps so it cannot perturb the stream.

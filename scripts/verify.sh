@@ -31,13 +31,22 @@ if [ "$UNSAFE_FOUND" != "$(printf '%s\n' "$UNSAFE_ALLOWED" | sort)" ]; then
 fi
 
 echo "== tier-1: cargo build --release =="
-cargo build --release --offline
+# --workspace: a plain `cargo build` only builds the root package and
+# its dependencies, leaving the bench binaries the smokes below run
+# stale.
+cargo build --release --offline --workspace
 
 echo "== tier-1: cargo test -q (workspace) =="
 cargo test -q --workspace --release --offline
 
 echo "== lint: cargo clippy --workspace -D warnings =="
 cargo clippy --workspace --release --offline -- -D warnings
+
+# Smoke runs append run manifests to a scratch ledger, never the repo's
+# out/ledger trajectory; the ledger smoke below reads it back through
+# obs_report.
+VS_LEDGER_DIR=$(mktemp -d /tmp/verify_ledger.XXXXXX)
+export VS_LEDGER_DIR
 
 echo "== bench smoke: campaign_bench --smoke =="
 ./target/release/campaign_bench --smoke --out /tmp/BENCH_smoke.json
@@ -178,7 +187,66 @@ grep -q '"outcomes_identical": true' /tmp/BENCH5_smoke.json || {
     --metrics
 rm -rf /tmp/scaling_smoke /tmp/BENCH5_smoke.json /tmp/scaling_smoke.jsonl
 
+echo "== span export smoke: repro --trace + trace_check --spans --export-chrome =="
+# A traced figure run must carry a well-formed span tree (unique ids,
+# per-thread nesting, monotone timestamps, nothing left open), and the
+# Chrome exporter emits exactly one trace event per input event — so
+# the exported event count must equal the JSONL line count. The flame
+# summary must fold at least one nested stack (pipeline stages nest
+# under the run spans).
+./target/release/repro fig9a --scale quick --inj 6 --threads 2 \
+    --out /tmp/span_smoke_out --trace /tmp/span_smoke.jsonl >/dev/null
+./target/release/trace_check /tmp/span_smoke.jsonl --quiet --spans \
+    --export-chrome /tmp/span_smoke_chrome.json \
+    --export-flame /tmp/span_smoke.folded
+TRACE_EVENTS=$(wc -l < /tmp/span_smoke.jsonl)
+# -o | wc -l: the export is a single JSON line, so count occurrences,
+# not matching lines.
+CHROME_EVENTS=$(grep -o '"ph":' /tmp/span_smoke_chrome.json | wc -l)
+if [ "$TRACE_EVENTS" -ne "$CHROME_EVENTS" ]; then
+    echo "error: chrome export has $CHROME_EVENTS events, trace has $TRACE_EVENTS" >&2
+    exit 1
+fi
+grep -q ';' /tmp/span_smoke.folded || {
+    echo "error: flame summary folded no nested stacks" >&2
+    exit 1
+}
+rm -rf /tmp/span_smoke_out /tmp/span_smoke.jsonl /tmp/span_smoke_chrome.json \
+    /tmp/span_smoke.folded
+
+echo "== ledger smoke: run manifests round-trip through obs_report =="
+# The bench smokes above appended one run manifest each to the scratch
+# ledger (campaign_bench twice with the same config, so at least one
+# series has a real baseline-vs-latest comparison). obs_report must
+# parse the ledger and the committed BENCH trajectory and render its
+# report; findings (exit 2) are advisory at smoke scale, exit 1 means
+# unreadable inputs.
+LEDGER_LINES=$(wc -l < "$VS_LEDGER_DIR/ledger.jsonl")
+if [ "$LEDGER_LINES" -lt 2 ]; then
+    echo "error: bench smokes appended $LEDGER_LINES manifests, expected >= 2" >&2
+    exit 1
+fi
+OBS_STATUS=0
+./target/release/obs_report --quiet --ledger "$VS_LEDGER_DIR" \
+    --out-dir /tmp/obs_smoke || OBS_STATUS=$?
+if [ "$OBS_STATUS" -eq 1 ]; then
+    echo "error: obs_report could not read the ledger or BENCH files" >&2
+    exit 1
+fi
+if [ "$OBS_STATUS" -eq 2 ]; then
+    echo "note: obs_report flagged regressions (advisory at smoke scale)"
+fi
+for artifact in /tmp/obs_smoke/obs_report.md /tmp/obs_smoke/obs_report.json; do
+    [ -s "$artifact" ] || {
+        echo "error: obs_report did not write $artifact" >&2
+        exit 1
+    }
+done
+rm -rf /tmp/obs_smoke "$VS_LEDGER_DIR"
+
 if [ "${1:-}" = "--full" ]; then
+    # Full benches append to the repo's real out/ledger trajectory.
+    unset VS_LEDGER_DIR
     echo "== bench full: campaign_bench -> BENCH_2.json =="
     ./target/release/campaign_bench --out BENCH_2.json
     echo "== bench full: kernel_bench -> BENCH_3.json =="
@@ -199,6 +267,21 @@ if [ "${1:-}" = "--full" ]; then
     # oversubscription diagnosis instead of a fabricated speedup.
     ./target/release/scaling_report --overhead-gate 2 --expect-scaling 1.5 \
         --out-dir out/scaling --bench-out BENCH_5.json
+    echo "== regression sentinel: obs_report (advisory) =="
+    # Compares the runs just appended to out/ledger against their own
+    # history plus the committed BENCH trajectory. Flagged regressions
+    # warn rather than fail — the ledger accumulates across checkouts
+    # and machines, so a red verdict needs a human eye, not a CI gate;
+    # exit 1 (unreadable ledger) still fails.
+    FULL_OBS=0
+    ./target/release/obs_report --out-dir out/observatory || FULL_OBS=$?
+    if [ "$FULL_OBS" -eq 1 ]; then
+        echo "error: obs_report could not read the ledger or BENCH files" >&2
+        exit 1
+    fi
+    if [ "$FULL_OBS" -eq 2 ]; then
+        echo "warning: obs_report flagged regressions; see out/observatory/obs_report.md"
+    fi
 fi
 
 echo "== verify: OK =="

@@ -10,7 +10,8 @@ use std::sync::{Arc, Mutex};
 use video_summarization::prelude::*;
 use vs_core::workloads::VsWorkload;
 use vs_fault::campaign::{CheckpointPolicy, Injection};
-use vs_telemetry::{JsonlSink, Sink};
+use vs_telemetry::ledger::Ledger;
+use vs_telemetry::{JsonlSink, OwnedValue, Sink};
 
 fn workload() -> VsWorkload {
     experiments::vs_workload(InputId::Input2, Scale::Quick, Approximation::Baseline)
@@ -101,6 +102,86 @@ fn campaigns_are_identical_across_threads_with_jsonl_sink() {
             1
         );
     }
+}
+
+#[test]
+fn spans_and_ledger_do_not_perturb_campaigns() {
+    let w = workload();
+    let golden = campaign::profile_golden(&w).unwrap();
+    let ck = campaign::profile_golden_checkpointed(&w, CheckpointPolicy::EveryKFrames(2)).unwrap();
+    const N: usize = 12;
+
+    let dir = std::env::temp_dir().join(format!("vs_equiv_ledger_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ledger = Ledger::in_dir(&dir);
+    vs_telemetry::set_trace_seed(0x0B5E);
+    let mut appended = 0usize;
+
+    for threads in [1usize, 4] {
+        for checkpointed in [false, true] {
+            let mut cfg = CampaignConfig::new(RegClass::Gpr, N)
+                .seed(0x0B5E)
+                .threads(threads);
+            if checkpointed {
+                cfg = cfg.checkpoint_policy(CheckpointPolicy::EveryKFrames(2));
+            }
+            let quiet = if checkpointed {
+                campaign::run_campaign_checkpointed(&w, &ck, &cfg)
+            } else {
+                campaign::run_campaign(&w, &golden, &cfg)
+            };
+
+            let (sink, bytes) = shared_jsonl_sink();
+            let traced = {
+                let _g = vs_telemetry::install(sink);
+                let _case = vs_telemetry::span("equivalence_case");
+                let recs = if checkpointed {
+                    campaign::run_campaign_checkpointed(&w, &ck, &cfg)
+                } else {
+                    campaign::run_campaign(&w, &golden, &cfg)
+                };
+                // Persist a manifest while the trace is live: ledger
+                // writes must be as invisible to the campaign as the
+                // sink itself.
+                ledger
+                    .append(&vs_telemetry::ledger::manifest(vec![
+                        ("tool".into(), OwnedValue::Str("equivalence".into())),
+                        ("threads".into(), OwnedValue::U64(threads as u64)),
+                        ("checkpointed".into(), OwnedValue::Bool(checkpointed)),
+                    ]))
+                    .expect("ledger append");
+                appended += 1;
+                recs
+            };
+            assert_eq!(
+                fingerprint(&quiet),
+                fingerprint(&traced),
+                "spans+ledger perturbed campaign (threads {threads}, checkpointed {checkpointed})"
+            );
+
+            let text = String::from_utf8(bytes.lock().unwrap().clone()).unwrap();
+            let events = vs_telemetry::jsonl::parse_trace(&text).expect("trace must parse");
+            assert!(events.iter().any(|e| e.name == "span_enter"));
+            assert!(events.iter().any(|e| e.name == "span_exit"));
+            let stats =
+                vs_telemetry::export::validate_spans(&events).expect("span tree well-formed");
+            assert!(
+                stats.spans >= 2,
+                "test span plus driver campaign span, got {}",
+                stats.spans
+            );
+            assert!(
+                stats.max_depth >= 2,
+                "campaign span must nest inside the test span"
+            );
+            assert_eq!(events.iter().filter(|e| e.name == "injection").count(), N);
+        }
+    }
+
+    let back = ledger.read().expect("ledger reads back");
+    assert_eq!(back.len(), appended);
+    assert!(back.iter().all(|e| e.str("tool") == Some("equivalence")));
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
